@@ -1,0 +1,636 @@
+(* acstab — command-line interface of the AC-stability analysis tool.
+
+   The paper's tool is a push-button GUI in DFII; this CLI exposes the same
+   run modes over SPICE-format netlists: single-node and all-nodes
+   stability analysis, the traditional baselines (operating point, AC,
+   transient, open-loop margins), the Table 1 reference, and a self-
+   contained demo on the paper's op-amp. *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let log_term =
+  Term.(const setup_logs $ Logs_cli.level ())
+
+let read_circuit path =
+  try Circuit.Parser.parse_file path
+  with
+  | Circuit.Parser.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    exit 2
+  | Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    exit 2
+
+let report_issues circ =
+  let issues = Circuit.Topology.check circ in
+  List.iter
+    (fun i -> Format.eprintf "warning: %a@." Circuit.Topology.pp_issue i)
+    issues
+
+let handle_analysis_errors f =
+  try f () with
+  | Engine.Dcop.No_convergence m ->
+    Printf.eprintf "DC convergence failure: %s\n" m;
+    exit 3
+  | Engine.Mna.Compile_error m ->
+    Printf.eprintf "elaboration error: %s\n" m;
+    exit 2
+
+(* ---- common arguments ---- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"NETLIST" ~doc:"SPICE-format netlist file.")
+
+let node_arg =
+  Arg.(required & opt (some string) None
+       & info [ "n"; "node" ] ~docv:"NODE" ~doc:"Circuit net to analyse.")
+
+let fmin_arg =
+  Arg.(value & opt float 1e3
+       & info [ "fmin" ] ~docv:"HZ" ~doc:"Sweep start frequency.")
+
+let fmax_arg =
+  Arg.(value & opt float 1e9
+       & info [ "fmax" ] ~docv:"HZ" ~doc:"Sweep stop frequency.")
+
+let ppd_arg =
+  Arg.(value & opt int 30
+       & info [ "ppd" ] ~docv:"N" ~doc:"Frequency points per decade.")
+
+let sweep_of fmin fmax ppd = Numerics.Sweep.decade fmin fmax ppd
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the waveform to FILE as CSV.")
+
+let write_csv path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let options_of fmin fmax ppd =
+  { Stability.Analysis.default_options with
+    sweep = sweep_of fmin fmax ppd }
+
+(* ---- single-node ---- *)
+
+let html_arg =
+  Arg.(value & opt (some string) None
+       & info [ "html" ] ~docv:"FILE"
+           ~doc:"Also write a self-contained HTML report with SVG plots.")
+
+let single_node_cmd =
+  let plot =
+    Arg.(value & flag
+         & info [ "plot" ] ~doc:"Print the full stability plot table.")
+  in
+  let run () file node fmin fmax ppd plot html =
+    let circ = read_circuit file in
+    report_issues circ;
+    handle_analysis_errors @@ fun () ->
+    let options = options_of fmin fmax ppd in
+    let r = Stability.Analysis.single_node ~options circ node in
+    Stability.Report.single_node Format.std_formatter r;
+    if plot then Stability.Stability_plot.pp Format.std_formatter r.plot;
+    Option.iter
+      (fun path ->
+        Tool.Html_report.write path (Tool.Html_report.single_node circ r))
+      html
+  in
+  Cmd.v
+    (Cmd.info "single-node"
+       ~doc:"Stability peak and natural frequency of one net (paper \
+             'Single Node' run mode).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg $ plot $ html_arg)
+
+(* ---- all-nodes ---- *)
+
+let all_nodes_cmd =
+  let annotate =
+    Arg.(value & flag
+         & info [ "annotate" ]
+             ~doc:"Also print the netlist annotated with per-net results.")
+  in
+  let nodes =
+    Arg.(value & opt (some (list string)) None
+         & info [ "nodes" ] ~docv:"N1,N2,..."
+             ~doc:"Restrict the scan to these nets.")
+  in
+  let parallel =
+    Arg.(value & flag
+         & info [ "parallel" ]
+             ~doc:"Spread the frequency sweep across CPU domains.")
+  in
+  let run () file fmin fmax ppd nodes annotate html parallel =
+    let circ = read_circuit file in
+    report_issues circ;
+    handle_analysis_errors @@ fun () ->
+    let options = { (options_of fmin fmax ppd) with
+                    Stability.Analysis.parallel } in
+    let results = Stability.Analysis.all_nodes ~options ?nodes circ in
+    Stability.Report.all_nodes Format.std_formatter results;
+    if annotate then
+      Stability.Annotate.netlist Format.std_formatter circ results;
+    Option.iter
+      (fun path ->
+        Tool.Html_report.write path (Tool.Html_report.all_nodes circ results))
+      html
+  in
+  Cmd.v
+    (Cmd.info "all-nodes"
+       ~doc:"Stability peaks of every net, grouped by loop (paper 'All \
+             Nodes' run mode, Table 2).")
+    Term.(const run $ log_term $ file_arg $ fmin_arg $ fmax_arg $ ppd_arg
+          $ nodes $ annotate $ html_arg $ parallel)
+
+(* ---- run (directive-driven) ---- *)
+
+let run_cmd =
+  let run () file =
+    let circ = read_circuit file in
+    report_issues circ;
+    handle_analysis_errors @@ fun () ->
+    let s = Tool.Ocean.simulator "builtin" in
+    Tool.Ocean.design s circ;
+    let r = Tool.Ocean.run s in
+    (match r.Tool.Ocean.op with
+     | Some op -> Engine.Dcop.pp_report Format.std_formatter op
+     | None -> ());
+    (match r.Tool.Ocean.ac with
+     | Some ac ->
+       Printf.printf "AC analysis: %d frequency points (use `acstab ac`                       for tables)
+"
+         (Array.length ac.Engine.Ac.freqs)
+     | None -> ());
+    (match r.Tool.Ocean.tran with
+     | Some tr ->
+       Printf.printf "transient: %d time points to %gs
+"
+         (Array.length tr.Engine.Transient.times)
+         tr.Engine.Transient.times.(Array.length tr.Engine.Transient.times - 1)
+     | None -> ());
+    if r.Tool.Ocean.stab <> [] then
+      print_string (Tool.Ocean.stab_report r)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute the analyses named by the deck's dot-cards (.op,              .ac, .tran, .stab).")
+    Term.(const run $ log_term $ file_arg)
+
+(* ---- probe ---- *)
+
+let probe_cmd =
+  let run () file node fmin fmax ppd csv =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let probe = Stability.Probe.prepare circ in
+    let w =
+      Stability.Probe.response probe ~sweep:(sweep_of fmin fmax ppd) node
+    in
+    Option.iter
+      (fun path -> write_csv path (Engine.Waveform.Freq.to_csv w))
+      csv;
+    let mag = Engine.Waveform.Freq.mag w in
+    let ph = Engine.Waveform.Freq.phase_deg w in
+    Printf.printf "%14s %14s %12s
+" "freq [Hz]" "|Z| [Ohm]" "phase [deg]";
+    Array.iteri
+      (fun k f ->
+        Printf.printf "%14s %14s %12.3f
+" (Numerics.Engnum.format f)
+          (Numerics.Engnum.format mag.(k))
+          ph.(k))
+      w.Engine.Waveform.Freq.freqs
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Driving-point impedance of a net (the raw quantity the              stability plot differentiates).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg $ csv_arg)
+
+(* ---- op ---- *)
+
+let op_cmd =
+  let run () file =
+    let circ = read_circuit file in
+    report_issues circ;
+    handle_analysis_errors @@ fun () ->
+    let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+    Engine.Dcop.pp_report Format.std_formatter op
+  in
+  Cmd.v (Cmd.info "op" ~doc:"DC operating point report.")
+    Term.(const run $ log_term $ file_arg)
+
+(* ---- ac ---- *)
+
+let ac_cmd =
+  let run () file node fmin fmax ppd csv =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let ac = Engine.Ac.run ~sweep:(sweep_of fmin fmax ppd) circ in
+    let w = Engine.Ac.v ac node in
+    let db = Engine.Waveform.Freq.db w in
+    let ph = Engine.Waveform.Freq.phase_deg w in
+    Printf.printf "%14s %12s %12s\n" "freq [Hz]" "mag [dB]" "phase [deg]";
+    Array.iteri
+      (fun k f ->
+        Printf.printf "%14s %12.4f %12.3f\n" (Numerics.Engnum.format f)
+          db.(k) ph.(k))
+      w.Engine.Waveform.Freq.freqs;
+    Option.iter
+      (fun path -> write_csv path (Engine.Waveform.Freq.to_csv w))
+      csv
+  in
+  Cmd.v (Cmd.info "ac" ~doc:"AC magnitude/phase of a net.")
+    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg $ csv_arg)
+
+(* ---- tran ---- *)
+
+let tran_cmd =
+  let tstop =
+    Arg.(required & opt (some float) None
+         & info [ "tstop" ] ~docv:"S" ~doc:"Simulation end time.")
+  in
+  let tstep =
+    Arg.(required & opt (some float) None
+         & info [ "tstep" ] ~docv:"S" ~doc:"Nominal time step.")
+  in
+  let run () file node tstop tstep csv =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let tr = Engine.Transient.run ~tstop ~tstep circ in
+    let w = Engine.Transient.v tr node in
+    Option.iter
+      (fun path ->
+        write_csv path
+          (Engine.Waveform.Real.to_csv ~header:("time_s", "volts") w))
+      csv;
+    Array.iteri
+      (fun k t ->
+        Printf.printf "%.9e %.9e\n" t w.Engine.Waveform.Real.y.(k))
+      w.Engine.Waveform.Real.x;
+    let m = Engine.Measure.step_metrics w in
+    Printf.eprintf
+      "# final=%g peak=%g overshoot=%.1f%% rise=%gs settle=%gs\n"
+      m.Engine.Measure.final m.Engine.Measure.peak
+      m.Engine.Measure.overshoot_pct m.Engine.Measure.rise_time
+      m.Engine.Measure.settle_time
+  in
+  Cmd.v (Cmd.info "tran" ~doc:"Transient waveform of a net (time value \
+                               pairs on stdout, metrics on stderr).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ tstop $ tstep
+          $ csv_arg)
+
+(* ---- loopgain ---- *)
+
+let loopgain_cmd =
+  let device =
+    Arg.(required & opt (some string) None
+         & info [ "device" ] ~docv:"NAME"
+             ~doc:"Device whose terminal wire is broken.")
+  in
+  let terminal =
+    Arg.(value & opt int 1
+         & info [ "terminal" ] ~docv:"K"
+             ~doc:"Terminal index (device_nodes order, default 1).")
+  in
+  let meth =
+    Arg.(value & opt (enum [ ("lc", `Lc); ("middlebrook", `Mb) ]) `Mb
+         & info [ "method" ] ~doc:"lc (classic LC break) or middlebrook.")
+  in
+  let run () file device terminal meth fmin fmax ppd =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let sweep = sweep_of fmin fmax ppd in
+    let r =
+      match meth with
+      | `Lc -> Engine.Loopgain.lc_break ~sweep circ ~device ~terminal
+      | `Mb -> Engine.Loopgain.middlebrook ~sweep circ ~device ~terminal
+    in
+    Format.printf "%a@." Engine.Measure.pp_margins (Engine.Loopgain.margins r)
+  in
+  Cmd.v
+    (Cmd.info "loopgain"
+       ~doc:"Open-loop gain/phase margins (the traditional baseline, \
+             paper Fig 3).")
+    Term.(const run $ log_term $ file_arg $ device $ terminal $ meth
+          $ fmin_arg $ fmax_arg $ ppd_arg)
+
+(* ---- poles ---- *)
+
+let poles_cmd =
+  let run () file =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let poles = Engine.Poles.of_circuit circ in
+    Printf.printf "%d finite poles; system is %s
+" (List.length poles)
+      (if Engine.Poles.is_stable poles then "stable" else "UNSTABLE");
+    List.iter (fun p -> Format.printf "  %a@." Engine.Poles.pp p) poles;
+    (match Engine.Poles.complex_pairs poles with
+     | [] -> print_endline "no complex pairs (no resonant loops)"
+     | pairs ->
+       print_endline "complex pairs (one per conjugate pair):";
+       List.iter
+         (fun p -> Format.printf "  %a@." Engine.Poles.pp p)
+         pairs)
+  in
+  Cmd.v
+    (Cmd.info "poles"
+       ~doc:"Exact small-signal poles of the whole system (eigenvalues of              the MNA pencil) -- ground truth for the stability plot.")
+    Term.(const run $ log_term $ file_arg)
+
+(* ---- noise ---- *)
+
+let noise_cmd =
+  let at =
+    Arg.(value & opt (some float) None
+         & info [ "at" ] ~docv:"HZ"
+             ~doc:"Print the contribution breakdown at this frequency                    (default: the PSD maximum).")
+  in
+  let run () file node fmin fmax ppd at =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let r =
+      Engine.Noise.run ~sweep:(sweep_of fmin fmax ppd) ~output:node circ
+    in
+    Printf.printf "%14s %16s
+" "freq [Hz]" "noise [V/rtHz]";
+    Array.iteri
+      (fun k f ->
+        Printf.printf "%14s %16s
+" (Numerics.Engnum.format f)
+          (Numerics.Engnum.format (sqrt r.Engine.Noise.total.(k))))
+      r.Engine.Noise.freqs;
+    let at_hz =
+      match at with
+      | Some f -> f
+      | None ->
+        r.Engine.Noise.freqs.(Numerics.Vec.argmax r.Engine.Noise.total)
+    in
+    Format.printf "@.%a" (Engine.Noise.pp_summary ~at_hz) r
+  in
+  Cmd.v
+    (Cmd.info "noise"
+       ~doc:"Output noise spectrum of a net; an unstable loop's noise              peaks at its natural frequency (paper section 1.2).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg $ at)
+
+(* ---- sensitivity ---- *)
+
+let sensitivity_cmd =
+  let run () file node fmin fmax ppd =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let options = options_of fmin fmax ppd in
+    (try
+       let entries = Stability.Sensitivity.of_loop ~options circ ~node in
+       Stability.Sensitivity.pp Format.std_formatter entries
+     with Failure m ->
+       Printf.eprintf "%s
+" m;
+       exit 1)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Rank the passive components by their influence on a loop's              damping (which part to change to fix the loop).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg)
+
+(* ---- stab-track ---- *)
+
+let stab_track_cmd =
+  let device =
+    Arg.(required & opt (some string) None
+         & info [ "device" ] ~docv:"NAME"
+             ~doc:"Passive component (R/C/L) to sweep.")
+  in
+  let from_v =
+    Arg.(required & opt (some float) None
+         & info [ "from" ] ~docv:"VAL" ~doc:"Start value.")
+  in
+  let to_v =
+    Arg.(required & opt (some float) None
+         & info [ "to" ] ~docv:"VAL" ~doc:"Stop value.")
+  in
+  let points =
+    Arg.(value & opt int 9 & info [ "points" ] ~docv:"N" ~doc:"Steps.")
+  in
+  let zeta_target =
+    Arg.(value & opt (some float) None
+         & info [ "zeta" ] ~docv:"Z"
+             ~doc:"Also report the value where damping crosses Z.")
+  in
+  let run () file node device from_v to_v points zeta_target fmin fmax ppd =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let options = options_of fmin fmax ppd in
+    let values =
+      (* Log spacing when the endpoints allow it (component values). *)
+      if from_v > 0. && to_v > from_v then
+        Numerics.Vec.logspace from_v to_v points
+      else Numerics.Vec.linspace from_v to_v points
+    in
+    let traj =
+      Stability.Tracking.component ~options circ ~device ~values ~node
+    in
+    Stability.Tracking.pp Format.std_formatter traj;
+    Option.iter
+      (fun z ->
+        match Stability.Tracking.critical_value traj ~zeta_target:z with
+        | Some v ->
+          Format.printf "damping crosses %.2f at %s = %s@." z device
+            (Numerics.Engnum.format v)
+        | None -> Format.printf "damping never crosses %.2f in range@." z)
+      zeta_target
+  in
+  Cmd.v
+    (Cmd.info "stab-track"
+       ~doc:"Track a loop's natural frequency and damping across a              component sweep (compensation sizing).")
+    Term.(const run $ log_term $ file_arg $ node_arg $ device $ from_v
+          $ to_v $ points $ zeta_target $ fmin_arg $ fmax_arg $ ppd_arg)
+
+(* ---- dcsweep ---- *)
+
+let dcsweep_cmd =
+  let source =
+    Arg.(required & opt (some string) None
+         & info [ "source" ] ~docv:"NAME" ~doc:"V/I source to sweep.")
+  in
+  let from_v =
+    Arg.(required & opt (some float) None
+         & info [ "from" ] ~docv:"V" ~doc:"Start value.")
+  in
+  let to_v =
+    Arg.(required & opt (some float) None
+         & info [ "to" ] ~docv:"V" ~doc:"Stop value.")
+  in
+  let points =
+    Arg.(value & opt int 51 & info [ "points" ] ~docv:"N" ~doc:"Steps.")
+  in
+  let run () file node source from_v to_v points csv =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let values = Numerics.Vec.linspace from_v to_v points in
+    let r = Engine.Dcsweep.source circ ~name:source ~values in
+    let w = Engine.Dcsweep.v r node in
+    Option.iter
+      (fun path ->
+        write_csv path
+          (Engine.Waveform.Real.to_csv ~header:("swept", "volts") w))
+      csv;
+    Printf.printf "%14s %14s\n" source ("V(" ^ node ^ ")");
+    Array.iteri
+      (fun k v ->
+        Printf.printf "%14g %14.6g\n" v w.Engine.Waveform.Real.y.(k))
+      w.Engine.Waveform.Real.x
+  in
+  Cmd.v
+    (Cmd.info "dcsweep"
+       ~doc:"Sweep a source's DC value and print a node's transfer curve.")
+    Term.(const run $ log_term $ file_arg $ node_arg $ source $ from_v
+          $ to_v $ points $ csv_arg)
+
+(* ---- montecarlo ---- *)
+
+let montecarlo_cmd =
+  let n =
+    Arg.(value & opt int 50
+         & info [ "samples" ] ~docv:"N" ~doc:"Sample count.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed.")
+  in
+  let sigma =
+    Arg.(value & opt float 0.05
+         & info [ "sigma" ] ~docv:"REL"
+             ~doc:"Relative sigma on every R/C/L value.")
+  in
+  let parallel =
+    Arg.(value & flag
+         & info [ "parallel" ] ~doc:"Run samples across CPU domains.")
+  in
+  let run () file node n seed sigma parallel =
+    let circ = read_circuit file in
+    handle_analysis_errors @@ fun () ->
+    let spec =
+      { Tool.Montecarlo.default_spec with passive_sigma = sigma }
+    in
+    let mc =
+      Tool.Montecarlo.run ~parallel ~spec ~n ~seed circ (fun c ->
+          match
+            (Stability.Analysis.single_node c node)
+              .Stability.Analysis.dominant
+          with
+          | Some d -> Option.value ~default:1. d.Stability.Peaks.zeta
+          | None -> 1.)
+    in
+    let st = Tool.Montecarlo.stats mc in
+    Format.printf "loop damping (zeta) at %s under %.1f%%-sigma mismatch:@."
+      node (100. *. sigma);
+    Format.printf "  %a@." Tool.Montecarlo.pp_stats st;
+    List.iter
+      (fun target ->
+        Format.printf "  yield (zeta >= %.2f): %.1f%%@." target
+          (100. *. Tool.Montecarlo.yield mc ~ok:(fun z -> z >= target)))
+      [ 0.2; 0.3; 0.5 ]
+  in
+  Cmd.v
+    (Cmd.info "montecarlo"
+       ~doc:"Mismatch Monte Carlo on a loop's damping ratio.")
+    Term.(const run $ log_term $ file_arg $ node_arg $ n $ seed $ sigma
+          $ parallel)
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let run () =
+    Control.Second_order.pp_table1 Format.std_formatter
+      (Control.Second_order.table1 ())
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Second-order system characteristics (paper Table 1).")
+    Term.(const run $ log_term)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run () file =
+    let circ = read_circuit file in
+    match Circuit.Topology.check circ with
+    | [] -> print_endline "no structural issues found"
+    | issues ->
+      List.iter
+        (fun i -> Format.printf "%a@." Circuit.Topology.pp_issue i)
+        issues;
+      exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Structural sanity checks on a netlist.")
+    Term.(const run $ log_term $ file_arg)
+
+(* ---- export-builtin ---- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "."
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run () dir =
+    let dump name circ =
+      let path = Filename.concat dir (name ^ ".sp") in
+      let oc = open_out path in
+      output_string oc (Circuit.Netlist.to_spice circ);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    dump "opamp_2mhz_buffer" (Workloads.Opamp_2mhz.buffer ());
+    dump "bias_zero_tc" (Workloads.Bias_zero_tc.cell ());
+    dump "nmc_amp_buffer" (Workloads.Nmc_amp.buffer ())
+  in
+  Cmd.v
+    (Cmd.info "export-builtin"
+       ~doc:"Write the built-in workload circuits (the paper's op-amp and              bias cell, the NMC amplifier) as SPICE decks.")
+    Term.(const run $ log_term $ dir)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let run () =
+    handle_analysis_errors @@ fun () ->
+    let circ = Workloads.Opamp_2mhz.buffer () in
+    print_endline "# The paper's 2 MHz op-amp buffer (Fig 1), all-nodes run:";
+    let results = Stability.Analysis.all_nodes circ in
+    Stability.Report.all_nodes Format.std_formatter results;
+    let dev, term = Workloads.Opamp_2mhz.feedback_break in
+    let sweep = Numerics.Sweep.decade 1e3 1e9 40 in
+    let lg = Engine.Loopgain.middlebrook ~sweep circ ~device:dev
+               ~terminal:term in
+    Format.printf "@.# Traditional baseline (Fig 3): %a@."
+      Engine.Measure.pp_margins (Engine.Loopgain.margins lg)
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"End-to-end demo on the paper's built-in op-amp circuit.")
+    Term.(const run $ log_term)
+
+let main =
+  Cmd.group
+    (Cmd.info "acstab" ~version:"1.0.0"
+       ~doc:"AC-stability analysis of continuous-time closed-loop circuits \
+             without breaking the loop (Milev & Burt, DATE 2005).")
+    [ single_node_cmd; all_nodes_cmd; run_cmd; probe_cmd; op_cmd; ac_cmd;
+      tran_cmd;
+      loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
+      dcsweep_cmd;
+      montecarlo_cmd; table1_cmd; check_cmd; export_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

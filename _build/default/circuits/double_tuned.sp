@@ -1,0 +1,11 @@
+double-tuned transformer: coupled tanks split into two modes
+* f0 = 5.03 MHz; modes at f0/sqrt(1 +/- k) = 4.59 and 5.63 MHz
+L1 n1 0 1u
+C1 n1 0 1n
+R1 n1 0 3k
+L2 n2 0 1u
+C2 n2 0 1n
+R2 n2 0 3k
+K1 L1 L2 0.2
+.stab n1
+.end

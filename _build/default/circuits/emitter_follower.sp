@@ -1,0 +1,12 @@
+emitter follower with capacitive load -- classic local instability
+* Driven from a resistive source the follower's output impedance is
+* inductive; with CL it rings near 100 MHz (see acstab single-node).
+VCC vcc 0 DC 5
+VIN in 0 DC 2.5 AC 1
+RS in b 3.3k
+Q1 vcc b out QNPN
+IBIAS out 0 DC 1m
+CL out 0 10p
+.model QNPN npn (is=1e-16 bf=150 vaf=80 cpi=1p cmu=0.08p ccs=0.15p)
+.stab out
+.end

@@ -1,0 +1,7 @@
+parallel RLC tank -- the canonical second-order stability fixture
+* fn = 1/(2 pi sqrt(LC)) = 5.03 MHz, zeta = sqrt(L/C)/(2R) = 0.158
+R1 n 0 100
+L1 n 0 1u
+C1 n 0 1n
+.stab n
+.end

@@ -1,0 +1,11 @@
+equal-RC Sallen-Key low-pass, Q = 2 (k = 2.5)
+* fn = 1/(2 pi RC) = 15.9 kHz, zeta = 1/(2Q) = 0.25.
+* Probe the state node x2 (the amplifier output is pinned by the VCVS).
+VIN in 0 AC 1
+R1 in x1 10k
+R2 x1 x2 10k
+C2 x2 0 1n
+C1 x1 out 1n
+EAMP out 0 x2 0 2.5
+.stab x2
+.end

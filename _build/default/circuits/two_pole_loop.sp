@@ -1,0 +1,14 @@
+behavioural two-pole feedback loop (ideal amplifier)
+* Loop gain A/((1+s/p1)(1+s/p2)); break at EAMP terminal 3 for loopgain.
+.param av=1000
+VIN in 0 DC 0 AC 1
+EAMP x1 0 in fb {av}
+R1 x1 x2 1k
+C1 x2 0 1n
+EBUF x2b 0 x2 0 1
+R2 x2b x3 10k
+C2 x3 0 10p
+RFB x3 fb 1m
+RL fb 0 1meg
+.stab fb
+.end

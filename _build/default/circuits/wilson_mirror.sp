@@ -1,0 +1,10 @@
+Wilson current mirror -- a three-transistor local feedback loop
+VCC vcc 0 DC 5
+IREF vcc nin DC 100u
+Q1 nx nx 0 QNPN
+Q2 nin nx 0 QNPN
+Q3 out nin nx QNPN
+RL vcc out 25k
+.model QNPN npn (is=1e-16 bf=150 vaf=80 cpi=1p cmu=0.08p ccs=0.15p)
+.stab all
+.end

@@ -1,0 +1,1 @@
+examples/bias_local_loops.ml: Float Format List Numerics Printf Stability String Workloads

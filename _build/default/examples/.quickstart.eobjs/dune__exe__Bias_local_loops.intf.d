@@ -1,0 +1,1 @@
+examples/bias_local_loops.mli:

@@ -1,0 +1,1 @@
+examples/follower_instability.ml: List Numerics Printf Stability Workloads

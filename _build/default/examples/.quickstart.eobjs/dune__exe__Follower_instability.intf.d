@@ -1,0 +1,1 @@
+examples/follower_instability.mli:

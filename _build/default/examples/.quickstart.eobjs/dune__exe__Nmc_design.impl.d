@@ -1,0 +1,1 @@
+examples/nmc_design.ml: Array Engine Format List Numerics Printf Stability Workloads

@@ -1,0 +1,1 @@
+examples/nmc_design.mli:

@@ -1,0 +1,1 @@
+examples/noise_and_poles.ml: Array Engine Format List Numerics Option Printf Stability Workloads

@@ -1,0 +1,1 @@
+examples/noise_and_poles.mli:

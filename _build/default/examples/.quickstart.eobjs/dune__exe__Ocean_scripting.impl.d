@@ -1,0 +1,1 @@
+examples/ocean_scripting.ml: Filename List Numerics Printf Sys Tool

@@ -1,0 +1,1 @@
+examples/opamp_compensation.ml: Control Engine Float Numerics Option Printf Stability Workloads

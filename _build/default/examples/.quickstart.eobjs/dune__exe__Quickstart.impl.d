@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit Control Numerics Printf Stability Workloads

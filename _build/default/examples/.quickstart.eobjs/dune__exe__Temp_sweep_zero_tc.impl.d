@@ -1,0 +1,1 @@
+examples/temp_sweep_zero_tc.ml: List Numerics Printexc Printf Stability Tool Workloads

@@ -1,0 +1,1 @@
+examples/temp_sweep_zero_tc.mli:

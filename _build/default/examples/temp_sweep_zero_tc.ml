@@ -1,0 +1,62 @@
+(* In-tool temperature sweeps (a paper "feature in development",
+   implemented here).
+
+   Two demonstrations on the zero-TC bias cell: the reference current is
+   first-order flat over temperature (that is the cell's job), and the
+   local loop's damping drifts with temperature — stability must be
+   checked across the range, which is exactly why the paper wanted
+   in-tool sweeps. Run with:
+
+     dune exec examples/temp_sweep_zero_tc.exe *)
+
+let () =
+  let temps = [ -40.; 0.; 27.; 85.; 125. ] in
+  print_endline "Reference current vs temperature (zero-TC check):";
+  let i27 = Workloads.Bias_zero_tc.reference_current ~temp_c:27. () in
+  List.iter
+    (fun t ->
+      let i = Workloads.Bias_zero_tc.reference_current ~temp_c:t () in
+      Printf.printf "  %6.0f C: %sA (%+.1f%% vs 27 C)\n" t
+        (Numerics.Engnum.format i)
+        (100. *. ((i /. i27) -. 1.)))
+    temps;
+
+  print_endline "\nLocal-loop stability vs temperature (all-in-one sweep):";
+  let circ = Workloads.Bias_zero_tc.cell () in
+  let line = Workloads.Bias_zero_tc.node_bias_line in
+  let outcomes =
+    Tool.Corners.temp_sweep ~temps circ (fun c ->
+        let r = Stability.Analysis.single_node c line in
+        r.Stability.Analysis.dominant)
+  in
+  List.iter
+    (fun (t, result) ->
+      match result with
+      | Ok (Some d) ->
+        Printf.printf "  %6.0f C: peak %6.2f at %sHz%s\n" t
+          d.Stability.Peaks.value
+          (Numerics.Engnum.format d.Stability.Peaks.freq)
+          (match d.Stability.Peaks.zeta with
+           | Some z -> Printf.sprintf " (zeta %.2f)" z
+           | None -> "")
+      | Ok None -> Printf.printf "  %6.0f C: no complex pole\n" t
+      | Error e -> Printf.printf "  %6.0f C: FAILED %s\n" t (Printexc.to_string e))
+    outcomes;
+
+  print_endline "\nProcess corners (tt/ff/ss) on the same loop:";
+  let corners = [ Tool.Corners.typical; Tool.Corners.fast; Tool.Corners.slow ] in
+  let by_corner =
+    Tool.Corners.across corners circ (fun c ->
+        let r = Stability.Analysis.single_node c line in
+        r.Stability.Analysis.dominant)
+  in
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok (Some d) ->
+        Printf.printf "  %-3s: peak %6.2f at %sHz\n" name
+          d.Stability.Peaks.value
+          (Numerics.Engnum.format d.Stability.Peaks.freq)
+      | Ok None -> Printf.printf "  %-3s: no complex pole\n" name
+      | Error e -> Printf.printf "  %-3s: FAILED %s\n" name (Printexc.to_string e))
+    by_corner

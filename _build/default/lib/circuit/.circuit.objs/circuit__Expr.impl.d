@@ -1,0 +1,1 @@
+lib/circuit/expr.ml: Float List Numerics Printf String

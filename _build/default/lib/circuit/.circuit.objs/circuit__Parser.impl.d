@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Buffer Char Expr Filename Float Hashtbl List Netlist Numerics Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/circuit/topology.ml: Array Format Hashtbl List Netlist String

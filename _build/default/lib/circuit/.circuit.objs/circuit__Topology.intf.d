@@ -1,0 +1,1 @@
+lib/circuit/topology.mli: Format Netlist

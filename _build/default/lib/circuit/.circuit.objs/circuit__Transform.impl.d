@@ -1,0 +1,1 @@
+lib/circuit/transform.ml: Array List Netlist Printf

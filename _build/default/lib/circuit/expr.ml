@@ -1,0 +1,161 @@
+type env = (string * float) list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type token =
+  | Num of float
+  | Name of string
+  | Plus | Minus | Star | Slash | Caret | Lparen | Rparen | Comma
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_name c =
+    is_name_start c || (c >= '0' && c <= '9') || c = '.'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '+' then (out := Plus :: !out; incr i)
+    else if c = '-' then (out := Minus :: !out; incr i)
+    else if c = '*' then (out := Star :: !out; incr i)
+    else if c = '/' then (out := Slash :: !out; incr i)
+    else if c = '^' then (out := Caret :: !out; incr i)
+    else if c = '(' then (out := Lparen :: !out; incr i)
+    else if c = ')' then (out := Rparen :: !out; incr i)
+    else if c = ',' then (out := Comma :: !out; incr i)
+    else if (c >= '0' && c <= '9') || c = '.' then begin
+      (* Numbers may carry engineering suffixes: consume digits and any
+         directly attached name characters, then let Engnum decide. *)
+      let start = !i in
+      while !i < n && (is_name s.[!i] || ((s.[!i] = '+' || s.[!i] = '-')
+                       && !i > start && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')))
+      do incr i done;
+      let lit = String.sub s start (!i - start) in
+      match Numerics.Engnum.parse lit with
+      | Some v -> out := Num v :: !out
+      | None -> fail "bad number %S" lit
+    end
+    else if is_name_start c then begin
+      let start = !i in
+      while !i < n && is_name s.[!i] do incr i done;
+      out := Name (String.lowercase_ascii (String.sub s start (!i - start))) :: !out
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !out
+
+let functions : (string * (float list -> float)) list =
+  let unary name f = (name, function [ x ] -> f x | _ -> fail "%s: arity" name) in
+  let binary name f =
+    (name, function [ x; y ] -> f x y | _ -> fail "%s: arity" name)
+  in
+  [ unary "sqrt" sqrt; unary "exp" exp; unary "ln" log; unary "log" log10;
+    unary "abs" Float.abs; unary "atan" atan; unary "tanh" tanh;
+    binary "min" Float.min; binary "max" Float.max;
+    binary "pow" (fun x y -> Float.pow x y) ]
+
+(* Recursive-descent parser over the token list (held in a ref). *)
+let parse_tokens env tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let expect t what =
+    match peek () with
+    | Some u when u = t -> advance ()
+    | _ -> fail "expected %s" what
+  in
+  let lookup name =
+    let matches (k, _) = String.lowercase_ascii k = name in
+    match List.find_opt matches env with
+    | Some (_, v) -> v
+    | None ->
+      (match name with
+       | "pi" -> Float.pi
+       | "e" -> exp 1.
+       | _ -> fail "unknown name %S" name)
+  in
+  let rec expr () =
+    let rec loop acc =
+      match peek () with
+      | Some Plus -> advance (); loop (acc +. term ())
+      | Some Minus -> advance (); loop (acc -. term ())
+      | _ -> acc
+    in
+    loop (term ())
+  and term () =
+    let rec loop acc =
+      match peek () with
+      | Some Star -> advance (); loop (acc *. factor ())
+      | Some Slash -> advance (); loop (acc /. factor ())
+      | _ -> acc
+    in
+    loop (factor ())
+  and factor () = unary ()
+  and unary () =
+    (* Unary minus binds looser than '^' so "-2^2" is -(2^2). *)
+    match peek () with
+    | Some Minus -> advance (); -.unary ()
+    | Some Plus -> advance (); unary ()
+    | _ -> power ()
+  and power () =
+    let base = atom () in
+    match peek () with
+    | Some Caret -> advance (); Float.pow base (unary ())
+    | _ -> base
+  and atom () =
+    match peek () with
+    | Some (Num v) -> advance (); v
+    | Some Lparen ->
+      advance ();
+      let v = expr () in
+      expect Rparen ")";
+      v
+    | Some (Name name) ->
+      advance ();
+      (match peek () with
+       | Some Lparen ->
+         advance ();
+         let args = ref [ expr () ] in
+         let rec more () =
+           match peek () with
+           | Some Comma -> advance (); args := expr () :: !args; more ()
+           | _ -> ()
+         in
+         more ();
+         expect Rparen ")";
+         (match List.assoc_opt name functions with
+          | Some f -> f (List.rev !args)
+          | None -> fail "unknown function %S" name)
+       | _ -> lookup name)
+    | _ -> fail "unexpected end of expression"
+  in
+  let v = expr () in
+  (match peek () with None -> () | Some _ -> fail "trailing tokens");
+  v
+
+let eval ?(env = []) s = parse_tokens env (tokenize s)
+let eval_opt ?env s = try Some (eval ?env s) with Error _ -> None
+
+let value ?(env = []) s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then
+    eval ~env (String.sub s 1 (n - 2))
+  else if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then
+    eval ~env (String.sub s 1 (n - 2))
+  else
+    match Numerics.Engnum.parse s with
+    | Some v -> v
+    | None ->
+      (* Bare parameter references are common in hand-written decks. *)
+      (match List.find_opt (fun (k, _) -> String.lowercase_ascii k
+                                          = String.lowercase_ascii s) env with
+       | Some (_, v) -> v
+       | None -> fail "bad value %S" s)

@@ -1,0 +1,26 @@
+(** Arithmetic expressions for netlist parameters.
+
+    Grammar (case-insensitive names, engineering-notation literals):
+    {v
+      expr   ::= term (('+' | '-') term)*
+      term   ::= unary (('*' | '/') unary)*
+      unary  ::= ('+' | '-') unary | power    (unary minus looser than '^')
+      power  ::= atom ('^' unary)?            (right-associative)
+      atom   ::= number | name | name '(' expr (',' expr)* ')' | '(' expr ')'
+    v}
+    Built-in functions: [sqrt exp ln log abs min max pow atan tanh]. *)
+
+type env = (string * float) list
+(** Variable bindings; names are matched case-insensitively. *)
+
+exception Error of string
+
+val eval : ?env:env -> string -> float
+(** Evaluate an expression string. Raises {!Error} on syntax errors,
+    unknown names, or wrong arity. *)
+
+val eval_opt : ?env:env -> string -> float option
+
+val value : ?env:env -> string -> float
+(** Netlist value field: either a plain engineering-notation number
+    (["2.2k"]) or a braced expression (["{rload/2}"]). Raises {!Error}. *)

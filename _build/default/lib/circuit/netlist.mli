@@ -1,0 +1,167 @@
+(** Circuit netlist data model.
+
+    A {!circuit} is an ordered collection of device instances plus device
+    model cards and design variables (parameters). Nets are identified by
+    name; ["0"] and ["gnd"] (any case) denote ground. The model is
+    immutable: building and editing return new circuits, which lets the
+    stability tool attach probes and zero stimuli without mutating the
+    user's design (the paper's "without changing the circuit under
+    inspection"). *)
+
+type node = string
+
+val ground : node
+val is_ground : node -> bool
+
+(** Transient waveform of an independent source. *)
+type wave =
+  | Dc of float
+  | Pulse of {
+      v1 : float;      (** initial value *)
+      v2 : float;      (** pulsed value *)
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;  (** 0 or infinite means single pulse *)
+    }
+  | Sine of { offset : float; ampl : float; freq : float; delay : float;
+              damping : float }
+  | Pwl of (float * float) list  (** (time, value) corners, ascending time *)
+
+(** Small-signal and bias description of an independent source. *)
+type source_spec = {
+  dc : float;          (** operating-point value *)
+  ac_mag : float;      (** AC analysis magnitude (0 = silent in AC) *)
+  ac_phase_deg : float;
+  wave : wave option;  (** transient shape; [None] holds [dc] *)
+}
+
+val dc_source : float -> source_spec
+val ac_source : ?dc:float -> ?phase_deg:float -> float -> source_spec
+val wave_source : ?dc:float -> ?ac_mag:float -> wave -> source_spec
+
+type model_kind = Dmodel | Npn | Pnp | Nmos | Pmos
+
+type model = {
+  model_name : string;
+  kind : model_kind;
+  params : (string * float) list;  (** lower-case parameter names *)
+}
+
+val model_param : model -> string -> default:float -> float
+
+type device =
+  | Resistor of { name : string; n1 : node; n2 : node; r : float;
+                  tc1 : float; tc2 : float }
+      (** value at 27 C with linear/quadratic temperature coefficients:
+          R(T) = r (1 + tc1 dT + tc2 dT^2), dT = T - 27 *)
+  | Capacitor of { name : string; n1 : node; n2 : node; c : float;
+                   ic : float option }
+  | Inductor of { name : string; n1 : node; n2 : node; l : float;
+                  ic : float option }
+  | Vsource of { name : string; npos : node; nneg : node; spec : source_spec }
+  | Isource of { name : string; npos : node; nneg : node; spec : source_spec }
+      (** Positive current flows out of [npos], through the source, into
+          [nneg] — i.e. a positive value pushes current into the external
+          circuit at [nneg]. This matches SPICE conventions. *)
+  | Vcvs of { name : string; npos : node; nneg : node; cpos : node;
+              cneg : node; gain : float }
+  | Vccs of { name : string; npos : node; nneg : node; cpos : node;
+              cneg : node; gm : float }
+  | Cccs of { name : string; npos : node; nneg : node; vname : string;
+              gain : float }
+  | Ccvs of { name : string; npos : node; nneg : node; vname : string;
+              rm : float }
+  | Diode of { name : string; npos : node; nneg : node; model : string;
+               area : float }
+  | Bjt of { name : string; nc : node; nb : node; ne : node; model : string;
+             area : float }
+  | Mosfet of { name : string; nd : node; ng : node; ns : node; nb : node;
+                model : string; w : float; l : float }
+  | Mutual of { name : string; l1 : string; l2 : string; k : float }
+      (** coupling between two named inductors, |k| < 1 (SPICE K card);
+          carries no terminals of its own *)
+
+val device_name : device -> string
+val device_nodes : device -> node list
+(** Terminal nets in declaration order (controlling nets included). *)
+
+val rename_node : device -> from_:node -> to_:node -> device
+(** Replace every occurrence of a net name on the device's terminals. *)
+
+(** Analysis directives as read from netlist cards (used by the CLI). *)
+type directive =
+  | Op
+  | Ac of Numerics.Sweep.t
+  | Tran of { tstop : float; tstep : float }
+  | Stab_node of node
+  | Stab_all
+  | Nodeset of (node * float) list
+      (** initial-guess hints for the DC solver; circuits with more than
+          one stable operating point (e.g. self-biased references, buffers
+          with class-A output stages) use these to select the intended
+          one *)
+
+type t
+
+val empty : ?title:string -> unit -> t
+val title : t -> string
+val temp_celsius : t -> float
+val with_temp : float -> t -> t
+
+val add : t -> device -> t
+(** Raises [Invalid_argument] on duplicate device name. *)
+
+val add_model : t -> model -> t
+val add_param : t -> string -> float -> t
+val add_directive : t -> directive -> t
+
+val add_option : t -> string -> float -> t
+(** Simulator options (".options gmin=1e-10 reltol=1e-4 ..."); consumed by
+    the DC solver. Later settings override earlier ones. *)
+
+val option_value : t -> string -> default:float -> float
+val options : t -> (string * float) list
+
+val devices : t -> device list
+val models : t -> model list
+val params : t -> (string * float) list
+val directives : t -> directive list
+
+val find_device : t -> string -> device option
+val find_model : t -> string -> model option
+val remove_device : t -> string -> t
+val replace_device : t -> device -> t
+(** Replace the device with the same name; adds it if absent. *)
+
+val map_devices : (device -> device) -> t -> t
+
+val node_names : t -> node list
+(** All non-ground nets, sorted, deduplicated. *)
+
+val uses_ground : t -> bool
+
+(* Convenience builders used by the workload library. *)
+val resistor : t -> string -> node -> node -> float -> t
+val capacitor : ?ic:float -> t -> string -> node -> node -> float -> t
+val inductor : ?ic:float -> t -> string -> node -> node -> float -> t
+val vsource : t -> string -> node -> node -> source_spec -> t
+val isource : t -> string -> node -> node -> source_spec -> t
+val vcvs : t -> string -> node -> node -> node -> node -> float -> t
+val vccs : t -> string -> node -> node -> node -> node -> float -> t
+val diode : ?area:float -> t -> string -> node -> node -> string -> t
+val bjt : ?area:float -> t -> string -> c:node -> b:node -> e:node -> string -> t
+val mosfet :
+  ?w:float -> ?l:float -> t -> string ->
+  d:node -> g:node -> s:node -> b:node -> string -> t
+val mutual : t -> string -> l1:string -> l2:string -> k:float -> t
+
+val pp_device : Format.formatter -> device -> unit
+(** One SPICE card. *)
+
+val pp : Format.formatter -> t -> unit
+(** SPICE-format listing of the circuit (round-trips through
+    {!Parser.parse_string}). *)
+
+val to_spice : t -> string

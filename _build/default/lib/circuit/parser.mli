@@ -1,0 +1,42 @@
+(** SPICE-format netlist parser.
+
+    Supported cards (case-insensitive):
+    {v
+      Rname n1 n2 value           Cname n1 n2 value [IC=v]
+      Lname n1 n2 value [IC=v]
+      Vname n+ n- [DC v] [AC mag [phase]] [PULSE(...)|SIN(...)|PWL(...)]
+      Iname n+ n- ...same as V...
+      Ename n+ n- c+ c- gain      Gname n+ n- c+ c- gm
+      Fname n+ n- vsrc gain       Hname n+ n- vsrc rm
+      Dname n+ n- model [area]
+      Qname nc nb ne model [area]
+      Mname nd ng ns nb model [W=v] [L=v]
+      Xname n1 ... SUBCKT [p=v ...]
+      .subckt NAME n1 ... [p=v ...] / .ends
+      .model NAME d|npn|pnp|nmos|pmos [(] k=v ... [)]
+      .param k=v ...
+      .temp t
+      .op  .ac dec|lin n f1 f2  .tran tstep tstop  .stab node|all
+      .nodeset v(n)=val ...   .options k=v ...   .include "file"
+      .end
+    v}
+    The first line is the title (SPICE convention) unless it is itself a
+    card. Values may be engineering-notation numbers or braced
+    [{expressions}] over parameters. Continuation lines start with [+];
+    [*] starts a comment line, [;] and [$ ] trailing comments. Subcircuits
+    are flattened at parse time: internal devices and nets are prefixed
+    with ["xinst."]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string :
+  ?name:string -> ?base_dir:string -> ?first_line_title:bool -> string ->
+  Netlist.t
+(** Parse a complete netlist from a string. [.include] paths resolve
+    relative to [base_dir] (default: the current directory). With
+    [first_line_title] (what {!parse_file} uses) the first line is always
+    the SPICE title; by default a heuristic keeps inline snippets that
+    start directly with cards working. Raises {!Parse_error}. *)
+
+val parse_file : string -> Netlist.t
+(** Parse a netlist file; the file name becomes the default title. *)

@@ -1,0 +1,112 @@
+type t = {
+  names : Netlist.node array;
+  table : (Netlist.node, int) Hashtbl.t;
+}
+
+let build circ =
+  let names = Array.of_list (Netlist.node_names circ) in
+  let table = Hashtbl.create (Array.length names) in
+  Array.iteri (fun i n -> Hashtbl.replace table n i) names;
+  { names; table }
+
+let node_count t = Array.length t.names
+let nodes t = Array.copy t.names
+let index t n = Hashtbl.find t.table n
+let index_opt t n = Hashtbl.find_opt t.table n
+let name t i = t.names.(i)
+
+type issue =
+  | No_ground
+  | Dangling_node of Netlist.node
+  | Disconnected of Netlist.node list
+  | No_dc_path of Netlist.node list
+
+(* Edges a device contributes for connectivity purposes. [dc] excludes
+   capacitors (which are open at DC). Controlled sources connect their
+   output nodes to each other (they impose a constraint between them) but a
+   VCVS/VCCS control pin carries no current, so for the "dangling" check it
+   still counts as a connection. *)
+let conductive_pairs ~dc d =
+  match d with
+  | Netlist.Resistor { n1; n2; _ } | Netlist.Inductor { n1; n2; _ } ->
+    [ (n1, n2) ]
+  | Netlist.Capacitor { n1; n2; _ } -> if dc then [] else [ (n1, n2) ]
+  | Netlist.Vsource { npos; nneg; _ } | Netlist.Isource { npos; nneg; _ }
+  | Netlist.Cccs { npos; nneg; _ } | Netlist.Ccvs { npos; nneg; _ } ->
+    [ (npos, nneg) ]
+  | Netlist.Vcvs { npos; nneg; _ } | Netlist.Vccs { npos; nneg; _ } ->
+    [ (npos, nneg) ]
+  | Netlist.Diode { npos; nneg; _ } -> [ (npos, nneg) ]
+  | Netlist.Bjt { nc; nb; ne; _ } -> [ (nc, nb); (nb, ne); (nc, ne) ]
+  | Netlist.Mosfet { nd; ng; ns; nb; _ } ->
+    (* The gate is insulated but its bias must come from somewhere else;
+       conductively the channel joins d-s and junctions join b. *)
+    [ (nd, ns); (ns, nb); (ng, ng) ]
+  | Netlist.Mutual _ -> []
+
+let reachable_from_ground circ ~dc =
+  let seen = Hashtbl.create 64 in
+  let adj = Hashtbl.create 64 in
+  let add_edge a b =
+    let push k v =
+      let cur = try Hashtbl.find adj k with Not_found -> [] in
+      Hashtbl.replace adj k (v :: cur)
+    in
+    push a b;
+    push b a
+  in
+  let canon n = if Netlist.is_ground n then Netlist.ground else n in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (a, b) -> add_edge (canon a) (canon b))
+        (conductive_pairs ~dc d))
+    (Netlist.devices circ);
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter visit (try Hashtbl.find adj n with Not_found -> [])
+    end
+  in
+  visit Netlist.ground;
+  seen
+
+let check circ =
+  let issues = ref [] in
+  if not (Netlist.uses_ground circ) then issues := No_ground :: !issues;
+  (* Count terminal attachments per net. *)
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun n ->
+          if not (Netlist.is_ground n) then
+            Hashtbl.replace counts n
+              (1 + try Hashtbl.find counts n with Not_found -> 0))
+        (Netlist.device_nodes d))
+    (Netlist.devices circ);
+  Hashtbl.iter
+    (fun n c -> if c < 2 then issues := Dangling_node n :: !issues)
+    counts;
+  let all = Netlist.node_names circ in
+  let ac_seen = reachable_from_ground circ ~dc:false in
+  let missing_ac = List.filter (fun n -> not (Hashtbl.mem ac_seen n)) all in
+  if missing_ac <> [] then issues := Disconnected missing_ac :: !issues;
+  let dc_seen = reachable_from_ground circ ~dc:true in
+  let missing_dc =
+    List.filter
+      (fun n -> Hashtbl.mem ac_seen n && not (Hashtbl.mem dc_seen n))
+      all
+  in
+  if missing_dc <> [] then issues := No_dc_path missing_dc :: !issues;
+  List.rev !issues
+
+let pp_issue ppf = function
+  | No_ground -> Format.fprintf ppf "no device connects to ground (node 0)"
+  | Dangling_node n -> Format.fprintf ppf "net %S has a single connection" n
+  | Disconnected ns ->
+    Format.fprintf ppf "nets with no path to ground: %s"
+      (String.concat ", " ns)
+  | No_dc_path ns ->
+    Format.fprintf ppf "nets with no DC path to ground: %s"
+      (String.concat ", " ns)

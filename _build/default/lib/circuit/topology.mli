@@ -1,0 +1,32 @@
+(** Node indexing and structural sanity checks. *)
+
+type t
+(** An index over the non-ground nets of a circuit. *)
+
+val build : Netlist.t -> t
+val node_count : t -> int
+val nodes : t -> Netlist.node array
+(** Net names in index order. *)
+
+val index : t -> Netlist.node -> int
+(** Index of a net (raises [Not_found] for unknown nets; ground has no
+    index). *)
+
+val index_opt : t -> Netlist.node -> int option
+val name : t -> int -> Netlist.node
+
+type issue =
+  | No_ground                        (** nothing connects to node 0 *)
+  | Dangling_node of Netlist.node    (** net with a single connection *)
+  | Disconnected of Netlist.node list
+      (** nets with no conductive path to ground *)
+  | No_dc_path of Netlist.node list
+      (** nets whose every path to ground crosses a capacitor only;
+          the DC matrix would be singular without gmin *)
+
+val check : Netlist.t -> issue list
+(** Structural diagnostics; an empty list means the circuit looks sound.
+    These mirror the sanity checks a simulation environment performs before
+    handing a design to the simulator. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,116 @@
+let probe_name = "istab_probe"
+
+let zero_spec (spec : Netlist.source_spec) = { spec with ac_mag = 0. }
+
+let zero_ac_sources circ =
+  Netlist.map_devices
+    (function
+      | Netlist.Vsource v -> Netlist.Vsource { v with spec = zero_spec v.spec }
+      | Netlist.Isource i -> Netlist.Isource { i with spec = zero_spec i.spec }
+      | d -> d)
+    circ
+
+let with_ac_current_probe ?(mag = 1.) circ node =
+  let circ = zero_ac_sources circ in
+  (* npos = ground, nneg = node: positive AC current is pushed into the
+     tested net (see the Isource convention in Netlist). *)
+  Netlist.isource circ probe_name Netlist.ground node (Netlist.ac_source mag)
+
+let remove_probe circ = Netlist.remove_device circ probe_name
+
+(* Replace terminal [k] of a device positionally (repeated net names on a
+   device, e.g. diode-connected transistors, must not be collapsed). *)
+let set_terminal_positional d k new_node =
+  let nodes = Array.of_list (Netlist.device_nodes d) in
+  if k < 0 || k >= Array.length nodes then
+    invalid_arg "Transform.split_terminal: terminal index";
+  let old = nodes.(k) in
+  let updated = Array.copy nodes in
+  updated.(k) <- new_node;
+  let rebuild d =
+    match d with
+    | Netlist.Resistor x -> Netlist.Resistor { x with n1 = updated.(0); n2 = updated.(1) }
+    | Netlist.Capacitor x ->
+      Netlist.Capacitor { x with n1 = updated.(0); n2 = updated.(1) }
+    | Netlist.Inductor x ->
+      Netlist.Inductor { x with n1 = updated.(0); n2 = updated.(1) }
+    | Netlist.Vsource x ->
+      Netlist.Vsource { x with npos = updated.(0); nneg = updated.(1) }
+    | Netlist.Isource x ->
+      Netlist.Isource { x with npos = updated.(0); nneg = updated.(1) }
+    | Netlist.Vcvs x ->
+      Netlist.Vcvs { x with npos = updated.(0); nneg = updated.(1);
+                            cpos = updated.(2); cneg = updated.(3) }
+    | Netlist.Vccs x ->
+      Netlist.Vccs { x with npos = updated.(0); nneg = updated.(1);
+                            cpos = updated.(2); cneg = updated.(3) }
+    | Netlist.Cccs x ->
+      Netlist.Cccs { x with npos = updated.(0); nneg = updated.(1) }
+    | Netlist.Ccvs x ->
+      Netlist.Ccvs { x with npos = updated.(0); nneg = updated.(1) }
+    | Netlist.Diode x ->
+      Netlist.Diode { x with npos = updated.(0); nneg = updated.(1) }
+    | Netlist.Bjt x ->
+      Netlist.Bjt { x with nc = updated.(0); nb = updated.(1); ne = updated.(2) }
+    | Netlist.Mosfet x ->
+      Netlist.Mosfet { x with nd = updated.(0); ng = updated.(1);
+                              ns = updated.(2); nb = updated.(3) }
+    | Netlist.Mutual _ ->
+      invalid_arg "Transform.split_terminal: a K element has no terminals"
+  in
+  (old, rebuild d)
+
+(* When the net being split carries a .nodeset hint, the freshly created
+   net needs the same hint: it is the same electrical point, and without it
+   a multi-stable circuit's DC solve can fall into an unintended state the
+   moment a probe is inserted. *)
+let propagate_nodeset circ ~from_ ~to_ =
+  let hint =
+    List.find_map
+      (function
+        | Netlist.Nodeset entries -> List.assoc_opt from_ entries
+        | _ -> None)
+      (Netlist.directives circ)
+  in
+  match hint with
+  | Some v -> Netlist.add_directive circ (Netlist.Nodeset [ (to_, v) ])
+  | None -> circ
+
+let split_terminal circ ~device ~terminal ~new_node =
+  if List.mem new_node (Netlist.node_names circ) then
+    invalid_arg
+      (Printf.sprintf "Transform.split_terminal: net %S already exists"
+         new_node);
+  match Netlist.find_device circ device with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Transform.split_terminal: no device %S" device)
+  | Some d ->
+    let old, d' = set_terminal_positional d terminal new_node in
+    propagate_nodeset (Netlist.replace_device circ d') ~from_:old ~to_:new_node
+
+let insert_series_vsource circ ~device ~terminal ~vname ~spec =
+  match Netlist.find_device circ device with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Transform.insert_series_vsource: no device %S" device)
+  | Some d ->
+    let new_node = "__" ^ vname ^ "_n" in
+    let old, d' = set_terminal_positional d terminal new_node in
+    let circ = Netlist.replace_device circ d' in
+    let circ = propagate_nodeset circ ~from_:old ~to_:new_node in
+    (* Positive pin faces the original net so a positive branch current
+       flows from the original net towards the moved terminal. *)
+    (Netlist.vsource circ vname old new_node spec, new_node)
+
+let break_loop_lc ?(l = 1e9) ?(c = 1e9) circ ~device ~terminal ~drive =
+  match Netlist.find_device circ device with
+  | None ->
+    invalid_arg (Printf.sprintf "Transform.break_loop_lc: no device %S" device)
+  | Some d ->
+    let new_node = "__loopbreak" in
+    let old, d' = set_terminal_positional d terminal new_node in
+    let circ = Netlist.replace_device circ d' in
+    let circ = propagate_nodeset circ ~from_:old ~to_:new_node in
+    let circ = Netlist.inductor circ "__lbreak" old new_node l in
+    Netlist.capacitor circ "__cbreak" drive new_node c

@@ -1,0 +1,48 @@
+(** Non-destructive netlist edits used by the stability tool.
+
+    All functions return a new circuit; the input is never modified. These
+    implement the tool features of paper section 4.1: attaching the AC
+    current stimulus to a selected net, auto-zeroing every pre-existing AC
+    stimulus before the analysis, and the loop-breaking / probe-insertion
+    edits used by the baseline (traditional) methods. *)
+
+val probe_name : string
+(** Name of the injected stimulus device (["istab_probe"]). *)
+
+val zero_ac_sources : Netlist.t -> Netlist.t
+(** Set the AC magnitude of every independent source to zero ("Auto-zero
+    all AC sources / stimuli in design prior to running the analysis"). *)
+
+val with_ac_current_probe : ?mag:float -> Netlist.t -> Netlist.node -> Netlist.t
+(** [with_ac_current_probe c n] zeroes existing AC stimuli and attaches a
+    unit AC current source from ground into net [n]. The node's AC response
+    is then the driving-point transimpedance the stability plot needs. *)
+
+val remove_probe : Netlist.t -> Netlist.t
+
+val split_terminal :
+  Netlist.t -> device:string -> terminal:int -> new_node:Netlist.node ->
+  Netlist.t
+(** Detach terminal [terminal] (0-based, in {!Netlist.device_nodes} order)
+    of device [device] from its net and reconnect it to the fresh net
+    [new_node]. The caller then inserts elements between the old and new
+    net. Raises [Invalid_argument] for unknown devices/terminals or when
+    [new_node] already exists. *)
+
+val insert_series_vsource :
+  Netlist.t -> device:string -> terminal:int -> vname:string ->
+  spec:Netlist.source_spec -> Netlist.t * Netlist.node
+(** Break the wire at a device terminal and insert a voltage source whose
+    positive pin faces the original net. With [spec = dc_source 0.] this is
+    a pure ammeter (current sense for Middlebrook injection). Returns the
+    circuit and the fresh net name. *)
+
+val break_loop_lc :
+  ?l:float -> ?c:float -> Netlist.t -> device:string -> terminal:int ->
+  drive:Netlist.node -> Netlist.t
+(** Classic open-loop measurement edit: break the feedback wire at the
+    device terminal, bridge the break with a huge inductor [l] (default
+    1e9 H) so the DC bias still closes, and couple the AC drive net
+    [drive] into the downstream side through a huge capacitor [c]
+    (default 1e9 F). After this edit, AC loop gain = response at the
+    upstream net per unit AC drive. *)

@@ -1,0 +1,1 @@
+lib/control/bode.ml: Array Engnum Format Interp Numerics Option Tf Waveform

@@ -1,0 +1,1 @@
+lib/control/bode.mli: Format Numerics Tf

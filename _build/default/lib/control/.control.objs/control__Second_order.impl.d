@@ -1,0 +1,1 @@
+lib/control/second_order.ml: Float Format List

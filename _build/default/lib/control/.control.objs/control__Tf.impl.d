@@ -1,0 +1,1 @@
+lib/control/tf.ml: Array Complex Cx Float Format List Numerics Poly Sweep Vec Waveform

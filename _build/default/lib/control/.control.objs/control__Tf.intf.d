@@ -1,0 +1,1 @@
+lib/control/tf.mli: Complex Format Numerics

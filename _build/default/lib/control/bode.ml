@@ -1,0 +1,38 @@
+open Numerics
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+let points tf sweep =
+  let w = Tf.freq_response tf sweep in
+  let db = Waveform.Freq.db w in
+  let ph = Waveform.Freq.phase_deg w in
+  Array.to_list
+    (Array.mapi
+       (fun k f -> { freq = f; mag_db = db.(k); phase_deg = ph.(k) })
+       w.Waveform.Freq.freqs)
+
+type margins = {
+  unity_freq : float option;
+  phase_margin_deg : float option;
+  phase_180_freq : float option;
+  gain_margin_db : float option;
+}
+
+let margins tf sweep =
+  let w = Tf.freq_response tf sweep in
+  let db = Waveform.Freq.db w in
+  let ph = Waveform.Freq.phase_deg w in
+  let f = w.Waveform.Freq.freqs in
+  let unity_freq = Interp.first_crossing ~x:f ~y:db 0. in
+  let phase_margin_deg =
+    Option.map (fun fu -> 180. +. Interp.semilogx ~x:f ~y:ph fu) unity_freq
+  in
+  let phase_180_freq = Interp.first_crossing ~x:f ~y:ph (-180.) in
+  let gain_margin_db =
+    Option.map (fun f180 -> -.Interp.semilogx ~x:f ~y:db f180) phase_180_freq
+  in
+  { unity_freq; phase_margin_deg; phase_180_freq; gain_margin_db }
+
+let pp_point ppf p =
+  Format.fprintf ppf "%12s Hz  %8.2f dB  %8.2f deg"
+    (Engnum.format p.freq) p.mag_db p.phase_deg

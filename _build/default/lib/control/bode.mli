@@ -1,0 +1,22 @@
+(** Bode data and margins for rational transfer functions.
+
+    The circuit-level equivalent for measured responses lives in
+    {!Engine.Measure}; this module provides the same quantities for exact
+    {!Tf} models so the two can be cross-checked. *)
+
+type point = { freq : float; mag_db : float; phase_deg : float }
+
+val points : Tf.t -> Numerics.Sweep.t -> point list
+
+type margins = {
+  unity_freq : float option;
+  phase_margin_deg : float option;
+  phase_180_freq : float option;
+  gain_margin_db : float option;
+}
+
+val margins : Tf.t -> Numerics.Sweep.t -> margins
+(** Margins of a loop-gain transfer function over the given sweep, with the
+    same conventions as [Engine.Measure.margins]. *)
+
+val pp_point : Format.formatter -> point -> unit

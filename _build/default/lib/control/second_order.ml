@@ -1,0 +1,112 @@
+let mag_response ~zeta x =
+  1. /. sqrt ((((1. -. (x *. x)) ** 2.) +. ((2. *. zeta *. x) ** 2.)))
+
+let step_response ~zeta t =
+  if zeta <= 0. || zeta >= 1. then
+    invalid_arg "Second_order.step_response: 0 < zeta < 1";
+  let wd = sqrt (1. -. (zeta *. zeta)) in
+  let phi = acos zeta in
+  1. -. (exp (-.zeta *. t) /. wd *. sin ((wd *. t) +. phi))
+
+let percent_overshoot zeta =
+  if zeta >= 1. then 0.
+  else if zeta <= 0. then 100.
+  else 100. *. exp (-.Float.pi *. zeta /. sqrt (1. -. (zeta *. zeta)))
+
+let zeta_of_overshoot os =
+  if os <= 0. || os >= 100. then
+    invalid_arg "Second_order.zeta_of_overshoot: 0 < os < 100";
+  let l = log (os /. 100.) in
+  (* os/100 = exp(-pi z / sqrt(1-z^2))  =>  z = |l| / sqrt(pi^2 + l^2). *)
+  Float.abs l /. sqrt ((Float.pi *. Float.pi) +. (l *. l))
+
+let phase_margin_exact zeta =
+  if zeta <= 0. then 0.
+  else begin
+    let z2 = zeta *. zeta in
+    let inner = sqrt (1. +. (4. *. z2 *. z2)) -. (2. *. z2) in
+    atan (2. *. zeta /. sqrt inner) *. 180. /. Float.pi
+  end
+
+let phase_margin_rule zeta = 100. *. zeta
+
+let zeta_of_phase_margin pm =
+  if pm <= 0. || pm >= 90. then
+    invalid_arg "Second_order.zeta_of_phase_margin: 0 < pm < 90";
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if phase_margin_exact mid < pm then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+    end
+  in
+  (* phase_margin_exact is monotone increasing in zeta. *)
+  bisect 1e-6 10. 80
+
+let max_magnitude zeta =
+  if zeta <= 0. || zeta >= 1. /. sqrt 2. then None
+  else Some (1. /. (2. *. zeta *. sqrt (1. -. (zeta *. zeta))))
+
+let resonant_frequency zeta =
+  if zeta <= 0. || zeta >= 1. /. sqrt 2. then None
+  else Some (sqrt (1. -. (2. *. zeta *. zeta)))
+
+let damped_frequency zeta =
+  if zeta <= 0. || zeta >= 1. then None
+  else Some (sqrt (1. -. (zeta *. zeta)))
+
+let performance_index zeta =
+  if zeta = 0. then Float.neg_infinity else -1. /. (zeta *. zeta)
+
+let zeta_of_performance_index p =
+  if p >= 0. then
+    invalid_arg "Second_order.zeta_of_performance_index: peak must be negative";
+  1. /. sqrt (-.p)
+
+type table1_row = {
+  zeta : float;
+  overshoot_pct : float option;
+  phase_margin_deg : float option;
+  max_magnitude : float option;
+  perf_index : float;
+}
+
+let table1 () =
+  [ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5; 0.4; 0.3; 0.2; 0.1; 0.0 ]
+  |> List.map (fun zeta ->
+      (* The paper blanks the frequency-domain columns above zeta = 0.7
+         (no resonant peak, PM rule out of range). *)
+      let in_range = zeta >= 0.05 && zeta <= 0.75 in
+      { zeta;
+        overshoot_pct =
+          (if zeta >= 1. then Some 0.
+           else if zeta = 0. then Some 100.
+           else Some (percent_overshoot zeta));
+        phase_margin_deg =
+          (if in_range then Some (phase_margin_rule zeta) else None);
+        max_magnitude = (if in_range then max_magnitude zeta else None);
+        perf_index = performance_index zeta })
+
+let pp_table1 ppf rows =
+  let cell ppf = function
+    | Some v -> Format.fprintf ppf "%8.2f" v
+    | None -> Format.fprintf ppf "%8s" "-"
+  in
+  Format.fprintf ppf
+    "  zeta  overshoot[%%]   PM[deg]      Mp    perf.index@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %4.1f  %a  %a  %a  " r.zeta cell r.overshoot_pct
+        cell r.phase_margin_deg cell r.max_magnitude;
+      if r.perf_index = Float.neg_infinity then
+        Format.fprintf ppf "%10s@." "-inf"
+      else Format.fprintf ppf "%10.1f@." r.perf_index)
+    rows
+
+let estimate_from_peak p =
+  if p >= 0. then None
+  else begin
+    let zeta = zeta_of_performance_index p in
+    Some (zeta, phase_margin_exact zeta, percent_overshoot zeta)
+  end

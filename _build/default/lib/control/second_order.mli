@@ -1,0 +1,73 @@
+(** Second-order system theory: every relation of the paper's Table 1.
+
+    The canonical unity-gain second-order transfer function (paper eq 1.1)
+    with damping ratio [zeta] and natural frequency [wn] (normalised to 1
+    unless stated):
+    {v T(s) = 1 / (s^2 + 2 zeta s + 1) v}
+
+    The paper's "performance index" is the value of the stability plot at
+    the natural frequency (eq 1.4): P(wn) = -1/zeta^2. *)
+
+val mag_response : zeta:float -> float -> float
+(** [mag_response ~zeta x]: |T(jw)| at normalised frequency [x = w/wn]
+    (paper eq 1.2). *)
+
+val step_response : zeta:float -> float -> float
+(** Unit-step response at normalised time [wn t], for [0 < zeta < 1]. *)
+
+val percent_overshoot : float -> float
+(** [percent_overshoot zeta] = 100 exp(-pi zeta / sqrt(1 - zeta^2));
+    0 for [zeta >= 1]. *)
+
+val zeta_of_overshoot : float -> float
+(** Inverse of {!percent_overshoot} (overshoot in percent, 0 < os < 100). *)
+
+val phase_margin_exact : float -> float
+(** Exact phase margin (degrees) of the unity-feedback loop
+    L(s) = wn^2 / (s (s + 2 zeta wn)) whose closed loop is the canonical
+    system: PM = atan(2 zeta / sqrt(sqrt(1 + 4 zeta^4) - 2 zeta^2)). *)
+
+val phase_margin_rule : float -> float
+(** The Dorf rule of thumb used by the paper's Table 1: PM ~ 100 zeta,
+    valid for zeta <= 0.7. *)
+
+val zeta_of_phase_margin : float -> float
+(** Inverse of {!phase_margin_exact} by bisection (PM in (0, 90)). *)
+
+val max_magnitude : float -> float option
+(** Resonant peak Mp = 1/(2 zeta sqrt(1-zeta^2)) for zeta < 1/sqrt(2);
+    [None] when the response has no peak. *)
+
+val resonant_frequency : float -> float option
+(** wr/wn = sqrt(1 - 2 zeta^2) for zeta < 1/sqrt(2). *)
+
+val damped_frequency : float -> float option
+(** wd/wn = sqrt(1 - zeta^2) for zeta < 1. *)
+
+val performance_index : float -> float
+(** Paper eq 1.4: P(wn) = -1 / zeta^2. *)
+
+val zeta_of_performance_index : float -> float
+(** Inverse of {!performance_index}; requires a negative index. *)
+
+(** One row of the paper's Table 1. *)
+type table1_row = {
+  zeta : float;
+  overshoot_pct : float option;   (** None printed as "-" *)
+  phase_margin_deg : float option;
+  max_magnitude : float option;
+  perf_index : float;             (** neg_infinity at zeta = 0 *)
+}
+
+val table1 : unit -> table1_row list
+(** The eleven rows of Table 1 (zeta = 1.0 down to 0.0), computed from the
+    closed forms above with the paper's validity cut-offs (phase margin and
+    Mp columns are blank for zeta >= 0.8, overshoot blank only where the
+    system cannot overshoot). *)
+
+val pp_table1 : Format.formatter -> table1_row list -> unit
+
+val estimate_from_peak : float -> (float * float * float) option
+(** [estimate_from_peak p]: given a (negative) stability-plot peak value,
+    return [(zeta, phase margin deg, overshoot pct)] — the chain the tool
+    applies to every detected loop. [None] for non-negative peaks. *)

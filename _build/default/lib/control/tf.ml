@@ -1,0 +1,107 @@
+open Numerics
+
+type t = { num : Poly.t; den : Poly.t }
+
+let make num den =
+  if Poly.is_zero den then invalid_arg "Tf.make: zero denominator";
+  { num; den }
+
+let of_real_coeffs ~num ~den =
+  make (Poly.of_real_coeffs num) (Poly.of_real_coeffs den)
+
+let from_poles_zeros ?(gain = 1.) ~poles ~zeros () =
+  make
+    (Poly.from_roots ~gain:(Cx.of_float gain) zeros)
+    (Poly.from_roots poles)
+
+let second_order ~zeta ~wn =
+  of_real_coeffs ~num:[| wn *. wn |]
+    ~den:[| wn *. wn; 2. *. zeta *. wn; 1. |]
+
+let one = make Poly.one Poly.one
+let constant k = make (Poly.of_real_coeffs [| k |]) Poly.one
+let integrator = make Poly.one Poly.s
+
+let add a b =
+  make
+    (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
+    (Poly.mul a.den b.den)
+
+let mul a b = make (Poly.mul a.num b.num) (Poly.mul a.den b.den)
+
+let div a b =
+  if Poly.is_zero b.num then invalid_arg "Tf.div: zero numerator divisor";
+  make (Poly.mul a.num b.den) (Poly.mul a.den b.num)
+
+let scale k a = make (Poly.scale (Cx.of_float k) a.num) a.den
+
+let feedback ?(h = one) g =
+  (* g / (1 + g h) over a common denominator. *)
+  let gh_num = Poly.mul g.num h.num in
+  let gh_den = Poly.mul g.den h.den in
+  make (Poly.mul g.num h.den) (Poly.add gh_den gh_num)
+
+let eval tf s = Cx.( /: ) (Poly.eval tf.num s) (Poly.eval tf.den s)
+let response tf f = eval tf (Cx.j_omega (2. *. Float.pi *. f))
+
+let freq_response tf sweep =
+  let freqs = Sweep.points sweep in
+  Waveform.Freq.make freqs (Array.map (response tf) freqs)
+
+let poles tf = Poly.roots tf.den
+let zeros tf = if Poly.degree tf.num < 1 then [] else Poly.roots tf.num
+let dc_gain tf = eval tf Cx.zero
+
+let is_stable tf = List.for_all (fun p -> p.Complex.re < 0.) (poles tf)
+
+let dominant_complex_pole tf =
+  poles tf
+  |> List.filter (fun p -> Float.abs p.Complex.im > 1e-9 *. Cx.mag p)
+  |> List.map (fun p ->
+      let wn = Cx.mag p in
+      (wn, -.p.Complex.re /. wn))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> function
+  | [] -> None
+  | (wn, zeta) :: _ -> Some (wn, zeta)
+
+(* Residue of num/den at a simple pole p: num(p) / den'(p). *)
+let residue num den p =
+  Cx.( /: ) (Poly.eval num p) (Poly.eval (Poly.derivative den) p)
+
+let step_response_samples tf ~tstop ~n =
+  if n < 2 then invalid_arg "Tf.step_response_samples: n >= 2";
+  (* Y(s) = tf(s)/s; perturb near-coincident poles so all are simple. *)
+  let den = Poly.mul tf.den Poly.s in
+  let raw_poles = Poly.roots den in
+  let poles =
+    let rec dedup acc = function
+      | [] -> List.rev acc
+      | p :: rest ->
+        let bump =
+          if List.exists (fun q -> Cx.mag (Complex.sub p q) <
+                                    1e-6 *. Float.max 1. (Cx.mag p)) acc
+          then Cx.( +: ) p (Cx.make (1e-6 *. Float.max 1. (Cx.mag p)) 0.)
+          else p
+        in
+        dedup (bump :: acc) rest
+    in
+    dedup [] raw_poles
+  in
+  let den' = Poly.from_roots ~gain:(Poly.coeffs den).(Poly.degree den) poles in
+  let residues = List.map (fun p -> (p, residue tf.num den' p)) poles in
+  let times = Vec.linspace 0. tstop n in
+  let y =
+    Array.map
+      (fun t ->
+        List.fold_left
+          (fun acc (p, r) ->
+            let e = Complex.exp (Cx.scale t p) in
+            acc +. (Cx.( *: ) r e).Complex.re)
+          0. residues)
+      times
+  in
+  Waveform.Real.make times y
+
+let pp ppf tf =
+  Format.fprintf ppf "(%a) / (%a)" Poly.pp tf.num Poly.pp tf.den

@@ -1,0 +1,54 @@
+(** Rational transfer functions in the Laplace variable s.
+
+    Used to cross-validate the circuit-level stability analysis against
+    exact pole/zero mathematics. *)
+
+type t = { num : Numerics.Poly.t; den : Numerics.Poly.t }
+
+val make : Numerics.Poly.t -> Numerics.Poly.t -> t
+(** Raises [Invalid_argument] if the denominator is zero. *)
+
+val of_real_coeffs : num:float array -> den:float array -> t
+(** Ascending powers of s. *)
+
+val from_poles_zeros :
+  ?gain:float -> poles:Complex.t list -> zeros:Complex.t list -> unit -> t
+
+val second_order : zeta:float -> wn:float -> t
+(** The canonical system wn^2 / (s^2 + 2 zeta wn s + wn^2) (paper eq 1.1
+    denormalised). *)
+
+val one : t
+val constant : float -> t
+val integrator : t  (** 1/s *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val scale : float -> t -> t
+
+val feedback : ?h:t -> t -> t
+(** [feedback g ~h] is the closed loop g / (1 + g h); [h] defaults to
+    unity. *)
+
+val eval : t -> Complex.t -> Complex.t
+val response : t -> float -> Complex.t
+(** [response tf f]: value at s = j 2 pi f. *)
+
+val freq_response : t -> Numerics.Sweep.t -> Numerics.Waveform.Freq.t
+
+val poles : t -> Complex.t list
+val zeros : t -> Complex.t list
+val dc_gain : t -> Complex.t
+val is_stable : t -> bool
+(** All poles strictly in the left half plane. *)
+
+val dominant_complex_pole : t -> (float * float) option
+(** [(wn, zeta)] of the complex-pole pair with the lowest natural frequency,
+    if any — the quantity the paper's stability plot extracts per loop. *)
+
+val step_response_samples : t -> tstop:float -> n:int -> Numerics.Waveform.Real.t
+(** Unit-step response by partial fractions over the poles of [t/s]
+    (simple poles only; repeated poles are perturbed by 1 ppm first). *)
+
+val pp : Format.formatter -> t -> unit

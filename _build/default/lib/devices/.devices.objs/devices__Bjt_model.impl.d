@@ -1,0 +1,1 @@
+lib/devices/bjt_model.ml: Circuit Const Junction

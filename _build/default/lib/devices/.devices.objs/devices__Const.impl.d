@@ -1,0 +1,1 @@
+lib/devices/const.ml: Float

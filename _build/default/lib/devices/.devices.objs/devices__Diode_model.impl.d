@@ -1,0 +1,1 @@
+lib/devices/diode_model.ml: Circuit Const Junction

@@ -1,0 +1,1 @@
+lib/devices/junction.ml: Float

@@ -1,0 +1,1 @@
+lib/devices/mos_model.ml: Circuit

@@ -1,0 +1,1 @@
+lib/devices/waveshape.ml: Circuit Float List

@@ -1,0 +1,1 @@
+lib/devices/waveshape.mli: Circuit

@@ -1,0 +1,102 @@
+type params = {
+  is : float;
+  bf : float;
+  br : float;
+  vaf : float;
+  cpi : float;
+  cmu : float;
+  ccs : float;
+  eg : float;
+  xti : float;
+  tnom : float;
+  kf : float;
+  af : float;
+}
+
+let params_of_model m =
+  let p name ~default = Circuit.Netlist.model_param m name ~default in
+  let alias a b ~default = p a ~default:(p b ~default) in
+  { is = p "is" ~default:1e-16;
+    bf = p "bf" ~default:100.;
+    br = p "br" ~default:1.;
+    vaf = p "vaf" ~default:0.;
+    cpi = alias "cpi" "cje" ~default:0.;
+    cmu = alias "cmu" "cjc" ~default:0.;
+    ccs = alias "ccs" "cjs" ~default:0.;
+    eg = p "eg" ~default:1.11;
+    xti = p "xti" ~default:3.;
+    tnom = p "tnom" ~default:Const.default_tnom_celsius;
+    kf = p "kf" ~default:0.;
+    af = p "af" ~default:1. }
+
+let effective_is p ~area ~temp_c =
+  area *. p.is
+  *. Const.is_temp_factor ~temp_c ~tnom_c:p.tnom ~eg:p.eg ~xti:p.xti
+
+type dc = {
+  ic : float;
+  ib : float;
+  d_ic_dvbe : float;
+  d_ic_dvbc : float;
+  d_ib_dvbe : float;
+  d_ib_dvbc : float;
+  vbe_used : float;
+  vbc_used : float;
+  limited : bool;
+}
+
+(* Early-effect factor kq = 1 - vbc/vaf, clamped away from zero so reverse
+   excursions during Newton iterations cannot flip the transport current's
+   sign. dkq is d kq / d vbc. *)
+let early_factor p vbc =
+  if p.vaf <= 0. then (1., 0.)
+  else begin
+    let kq = 1. -. (vbc /. p.vaf) in
+    if kq < 0.1 then (0.1, 0.) else (kq, -1. /. p.vaf)
+  end
+
+let dc p ~area ~temp_c ~vbe ~vbc ~vbe_old ~vbc_old =
+  let vt = Const.thermal_voltage temp_c in
+  let is = effective_is p ~area ~temp_c in
+  let vcrit = Junction.vcrit ~is ~vt in
+  let vbe_used, lim1 = Junction.pnjlim ~vt ~vcrit vbe vbe_old in
+  let vbc_used, lim2 = Junction.pnjlim ~vt ~vcrit vbc vbc_old in
+  let ee, dee = Junction.guarded_exp (vbe_used /. vt) in
+  let ec, dec = Junction.guarded_exp (vbc_used /. vt) in
+  let kq, dkq = early_factor p vbc_used in
+  let ibe = is /. p.bf *. (ee -. 1.) in
+  let ibc = is /. p.br *. (ec -. 1.) in
+  let gbe = is /. p.bf *. dee /. vt in
+  let gbc = is /. p.br *. dec /. vt in
+  let ict = is *. (ee -. ec) *. kq in
+  let d_ict_dvbe = is *. dee /. vt *. kq in
+  let d_ict_dvbc = (-.is *. dec /. vt *. kq) +. (is *. (ee -. ec) *. dkq) in
+  { ic = ict -. ibc;
+    ib = ibe +. ibc;
+    d_ic_dvbe = d_ict_dvbe;
+    d_ic_dvbc = d_ict_dvbc -. gbc;
+    d_ib_dvbe = gbe;
+    d_ib_dvbc = gbc;
+    vbe_used;
+    vbc_used;
+    limited = lim1 || lim2 }
+
+type small_signal = {
+  gm : float;
+  gpi : float;
+  gmu : float;
+  gout : float;
+  cpi : float;
+  cmu : float;
+  ccs : float;
+}
+
+let small_signal p ~area ~temp_c ~vbe ~vbc =
+  let d = dc p ~area ~temp_c ~vbe ~vbc ~vbe_old:vbe ~vbc_old:vbc in
+  { gm = d.d_ic_dvbe;
+    gpi = d.d_ib_dvbe;
+    gmu = d.d_ib_dvbc;
+    gout = d.d_ic_dvbc;
+    cpi = area *. p.cpi;
+    cmu = area *. p.cmu;
+    ccs = area *. p.ccs }

@@ -1,0 +1,64 @@
+(** Bipolar transistor — Ebers-Moll transport model with Early effect.
+
+    Model card parameters (lower-case, with defaults):
+    [is] 1e-16, [bf] 100, [br] 1, [vaf] 0 (0 = no Early effect),
+    [cpi]/[cje] 0 (base-emitter capacitance), [cmu]/[cjc] 0 (base-collector),
+    [ccs]/[cjs] 0 (collector-substrate, to ground), [eg] 1.11, [xti] 3,
+    [tnom] 27. Instance [area] scales [is] and all capacitances.
+
+    All quantities below are NPN-referenced: for a PNP the engine negates
+    the junction voltages before calling and the currents after. Terminal
+    currents flow {e into} collector and base; [ie = -.(ic +. ib)]. *)
+
+type params = {
+  is : float;
+  bf : float;
+  br : float;
+  vaf : float;
+  cpi : float;
+  cmu : float;
+  ccs : float;
+  eg : float;
+  xti : float;
+  tnom : float;
+  kf : float;  (** flicker-noise coefficient on the base current (0) *)
+  af : float;  (** flicker-noise current exponent (1) *)
+}
+
+val params_of_model : Circuit.Netlist.model -> params
+
+type dc = {
+  ic : float;
+  ib : float;
+  d_ic_dvbe : float;
+  d_ic_dvbc : float;
+  d_ib_dvbe : float;
+  d_ib_dvbc : float;
+  vbe_used : float;
+  vbc_used : float;
+  limited : bool;
+}
+
+val dc :
+  params -> area:float -> temp_c:float ->
+  vbe:float -> vbc:float -> vbe_old:float -> vbc_old:float -> dc
+(** Currents and Jacobian at the candidate junction voltages, with each
+    junction limited against its previous Newton iterate. *)
+
+type small_signal = {
+  gm : float;    (** d ic / d vbe *)
+  gpi : float;   (** d ib / d vbe *)
+  gmu : float;   (** d ib / d vbc *)
+  gout : float;  (** d ic / d vbc, the (negated) output conductance term *)
+  cpi : float;
+  cmu : float;
+  ccs : float;
+}
+
+val small_signal :
+  params -> area:float -> temp_c:float -> vbe:float -> vbc:float ->
+  small_signal
+(** Linearisation at an operating point (no limiting). The classic
+    hybrid-pi output conductance is [go = -.(gout +. gmu)] referenced to
+    vce; the engine stamps the raw 2x2 Jacobian so no conversion is
+    needed. *)

@@ -1,0 +1,20 @@
+(** Physical constants and temperature helpers (SI units). *)
+
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let zero_celsius = 273.15
+let default_tnom_celsius = 27.
+
+let kelvin_of_celsius c = c +. zero_celsius
+
+(** Thermal voltage kT/q at a temperature in Celsius. *)
+let thermal_voltage temp_c =
+  boltzmann *. kelvin_of_celsius temp_c /. electron_charge
+
+(** Saturation-current temperature scaling shared by pn junctions:
+    Is(T) = Is(Tnom) (T/Tnom)^xti exp(Eg/Vt(Tnom) - Eg/Vt(T)). *)
+let is_temp_factor ~temp_c ~tnom_c ~eg ~xti =
+  let t = kelvin_of_celsius temp_c and tnom = kelvin_of_celsius tnom_c in
+  let vt_t = boltzmann *. t /. electron_charge in
+  let vt_tnom = boltzmann *. tnom /. electron_charge in
+  Float.pow (t /. tnom) xti *. exp ((eg /. vt_tnom) -. (eg /. vt_t))

@@ -1,0 +1,46 @@
+type params = {
+  is : float;
+  n : float;
+  cj : float;
+  eg : float;
+  xti : float;
+  tnom : float;
+  kf : float;
+  af : float;
+}
+
+let params_of_model m =
+  let p name ~default = Circuit.Netlist.model_param m name ~default in
+  { is = p "is" ~default:1e-14;
+    n = p "n" ~default:1.;
+    cj = p "cj" ~default:0.;
+    eg = p "eg" ~default:1.11;
+    xti = p "xti" ~default:3.;
+    tnom = p "tnom" ~default:Const.default_tnom_celsius;
+    kf = p "kf" ~default:0.;
+    af = p "af" ~default:1. }
+
+let effective_is p ~area ~temp_c =
+  area *. p.is
+  *. Const.is_temp_factor ~temp_c ~tnom_c:p.tnom ~eg:p.eg ~xti:p.xti
+
+type dc = { id : float; gd : float; limited : bool; vd_used : float }
+
+let dc p ~area ~temp_c ~vd ~vd_old =
+  let vt = p.n *. Const.thermal_voltage temp_c in
+  let is = effective_is p ~area ~temp_c in
+  let vcrit = Junction.vcrit ~is ~vt in
+  let vd_used, limited = Junction.pnjlim ~vt ~vcrit vd vd_old in
+  let e, de = Junction.guarded_exp (vd_used /. vt) in
+  (* gmin-free raw junction; the solver adds its own gmin in parallel. *)
+  let id = is *. (e -. 1.) in
+  let gd = is *. de /. vt in
+  { id; gd; limited; vd_used }
+
+type small_signal = { gd : float; cj : float }
+
+let small_signal p ~area ~temp_c ~vd =
+  let vt = p.n *. Const.thermal_voltage temp_c in
+  let is = effective_is p ~area ~temp_c in
+  let e, _ = Junction.guarded_exp (vd /. vt) in
+  { gd = is *. e /. vt; cj = area *. p.cj }

@@ -1,0 +1,35 @@
+(** Junction diode model.
+
+    Parameters (model card, lower-case): [is] saturation current (1e-14),
+    [n] emission coefficient (1), [cj] junction capacitance (0), [eg]
+    bandgap (1.11), [xti] saturation-current exponent (3), [tnom] (27).
+    The instance [area] scales [is] and [cj]. *)
+
+type params = {
+  is : float;
+  n : float;
+  cj : float;
+  eg : float;
+  xti : float;
+  tnom : float;
+  kf : float;  (** flicker-noise coefficient (0 = off) *)
+  af : float;  (** flicker-noise current exponent (1) *)
+}
+
+val params_of_model : Circuit.Netlist.model -> params
+
+type dc = {
+  id : float;   (** junction current for the given vd *)
+  gd : float;   (** d id / d vd *)
+  limited : bool;  (** the Newton step was cut by pnjlim *)
+  vd_used : float; (** junction voltage actually evaluated *)
+}
+
+val dc : params -> area:float -> temp_c:float -> vd:float -> vd_old:float -> dc
+(** Evaluate current and conductance at candidate voltage [vd], limiting the
+    step relative to the previous Newton iterate [vd_old]. *)
+
+type small_signal = { gd : float; cj : float }
+
+val small_signal : params -> area:float -> temp_c:float -> vd:float -> small_signal
+(** Linearised model at the operating point [vd]. *)

@@ -1,0 +1,34 @@
+(** Shared pn-junction numerics: guarded exponential and SPICE-style
+    junction-voltage limiting, both essential for Newton convergence. *)
+
+(* Beyond [x = explim] the exponential is continued linearly so the Newton
+   iteration sees finite, smoothly growing currents instead of overflow. *)
+let explim = 80.
+
+(** [guarded_exp x] = (value, derivative) of the guarded exponential. *)
+let guarded_exp x =
+  if x > explim then begin
+    let e = exp explim in
+    (e *. (1. +. (x -. explim)), e)
+  end
+  else begin
+    let e = exp x in
+    (e, e)
+  end
+
+(** Critical voltage above which junction steps must be damped. *)
+let vcrit ~is ~vt = vt *. log (vt /. (Float.sqrt 2. *. is))
+
+(** SPICE pnjlim: limit the Newton update of a junction voltage [vnew]
+    given the previous iterate [vold]. Returns the limited voltage and a
+    flag telling the solver the step was cut (so convergence must not be
+    declared on this iteration). *)
+let pnjlim ~vt ~vcrit vnew vold =
+  if vnew > vcrit && Float.abs (vnew -. vold) > vt +. vt then begin
+    if vold > 0. then begin
+      let arg = 1. +. ((vnew -. vold) /. vt) in
+      if arg > 0. then (vold +. (vt *. log arg), true) else (vcrit, true)
+    end
+    else (vt *. log (vnew /. vt), true)
+  end
+  else (vnew, false)

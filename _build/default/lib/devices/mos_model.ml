@@ -1,0 +1,108 @@
+type params = {
+  kp : float;
+  vto : float;
+  lambda : float;
+  cgso : float;
+  cgdo : float;
+  cox : float;
+  cbd : float;
+  cbs : float;
+  kf : float;
+  af : float;
+}
+
+let params_of_model m =
+  let p name ~default = Circuit.Netlist.model_param m name ~default in
+  { kp = p "kp" ~default:2e-5;
+    vto = p "vto" ~default:1.0;
+    lambda = p "lambda" ~default:0.;
+    cgso = p "cgso" ~default:0.;
+    cgdo = p "cgdo" ~default:0.;
+    cox = p "cox" ~default:0.;
+    cbd = p "cbd" ~default:0.;
+    cbs = p "cbs" ~default:0.;
+    kf = p "kf" ~default:0.;
+    af = p "af" ~default:1. }
+
+type region = Cutoff | Triode | Saturation
+
+type dc = {
+  ids : float;
+  d_ids_dvgs : float;
+  d_ids_dvds : float;
+  region : region;
+  inverted : bool;
+}
+
+(* Forward evaluation assuming vds >= 0. *)
+let forward p ~beta ~vgs ~vds =
+  let vov = vgs -. p.vto in
+  if vov <= 0. then (0., 0., 0., Cutoff)
+  else begin
+    let clm = 1. +. (p.lambda *. vds) in
+    if vds < vov then begin
+      (* Triode. *)
+      let ids = beta *. ((vov *. vds) -. (vds *. vds /. 2.)) *. clm in
+      let d_dvgs = beta *. vds *. clm in
+      let d_dvds =
+        (beta *. (vov -. vds) *. clm)
+        +. (beta *. ((vov *. vds) -. (vds *. vds /. 2.)) *. p.lambda)
+      in
+      (ids, d_dvgs, d_dvds, Triode)
+    end
+    else begin
+      (* Saturation. *)
+      let ids = beta /. 2. *. vov *. vov *. clm in
+      let d_dvgs = beta *. vov *. clm in
+      let d_dvds = beta /. 2. *. vov *. vov *. p.lambda in
+      (ids, d_dvgs, d_dvds, Saturation)
+    end
+  end
+
+let dc p ~w ~l ~vgs ~vds =
+  let beta = p.kp *. w /. l in
+  if vds >= 0. then begin
+    let ids, g_gs, g_ds, region = forward p ~beta ~vgs ~vds in
+    { ids; d_ids_dvgs = g_gs; d_ids_dvds = g_ds; region; inverted = false }
+  end
+  else begin
+    (* Exchange drain and source: the device conducts with vgd, -vds. The
+       current through the original drain terminal flips sign. With
+       vgd = vgs - vds:
+         ids = -I(vgd, -vds)
+         d ids/d vgs = -dI/dvgs'
+         d ids/d vds = -(dI/dvgs' * d vgd/d vds + dI/dvds' * -1)
+                     =  dI/dvgs' + dI/dvds'  ... with signs handled below. *)
+    let vgd = vgs -. vds in
+    let i', g_gs', g_ds', region = forward p ~beta ~vgs:vgd ~vds:(-.vds) in
+    { ids = -.i';
+      d_ids_dvgs = -.g_gs';
+      d_ids_dvds = g_gs' +. g_ds';
+      region;
+      inverted = true }
+  end
+
+type small_signal = {
+  gm : float;
+  gds : float;
+  cgs : float;
+  cgd : float;
+  cbd : float;
+  cbs : float;
+}
+
+let small_signal p ~w ~l ~vgs ~vds =
+  let d = dc p ~w ~l ~vgs ~vds in
+  let cox_total = p.cox *. w *. l in
+  let overlap_s = p.cgso *. w and overlap_d = p.cgdo *. w in
+  let cgs_ch, cgd_ch =
+    match d.region with
+    | Cutoff -> (0., 0.)
+    | Saturation -> (2. /. 3. *. cox_total, 0.)
+    | Triode -> (cox_total /. 2., cox_total /. 2.)
+  in
+  let cgs, cgd =
+    if d.inverted then (overlap_s +. cgd_ch, overlap_d +. cgs_ch)
+    else (overlap_s +. cgs_ch, overlap_d +. cgd_ch)
+  in
+  { gm = d.d_ids_dvgs; gds = d.d_ids_dvds; cgs; cgd; cbd = p.cbd; cbs = p.cbs }

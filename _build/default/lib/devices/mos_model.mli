@@ -1,0 +1,55 @@
+(** MOSFET — Shichman–Hodges (SPICE level-1) model, no body effect.
+
+    Model card parameters (lower-case, defaults): [kp] 2e-5 A/V^2 (process
+    transconductance), [vto] 1.0 (threshold; the engine negates voltages for
+    PMOS so [vto] is given as a positive magnitude either way, but negative
+    values are honoured as depletion devices), [lambda] 0 (channel-length
+    modulation), [cgso]/[cgdo] 0 F/m (overlap capacitance per metre of
+    width), [cox] 0 F/m^2 (gate oxide capacitance per area), [cbd]/[cbs] 0 F
+    (junction capacitances, absolute).
+
+    NMOS-referenced; drain-source inversion (vds < 0 during Newton
+    iterations) is handled by operating the symmetric model with source and
+    drain exchanged. *)
+
+type params = {
+  kp : float;
+  vto : float;
+  lambda : float;
+  cgso : float;
+  cgdo : float;
+  cox : float;
+  cbd : float;
+  cbs : float;
+  kf : float;  (** flicker-noise coefficient on the drain current (0) *)
+  af : float;  (** flicker-noise current exponent (1) *)
+}
+
+val params_of_model : Circuit.Netlist.model -> params
+
+type region = Cutoff | Triode | Saturation
+
+type dc = {
+  ids : float;          (** drain current, NMOS-referenced *)
+  d_ids_dvgs : float;
+  d_ids_dvds : float;
+  region : region;
+  inverted : bool;      (** true when evaluated with d and s exchanged *)
+}
+
+val dc : params -> w:float -> l:float -> vgs:float -> vds:float -> dc
+
+type small_signal = {
+  gm : float;
+  gds : float;
+  cgs : float;
+  cgd : float;
+  cbd : float;
+  cbs : float;
+}
+
+val small_signal :
+  params -> w:float -> l:float -> vgs:float -> vds:float -> small_signal
+(** Linearisation at an operating point. Channel charge uses the standard
+    2/3 Cox WL gate-source split in saturation and a 1/2–1/2 split in
+    triode. *)

@@ -1,0 +1,85 @@
+open Circuit.Netlist
+
+let ramp v_from v_to t_span t = v_from +. ((v_to -. v_from) *. t /. t_span)
+
+let eval_pulse ~v1 ~v2 ~delay ~rise ~fall ~width ~period t =
+  if t < delay then v1
+  else begin
+    let t =
+      if period > 0. && Float.is_finite period then
+        Float.rem (t -. delay) period
+      else t -. delay
+    in
+    if rise > 0. && t < rise then ramp v1 v2 rise t
+    else if t < rise +. width then v2
+    else if fall > 0. && t < rise +. width +. fall then
+      ramp v2 v1 fall (t -. rise -. width)
+    else v1
+  end
+
+let eval_sine ~offset ~ampl ~freq ~delay ~damping t =
+  if t < delay then offset
+  else begin
+    let t' = t -. delay in
+    offset
+    +. (ampl *. exp (-.damping *. t')
+       *. sin (2. *. Float.pi *. freq *. t'))
+  end
+
+let eval_pwl pts t =
+  match pts with
+  | [] -> 0.
+  | (t0, v0) :: _ when t <= t0 -> v0
+  | _ ->
+    let rec go = function
+      | [ (_, v) ] -> v
+      | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+        if t <= t2 then
+          if t2 = t1 then v2 else v1 +. ((v2 -. v1) *. (t -. t1) /. (t2 -. t1))
+        else go rest
+      | [] -> 0.
+    in
+    go pts
+
+let eval ~dc wave t =
+  match wave with
+  | None -> dc
+  | Some (Dc v) -> v
+  | Some (Pulse { v1; v2; delay; rise; fall; width; period }) ->
+    eval_pulse ~v1 ~v2 ~delay ~rise ~fall ~width ~period t
+  | Some (Sine { offset; ampl; freq; delay; damping }) ->
+    eval_sine ~offset ~ampl ~freq ~delay ~damping t
+  | Some (Pwl pts) -> eval_pwl pts t
+
+let breakpoints wave ~tstop =
+  let raw =
+    match wave with
+    | None | Some (Dc _) -> []
+    | Some (Pulse { delay; rise; fall; width; period; _ }) ->
+      let single = [ delay; delay +. rise; delay +. rise +. width;
+                     delay +. rise +. width +. fall ] in
+      if period > 0. && Float.is_finite period then begin
+        let out = ref [] in
+        let k = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let base = delay +. (float_of_int !k *. period) in
+          if base > tstop then continue := false
+          else begin
+            List.iter
+              (fun t ->
+                let t = t +. (float_of_int !k *. period) in
+                if t <= tstop then out := t :: !out)
+              [ delay; delay +. rise; delay +. rise +. width;
+                delay +. rise +. width +. fall ];
+            incr k
+          end
+        done;
+        !out
+      end
+      else single
+    | Some (Sine { delay; _ }) -> [ delay ]
+    | Some (Pwl pts) -> List.map fst pts
+  in
+  List.sort_uniq compare
+    (List.filter (fun t -> t >= 0. && t <= tstop) raw)

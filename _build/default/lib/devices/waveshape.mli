@@ -1,0 +1,11 @@
+(** Time-domain evaluation of independent-source waveforms. *)
+
+val eval : dc:float -> Circuit.Netlist.wave option -> float -> float
+(** [eval ~dc w t]: source value at time [t]. [None] holds the DC value;
+    PWL holds its first/last corner outside its time span; PULSE repeats
+    when its period is positive and finite. *)
+
+val breakpoints : Circuit.Netlist.wave option -> tstop:float -> float list
+(** Times in [0, tstop] where the waveform has slope discontinuities; the
+    transient integrator shrinks its step to land on these exactly. Sorted
+    ascending, deduplicated. *)

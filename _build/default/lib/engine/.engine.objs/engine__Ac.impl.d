@@ -1,0 +1,1 @@
+lib/engine/ac.ml: Array Circuit Cmat Complex Cx Dcop Float Linearize List Mna Numerics Sweep Waveform

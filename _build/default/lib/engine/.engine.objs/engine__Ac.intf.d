@@ -1,0 +1,1 @@
+lib/engine/ac.mli: Circuit Complex Dcop Linearize Mna Numerics Waveform

@@ -1,0 +1,1 @@
+lib/engine/dcop.ml: Array Circuit Devices Float Format List Logs Mna Numerics Printf Stamps

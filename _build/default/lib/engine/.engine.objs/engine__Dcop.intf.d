@@ -1,0 +1,1 @@
+lib/engine/dcop.mli: Circuit Format Mna Numerics

@@ -1,0 +1,1 @@
+lib/engine/dcsweep.ml: Array Circuit Dcop Mna Numerics Printf String

@@ -1,0 +1,1 @@
+lib/engine/dcsweep.mli: Circuit Dcop Numerics

@@ -1,0 +1,1 @@
+lib/engine/linearize.ml: Array Dcop Devices List Mna

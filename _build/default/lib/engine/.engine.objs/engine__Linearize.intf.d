@@ -1,0 +1,1 @@
+lib/engine/linearize.mli: Dcop Mna

@@ -1,0 +1,1 @@
+lib/engine/loopgain.ml: Ac Array Circuit Cx List Measure Numerics Printf Waveform

@@ -1,0 +1,1 @@
+lib/engine/loopgain.mli: Circuit Measure Numerics Waveform

@@ -1,0 +1,1 @@
+lib/engine/measure.ml: Array Float Format Numerics Option Waveform

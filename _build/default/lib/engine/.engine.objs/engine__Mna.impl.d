@@ -1,0 +1,1 @@
+lib/engine/mna.ml: Array Circuit Complex Devices Hashtbl List Netlist Numerics Printf String Topology

@@ -1,0 +1,1 @@
+lib/engine/mna.mli: Circuit Complex Devices Numerics

@@ -1,0 +1,1 @@
+lib/engine/noise.ml: Ac Array Cmat Cx Dcop Devices Engnum Float Format Linearize List Mna Numerics Sweep

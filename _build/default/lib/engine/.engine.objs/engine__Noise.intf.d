@@ -1,0 +1,1 @@
+lib/engine/noise.mli: Circuit Dcop Format Mna Numerics

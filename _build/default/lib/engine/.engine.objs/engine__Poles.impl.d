@@ -1,0 +1,1 @@
+lib/engine/poles.ml: Array Complex Cx Dcop Eigen Engnum Float Format Linearize List Mna Numerics Rmat

@@ -1,0 +1,1 @@
+lib/engine/poles.mli: Circuit Complex Dcop Format Numerics

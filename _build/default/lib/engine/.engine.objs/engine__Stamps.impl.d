@@ -1,0 +1,1 @@
+lib/engine/stamps.ml: Array Circuit Devices Mna Numerics

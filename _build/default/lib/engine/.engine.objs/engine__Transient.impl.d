@@ -1,0 +1,1 @@
+lib/engine/transient.ml: Array Circuit Dcop Devices Float Int List Mna Option Stamps Waveform

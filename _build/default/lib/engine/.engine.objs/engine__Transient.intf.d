@@ -1,0 +1,1 @@
+lib/engine/transient.mli: Circuit Dcop Mna Waveform

@@ -1,0 +1,45 @@
+(** Small-signal AC analysis.
+
+    Linearises the circuit at its DC operating point and solves the complex
+    MNA system at every sweep frequency, driven by the AC magnitudes/phases
+    of the independent sources. *)
+
+type result = {
+  mna : Mna.t;
+  op : Dcop.t;
+  freqs : float array;
+  solutions : Complex.t array array;  (** [solutions.(k)] at [freqs.(k)] *)
+}
+
+val run :
+  ?dc_options:Dcop.options -> ?gmin:float -> sweep:Numerics.Sweep.t ->
+  Circuit.Netlist.t -> result
+(** Compile, find the operating point, and sweep. Raises
+    {!Dcop.No_convergence} / {!Mna.Compile_error} like its parts. *)
+
+val run_compiled :
+  ?op:Dcop.t -> ?gmin:float -> sweep:Numerics.Sweep.t -> Mna.t -> result
+(** Sweep a pre-compiled circuit, reusing a known operating point. *)
+
+val matrix_at :
+  Mna.t -> Linearize.prim list -> gmin:float -> w:float -> Numerics.Cmat.t ->
+  unit
+(** Stamp the complex system matrix at angular frequency [w] into a zeroed
+    matrix (sources contribute nothing — excitations are separate RHS
+    vectors). Exposed for the probing and noise analyses. *)
+
+val factor_at :
+  ?gmin:float -> op:Dcop.t -> omega:float -> Mna.t -> Numerics.Cmat.factor
+(** LU factor of the small-signal system at one angular frequency. Probing
+    analyses (the stability tool's all-nodes mode) solve this factor
+    against many excitation vectors — a current probe only contributes to
+    the right-hand side. *)
+
+val v : result -> Circuit.Netlist.node -> Waveform.Freq.t
+(** Node-voltage response across the sweep (ground = 0). *)
+
+val vdiff : result -> Circuit.Netlist.node -> Circuit.Netlist.node ->
+  Waveform.Freq.t
+
+val branch_i : result -> string -> Waveform.Freq.t
+(** Branch current of a voltage-defined device. *)

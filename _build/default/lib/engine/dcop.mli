@@ -1,0 +1,62 @@
+(** DC operating-point analysis.
+
+    Newton–Raphson with SPICE-style junction limiting, plus two homotopy
+    fallbacks: gmin stepping and source stepping. *)
+
+type options = {
+  gmin : float;        (** shunt conductance on every node (1e-12) *)
+  reltol : float;      (** relative convergence tolerance (1e-6) *)
+  vntol : float;       (** node-voltage absolute tolerance (1e-9 V) *)
+  abstol : float;      (** branch-current absolute tolerance (1e-12 A) *)
+  max_iter : int;      (** Newton iterations per attempt (150) *)
+  max_step : float;    (** per-iteration clamp on node-voltage change (5 V) *)
+}
+
+val default_options : options
+
+type strategy = Direct | Gmin_stepping | Source_stepping
+
+type t = {
+  mna : Mna.t;
+  x : float array;            (** converged unknown vector *)
+  iterations : int;           (** Newton iterations of the final attempt *)
+  strategy : strategy;
+}
+
+exception No_convergence of string
+
+val solve :
+  ?options:options -> ?x0:float array ->
+  ?force_strategy:[ `Gmin_stepping | `Source_stepping ] -> Mna.t -> t
+(** Find the operating point. When [options] is omitted, the circuit's
+    [.options] card (gmin, reltol, vntol, abstol, itl1, maxstep) refines
+    the defaults. [force_strategy] skips the earlier rungs of the homotopy
+    ladder (used to exercise and test the fallback paths). Raises
+    {!No_convergence} when every strategy fails. *)
+
+val circuit_options : Circuit.Netlist.t -> options
+
+val node_v : t -> Circuit.Netlist.node -> float
+val branch_current : t -> string -> float
+
+(** Per-device operating-point record, as a printed .op report would show. *)
+type device_op =
+  | Op_diode of { vd : float; id : float; gd : float }
+  | Op_bjt of { vbe : float; vbc : float; ic : float; ib : float;
+                gm : float; gpi : float; go : float; region : string }
+  | Op_mos of { vgs : float; vds : float; ids : float; gm : float;
+                gds : float; region : string }
+
+val device_ops : t -> (string * device_op) list
+val pp_report : Format.formatter -> t -> unit
+
+(** Newton core, shared with the transient analysis. [load] must fill the
+    (zeroed) matrix and RHS for the candidate [x] and return [true] when a
+    device limited its step (postponing convergence). *)
+val newton :
+  size:int ->
+  n_nodes:int ->
+  load:(x:float array -> Numerics.Rmat.t -> float array -> bool) ->
+  x0:float array ->
+  options ->
+  (float array * int, string) result

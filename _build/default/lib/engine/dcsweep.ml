@@ -1,0 +1,64 @@
+type result = {
+  values : float array;
+  ops : Dcop.t array;
+}
+
+let custom ?options build ~values =
+  if Array.length values = 0 then invalid_arg "Dcsweep: no values";
+  let prev = ref None in
+  let ops =
+    Array.map
+      (fun v ->
+        let circ = build v in
+        let mna = Mna.compile circ in
+        (* Continuation: start Newton from the previous solution when the
+           unknown vector has the same shape. *)
+        let x0 =
+          match !prev with
+          | Some (x : float array) when Array.length x = mna.Mna.size ->
+            Some x
+          | _ -> None
+        in
+        let op = Dcop.solve ?options ?x0 mna in
+        prev := Some op.Dcop.x;
+        op)
+      values
+  in
+  { values = Array.copy values; ops }
+
+let source ?options circ ~name ~values =
+  (match Circuit.Netlist.find_device circ name with
+   | Some (Circuit.Netlist.Vsource _) | Some (Circuit.Netlist.Isource _) -> ()
+   | Some _ ->
+     invalid_arg
+       (Printf.sprintf "Dcsweep.source: %S is not an independent source" name)
+   | None -> invalid_arg (Printf.sprintf "Dcsweep.source: no device %S" name));
+  let build v =
+    Circuit.Netlist.map_devices
+      (fun d ->
+        if
+          String.lowercase_ascii (Circuit.Netlist.device_name d)
+          <> String.lowercase_ascii name
+        then d
+        else
+          match d with
+          | Circuit.Netlist.Vsource x ->
+            Circuit.Netlist.Vsource { x with spec = { x.spec with dc = v } }
+          | Circuit.Netlist.Isource x ->
+            Circuit.Netlist.Isource { x with spec = { x.spec with dc = v } }
+          | d -> d)
+      circ
+  in
+  custom ?options build ~values
+
+let temperature ?options circ ~values =
+  custom ?options (fun t -> Circuit.Netlist.with_temp t circ) ~values
+
+let v r node =
+  Numerics.Waveform.Real.make r.values
+    (Array.map (fun op -> Dcop.node_v op node) r.ops)
+
+let device_current r name =
+  Array.mapi
+    (fun k op -> (r.values.(k), Dcop.branch_current op name))
+    r.ops

@@ -1,0 +1,35 @@
+(** DC sweep analysis (the paper's "in-tool DC-sweep (TEMP, device
+    parameters) simulation" future-work item).
+
+    Sweeps one quantity — a source value, the temperature, or an arbitrary
+    circuit edit — solving the operating point at each step with
+    continuation (each solution seeds the next Newton start), which tracks
+    a consistent operating branch through multi-stable regions. *)
+
+type result = {
+  values : float array;          (** the swept values *)
+  ops : Dcop.t array;            (** operating point at each value *)
+}
+
+val source :
+  ?options:Dcop.options -> Circuit.Netlist.t -> name:string ->
+  values:float array -> result
+(** Sweep the DC value of the named V/I source. Raises [Invalid_argument]
+    when the device is missing or not an independent source. *)
+
+val temperature :
+  ?options:Dcop.options -> Circuit.Netlist.t -> values:float array -> result
+
+val custom :
+  ?options:Dcop.options -> (float -> Circuit.Netlist.t) ->
+  values:float array -> result
+(** General form: [custom build ~values] solves [build v] for each value.
+    All circuits must share the same node set (the continuation reuses the
+    previous solution vector). *)
+
+val v : result -> Circuit.Netlist.node -> Numerics.Waveform.Real.t
+(** A node voltage as a waveform over the swept variable (requires the
+    swept values to be strictly increasing). *)
+
+val device_current : result -> string -> (float * float) array
+(** [(value, branch current)] pairs for a voltage-defined device. *)

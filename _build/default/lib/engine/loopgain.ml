@@ -1,0 +1,99 @@
+open Numerics
+
+type result = { freqs : float array; loop_gain : Waveform.Freq.t }
+
+let drive_node = "__lgdrive"
+
+let lc_break ?(l = 1e9) ?(c = 1e9) ~sweep circ ~device ~terminal =
+  let circ = Circuit.Transform.zero_ac_sources circ in
+  (* Record the net being broken before the edit. *)
+  let upstream =
+    match Circuit.Netlist.find_device circ device with
+    | Some d -> List.nth (Circuit.Netlist.device_nodes d) terminal
+    | None ->
+      invalid_arg (Printf.sprintf "Loopgain.lc_break: no device %S" device)
+  in
+  let circ = Circuit.Transform.break_loop_lc ~l ~c circ ~device ~terminal
+               ~drive:drive_node in
+  let circ =
+    Circuit.Netlist.vsource circ "__vlgdrive" drive_node Circuit.Netlist.ground
+      (Circuit.Netlist.ac_source 1.)
+  in
+  let ac = Ac.run ~sweep circ in
+  (* The injected unit AC drives the downstream (device-terminal) side; the
+     loop response returns on the upstream net. For a negative-feedback
+     loop the returned signal is -T * (injected), hence the negation. *)
+  let returned = Ac.v ac upstream in
+  { freqs = ac.Ac.freqs; loop_gain = Waveform.Freq.neg returned }
+
+(* Middlebrook double injection.
+
+   Break the wire into upstream net A (the rest of the old net) and
+   downstream net B (the moved device terminal). Model the linear circuit
+   seen from ports A/B (independent sources zeroed) as
+     i_into_B = y11 vB + y12 vA
+     i_into_A = y21 vB + y22 vA.
+   Reconnecting A to B makes the system singular iff
+   S = y11 + y12 + y21 + y22 = 0.
+
+   Run V: series source vinj = 1 between A and B. Measure Tv = -vA / vB.
+   Run I: 0 V ammeter between A and B plus 1 A AC injected into B. With
+   probe current i (flowing A -> B), the current into the B-side network is
+   1 + i and into the A-side network is -i; measure Ti = -i / (1 + i).
+   Then
+     T = (Tv Ti - 1) / (Tv + Ti + 2)
+   equals -1 exactly when S = 0, for any y12 (bidirectional break), and
+   reduces to y21 / (y11 + y22) for a unilateral break — the loop gain with
+   loading accounted for. T already carries the standard convention
+   (T(0) > 0 for a stable negative-feedback loop, instability when T hits
+   -1), matching {!lc_break}. *)
+let middlebrook ~sweep circ ~device ~terminal =
+  let circ = Circuit.Transform.zero_ac_sources circ in
+  (* Run V: series voltage injection. *)
+  let run_v =
+    let c, node_b =
+      Circuit.Transform.insert_series_vsource circ ~device ~terminal
+        ~vname:"__vinj" ~spec:(Circuit.Netlist.ac_source 1.)
+    in
+    let node_a =
+      match Circuit.Netlist.find_device c "__vinj" with
+      | Some (Circuit.Netlist.Vsource { npos; _ }) -> npos
+      | _ -> assert false
+    in
+    let ac = Ac.run ~sweep c in
+    let va = Ac.v ac node_a and vb = Ac.v ac node_b in
+    ( ac.Ac.freqs,
+      Array.mapi
+        (fun k a -> Cx.neg (Cx.( /: ) a vb.Waveform.Freq.h.(k)))
+        va.Waveform.Freq.h )
+  in
+  (* Run I: ammeter + shunt current injection into the B side. *)
+  let run_i =
+    let c, node_b =
+      Circuit.Transform.insert_series_vsource circ ~device ~terminal
+        ~vname:"__vamm" ~spec:(Circuit.Netlist.dc_source 0.)
+    in
+    let c =
+      Circuit.Netlist.isource c "__iinj" Circuit.Netlist.ground node_b
+        (Circuit.Netlist.ac_source 1.)
+    in
+    let ac = Ac.run ~sweep c in
+    let i_probe = Ac.branch_i ac "__vamm" in
+    Array.map
+      (fun i -> Cx.neg (Cx.( /: ) i (Cx.( +: ) Cx.one i)))
+      i_probe.Waveform.Freq.h
+  in
+  let freqs, tv = run_v in
+  let ti = run_i in
+  let t =
+    Array.mapi
+      (fun k tvk ->
+        let tik = ti.(k) in
+        let num = Cx.( -: ) (Cx.( *: ) tvk tik) Cx.one in
+        let den = Cx.( +: ) (Cx.( +: ) tvk tik) (Cx.of_float 2.) in
+        Cx.( /: ) num den)
+      tv
+  in
+  { freqs; loop_gain = Waveform.Freq.make freqs t }
+
+let margins r = Measure.margins r.loop_gain

@@ -1,0 +1,34 @@
+(** Loop-gain measurement — the "traditional" baselines the paper compares
+    its stability plot against (open-loop Bode / phase margin, Fig 3).
+
+    Two methods are provided:
+
+    - {!lc_break}: the classic bench method. The feedback wire is broken at
+      a chosen device terminal, re-closed through a huge inductor so the DC
+      bias still propagates, and the downstream side is driven through a
+      huge capacitor. Exact when the break point is unilateral and
+      high-impedance (e.g. a MOS gate); an approximation elsewhere.
+
+    - {!middlebrook}: double (series-voltage + shunt-current) injection at
+      the same break point, combined as [T = (Tv Ti - 1) / (Tv + Ti + 2)].
+      Exact including bidirectional loading: the combination equals -1
+      exactly when the closed loop is singular (derivation in the
+      implementation).
+
+    Both return the loop gain with the convention that a stable
+    negative-feedback loop has [T(0) > 0] with phase falling from 0 towards
+    -180 degrees, so {!Measure.margins} applies directly. *)
+
+type result = { freqs : float array; loop_gain : Waveform.Freq.t }
+
+val lc_break :
+  ?l:float -> ?c:float -> sweep:Numerics.Sweep.t -> Circuit.Netlist.t ->
+  device:string -> terminal:int -> result
+(** Break the wire feeding terminal [terminal] (0-based,
+    {!Circuit.Netlist.device_nodes} order) of device [device]. *)
+
+val middlebrook :
+  sweep:Numerics.Sweep.t -> Circuit.Netlist.t ->
+  device:string -> terminal:int -> result
+
+val margins : result -> Measure.margins

@@ -1,0 +1,77 @@
+type step_metrics = {
+  initial : float;
+  final : float;
+  peak : float;
+  peak_time : float;
+  overshoot_pct : float;
+  rise_time : float;
+  settle_time : float;
+}
+
+let step_metrics ?initial ?final (w : Waveform.Real.t) =
+  let initial = match initial with Some v -> v | None -> w.y.(0) in
+  let final = match final with Some v -> v | None -> Waveform.Real.final w in
+  let span = final -. initial in
+  let rising = span >= 0. in
+  let peak_time, peak =
+    if rising then Waveform.Real.maximum w else Waveform.Real.minimum w
+  in
+  let overshoot_pct =
+    if span = 0. then 0. else 100. *. (peak -. final) /. span
+  in
+  let cross lvl = Waveform.Real.crossings w lvl in
+  let rise_time =
+    let l10 = initial +. (0.1 *. span) and l90 = initial +. (0.9 *. span) in
+    match (cross l10, cross l90) with
+    | t10 :: _, t90 :: _ -> t90 -. t10
+    | _ -> Float.nan
+  in
+  let settle_time =
+    let band = 0.02 *. Float.abs span in
+    if band = 0. then Float.nan
+    else begin
+      (* Last time the waveform is outside the +/- band around final. *)
+      let last_out = ref Float.nan in
+      Array.iteri
+        (fun k y ->
+          if Float.abs (y -. final) > band then last_out := w.x.(k))
+        w.y;
+      !last_out
+    end
+  in
+  { initial; final; peak; peak_time; overshoot_pct; rise_time; settle_time }
+
+type margins = {
+  unity_freq : float option;
+  phase_margin_deg : float option;
+  phase_180_freq : float option;
+  gain_margin_db : float option;
+}
+
+let margins (t : Waveform.Freq.t) =
+  let db = Waveform.Freq.db t in
+  let ph = Waveform.Freq.phase_deg t in
+  let f = t.freqs in
+  let unity_freq = Numerics.Interp.first_crossing ~x:f ~y:db 0. in
+  let phase_margin_deg =
+    Option.map
+      (fun fu -> 180. +. Numerics.Interp.semilogx ~x:f ~y:ph fu)
+      unity_freq
+  in
+  let phase_180_freq = Numerics.Interp.first_crossing ~x:f ~y:ph (-180.) in
+  let gain_margin_db =
+    Option.map
+      (fun f180 -> -.Numerics.Interp.semilogx ~x:f ~y:db f180)
+      phase_180_freq
+  in
+  { unity_freq; phase_margin_deg; phase_180_freq; gain_margin_db }
+
+let pp_margins ppf m =
+  let fo ppf = function
+    | Some v -> Format.fprintf ppf "%s" (Numerics.Engnum.format v)
+    | None -> Format.fprintf ppf "n/a"
+  in
+  Format.fprintf ppf
+    "unity gain at %aHz, PM = %a deg; phase -180 at %aHz, GM = %a dB"
+    fo m.unity_freq fo m.phase_margin_deg fo m.phase_180_freq
+    fo m.gain_margin_db

@@ -1,0 +1,32 @@
+(** Waveform measurements: step-response metrics and stability margins. *)
+
+type step_metrics = {
+  initial : float;
+  final : float;
+  peak : float;
+  peak_time : float;
+  overshoot_pct : float;  (** 100 * (peak - final) / (final - initial) *)
+  rise_time : float;      (** 10 percent to 90 percent of the step; nan if
+                              the edges are not crossed *)
+  settle_time : float;    (** last excursion outside a 2 percent band; nan
+                              if never settled *)
+}
+
+val step_metrics :
+  ?initial:float -> ?final:float -> Waveform.Real.t -> step_metrics
+(** Analyse a step response. [initial] defaults to the first sample,
+    [final] to the last. *)
+
+type margins = {
+  unity_freq : float option;  (** first 0 dB crossing of the magnitude *)
+  phase_margin_deg : float option;
+      (** 180 + phase at the unity crossing (loop-gain convention: phase
+          starts near 0 for a stable negative-feedback loop) *)
+  phase_180_freq : float option;  (** first -180 degree phase crossing *)
+  gain_margin_db : float option;  (** -|T| in dB at that frequency *)
+}
+
+val margins : Waveform.Freq.t -> margins
+(** Gain/phase margins of a loop-gain response (paper Fig 3 quantities). *)
+
+val pp_margins : Format.formatter -> margins -> unit

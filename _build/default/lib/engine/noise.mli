@@ -1,0 +1,52 @@
+(** Small-signal noise analysis.
+
+    Motivated by the paper's section 1.2: "in an unstable loop, inherent
+    device noise or any signal at this frequency can start oscillations" —
+    the output noise spectrum of a marginal loop peaks at exactly the
+    natural frequency the stability plot reports, so the two views
+    corroborate each other.
+
+    Sources modelled at the operating point:
+    - resistors: thermal, S_i = 4kT/R;
+    - diodes: shot, S_i = 2 q Id;
+    - BJTs: collector shot 2 q Ic (c-e) and base shot 2 q Ib (b-e);
+    - MOSFETs: channel thermal 4 k T (2/3) gm (d-s).
+    Flicker noise is supported through the optional model parameters [kf]
+    and [af] (S_i = kf * I^af / f, added to the device's main junction);
+    it defaults to off. Correlations are neglected (standard practice at
+    this model level).
+
+    The computation uses the adjoint (transposed-system) method: one extra
+    factorisation per frequency gives the transfer from every noise source
+    to the chosen output at once. *)
+
+type contribution = {
+  device : string;
+  kind : string;            (** "thermal" | "shot-ic" | "shot-ib" |
+                                "channel" | "flicker" *)
+  psd : float array;        (** its share of the output PSD, V^2/Hz *)
+}
+
+type result = {
+  freqs : float array;
+  total : float array;      (** output noise PSD, V^2/Hz *)
+  contributions : contribution list;
+}
+
+val run :
+  ?gmin:float -> sweep:Numerics.Sweep.t -> output:Circuit.Netlist.node ->
+  Circuit.Netlist.t -> result
+
+val run_compiled :
+  ?gmin:float -> sweep:Numerics.Sweep.t -> output:Circuit.Netlist.node ->
+  op:Dcop.t -> Mna.t -> result
+
+val total_rms : result -> float
+(** sqrt of the PSD integrated over the sweep (trapezoidal on the actual
+    grid), volts. *)
+
+val spot_contributions : result -> at_hz:float -> (string * string * float) list
+(** [(device, kind, V^2/Hz)] at the grid point nearest [at_hz], sorted by
+    descending contribution. *)
+
+val pp_summary : at_hz:float -> Format.formatter -> result -> unit

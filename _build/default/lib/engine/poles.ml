@@ -1,0 +1,127 @@
+open Numerics
+
+type pole = {
+  s : Complex.t;
+  freq_hz : float;
+  zeta : float;
+}
+
+(* Split the small-signal system into the pencil G + sC: everything the AC
+   stamper multiplies by jw goes into C, the rest into G. *)
+let system_matrices ?(gmin = 1e-12) (op : Dcop.t) =
+  let mna = op.Dcop.mna in
+  let size = mna.Mna.size in
+  let g = Rmat.create size size and c = Rmat.create size size in
+  let stamp_g2 i j v =
+    Mna.stamp_mat g i i v;
+    Mna.stamp_mat g j j v;
+    Mna.stamp_mat g i j (-.v);
+    Mna.stamp_mat g j i (-.v)
+  in
+  let stamp_c2 i j v =
+    Mna.stamp_mat c i i v;
+    Mna.stamp_mat c j j v;
+    Mna.stamp_mat c i j (-.v);
+    Mna.stamp_mat c j i (-.v)
+  in
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | Mna.E_res { i; j; g = gv } -> stamp_g2 i j gv
+      | Mna.E_cap { i; j; c = cv; _ } -> stamp_c2 i j cv
+      | Mna.E_ind { i; j; l; br; _ } ->
+        Mna.stamp_mat g i br 1.;
+        Mna.stamp_mat g j br (-1.);
+        Mna.stamp_mat g br i 1.;
+        Mna.stamp_mat g br j (-1.);
+        Mna.stamp_mat c br br (-.l)
+      | Mna.E_vsrc { i; j; br; _ } ->
+        Mna.stamp_mat g i br 1.;
+        Mna.stamp_mat g j br (-1.);
+        Mna.stamp_mat g br i 1.;
+        Mna.stamp_mat g br j (-1.)
+      | Mna.E_isrc _ -> ()
+      | Mna.E_vcvs { i; j; ci; cj; br; gain } ->
+        Mna.stamp_mat g i br 1.;
+        Mna.stamp_mat g j br (-1.);
+        Mna.stamp_mat g br i 1.;
+        Mna.stamp_mat g br j (-1.);
+        Mna.stamp_mat g br ci (-.gain);
+        Mna.stamp_mat g br cj gain
+      | Mna.E_vccs { i; j; ci; cj; gm } ->
+        Mna.stamp_mat g i ci gm;
+        Mna.stamp_mat g i cj (-.gm);
+        Mna.stamp_mat g j ci (-.gm);
+        Mna.stamp_mat g j cj gm
+      | Mna.E_cccs { i; j; cbr; gain } ->
+        Mna.stamp_mat g i cbr gain;
+        Mna.stamp_mat g j cbr (-.gain)
+      | Mna.E_ccvs { i; j; cbr; br; rm } ->
+        Mna.stamp_mat g i br 1.;
+        Mna.stamp_mat g j br (-1.);
+        Mna.stamp_mat g br i 1.;
+        Mna.stamp_mat g br j (-1.);
+        Mna.stamp_mat g br cbr (-.rm)
+      | Mna.E_mut { br1; br2; m } ->
+        Mna.stamp_mat c br1 br2 (-.m);
+        Mna.stamp_mat c br2 br1 (-.m)
+      | Mna.E_diode _ | Mna.E_bjt _ | Mna.E_mos _ -> ())
+    mna.Mna.elems;
+  List.iter
+    (function
+      | Linearize.L_g { i; j; g = gv } -> stamp_g2 i j gv
+      | Linearize.L_c { i; j; c = cv } -> stamp_c2 i j cv
+      | Linearize.L_quad { out_p; out_m; ctrl_p; ctrl_m; gm } ->
+        Mna.stamp_mat g out_p ctrl_p gm;
+        Mna.stamp_mat g out_p ctrl_m (-.gm);
+        Mna.stamp_mat g out_m ctrl_p (-.gm);
+        Mna.stamp_mat g out_m ctrl_m gm)
+    (Linearize.of_op op);
+  for i = 0 to mna.Mna.n_nodes - 1 do
+    Rmat.add_to g i i gmin
+  done;
+  (g, c)
+
+let compute ?gmin ?(max_hz = 1e12) op =
+  let g, c = system_matrices ?gmin op in
+  let n = Rmat.rows g in
+  (* Poles satisfy G x = -s C x. With G invertible (gmin guarantees it),
+     the eigenvalues mu of G^-1 C give s = -1/mu; mu ~ 0 corresponds to the
+     pencil's infinite eigenvalues (nodes without storage). *)
+  let lu = Rmat.lu_factor g in
+  let m =
+    Rmat.init n n (fun _ _ -> 0.)
+  in
+  for j = 0 to n - 1 do
+    let col = Array.init n (fun i -> Rmat.get c i j) in
+    let x = Rmat.lu_solve lu col in
+    for i = 0 to n - 1 do
+      Rmat.set m i j x.(i)
+    done
+  done;
+  let mus = Eigen.eigenvalues m in
+  let smax = 2. *. Float.pi *. max_hz in
+  mus
+  |> List.filter_map (fun mu ->
+      if Cx.mag mu < 1. /. smax then None
+      else begin
+        let s = Cx.neg (Cx.inv mu) in
+        let wn = Cx.mag s in
+        Some { s; freq_hz = wn /. (2. *. Float.pi); zeta = -.s.Complex.re /. wn }
+      end)
+  |> List.sort (fun a b -> compare (Cx.mag a.s) (Cx.mag b.s))
+
+let of_circuit ?gmin ?max_hz circ =
+  compute ?gmin ?max_hz (Dcop.solve (Mna.compile circ))
+
+let complex_pairs poles =
+  poles
+  |> List.filter (fun p ->
+      p.s.Complex.im > 1e-9 *. Cx.mag p.s (* one of each conjugate pair *))
+  |> List.sort (fun a b -> compare a.freq_hz b.freq_hz)
+
+let is_stable poles = List.for_all (fun p -> p.s.Complex.re < 0.) poles
+
+let pp ppf p =
+  Format.fprintf ppf "s = %a rad/s (f = %sHz, zeta = %.4f)" Cx.pp p.s
+    (Engnum.format p.freq_hz) p.zeta

@@ -1,0 +1,160 @@
+(** Element stamping shared by the DC and transient analyses.
+
+    Real-valued MNA stamps. Capacitors and inductors are handled by the
+    caller (open/short at DC, companion models in transient); everything
+    else stamps identically in both analyses, with independent-source
+    values supplied by a caller-provided valuation so DC can scale sources
+    (source stepping) and transient can evaluate waveforms at time t. *)
+
+open Mna
+
+(* Junction-limiting state: two slots per element (vbe/vbc for BJTs, vd for
+   diodes). Initialised near a forward-biased junction so the first Newton
+   iteration starts the exponentials in a sane region (what SPICE does with
+   vcrit). *)
+let make_limit_state mna =
+  let st = Array.make (2 * Array.length mna.elems) 0. in
+  Array.iteri
+    (fun k (_, e) ->
+      match e with
+      | E_diode _ -> st.(2 * k) <- 0.65
+      | E_bjt _ ->
+        st.(2 * k) <- 0.65;
+        st.((2 * k) + 1) <- 0.
+      | _ -> ())
+    mna.elems;
+  st
+
+let v_at x i = if i < 0 then 0. else x.(i)
+
+(* Linear static elements: R, independent sources, controlled sources.
+   [src_value] maps a source spec to its present value. *)
+let stamp_static mna ~(src_value : Circuit.Netlist.source_spec -> float) a b =
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | E_res { i; j; g } -> stamp_g a i j g
+      | E_cap _ | E_ind _ -> ()
+      | E_vsrc { i; j; br; spec } ->
+        stamp_mat a i br 1.;
+        stamp_mat a j br (-1.);
+        stamp_mat a br i 1.;
+        stamp_mat a br j (-1.);
+        stamp_rhs b br (src_value spec)
+      | E_isrc { i; j; spec } ->
+        let v = src_value spec in
+        stamp_rhs b i (-.v);
+        stamp_rhs b j v
+      | E_vcvs { i; j; ci; cj; br; gain } ->
+        stamp_mat a i br 1.;
+        stamp_mat a j br (-1.);
+        stamp_mat a br i 1.;
+        stamp_mat a br j (-1.);
+        stamp_mat a br ci (-.gain);
+        stamp_mat a br cj gain
+      | E_vccs { i; j; ci; cj; gm } ->
+        stamp_mat a i ci gm;
+        stamp_mat a i cj (-.gm);
+        stamp_mat a j ci (-.gm);
+        stamp_mat a j cj gm
+      | E_cccs { i; j; cbr; gain } ->
+        stamp_mat a i cbr gain;
+        stamp_mat a j cbr (-.gain)
+      | E_ccvs { i; j; cbr; br; rm } ->
+        stamp_mat a i br 1.;
+        stamp_mat a j br (-1.);
+        stamp_mat a br i 1.;
+        stamp_mat a br j (-1.);
+        stamp_mat a br cbr (-.rm)
+      | E_mut _ (* reactive only: no DC stamp *)
+      | E_diode _ | E_bjt _ | E_mos _ -> ())
+    mna.elems
+
+(* A nonlinear two-junction device with polarity [sign] (+1 NPN/NMOS,
+   -1 PNP/PMOS) has terminal current I_node = sign * I(u1, u2) with
+   junction voltages u = sign * (V_p - V_m). Linearising around the
+   evaluation point u0,
+     I_node ~ sign*I(u0) + sign*da*(u1 - u1_0) + sign*db*(u2 - u2_0)
+   and since u1 = sign*(V_p1 - V_m1) the matrix coefficient of V_p1 is
+   sign^2*da = da: the Jacobian stamps are polarity-independent while the
+   RHS constant carries the sign. [da]/[db] and [u1]/[u2] are the
+   reference-polarity derivatives and junction voltages. *)
+let stamp_terminal a b ~row ~da ~db ~value ~u1 ~u2
+    ~(j1 : int * int) ~(j2 : int * int) ~sign =
+  let p1, m1 = j1 and p2, m2 = j2 in
+  stamp_mat a row p1 da;
+  stamp_mat a row m1 (-.da);
+  stamp_mat a row p2 db;
+  stamp_mat a row m2 (-.db);
+  let const = sign *. (value -. (da *. u1) -. (db *. u2)) in
+  stamp_rhs b row (-.const)
+
+(* Nonlinear devices linearised around the (limited) junction voltages.
+   Returns true when any junction step was limited, which defers
+   convergence. [limst] is updated in place with the voltages used. *)
+let stamp_nonlinear mna ~x ~limst a b =
+  let temp_c = mna.temp_c in
+  let limited = ref false in
+  Array.iteri
+    (fun k (_, e) ->
+      match e with
+      | E_res _ | E_cap _ | E_ind _ | E_vsrc _ | E_isrc _ | E_vcvs _
+      | E_vccs _ | E_cccs _ | E_ccvs _ | E_mut _ -> ()
+      | E_diode { i; j; p; area } ->
+        let vd = v_at x i -. v_at x j in
+        let r =
+          Devices.Diode_model.dc p ~area ~temp_c ~vd ~vd_old:limst.(2 * k)
+        in
+        limst.(2 * k) <- r.vd_used;
+        if r.limited then limited := true;
+        stamp_g a i j r.gd;
+        let const = r.id -. (r.gd *. r.vd_used) in
+        stamp_rhs b i (-.const);
+        stamp_rhs b j const
+      | E_bjt { c; b = nb; e = ne; p; area; sign } ->
+        let vbe = sign *. (v_at x nb -. v_at x ne) in
+        let vbc = sign *. (v_at x nb -. v_at x c) in
+        let r =
+          Devices.Bjt_model.dc p ~area ~temp_c ~vbe ~vbc
+            ~vbe_old:limst.(2 * k) ~vbc_old:limst.((2 * k) + 1)
+        in
+        limst.(2 * k) <- r.vbe_used;
+        limst.((2 * k) + 1) <- r.vbc_used;
+        if r.limited then limited := true;
+        (* Junctions in node voltages: vbe = sign (Vb - Ve),
+           vbc = sign (Vb - Vc). Terminal currents (into the terminal):
+           collector sign*ic, base sign*ib, emitter -sign*(ic+ib). *)
+        let j1 = (nb, ne) and j2 = (nb, c) in
+        let stamp_t ~row ~value ~da ~db =
+          stamp_terminal a b ~row ~da ~db ~value ~u1:r.vbe_used
+            ~u2:r.vbc_used ~j1 ~j2 ~sign
+        in
+        stamp_t ~row:c ~value:r.ic ~da:r.d_ic_dvbe ~db:r.d_ic_dvbc;
+        stamp_t ~row:nb ~value:r.ib ~da:r.d_ib_dvbe ~db:r.d_ib_dvbc;
+        stamp_t ~row:ne
+          ~value:(-.(r.ic +. r.ib))
+          ~da:(-.(r.d_ic_dvbe +. r.d_ib_dvbe))
+          ~db:(-.(r.d_ic_dvbc +. r.d_ib_dvbc))
+      | E_mos { d; g; s; p; w; l; sign; _ } ->
+        let vgs = sign *. (v_at x g -. v_at x s) in
+        let vds = sign *. (v_at x d -. v_at x s) in
+        let r = Devices.Mos_model.dc p ~w ~l ~vgs ~vds in
+        (* Junctions: vgs = sign (Vg - Vs), vds = sign (Vd - Vs);
+           drain current into drain = sign*ids, source = -sign*ids. *)
+        let j1 = (g, s) and j2 = (d, s) in
+        let stamp_t ~row ~value ~da ~db =
+          stamp_terminal a b ~row ~da ~db ~value ~u1:vgs ~u2:vds ~j1 ~j2
+            ~sign
+        in
+        stamp_t ~row:d ~value:r.ids ~da:r.d_ids_dvgs ~db:r.d_ids_dvds;
+        stamp_t ~row:s
+          ~value:(-.r.ids)
+          ~da:(-.r.d_ids_dvgs)
+          ~db:(-.r.d_ids_dvds))
+    mna.elems;
+  !limited
+
+let stamp_gmin mna ~gmin a =
+  for i = 0 to mna.n_nodes - 1 do
+    Numerics.Rmat.add_to a i i gmin
+  done

@@ -1,0 +1,301 @@
+type options = {
+  dc_options : Dcop.options;
+  max_newton_per_step : int;
+  be_steps : int;
+}
+
+let default_options =
+  { dc_options = Dcop.default_options; max_newton_per_step = 50; be_steps = 2 }
+
+type result = {
+  mna : Mna.t;
+  times : float array;
+  solutions : float array array;
+}
+
+exception Step_failure of { time : float; message : string }
+
+let v_at x i = if i < 0 then 0. else x.(i)
+
+(* Per-reactive-element integration state. *)
+type state = {
+  cap_v : float array;  (* capacitor voltages, indexed by elem position *)
+  cap_i : float array;  (* capacitor currents *)
+  ind_v : float array;  (* inductor voltages *)
+}
+
+let source_value_at t (spec : Circuit.Netlist.source_spec) =
+  Devices.Waveshape.eval ~dc:spec.dc spec.wave t
+
+(* Waveform breakpoints in (0, tstop]: the integrators must land on these
+   exactly. *)
+let breakpoints_of mna ~tstop =
+  let bps = ref [ tstop ] in
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | Mna.E_vsrc { spec; _ } | Mna.E_isrc { spec; _ } ->
+        bps := Devices.Waveshape.breakpoints spec.wave ~tstop @ !bps
+      | _ -> ())
+    mna.Mna.elems;
+  List.sort_uniq compare (List.filter (fun t -> t > 0.) !bps)
+
+(* DC start with every source at its t = 0 value, so a stimulus that fires
+   later starts the run from true steady state. *)
+let initial_op mna options circ =
+  ignore mna;
+  let circ0 =
+    Circuit.Netlist.map_devices
+      (fun d ->
+        match d with
+        | Circuit.Netlist.Vsource x ->
+          Circuit.Netlist.Vsource
+            { x with spec = { x.spec with dc = source_value_at 0. x.spec } }
+        | Circuit.Netlist.Isource x ->
+          Circuit.Netlist.Isource
+            { x with spec = { x.spec with dc = source_value_at 0. x.spec } }
+        | d -> d)
+      circ
+  in
+  Dcop.solve ~options:options.dc_options (Mna.compile circ0)
+
+let initial_state mna x =
+  let n_elems = Array.length mna.Mna.elems in
+  let st =
+    { cap_v = Array.make n_elems 0.;
+      cap_i = Array.make n_elems 0.;
+      ind_v = Array.make n_elems 0. }
+  in
+  Array.iteri
+    (fun k (_, e) ->
+      match e with
+      | Mna.E_cap { i; j; _ } -> st.cap_v.(k) <- v_at x i -. v_at x j
+      | Mna.E_ind { i; j; _ } -> st.ind_v.(k) <- v_at x i -. v_at x j
+      | _ -> ())
+    mna.Mna.elems;
+  st
+
+(* One integration step from the accepted solution [x] (and reactive state
+   [st]) to time [t_new = t + h]. Pure with respect to [st] and [x]; the
+   caller commits on acceptance. *)
+let attempt_step mna options ~limst ~st ~x ~t_new ~h ~use_be =
+  let load ~x:xc a b =
+    Stamps.stamp_static mna ~src_value:(source_value_at t_new) a b;
+    Stamps.stamp_gmin mna ~gmin:options.dc_options.Dcop.gmin a;
+    Array.iteri
+      (fun ke (_, e) ->
+        match e with
+        | Mna.E_cap { i; j; c; _ } ->
+          (* Companion: i = geq (v - v_n) [+ trap history]. *)
+          let geq = if use_be then c /. h else 2. *. c /. h in
+          let hist =
+            if use_be then -.(geq *. st.cap_v.(ke))
+            else -.((geq *. st.cap_v.(ke)) +. st.cap_i.(ke))
+          in
+          Mna.stamp_g a i j geq;
+          (* Current leaving node i through the cap: geq*v + hist, so the
+             constant part moves to the RHS with opposite sign. *)
+          Mna.stamp_rhs b i (-.hist);
+          Mna.stamp_rhs b j hist
+        | Mna.E_ind { i; j; l; br; _ } ->
+          (* v = L di/dt. BE: v_new = (L/h)(i_new - i_n);
+             trap: v_new = (2L/h)(i_new - i_n) - v_n.
+             Branch row: v_i - v_j - zeq*i_new = rhs_hist. *)
+          let zeq = if use_be then l /. h else 2. *. l /. h in
+          Mna.stamp_mat a i br 1.;
+          Mna.stamp_mat a j br (-1.);
+          Mna.stamp_mat a br i 1.;
+          Mna.stamp_mat a br j (-1.);
+          Mna.stamp_mat a br br (-.zeq);
+          let i_n = x.(br) in
+          let rhs_hist =
+            if use_be then -.(zeq *. i_n)
+            else -.(zeq *. i_n) -. st.ind_v.(ke)
+          in
+          Mna.stamp_rhs b br rhs_hist
+        | Mna.E_mut { br1; br2; m } ->
+          (* Coupled branches: v1 gains (2M/h)(i2 - i2_n) under the
+             trapezoidal rule ((M/h) under BE), and symmetrically. The
+             self-inductance history already carries -v_n, so only the
+             M di/dt part appears here. *)
+          let zeq = if use_be then m /. h else 2. *. m /. h in
+          Mna.stamp_mat a br1 br2 (-.zeq);
+          Mna.stamp_mat a br2 br1 (-.zeq);
+          Mna.stamp_rhs b br1 (-.(zeq *. x.(br2)));
+          Mna.stamp_rhs b br2 (-.(zeq *. x.(br1)))
+        | _ -> ())
+      mna.Mna.elems;
+    Stamps.stamp_nonlinear mna ~x:xc ~limst a b
+  in
+  let opts_step =
+    { options.dc_options with Dcop.max_iter = options.max_newton_per_step }
+  in
+  Dcop.newton ~size:mna.Mna.size ~n_nodes:mna.Mna.n_nodes ~load ~x0:x
+    opts_step
+
+(* Commit an accepted step: update the reactive histories in place. *)
+let commit_step mna ~st ~h ~use_be x_new =
+  Array.iteri
+    (fun ke (_, e) ->
+      match e with
+      | Mna.E_cap { i; j; c; _ } ->
+        let v_new = v_at x_new i -. v_at x_new j in
+        let geq = if use_be then c /. h else 2. *. c /. h in
+        let i_new =
+          if use_be then geq *. (v_new -. st.cap_v.(ke))
+          else (geq *. (v_new -. st.cap_v.(ke))) -. st.cap_i.(ke)
+        in
+        st.cap_v.(ke) <- v_new;
+        st.cap_i.(ke) <- i_new
+      | Mna.E_ind { i; j; _ } -> st.ind_v.(ke) <- v_at x_new i -. v_at x_new j
+      | _ -> ())
+    mna.Mna.elems
+
+(* ---------------- fixed-step driver ---------------- *)
+
+let run ?(options = default_options) ~tstop ~tstep circ =
+  if tstop <= 0. || tstep <= 0. then invalid_arg "Transient.run: times";
+  let mna = Mna.compile circ in
+  let op = initial_op mna options circ in
+  let x = Array.copy op.Dcop.x in
+  let st = initial_state mna x in
+  (* Uniform grid segments between breakpoints. *)
+  let bps = 0. :: breakpoints_of mna ~tstop in
+  let times =
+    let out = ref [] in
+    let rec fill = function
+      | a :: (b :: _ as rest) ->
+        let n = Int.max 1 (int_of_float (ceil (((b -. a) /. tstep) -. 1e-9))) in
+        for k = 0 to n - 1 do
+          out := (a +. ((b -. a) *. float_of_int k /. float_of_int n)) :: !out
+        done;
+        fill rest
+      | [ last ] -> out := last :: !out
+      | [] -> ()
+    in
+    fill bps;
+    Array.of_list (List.rev !out)
+  in
+  let is_breakpoint t =
+    List.exists (fun b -> Float.abs (b -. t) < 1e-18) bps
+  in
+  let solutions = Array.make (Array.length times) [||] in
+  solutions.(0) <- Array.copy x;
+  let limst = Stamps.make_limit_state mna in
+  let be_countdown = ref options.be_steps in
+  for k = 1 to Array.length times - 1 do
+    let t_new = times.(k) in
+    let h = t_new -. times.(k - 1) in
+    let use_be = !be_countdown > 0 in
+    if use_be then decr be_countdown;
+    (match attempt_step mna options ~limst ~st ~x ~t_new ~h ~use_be with
+     | Ok (x_new, _) ->
+       commit_step mna ~st ~h ~use_be x_new;
+       Array.blit x_new 0 x 0 mna.Mna.size;
+       solutions.(k) <- Array.copy x_new
+     | Error m -> raise (Step_failure { time = t_new; message = m }));
+    if is_breakpoint t_new then be_countdown := options.be_steps
+  done;
+  { mna; times; solutions }
+
+(* ---------------- adaptive driver ---------------- *)
+
+(* Quadratic extrapolation of the node voltages through the last three
+   accepted points, used as the local-truncation-error reference: the
+   trapezoidal corrector and the explicit predictor are both second order
+   with different error constants, so their difference tracks the LTE. *)
+let predict ~t0 ~x0 ~t1 ~x1 ~t2 ~x2 ~t n =
+  Array.init n (fun i ->
+      let l0 = (t -. t1) *. (t -. t2) /. ((t0 -. t1) *. (t0 -. t2)) in
+      let l1 = (t -. t0) *. (t -. t2) /. ((t1 -. t0) *. (t1 -. t2)) in
+      let l2 = (t -. t0) *. (t -. t1) /. ((t2 -. t0) *. (t2 -. t1)) in
+      (l0 *. x0.(i)) +. (l1 *. x1.(i)) +. (l2 *. x2.(i)))
+
+let run_adaptive ?(options = default_options) ?(lte_tol = 1e-3)
+    ?(dt_min = 1e-15) ?dt_max ~tstop ~dt_start circ =
+  if tstop <= 0. || dt_start <= 0. then
+    invalid_arg "Transient.run_adaptive: times";
+  let dt_max = Option.value dt_max ~default:(tstop /. 20.) in
+  let mna = Mna.compile circ in
+  let op = initial_op mna options circ in
+  let x = Array.copy op.Dcop.x in
+  let st = initial_state mna x in
+  let limst = Stamps.make_limit_state mna in
+  let bps = ref (breakpoints_of mna ~tstop) in
+  let times = ref [ 0. ] in
+  let sols = ref [ Array.copy x ] in
+  (* History ring for the predictor. *)
+  let hist = ref [ (0., Array.copy x) ] in
+  let t = ref 0. in
+  let h = ref dt_start in
+  let be_countdown = ref options.be_steps in
+  while !t < tstop -. 1e-18 do
+    (* Never step across a breakpoint. *)
+    let next_bp = match !bps with b :: _ -> b | [] -> tstop in
+    let h_eff = Float.min !h (next_bp -. !t) in
+    let t_new = !t +. h_eff in
+    let use_be = !be_countdown > 0 in
+    match
+      attempt_step mna options ~limst ~st ~x ~t_new ~h:h_eff ~use_be
+    with
+    | Error m ->
+      (* Newton failure: retry with a smaller step. *)
+      h := h_eff /. 4.;
+      if !h < dt_min then raise (Step_failure { time = t_new; message = m })
+    | Ok (x_new, _) ->
+      let err =
+        match !hist with
+        | (t2, x2) :: (t1, x1) :: (t0, x0) :: _ when not use_be ->
+          let pred =
+            predict ~t0 ~x0 ~t1 ~x1 ~t2 ~x2 ~t:t_new mna.Mna.n_nodes
+          in
+          let worst = ref 0. in
+          for i = 0 to mna.Mna.n_nodes - 1 do
+            let scale =
+              (lte_tol *. Float.max 1. (Float.abs x_new.(i))) +. 1e-9
+            in
+            worst :=
+              Float.max !worst (Float.abs (x_new.(i) -. pred.(i)) /. scale)
+          done;
+          !worst
+        | _ -> 0.5 (* no history yet: accept and keep the step *)
+      in
+      if err > 1. && h_eff > dt_min then begin
+        (* Reject: shrink towards the tolerance (LTE ~ h^3). *)
+        h := Float.max dt_min (h_eff *. Float.max 0.2 (0.9 /. Float.cbrt err))
+      end
+      else begin
+        if use_be then decr be_countdown;
+        commit_step mna ~st ~h:h_eff ~use_be x_new;
+        Array.blit x_new 0 x 0 mna.Mna.size;
+        t := t_new;
+        times := t_new :: !times;
+        sols := Array.copy x_new :: !sols;
+        hist :=
+          (t_new, Array.copy x_new)
+          :: (match !hist with a :: b :: _ -> [ a; b ] | l -> l);
+        (match !bps with
+         | b :: rest when Float.abs (b -. t_new) < 1e-18 ->
+           bps := rest;
+           be_countdown := options.be_steps;
+           hist := [ (t_new, Array.copy x_new) ]
+         | _ -> ());
+        (* Grow gently when the error leaves room. *)
+        let growth =
+          if err < 0.1 then 2. else Float.min 2. (0.9 /. Float.cbrt err)
+        in
+        h := Float.min dt_max (Float.max dt_min (h_eff *. growth))
+      end
+  done;
+  { mna;
+    times = Array.of_list (List.rev !times);
+    solutions = Array.of_list (List.rev !sols) }
+
+let v r n =
+  let i = Mna.node_index r.mna n in
+  Waveform.Real.make r.times
+    (Array.map (fun sol -> if i < 0 then 0. else sol.(i)) r.solutions)
+
+let branch_i r name =
+  let i = Mna.branch_index r.mna name in
+  Waveform.Real.make r.times (Array.map (fun sol -> sol.(i)) r.solutions)

@@ -1,0 +1,46 @@
+(** Transient (time-domain) analysis.
+
+    Trapezoidal integration with backward-Euler start-up steps after t = 0
+    and after every source breakpoint (pulse edges, PWL corners), Newton
+    iteration at every step. The initial state is the DC operating point
+    computed with every source held at its t = 0 waveform value, so a step
+    that fires at t > 0 starts from true steady state. [IC=] values on
+    capacitors/inductors are accepted by the netlist reader but the
+    operating-point start is always used (documented simplification). *)
+
+type options = {
+  dc_options : Dcop.options;
+  max_newton_per_step : int;   (** Newton iterations per time step (50) *)
+  be_steps : int;              (** backward-Euler steps after a breakpoint (2) *)
+}
+
+val default_options : options
+
+type result = {
+  mna : Mna.t;
+  times : float array;
+  solutions : float array array;  (** [solutions.(k)] is the unknown vector at [times.(k)] *)
+}
+
+exception Step_failure of { time : float; message : string }
+
+val run :
+  ?options:options -> tstop:float -> tstep:float -> Circuit.Netlist.t ->
+  result
+(** Simulate from 0 to [tstop] with nominal step [tstep] (steps are split
+    to land exactly on waveform breakpoints). *)
+
+val run_adaptive :
+  ?options:options -> ?lte_tol:float -> ?dt_min:float -> ?dt_max:float ->
+  tstop:float -> dt_start:float -> Circuit.Netlist.t -> result
+(** Variable-step driver: the local truncation error — estimated as the
+    difference between the trapezoidal corrector and a quadratic
+    predictor through the last three accepted points — is held near
+    [lte_tol] (relative, default 1e-3) by shrinking and growing the step
+    within [dt_min, dt_max] (default [tstop/20]). Steps land exactly on
+    waveform breakpoints and restart with backward-Euler there. Cheaper
+    than {!run} on waveforms with quiet stretches, at identical accuracy
+    on the active parts. *)
+
+val v : result -> Circuit.Netlist.node -> Waveform.Real.t
+val branch_i : result -> string -> Waveform.Real.t

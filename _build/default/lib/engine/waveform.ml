@@ -1,0 +1,5 @@
+(** Re-export of {!Numerics.Waveform} under the engine namespace: analyses
+    return waveforms, so keeping [Engine.Waveform] spares users a second
+    import. *)
+
+include Numerics.Waveform

@@ -1,0 +1,1 @@
+lib/numerics/eigen.ml: Complex Float Int Rmat

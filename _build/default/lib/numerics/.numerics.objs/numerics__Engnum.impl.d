@@ -1,0 +1,1 @@
+lib/numerics/engnum.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/numerics/field.ml: Complex Cx Float Format

@@ -1,0 +1,1 @@
+lib/numerics/peak.ml: Array Float Int List Vec

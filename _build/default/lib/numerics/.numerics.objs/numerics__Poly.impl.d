@@ -1,0 +1,1 @@
+lib/numerics/poly.ml: Array Complex Cx Float Format Int List

@@ -1,0 +1,1 @@
+lib/numerics/rmat.ml: Dense Field

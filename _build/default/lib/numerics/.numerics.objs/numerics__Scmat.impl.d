@@ -1,0 +1,1 @@
+lib/numerics/scmat.ml: Field Sparse

@@ -1,0 +1,1 @@
+lib/numerics/sparse.ml: Array Field Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/numerics/srmat.ml: Field Sparse

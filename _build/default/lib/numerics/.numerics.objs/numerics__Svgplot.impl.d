@@ -1,0 +1,1 @@
+lib/numerics/svgplot.ml: Array Buffer Engnum Float List Printf String

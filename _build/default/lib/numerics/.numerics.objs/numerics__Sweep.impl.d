@@ -1,0 +1,1 @@
+lib/numerics/sweep.ml: Array Engnum Format Int Vec

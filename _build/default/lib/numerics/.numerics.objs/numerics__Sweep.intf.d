@@ -1,0 +1,1 @@
+lib/numerics/sweep.mli: Format

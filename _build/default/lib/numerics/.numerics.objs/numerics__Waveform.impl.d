@@ -1,0 +1,1 @@
+lib/numerics/waveform.ml: Array Buffer Complex Cx Deriv Interp Printf Vec

@@ -1,0 +1,1 @@
+lib/numerics/waveform.mli: Complex

@@ -1,0 +1,3 @@
+(** Dense complex matrices (see {!Dense} for the operation set). *)
+
+include Dense.Make (Field.Complex_field)

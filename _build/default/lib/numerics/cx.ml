@@ -1,0 +1,35 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im = { re; im }
+let of_float re = { re; im = 0. }
+let j_omega w = { re = 0.; im = w }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let inv = Complex.inv
+let scale k z = { re = k *. z.re; im = k *. z.im }
+let mag = Complex.norm
+let mag2 z = (z.re *. z.re) +. (z.im *. z.im)
+let phase = Complex.arg
+let phase_deg z = Complex.arg z *. 180. /. Float.pi
+let db20 z = 20. *. log10 (Complex.norm z)
+let polar m a = Complex.polar m a
+let is_finite z = Float.is_finite z.re && Float.is_finite z.im
+
+let close ?(tol = 1e-9) a b =
+  let d = mag (Complex.sub a b) in
+  d <= tol *. Float.max 1. (Float.max (mag a) (mag b))
+
+let pp ppf z =
+  (* Normalise the negative zero "-0" %g would print. *)
+  let im = if z.im = 0. then 0. else z.im in
+  if im >= 0. then Format.fprintf ppf "%.6g+%.6gi" z.re im
+  else Format.fprintf ppf "%.6g-%.6gi" z.re (-.im)
+
+let to_string z = Format.asprintf "%a" pp z

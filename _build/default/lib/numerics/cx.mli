@@ -1,0 +1,42 @@
+(** Complex-number helpers on top of [Stdlib.Complex].
+
+    All angles are in radians unless a function name says degrees. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val make : float -> float -> t
+val of_float : float -> t
+val j_omega : float -> t
+(** [j_omega w] is [0 + jw], the Laplace variable on the imaginary axis. *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+val scale : float -> t -> t
+
+val mag : t -> float
+val mag2 : t -> float
+(** Squared magnitude, cheaper than [mag]. *)
+
+val phase : t -> float
+val phase_deg : t -> float
+val db20 : t -> float
+(** [db20 z] is [20 * log10 (mag z)]. *)
+
+val polar : float -> float -> t
+(** [polar m a] is the complex of magnitude [m], phase [a] radians. *)
+
+val is_finite : t -> bool
+val close : ?tol:float -> t -> t -> bool
+(** Relative/absolute mixed closeness with default [tol = 1e-9]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

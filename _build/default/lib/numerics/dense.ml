@@ -1,0 +1,148 @@
+(** Dense matrices with LU factorisation over an arbitrary scalar field.
+
+    Circuit matrices in this project are small (tens to a few hundred
+    unknowns), so a dense row-major representation with partial-pivoting LU
+    is both simple and fast enough; see DESIGN.md section 6. *)
+
+exception Singular of int
+(** Raised by factorisation when no usable pivot exists; the payload is the
+    elimination column at which the matrix was found singular. *)
+
+module Make (F : Field.S) = struct
+  type elt = F.t
+
+  type t = { rows : int; cols : int; data : elt array }
+
+  let create rows cols =
+    if rows < 0 || cols < 0 then invalid_arg "Dense.create";
+    { rows; cols; data = Array.make (rows * cols) F.zero }
+
+  let init rows cols f =
+    { rows; cols;
+      data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+  let identity n = init n n (fun i j -> if i = j then F.one else F.zero)
+  let rows m = m.rows
+  let cols m = m.cols
+  let get m i j = m.data.((i * m.cols) + j)
+  let set m i j v = m.data.((i * m.cols) + j) <- v
+  let update m i j f = set m i j (f (get m i j))
+  let add_to m i j v = update m i j (fun x -> F.add x v)
+  let copy m = { m with data = Array.copy m.data }
+
+  let of_arrays a =
+    let rows = Array.length a in
+    if rows = 0 then { rows = 0; cols = 0; data = [||] }
+    else begin
+      let cols = Array.length a.(0) in
+      Array.iter
+        (fun r -> if Array.length r <> cols then invalid_arg "Dense.of_arrays")
+        a;
+      init rows cols (fun i j -> a.(i).(j))
+    end
+
+  let to_arrays m = Array.init m.rows (fun i -> Array.init m.cols (get m i))
+
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Dense.mul: dimensions";
+    let c = create a.rows b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = get a i k in
+        if F.abs aik <> 0. then
+          for j = 0 to b.cols - 1 do
+            add_to c i j (F.mul aik (get b k j))
+          done
+      done
+    done;
+    c
+
+  let mulvec m x =
+    if m.cols <> Array.length x then invalid_arg "Dense.mulvec: dimensions";
+    Array.init m.rows (fun i ->
+        let s = ref F.zero in
+        for j = 0 to m.cols - 1 do
+          s := F.add !s (F.mul (get m i j) x.(j))
+        done;
+        !s)
+
+  type factor = { lu : t; perm : int array }
+
+  (* Doolittle LU with partial pivoting; L has a unit diagonal and is stored
+     strictly below it, U on and above. *)
+  let lu_factor m =
+    if m.rows <> m.cols then invalid_arg "Dense.lu_factor: square required";
+    let n = m.rows in
+    let a = copy m in
+    let perm = Array.init n (fun i -> i) in
+    for col = 0 to n - 1 do
+      let pivot = ref col in
+      let best = ref (F.abs (get a col col)) in
+      for r = col + 1 to n - 1 do
+        let v = F.abs (get a r col) in
+        if v > !best then begin best := v; pivot := r end
+      done;
+      if !best = 0. || not (Float.is_finite !best) then raise (Singular col);
+      if !pivot <> col then begin
+        for j = 0 to n - 1 do
+          let tmp = get a col j in
+          set a col j (get a !pivot j);
+          set a !pivot j tmp
+        done;
+        let tmp = perm.(col) in
+        perm.(col) <- perm.(!pivot);
+        perm.(!pivot) <- tmp
+      end;
+      let d = get a col col in
+      for r = col + 1 to n - 1 do
+        let factor = F.div (get a r col) d in
+        set a r col factor;
+        if F.abs factor <> 0. then
+          for j = col + 1 to n - 1 do
+            set a r j (F.sub (get a r j) (F.mul factor (get a col j)))
+          done
+      done
+    done;
+    { lu = a; perm }
+
+  let lu_solve { lu; perm } b =
+    let n = lu.rows in
+    if Array.length b <> n then invalid_arg "Dense.lu_solve: dimensions";
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    (* Forward substitution with unit-diagonal L. *)
+    for i = 0 to n - 1 do
+      for j = 0 to i - 1 do
+        x.(i) <- F.sub x.(i) (F.mul (get lu i j) x.(j))
+      done
+    done;
+    (* Back substitution with U. *)
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        x.(i) <- F.sub x.(i) (F.mul (get lu i j) x.(j))
+      done;
+      x.(i) <- F.div x.(i) (get lu i i)
+    done;
+    x
+
+  let solve m b = lu_solve (lu_factor m) b
+
+  let residual_inf m x b =
+    let ax = mulvec m x in
+    let worst = ref 0. in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (F.abs (F.sub v b.(i))))
+      ax;
+    !worst
+
+  let pp ppf m =
+    for i = 0 to m.rows - 1 do
+      Format.fprintf ppf "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf ppf ", ";
+        F.pp ppf (get m i j)
+      done;
+      Format.fprintf ppf "]@."
+    done
+end

@@ -1,0 +1,61 @@
+let check_grid name x y =
+  let n = Array.length x in
+  if n < 3 then invalid_arg (name ^ ": need at least 3 points");
+  if Array.length y <> n then invalid_arg (name ^ ": x/y length mismatch");
+  for k = 1 to n - 1 do
+    if x.(k) <= x.(k - 1) then
+      invalid_arg (name ^ ": abscissae must be strictly increasing")
+  done
+
+(* Derivative of the Lagrange parabola through (x0,y0) (x1,y1) (x2,y2),
+   evaluated at [at]. *)
+let parabola_slope x0 y0 x1 y1 x2 y2 at =
+  (y0 *. ((2. *. at) -. x1 -. x2) /. ((x0 -. x1) *. (x0 -. x2)))
+  +. (y1 *. ((2. *. at) -. x0 -. x2) /. ((x1 -. x0) *. (x1 -. x2)))
+  +. (y2 *. ((2. *. at) -. x0 -. x1) /. ((x2 -. x0) *. (x2 -. x1)))
+
+let first ~x ~y =
+  check_grid "Deriv.first" x y;
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let j = if i = 0 then 1 else if i = n - 1 then n - 2 else i in
+      parabola_slope x.(j - 1) y.(j - 1) x.(j) y.(j) x.(j + 1) y.(j + 1) x.(i))
+
+(* Second derivative of the same parabola (constant over the stencil). *)
+let parabola_curvature x0 y0 x1 y1 x2 y2 =
+  2.
+  *. ((y0 /. ((x0 -. x1) *. (x0 -. x2)))
+     +. (y1 /. ((x1 -. x0) *. (x1 -. x2)))
+     +. (y2 /. ((x2 -. x0) *. (x2 -. x1))))
+
+let second ~x ~y =
+  check_grid "Deriv.second" x y;
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let j = if i = 0 then 1 else if i = n - 1 then n - 2 else i in
+      parabola_curvature x.(j - 1) y.(j - 1) x.(j) y.(j) x.(j + 1) y.(j + 1))
+
+let check_positive name a =
+  Array.iter
+    (fun v ->
+      if v <= 0. || not (Float.is_finite v) then
+        invalid_arg (name ^ ": values must be positive and finite"))
+    a
+
+let log_log_slope ~freq ~mag =
+  check_positive "Deriv.log_log_slope (freq)" freq;
+  check_positive "Deriv.log_log_slope (mag)" mag;
+  first ~x:(Array.map log freq) ~y:(Array.map log mag)
+
+let stability_function ~freq ~mag =
+  check_positive "Deriv.stability_function (freq)" freq;
+  check_positive "Deriv.stability_function (mag)" mag;
+  second ~x:(Array.map log freq) ~y:(Array.map log mag)
+
+let stability_function_two_pass ~freq ~mag =
+  check_positive "Deriv.stability_function_two_pass (freq)" freq;
+  check_positive "Deriv.stability_function_two_pass (mag)" mag;
+  let dm = first ~x:freq ~y:mag in
+  let inner = Array.mapi (fun k d -> d *. freq.(k) /. mag.(k)) dm in
+  let outer = first ~x:freq ~y:inner in
+  Array.mapi (fun k d -> d *. freq.(k)) outer

@@ -1,0 +1,32 @@
+(** Numerical differentiation on (possibly non-uniform) sample grids.
+
+    These operators are the numerical heart of the stability plot
+    (paper eq. 1.3): derivatives of [ln |T|] with respect to [ln w]. *)
+
+val first : x:float array -> y:float array -> float array
+(** Three-point Lagrange first derivative dy/dx on a non-uniform grid;
+    second-order accurate in the interior, one-sided at the ends. Requires
+    at least 3 strictly increasing abscissae. *)
+
+val second : x:float array -> y:float array -> float array
+(** Three-point second derivative d2y/dx2 (first-order accurate on
+    non-uniform grids, second-order on uniform ones). End points copy their
+    neighbour's value. *)
+
+val log_log_slope : freq:float array -> mag:float array -> float array
+(** [d ln mag / d ln freq] — the normalised first derivative of eq. 1.3
+    ("derivative of the magnitude normalised to frequency and magnitude").
+    Requires strictly positive [freq] and [mag]. *)
+
+val stability_function : freq:float array -> mag:float array -> float array
+(** The paper's stability function P (eq. 1.3): the frequency-normalised
+    derivative of {!log_log_slope}, i.e. [d2 ln mag / d (ln freq)2].
+    Negative peaks mark complex-pole pairs, positive peaks complex zeros;
+    at a pole's natural frequency P = -1/zeta^2 (eq. 1.4). *)
+
+val stability_function_two_pass : freq:float array -> mag:float array -> float array
+(** Literal two-pass form of eq. 1.3 as the paper's waveform calculator
+    computes it: first derivative of [mag], normalised by [freq/mag],
+    differentiated again and normalised by [freq]. Agrees with
+    {!stability_function} up to discretisation error; kept as an
+    independently coded cross-check. *)

@@ -1,0 +1,291 @@
+(* Dense real eigenvalues: balance -> Hessenberg (stabilised elementary
+   transformations) -> Francis double-shift QR. The QR core follows the
+   classic formulation (Wilkinson; popularised by EISPACK's hqr): it acts
+   on the Hessenberg matrix in place, deflating one or two eigenvalues at a
+   time from the bottom-right corner, with exceptional shifts every ten
+   stalled iterations. *)
+
+let get = Rmat.get
+let set = Rmat.set
+
+(* Diagonal similarity scaling so row and column norms match; improves the
+   accuracy of everything downstream. Powers of two only, hence exact. *)
+let balance a =
+  let n = Rmat.rows a in
+  let radix2 = 4. in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    for i = 0 to n - 1 do
+      let c = ref 0. and r = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          c := !c +. Float.abs (get a j i);
+          r := !r +. Float.abs (get a i j)
+        end
+      done;
+      if !c <> 0. && !r <> 0. then begin
+        let g = ref (!r /. 2.) in
+        let f = ref 1. in
+        let s = !c +. !r in
+        while !c < !g do
+          f := !f *. 2.;
+          c := !c *. radix2
+        done;
+        g := !r *. 2.;
+        while !c > !g do
+          f := !f /. 2.;
+          c := !c /. radix2
+        done;
+        if (!c +. !r) /. !f < 0.95 *. s then begin
+          continue_ := true;
+          let ginv = 1. /. !f in
+          for j = 0 to n - 1 do
+            set a i j (get a i j *. ginv)
+          done;
+          for j = 0 to n - 1 do
+            set a j i (get a j i *. !f)
+          done
+        end
+      end
+    done
+  done
+
+(* Reduction to upper Hessenberg form by pivoted elementary similarity
+   transformations. *)
+let to_hessenberg a =
+  let n = Rmat.rows a in
+  for m = 1 to n - 2 do
+    (* Pivot: largest entry of column m-1 at or below row m. *)
+    let x = ref 0. and piv = ref m in
+    for j = m to n - 1 do
+      if Float.abs (get a j (m - 1)) > Float.abs !x then begin
+        x := get a j (m - 1);
+        piv := j
+      end
+    done;
+    if !x <> 0. then begin
+      if !piv <> m then begin
+        for j = m - 1 to n - 1 do
+          let tmp = get a !piv j in
+          set a !piv j (get a m j);
+          set a m j tmp
+        done;
+        for j = 0 to n - 1 do
+          let tmp = get a j !piv in
+          set a j !piv (get a j m);
+          set a j m tmp
+        done
+      end;
+      for i = m + 1 to n - 1 do
+        let y = get a i (m - 1) /. !x in
+        if y <> 0. then begin
+          set a i (m - 1) 0.;
+          for j = m to n - 1 do
+            set a i j (get a i j -. (y *. get a m j))
+          done;
+          for j = 0 to n - 1 do
+            set a j m (get a j m +. (y *. get a j i))
+          done
+        end
+      done
+    end
+  done;
+  (* Zero the entries below the first subdiagonal (they are formally zero
+     but may carry rounding noise from the column updates). *)
+  for i = 2 to n - 1 do
+    for j = 0 to i - 2 do
+      set a i j 0.
+    done
+  done
+
+let hessenberg m =
+  if Rmat.rows m <> Rmat.cols m then invalid_arg "Eigen.hessenberg: square";
+  let a = Rmat.copy m in
+  to_hessenberg a;
+  a
+
+let sign_of magnitude reference =
+  if reference >= 0. then Float.abs magnitude else -.Float.abs magnitude
+
+(* Francis double-shift QR on an upper Hessenberg matrix; returns the
+   eigenvalues. Mutates [a]. *)
+let hqr ?(max_iter_per_eig = 60) a =
+  let n = Rmat.rows a in
+  let out = ref [] in
+  let emit re im = out := { Complex.re; im } :: !out in
+  let anorm = ref 0. in
+  for i = 0 to n - 1 do
+    for j = Int.max 0 (i - 1) to n - 1 do
+      anorm := !anorm +. Float.abs (get a i j)
+    done
+  done;
+  let t = ref 0. in
+  let nn = ref (n - 1) in
+  while !nn >= 0 do
+    let its = ref 0 in
+    let deflated = ref false in
+    while not !deflated do
+      (* Find l: the start of the active block (small subdiagonal). *)
+      let l = ref !nn in
+      let found = ref false in
+      while (not !found) && !l >= 1 do
+        let s =
+          let s0 =
+            Float.abs (get a (!l - 1) (!l - 1)) +. Float.abs (get a !l !l)
+          in
+          if s0 = 0. then !anorm else s0
+        in
+        if Float.abs (get a !l (!l - 1)) +. s = s then begin
+          set a !l (!l - 1) 0.;
+          found := true
+        end
+        else decr l
+      done;
+      let l = !l in
+      let x = ref (get a !nn !nn) in
+      if l = !nn then begin
+        (* One real eigenvalue. *)
+        emit (!x +. !t) 0.;
+        decr nn;
+        deflated := true
+      end
+      else begin
+        let y = ref (get a (!nn - 1) (!nn - 1)) in
+        let w = ref (get a !nn (!nn - 1) *. get a (!nn - 1) !nn) in
+        if l = !nn - 1 then begin
+          (* A 2x2 block: a real pair or a complex-conjugate pair. *)
+          let p = 0.5 *. (!y -. !x) in
+          let q = (p *. p) +. !w in
+          let z = sqrt (Float.abs q) in
+          let xx = !x +. !t in
+          if q >= 0. then begin
+            let z = p +. sign_of z p in
+            emit (xx +. z) 0.;
+            if z <> 0. then emit (xx -. (!w /. z)) 0. else emit (xx +. z) 0.
+          end
+          else begin
+            emit (xx +. p) z;
+            emit (xx +. p) (-.z)
+          end;
+          nn := !nn - 2;
+          deflated := true
+        end
+        else begin
+          if !its = max_iter_per_eig then
+            failwith "Eigen.eigenvalues: QR iteration did not converge";
+          if !its mod 10 = 0 && !its > 0 then begin
+            (* Exceptional shift. *)
+            t := !t +. !x;
+            for i = 0 to !nn do
+              set a i i (get a i i -. !x)
+            done;
+            let s =
+              Float.abs (get a !nn (!nn - 1))
+              +. Float.abs (get a (!nn - 1) (!nn - 2))
+            in
+            x := 0.75 *. s;
+            y := !x;
+            w := -0.4375 *. s *. s
+          end;
+          incr its;
+          (* Find two consecutive small subdiagonal elements. *)
+          let p = ref 0. and q = ref 0. and r = ref 0. in
+          let m = ref (!nn - 2) in
+          let stop = ref false in
+          while (not !stop) && !m >= l do
+            let z = get a !m !m in
+            let rr = !x -. z in
+            let ss = !y -. z in
+            p := ((rr *. ss) -. !w) /. get a (!m + 1) !m +. get a !m (!m + 1);
+            q := get a (!m + 1) (!m + 1) -. z -. rr -. ss;
+            r := get a (!m + 2) (!m + 1);
+            let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
+            p := !p /. s;
+            q := !q /. s;
+            r := !r /. s;
+            if !m = l then stop := true
+            else begin
+              let u =
+                Float.abs (get a !m (!m - 1))
+                *. (Float.abs !q +. Float.abs !r)
+              in
+              let v =
+                Float.abs !p
+                *. (Float.abs (get a (!m - 1) (!m - 1))
+                   +. Float.abs z
+                   +. Float.abs (get a (!m + 1) (!m + 1)))
+              in
+              if u +. v = v then stop := true else decr m
+            end
+          done;
+          let m = !m in
+          for i = m + 2 to !nn do
+            set a i (i - 2) 0.;
+            if i > m + 2 then set a i (i - 3) 0.
+          done;
+          (* Double QR sweep over the active block. *)
+          for k = m to !nn - 1 do
+            if k <> m then begin
+              p := get a k (k - 1);
+              q := get a (k + 1) (k - 1);
+              r := if k <> !nn - 1 then get a (k + 2) (k - 1) else 0.;
+              x := Float.abs !p +. Float.abs !q +. Float.abs !r;
+              if !x <> 0. then begin
+                p := !p /. !x;
+                q := !q /. !x;
+                r := !r /. !x
+              end
+            end;
+            let s =
+              sign_of (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p
+            in
+            if s <> 0. then begin
+              if k = m then begin
+                if l <> m then set a k (k - 1) (-.get a k (k - 1))
+              end
+              else set a k (k - 1) (-.(s *. !x));
+              p := !p +. s;
+              x := !p /. s;
+              y := !q /. s;
+              let z = !r /. s in
+              q := !q /. !p;
+              r := !r /. !p;
+              for j = k to !nn do
+                let pj =
+                  get a k j +. (!q *. get a (k + 1) j)
+                  +. (if k <> !nn - 1 then !r *. get a (k + 2) j else 0.)
+                in
+                if k <> !nn - 1 then
+                  set a (k + 2) j (get a (k + 2) j -. (pj *. z));
+                set a (k + 1) j (get a (k + 1) j -. (pj *. !y));
+                set a k j (get a k j -. (pj *. !x))
+              done;
+              let mmin = Int.min !nn (k + 3) in
+              for i = l to mmin do
+                let pi =
+                  (!x *. get a i k) +. (!y *. get a i (k + 1))
+                  +. (if k <> !nn - 1 then get a i (k + 2) *. z else 0.)
+                in
+                if k <> !nn - 1 then
+                  set a i (k + 2) (get a i (k + 2) -. (pi *. !r));
+                set a i (k + 1) (get a i (k + 1) -. (pi *. !q));
+                set a i k (get a i k -. pi)
+              done
+            end
+          done
+        end
+      end
+    done
+  done;
+  !out
+
+let eigenvalues ?max_iter_per_eig m =
+  if Rmat.rows m <> Rmat.cols m then invalid_arg "Eigen.eigenvalues: square";
+  if Rmat.rows m = 0 then []
+  else begin
+    let a = Rmat.copy m in
+    balance a;
+    to_hessenberg a;
+    hqr ?max_iter_per_eig a
+  end

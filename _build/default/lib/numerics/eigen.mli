@@ -1,0 +1,16 @@
+(** Eigenvalues of dense real (non-symmetric) matrices.
+
+    Implements the classic dense path: balancing, Householder reduction to
+    upper Hessenberg form, then the implicitly-shifted Francis double-shift
+    QR iteration. Eigenvalues only (no vectors) — which is what pole
+    analysis needs. Matrices here are small (tens to a couple of hundred),
+    so the O(n^3) dense algorithm is the right tool. *)
+
+val eigenvalues : ?max_iter_per_eig:int -> Rmat.t -> Complex.t list
+(** All eigenvalues of a square matrix, complex pairs included. Raises
+    [Invalid_argument] for non-square input and [Failure] if the QR
+    iteration fails to converge (pathological matrices; the per-eigenvalue
+    iteration cap defaults to 60). *)
+
+val hessenberg : Rmat.t -> Rmat.t
+(** The Householder-similar upper Hessenberg form (exposed for tests). *)

@@ -1,0 +1,82 @@
+let suffixes =
+  (* Longest match first: "meg" and "mil" must win over "m". *)
+  [ ("meg", 1e6); ("mil", 25.4e-6);
+    ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3); ("u", 1e-6);
+    ("n", 1e-9); ("p", 1e-12); ("f", 1e-15); ("a", 1e-18) ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Split [s] into its longest leading float literal and the remainder. *)
+let split_number s =
+  let n = String.length s in
+  let i = ref 0 in
+  let accept p = if !i < n && p s.[!i] then (incr i; true) else false in
+  let rec digits () = if accept is_digit then digits () in
+  ignore (accept (fun c -> c = '+' || c = '-'));
+  let start_digits = !i in
+  digits ();
+  if accept (fun c -> c = '.') then digits ();
+  if !i = start_digits then None
+  else begin
+    (* Optional exponent: only consume when well-formed. *)
+    let before_exp = !i in
+    if accept (fun c -> c = 'e' || c = 'E') then begin
+      ignore (accept (fun c -> c = '+' || c = '-'));
+      let d0 = !i in
+      digits ();
+      if !i = d0 then i := before_exp
+    end;
+    Some (String.sub s 0 !i, String.sub s !i (n - !i))
+  end
+
+let parse s =
+  let s = String.trim s in
+  match split_number s with
+  | None -> None
+  | Some (num, rest) ->
+    match float_of_string_opt num with
+    | None -> None
+    | Some v ->
+      let rest = String.lowercase_ascii rest in
+      if rest = "" then Some v
+      else
+        let matching (suf, _) =
+          String.length rest >= String.length suf
+          && String.sub rest 0 (String.length suf) = suf
+        in
+        (match List.find_opt matching suffixes with
+         | Some (_, mult) -> Some (v *. mult)
+         | None ->
+           (* Unknown trailing letters ("ohm", "v", "hz") are units. *)
+           if String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '_') rest
+           then Some v
+           else None)
+
+let parse_exn s =
+  match parse s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Engnum.parse_exn: %S" s)
+
+let format_si ?(digits = 4) x =
+  if x = 0. then "0"
+  else if Float.is_nan x then "nan"
+  else if Float.abs x = Float.infinity then
+    if x > 0. then "inf" else "-inf"
+  else
+    let mag = Float.abs x in
+    (* SPICE-compatible suffixes: mega must be "meg" because a bare "m"
+       reads back as milli (suffixes are case-insensitive). *)
+    let tiers =
+      [ (1e12, "t"); (1e9, "g"); (1e6, "meg"); (1e3, "k"); (1., "");
+        (1e-3, "m"); (1e-6, "u"); (1e-9, "n"); (1e-12, "p"); (1e-15, "f") ]
+    in
+    let rec pick = function
+      | [] -> (1e-15, "f")
+      | (m, s) :: rest -> if mag >= m *. 0.9999999 then (m, s) else pick rest
+    in
+    let mult, suf = pick tiers in
+    let scaled = x /. mult in
+    let str = Printf.sprintf "%.*g" digits scaled in
+    str ^ suf
+
+let format x = format_si ~digits:4 x

@@ -1,0 +1,23 @@
+(** Engineering-notation numbers as used in SPICE netlists.
+
+    Parses values such as ["2.2k"], ["10meg"], ["0.5u"], ["1e-12"], ["3p"]
+    and formats floats back into the closest engineering form
+    (["3.16M"], ["22.4n"], ...). Suffix matching is case-insensitive and, as
+    in SPICE, any trailing unit letters after a recognised suffix are
+    ignored (["10kohm"] parses as [1e4]). *)
+
+val parse : string -> float option
+(** [parse s] interprets [s] as an engineering-notation number. Returns
+    [None] when [s] is not a number at all. *)
+
+val parse_exn : string -> float
+(** [parse_exn s] is [parse s], raising [Invalid_argument] on failure. *)
+
+val format : float -> string
+(** [format x] renders [x] with an engineering suffix and 4 significant
+    digits, e.g. [format 3.3e-12 = "3.3p"]. Zero, infinities and NaN are
+    rendered literally. *)
+
+val format_si : ?digits:int -> float -> string
+(** [format_si ~digits x] renders with a chosen number of significant
+    digits (default 4). *)

@@ -1,0 +1,48 @@
+(** Scalar fields over which dense linear algebra is instantiated. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> float
+  (** Magnitude used for pivot selection and singularity tests. *)
+
+  val of_float : float -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let zero = 0.
+  let one = 1.
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Float.abs
+  let of_float x = x
+  let pp ppf x = Format.fprintf ppf "%.6g" x
+end
+
+module Complex_field : S with type t = Complex.t = struct
+  type t = Complex.t
+
+  let zero = Complex.zero
+  let one = Complex.one
+  let add = Complex.add
+  let sub = Complex.sub
+  let mul = Complex.mul
+  let div = Complex.div
+  let neg = Complex.neg
+  let abs = Complex.norm
+  let of_float re = { Complex.re; im = 0. }
+  let pp = Cx.pp
+end

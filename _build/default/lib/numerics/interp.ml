@@ -1,0 +1,75 @@
+let check name x y =
+  let n = Array.length x in
+  if n < 2 then invalid_arg (name ^ ": need at least 2 points");
+  if Array.length y <> n then invalid_arg (name ^ ": x/y length mismatch")
+
+let bracket x v =
+  (* Largest i with x.(i) <= v, clamped to [0, n-2]; x ascending. *)
+  let n = Array.length x in
+  if v <= x.(0) then 0
+  else if v >= x.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if x.(mid) <= v then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear ~x ~y v =
+  check "Interp.linear" x y;
+  let n = Array.length x in
+  if v <= x.(0) then y.(0)
+  else if v >= x.(n - 1) then y.(n - 1)
+  else begin
+    let i = bracket x v in
+    let t = (v -. x.(i)) /. (x.(i + 1) -. x.(i)) in
+    y.(i) +. (t *. (y.(i + 1) -. y.(i)))
+  end
+
+let loglog ~x ~y v =
+  check "Interp.loglog" x y;
+  exp (linear ~x:(Array.map log x) ~y:(Array.map log y) (log v))
+
+let semilogx ~x ~y v =
+  check "Interp.semilogx" x y;
+  linear ~x:(Array.map log x) ~y (log v)
+
+let crossings ~x ~y lvl =
+  check "Interp.crossings" x y;
+  let out = ref [] in
+  let n = Array.length x in
+  for i = 0 to n - 2 do
+    let a = y.(i) -. lvl and b = y.(i + 1) -. lvl in
+    if a = 0. then begin
+      (* Count an exact hit only once (at the left end of its segment). *)
+      if i = 0 || y.(i - 1) -. lvl <> 0. then out := x.(i) :: !out
+    end
+    else if (a < 0. && b > 0.) || (a > 0. && b < 0.) then begin
+      let t = a /. (a -. b) in
+      out := (x.(i) +. (t *. (x.(i + 1) -. x.(i)))) :: !out
+    end
+  done;
+  if y.(n - 1) -. lvl = 0. && (n < 2 || y.(n - 2) -. lvl <> 0.) then
+    out := x.(n - 1) :: !out;
+  List.sort compare !out
+
+let first_crossing ~x ~y lvl =
+  match crossings ~x ~y lvl with [] -> None | c :: _ -> Some c
+
+let table_lookup ~x ~y ?(clamp = true) v =
+  check "Interp.table_lookup" x y;
+  let ascending = x.(1) > x.(0) in
+  let x', y' =
+    if ascending then (x, y)
+    else begin
+      let n = Array.length x in
+      ( Array.init n (fun k -> x.(n - 1 - k)),
+        Array.init n (fun k -> y.(n - 1 - k)) )
+    end
+  in
+  let n = Array.length x' in
+  if (v < x'.(0) || v > x'.(n - 1)) && not clamp then
+    invalid_arg "Interp.table_lookup: out of range";
+  linear ~x:x' ~y:y' v

@@ -1,0 +1,24 @@
+(** Interpolation and root bracketing on sampled curves. *)
+
+val linear : x:float array -> y:float array -> float -> float
+(** Piecewise-linear interpolation; clamps outside the grid. [x] strictly
+    increasing. *)
+
+val loglog : x:float array -> y:float array -> float -> float
+(** Linear interpolation in (log x, log y); both axes must be positive.
+    Natural for magnitude-vs-frequency data. *)
+
+val semilogx : x:float array -> y:float array -> float -> float
+(** Linear in (log x, y): phase-vs-frequency data. *)
+
+val crossings : x:float array -> y:float array -> float -> float list
+(** Abscissae where the piecewise-linear curve crosses level [lvl],
+    ascending. Exact sample hits are reported once. *)
+
+val first_crossing : x:float array -> y:float array -> float -> float option
+
+val table_lookup :
+  x:float array -> y:float array -> ?clamp:bool -> float -> float
+(** Monotone-table lookup used for Table-1-style conversions. With
+    [clamp = false] (default [true]) raises [Invalid_argument] outside the
+    table. [x] must be strictly monotone (either direction). *)

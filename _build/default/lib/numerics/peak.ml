@@ -1,0 +1,121 @@
+type kind = Minimum | Maximum
+
+type t = {
+  kind : kind;
+  index : int;
+  x : float;
+  y : float;
+  at_edge : bool;
+}
+
+let refine_parabolic ~x0 ~y0 ~x1 ~y1 ~x2 ~y2 =
+  (* Vertex of the Lagrange parabola; derived from setting its derivative
+     to zero. Denominator vanishes for collinear points. *)
+  let d01 = (y1 -. y0) /. (x1 -. x0) in
+  let d12 = (y2 -. y1) /. (x2 -. x1) in
+  let curvature = (d12 -. d01) /. (x2 -. x0) in
+  if Float.abs curvature < 1e-300 then (x1, y1)
+  else begin
+    let xv = ((x0 +. x1) /. 2.) -. (d01 /. (2. *. curvature)) in
+    (* Evaluate the parabola (Newton form) at the vertex. *)
+    let yv = y0 +. (d01 *. (xv -. x0)) +. (curvature *. (xv -. x0) *. (xv -. x1)) in
+    (xv, yv)
+  end
+
+(* Refine an interior extremum at sample [i] using log-x abscissae, which is
+   the natural axis for frequency-domain peaks. *)
+let refined x y i =
+  let lx k = log x.(k) in
+  let xv, yv =
+    refine_parabolic ~x0:(lx (i - 1)) ~y0:y.(i - 1) ~x1:(lx i) ~y1:y.(i)
+      ~x2:(lx (i + 1)) ~y2:y.(i + 1)
+  in
+  (exp xv, yv)
+
+let prominence_of y i kind =
+  (* Height of the extremum above/below its key saddle: walk outward on
+     each side, tracking the most opposing level reached, until a more
+     extreme sample appears (the saddle closes) or the data ends. A side
+     with no samples at all (extremum at the array edge) imposes no
+     barrier. *)
+  let n = Array.length y in
+  let better a b = match kind with Minimum -> a < b | Maximum -> a > b in
+  let walk step =
+    let rec go k saddle =
+      if k < 0 || k >= n then saddle
+      else if better y.(k) y.(i) then saddle
+      else
+        let saddle =
+          match saddle with
+          | Some s when better y.(k) s -> saddle
+          | _ -> Some y.(k)
+        in
+        go (k + step) saddle
+    in
+    go (i + step) None
+  in
+  let barrier =
+    match (walk (-1), walk 1) with
+    | Some l, Some r -> Some (if better l r then l else r)
+    | Some l, None -> Some l
+    | None, Some r -> Some r
+    | None, None -> None
+  in
+  match barrier with
+  | Some b -> Float.abs (b -. y.(i))
+  | None -> Float.infinity
+
+let find ?(min_prominence = 0.) ~x ~y () =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Peak.find: x/y length mismatch";
+  if n < 3 then []
+  else begin
+    let out = ref [] in
+    let emit kind i at_edge =
+      let xr, yr =
+        if at_edge || i = 0 || i = n - 1 then (x.(i), y.(i)) else refined x y i
+      in
+      if prominence_of y i kind >= min_prominence then
+        out := { kind; index = i; x = xr; y = yr; at_edge } :: !out
+    in
+    (* Interior extrema, treating plateaus as a single extremum at their
+       centre. *)
+    let i = ref 1 in
+    while !i < n - 1 do
+      let j = ref !i in
+      while !j < n - 1 && y.(!j + 1) = y.(!i) do incr j done;
+      let left = y.(!i - 1) and here = y.(!i) and right = y.(Int.min (n - 1) (!j + 1)) in
+      let centre = (!i + !j) / 2 in
+      if here < left && here < right then emit Minimum centre false
+      else if here > left && here > right then emit Maximum centre false;
+      i := !j + 1
+    done;
+    (* Edge extrema: monotone approach into the boundary. Derivative-based
+       curves often end in a short run of equal samples (one-sided stencils
+       copy their neighbour), so compare against the first differing
+       sample. *)
+    let first_differing start step =
+      let rec go k =
+        if k < 0 || k >= n then None
+        else if y.(k) <> y.(start) then Some y.(k)
+        else go (k + step)
+      in
+      go (start + step)
+    in
+    (match first_differing 0 1 with
+     | Some inner when y.(0) < inner -> emit Minimum 0 true
+     | Some inner when y.(0) > inner -> emit Maximum 0 true
+     | _ -> ());
+    (match first_differing (n - 1) (-1) with
+     | Some inner when y.(n - 1) < inner -> emit Minimum (n - 1) true
+     | Some inner when y.(n - 1) > inner -> emit Maximum (n - 1) true
+     | _ -> ());
+    List.sort (fun a b -> compare a.x b.x) !out
+  end
+
+let global_minimum ~x ~y =
+  let i = Vec.argmin y in
+  let n = Array.length y in
+  let at_edge = i = 0 || i = n - 1 in
+  let xr, yr = if at_edge then (x.(i), y.(i)) else refined x y i in
+  { kind = Minimum; index = i; x = xr; y = yr; at_edge }

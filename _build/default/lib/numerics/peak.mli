@@ -1,0 +1,36 @@
+(** Extremum detection on sampled curves, with parabolic refinement.
+
+    Used to locate stability-plot peaks (complex poles/zeros) and to flag
+    the paper's special cases: extrema sitting at the edge of the sweep
+    range ("end-of-range") cannot be trusted as natural frequencies. *)
+
+type kind = Minimum | Maximum
+
+type t = {
+  kind : kind;
+  index : int;          (** Sample index of the discrete extremum. *)
+  x : float;            (** Refined abscissa (parabolic, in log-x). *)
+  y : float;            (** Refined extremum value. *)
+  at_edge : bool;       (** True when the extremum is the first or last sample. *)
+}
+
+val find :
+  ?min_prominence:float -> x:float array -> y:float array -> unit -> t list
+(** All local extrema of [y] over [x], in ascending [x] order. A sample is a
+    local minimum (maximum) when it is strictly below (above) both
+    neighbours; plateaus are reported once at their centre. Extrema whose
+    prominence (height above/below the higher/lower of the two neighbouring
+    crossings of the same level) is below [min_prominence] (default 0) are
+    dropped. Interior extrema are refined by fitting a parabola in
+    [log x]; edge extrema are reported at their sample position with
+    [at_edge = true]. [x] must be strictly increasing and positive. *)
+
+val global_minimum : x:float array -> y:float array -> t
+(** The most negative point of the curve as a (possibly edge) peak. *)
+
+val refine_parabolic :
+  x0:float -> y0:float -> x1:float -> y1:float -> x2:float -> y2:float ->
+  float * float
+(** Vertex of the parabola through three points (abscissae need not be
+    uniform). Returns the vertex [(xv, yv)]; falls back to the middle point
+    when the three points are collinear. *)

@@ -1,0 +1,127 @@
+open Cx
+
+type t = Complex.t array
+(* Ascending powers, leading coefficient non-zero (invariant maintained by
+   [trim]); [||] is the zero polynomial. *)
+
+let trim c =
+  let n = ref (Array.length c) in
+  while !n > 0 && Cx.mag c.(!n - 1) = 0. do decr n done;
+  Array.sub c 0 !n
+
+let of_coeffs c = trim (Array.copy c)
+let of_real_coeffs c = trim (Array.map Cx.of_float c)
+let coeffs p = Array.copy p
+let zero = [||]
+let one = [| Cx.one |]
+let const k = trim [| k |]
+let s = [| Cx.zero; Cx.one |]
+let degree p = Array.length p - 1
+let is_zero p = Array.length p = 0
+
+let add a b =
+  let n = Int.max (Array.length a) (Array.length b) in
+  let at c k = if k < Array.length c then c.(k) else Cx.zero in
+  trim (Array.init n (fun k -> at a k +: at b k))
+
+let scale k p = trim (Array.map (fun c -> k *: c) p)
+let sub a b = add a (scale (Cx.of_float (-1.)) b)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let c = Array.make (Array.length a + Array.length b - 1) Cx.zero in
+    Array.iteri
+      (fun i ai ->
+        Array.iteri (fun j bj -> c.(i + j) <- c.(i + j) +: (ai *: bj)) b)
+      a;
+    trim c
+  end
+
+let rec pow p n =
+  if n < 0 then invalid_arg "Poly.pow"
+  else if n = 0 then one
+  else mul p (pow p (n - 1))
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else
+    trim
+      (Array.init (Array.length p - 1) (fun k ->
+           Cx.scale (float_of_int (k + 1)) p.(k + 1)))
+
+let eval p x =
+  let acc = ref Cx.zero in
+  for k = Array.length p - 1 downto 0 do
+    acc := (!acc *: x) +: p.(k)
+  done;
+  !acc
+
+let equal ?(tol = 1e-9) a b =
+  let d = sub a b in
+  Array.for_all (fun c -> Cx.mag c <= tol) d
+
+let from_roots ?(gain = Cx.one) rs =
+  List.fold_left
+    (fun acc r -> mul acc (of_coeffs [| Cx.neg r; Cx.one |]))
+    (const gain) rs
+
+(* Durand–Kerner: iterate z_i <- z_i - p(z_i) / prod_{j<>i} (z_i - z_j) on a
+   monic, magnitude-scaled copy of the polynomial. The starting points lie
+   on a circle of the Cauchy root radius with an irrational angle step so no
+   starting point is a root of a real polynomial by accident. *)
+let roots ?(max_iter = 400) ?(tol = 1e-12) p =
+  if is_zero p then invalid_arg "Poly.roots: zero polynomial";
+  let n = degree p in
+  if n = 0 then []
+  else begin
+    let lead = p.(n) in
+    let monic = Array.map (fun c -> c /: lead) p in
+    let radius =
+      (* Cauchy bound: 1 + max |c_k|. *)
+      let m = ref 0. in
+      for k = 0 to n - 1 do
+        m := Float.max !m (Cx.mag monic.(k))
+      done;
+      1. +. !m
+    in
+    let z =
+      Array.init n (fun k ->
+          Cx.polar
+            (radius *. 0.7)
+            ((2. *. Float.pi *. float_of_int k /. float_of_int n) +. 0.41))
+    in
+    let eval_monic x = eval monic x in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < max_iter do
+      incr iter;
+      let biggest_move = ref 0. in
+      for i = 0 to n - 1 do
+        let num = eval_monic z.(i) in
+        let den = ref Cx.one in
+        for j = 0 to n - 1 do
+          if j <> i then den := !den *: (z.(i) -: z.(j))
+        done;
+        let delta =
+          if Cx.mag !den = 0. then Cx.make 1e-8 1e-8 else num /: !den
+        in
+        z.(i) <- z.(i) -: delta;
+        biggest_move := Float.max !biggest_move (Cx.mag delta)
+      done;
+      if !biggest_move <= tol *. Float.max 1. radius then converged := true
+    done;
+    Array.to_list z
+  end
+
+let pp ppf p =
+  if is_zero p then Format.fprintf ppf "0"
+  else
+    Array.iteri
+      (fun k c ->
+        if Cx.mag c > 0. then begin
+          if k > 0 then Format.fprintf ppf " + ";
+          if k = 0 then Cx.pp ppf c
+          else Format.fprintf ppf "(%a)s^%d" Cx.pp c k
+        end)
+      p

@@ -1,0 +1,46 @@
+(** Polynomials with complex coefficients, used for transfer-function
+    pole/zero work in the control library.
+
+    A polynomial is stored as a coefficient array in ascending powers:
+    [c.(0) + c.(1) s + c.(2) s^2 + ...]. The representation is normalised so
+    the leading coefficient is non-zero (except for the zero polynomial). *)
+
+type t
+
+val of_coeffs : Complex.t array -> t
+(** Ascending-power coefficients; trailing (near-)zero coefficients are
+    trimmed. *)
+
+val of_real_coeffs : float array -> t
+val coeffs : t -> Complex.t array
+val zero : t
+val one : t
+val const : Complex.t -> t
+val s : t
+(** The monomial [s]. *)
+
+val degree : t -> int
+(** Degree; the zero polynomial has degree [-1] by convention. *)
+
+val is_zero : t -> bool
+val equal : ?tol:float -> t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Complex.t -> t -> t
+val pow : t -> int -> t
+val derivative : t -> t
+
+val eval : t -> Complex.t -> Complex.t
+(** Horner evaluation. *)
+
+val from_roots : ?gain:Complex.t -> Complex.t list -> t
+(** [from_roots ~gain rs] is [gain * prod (s - r)]. *)
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Complex.t list
+(** All complex roots via the Durand–Kerner simultaneous iteration, with
+    coefficient scaling for conditioning. Degree 0 gives []. Raises
+    [Invalid_argument] on the zero polynomial. *)
+
+val pp : Format.formatter -> t -> unit

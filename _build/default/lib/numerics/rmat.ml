@@ -1,0 +1,3 @@
+(** Dense real matrices (see {!Dense} for the operation set). *)
+
+include Dense.Make (Field.Float_field)

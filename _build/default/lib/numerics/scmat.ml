@@ -1,0 +1,3 @@
+(** Sparse complex matrices (see {!Sparse}). *)
+
+include Sparse.Make (Field.Complex_field)

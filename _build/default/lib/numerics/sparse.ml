@@ -1,0 +1,287 @@
+(** Sparse matrices with LU factorisation, over an arbitrary scalar field.
+
+    Compressed-sparse-column storage and a left-looking Gilbert–Peierls LU
+    with partial pivoting (the algorithm of CSparse's [cs_lu]): column j of
+    the factors comes from one sparse triangular solve against the columns
+    computed so far, with the nonzero pattern discovered by depth-first
+    search. Complexity is proportional to the flops actually performed, so
+    circuit matrices — a handful of entries per row — factor in near-linear
+    time where the dense code pays O(n^3).
+
+    The engine keeps dense LU for everyday circuits (tens of unknowns, see
+    DESIGN.md section 6) and switches to this backend when the all-nodes
+    scan meets boards with hundreds of nets. *)
+
+exception Singular of int
+(** No acceptable pivot in the given column. *)
+
+module Make (F : Field.S) = struct
+  type elt = F.t
+
+  type t = {
+    rows : int;
+    cols : int;
+    colptr : int array;   (* length cols+1 *)
+    rowidx : int array;   (* length nnz, row index per entry *)
+    values : elt array;
+  }
+
+  let rows m = m.rows
+  let cols m = m.cols
+  let nnz m = m.colptr.(m.cols)
+
+  let of_triplets ~rows ~cols triplets =
+    if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triplets";
+    List.iter
+      (fun (i, j, _) ->
+        if i < 0 || i >= rows || j < 0 || j >= cols then
+          invalid_arg "Sparse.of_triplets: index out of range")
+      triplets;
+    (* Sum duplicates via per-column accumulation. *)
+    let per_col = Array.make cols [] in
+    List.iter
+      (fun (i, j, v) -> per_col.(j) <- (i, v) :: per_col.(j))
+      triplets;
+    let colptr = Array.make (cols + 1) 0 in
+    let cells =
+      Array.map
+        (fun entries ->
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun (i, v) ->
+              let cur =
+                try Hashtbl.find tbl i with Not_found -> F.zero
+              in
+              Hashtbl.replace tbl i (F.add cur v))
+            entries;
+          Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl []
+          |> List.filter (fun (_, v) -> F.abs v <> 0.)
+          |> List.sort (fun (a, _) (b, _) -> compare a b))
+        per_col
+    in
+    Array.iteri
+      (fun j cs -> colptr.(j + 1) <- colptr.(j) + List.length cs)
+      cells;
+    let n = colptr.(cols) in
+    let rowidx = Array.make n 0 and values = Array.make n F.zero in
+    Array.iteri
+      (fun j cs ->
+        List.iteri
+          (fun k (i, v) ->
+            rowidx.(colptr.(j) + k) <- i;
+            values.(colptr.(j) + k) <- v)
+          cs)
+      cells;
+    { rows; cols; colptr; rowidx; values }
+
+  let mulvec m x =
+    if Array.length x <> m.cols then invalid_arg "Sparse.mulvec";
+    let y = Array.make m.rows F.zero in
+    for j = 0 to m.cols - 1 do
+      let xj = x.(j) in
+      if F.abs xj <> 0. then
+        for p = m.colptr.(j) to m.colptr.(j + 1) - 1 do
+          let i = m.rowidx.(p) in
+          y.(i) <- F.add y.(i) (F.mul m.values.(p) xj)
+        done
+    done;
+    y
+
+  (* Growable column store for the factors. *)
+  type colbuf = {
+    mutable idx : int array;
+    mutable v : elt array;
+    mutable len : int;
+  }
+
+  let colbuf_make () = { idx = Array.make 16 0; v = Array.make 16 F.zero; len = 0 }
+
+  let colbuf_push cb i x =
+    if cb.len = Array.length cb.idx then begin
+      let n = 2 * cb.len in
+      let idx = Array.make n 0 and v = Array.make n F.zero in
+      Array.blit cb.idx 0 idx 0 cb.len;
+      Array.blit cb.v 0 v 0 cb.len;
+      cb.idx <- idx;
+      cb.v <- v
+    end;
+    cb.idx.(cb.len) <- i;
+    cb.v.(cb.len) <- x;
+    cb.len <- cb.len + 1
+
+  type factor = {
+    n : int;
+    l_cols : colbuf array;   (* unit-diagonal L, strictly-below entries,
+                                keyed by ORIGINAL row index *)
+    u_cols : colbuf array;   (* U incl. diagonal (last entry), keyed by
+                                pivot position *)
+    pinv : int array;        (* pinv.(orig_row) = pivot position, or -1
+                                during factorisation *)
+  }
+
+  (* Left-looking LU with partial pivoting. Rows are renamed lazily:
+     pinv.(r) is the pivot position assigned to original row r, or -1. *)
+  let lu_factor a =
+    if a.rows <> a.cols then invalid_arg "Sparse.lu_factor: square required";
+    let n = a.rows in
+    let l_cols = Array.init n (fun _ -> colbuf_make ()) in
+    let u_cols = Array.init n (fun _ -> colbuf_make ()) in
+    let pinv = Array.make n (-1) in
+    (* Dense work vector + visited stamp per column. *)
+    let x = Array.make n F.zero in
+    let mark = Array.make n (-1) in
+    let order = Array.make n 0 in   (* DFS postorder of the pattern *)
+    (* Iterative DFS over the pattern of L (in permuted row names):
+       starting from the rows of A(:,j); an entry whose row r is already
+       pivotal (pinv.(r) = k >= 0) depends on column k of L. *)
+    let dfs j =
+      let norder = ref 0 in
+      for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+        let r0 = a.rowidx.(p) in
+        if mark.(r0) <> j then begin
+          (* Explicit DFS with a frontier stack of (row, next-child). *)
+          let frontier = ref [ (r0, 0) ] in
+          mark.(r0) <- j;
+          while !frontier <> [] do
+            match !frontier with
+            | [] -> ()
+            | (r, child) :: rest ->
+              let k = pinv.(r) in
+              if k < 0 then begin
+                (* Non-pivotal row: a leaf. *)
+                order.(!norder) <- r;
+                incr norder;
+                frontier := rest
+              end
+              else begin
+                let lc = l_cols.(k) in
+                if child < lc.len then begin
+                  frontier := (r, child + 1) :: rest;
+                  let rc = lc.idx.(child) in
+                  if mark.(rc) <> j then begin
+                    mark.(rc) <- j;
+                    frontier := (rc, 0) :: !frontier
+                  end
+                end
+                else begin
+                  (* All children done: postorder emit. *)
+                  order.(!norder) <- r;
+                  incr norder;
+                  frontier := rest
+                end
+              end
+          done
+        end
+      done;
+      !norder
+    in
+    for j = 0 to n - 1 do
+      (* Symbolic: reachable pattern in topological (reverse post) order. *)
+      let norder = dfs j in
+      (* Numeric scatter of A(:,j). *)
+      for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+        x.(a.rowidx.(p)) <- a.values.(p)
+      done;
+      (* Eliminate in topological order: process pivotal rows from the
+         DFS postorder reversed (dependencies first). *)
+      for o = norder - 1 downto 0 do
+        let r = order.(o) in
+        let k = pinv.(r) in
+        if k >= 0 then begin
+          let xk = x.(r) in
+          if F.abs xk <> 0. then begin
+            let lc = l_cols.(k) in
+            for q = 0 to lc.len - 1 do
+              let rr = lc.idx.(q) in
+              x.(rr) <- F.sub x.(rr) (F.mul lc.v.(q) xk)
+            done
+          end
+        end
+      done;
+      (* Pivot: the largest non-pivotal entry of the pattern. *)
+      let pivot_row = ref (-1) in
+      let pivot_mag = ref 0. in
+      for o = 0 to norder - 1 do
+        let r = order.(o) in
+        if pinv.(r) < 0 then begin
+          let m = F.abs x.(r) in
+          if m > !pivot_mag then begin
+            pivot_mag := m;
+            pivot_row := r
+          end
+        end
+      done;
+      if !pivot_row < 0 || !pivot_mag = 0. || not (Float.is_finite !pivot_mag)
+      then raise (Singular j);
+      let pr = !pivot_row in
+      let pv = x.(pr) in
+      pinv.(pr) <- j;
+      (* Store U(:,j): entries on pivotal rows (position < j), diagonal
+         last. *)
+      for o = 0 to norder - 1 do
+        let r = order.(o) in
+        let k = pinv.(r) in
+        if k >= 0 && k < j && F.abs x.(r) <> 0. then
+          colbuf_push u_cols.(j) k x.(r)
+      done;
+      colbuf_push u_cols.(j) j pv;
+      (* Store L(:,j): non-pivotal rows, scaled by the pivot, keyed by
+         ORIGINAL row index (renamed on the fly as rows become pivotal). *)
+      for o = 0 to norder - 1 do
+        let r = order.(o) in
+        if pinv.(r) < 0 && F.abs x.(r) <> 0. then
+          colbuf_push l_cols.(j) r (F.div x.(r) pv)
+      done;
+      (* Clear the work vector. *)
+      for o = 0 to norder - 1 do
+        x.(order.(o)) <- F.zero
+      done
+    done;
+    { n; l_cols; u_cols; pinv }
+
+  let lu_solve f b =
+    if Array.length b <> f.n then invalid_arg "Sparse.lu_solve";
+    let n = f.n in
+    (* Forward: y in pivot order; L columns hold original row names, so
+       work on a copy indexed by original rows and read pivots through
+       pinv. *)
+    let w = Array.copy b in
+    (* Row r with pinv.(r) = k means w.(r) is the k-th equation. Process
+       columns in order: subtract L(:,k) * y_k. y_k lives at the pivot row
+       of column k. *)
+    let pivot_row_of = Array.make n 0 in
+    Array.iteri (fun r k -> pivot_row_of.(k) <- r) f.pinv;
+    for k = 0 to n - 1 do
+      let yk = w.(pivot_row_of.(k)) in
+      if F.abs yk <> 0. then begin
+        let lc = f.l_cols.(k) in
+        for q = 0 to lc.len - 1 do
+          let r = lc.idx.(q) in
+          w.(r) <- F.sub w.(r) (F.mul lc.v.(q) yk)
+        done
+      end
+    done;
+    (* Back substitution on U (U is stored per column with the diagonal
+       last, entries keyed by pivot position). *)
+    let y = Array.init n (fun k -> w.(pivot_row_of.(k))) in
+    let xsol = Array.make n F.zero in
+    for k = n - 1 downto 0 do
+      let uc = f.u_cols.(k) in
+      let diag = uc.v.(uc.len - 1) in
+      xsol.(k) <- F.div y.(k) diag;
+      (* U(:,k)'s above-diagonal entries feed earlier equations. *)
+      for q = 0 to uc.len - 2 do
+        let i = uc.idx.(q) in
+        y.(i) <- F.sub y.(i) (F.mul uc.v.(q) xsol.(k))
+      done
+    done;
+    xsol
+
+  let residual_inf m x b =
+    let ax = mulvec m x in
+    let worst = ref 0. in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (F.abs (F.sub v b.(i))))
+      ax;
+    !worst
+end

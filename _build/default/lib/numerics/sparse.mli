@@ -1,0 +1,27 @@
+(** Sparse matrices with LU factorisation over an arbitrary scalar field
+    (left-looking Gilbert-Peierls with partial pivoting). See the
+    implementation header for the algorithm; {!Srmat} and {!Scmat} are the
+    real and complex instantiations. *)
+
+exception Singular of int
+
+module Make (F : Field.S) : sig
+  type elt = F.t
+  type t
+
+  val of_triplets : rows:int -> cols:int -> (int * int * elt) list -> t
+  (** Duplicate entries are summed; exact zeros dropped. *)
+
+  val rows : t -> int
+  val cols : t -> int
+  val nnz : t -> int
+  val mulvec : t -> elt array -> elt array
+
+  type factor
+
+  val lu_factor : t -> factor
+  (** Raises {!Singular} when a column has no usable pivot. *)
+
+  val lu_solve : factor -> elt array -> elt array
+  val residual_inf : t -> elt array -> elt array -> float
+end

@@ -1,0 +1,3 @@
+(** Sparse real matrices (see {!Sparse}). *)
+
+include Sparse.Make (Field.Float_field)

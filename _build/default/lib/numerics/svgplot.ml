@@ -1,0 +1,221 @@
+type series = {
+  label : string;
+  xs : float array;
+  ys : float array;
+  color : string option;
+}
+
+let series ?color label xs ys =
+  if Array.length xs <> Array.length ys || Array.length xs = 0 then
+    invalid_arg "Svgplot.series: lengths";
+  { label; xs = Array.copy xs; ys = Array.copy ys; color }
+
+type axis = Linear | Log
+
+type config = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : axis;
+  y_axis : axis;
+}
+
+let config ?(width = 720) ?(height = 420) ?(x_axis = Linear)
+    ?(y_axis = Linear) ~title ~x_label ~y_label () =
+  { width; height; title; x_label; y_label; x_axis; y_axis }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#17becf"; "#7f7f7f" |]
+
+(* Margins around the plot area. *)
+let ml = 72. and mr = 18. and mt = 40. and mb = 52.
+
+let data_range axis values =
+  let finite =
+    Array.to_list values |> List.filter Float.is_finite
+  in
+  (match axis with
+   | Log ->
+     if List.exists (fun v -> v <= 0.) finite then
+       invalid_arg "Svgplot: non-positive value on a log axis"
+   | Linear -> ());
+  match finite with
+  | [] -> invalid_arg "Svgplot: no finite data"
+  | v :: rest ->
+    let lo = List.fold_left Float.min v rest in
+    let hi = List.fold_left Float.max v rest in
+    if lo = hi then (lo -. Float.max 1. (Float.abs lo *. 0.1),
+                     hi +. Float.max 1. (Float.abs hi *. 0.1))
+    else (lo, hi)
+
+(* "Nice" tick positions. *)
+let linear_ticks lo hi =
+  let span = hi -. lo in
+  let raw = span /. 6. in
+  let mag = Float.pow 10. (Float.round (log10 raw -. 0.5)) in
+  let step =
+    let r = raw /. mag in
+    if r < 1.5 then mag
+    else if r < 3.5 then 2. *. mag
+    else if r < 7.5 then 5. *. mag
+    else 10. *. mag
+  in
+  let first = Float.round (lo /. step -. 0.5) *. step in
+  let rec go t acc =
+    if t > hi +. (step /. 2.) then List.rev acc
+    else go (t +. step) (if t >= lo -. (step /. 2.) then t :: acc else acc)
+  in
+  go first []
+
+let log_ticks lo hi =
+  let d0 = int_of_float (Float.round (log10 lo -. 0.5)) in
+  let d1 = int_of_float (Float.round (log10 hi +. 0.5)) in
+  let rec go d acc =
+    if d > d1 then List.rev acc
+    else begin
+      let t = Float.pow 10. (float_of_int d) in
+      go (d + 1) (if t >= lo *. 0.999 && t <= hi *. 1.001 then t :: acc
+                  else acc)
+    end
+  in
+  go d0 []
+
+let tick_label v =
+  if v = 0. then "0"
+  else if Float.abs v >= 0.01 && Float.abs v < 1000. then
+    Printf.sprintf "%.4g" v
+  else Engnum.format_si ~digits:3 v
+
+let esc s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render cfg ss =
+  if ss = [] then invalid_arg "Svgplot.render: no series";
+  let w = float_of_int cfg.width and h = float_of_int cfg.height in
+  let pw = w -. ml -. mr and ph = h -. mt -. mb in
+  let all_x = Array.concat (List.map (fun s -> s.xs) ss) in
+  let all_y = Array.concat (List.map (fun s -> s.ys) ss) in
+  let x_lo, x_hi = data_range cfg.x_axis all_x in
+  let y_lo, y_hi = data_range cfg.y_axis all_y in
+  let fwd axis lo hi v =
+    match axis with
+    | Linear -> (v -. lo) /. (hi -. lo)
+    | Log -> (log v -. log lo) /. (log hi -. log lo)
+  in
+  let sx v = ml +. (pw *. fwd cfg.x_axis x_lo x_hi v) in
+  let sy v = mt +. (ph *. (1. -. fwd cfg.y_axis y_lo y_hi v)) in
+  let b = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    cfg.width cfg.height cfg.width cfg.height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" cfg.width
+    cfg.height;
+  (* Title and axis labels. *)
+  out
+    "<text x=\"%g\" y=\"22\" text-anchor=\"middle\" font-size=\"15\" \
+     font-weight=\"bold\">%s</text>\n"
+    (ml +. (pw /. 2.)) (esc cfg.title);
+  out
+    "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n"
+    (ml +. (pw /. 2.)) (h -. 12.) (esc cfg.x_label);
+  out
+    "<text x=\"16\" y=\"%g\" text-anchor=\"middle\" \
+     transform=\"rotate(-90 16 %g)\">%s</text>\n"
+    (mt +. (ph /. 2.)) (mt +. (ph /. 2.)) (esc cfg.y_label);
+  (* Grid and ticks. *)
+  let x_ticks =
+    match cfg.x_axis with
+    | Linear -> linear_ticks x_lo x_hi
+    | Log -> log_ticks x_lo x_hi
+  in
+  let y_ticks =
+    match cfg.y_axis with
+    | Linear -> linear_ticks y_lo y_hi
+    | Log -> log_ticks y_lo y_hi
+  in
+  List.iter
+    (fun t ->
+      let x = sx t in
+      out
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+        x mt x (mt +. ph);
+      out
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n" x
+        (mt +. ph +. 18.) (esc (tick_label t)))
+    x_ticks;
+  List.iter
+    (fun t ->
+      let y = sy t in
+      out
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+        ml y (ml +. pw) y;
+      out
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"end\">%s</text>\n" (ml -. 6.)
+        (y +. 4.) (esc (tick_label t)))
+    y_ticks;
+  (* Frame. *)
+  out
+    "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"none\" \
+     stroke=\"#333\"/>\n"
+    ml mt pw ph;
+  (* Series. *)
+  List.iteri
+    (fun i s ->
+      let color =
+        match s.color with
+        | Some c -> c
+        | None -> palette.(i mod Array.length palette)
+      in
+      let path = Buffer.create 256 in
+      let pen_down = ref false in
+      Array.iteri
+        (fun k xv ->
+          let yv = s.ys.(k) in
+          let ok =
+            Float.is_finite xv && Float.is_finite yv
+            && (cfg.x_axis = Linear || xv > 0.)
+            && (cfg.y_axis = Linear || yv > 0.)
+          in
+          if ok then begin
+            Buffer.add_string path
+              (Printf.sprintf "%s%.2f %.2f "
+                 (if !pen_down then "L" else "M")
+                 (sx xv) (sy yv));
+            pen_down := true
+          end
+          else pen_down := false)
+        s.xs;
+      out
+        "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.8\"/>\n"
+        (String.trim (Buffer.contents path))
+        color;
+      (* Legend entry. *)
+      let ly = mt +. 14. +. (16. *. float_of_int i) in
+      out
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" \
+         stroke-width=\"2.5\"/>\n"
+        (ml +. pw -. 130.) ly (ml +. pw -. 106.) ly color;
+      out "<text x=\"%g\" y=\"%g\">%s</text>\n" (ml +. pw -. 100.) (ly +. 4.)
+        (esc s.label))
+    ss;
+  out "</svg>\n";
+  Buffer.contents b
+
+let write path cfg ss =
+  let oc = open_out path in
+  output_string oc (render cfg ss);
+  close_out oc

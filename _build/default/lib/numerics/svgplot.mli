@@ -1,0 +1,41 @@
+(** Self-contained SVG line charts.
+
+    A small plotting backend so the tool can emit the paper's figures
+    (stability plots, Bode plots, step responses) as standalone [.svg]
+    files or embedded in HTML reports — no external plotting dependency.
+    Linear and logarithmic axes, multiple series, automatic "nice" ticks,
+    grid and legend. *)
+
+type series = {
+  label : string;
+  xs : float array;
+  ys : float array;
+  color : string option;  (** CSS color; auto-assigned when [None] *)
+}
+
+val series : ?color:string -> string -> float array -> float array -> series
+
+type axis = Linear | Log
+(** [Log] requires strictly positive data on that axis. *)
+
+type config = {
+  width : int;            (** pixels (default 720) *)
+  height : int;           (** pixels (default 420) *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : axis;
+  y_axis : axis;
+}
+
+val config :
+  ?width:int -> ?height:int -> ?x_axis:axis -> ?y_axis:axis ->
+  title:string -> x_label:string -> y_label:string -> unit -> config
+
+val render : config -> series list -> string
+(** The SVG document as a string. Non-finite samples break the polyline
+    (gaps) rather than corrupting the path. Raises [Invalid_argument] on
+    empty data or non-positive values on a log axis. *)
+
+val write : string -> config -> series list -> unit
+(** Render to a file. *)

@@ -1,0 +1,39 @@
+type t =
+  | Lin of { start : float; stop : float; points : int }
+  | Dec of { start : float; stop : float; per_decade : int }
+  | List of float array
+
+let decade start stop per_decade = Dec { start; stop; per_decade }
+let linear start stop points = Lin { start; stop; points }
+
+let dec_count start stop per_decade =
+  let decades = log10 (stop /. start) in
+  Int.max 2 (1 + int_of_float (ceil (decades *. float_of_int per_decade)))
+
+let points = function
+  | Lin { start; stop; points } -> Vec.linspace start stop points
+  | Dec { start; stop; per_decade } ->
+    if start <= 0. || stop <= start then invalid_arg "Sweep.points: Dec range";
+    if per_decade < 1 then invalid_arg "Sweep.points: per_decade";
+    Vec.logspace start stop (dec_count start stop per_decade)
+  | List a ->
+    if Array.length a = 0 then invalid_arg "Sweep.points: empty list";
+    Array.copy a
+
+let count = function
+  | Lin { points; _ } -> points
+  | Dec { start; stop; per_decade } -> dec_count start stop per_decade
+  | List a -> Array.length a
+
+let zoom ~center ~ratio ~per_decade =
+  if center <= 0. || ratio <= 1. then invalid_arg "Sweep.zoom";
+  Dec { start = center /. ratio; stop = center *. ratio; per_decade }
+
+let pp ppf = function
+  | Lin { start; stop; points } ->
+    Format.fprintf ppf "lin(%s, %s, %d)" (Engnum.format start)
+      (Engnum.format stop) points
+  | Dec { start; stop; per_decade } ->
+    Format.fprintf ppf "dec(%s, %s, %d/dec)" (Engnum.format start)
+      (Engnum.format stop) per_decade
+  | List a -> Format.fprintf ppf "list(%d points)" (Array.length a)

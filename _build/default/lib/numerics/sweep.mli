@@ -1,0 +1,26 @@
+(** Sweep grids for analyses (frequency or any positive/real axis). *)
+
+type t =
+  | Lin of { start : float; stop : float; points : int }
+      (** [points >= 2] evenly spaced values, endpoints included. *)
+  | Dec of { start : float; stop : float; per_decade : int }
+      (** Logarithmic sweep with [per_decade >= 1] points per decade;
+          both endpoints are included. Requires [0 < start < stop]. *)
+  | List of float array  (** Explicit values, used as given. *)
+
+val points : t -> float array
+(** Materialise the grid. Raises [Invalid_argument] on malformed specs. *)
+
+val decade : float -> float -> int -> t
+(** [decade f1 f2 ppd] is [Dec {start = f1; stop = f2; per_decade = ppd}]. *)
+
+val linear : float -> float -> int -> t
+
+val count : t -> int
+(** Number of points [points] would return. *)
+
+val zoom : center:float -> ratio:float -> per_decade:int -> t
+(** A log window around [center] spanning [center/ratio .. center*ratio],
+    used to refine stability-plot peaks. *)
+
+val pp : Format.formatter -> t -> unit

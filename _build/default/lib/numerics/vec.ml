@@ -1,0 +1,79 @@
+let create n = Array.make n 0.
+let init = Array.init
+let copy = Array.copy
+let fill a x = Array.fill a 0 (Array.length a) x
+
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.map2: length";
+  Array.init (Array.length a) (fun k -> f a.(k) b.(k))
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale k = Array.map (fun x -> k *. x)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot: length";
+  let s = ref 0. in
+  for k = 0 to Array.length a - 1 do
+    s := !s +. (a.(k) *. b.(k))
+  done;
+  !s
+
+let axpy alpha x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.axpy: length";
+  for k = 0 to Array.length x - 1 do
+    y.(k) <- y.(k) +. (alpha *. x.(k))
+  done
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.max_abs_diff";
+  let m = ref 0. in
+  for k = 0 to Array.length a - 1 do
+    m := Float.max !m (Float.abs (a.(k) -. b.(k)))
+  done;
+  !m
+
+let fold_nonempty name f a =
+  if Array.length a = 0 then invalid_arg name
+  else Array.fold_left f a.(0) (Array.sub a 1 (Array.length a - 1))
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean";
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let minimum a = fold_nonempty "Vec.minimum" Float.min a
+let maximum a = fold_nonempty "Vec.maximum" Float.max a
+
+let arg_best better a =
+  if Array.length a = 0 then invalid_arg "Vec.arg_best";
+  let best = ref 0 in
+  for k = 1 to Array.length a - 1 do
+    if better a.(k) a.(!best) then best := k
+  done;
+  !best
+
+let argmin a = arg_best ( < ) a
+let argmax a = arg_best ( > ) a
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: n >= 2";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun k -> a +. (h *. float_of_int k))
+
+let logspace a b n =
+  if a <= 0. || b <= 0. then invalid_arg "Vec.logspace: positive endpoints";
+  Array.map exp (linspace (log a) (log b) n)
+
+let all_close ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length a - 1 do
+    let scale = Float.max 1. (Float.max (Float.abs a.(k)) (Float.abs b.(k))) in
+    if Float.abs (a.(k) -. b.(k)) > tol *. scale then ok := false
+  done;
+  !ok

@@ -1,0 +1,34 @@
+(** Small helpers over [float array] vectors. *)
+
+val create : int -> float array
+val init : int -> (int -> float) -> float array
+val copy : float array -> float array
+val fill : float array -> float -> unit
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+val scale : float -> float array -> float array
+val dot : float array -> float array -> float
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val norm2 : float array -> float
+val norm_inf : float array -> float
+val max_abs_diff : float array -> float array -> float
+
+val mean : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+val argmin : float array -> int
+val argmax : float array -> int
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n]: [n] points from [a] to [b] (both > 0) evenly spaced in
+    log. *)
+
+val all_close : ?tol:float -> float array -> float array -> bool

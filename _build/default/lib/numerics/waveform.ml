@@ -1,0 +1,108 @@
+module Real = struct
+  type t = { x : float array; y : float array }
+
+  let make x y =
+    let n = Array.length x in
+    if n = 0 || Array.length y <> n then
+      invalid_arg "Waveform.Real.make: lengths";
+    for k = 1 to n - 1 do
+      if x.(k) <= x.(k - 1) then
+        invalid_arg "Waveform.Real.make: x must be strictly increasing"
+    done;
+    { x = Array.copy x; y = Array.copy y }
+
+  let length w = Array.length w.x
+  let value_at w t = Interp.linear ~x:w.x ~y:w.y t
+  let map f w = { w with y = Array.map f w.y }
+
+  let zip f a b =
+    if Array.length a.x <> Array.length b.x then
+      invalid_arg "Waveform.Real.zip: axes differ";
+    { a with y = Array.mapi (fun k ya -> f ya b.y.(k)) a.y }
+
+  let maximum w =
+    let i = Vec.argmax w.y in
+    (w.x.(i), w.y.(i))
+
+  let minimum w =
+    let i = Vec.argmin w.y in
+    (w.x.(i), w.y.(i))
+
+  let final w = w.y.(Array.length w.y - 1)
+  let crossings w lvl = Interp.crossings ~x:w.x ~y:w.y lvl
+
+  let derivative w =
+    { w with y = Deriv.first ~x:w.x ~y:w.y }
+
+  let to_csv ?(header = ("x", "y")) w =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (fst header ^ "," ^ snd header ^ "\n");
+    Array.iteri
+      (fun k x ->
+        Buffer.add_string b (Printf.sprintf "%.12g,%.12g\n" x w.y.(k)))
+      w.x;
+    Buffer.contents b
+end
+
+module Freq = struct
+  type t = { freqs : float array; h : Complex.t array }
+
+  let make freqs h =
+    let n = Array.length freqs in
+    if n = 0 || Array.length h <> n then
+      invalid_arg "Waveform.Freq.make: lengths";
+    { freqs = Array.copy freqs; h = Array.copy h }
+
+  let length w = Array.length w.freqs
+  let mag w = Array.map Cx.mag w.h
+  let db w = Array.map Cx.db20 w.h
+
+  let phase_deg w =
+    (* Unwrap: keep successive samples within 180 degrees of each other. *)
+    let n = Array.length w.h in
+    let out = Array.make n 0. in
+    let offset = ref 0. in
+    for k = 0 to n - 1 do
+      let raw = Cx.phase_deg w.h.(k) in
+      if k > 0 then begin
+        let prev = out.(k - 1) in
+        let candidate = raw +. !offset in
+        let jump = candidate -. prev in
+        if jump > 180. then offset := !offset -. 360.
+        else if jump < -180. then offset := !offset +. 360.
+      end;
+      out.(k) <- raw +. !offset
+    done;
+    out
+
+  let real w = Array.map (fun z -> z.Complex.re) w.h
+  let imag w = Array.map (fun z -> z.Complex.im) w.h
+
+  let at w f =
+    let re = Interp.semilogx ~x:w.freqs ~y:(real w) f in
+    let im = Interp.semilogx ~x:w.freqs ~y:(imag w) f in
+    { Complex.re; im }
+
+  let map f w = { w with h = Array.map f w.h }
+  let scale k w = map (Complex.mul k) w
+
+  let div a b =
+    if Array.length a.freqs <> Array.length b.freqs then
+      invalid_arg "Waveform.Freq.div: axes differ";
+    { a with h = Array.mapi (fun k z -> Complex.div z b.h.(k)) a.h }
+
+  let neg = map Complex.neg
+
+  let to_csv w =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "freq_hz,real,imag,mag,phase_deg\n";
+    let ph = phase_deg w in
+    Array.iteri
+      (fun k f ->
+        let z = w.h.(k) in
+        Buffer.add_string b
+          (Printf.sprintf "%.12g,%.12g,%.12g,%.12g,%.12g\n" f z.Complex.re
+             z.Complex.im (Cx.mag z) ph.(k)))
+      w.freqs;
+    Buffer.contents b
+end

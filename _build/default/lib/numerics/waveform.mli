@@ -1,0 +1,56 @@
+(** Simulation waveforms: real (time-domain) and complex (frequency-domain)
+    sampled curves, with the calculator operations the analyses and the
+    stability tool need. *)
+
+module Real : sig
+  type t = { x : float array; y : float array }
+
+  val make : float array -> float array -> t
+  (** Copies its inputs; [x] must be strictly increasing and the arrays the
+      same non-zero length. *)
+
+  val length : t -> int
+
+  val value_at : t -> float -> float
+  (** Linear interpolation. *)
+
+  val map : (float -> float) -> t -> t
+
+  val zip : (float -> float -> float) -> t -> t -> t
+  (** Pointwise combination; both waveforms must share the same axis. *)
+
+  val maximum : t -> float * float
+  (** [(x, y)] of the maximum sample. *)
+
+  val minimum : t -> float * float
+  val final : t -> float
+  val crossings : t -> float -> float list
+  val derivative : t -> t
+
+  val to_csv : ?header:string * string -> t -> string
+  (** CSV text with a one-line header (default ["x,y"]). *)
+end
+
+module Freq : sig
+  type t = { freqs : float array; h : Complex.t array }
+
+  val make : float array -> Complex.t array -> t
+  val length : t -> int
+  val mag : t -> float array
+  val db : t -> float array
+  val phase_deg : t -> float array
+  (** Unwrapped phase in degrees (no 360-degree jumps between samples). *)
+
+  val real : t -> float array
+  val imag : t -> float array
+  val at : t -> float -> Complex.t
+  (** Log-frequency linear interpolation of the complex response. *)
+
+  val map : (Complex.t -> Complex.t) -> t -> t
+  val scale : Complex.t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+
+  val to_csv : t -> string
+  (** CSV text: freq, re, im, magnitude, unwrapped phase. *)
+end

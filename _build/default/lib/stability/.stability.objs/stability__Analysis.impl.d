@@ -1,0 +1,1 @@
+lib/stability/analysis.ml: Array Circuit Complex Engine Float List Numerics Peaks Printf Probe Stability_plot Sweep Waveform

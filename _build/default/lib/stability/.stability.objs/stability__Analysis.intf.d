@@ -1,0 +1,1 @@
+lib/stability/analysis.mli: Circuit Engine Numerics Peaks Probe Stability_plot

@@ -1,0 +1,1 @@
+lib/stability/annotate.ml: Analysis Circuit Float Format List Numerics Peaks Printf String

@@ -1,0 +1,1 @@
+lib/stability/annotate.mli: Analysis Circuit Format

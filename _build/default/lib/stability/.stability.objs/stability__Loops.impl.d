@@ -1,0 +1,1 @@
+lib/stability/loops.ml: Analysis Circuit Format List Numerics Option Peaks

@@ -1,0 +1,1 @@
+lib/stability/loops.mli: Analysis Circuit Format Peaks

@@ -1,0 +1,1 @@
+lib/stability/peaks.ml: Control Engnum Float Format List Numerics Option Peak Stability_plot String

@@ -1,0 +1,1 @@
+lib/stability/peaks.mli: Format Stability_plot

@@ -1,0 +1,1 @@
+lib/stability/probe.ml: Array Circuit Cmat Cx Domain Engine Float Int List Numerics Scmat Sweep Waveform

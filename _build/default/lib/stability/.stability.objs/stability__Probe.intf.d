@@ -1,0 +1,1 @@
+lib/stability/probe.mli: Circuit Engine Numerics

@@ -1,0 +1,1 @@
+lib/stability/report.ml: Analysis Control Float Format List Loops Numerics Option Peaks Printf String

@@ -1,0 +1,1 @@
+lib/stability/report.mli: Analysis Format

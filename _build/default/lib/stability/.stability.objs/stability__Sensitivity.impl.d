@@ -1,0 +1,1 @@
+lib/stability/sensitivity.ml: Analysis Circuit Float Format List Numerics Peaks Printf

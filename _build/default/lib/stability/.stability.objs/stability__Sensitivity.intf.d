@@ -1,0 +1,1 @@
+lib/stability/sensitivity.mli: Analysis Circuit Format

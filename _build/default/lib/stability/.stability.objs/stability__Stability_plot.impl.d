@@ -1,0 +1,1 @@
+lib/stability/stability_plot.ml: Array Deriv Engnum Format Interp Numerics Peak Waveform

@@ -1,0 +1,1 @@
+lib/stability/stability_plot.mli: Format Numerics

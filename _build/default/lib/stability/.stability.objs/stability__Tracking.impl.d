@@ -1,0 +1,1 @@
+lib/stability/tracking.ml: Analysis Array Circuit Format List Numerics Option Peaks Printf

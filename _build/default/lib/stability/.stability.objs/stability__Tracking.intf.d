@@ -1,0 +1,1 @@
+lib/stability/tracking.mli: Analysis Circuit Format

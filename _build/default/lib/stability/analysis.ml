@@ -1,0 +1,152 @@
+open Numerics
+
+type options = {
+  sweep : Numerics.Sweep.t;
+  refine : bool;
+  refine_ratio : float;
+  refine_per_decade : int;
+  min_peak : float;
+  dc_options : Engine.Dcop.options;
+  parallel : bool;
+}
+
+let default_options =
+  { sweep = Sweep.decade 1e3 1e9 30;
+    refine = true;
+    refine_ratio = 2.0;
+    refine_per_decade = 600;
+    min_peak = 0.2;
+    dc_options = Engine.Dcop.default_options;
+    parallel = false }
+
+type node_result = {
+  node : Circuit.Netlist.node;
+  plot : Stability_plot.t;
+  peaks : Peaks.peak list;
+  dominant : Peaks.peak option;
+}
+
+let sweep_bounds sweep =
+  let pts = Sweep.points sweep in
+  (pts.(0), pts.(Array.length pts - 1))
+
+(* Nets held by ideal sources have an essentially zero probe response
+   (the injected current sinks entirely into the source): such nets are
+   unobservable and reported as dead. On live nets, samples many orders of
+   magnitude below the response maximum (numerical residue of a pinned
+   frequency range, or a notch deeper than the solver resolves) are
+   clamped so the logarithmic differentiation stays finite; the clamp sits
+   far below anything a real pole/zero produces. *)
+let live_window (w : Waveform.Freq.t) =
+  let mag = Waveform.Freq.mag w in
+  if Array.exists (fun m -> not (Float.is_finite m)) mag then None
+  else begin
+    let max_mag = Array.fold_left Float.max 0. mag in
+    (* A driving-point impedance below a nano-ohm is not a physical node
+       response; it is LU solver residue on a net pinned by an ideal
+       source. *)
+    if max_mag < 1e-9 then None
+    else begin
+      let floor = max_mag *. 1e-14 in
+      let h =
+        Array.mapi
+          (fun k z -> if mag.(k) < floor then { Complex.re = floor; im = 0. } else z)
+          w.Waveform.Freq.h
+      in
+      Some (Waveform.Freq.make w.Waveform.Freq.freqs h)
+    end
+  end
+
+(* Re-probe a zoom window around a coarse peak and return the refined
+   peak if the fine grid confirms one of the same kind nearby. *)
+let refine_peak opts probe node (coarse : Peaks.peak) =
+  let fmin, fmax = sweep_bounds opts.sweep in
+  let center = coarse.Peaks.freq in
+  let lo = Float.max fmin (center /. opts.refine_ratio) in
+  let hi = Float.min fmax (center *. opts.refine_ratio) in
+  if hi <= lo *. 1.01 then coarse
+  else begin
+    let zoom = Sweep.decade lo hi opts.refine_per_decade in
+    let w = Probe.response probe ~sweep:zoom node in
+    match live_window w with
+    | None -> coarse
+    | Some w ->
+    let plot = Stability_plot.of_response w in
+    let candidates =
+      Peaks.analyze ~min_magnitude:(opts.min_peak /. 2.) plot
+      |> List.filter (fun (p : Peaks.peak) -> p.kind = coarse.kind)
+    in
+    (* Pick the candidate closest to the coarse estimate in log frequency;
+       edge hits in the zoom window mean the coarse peak was spurious
+       curvature, in which case keep the coarse data. *)
+    candidates
+    |> List.filter (fun (p : Peaks.peak) ->
+        not (List.mem Peaks.End_of_range p.notices))
+    |> List.sort (fun (a : Peaks.peak) b ->
+        compare
+          (Float.abs (log (a.freq /. center)))
+          (Float.abs (log (b.freq /. center))))
+    |> function
+    | best :: _ ->
+      (* Keep coarse-plot notices that still apply (end-of-range refers to
+         the full sweep, not the zoom window). *)
+      let notices =
+        (if List.mem Peaks.End_of_range coarse.notices then
+           [ Peaks.End_of_range ]
+         else [])
+        @ List.filter (fun n -> n <> Peaks.End_of_range) best.Peaks.notices
+      in
+      { best with notices }
+    | [] -> coarse
+  end
+
+let analyze_node_opt opts probe node response =
+  match live_window response with
+  | None -> None
+  | Some response ->
+    let plot = Stability_plot.of_response response in
+    let coarse = Peaks.analyze ~min_magnitude:opts.min_peak plot in
+    let peaks =
+      if opts.refine then List.map (refine_peak opts probe node) coarse
+      else coarse
+    in
+    Some { node; plot; peaks; dominant = Peaks.dominant peaks }
+
+let analyze_node opts probe node response =
+  match analyze_node_opt opts probe node response with
+  | Some r -> r
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Stability.Analysis: net %S shows no finite AC response (held by \
+          an ideal source?)"
+         node)
+
+let single_node_prepared ?(options = default_options) probe node =
+  let w = Probe.response probe ~sweep:options.sweep node in
+  analyze_node options probe node w
+
+let all_nodes_prepared ?(options = default_options) ?nodes probe =
+  let all =
+    match nodes with
+    | Some ns -> ns
+    | None ->
+      Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
+  in
+  let responses =
+    Probe.response_many ~parallel:options.parallel probe
+      ~sweep:options.sweep all
+  in
+  (* Nets with no live response window (pinned by ideal sources) are
+     skipped, as the paper's tool skips nets it cannot stimulate. *)
+  List.filter_map
+    (fun (node, w) -> analyze_node_opt options probe node w)
+    responses
+
+let single_node ?(options = default_options) circ node =
+  let probe = Probe.prepare ~dc_options:options.dc_options circ in
+  single_node_prepared ~options probe node
+
+let all_nodes ?(options = default_options) ?nodes circ =
+  let probe = Probe.prepare ~dc_options:options.dc_options circ in
+  all_nodes_prepared ~options ?nodes probe

@@ -1,0 +1,51 @@
+(** Run modes of the stability tool (paper sections 4 and 6).
+
+    "Single Node" probes one selected net, builds its stability plot,
+    detects the peaks and estimates the phase margin. "All Nodes" probes
+    every net of the design and produces the per-node peak list that the
+    report generator turns into the paper's Table 2.
+
+    Peaks found on the coarse sweep are optionally refined by re-probing a
+    narrow log window around each peak at a much finer grid (the coarse
+    grid alone biases sharp peaks low). *)
+
+type options = {
+  sweep : Numerics.Sweep.t;      (** coarse sweep (default 1 kHz - 1 GHz,
+                                     30 points/decade) *)
+  refine : bool;                 (** zoom re-probe around peaks (true) *)
+  refine_ratio : float;          (** half-width of the zoom window as a
+                                     frequency ratio (2.0) *)
+  refine_per_decade : int;       (** zoom grid density (600) *)
+  min_peak : float;              (** report peaks with |P| above this (0.2) *)
+  dc_options : Engine.Dcop.options;
+  parallel : bool;               (** spread the all-nodes sweep across
+                                     OCaml domains (false) *)
+}
+
+val default_options : options
+
+type node_result = {
+  node : Circuit.Netlist.node;
+  plot : Stability_plot.t;       (** coarse plot (kept for plotting) *)
+  peaks : Peaks.peak list;       (** refined peaks *)
+  dominant : Peaks.peak option;  (** deepest complex-pole peak *)
+}
+
+val single_node :
+  ?options:options -> Circuit.Netlist.t -> Circuit.Netlist.node ->
+  node_result
+
+val all_nodes :
+  ?options:options -> ?nodes:Circuit.Netlist.node list -> Circuit.Netlist.t ->
+  node_result list
+(** Probe every non-ground net (or the given subset). Nets the tool cannot
+    probe meaningfully (probing reveals no finite response) are skipped.
+    Results come back in net-name order. *)
+
+val single_node_prepared :
+  ?options:options -> Probe.t -> Circuit.Netlist.node -> node_result
+(** As {!single_node} with a pre-computed operating point. *)
+
+val all_nodes_prepared :
+  ?options:options -> ?nodes:Circuit.Netlist.node list -> Probe.t ->
+  node_result list

@@ -1,0 +1,46 @@
+let lookup results node =
+  List.find_opt
+    (fun (r : Analysis.node_result) -> String.equal r.node node)
+    results
+
+let annotation_of results node =
+  match lookup results node with
+  | None -> None
+  | Some { dominant = None; _ } -> Some "no peak"
+  | Some { dominant = Some d; _ } ->
+    Some
+      (Printf.sprintf "peak %.2f @ %sHz%s" (Float.abs d.Peaks.value)
+         (Numerics.Engnum.format d.Peaks.freq)
+         (match d.Peaks.phase_margin_deg with
+          | Some pm -> Printf.sprintf ", PM %.0f deg" pm
+          | None -> ""))
+
+let netlist ppf circ results =
+  Format.fprintf ppf "* %s -- annotated with stability analysis results@."
+    (Circuit.Netlist.title circ);
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%a@." Circuit.Netlist.pp_device d;
+      let nodes =
+        List.filter
+          (fun n -> not (Circuit.Netlist.is_ground n))
+          (Circuit.Netlist.device_nodes d)
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun n ->
+          match annotation_of results n with
+          | Some a -> Format.fprintf ppf "*   %s: %s@." n a
+          | None -> ())
+        nodes)
+    (Circuit.Netlist.devices circ);
+  Format.fprintf ppf "*@.* per-net summary:@.";
+  List.iter
+    (fun (r : Analysis.node_result) ->
+      match annotation_of results r.node with
+      | Some a -> Format.fprintf ppf "*   %-16s %s@." r.node a
+      | None -> ())
+    results
+
+let netlist_string circ results =
+  Format.asprintf "%a" (fun ppf -> netlist ppf circ) results

@@ -1,0 +1,13 @@
+(** Annotation of results on the circuit (paper feature "Annotation of
+    Results on circuit schematic", Fig 5).
+
+    Without a schematic canvas the annotation targets the netlist: the
+    SPICE listing is emitted with a comment block mapping every analysed
+    net to its stability peak, natural frequency and estimated phase
+    margin, plus per-device terminal annotations so the loop can be traced
+    through the devices it crosses. *)
+
+val netlist :
+  Format.formatter -> Circuit.Netlist.t -> Analysis.node_result list -> unit
+
+val netlist_string : Circuit.Netlist.t -> Analysis.node_result list -> string

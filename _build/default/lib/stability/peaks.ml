@@ -1,0 +1,125 @@
+open Numerics
+
+type kind = Complex_pole | Complex_zero
+
+type notice =
+  | End_of_range
+  | Min_max_doublet
+  | Real_pole_like
+  | Pole_shoulder
+
+type peak = {
+  kind : kind;
+  freq : float;
+  value : float;
+  notices : notice list;
+  zeta : float option;
+  phase_margin_deg : float option;
+  overshoot_pct : float option;
+}
+
+let analyze ?(min_magnitude = 0.2) ?(doublet_ratio = 3.0)
+    ?(keep_shoulders = false) (plot : Stability_plot.t) =
+  let raw =
+    Peak.find ~min_prominence:(min_magnitude /. 2.) ~x:plot.freqs ~y:plot.p ()
+  in
+  let relevant =
+    List.filter
+      (fun (e : Peak.t) ->
+        match e.kind with
+        | Peak.Minimum -> e.y <= -.min_magnitude
+        | Peak.Maximum -> e.y >= min_magnitude)
+      raw
+  in
+  let classified =
+    List.map
+      (fun (e : Peak.t) ->
+        let kind =
+          match e.kind with
+          | Peak.Minimum -> Complex_pole
+          | Peak.Maximum -> Complex_zero
+        in
+        let notices =
+          (if e.at_edge then [ End_of_range ] else [])
+          @ (if Float.abs e.y <= 1. then [ Real_pole_like ] else [])
+        in
+        let estimates =
+          if kind = Complex_pole && e.y < -1. then
+            Control.Second_order.estimate_from_peak e.y
+          else None
+        in
+        match estimates with
+        | Some (zeta, pm, os) ->
+          { kind; freq = e.x; value = e.y; notices; zeta = Some zeta;
+            phase_margin_deg = Some pm; overshoot_pct = Some os }
+        | None ->
+          { kind; freq = e.x; value = e.y; notices; zeta = None;
+            phase_margin_deg = None; overshoot_pct = None })
+      relevant
+  in
+  (* Shoulder suppression: the second derivative of a sharp pole dip has
+     positive flanks of up to ~1/8 of the dip depth within a small
+     frequency ratio; a genuine complex zero this close to a pole would
+     produce a comparable positive peak instead. *)
+  let near ratio a b = Float.max (a /. b) (b /. a) <= ratio in
+  let is_shoulder p =
+    p.kind = Complex_zero
+    && List.exists
+         (fun q ->
+           q.kind = Complex_pole
+           && near 3.0 q.freq p.freq
+           && Float.abs q.value >= 5. *. p.value)
+         classified
+  in
+  let classified =
+    if keep_shoulders then
+      List.map
+        (fun p ->
+          if is_shoulder p then
+            { p with notices = p.notices @ [ Pole_shoulder ] }
+          else p)
+        classified
+    else List.filter (fun p -> not (is_shoulder p)) classified
+  in
+  (* Doublet detection: a pole and a zero closer than [doublet_ratio]. *)
+  let is_doublet p =
+    List.exists
+      (fun q ->
+        q.kind <> p.kind && near doublet_ratio q.freq p.freq)
+      classified
+  in
+  List.map
+    (fun p ->
+      if is_doublet p then { p with notices = p.notices @ [ Min_max_doublet ] }
+      else p)
+    classified
+
+let dominant peaks =
+  peaks
+  |> List.filter (fun p -> p.kind = Complex_pole)
+  |> List.sort (fun a b -> compare a.value b.value)
+  |> function
+  | [] -> None
+  | deepest :: _ -> Some deepest
+
+let notice_string = function
+  | End_of_range -> "end-of-range"
+  | Min_max_doublet -> "min/max doublet"
+  | Real_pole_like -> "real-pole-like"
+  | Pole_shoulder -> "pole shoulder"
+
+let pp ppf p =
+  let kind = match p.kind with
+    | Complex_pole -> "pole"
+    | Complex_zero -> "zero"
+  in
+  Format.fprintf ppf "%s at %sHz, P = %.3f" kind (Engnum.format p.freq)
+    p.value;
+  Option.iter (fun z -> Format.fprintf ppf ", zeta = %.3f" z) p.zeta;
+  Option.iter (fun pm -> Format.fprintf ppf ", PM = %.1f deg" pm)
+    p.phase_margin_deg;
+  match p.notices with
+  | [] -> ()
+  | ns ->
+    Format.fprintf ppf " [%s]"
+      (String.concat "; " (List.map notice_string ns))

@@ -1,0 +1,49 @@
+(** Classification of stability-plot extrema.
+
+    Mirrors the tool's report semantics (paper section 4.1): complex poles
+    (negative peaks) and complex zeros (positive peaks), plus the "special
+    cases" the All-Nodes report flags — "end-of-range" extrema that sit on
+    the sweep boundary and "min/max" pole/zero doublets whose natural
+    frequencies nearly coincide (footnote 2 of the paper: a complex zero
+    close to a complex pole changes the pole's significance). Shallow
+    extrema indistinguishable from real-pole curvature (|P| <= 1) are
+    marked [Real_pole_like]. *)
+
+type kind = Complex_pole | Complex_zero
+
+type notice =
+  | End_of_range     (** extremum at the first/last sweep point *)
+  | Min_max_doublet  (** a pole and a zero within [doublet_ratio] in freq *)
+  | Real_pole_like   (** |P| <= 1: explainable by real poles alone *)
+  | Pole_shoulder
+      (** positive side-lobe of a sharp pole dip, not a genuine complex
+          zero: the second derivative of a resonance dip has positive
+          flanks of up to ~1/8 of the dip depth within a small frequency
+          ratio. Suppressed from {!analyze} output unless
+          [keep_shoulders] is set. *)
+
+type peak = {
+  kind : kind;
+  freq : float;        (** natural frequency (refined) *)
+  value : float;       (** performance index: P at the peak *)
+  notices : notice list;
+  zeta : float option;       (** 1/sqrt(-P), poles deeper than -1 only *)
+  phase_margin_deg : float option;  (** exact second-order PM from zeta *)
+  overshoot_pct : float option;
+}
+
+val analyze :
+  ?min_magnitude:float -> ?doublet_ratio:float -> ?keep_shoulders:bool ->
+  Stability_plot.t -> peak list
+(** Extrema of the plot with |P| >= [min_magnitude] (default 0.2), in
+    ascending frequency. [doublet_ratio] (default 3.0) sets how close a
+    pole and zero must be to be flagged as a doublet. Positive peaks
+    identified as mere shoulders of a deep pole dip (within frequency
+    ratio 3 and shallower than a fifth of the dip) are dropped unless
+    [keep_shoulders] (default false). *)
+
+val dominant : peak list -> peak option
+(** The deepest complex-pole peak — the loop the node most strongly
+    participates in (what the All-Nodes report lists per node). *)
+
+val pp : Format.formatter -> peak -> unit

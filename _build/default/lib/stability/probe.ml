@@ -1,0 +1,104 @@
+open Numerics
+
+type t = {
+  mna : Engine.Mna.t;
+  op : Engine.Dcop.t;
+}
+
+let prepare ?dc_options circ =
+  let mna = Engine.Mna.compile circ in
+  let op = Engine.Dcop.solve ?options:dc_options mna in
+  { mna; op }
+
+(* Unit current pushed into node index [k]: rhs = +1 at k (the KCL
+   convention of the engine counts injected current positive). *)
+let excitation size k =
+  let b = Array.make size Cx.zero in
+  b.(k) <- Cx.one;
+  b
+
+(* Above this unknown count the sparse backend factors the AC system
+   faster than dense LU (circuit matrices carry only a few entries per
+   row); below it the dense path's simplicity wins. *)
+let sparse_threshold = 120
+
+let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
+    nodes =
+  let size = t.mna.Engine.Mna.size in
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> if size > sparse_threshold then `Sparse else `Dense
+  in
+  let indexed =
+    List.map
+      (fun n ->
+        let i = Engine.Mna.node_index t.mna n in
+        if i < 0 then
+          invalid_arg "Probe.response_many: cannot probe the ground net";
+        (n, i))
+      nodes
+  in
+  let freqs = Sweep.points sweep in
+  let per_node = List.map (fun (n, i) -> (n, i, Array.make
+                                            (Array.length freqs) Cx.zero))
+                   indexed in
+  let prims = Engine.Linearize.of_op t.op in
+  let run_point fk f =
+    let omega = 2. *. Float.pi *. f in
+    let solve =
+      match backend with
+      | `Dense ->
+        let lu = Engine.Ac.factor_at ~gmin ~op:t.op ~omega t.mna in
+        fun b -> Cmat.lu_solve lu b
+      | `Sparse ->
+        (* The stamps write into a dense matrix; harvesting its nonzeros
+           into triplets costs one O(size^2) scan, negligible next to
+           the factorisation it replaces. *)
+        let a = Cmat.create size size in
+        Engine.Ac.matrix_at t.mna prims ~gmin ~w:omega a;
+        let triplets = ref [] in
+        for i = 0 to size - 1 do
+          for j = 0 to size - 1 do
+            let v = Cmat.get a i j in
+            if Cx.mag v <> 0. then triplets := (i, j, v) :: !triplets
+          done
+        done;
+        let sp = Scmat.of_triplets ~rows:size ~cols:size !triplets in
+        let lu = Scmat.lu_factor sp in
+        fun b -> Scmat.lu_solve lu b
+    in
+    List.iter
+      (fun (_, i, out) ->
+        let x = solve (excitation size i) in
+        out.(fk) <- x.(i))
+      per_node
+  in
+  if not parallel then Array.iteri run_point freqs
+  else begin
+    (* Frequency points are independent; spread them over domains. Each
+       domain writes disjoint columns of the (pre-allocated) result
+       arrays, so no synchronisation is needed. *)
+    let workers = Int.max 1 (Domain.recommended_domain_count () - 1) in
+    let domains =
+      List.init workers (fun w ->
+          Domain.spawn (fun () ->
+              let fk = ref w in
+              while !fk < Array.length freqs do
+                run_point !fk freqs.(!fk);
+                fk := !fk + workers
+              done))
+    in
+    List.iter Domain.join domains
+  end;
+  List.map (fun (n, _, h) -> (n, Waveform.Freq.make freqs h)) per_node
+
+let response ?gmin t ~sweep node =
+  match response_many ?gmin t ~sweep [ node ] with
+  | [ (_, w) ] -> w
+  | _ -> assert false
+
+let response_via_netlist ?gmin ?dc_options circ ~sweep node =
+  let probed = Circuit.Transform.with_ac_current_probe circ node in
+  let ac = Engine.Ac.run ?dc_options ?gmin ~sweep probed in
+  Engine.Ac.v ac node

@@ -1,0 +1,45 @@
+(** AC current-probe excitation of circuit nets (paper section 2).
+
+    "The technique excites selected or all circuit nodes consecutively by
+    applying an AC-current signal source to the tested node without
+    changing the circuit under inspection at all." The measured response is
+    the net's driving-point transimpedance Z(j w): an ideal current probe
+    adds nothing to the system matrix, only to the excitation vector, so
+    the all-nodes mode factors the matrix once per frequency and back-
+    substitutes one RHS per net. A netlist-level path (attach a real
+    [Isource] probe and run a plain AC analysis) is kept as the reference
+    implementation; both agree to solver precision. *)
+
+type t = {
+  mna : Engine.Mna.t;
+  op : Engine.Dcop.t;
+}
+
+val prepare :
+  ?dc_options:Engine.Dcop.options -> Circuit.Netlist.t -> t
+(** Compile the design and find its operating point once. Pre-existing AC
+    stimuli are irrelevant to probing (the probe provides its own
+    excitation and ignores the sources' AC values — the tool's "auto-zero
+    all AC sources" feature). *)
+
+val response :
+  ?gmin:float -> t -> sweep:Numerics.Sweep.t -> Circuit.Netlist.node ->
+  Numerics.Waveform.Freq.t
+(** Driving-point transimpedance of one net across a sweep. *)
+
+val response_many :
+  ?gmin:float -> ?backend:[ `Dense | `Sparse ] -> ?parallel:bool -> t ->
+  sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
+  (Circuit.Netlist.node * Numerics.Waveform.Freq.t) list
+(** Shared-factorisation probing of many nets (one LU per frequency).
+    The backend defaults to dense LU, switching to the sparse
+    Gilbert-Peierls factorisation above ~120 unknowns. With [parallel]
+    the independent frequency points are spread across OCaml domains
+    (the paper's "distributed run" capability at multicore scale). *)
+
+val response_via_netlist :
+  ?gmin:float -> ?dc_options:Engine.Dcop.options -> Circuit.Netlist.t ->
+  sweep:Numerics.Sweep.t -> Circuit.Netlist.node -> Numerics.Waveform.Freq.t
+(** Reference path: zero the design's AC stimuli, attach a unit AC current
+    source to the net ({!Circuit.Transform.with_ac_current_probe}) and run
+    a normal AC analysis. *)

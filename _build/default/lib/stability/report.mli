@@ -1,0 +1,16 @@
+(** Text reports in the style of the paper's Table 2: per-node stability
+    peaks sorted and grouped by loop natural frequency, with special-case
+    notices ("end-of-range", "min/max" types) appended per node. *)
+
+val all_nodes :
+  ?rel_gap:float -> Format.formatter -> Analysis.node_result list -> unit
+(** The All-Nodes run report. Peak values print as magnitudes (the paper's
+    Table 2 prints |P|; every grouped peak is a negative, complex-pole
+    peak). *)
+
+val single_node : Format.formatter -> Analysis.node_result -> unit
+(** Single-node report: the peak list with damping/phase-margin/overshoot
+    estimates, plus the plot extremum summary. *)
+
+val all_nodes_string : ?rel_gap:float -> Analysis.node_result list -> string
+val single_node_string : Analysis.node_result -> string

@@ -1,0 +1,71 @@
+type entry = {
+  device : string;
+  nominal : float;
+  zeta_sensitivity : float;
+  freq_sensitivity : float;
+}
+
+let passive_value = function
+  | Circuit.Netlist.Resistor { r; _ } -> Some r
+  | Circuit.Netlist.Capacitor { c; _ } -> Some c
+  | Circuit.Netlist.Inductor { l; _ } -> Some l
+  | _ -> None
+
+let with_value d v =
+  match d with
+  | Circuit.Netlist.Resistor x -> Circuit.Netlist.Resistor { x with r = v }
+  | Circuit.Netlist.Capacitor x -> Circuit.Netlist.Capacitor { x with c = v }
+  | Circuit.Netlist.Inductor x -> Circuit.Netlist.Inductor { x with l = v }
+  | other -> other
+
+let dominant_peak ?options circ node =
+  match (Analysis.single_node ?options circ node).Analysis.dominant with
+  | Some d ->
+    (match d.Peaks.zeta with
+     | Some z -> Some (z, d.Peaks.freq)
+     | None -> None)
+  | None -> None
+
+let of_loop ?options ?(rel_step = 0.05) circ ~node =
+  let zeta0, freq0 =
+    match dominant_peak ?options circ node with
+    | Some x -> x
+    | None ->
+      failwith
+        (Printf.sprintf
+           "Sensitivity.of_loop: no dominant complex pole at %S" node)
+  in
+  Circuit.Netlist.devices circ
+  |> List.filter_map (fun d ->
+      match passive_value d with
+      | None -> None
+      | Some nominal ->
+        let perturbed sign =
+          let v = nominal *. (1. +. (sign *. rel_step)) in
+          let circ' = Circuit.Netlist.replace_device circ (with_value d v) in
+          dominant_peak ?options circ' node
+        in
+        (match (perturbed 1., perturbed (-1.)) with
+         | Some (z_hi, f_hi), Some (z_lo, f_lo) ->
+           Some
+             { device = Circuit.Netlist.device_name d;
+               nominal;
+               zeta_sensitivity =
+                 (z_hi -. z_lo) /. (2. *. rel_step) /. zeta0;
+               freq_sensitivity =
+                 (f_hi -. f_lo) /. (2. *. rel_step) /. freq0 }
+         | _ -> None))
+  |> List.sort (fun a b ->
+      compare
+        (Float.abs b.zeta_sensitivity)
+        (Float.abs a.zeta_sensitivity))
+
+let pp ppf entries =
+  Format.fprintf ppf "%-12s %12s %14s %14s@." "component" "nominal"
+    "S(zeta)" "S(fn)";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-12s %12s %+14.3f %+14.3f@." e.device
+        (Numerics.Engnum.format e.nominal)
+        e.zeta_sensitivity e.freq_sensitivity)
+    entries

@@ -1,0 +1,32 @@
+(** Component sensitivity of a loop's stability.
+
+    Answers the designer's next question after the all-nodes report flags a
+    loop: {e which component do I change}? For every passive component (and
+    optionally every device geometry), the analysis perturbs the value by a
+    relative step, re-runs the single-node probe, and reports the
+    normalised sensitivity of the loop's damping ratio,
+
+    {v S = (d zeta / zeta) / (d x / x) v}
+
+    ranked by magnitude. Positive S means increasing the component damps
+    the loop. Central differences are used so first-order accuracy holds
+    even near damping extrema. *)
+
+type entry = {
+  device : string;
+  nominal : float;          (** nominal component value *)
+  zeta_sensitivity : float; (** normalised d(zeta)/d(value) *)
+  freq_sensitivity : float; (** normalised d(fn)/d(value) *)
+}
+
+val of_loop :
+  ?options:Analysis.options -> ?rel_step:float ->
+  Circuit.Netlist.t -> node:Circuit.Netlist.node -> entry list
+(** Sensitivities of the dominant peak seen from [node], over every
+    resistor, capacitor and inductor of the circuit, sorted by descending
+    |zeta sensitivity|. [rel_step] defaults to 0.05 (a +/-5 percent
+    perturbation). Components whose perturbed circuit loses the peak are
+    skipped. Raises [Failure] when the nominal circuit has no dominant
+    complex pole at [node]. *)
+
+val pp : Format.formatter -> entry list -> unit

@@ -1,0 +1,28 @@
+open Numerics
+
+type t = {
+  freqs : float array;
+  mag : float array;
+  p : float array;
+}
+
+let of_magnitude ~freqs ~mag =
+  { freqs = Array.copy freqs; mag = Array.copy mag;
+    p = Deriv.stability_function ~freq:freqs ~mag }
+
+let of_response w =
+  of_magnitude ~freqs:w.Waveform.Freq.freqs ~mag:(Waveform.Freq.mag w)
+
+let value_at t f = Interp.semilogx ~x:t.freqs ~y:t.p f
+
+let global_minimum t =
+  let pk = Peak.global_minimum ~x:t.freqs ~y:t.p in
+  (pk.Peak.x, pk.Peak.y)
+
+let pp ppf t =
+  Format.fprintf ppf "%14s %14s %12s@." "freq [Hz]" "|T|" "P";
+  Array.iteri
+    (fun k f ->
+      Format.fprintf ppf "%14s %14.6g %12.4f@." (Engnum.format f) t.mag.(k)
+        t.p.(k))
+    t.freqs

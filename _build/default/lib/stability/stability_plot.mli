@@ -1,0 +1,31 @@
+(** The stability plot (paper eq 1.3).
+
+    Given the magnitude of a node's AC response to a current-probe
+    excitation, the stability function
+    {v P(w) = d2 ln|T| / d (ln w)2 v}
+    filters out real poles and zeros (shallow -0.5/+0.5 excursions) while
+    every complex-pole pair produces a sharp negative peak of value
+    -1/zeta^2 at its natural frequency (eq 1.4) and every complex-zero pair
+    a positive peak. *)
+
+type t = {
+  freqs : float array;
+  mag : float array;   (** |T(j 2 pi f)| — the probed response *)
+  p : float array;     (** the stability function at each frequency *)
+}
+
+val of_response : Numerics.Waveform.Freq.t -> t
+(** Compute the plot from a complex response (magnitudes must be positive:
+    a numerically zero response anywhere raises [Invalid_argument]). *)
+
+val of_magnitude : freqs:float array -> mag:float array -> t
+
+val value_at : t -> float -> float
+(** Log-frequency interpolation of the stability function. *)
+
+val global_minimum : t -> float * float
+(** [(frequency, value)] of the most negative point (parabolically
+    refined when interior). *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular dump (frequency, |T|, P). *)

@@ -1,0 +1,86 @@
+type point = {
+  param : float;
+  freq : float;
+  peak : float;
+  zeta : float option;
+  phase_margin_deg : float option;
+}
+
+let across ?options ~build ~values ~node () =
+  Array.to_list values
+  |> List.map (fun v ->
+      let circ = build v in
+      match (Analysis.single_node ?options circ node).Analysis.dominant with
+      | Some d ->
+        ( v,
+          Some
+            { param = v;
+              freq = d.Peaks.freq;
+              peak = d.Peaks.value;
+              zeta = d.Peaks.zeta;
+              phase_margin_deg = d.Peaks.phase_margin_deg } )
+      | None -> (v, None))
+
+let component ?options circ ~device ~values ~node =
+  let d0 =
+    match Circuit.Netlist.find_device circ device with
+    | Some d -> d
+    | None ->
+      invalid_arg (Printf.sprintf "Tracking.component: no device %S" device)
+  in
+  let with_value v =
+    let d =
+      match d0 with
+      | Circuit.Netlist.Resistor x -> Circuit.Netlist.Resistor { x with r = v }
+      | Circuit.Netlist.Capacitor x ->
+        Circuit.Netlist.Capacitor { x with c = v }
+      | Circuit.Netlist.Inductor x -> Circuit.Netlist.Inductor { x with l = v }
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Tracking.component: %S is not a passive" device)
+    in
+    Circuit.Netlist.replace_device circ d
+  in
+  across ?options ~build:with_value ~values ~node ()
+
+let critical_value traj ~zeta_target =
+  let zeta_of = function
+    | Some p -> Option.value ~default:1. p.zeta
+    | None -> 1.
+  in
+  let rec scan = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+      let z1 = zeta_of p1 and z2 = zeta_of p2 in
+      if (z1 -. zeta_target) *. (z2 -. zeta_target) <= 0. then begin
+        if z1 = z2 then Some v1
+        else Some (v1 +. ((v2 -. v1) *. (zeta_target -. z1) /. (z2 -. z1)))
+      end
+      else scan rest
+    | _ -> None
+  in
+  (* An exact hit on the first point. *)
+  match traj with
+  | (v1, p1) :: _ when zeta_of p1 = zeta_target -> Some v1
+  | _ -> scan traj
+
+let pp ppf traj =
+  Format.fprintf ppf "%12s %12s %10s %8s %8s@." "value" "fn [Hz]" "peak"
+    "zeta" "PM [deg]";
+  List.iter
+    (fun (v, p) ->
+      match p with
+      | Some p ->
+        Format.fprintf ppf "%12s %12s %10.2f %8s %8s@."
+          (Numerics.Engnum.format v)
+          (Numerics.Engnum.format p.freq)
+          p.peak
+          (match p.zeta with
+           | Some z -> Printf.sprintf "%.3f" z
+           | None -> "-")
+          (match p.phase_margin_deg with
+           | Some pm -> Printf.sprintf "%.1f" pm
+           | None -> "-")
+      | None ->
+        Format.fprintf ppf "%12s %12s %10s %8s %8s@."
+          (Numerics.Engnum.format v) "-" "damped" "-" "-")
+    traj

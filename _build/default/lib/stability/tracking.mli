@@ -1,0 +1,38 @@
+(** Loop trajectories across a parameter sweep.
+
+    The natural follow-up to {!Sensitivity}: instead of the local slope,
+    sweep a component (or any circuit-building parameter) and track where
+    the loop's natural frequency and damping go — the data a designer plots
+    when sizing a compensation network. *)
+
+type point = {
+  param : float;          (** the swept value *)
+  freq : float;           (** loop natural frequency at this value *)
+  peak : float;           (** stability-plot peak (performance index) *)
+  zeta : float option;
+  phase_margin_deg : float option;
+}
+
+val across :
+  ?options:Analysis.options -> build:(float -> Circuit.Netlist.t) ->
+  values:float array -> node:Circuit.Netlist.node -> unit ->
+  (float * point option) list
+(** Evaluate the dominant peak at [node] for each built circuit. [None]
+    entries mean the loop had no complex pair at that value (fully
+    damped). *)
+
+val component :
+  ?options:Analysis.options -> Circuit.Netlist.t -> device:string ->
+  values:float array -> node:Circuit.Netlist.node ->
+  (float * point option) list
+(** Sweep a passive component's value (R/C/L). Raises [Invalid_argument]
+    for other devices. *)
+
+val critical_value :
+  (float * point option) list -> zeta_target:float -> float option
+(** Smallest swept value whose damping reaches [zeta_target] (linear
+    interpolation between bracketing sweep points); [None] when the target
+    is never reached. Points without a complex pair count as
+    fully damped (zeta = 1). *)
+
+val pp : Format.formatter -> (float * point option) list -> unit

@@ -1,0 +1,1 @@
+lib/tool/calculator.ml: Array Cx Deriv Float Interp Numerics Printf Stability String Waveform

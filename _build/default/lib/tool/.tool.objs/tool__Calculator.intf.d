@@ -1,0 +1,1 @@
+lib/tool/calculator.mli: Numerics Stability

@@ -1,0 +1,1 @@
+lib/tool/corners.ml: Circuit Job List Printf String

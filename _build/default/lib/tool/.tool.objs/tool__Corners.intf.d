@@ -1,0 +1,1 @@
+lib/tool/corners.mli: Circuit Result

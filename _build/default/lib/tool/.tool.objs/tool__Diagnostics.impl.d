@@ -1,0 +1,1 @@
+lib/tool/diagnostics.ml: Filename Format List Option Printexc Printf Session String Unix

@@ -1,0 +1,1 @@
+lib/tool/diagnostics.mli: Format Result Session

@@ -1,0 +1,1 @@
+lib/tool/html_report.ml: Buffer Circuit Diagnostics Engnum Float List Numerics Option Printf Stability String Svgplot

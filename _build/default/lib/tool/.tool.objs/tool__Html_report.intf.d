@@ -1,0 +1,1 @@
+lib/tool/html_report.mli: Circuit Stability

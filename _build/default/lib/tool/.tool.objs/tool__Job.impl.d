@@ -1,0 +1,1 @@
+lib/tool/job.ml: Array Domain Format Int List Printexc Result Unix

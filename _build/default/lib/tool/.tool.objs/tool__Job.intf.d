@@ -1,0 +1,1 @@
+lib/tool/job.mli: Format Result

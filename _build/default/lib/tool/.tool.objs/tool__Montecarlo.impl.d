@@ -1,0 +1,1 @@
+lib/tool/montecarlo.ml: Circuit Float Format Job List Printf Random Result String

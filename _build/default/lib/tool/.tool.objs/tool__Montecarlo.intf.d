@@ -1,0 +1,1 @@
+lib/tool/montecarlo.mli: Circuit Format Result

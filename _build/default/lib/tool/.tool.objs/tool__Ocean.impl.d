@@ -1,0 +1,1 @@
+lib/tool/ocean.ml: Circuit Engine Hashtbl List Printf Session Stability String

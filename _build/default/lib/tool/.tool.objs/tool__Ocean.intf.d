@@ -1,0 +1,1 @@
+lib/tool/ocean.mli: Circuit Engine Numerics Session Stability

@@ -1,0 +1,1 @@
+lib/tool/opstore.ml: Array Circuit Engine List Printf String

@@ -1,0 +1,1 @@
+lib/tool/opstore.mli: Circuit Engine

@@ -1,0 +1,1 @@
+lib/tool/session.ml: Array Circuit List Logs Numerics Printf String

@@ -1,0 +1,1 @@
+lib/tool/session.mli: Circuit Numerics

@@ -1,0 +1,88 @@
+open Numerics
+
+type wave =
+  | Freq of Waveform.Freq.t
+  | Real of Waveform.Real.t
+
+let as_freq = function
+  | Freq w -> w
+  | Real _ ->
+    invalid_arg "Calculator: frequency-domain waveform required"
+
+let real_of_freq (w : Waveform.Freq.t) y =
+  Real (Waveform.Real.make w.Waveform.Freq.freqs y)
+
+let db20 w =
+  let f = as_freq w in
+  real_of_freq f (Waveform.Freq.db f)
+
+let mag w =
+  match w with
+  | Freq f -> real_of_freq f (Waveform.Freq.mag f)
+  | Real r -> Real (Waveform.Real.map Float.abs r)
+
+let phase_deg w =
+  let f = as_freq w in
+  real_of_freq f (Waveform.Freq.phase_deg f)
+
+let real_part w =
+  let f = as_freq w in
+  real_of_freq f (Waveform.Freq.real f)
+
+let imag_part w =
+  let f = as_freq w in
+  real_of_freq f (Waveform.Freq.imag f)
+
+let group_delay w =
+  (* -d(phase)/d(omega), seconds: the classic calculator companion of the
+     phase plot. *)
+  let f = as_freq w in
+  let ph_rad =
+    Array.map (fun d -> d *. Float.pi /. 180.) (Waveform.Freq.phase_deg f)
+  in
+  let omega =
+    Array.map (fun x -> 2. *. Float.pi *. x) f.Waveform.Freq.freqs
+  in
+  let d = Deriv.first ~x:omega ~y:ph_rad in
+  real_of_freq f (Array.map (fun v -> -.v) d)
+
+let deriv w =
+  match w with
+  | Real r -> Real (Waveform.Real.derivative r)
+  | Freq f ->
+    real_of_freq f
+      (Deriv.first ~x:f.Waveform.Freq.freqs ~y:(Waveform.Freq.mag f))
+
+let stability_plot w = Stability.Stability_plot.of_response (as_freq w)
+
+let value_at w x =
+  match w with
+  | Real r -> Waveform.Real.value_at r x
+  | Freq f -> Cx.mag (Waveform.Freq.at f x)
+
+let cross w lvl =
+  match w with
+  | Real r ->
+    (match Waveform.Real.crossings r lvl with [] -> None | c :: _ -> Some c)
+  | Freq f ->
+    Interp.first_crossing ~x:f.Waveform.Freq.freqs ~y:(Waveform.Freq.mag f)
+      lvl
+
+let apply name w =
+  match String.lowercase_ascii name with
+  | "db20" -> db20 w
+  | "mag" -> mag w
+  | "phase" -> phase_deg w
+  | "deriv" -> deriv w
+  | "real" -> real_part w
+  | "imag" -> imag_part w
+  | "groupdelay" -> group_delay w
+  | "stab" ->
+    let plot = stability_plot w in
+    Real
+      (Waveform.Real.make plot.Stability.Stability_plot.freqs
+         plot.Stability.Stability_plot.p)
+  | other -> invalid_arg (Printf.sprintf "Calculator.apply: %S" other)
+
+let names =
+  [ "db20"; "mag"; "phase"; "deriv"; "real"; "imag"; "groupdelay"; "stab" ]

@@ -1,0 +1,45 @@
+(** Waveform calculator — the expression layer the paper's tool uses to
+    build the stability plot out of simulator output ("requires OCEAN,
+    Spectre and Waveform calculator capabilities").
+
+    Frequency-domain and time-domain waveforms each get a set of named
+    unary operations, applicable programmatically or by name (for OCEAN
+    scripts read from text). The paper's eq 1.3 is available both as the
+    primitive chain (deriv / normalise / deriv / normalise) and as the
+    fused ["stab"] operation. *)
+
+type wave =
+  | Freq of Numerics.Waveform.Freq.t
+  | Real of Numerics.Waveform.Real.t
+
+val db20 : wave -> wave
+(** Magnitude in dB (frequency-domain input). *)
+
+val mag : wave -> wave
+val phase_deg : wave -> wave
+val deriv : wave -> wave
+(** d/dx on the waveform's own axis (real output). *)
+
+val real_part : wave -> wave
+val imag_part : wave -> wave
+
+val group_delay : wave -> wave
+(** -d(phase)/d(omega) in seconds (frequency-domain input). *)
+
+val stability_plot : wave -> Stability.Stability_plot.t
+(** Eq 1.3 applied to a frequency response. *)
+
+val value_at : wave -> float -> float
+(** Interpolated magnitude/value at a point. *)
+
+val cross : wave -> float -> float option
+(** First crossing of a level. *)
+
+val apply : string -> wave -> wave
+(** Apply an operation by calculator name: ["db20" | "mag" | "phase" |
+    "deriv" | "real" | "imag" | "groupdelay" | "stab"]. ["stab"] returns
+    the stability function as a real waveform over frequency. Raises
+    [Invalid_argument] for unknown names or type-mismatched input. *)
+
+val names : string list
+(** The available operation names. *)

@@ -1,0 +1,38 @@
+(** In-tool corners and sweeps (paper section 4.2, "features in
+    development": in-tool corners setup, in-tool sweeps (TEMP etc.)).
+
+    A corner is a named set of model-parameter overrides plus an optional
+    temperature; applying one returns a modified copy of the circuit.
+    Sweeps run a user analysis across corners or across a temperature
+    range, through the {!Job} queue. *)
+
+type t = {
+  corner_name : string;
+  temp_c : float option;
+  model_overrides : (string * (string * float) list) list;
+      (** model name -> parameter overrides *)
+}
+
+val make :
+  ?temp_c:float -> ?models:(string * (string * float) list) list ->
+  string -> t
+
+val typical : t
+val fast : t
+(** Higher transconductance, lower capacitance, -40 C. *)
+
+val slow : t
+(** Lower transconductance, higher capacitance, +125 C. *)
+
+val apply : t -> Circuit.Netlist.t -> Circuit.Netlist.t
+(** Raises [Invalid_argument] when an override names a model the circuit
+    does not carry. *)
+
+val across :
+  ?parallel:bool -> t list -> Circuit.Netlist.t ->
+  (Circuit.Netlist.t -> 'a) -> (string * ('a, exn) Result.t) list
+(** Run an analysis at every corner. *)
+
+val temp_sweep :
+  ?parallel:bool -> temps:float list -> Circuit.Netlist.t ->
+  (Circuit.Netlist.t -> 'a) -> (float * ('a, exn) Result.t) list

@@ -1,0 +1,70 @@
+type report = {
+  timestamp : string;
+  tool_version : string;
+  operation : string;
+  session_summary : string option;
+  error : string;
+  backtrace : string;
+}
+
+let tool_version = "acstab 1.0.0 (AC-stability analysis tool)"
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let summarize_session s =
+  Printf.sprintf "session %d (%s): simulator=%s temp=%g vars=[%s] analyses=%d"
+    (Session.id s) (Session.name s) (Session.simulator s) (Session.temp s)
+    (String.concat "; "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%g" k v)
+          (Session.design_variables s)))
+    (List.length (Session.analyses s))
+
+let to_text r =
+  String.concat "\n"
+    [ "=== automatic diagnostic report ===";
+      "time:      " ^ r.timestamp;
+      "tool:      " ^ r.tool_version;
+      "operation: " ^ r.operation;
+      (match r.session_summary with
+       | Some s -> "session:   " ^ s
+       | None -> "session:   (none)");
+      "error:     " ^ r.error;
+      "backtrace:";
+      r.backtrace;
+      "" ]
+
+let pp_report ppf r = Format.pp_print_string ppf (to_text r)
+
+let counter = ref 0
+
+let write_report dir r =
+  incr counter;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "acstab-diag-%d-%d.txt" (Unix.getpid ()) !counter)
+  in
+  try
+    let oc = open_out path in
+    output_string oc (to_text r);
+    close_out oc
+  with Sys_error m -> Printf.eprintf "diagnostics: cannot write %s: %s\n" path m
+
+let guard ?session ~operation ?(report_dir = ".") f =
+  try Ok (f ())
+  with e ->
+    let backtrace = Printexc.get_backtrace () in
+    let r =
+      { timestamp = iso8601_now ();
+        tool_version;
+        operation;
+        session_summary = Option.map summarize_session session;
+        error = Printexc.to_string e;
+        backtrace = (if backtrace = "" then "(not recorded)" else backtrace) }
+    in
+    write_report report_dir r;
+    Error r

@@ -1,0 +1,29 @@
+(** Automatic error and diagnostic reporting.
+
+    The paper's tool mails auto-generated diagnostics to the support team;
+    this substitute captures the same information — tool identity, session
+    configuration, the failing operation, the exception and its backtrace —
+    into a structured report written to a file (and returned), which a
+    support pipeline could forward. *)
+
+type report = {
+  timestamp : string;       (** UTC, ISO-8601 *)
+  tool_version : string;
+  operation : string;
+  session_summary : string option;
+  error : string;
+  backtrace : string;
+}
+
+val tool_version : string
+
+val guard :
+  ?session:Session.t -> operation:string -> ?report_dir:string ->
+  (unit -> 'a) -> ('a, report) Result.t
+(** Run the operation; on exception build a {!report}, write it to
+    [report_dir] (default ["."]) as [acstab-diag-<pid>-<n>.txt] and return
+    it. Never raises (short of filesystem errors while writing, which are
+    reported on stderr and swallowed). *)
+
+val pp_report : Format.formatter -> report -> unit
+val to_text : report -> string

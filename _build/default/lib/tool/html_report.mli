@@ -1,0 +1,16 @@
+(** Self-contained HTML reports with embedded SVG plots — the shareable
+    counterpart of the text reports, standing in for the paper's plotted
+    figures (stability plots like Fig 4, annotated summaries like Fig 5). *)
+
+val single_node :
+  Circuit.Netlist.t -> Stability.Analysis.node_result -> string
+(** A report for one net: the probed magnitude response, the stability
+    plot with its peaks, and the damping/phase-margin estimates. *)
+
+val all_nodes :
+  Circuit.Netlist.t -> Stability.Analysis.node_result list -> string
+(** The all-nodes report: the loop table (Table 2 style), a stability-plot
+    chart overlaying the worst node of each loop, and the netlist. *)
+
+val write : string -> string -> unit
+(** [write path html] saves a report. *)

@@ -1,0 +1,57 @@
+type 'a outcome = {
+  job_name : string;
+  result : ('a, exn) Result.t;
+  elapsed_s : float;
+}
+
+let execute (job_name, thunk) =
+  let t0 = Unix.gettimeofday () in
+  let result = try Ok (thunk ()) with e -> Error e in
+  { job_name; result; elapsed_s = Unix.gettimeofday () -. t0 }
+
+let run_sequential jobs = List.map execute jobs
+
+(* Static round-robin partition over worker domains; each worker returns
+   its outcomes tagged with the original index so submission order is
+   restored at the end. *)
+let run_parallel jobs =
+  let indexed = List.mapi (fun i j -> (i, j)) jobs in
+  let workers = Int.max 1 (Domain.recommended_domain_count () - 1) in
+  let buckets = Array.make workers [] in
+  List.iter
+    (fun (i, j) -> buckets.(i mod workers) <- (i, j) :: buckets.(i mod workers))
+    indexed;
+  let domains =
+    Array.map
+      (fun bucket ->
+        Domain.spawn (fun () ->
+            List.map (fun (i, j) -> (i, execute j)) bucket))
+      buckets
+  in
+  let tagged = Array.to_list domains |> List.concat_map Domain.join in
+  List.sort (fun (a, _) (b, _) -> compare a b) tagged |> List.map snd
+
+let run_all ?(parallel = false) jobs =
+  if parallel && List.length jobs > 1 then run_parallel jobs
+  else run_sequential jobs
+
+let results_exn outcomes =
+  List.map
+    (fun o -> match o.result with Ok v -> v | Error e -> raise e)
+    outcomes
+
+let pp_summary ppf outcomes =
+  let ok, failed =
+    List.partition (fun o -> Result.is_ok o.result) outcomes
+  in
+  let total = List.fold_left (fun acc o -> acc +. o.elapsed_s) 0. outcomes in
+  Format.fprintf ppf "%d job(s): %d ok, %d failed, %.2f s total CPU@."
+    (List.length outcomes) (List.length ok) (List.length failed) total;
+  List.iter
+    (fun o ->
+      match o.result with
+      | Ok _ -> ()
+      | Error e ->
+        Format.fprintf ppf "  FAILED %s: %s@." o.job_name
+          (Printexc.to_string e))
+    outcomes

@@ -1,0 +1,26 @@
+(** Simulation job control.
+
+    The paper lists "remote simulation / distributed / computer farm run
+    capability" as a feature in development; this module provides the
+    scheduling semantics at workstation scale: a named queue of independent
+    simulation jobs executed sequentially or across OCaml domains, with
+    per-job outcomes (result or captured exception) and wall-clock times.
+    All-nodes stability scans and corner sweeps submit through it. *)
+
+type 'a outcome = {
+  job_name : string;
+  result : ('a, exn) Result.t;
+  elapsed_s : float;
+}
+
+val run_all :
+  ?parallel:bool -> (string * (unit -> 'a)) list -> 'a outcome list
+(** Execute the jobs. With [parallel] (default false) jobs are distributed
+    over [Domain.recommended_domain_count () - 1] worker domains (at least
+    one); results come back in submission order either way. Jobs must not
+    share mutable state when run in parallel. *)
+
+val results_exn : 'a outcome list -> 'a list
+(** Extract every result, re-raising the first failure. *)
+
+val pp_summary : Format.formatter -> 'a outcome list -> unit

@@ -1,0 +1,46 @@
+(** Monte-Carlo stability verification.
+
+    Samples component mismatch (relative Gaussian perturbations on the
+    passive components and selected model parameters), re-runs a
+    user-supplied analysis for each sample through the {!Job} queue, and
+    summarises the spread — the statistical counterpart of corner analysis
+    for questions like "what fraction of parts ring worse than zeta 0.3?".
+    The generator is seeded explicitly so runs are reproducible. *)
+
+type spec = {
+  passive_sigma : float;       (** relative sigma on R/C/L values (0.05) *)
+  model_sigma : (string * string * float) list;
+      (** (model, parameter, relative sigma) triples, e.g.
+          [("MN", "vto", 0.03)] *)
+}
+
+val default_spec : spec
+
+val sample : seed:int -> spec -> Circuit.Netlist.t -> Circuit.Netlist.t
+(** One mismatch sample of the circuit (deterministic in [seed]). *)
+
+type 'a run = {
+  samples : (int * ('a, exn) Result.t) list;  (** seed, outcome *)
+}
+
+val run :
+  ?parallel:bool -> ?spec:spec -> n:int -> seed:int ->
+  Circuit.Netlist.t -> (Circuit.Netlist.t -> 'a) -> 'a run
+
+type stats = {
+  count : int;
+  failures : int;
+  mean : float;
+  sigma : float;
+  minimum : float;
+  maximum : float;
+}
+
+val stats : float run -> stats
+(** Raises [Invalid_argument] if every sample failed. *)
+
+val yield : float run -> ok:(float -> bool) -> float
+(** Fraction of successful samples satisfying the acceptance predicate
+    (failed samples count as rejects). *)
+
+val pp_stats : Format.formatter -> stats -> unit

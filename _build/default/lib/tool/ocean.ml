@@ -1,0 +1,119 @@
+type results = {
+  op : Engine.Dcop.t option;
+  ac : Engine.Ac.result option;
+  tran : Engine.Transient.result option;
+  stab : Stability.Analysis.node_result list;
+  noise : Engine.Noise.result option;
+  poles : Engine.Poles.pole list option;
+  elaborated : Circuit.Netlist.t;
+}
+
+(* The session type has no slot for a text design, so keep a side table
+   keyed by session id. *)
+let text_designs : (int, string) Hashtbl.t = Hashtbl.create 4
+
+let simulator name =
+  let s = Session.create () in
+  Session.set_simulator s name;
+  s
+
+let design s circ =
+  Hashtbl.remove text_designs (Session.id s);
+  Session.set_design s circ
+
+let design_text s text = Hashtbl.replace text_designs (Session.id s) text
+let analysis = Session.add_analysis
+let des_var = Session.set_design_variable
+let temperature = Session.set_temp
+
+let elaborate s =
+  let circ =
+    match Hashtbl.find_opt text_designs (Session.id s) with
+    | Some text ->
+      (* Bind design variables as netlist parameters: prepend .param cards
+         (later .param lines in the deck override where the deck insists). *)
+      let prelude =
+        Session.design_variables s
+        |> List.map (fun (k, v) -> Printf.sprintf ".param %s=%.17g" k v)
+        |> String.concat "\n"
+      in
+      let text =
+        match String.index_opt text '\n' with
+        | Some i when prelude <> "" ->
+          (* Keep the title line first (SPICE convention). *)
+          String.sub text 0 (i + 1) ^ prelude ^ "\n"
+          ^ String.sub text (i + 1) (String.length text - i - 1)
+        | _ -> if prelude = "" then text else prelude ^ "\n" ^ text
+      in
+      Circuit.Parser.parse_string ~name:(Session.name s) text
+    | None -> Session.design s
+  in
+  Circuit.Netlist.with_temp (Session.temp s) circ
+
+let directive_analyses circ =
+  List.filter_map
+    (function
+      | Circuit.Netlist.Op -> Some Session.Op
+      | Circuit.Netlist.Ac sw -> Some (Session.Ac sw)
+      | Circuit.Netlist.Tran { tstop; tstep } ->
+        Some (Session.Tran { tstop; tstep })
+      | Circuit.Netlist.Stab_node n -> Some (Session.Stab_single n)
+      | Circuit.Netlist.Stab_all -> Some Session.Stab_all
+      | Circuit.Netlist.Nodeset _ -> None)
+    (Circuit.Netlist.directives circ)
+
+let run s =
+  let circ = elaborate s in
+  let specs =
+    match Session.analyses s with
+    | [] -> directive_analyses circ
+    | l -> l
+  in
+  let acc =
+    ref { op = None; ac = None; tran = None; stab = []; noise = None;
+          poles = None; elaborated = circ }
+  in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Session.Op ->
+        let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+        acc := { !acc with op = Some op }
+      | Session.Ac sweep ->
+        let ac = Engine.Ac.run ~sweep circ in
+        acc := { !acc with ac = Some ac; op = Some ac.Engine.Ac.op }
+      | Session.Tran { tstop; tstep } ->
+        let tr = Engine.Transient.run ~tstop ~tstep circ in
+        acc := { !acc with tran = Some tr }
+      | Session.Stab_single node ->
+        let r = Stability.Analysis.single_node circ node in
+        acc := { !acc with stab = !acc.stab @ [ r ] }
+      | Session.Stab_all ->
+        let rs = Stability.Analysis.all_nodes circ in
+        acc := { !acc with stab = !acc.stab @ rs }
+      | Session.Noise { sweep; output } ->
+        let r = Engine.Noise.run ~sweep ~output circ in
+        acc := { !acc with noise = Some r }
+      | Session.Poles ->
+        let ps = Engine.Poles.of_circuit circ in
+        acc := { !acc with poles = Some ps })
+    specs;
+  !acc
+
+let vdc r n =
+  match r.op with
+  | Some op -> Engine.Dcop.node_v op n
+  | None -> failwith "Ocean.vdc: no operating point in results"
+
+let v r n =
+  match r.ac with
+  | Some ac -> Engine.Ac.v ac n
+  | None -> failwith "Ocean.v: no AC analysis in results"
+
+let vt r n =
+  match r.tran with
+  | Some tr -> Engine.Transient.v tr n
+  | None -> failwith "Ocean.vt: no transient analysis in results"
+
+let stab_report r = Stability.Report.all_nodes_string r.stab
+let stab_annotated r = Stability.Annotate.netlist_string r.elaborated r.stab

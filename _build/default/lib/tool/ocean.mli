@@ -1,0 +1,58 @@
+(** OCEAN-style procedural interface (paper sections 5-6).
+
+    The paper's tool drives DFII through OCEAN calls — [simulator],
+    [design], [analysis], [desVar], [temp], [run], [value] — and processes
+    the results through the waveform calculator. This module exposes the
+    same verbs over the built-in engine so the program-flow of the paper
+    maps one-to-one:
+
+    {[
+      let s = Ocean.simulator "spectre" in
+      Ocean.design_text s my_netlist_text;
+      Ocean.des_var s "rzero" 1e3;
+      Ocean.analysis s (Session.Ac (Numerics.Sweep.decade 1e3 1e9 30));
+      Ocean.analysis s Session.Stab_all;
+      let r = Ocean.run s in
+      print_string (Ocean.stab_report r)
+    ]} *)
+
+type results = {
+  op : Engine.Dcop.t option;
+  ac : Engine.Ac.result option;
+  tran : Engine.Transient.result option;
+  stab : Stability.Analysis.node_result list;  (** [] when not run *)
+  noise : Engine.Noise.result option;
+  poles : Engine.Poles.pole list option;
+  elaborated : Circuit.Netlist.t;  (** the circuit actually simulated *)
+}
+
+val simulator : string -> Session.t
+(** Open a session for the named simulator (only the built-in engine
+    actually runs; see {!Session.set_simulator}). *)
+
+val design : Session.t -> Circuit.Netlist.t -> unit
+(** Load an already-built design. Design variables set through {!des_var}
+    do not affect it (its values are already numbers). *)
+
+val design_text : Session.t -> string -> unit
+(** Load a SPICE-format design as text; it is re-elaborated at every
+    {!run} with the session's design variables bound as netlist
+    parameters, exactly like desVar in the original flow. *)
+
+val analysis : Session.t -> Session.analysis_spec -> unit
+val des_var : Session.t -> string -> float -> unit
+val temperature : Session.t -> float -> unit
+
+val run : Session.t -> results
+(** Execute every configured analysis; analyses read from the design's own
+    directive cards are honoured too when none were configured explicitly.
+    Raises the underlying engine exceptions on failure (see
+    {!Diagnostics.guard} for the reporting wrapper). *)
+
+(* Result access (OCEAN value()/v() equivalents). *)
+
+val vdc : results -> Circuit.Netlist.node -> float
+val v : results -> Circuit.Netlist.node -> Numerics.Waveform.Freq.t
+val vt : results -> Circuit.Netlist.node -> Numerics.Waveform.Real.t
+val stab_report : results -> string
+val stab_annotated : results -> string

@@ -1,0 +1,38 @@
+let save (op : Engine.Dcop.t) path =
+  let oc = open_out path in
+  (try
+     Array.iter
+       (fun n ->
+         Printf.fprintf oc "%s %.17g\n" n (Engine.Dcop.node_v op n))
+       (Circuit.Topology.nodes op.Engine.Dcop.mna.Engine.Mna.topo);
+     close_out oc
+   with e -> close_out_noerr oc; raise e)
+
+let load_nodeset circ path =
+  let ic = open_in path in
+  let entries = ref [] in
+  let lineno = ref 0 in
+  (try
+     (try
+        while true do
+          incr lineno;
+          let line = String.trim (input_line ic) in
+          if line <> "" then
+            match String.split_on_char ' ' line with
+            | [ n; v ] ->
+              (match float_of_string_opt v with
+               | Some x -> entries := (n, x) :: !entries
+               | None ->
+                 failwith
+                   (Printf.sprintf "%s:%d: bad voltage %S" path !lineno v))
+            | _ ->
+              failwith
+                (Printf.sprintf "%s:%d: expected 'net voltage'" path !lineno)
+        done
+      with End_of_file -> ());
+     close_in ic
+   with e -> close_in_noerr ic; raise e);
+  let known = Circuit.Netlist.node_names circ in
+  let kept = List.filter (fun (n, _) -> List.mem n known) !entries in
+  if kept = [] then circ
+  else Circuit.Netlist.add_directive circ (Circuit.Netlist.Nodeset kept)

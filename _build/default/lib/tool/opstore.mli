@@ -1,0 +1,12 @@
+(** Persisting operating points.
+
+    A solved DC operating point is written as a plain "net voltage" table;
+    reloading it attaches the values to a circuit as [.nodeset] hints, so a
+    later run (same or edited circuit) starts Newton from the known-good
+    solution — the workflow the paper gestures at with saved Analog Artist
+    states. Nets that no longer exist are ignored on load. *)
+
+val save : Engine.Dcop.t -> string -> unit
+
+val load_nodeset : Circuit.Netlist.t -> string -> Circuit.Netlist.t
+(** Raises [Failure] on malformed files. *)

@@ -1,0 +1,166 @@
+type analysis_spec =
+  | Op
+  | Ac of Numerics.Sweep.t
+  | Tran of { tstop : float; tstep : float }
+  | Stab_single of Circuit.Netlist.node
+  | Stab_all
+  | Noise of { sweep : Numerics.Sweep.t; output : Circuit.Netlist.node }
+  | Poles
+
+type t = {
+  session_name : string;
+  session_id : int;
+  mutable design : Circuit.Netlist.t option;
+  mutable simulator : string;
+  mutable variables : (string * float) list;
+  mutable temp : float;
+  mutable scale : float;
+  mutable results_dir : string;
+  mutable analyses : analysis_spec list;  (* reversed *)
+}
+
+let log_src = Logs.Src.create "tool.session" ~doc:"simulation sessions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let next_id = ref 0
+
+let create ?(name = "session") () =
+  incr next_id;
+  { session_name = name; session_id = !next_id; design = None;
+    simulator = "builtin"; variables = []; temp = 27.; scale = 1.;
+    results_dir = "."; analyses = [] }
+
+let name s = s.session_name
+let id s = s.session_id
+let set_design s d = s.design <- Some d
+
+let design s =
+  match s.design with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "session %S: no design loaded" s.session_name)
+
+let set_simulator s sim =
+  let sim = String.lowercase_ascii sim in
+  if sim <> "builtin" then
+    Log.warn (fun f ->
+        f "simulator %S is not available; the built-in engine will run" sim);
+  s.simulator <- sim
+
+let simulator s = s.simulator
+
+let set_design_variable s k v =
+  s.variables <- (k, v) :: List.remove_assoc k s.variables
+
+let design_variables s = List.rev s.variables
+let set_temp s t = s.temp <- t
+let temp s = s.temp
+let set_scale s v = s.scale <- v
+let scale s = s.scale
+let set_results_dir s d = s.results_dir <- d
+let results_dir s = s.results_dir
+let add_analysis s a = s.analyses <- a :: s.analyses
+let clear_analyses s = s.analyses <- []
+let analyses s = List.rev s.analyses
+
+(* State files: one "key value..." line per setting; analyses use a small
+   sexp-free encoding. *)
+let save_state s path =
+  let oc = open_out path in
+  (try
+     Printf.fprintf oc "simulator %s\n" s.simulator;
+     Printf.fprintf oc "temp %.17g\n" s.temp;
+     Printf.fprintf oc "scale %.17g\n" s.scale;
+     Printf.fprintf oc "results_dir %s\n" s.results_dir;
+     List.iter
+       (fun (k, v) -> Printf.fprintf oc "var %s %.17g\n" k v)
+       (design_variables s);
+     List.iter
+       (fun a ->
+         match a with
+         | Op -> Printf.fprintf oc "analysis op\n"
+         | Ac sw ->
+           (match sw with
+            | Numerics.Sweep.Dec { start; stop; per_decade } ->
+              Printf.fprintf oc "analysis ac dec %.17g %.17g %d\n" start stop
+                per_decade
+            | Numerics.Sweep.Lin { start; stop; points } ->
+              Printf.fprintf oc "analysis ac lin %.17g %.17g %d\n" start stop
+                points
+            | Numerics.Sweep.List pts ->
+              Printf.fprintf oc "analysis ac list";
+              Array.iter (fun p -> Printf.fprintf oc " %.17g" p) pts;
+              Printf.fprintf oc "\n")
+         | Tran { tstop; tstep } ->
+           Printf.fprintf oc "analysis tran %.17g %.17g\n" tstep tstop
+         | Stab_single n -> Printf.fprintf oc "analysis stab %s\n" n
+         | Stab_all -> Printf.fprintf oc "analysis stab all\n"
+         | Noise { sweep; output } ->
+           (match sweep with
+            | Numerics.Sweep.Dec { start; stop; per_decade } ->
+              Printf.fprintf oc "analysis noise %s dec %.17g %.17g %d\n"
+                output start stop per_decade
+            | _ ->
+              (* Only decade sweeps round-trip; others are re-created by
+                 the script that configured them. *)
+              Printf.fprintf oc "analysis noise %s dec 1e3 1e9 30\n" output)
+         | Poles -> Printf.fprintf oc "analysis poles\n")
+       (analyses s);
+     close_out oc
+   with e -> close_out_noerr oc; raise e)
+
+let load_state s path =
+  let ic = open_in path in
+  let fail line msg =
+    close_in_noerr ic;
+    failwith (Printf.sprintf "state file %s, line %d: %s" path line msg)
+  in
+  let fl line v =
+    match float_of_string_opt v with
+    | Some x -> x
+    | None -> fail line (Printf.sprintf "bad number %S" v)
+  in
+  s.variables <- [];
+  s.analyses <- [];
+  (try
+     let lineno = ref 0 in
+     (try
+        while true do
+          incr lineno;
+          let line = input_line ic in
+          let n = !lineno in
+          match String.split_on_char ' ' (String.trim line) with
+          | [] | [ "" ] -> ()
+          | "simulator" :: [ sim ] -> s.simulator <- sim
+          | "temp" :: [ v ] -> s.temp <- fl n v
+          | "scale" :: [ v ] -> s.scale <- fl n v
+          | "results_dir" :: [ d ] -> s.results_dir <- d
+          | "var" :: k :: [ v ] -> set_design_variable s k (fl n v)
+          | "analysis" :: "op" :: [] -> add_analysis s Op
+          | [ "analysis"; "ac"; "dec"; f1; f2; ppd ] ->
+            add_analysis s
+              (Ac (Numerics.Sweep.decade (fl n f1) (fl n f2)
+                     (int_of_string ppd)))
+          | [ "analysis"; "ac"; "lin"; f1; f2; pts ] ->
+            add_analysis s
+              (Ac (Numerics.Sweep.linear (fl n f1) (fl n f2)
+                     (int_of_string pts)))
+          | "analysis" :: "ac" :: "list" :: pts ->
+            add_analysis s
+              (Ac (Numerics.Sweep.List
+                     (Array.of_list (List.map (fl n) pts))))
+          | [ "analysis"; "tran"; tstep; tstop ] ->
+            add_analysis s (Tran { tstep = fl n tstep; tstop = fl n tstop })
+          | [ "analysis"; "stab"; "all" ] -> add_analysis s Stab_all
+          | [ "analysis"; "stab"; node ] -> add_analysis s (Stab_single node)
+          | [ "analysis"; "noise"; output; "dec"; f1; f2; ppd ] ->
+            add_analysis s
+              (Noise { sweep = Numerics.Sweep.decade (fl n f1) (fl n f2)
+                               (int_of_string ppd);
+                       output })
+          | [ "analysis"; "poles" ] -> add_analysis s Poles
+          | tok :: _ -> fail n (Printf.sprintf "unknown entry %S" tok)
+        done
+      with End_of_file -> ());
+     close_in ic
+   with e -> close_in_noerr ic; raise e)

@@ -1,0 +1,63 @@
+(** Simulation-environment sessions — the Analog Artist substitute.
+
+    A session holds everything the paper's tool reads from the "current
+    Analog Artist session" (section 6): the design, the simulator choice,
+    design variables, temperature, the analyses to run, the scale factor
+    for result annotation and the results directory. Sessions can be saved
+    to and restored from state files, standing in for sevSaveState /
+    sevLoadState. *)
+
+type analysis_spec =
+  | Op
+  | Ac of Numerics.Sweep.t
+  | Tran of { tstop : float; tstep : float }
+  | Stab_single of Circuit.Netlist.node
+  | Stab_all
+  | Noise of { sweep : Numerics.Sweep.t; output : Circuit.Netlist.node }
+  | Poles
+
+type t
+
+val create : ?name:string -> unit -> t
+(** A fresh session; a unique session id is assigned (the stand-in for
+    asiGetCurrentSession). *)
+
+val name : t -> string
+val id : t -> int
+
+val set_design : t -> Circuit.Netlist.t -> unit
+val design : t -> Circuit.Netlist.t
+(** Raises [Failure] when no design was loaded. *)
+
+val set_simulator : t -> string -> unit
+(** Only ["builtin"] is available; other names (e.g. ["spectre"]) are
+    accepted and recorded, with a warning, to keep OCEAN scripts portable. *)
+
+val simulator : t -> string
+
+val set_design_variable : t -> string -> float -> unit
+val design_variables : t -> (string * float) list
+(** Design variables are applied as netlist parameters when the design is
+    elaborated by {!Ocean.run}. *)
+
+val set_temp : t -> float -> unit
+val temp : t -> float
+
+val set_scale : t -> float -> unit
+(** The Analog Artist "scale" environment variable (annotation scaling). *)
+
+val scale : t -> float
+
+val set_results_dir : t -> string -> unit
+val results_dir : t -> string
+
+val add_analysis : t -> analysis_spec -> unit
+val clear_analyses : t -> unit
+val analyses : t -> analysis_spec list
+
+val save_state : t -> string -> unit
+(** Write the session configuration (not the design) to a state file. *)
+
+val load_state : t -> string -> unit
+(** Restore configuration from a state file written by {!save_state}.
+    Raises [Failure] on malformed files. *)

@@ -1,0 +1,1 @@
+lib/workloads/bias_zero_tc.ml: Circuit Engine List Models

@@ -1,0 +1,1 @@
+lib/workloads/filters.ml: Circuit Float

@@ -1,0 +1,1 @@
+lib/workloads/filters.mli: Circuit

@@ -1,0 +1,1 @@
+lib/workloads/follower.ml: Circuit Devices Float Models

@@ -1,0 +1,1 @@
+lib/workloads/mirrors.ml: Circuit Models

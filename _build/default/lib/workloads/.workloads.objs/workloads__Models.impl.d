@@ -1,0 +1,1 @@
+lib/workloads/models.ml: Circuit List

@@ -1,0 +1,1 @@
+lib/workloads/nmc_amp.ml: Circuit Float

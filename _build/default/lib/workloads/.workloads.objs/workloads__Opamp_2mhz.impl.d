@@ -1,0 +1,1 @@
+lib/workloads/opamp_2mhz.ml: Bias_zero_tc Circuit Models

@@ -1,0 +1,1 @@
+lib/workloads/opamp_2mhz.mli: Bias_zero_tc Circuit

@@ -1,0 +1,1 @@
+lib/workloads/opamp_bjt.ml: Circuit Models

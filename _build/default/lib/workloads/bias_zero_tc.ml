@@ -1,0 +1,94 @@
+open Circuit.Netlist
+
+type params = {
+  vcc : float;
+  r1 : float;
+  r2 : float;
+  rstart : float;
+  area_ratio : float;
+  q3_area : float;
+  q6_area : float;
+  r9 : float;
+  cline : float;
+  compensation : float;
+}
+
+let default_params =
+  { vcc = 5.0; r1 = 850.; r2 = 14e3; rstart = 2e6; area_ratio = 8.;
+    q3_area = 0.03; q6_area = 0.7; r9 = 68e3; cline = 1.5e-12;
+    compensation = 0. }
+
+let node_q3_collector = "nvbe"
+let node_bias_out = "nbias"
+let node_bias_line = "vcasc"
+
+let add_to ?(params = default_params) c ~vcc =
+  let c = Models.add_all c in
+  (* PNP mirror: Q4 is the diode-connected master on the PTAT branch;
+     Q10 feeds the core's left branch, Q5 the output, Q3 the Vbe leg. *)
+  let c = bjt c "Q4" ~c:"npb" ~b:"npb" ~e:vcc "QPNP" in
+  let c = bjt c "Q10" ~c:"na" ~b:"npb" ~e:vcc "QPNP" in
+  (* Delta-Vbe core: Q1 diode-connected, Q2 with emitter degeneration. *)
+  let c = bjt c "Q1" ~c:"na" ~b:"na" ~e:"0" "QNPN" in
+  let c = bjt ~area:params.area_ratio c "Q2" ~c:"npb" ~b:"na" ~e:"ne2" "QNPN" in
+  let c = resistor c "R1" "ne2" "0" params.r1 in
+  (* Start-up bleed on the mirror base: with the cell off, npb is pulled
+     low, which turns the PNP mirror fully on and feeds the core — the
+     zero-current state cannot persist. At equilibrium it only adds
+     ~Vcc/rstart of bleed through the diode branch. *)
+  let c = resistor c "RSTART" "npb" "0" params.rstart in
+  (* Output mirror into a diode-connected NMOS: nbias for the op-amp. *)
+  let c = bjt c "Q5" ~c:"nbias" ~b:"npb" ~e:vcc "QPNP" in
+  (* M8 is sized so the op-amp's 30/2 and 60/2 sinks mirror the summed
+     output current down to ~30/60 uA. *)
+  let c = mosfet ~w:92e-6 ~l:2e-6 c "M8" ~d:"nbias" ~g:"nbias" ~s:"0" ~b:"0" "MN" in
+  (* Buffered Vbe bias line — the local loop of paper Fig 5. Q3 is a
+     deliberately small mirror slave, so the Vbe reference diode Q9 runs at
+     a few microamps and its node "nvbe" is high-impedance (1/gm ~ 10k).
+     The emitter follower Q6 repeats nvbe onto the distribution line
+     "vcasc", which carries its routing capacitance CLINE. Seen from the
+     line, the follower's output impedance is inductive (the resistive
+     source impedance at its base divided by the transistor's falling
+     current gain), so Q6 + CLINE resonate in the tens of MHz: a genuine
+     local instability loop that main-loop black-box analysis never sees.
+     The paper's fix — a capacitor at Q3's collector — shunts the source
+     impedance at the resonance and damps the loop. *)
+  let c = bjt ~area:params.q3_area c "Q3" ~c:"nvbe" ~b:"npb" ~e:vcc "QPNP" in
+  let c = bjt ~area:0.1 c "Q9" ~c:"nvbe" ~b:"nvbe" ~e:"0" "QNPN" in
+  let c = bjt ~area:params.q6_area c "Q6" ~c:"0" ~b:"nvbe" ~e:"vcasc" "QPNP" in
+  let c = resistor c "R9" vcc "vcasc" params.r9 in
+  let c = capacitor c "CLINE" "vcasc" "0" params.cline in
+  (* Zero-TC summing: the buffered line sits at ~2 Vbe (strongly CTAT), so
+     the current it pushes through R2 into the output diode falls with
+     temperature while the mirrored core current (PTAT) rises; R2 is
+     chosen so the sum is first-order flat. The cell's namesake. *)
+  let c = resistor c "R2" "vcasc" "nbias" params.r2 in
+  let c =
+    if params.compensation > 0. then
+      capacitor c "CCOMP" node_q3_collector "0" params.compensation
+    else c
+  in
+  (* Any self-biased reference has a degenerate zero-current state; the
+     nodeset pins the conducting one. Junction voltages drift ~ -1.8 mV/K,
+     so the hints track the circuit's temperature. *)
+  let vbe t = 0.66 -. (1.8e-3 *. (t -. 27.)) in
+  let t = temp_celsius c in
+  add_directive c
+    (Nodeset
+       [ ("na", vbe t); ("npb", params.vcc -. vbe t -. 0.1);
+         ("nbias", 1.0); ("nvbe", vbe t -. 0.02); ("vcasc", 2. *. vbe t);
+         ("ne2", 0.05) ])
+
+let cell ?(params = default_params) ?(temp_c = 27.) () =
+  let c = empty ~title:"zero-TC bias cell (paper Fig 5)" () in
+  let c = with_temp temp_c c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source params.vcc) in
+  add_to ~params c ~vcc:"vcc"
+
+let reference_current ?(params = default_params) ~temp_c () =
+  let circ = cell ~params ~temp_c () in
+  let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+  match List.assoc "M8" (Engine.Dcop.device_ops op) with
+  | Engine.Dcop.Op_mos { ids; _ } -> ids
+  | _ -> assert false
+  | exception Not_found -> assert false

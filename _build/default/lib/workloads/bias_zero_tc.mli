@@ -1,0 +1,63 @@
+(** The zero-TC bias cell of paper Fig 5.
+
+    A current-summing reference: a Delta-Vbe PTAT core (Q1/Q2 with emitter
+    ratio [area_ratio] and degeneration [r1]) under a PNP mirror (Q4
+    master, Q10 slave). Q5 mirrors the PTAT current into a diode-connected
+    NMOS (M8) whose gate is the bias voltage for the op-amp's NMOS current
+    sinks; a CTAT current from the buffered 2-Vbe line through [r2] is
+    summed into the same diode, so the output current is first-order
+    temperature-flat — the cell's namesake.
+
+    The cell also carries a buffered Vbe bias line: a small mirror slave
+    (Q3, area [q3_area]) feeds a low-current Vbe diode (Q9) whose node is
+    deliberately high-impedance, and an emitter follower (Q6) repeats it
+    onto the distribution line "vcasc" with its routing capacitance
+    [cline]. The follower's inductive output impedance against [cline]
+    forms a genuine local feedback loop resonating in the tens of MHz --
+    exactly the kind of loop the paper's all-nodes analysis exposes
+    (Table 2) while black-box analysis of the main loop misses it.
+    [compensation] (a capacitor at Q3's collector, the paper's suggested
+    1 pF fix) damps it. *)
+
+type params = {
+  vcc : float;          (** supply (5.0 V) *)
+  r1 : float;           (** PTAT degeneration (850 Ohm) *)
+  r2 : float;           (** CTAT summing resistor, line to output
+                            (14 kOhm; tuned for a flat output current) *)
+  rstart : float;       (** start-up bleed (2 MOhm) *)
+  area_ratio : float;   (** Q2:Q1 emitter area (8) *)
+  q3_area : float;      (** area of the Vbe-leg mirror slave Q3 (0.4) --
+                            sets the Vbe node's impedance *)
+  q6_area : float;      (** emitter-follower area (0.7) *)
+  r9 : float;           (** follower bias resistor (68 kOhm) *)
+  cline : float;        (** routing capacitance of the buffered bias line
+                            (2 pF) *)
+  compensation : float; (** capacitance at Q3's collector; 0 = none *)
+}
+
+val default_params : params
+
+val node_q3_collector : Circuit.Netlist.node
+(** The net the paper's fix ("adding a 1 pF capacitor at the collector of
+    Q3") applies to -- the Vbe reference node ["nvbe"]. *)
+
+val node_bias_out : Circuit.Netlist.node
+(** The NMOS bias gate net ("nbias"). *)
+
+val node_bias_line : Circuit.Netlist.node
+(** The buffered bias line ("vcasc") that carries the local resonance. *)
+
+val cell : ?params:params -> ?temp_c:float -> unit -> Circuit.Netlist.t
+(** Standalone cell with its own supply, for Fig 5 reproduction. The
+    temperature must be given at build time so the DC-solve nodeset hints
+    can track the junction voltages. *)
+
+val add_to :
+  ?params:params -> Circuit.Netlist.t -> vcc:Circuit.Netlist.node ->
+  Circuit.Netlist.t
+(** Embed the cell into a larger design (shared supply net). Model cards
+    are installed if missing; the bias output is {!node_bias_out}. *)
+
+val reference_current : ?params:params -> temp_c:float -> unit -> float
+(** Simulated output current (through M8) at a given temperature -- used by
+    the temperature-sweep example to demonstrate the zero-TC property. *)

@@ -1,0 +1,64 @@
+open Circuit.Netlist
+
+let two_pi = 2. *. Float.pi
+
+let rc_lowpass ?(r = 1e3) ?(c = 1e-9) () =
+  let circ = empty ~title:"rc lowpass" () in
+  let circ = vsource circ "VIN" "in" "0" (ac_source 1.) in
+  let circ = resistor circ "R1" "in" "out" r in
+  capacitor circ "C1" "out" "0" c
+
+let rc_lowpass_pole ?(r = 1e3) ?(c = 1e-9) () = 1. /. (two_pi *. r *. c)
+
+let parallel_rlc ?(r = 100.) ?(l = 1e-6) ?(c = 1e-9) () =
+  let circ = empty ~title:"parallel rlc tank" () in
+  let circ = resistor circ "R1" "n" "0" r in
+  let circ = inductor circ "L1" "n" "0" l in
+  capacitor circ "C1" "n" "0" c
+
+let parallel_rlc_theory ?(r = 100.) ?(l = 1e-6) ?(c = 1e-9) () =
+  (1. /. (two_pi *. sqrt (l *. c)), sqrt (l /. c) /. (2. *. r))
+
+let step_pulse v1 v2 =
+  Pulse { v1; v2; delay = 0.; rise = 1e-9; fall = 1e-9; width = 1.;
+          period = 0. }
+
+let series_rlc_step ?(r = 20.) ?(l = 1e-3) ?(c = 1e-9) () =
+  let circ = empty ~title:"series rlc step" () in
+  let circ = vsource circ "VIN" "in" "0"
+               (wave_source ~ac_mag:1. (step_pulse 0. 1.)) in
+  let circ = resistor circ "R1" "in" "a" r in
+  let circ = inductor circ "L1" "a" "b" l in
+  capacitor circ "C1" "b" "0" c
+
+let series_rlc_theory ?(r = 20.) ?(l = 1e-3) ?(c = 1e-9) () =
+  (1. /. (two_pi *. sqrt (l *. c)), r /. 2. *. sqrt (c /. l))
+
+let notch_with_zero ?(rser = 20.) ?(l = 100e-6) ?(c = 1e-9) ?(rload = 10e3)
+    () =
+  let circ = empty ~title:"series-lc notch (complex zeros)" () in
+  let circ = vsource circ "VIN" "in" "0" (ac_source 1.) in
+  let circ = resistor circ "RS" "in" "out" rload in
+  let circ = resistor circ "RZ" "out" "x" rser in
+  let circ = inductor circ "LZ" "x" "y" l in
+  let circ = capacitor circ "CZ" "y" "0" c in
+  resistor circ "RL" "out" "0" rload
+
+let notch_zero_theory ?(rser = 20.) ?(l = 100e-6) ?(c = 1e-9) () =
+  (1. /. (two_pi *. sqrt (l *. c)), rser /. 2. *. sqrt (c /. l))
+
+let sallen_key_lowpass ?(r = 10e3) ?(c = 1e-9) ?(q = 2.) () =
+  if q <= 0.5 then invalid_arg "Filters.sallen_key_lowpass: q > 0.5";
+  let k = 3. -. (1. /. q) in
+  let circ = empty ~title:"sallen-key lowpass" () in
+  let circ = vsource circ "VIN" "in" "0" (ac_source 1.) in
+  let circ = resistor circ "R1" "in" "x1" r in
+  let circ = resistor circ "R2" "x1" "x2" r in
+  let circ = capacitor circ "C2" "x2" "0" c in
+  (* Positive-feedback capacitor from the amplifier output. *)
+  let circ = capacitor circ "C1" "x1" "out" c in
+  (* Ideal amplifier of gain k: out = k * v(x2). *)
+  vcvs circ "EAMP" "out" "0" "x2" "0" k
+
+let sallen_key_theory ?(r = 10e3) ?(c = 1e-9) ?(q = 2.) () =
+  (1. /. (two_pi *. r *. c), 1. /. (2. *. q))

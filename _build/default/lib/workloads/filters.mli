@@ -1,0 +1,47 @@
+(** Passive and active filter circuits with known pole/zero mathematics —
+    fixtures for tests and examples.
+
+    Every builder returns a circuit whose analytic damping ratio and
+    natural frequency are available from the companion [*_theory]
+    functions, so the stability tool's estimates can be checked exactly. *)
+
+val rc_lowpass : ?r:float -> ?c:float -> unit -> Circuit.Netlist.t
+(** Single-pole RC driven by an AC voltage source; output net ["out"]. *)
+
+val rc_lowpass_pole : ?r:float -> ?c:float -> unit -> float
+(** Its pole frequency in Hz. *)
+
+val parallel_rlc : ?r:float -> ?l:float -> ?c:float -> unit -> Circuit.Netlist.t
+(** Parallel RLC tank hanging on net ["n"] — the canonical second-order
+    driving-point fixture for the stability plot. *)
+
+val parallel_rlc_theory : ?r:float -> ?l:float -> ?c:float -> unit -> float * float
+(** [(fn, zeta)]: fn = 1/(2 pi sqrt(LC)), zeta = sqrt(L/C)/(2R). *)
+
+val series_rlc_step : ?r:float -> ?l:float -> ?c:float -> unit -> Circuit.Netlist.t
+(** Series RLC with a step source, output across the capacitor (net
+    ["b"]) — the canonical second-order step-response fixture. *)
+
+val series_rlc_theory : ?r:float -> ?l:float -> ?c:float -> unit -> float * float
+(** [(fn, zeta)]: zeta = (R/2) sqrt(C/L). *)
+
+val notch_with_zero :
+  ?rser:float -> ?l:float -> ?c:float -> ?rload:float -> unit ->
+  Circuit.Netlist.t
+(** A series-LC branch shunting net ["out"]: its transfer function has a
+    lightly damped complex {e zero} pair at the LC resonance — the fixture
+    for positive stability-plot peaks. *)
+
+val notch_zero_theory :
+  ?rser:float -> ?l:float -> ?c:float -> unit -> float * float
+(** [(fz, zeta_z)] of the complex zero pair: zeta_z = (rser/2) sqrt(C/L). *)
+
+val sallen_key_lowpass :
+  ?r:float -> ?c:float -> ?q:float -> unit -> Circuit.Netlist.t
+(** Equal-RC Sallen-Key low-pass built around an ideal VCVS amplifier of
+    gain [k = 3 - 1/q]; input ["in"], output ["out"]. A closed-loop active
+    filter whose Q is set by the local feedback — at [q] above 0.5 the
+    stability plot shows the complex pair at fn = 1/(2 pi RC). *)
+
+val sallen_key_theory : ?r:float -> ?c:float -> ?q:float -> unit -> float * float
+(** [(fn, zeta)] with zeta = 1/(2q). *)

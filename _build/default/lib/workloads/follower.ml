@@ -1,0 +1,31 @@
+open Circuit.Netlist
+
+let emitter_follower ?(rsource = 10e3) ?(cload = 10e-12) ?(ibias = 1e-3) () =
+  let c = empty ~title:"emitter follower with capacitive load" () in
+  let c = Models.add_all c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source 5.) in
+  let c = vsource c "VIN" "in" "0" (ac_source ~dc:2.5 1.) in
+  let c = resistor c "RS" "in" "b" rsource in
+  let c = bjt c "Q1" ~c:"vcc" ~b:"b" ~e:"out" "QNPN" in
+  let c = isource c "IBIAS" "out" "0" (dc_source ibias) in
+  capacitor c "CL" "out" "0" cload
+
+let source_follower ?(rsource = 10e3) ?(cload = 10e-12) ?(ibias = 1e-3) () =
+  let c = empty ~title:"source follower with capacitive load" () in
+  let c = Models.add_all c in
+  let c = vsource c "VDD" "vdd" "0" (dc_source 5.) in
+  let c = vsource c "VIN" "in" "0" (ac_source ~dc:3.5 1.) in
+  let c = resistor c "RS" "in" "g" rsource in
+  let c = mosfet ~w:100e-6 ~l:1e-6 c "M1" ~d:"vdd" ~g:"g" ~s:"out" ~b:"0" "MN" in
+  let c = isource c "IBIAS" "out" "0" (dc_source ibias) in
+  capacitor c "CL" "out" "0" cload
+
+let ef_ringing_estimate ?(rsource = 10e3) ?(cload = 10e-12) ?(ibias = 1e-3)
+    () =
+  let vt = Devices.Const.thermal_voltage 27. in
+  let gm = ibias /. vt in
+  let cpi = Circuit.Netlist.model_param Models.npn "cpi" ~default:1e-12 in
+  let l_eq = rsource *. cpi /. gm in
+  let fn = 1. /. (2. *. Float.pi *. sqrt (l_eq *. cload)) in
+  let zeta = 1. /. (2. *. gm) *. sqrt (cload /. l_eq) in
+  (fn, zeta)

@@ -1,0 +1,29 @@
+(** Emitter / source followers with capacitive loads — the classic local
+    instability the paper's introduction calls out ("local-instability
+    loops in ... emitter or source followers").
+
+    A follower driven from a resistive source presents an inductive output
+    impedance (the source resistance divided by the transistor's falling
+    current gain); against a capacitive load this is a series-resonant
+    circuit damped only by 1/gm. The builders expose the source resistance
+    and load capacitance so examples can walk the circuit from safely
+    damped to nearly oscillating. *)
+
+val emitter_follower :
+  ?rsource:float -> ?cload:float -> ?ibias:float -> unit ->
+  Circuit.Netlist.t
+(** NPN emitter follower: base driven from ["in"] through [rsource]
+    (default 10 kOhm), emitter net ["out"] loaded by [cload] (default
+    10 pF) and a current-source bias [ibias] (default 1 mA). Supply 5 V. *)
+
+val source_follower :
+  ?rsource:float -> ?cload:float -> ?ibias:float -> unit ->
+  Circuit.Netlist.t
+(** NMOS source follower with the same interface. *)
+
+val ef_ringing_estimate :
+  ?rsource:float -> ?cload:float -> ?ibias:float -> unit -> float * float
+(** First-order [(fn, zeta)] prediction for {!emitter_follower}:
+    L = rsource * cpi / gm, fn = 1/(2 pi sqrt(L cload)),
+    zeta = 1/(2 gm) sqrt(cload / L). Useful as a sanity anchor; the
+    simulated peak is the ground truth. *)

@@ -1,0 +1,37 @@
+open Circuit.Netlist
+
+let simple_mirror ?(iref = 100e-6) ?(gain = 1.) () =
+  let c = empty ~title:"simple npn current mirror" () in
+  let c = Models.add_all c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source 5.) in
+  let c = isource c "IREF" "vcc" "nd" (dc_source iref) in
+  let c = bjt c "Q1" ~c:"nd" ~b:"nd" ~e:"0" "QNPN" in
+  let c = bjt ~area:gain c "Q2" ~c:"out" ~b:"nd" ~e:"0" "QNPN" in
+  resistor c "RL" "vcc" "out" (2.5 /. (iref *. gain))
+
+let wilson_mirror ?(iref = 100e-6) () =
+  let c = empty ~title:"wilson current mirror" () in
+  let c = Models.add_all c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source 5.) in
+  let c = isource c "IREF" "vcc" "nin" (dc_source iref) in
+  (* Q1 diode, Q2 mirror slave, Q3 cascode closing the feedback loop. *)
+  let c = bjt c "Q1" ~c:"nx" ~b:"nx" ~e:"0" "QNPN" in
+  let c = bjt c "Q2" ~c:"nin" ~b:"nx" ~e:"0" "QNPN" in
+  let c = bjt c "Q3" ~c:"out" ~b:"nin" ~e:"nx" "QNPN" in
+  resistor c "RL" "vcc" "out" (2.5 /. iref)
+
+let cascode_mirror_with_line ?(iref = 100e-6) ?(cline = 2e-12) () =
+  let c = empty ~title:"cascode mirror with bias line" () in
+  let c = Models.add_all c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source 5.) in
+  let c = isource c "IREF" "vcc" "nd" (dc_source iref) in
+  (* Two-high diode stack biases the cascode gate line. *)
+  let c = bjt c "Q1" ~c:"nd" ~b:"nd" ~e:"nd2" "QNPN" in
+  let c = bjt c "Q2" ~c:"nd2" ~b:"nd2" ~e:"0" "QNPN" in
+  let c = bjt c "Q3" ~c:"ncas" ~b:"nd2" ~e:"0" "QNPN" in
+  let c = bjt c "Q4" ~c:"out" ~b:"nline" ~e:"ncas" "QNPN" in
+  (* The cascode base is fed from the stack through routing resistance and
+     carries the line capacitance. *)
+  let c = resistor c "RLINE" "nd" "nline" 5e3 in
+  let c = capacitor c "CLINE" "nline" "0" cline in
+  resistor c "RL" "vcc" "out" (2.0 /. iref)

@@ -1,0 +1,17 @@
+(** Current-mirror structures — the remaining local-loop family the paper
+    names ("local loops often present in current mirrors"). *)
+
+val simple_mirror : ?iref:float -> ?gain:float -> unit -> Circuit.Netlist.t
+(** NPN mirror: reference current into a diode-connected master, slave of
+    area [gain] loaded by a resistor. Output net ["out"]. *)
+
+val wilson_mirror : ?iref:float -> unit -> Circuit.Netlist.t
+(** Wilson mirror — three transistors with an internal feedback loop; its
+    loop shows up in an all-nodes scan at the transistors' time constants.
+    Output net ["out"]. *)
+
+val cascode_mirror_with_line :
+  ?iref:float -> ?cline:float -> unit -> Circuit.Netlist.t
+(** Cascode mirror whose gate-bias line carries routing capacitance
+    [cline] (default 2 pF) — a mirror variant of the bias-line resonance in
+    {!Bias_zero_tc}. Output net ["out"]. *)

@@ -1,0 +1,40 @@
+(** Shared device model cards for the workload circuits.
+
+    The parameters are representative of a 1990s-era precision BiCMOS
+    process (the paper's circuits came from TI/Burr-Brown precision linear
+    parts): junction capacitances are explicit model constants so the AC
+    and transient views of every pole agree exactly (see DESIGN.md). *)
+
+open Circuit.Netlist
+
+let npn =
+  { model_name = "QNPN"; kind = Npn;
+    params =
+      [ ("is", 1e-16); ("bf", 150.); ("br", 2.); ("vaf", 80.);
+        ("cpi", 1e-12); ("cmu", 0.08e-12); ("ccs", 0.15e-12) ] }
+
+let pnp =
+  { model_name = "QPNP"; kind = Pnp;
+    params =
+      [ ("is", 4e-16); ("bf", 50.); ("br", 2.); ("vaf", 40.);
+        ("cpi", 1.5e-12); ("cmu", 0.1e-12); ("ccs", 0.2e-12) ] }
+
+let nmos =
+  { model_name = "MN"; kind = Nmos;
+    params =
+      [ ("kp", 100e-6); ("vto", 0.8); ("lambda", 0.04); ("cox", 2.3e-3);
+        ("cgso", 3e-10); ("cgdo", 3e-10); ("cbd", 20e-15); ("cbs", 20e-15) ] }
+
+let pmos =
+  { model_name = "MP"; kind = Pmos;
+    params =
+      [ ("kp", 40e-6); ("vto", 0.9); ("lambda", 0.06); ("cox", 2.3e-3);
+        ("cgso", 3e-10); ("cgdo", 3e-10); ("cbd", 30e-15); ("cbs", 30e-15) ] }
+
+let diode =
+  { model_name = "DX"; kind = Dmodel;
+    params = [ ("is", 1e-14); ("cj", 1e-12) ] }
+
+(** Install every card; adding the same model twice is harmless. *)
+let add_all c =
+  List.fold_left add_model c [ npn; pnp; nmos; pmos; diode ]

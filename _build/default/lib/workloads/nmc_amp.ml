@@ -1,0 +1,52 @@
+open Circuit.Netlist
+
+type params = {
+  gm1 : float;
+  gm2 : float;
+  gm3 : float;
+  r1 : float;
+  r2 : float;
+  ro : float;
+  cp1 : float;
+  cp2 : float;
+  cl : float;
+  cm1 : float;
+  cm2 : float;
+}
+
+let butterworth ?(cl = 50e-12) () =
+  let gm1 = 100e-6 and gm2 = 400e-6 and gm3 = 4e-3 in
+  { gm1; gm2; gm3;
+    r1 = 1e6; r2 = 1e6; ro = 100e3;
+    cp1 = 100e-15; cp2 = 100e-15;
+    cl;
+    cm1 = 4. *. (gm1 /. gm3) *. cl;
+    cm2 = 2. *. (gm2 /. gm3) *. cl }
+
+let default_params = butterworth ()
+
+let gbw_hz p = p.gm1 /. (2. *. Float.pi *. p.cm1)
+
+let buffer ?(params = default_params) () =
+  let p = params in
+  let c = empty ~title:"three-stage NMC amplifier (buffer)" () in
+  let c = vsource c "VIN" "in" "0" (ac_source 1.) in
+  (* Stage 1: i = gm1 (v_fb - v_in) into o1 — the input polarity is chosen
+     so the o1 -> out path is inverting (Miller action) while the overall
+     follower is non-inverting; see the interface comment. *)
+  let c = vccs c "G1" "0" "o1" "fb" "in" p.gm1 in
+  let c = resistor c "R1" "o1" "0" p.r1 in
+  let c = capacitor c "CP1" "o1" "0" p.cp1 in
+  (* Stage 2: non-inverting. *)
+  let c = vccs c "G2" "0" "o2" "o1" "0" p.gm2 in
+  let c = resistor c "R2" "o2" "0" p.r2 in
+  let c = capacitor c "CP2" "o2" "0" p.cp2 in
+  (* Stage 3: inverting. *)
+  let c = vccs c "G3" "out" "0" "o2" "0" p.gm3 in
+  let c = resistor c "RO" "out" "0" p.ro in
+  let c = capacitor c "CL" "out" "0" p.cl in
+  (* Nested Miller capacitors. *)
+  let c = capacitor c "CM1" "out" "o1" p.cm1 in
+  let c = capacitor c "CM2" "out" "o2" p.cm2 in
+  (* Unity feedback through an explicit wire (breakable for baselines). *)
+  resistor c "RFB" "out" "fb" 1e-3

@@ -1,0 +1,39 @@
+(** Three-stage amplifier with nested Miller compensation (NMC) — a
+    two-loop compensation structure, so the all-nodes analysis has two
+    genuinely distinct loops to find: the outer unity-feedback loop at the
+    GBW and the inner gm3/cm2 loop above it.
+
+    Built from behavioural transconductance stages (VCCS + node load), so
+    the textbook design equations hold exactly: with
+    [cm1 = 4 (gm1/gm3) cl] and [cm2 = 2 (gm2/gm3) cl] the closed loop is a
+    third-order Butterworth (outer loop zeta = 0.707); shrinking [cm2]
+    under-damps the inner loop and the stability plot flags it at its own
+    natural frequency while the outer loop barely moves. *)
+
+type params = {
+  gm1 : float;   (** input stage (100 uS) *)
+  gm2 : float;   (** middle stage (400 uS) *)
+  gm3 : float;   (** output stage (4 mS) *)
+  r1 : float;    (** first-stage load (1 MOhm) *)
+  r2 : float;    (** second-stage load (1 MOhm) *)
+  ro : float;    (** output load resistance (100 kOhm) *)
+  cp1 : float;   (** first-stage parasitic (100 fF) *)
+  cp2 : float;   (** second-stage parasitic (100 fF) *)
+  cl : float;    (** load capacitance (50 pF) *)
+  cm1 : float;   (** outer Miller capacitor *)
+  cm2 : float;   (** inner Miller capacitor *)
+}
+
+val default_params : params
+(** Butterworth-compensated defaults (see above). *)
+
+val butterworth : ?cl:float -> unit -> params
+(** Parameters satisfying the textbook NMC design equations for a given
+    load. *)
+
+val gbw_hz : params -> float
+(** gm1 / (2 pi cm1). *)
+
+val buffer : ?params:params -> unit -> Circuit.Netlist.t
+(** Unity-gain follower: input net ["in"], output ["out"], internal stage
+    nets ["o1"] and ["o2"]. *)

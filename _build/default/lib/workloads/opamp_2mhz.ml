@@ -1,0 +1,72 @@
+open Circuit.Netlist
+
+type params = {
+  rzero : float;
+  c1 : float;
+  cload : float;
+  vdd : float;
+  vcm : float;
+  with_bias_cell : bool;
+  bias : Bias_zero_tc.params;
+  step : float;
+}
+
+(* Tuned so the buffer reproduces the paper's headline behaviour: stability
+   peak ~ -31 at 3.16 MHz (zeta ~ 0.18), phase margin ~ 20 degrees, step
+   overshoot ~ 54 percent, unity crossover ~ 3 MHz. *)
+let default_params =
+  { rzero = 1e3;
+    c1 = 6.2e-12;
+    cload = 100e-12;
+    vdd = 5.0;
+    vcm = 2.5;
+    with_bias_cell = true;
+    bias = Bias_zero_tc.default_params;
+    step = 50e-3 }
+
+let node_out = "out"
+let node_in = "inp"
+let node_stage1 = "o1"
+let feedback_break = ("M1", 1)
+
+let buffer ?(params = default_params) () =
+  let p = params in
+  let c = empty ~title:"simple 2MHz op-amp buffer (paper Fig 1)" () in
+  let c = Models.add_all c in
+  let c = vsource c "VDD" "vdd" "0" (dc_source p.vdd) in
+  (* Input: DC common mode + AC excitation + step for the Fig 2 transient. *)
+  let c =
+    vsource c "VIN" node_in "0"
+      { dc = p.vcm; ac_mag = 1.; ac_phase_deg = 0.;
+        wave =
+          Some (Pulse { v1 = p.vcm; v2 = p.vcm +. p.step; delay = 1e-6;
+                        rise = 5e-9; fall = 5e-9; width = 1.; period = 0. }) }
+  in
+  (* First stage: NMOS pair, PMOS mirror load, NMOS tail. With the diode
+     side of the mirror on M1 and two inverting stages after it, M1's gate
+     is the inverting input — the feedback connection — and M2's gate the
+     non-inverting signal input. *)
+  let c = mosfet ~w:60e-6 ~l:2e-6 c "M1" ~d:"d1" ~g:node_out ~s:"tail" ~b:"0" "MN" in
+  let c = mosfet ~w:60e-6 ~l:2e-6 c "M2" ~d:node_stage1 ~g:node_in ~s:"tail" ~b:"0" "MN" in
+  let c = mosfet ~w:30e-6 ~l:2e-6 c "M3" ~d:"d1" ~g:"d1" ~s:"vdd" ~b:"vdd" "MP" in
+  let c = mosfet ~w:30e-6 ~l:2e-6 c "M4" ~d:node_stage1 ~g:"d1" ~s:"vdd" ~b:"vdd" "MP" in
+  let c = mosfet ~w:30e-6 ~l:2e-6 c "M5" ~d:"tail" ~g:"nbias" ~s:"0" ~b:"0" "MN" in
+  (* Second stage: PMOS common source with NMOS sink. *)
+  let c = mosfet ~w:120e-6 ~l:1e-6 c "M6" ~d:node_out ~g:node_stage1 ~s:"vdd" ~b:"vdd" "MP" in
+  let c = mosfet ~w:60e-6 ~l:2e-6 c "M7" ~d:node_out ~g:"nbias" ~s:"0" ~b:"0" "MN" in
+  (* Compensation: rzero + c1 from output to the first-stage output. *)
+  let c = resistor c "RZERO" node_out "zx" p.rzero in
+  let c = capacitor c "C1" "zx" node_stage1 p.c1 in
+  let c = capacitor c "CLOAD" node_out "0" p.cload in
+  let c =
+    if p.with_bias_cell then Bias_zero_tc.add_to ~params:p.bias c ~vcc:"vdd"
+    else vsource c "VBIAS" "nbias" "0" (dc_source 1.0)
+  in
+  (* The buffer has a second, latched operating point (out = 0, M2 off,
+     M6 off) exactly like its real-silicon counterpart; the nodeset steers
+     the DC solve to the intended one. *)
+  add_directive c
+    (Nodeset
+       [ (node_out, p.vcm); (node_in, p.vcm); ("tail", p.vcm -. 0.9);
+         (node_stage1, p.vdd -. 1.1); ("d1", p.vdd -. 1.1);
+         ("nbias", 1.0); ("vdd", p.vdd) ])

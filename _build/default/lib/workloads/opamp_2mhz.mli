@@ -1,0 +1,43 @@
+(** The "simple 2 MHz op-amp" of paper Fig 1, connected as a buffer.
+
+    A two-stage CMOS Miller amplifier: NMOS differential pair (M1/M2) with
+    PMOS mirror load (M3/M4) and NMOS tail sink (M5), PMOS common-source
+    second stage (M6) with NMOS sink (M7), Miller compensation [c1] in
+    series with the nulling resistor [rzero] from the output back to the
+    first-stage output, and [cload] at the output. Biased either by the
+    zero-TC cell of {!Bias_zero_tc} (the full Fig 1 + Fig 5 system the
+    all-nodes report of Table 2 covers) or by an ideal source.
+
+    At the default (deliberately under-compensated) values the buffer
+    reproduces the paper's headline numbers: a main loop near 3 MHz with a
+    stability-plot peak around -29 (zeta ~ 0.19, phase margin ~ 20 degrees,
+    step overshoot ~ 50 percent). *)
+
+type params = {
+  rzero : float;   (** nulling resistor in the compensation branch *)
+  c1 : float;      (** Miller capacitor *)
+  cload : float;   (** output load capacitance *)
+  vdd : float;     (** supply (5 V) *)
+  vcm : float;     (** input common-mode (2.5 V) *)
+  with_bias_cell : bool;
+      (** true: bias from the zero-TC cell; false: ideal bias source *)
+  bias : Bias_zero_tc.params;
+  step : float;    (** transient input step amplitude (50 mV) *)
+}
+
+val default_params : params
+
+val node_out : Circuit.Netlist.node
+val node_in : Circuit.Netlist.node
+val node_stage1 : Circuit.Netlist.node
+(** First-stage output (inner Miller node "o1"). *)
+
+val feedback_break : string * int
+(** (device, terminal) of the feedback wire at M1's gate — the unilateral
+    high-impedance point where the main loop is opened for the Fig 3
+    baseline. *)
+
+val buffer : ?params:params -> unit -> Circuit.Netlist.t
+(** Unity-gain buffer. The input source carries DC [vcm], a unit AC
+    magnitude, and a [step] transient pulse at t = 1 us, so the same
+    netlist serves the AC, transient and stability analyses. *)

@@ -1,0 +1,57 @@
+open Circuit.Netlist
+
+type params = {
+  vcc : float;
+  vcm : float;
+  rbias : float;
+  cc : float;
+  rz : float;
+  cload : float;
+  step : float;
+}
+
+let default_params =
+  { vcc = 10.; vcm = 5.; rbias = 330e3; cc = 30e-12; rz = 300.;
+    cload = 220e-12; step = 50e-3 }
+
+let node_out = "out"
+let node_in = "inp"
+let feedback_break = ("Q1", 1)
+
+let buffer ?(params = default_params) () =
+  let p = params in
+  let c = empty ~title:"two-stage bipolar op-amp buffer" () in
+  let c = Models.add_all c in
+  let c = vsource c "VCC" "vcc" "0" (dc_source p.vcc) in
+  let c =
+    vsource c "VIN" node_in "0"
+      { dc = p.vcm; ac_mag = 1.; ac_phase_deg = 0.;
+        wave =
+          Some (Pulse { v1 = p.vcm; v2 = p.vcm +. p.step; delay = 1e-6;
+                        rise = 5e-9; fall = 5e-9; width = 1.; period = 0. }) }
+  in
+  (* Bias: Vbe-referenced current through RBIAS into a diode-connected NPN
+     (QB), mirrored by Q5 (tail) and Q7 (output sink). *)
+  let c = resistor c "RBIAS" "vcc" "nb" p.rbias in
+  let c = bjt c "QB" ~c:"nb" ~b:"nb" ~e:"0" "QNPN" in
+  (* First stage: Q1 carries the feedback (inverting input via the mirror
+     orientation), Q2 the signal. *)
+  let c = bjt c "Q1" ~c:"d1" ~b:node_out ~e:"tail" "QNPN" in
+  let c = bjt c "Q2" ~c:"o1" ~b:node_in ~e:"tail" "QNPN" in
+  let c = bjt c "Q3" ~c:"d1" ~b:"d1" ~e:"vcc" "QPNP" in
+  let c = bjt c "Q4" ~c:"o1" ~b:"d1" ~e:"vcc" "QPNP" in
+  let c = bjt ~area:2. c "Q5" ~c:"tail" ~b:"nb" ~e:"0" "QNPN" in
+  (* Second stage: PNP common emitter, NPN sink. *)
+  let c = bjt ~area:4. c "Q6" ~c:node_out ~b:"o1" ~e:"vcc" "QPNP" in
+  let c = bjt ~area:4. c "Q7" ~c:node_out ~b:"nb" ~e:"0" "QNPN" in
+  (* Compensation and load. *)
+  let c = resistor c "RZ" node_out "zx" p.rz in
+  let c = capacitor c "CC" "zx" "o1" p.cc in
+  let c = capacitor c "CLOAD" node_out "0" p.cload in
+  (* The class-A buffer shares the latched off-state of its MOS sibling;
+     pin the intended operating point. *)
+  add_directive c
+    (Nodeset
+       [ (node_out, p.vcm); (node_in, p.vcm); ("tail", p.vcm -. 0.65);
+         ("o1", p.vcc -. 0.75); ("d1", p.vcc -. 0.75); ("nb", 0.65);
+         ("vcc", p.vcc) ])

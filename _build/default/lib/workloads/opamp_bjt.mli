@@ -1,0 +1,34 @@
+(** A two-stage bipolar op-amp buffer — the all-BJT sibling of
+    {!Opamp_2mhz}, in the spirit of the precision-linear parts the paper's
+    authors worked on.
+
+    NPN differential pair (Q1/Q2) with PNP mirror load (Q3/Q4) and a
+    resistor-programmed tail source (Q5 + RE), PNP common-emitter second
+    stage (Q6) with an NPN current-sink load (Q7), Miller compensation
+    [cc] with nulling resistor [rz], class-A output. The buffer exercises
+    BJT small-signal paths through a full multi-stage loop: gm scaling
+    with collector current, base-current loading, Early-effect output
+    conductances. *)
+
+type params = {
+  vcc : float;     (** supply (10 V) *)
+  vcm : float;     (** input common mode (5 V) *)
+  rbias : float;   (** tail/bias programming resistor (330 kOhm) *)
+  cc : float;      (** Miller capacitor (30 pF) *)
+  rz : float;      (** nulling resistor (300 Ohm) *)
+  cload : float;   (** load capacitance (220 pF) *)
+  step : float;    (** transient step (50 mV) *)
+}
+
+val default_params : params
+(** Moderately compensated: main loop around 1 MHz with zeta ~ 0.4. *)
+
+val node_out : Circuit.Netlist.node
+val node_in : Circuit.Netlist.node
+
+val feedback_break : string * int
+(** The feedback wire at Q1's base (terminal 1 of the BJT). A bipolar input
+    draws base current, so the LC break is only approximate here —
+    Middlebrook is the accurate baseline (see Engine.Loopgain). *)
+
+val buffer : ?params:params -> unit -> Circuit.Netlist.t

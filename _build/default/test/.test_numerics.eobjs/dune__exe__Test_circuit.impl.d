@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Bytes Char Circuit Engine Expr Filename Float Format List Netlist Option Parser Printf QCheck QCheck_alcotest Random String Sys Topology Transform Unix

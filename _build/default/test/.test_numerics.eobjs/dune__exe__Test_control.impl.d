@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Bode Complex Control Float List Numerics Printf QCheck QCheck_alcotest Second_order Tf

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Circuit Devices Float List Printf

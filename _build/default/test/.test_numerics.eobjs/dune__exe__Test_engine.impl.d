@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Circuit Devices Engine Float List Netlist Numerics Option Printf QCheck QCheck_alcotest Random Stability Workloads

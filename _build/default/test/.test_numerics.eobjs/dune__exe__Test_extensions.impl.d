@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Engine Float List Numerics Option Printf Stability String Tool Workloads

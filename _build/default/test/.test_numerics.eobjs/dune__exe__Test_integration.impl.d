@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Circuit Control Engine Float List Numerics Option Printf Stability String Tool Workloads

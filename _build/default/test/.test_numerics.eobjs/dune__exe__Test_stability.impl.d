@@ -1,0 +1,1 @@
+test/test_stability.ml: Alcotest Array Circuit Control Engine Float List Numerics Option Printf QCheck QCheck_alcotest Stability String Workloads

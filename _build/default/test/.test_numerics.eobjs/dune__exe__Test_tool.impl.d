@@ -1,0 +1,1 @@
+test/test_tool.ml: Alcotest Circuit Control Engine Filename Float List Numerics Printf Result Stability String Sys Tool Workloads

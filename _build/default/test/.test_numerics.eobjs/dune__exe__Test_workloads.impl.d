@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Engine Float List Numerics Option Printf Stability Workloads

@@ -1,0 +1,4 @@
+(* Ad-hoc debugging harness; kept as a development convenience and not
+   part of the test suite. Edit freely and run with
+   `dune exec test/scratch.exe`. *)
+let () = print_endline "scratch: nothing to do"

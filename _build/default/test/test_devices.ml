@@ -1,0 +1,251 @@
+(* Device models: junction math, diode/BJT/MOS characteristics, waveforms. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+let model kind params =
+  { Circuit.Netlist.model_name = "m"; kind; params }
+
+(* ---------- junction helpers ---------- *)
+
+let test_guarded_exp () =
+  let v, d = Devices.Junction.guarded_exp 1. in
+  check_close "value" (exp 1.) v;
+  check_close "derivative" (exp 1.) d;
+  (* Beyond the limit: linear continuation, finite. *)
+  let v2, d2 = Devices.Junction.guarded_exp 200. in
+  Alcotest.(check bool) "finite" true (Float.is_finite v2 && Float.is_finite d2);
+  Alcotest.(check bool) "monotone" true (v2 > exp 80.)
+
+let test_pnjlim () =
+  let vt = 0.025852 in
+  let vcrit = Devices.Junction.vcrit ~is:1e-14 ~vt in
+  (* Small steps pass through unchanged. *)
+  let v, limited = Devices.Junction.pnjlim ~vt ~vcrit 0.62 0.61 in
+  check_close "small step" 0.62 v;
+  Alcotest.(check bool) "not limited" false limited;
+  (* A huge jump gets cut. *)
+  let v2, limited2 = Devices.Junction.pnjlim ~vt ~vcrit 5. 0.6 in
+  Alcotest.(check bool) "limited" true limited2;
+  Alcotest.(check bool) "cut hard" true (v2 < 1.)
+
+(* ---------- diode ---------- *)
+
+let test_diode_iv () =
+  let p = Devices.Diode_model.params_of_model
+            (model Circuit.Netlist.Dmodel [ ("is", 1e-14) ]) in
+  let vt = Devices.Const.thermal_voltage 27. in
+  let r = Devices.Diode_model.dc p ~area:1. ~temp_c:27. ~vd:0.6 ~vd_old:0.6 in
+  check_close ~tol:1e-9 "forward current" (1e-14 *. (exp (0.6 /. vt) -. 1.)) r.id;
+  check_close ~tol:1e-9 "conductance" (1e-14 *. exp (0.6 /. vt) /. vt) r.gd;
+  (* Reverse: saturates at -is. *)
+  let rr = Devices.Diode_model.dc p ~area:1. ~temp_c:27. ~vd:(-5.) ~vd_old:(-5.) in
+  check_close ~tol:1e-3 "reverse current" (-1e-14) rr.id
+
+let test_diode_area_and_temp () =
+  let p = Devices.Diode_model.params_of_model
+            (model Circuit.Netlist.Dmodel [ ("is", 1e-14) ]) in
+  let r1 = Devices.Diode_model.dc p ~area:1. ~temp_c:27. ~vd:0.6 ~vd_old:0.6 in
+  let r2 = Devices.Diode_model.dc p ~area:4. ~temp_c:27. ~vd:0.6 ~vd_old:0.6 in
+  check_close ~tol:1e-9 "area scaling" (4. *. r1.id) r2.id;
+  (* Hotter junction: more current at the same voltage. *)
+  let rh = Devices.Diode_model.dc p ~area:1. ~temp_c:100. ~vd:0.6 ~vd_old:0.6 in
+  Alcotest.(check bool) "temp increases current" true (rh.id > 10. *. r1.id)
+
+(* ---------- BJT ---------- *)
+
+let npn_params ?(extra = []) () =
+  Devices.Bjt_model.params_of_model
+    (model Circuit.Netlist.Npn ([ ("is", 1e-16); ("bf", 100.) ] @ extra))
+
+let test_bjt_forward_active () =
+  let p = npn_params () in
+  let vt = Devices.Const.thermal_voltage 27. in
+  let d = Devices.Bjt_model.dc p ~area:1. ~temp_c:27. ~vbe:0.65 ~vbc:(-3.)
+            ~vbe_old:0.65 ~vbc_old:(-3.) in
+  let icc = 1e-16 *. (exp (0.65 /. vt) -. exp ((-3.) /. vt)) in
+  check_close ~tol:1e-6 "collector current" icc d.ic;
+  check_close ~tol:1e-6 "base current = ic/bf" (icc /. 100.) d.ib;
+  (* gm = ic/vt in forward active. *)
+  let ss = Devices.Bjt_model.small_signal p ~area:1. ~temp_c:27. ~vbe:0.65
+             ~vbc:(-3.) in
+  check_close ~tol:1e-4 "gm" (d.ic /. vt) ss.gm;
+  check_close ~tol:1e-4 "gpi = gm/bf" (ss.gm /. 100.) ss.gpi
+
+let test_bjt_early_effect () =
+  let p = npn_params ~extra:[ ("vaf", 50.) ] () in
+  let d1 = Devices.Bjt_model.dc p ~area:1. ~temp_c:27. ~vbe:0.65 ~vbc:(-1.)
+             ~vbe_old:0.65 ~vbc_old:(-1.) in
+  let d2 = Devices.Bjt_model.dc p ~area:1. ~temp_c:27. ~vbe:0.65 ~vbc:(-11.)
+             ~vbe_old:0.65 ~vbc_old:(-11.) in
+  (* 10 V more reverse bias on vbc: ic scales by the Early factors. *)
+  check_close ~tol:1e-3 "ic ratio"
+    ((1. +. (11. /. 50.)) /. (1. +. (1. /. 50.)))
+    (d2.ic /. d1.ic);
+  (* Output conductance go ~ ic/vaf. *)
+  let ss = Devices.Bjt_model.small_signal p ~area:1. ~temp_c:27. ~vbe:0.65
+             ~vbc:(-1.) in
+  let go = -.(ss.gout +. ss.gmu) in
+  check_close ~tol:2e-2 "go ~ ic/(vaf+vce)" (d1.ic /. (50. +. 1.65)) go
+
+let test_bjt_jacobian_consistency () =
+  (* Finite-difference check of the analytic Jacobian. *)
+  let p = npn_params ~extra:[ ("vaf", 80.); ("br", 2.) ] () in
+  let at vbe vbc =
+    Devices.Bjt_model.dc p ~area:1. ~temp_c:27. ~vbe ~vbc ~vbe_old:vbe
+      ~vbc_old:vbc
+  in
+  let vbe = 0.62 and vbc = -2.3 and h = 1e-7 in
+  let d0 = at vbe vbc in
+  let dbe = at (vbe +. h) vbc in
+  let dbc = at vbe (vbc +. h) in
+  check_close ~tol:1e-4 "d ic/d vbe" ((dbe.ic -. d0.ic) /. h) d0.d_ic_dvbe;
+  check_close ~tol:1e-4 "d ic/d vbc" ((dbc.ic -. d0.ic) /. h) d0.d_ic_dvbc;
+  check_close ~tol:1e-4 "d ib/d vbe" ((dbe.ib -. d0.ib) /. h) d0.d_ib_dvbe;
+  check_close ~tol:1e-4 "d ib/d vbc" ((dbc.ib -. d0.ib) /. h) d0.d_ib_dvbc
+
+(* ---------- MOSFET ---------- *)
+
+let mos_params ?(extra = []) () =
+  Devices.Mos_model.params_of_model
+    (model Circuit.Netlist.Nmos
+       ([ ("kp", 100e-6); ("vto", 1.) ] @ extra))
+
+let test_mos_regions () =
+  let p = mos_params () in
+  let dc = Devices.Mos_model.dc p ~w:10e-6 ~l:1e-6 in
+  let cutoff = dc ~vgs:0.5 ~vds:2. in
+  Alcotest.(check bool) "cutoff" true (cutoff.region = Devices.Mos_model.Cutoff);
+  check_close "cutoff current" 0. cutoff.ids;
+  let sat = dc ~vgs:2. ~vds:3. in
+  Alcotest.(check bool) "saturation" true
+    (sat.region = Devices.Mos_model.Saturation);
+  (* beta = 100u * 10 = 1e-3; id = beta/2 * 1 = 0.5 mA *)
+  check_close ~tol:1e-9 "sat current" 0.5e-3 sat.ids;
+  check_close ~tol:1e-9 "gm = beta*vov" 1e-3 sat.d_ids_dvgs;
+  let triode = dc ~vgs:3. ~vds:0.5 in
+  Alcotest.(check bool) "triode" true
+    (triode.region = Devices.Mos_model.Triode);
+  check_close ~tol:1e-9 "triode current"
+    (1e-3 *. ((2. *. 0.5) -. (0.5 *. 0.5 /. 2.)))
+    triode.ids
+
+let test_mos_symmetry () =
+  (* Drain-source inversion: ids(vgs,vds) = -ids'(vgd,-vds). *)
+  let p = mos_params ~extra:[ ("lambda", 0.02) ] () in
+  let dc = Devices.Mos_model.dc p ~w:10e-6 ~l:1e-6 in
+  let fwd = dc ~vgs:2.5 ~vds:1. in
+  let rev = dc ~vgs:1.5 ~vds:(-1.) in
+  (* vgd of the reversed device = 1.5 + 1 = 2.5, |vds| = 1: same channel. *)
+  check_close ~tol:1e-9 "inverted current" (-.fwd.ids) rev.ids;
+  Alcotest.(check bool) "flagged inverted" true rev.inverted
+
+let test_mos_jacobian_consistency () =
+  let p = mos_params ~extra:[ ("lambda", 0.05) ] () in
+  let dc = Devices.Mos_model.dc p ~w:20e-6 ~l:2e-6 in
+  List.iter
+    (fun (vgs, vds) ->
+      let h = 1e-7 in
+      let d0 = dc ~vgs ~vds in
+      let dg = dc ~vgs:(vgs +. h) ~vds in
+      let dd = dc ~vgs ~vds:(vds +. h) in
+      check_close ~tol:1e-3
+        (Printf.sprintf "gm at (%g,%g)" vgs vds)
+        ((dg.ids -. d0.ids) /. h)
+        d0.d_ids_dvgs;
+      check_close ~tol:1e-3
+        (Printf.sprintf "gds at (%g,%g)" vgs vds)
+        ((dd.ids -. d0.ids) /. h)
+        d0.d_ids_dvds)
+    [ (2., 3.); (3., 0.5); (2., -1.5); (0.5, 1.) ]
+
+let test_mos_caps () =
+  let p = mos_params ~extra:[ ("cox", 2e-3); ("cgso", 1e-10); ("cgdo", 1e-10) ] () in
+  let ss = Devices.Mos_model.small_signal p ~w:10e-6 ~l:1e-6 ~vgs:2. ~vds:3. in
+  let cox_total = 2e-3 *. 10e-6 *. 1e-6 in
+  check_close ~tol:1e-9 "cgs in saturation"
+    ((1e-10 *. 10e-6) +. (2. /. 3. *. cox_total))
+    ss.cgs;
+  check_close ~tol:1e-9 "cgd = overlap only" (1e-10 *. 10e-6) ss.cgd
+
+(* ---------- waveforms ---------- *)
+
+let test_pulse_eval () =
+  let w =
+    Circuit.Netlist.Pulse
+      { v1 = 0.; v2 = 5.; delay = 1e-6; rise = 1e-7; fall = 2e-7;
+        width = 1e-6; period = 0. }
+  in
+  let at t = Devices.Waveshape.eval ~dc:0. (Some w) t in
+  check_close "before delay" 0. (at 0.5e-6);
+  check_close "mid rise" 2.5 (at (1e-6 +. 0.5e-7));
+  check_close "on top" 5. (at 1.5e-6);
+  check_close "mid fall" 2.5 (at (1e-6 +. 1e-7 +. 1e-6 +. 1e-7));
+  check_close "after" 0. (at 3e-6)
+
+let test_pulse_periodic () =
+  let w =
+    Circuit.Netlist.Pulse
+      { v1 = 0.; v2 = 1.; delay = 0.; rise = 1e-9; fall = 1e-9;
+        width = 0.5e-6; period = 1e-6 }
+  in
+  let at t = Devices.Waveshape.eval ~dc:0. (Some w) t in
+  check_close "first period high" 1. (at 0.25e-6);
+  check_close "first period low" 0. (at 0.75e-6);
+  check_close "second period high" 1. (at 1.25e-6)
+
+let test_pwl_eval () =
+  let w = Circuit.Netlist.Pwl [ (0., 0.); (1., 10.); (2., 10.); (3., 0.) ] in
+  let at t = Devices.Waveshape.eval ~dc:0. (Some w) t in
+  check_close "ramp" 5. (at 0.5);
+  check_close "plateau" 10. (at 1.5);
+  check_close "fall" 5. (at 2.5);
+  check_close "hold after" 0. (at 10.)
+
+let test_breakpoints () =
+  let w =
+    Circuit.Netlist.Pulse
+      { v1 = 0.; v2 = 1.; delay = 1e-6; rise = 1e-7; fall = 1e-7;
+        width = 1e-6; period = 0. }
+  in
+  let bps = Devices.Waveshape.breakpoints (Some w) ~tstop:1e-3 in
+  Alcotest.(check int) "four edges" 4 (List.length bps);
+  check_close "first edge" 1e-6 (List.hd bps)
+
+let test_sine_eval () =
+  let w = Circuit.Netlist.Sine
+            { offset = 1.; ampl = 2.; freq = 1e3; delay = 0.; damping = 0. } in
+  let at t = Devices.Waveshape.eval ~dc:0. (Some w) t in
+  check_close "zero crossing" 1. (at 0.);
+  check_close ~tol:1e-6 "quarter period" 3. (at 0.25e-3)
+
+let () =
+  Alcotest.run "devices"
+    [ ("junction",
+       [ Alcotest.test_case "guarded exp" `Quick test_guarded_exp;
+         Alcotest.test_case "pnjlim" `Quick test_pnjlim ]);
+      ("diode",
+       [ Alcotest.test_case "I/V" `Quick test_diode_iv;
+         Alcotest.test_case "area and temperature" `Quick
+           test_diode_area_and_temp ]);
+      ("bjt",
+       [ Alcotest.test_case "forward active" `Quick test_bjt_forward_active;
+         Alcotest.test_case "early effect" `Quick test_bjt_early_effect;
+         Alcotest.test_case "jacobian vs finite differences" `Quick
+           test_bjt_jacobian_consistency ]);
+      ("mos",
+       [ Alcotest.test_case "regions" `Quick test_mos_regions;
+         Alcotest.test_case "drain-source symmetry" `Quick test_mos_symmetry;
+         Alcotest.test_case "jacobian vs finite differences" `Quick
+           test_mos_jacobian_consistency;
+         Alcotest.test_case "capacitances" `Quick test_mos_caps ]);
+      ("waveshape",
+       [ Alcotest.test_case "pulse" `Quick test_pulse_eval;
+         Alcotest.test_case "periodic pulse" `Quick test_pulse_periodic;
+         Alcotest.test_case "pwl" `Quick test_pwl_eval;
+         Alcotest.test_case "breakpoints" `Quick test_breakpoints;
+         Alcotest.test_case "sine" `Quick test_sine_eval ]) ]

@@ -1,0 +1,769 @@
+(* Engine analyses against analytic fixtures. *)
+
+open Circuit
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+(* ---------- DC ---------- *)
+
+let test_divider () =
+  let c = Netlist.empty ~title:"divider" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.dc_source 10.) in
+  let c = Netlist.resistor c "R1" "in" "mid" 1e3 in
+  let c = Netlist.resistor c "R2" "mid" "0" 3e3 in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  check_close "V(mid)" 7.5 (Engine.Dcop.node_v op "mid");
+  check_close "I(V1)" (-.10. /. 4e3) (Engine.Dcop.branch_current op "V1")
+    ~tol:1e-9
+
+let test_dc_controlled_sources () =
+  (* VCVS doubling a divider tap; CCCS mirroring a source current. *)
+  let c = Netlist.empty ~title:"ctrl" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.dc_source 2.) in
+  let c = Netlist.resistor c "R1" "in" "a" 1e3 in
+  let c = Netlist.resistor c "R2" "a" "0" 1e3 in
+  let c = Netlist.vcvs c "E1" "b" "0" "a" "0" 4. in
+  let c = Netlist.resistor c "R3" "b" "0" 1e3 in
+  let c = Netlist.add c (Netlist.Cccs { name = "F1"; npos = "0"; nneg = "f";
+                                        vname = "V1"; gain = 2. }) in
+  let c = Netlist.resistor c "R4" "f" "0" 1e3 in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  check_close "VCVS output" 4. (Engine.Dcop.node_v op "b");
+  (* I(V1) = -(2V / 2k) = -1 mA; F pushes 2*I(V1) = -2 mA into f. *)
+  check_close "CCCS output" (-2e-3 *. 1e3) (Engine.Dcop.node_v op "f")
+
+let test_diode_clamp () =
+  (* 5 V through 1 kOhm into a diode: V(d) ~ 0.6-0.7, consistent I/V. *)
+  let c = Netlist.empty ~title:"diode" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.dc_source 5.) in
+  let c = Netlist.resistor c "R1" "in" "d" 1e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "DX"; kind = Netlist.Dmodel;
+        params = [ ("is", 1e-14) ] }
+  in
+  let c = Netlist.diode c "D1" "d" "0" "DX" in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  let vd = Engine.Dcop.node_v op "d" in
+  Alcotest.(check bool) "diode voltage plausible" true (vd > 0.5 && vd < 0.8);
+  (* KCL: resistor current equals diode current Is (exp(vd/vt)-1). *)
+  let ir = (5. -. vd) /. 1e3 in
+  let id = 1e-14 *. (exp (vd /. Devices.Const.thermal_voltage 27.) -. 1.) in
+  check_close "diode current matches resistor" ir id ~tol:1e-4
+
+let test_bjt_bias () =
+  (* NPN with base divider and emitter degeneration: textbook bias point. *)
+  let c = Netlist.empty ~title:"bjt bias" () in
+  let c = Netlist.vsource c "VCC" "vcc" "0" (Netlist.dc_source 12.) in
+  let c = Netlist.resistor c "RB1" "vcc" "vb" 47e3 in
+  let c = Netlist.resistor c "RB2" "vb" "0" 10e3 in
+  let c = Netlist.resistor c "RC" "vcc" "vc" 2e3 in
+  let c = Netlist.resistor c "RE" "ve" "0" 1e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "QN"; kind = Netlist.Npn;
+        params = [ ("is", 1e-15); ("bf", 200.) ] }
+  in
+  let c = Netlist.bjt c "Q1" ~c:"vc" ~b:"vb" ~e:"ve" "QN" in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  let vb = Engine.Dcop.node_v op "vb" in
+  let ve = Engine.Dcop.node_v op "ve" in
+  let vc = Engine.Dcop.node_v op "vc" in
+  (* Thevenin base ~2.1 V, VE ~ VB - 0.7, IC ~ IE ~ VE/RE, VC = 12 - IC*2k. *)
+  Alcotest.(check bool) "vbe forward" true (vb -. ve > 0.55 && vb -. ve < 0.75);
+  let ic_expect = ve /. 1e3 in
+  check_close "collector voltage" (12. -. (2e3 *. ic_expect)) vc ~tol:2e-2;
+  Alcotest.(check bool) "forward active" true (vc > vb)
+
+let test_pnp_bias () =
+  (* Mirror image of the NPN fixture. *)
+  let c = Netlist.empty ~title:"pnp bias" () in
+  let c = Netlist.vsource c "VCC" "vcc" "0" (Netlist.dc_source 12.) in
+  let c = Netlist.resistor c "RB1" "vcc" "vb" 10e3 in
+  let c = Netlist.resistor c "RB2" "vb" "0" 47e3 in
+  let c = Netlist.resistor c "RC" "vc" "0" 2e3 in
+  let c = Netlist.resistor c "RE" "vcc" "ve" 1e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "QP"; kind = Netlist.Pnp;
+        params = [ ("is", 1e-15); ("bf", 200.) ] }
+  in
+  let c = Netlist.bjt c "Q1" ~c:"vc" ~b:"vb" ~e:"ve" "QP" in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  let vb = Engine.Dcop.node_v op "vb" in
+  let ve = Engine.Dcop.node_v op "ve" in
+  let vc = Engine.Dcop.node_v op "vc" in
+  Alcotest.(check bool) "veb forward" true (ve -. vb > 0.55 && ve -. vb < 0.75);
+  let ic_expect = (12. -. ve) /. 1e3 in
+  check_close "collector voltage" (2e3 *. ic_expect) vc ~tol:2e-2;
+  Alcotest.(check bool) "forward active" true (vc < vb)
+
+let test_nmos_bias () =
+  let c = Netlist.empty ~title:"nmos" () in
+  let c = Netlist.vsource c "VDD" "vdd" "0" (Netlist.dc_source 5.) in
+  let c = Netlist.vsource c "VG" "g" "0" (Netlist.dc_source 2.) in
+  let c = Netlist.resistor c "RD" "vdd" "d" 10e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "MN"; kind = Netlist.Nmos;
+        params = [ ("kp", 100e-6); ("vto", 1.) ] }
+  in
+  let c = Netlist.mosfet ~w:10e-6 ~l:10e-6 c "M1" ~d:"d" ~g:"g" ~s:"0" ~b:"0" "MN" in
+  let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+  (* beta = 100u * 1 = 100u; sat: id = 50u * (1)^2 = 50 uA; vd = 5 - 0.5. *)
+  check_close "drain voltage" 4.5 (Engine.Dcop.node_v op "d") ~tol:1e-5
+
+let test_homotopy_paths_reach_same_op () =
+  (* Exercise the gmin-stepping and source-stepping fallbacks explicitly:
+     both must land on the same operating point the direct Newton finds
+     for the bipolar op-amp. *)
+  let circ = Workloads.Opamp_bjt.buffer () in
+  let mna = Engine.Mna.compile circ in
+  let direct = Engine.Dcop.solve mna in
+  Alcotest.(check bool) "direct converges directly" true
+    (direct.Engine.Dcop.strategy = Engine.Dcop.Direct);
+  List.iter
+    (fun (tag, force, expected) ->
+      let op = Engine.Dcop.solve ~force_strategy:force mna in
+      Alcotest.(check bool)
+        (tag ^ " strategy reported")
+        true
+        (op.Engine.Dcop.strategy = expected);
+      List.iter
+        (fun n ->
+          check_close ~tol:1e-5
+            (Printf.sprintf "%s V(%s)" tag n)
+            (Engine.Dcop.node_v direct n)
+            (Engine.Dcop.node_v op n))
+        [ "out"; "o1"; "tail"; "nb" ])
+    [ ("gmin", `Gmin_stepping, Engine.Dcop.Gmin_stepping);
+      ("source", `Source_stepping, Engine.Dcop.Source_stepping) ]
+
+(* ---------- AC ---------- *)
+
+let test_rc_lowpass_ac () =
+  let r = 1e3 and cap = 1e-9 in
+  let c = Netlist.empty ~title:"rc" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.ac_source 1.) in
+  let c = Netlist.resistor c "R1" "in" "out" r in
+  let c = Netlist.capacitor c "C1" "out" "0" cap in
+  let fc = 1. /. (2. *. Float.pi *. r *. cap) in
+  let ac =
+    Engine.Ac.run ~sweep:(Numerics.Sweep.decade (fc /. 100.) (fc *. 100.) 20) c
+  in
+  let w = Engine.Ac.v ac "out" in
+  Array.iteri
+    (fun k f ->
+      let expected = 1. /. sqrt (1. +. ((f /. fc) ** 2.)) in
+      check_close
+        (Printf.sprintf "|H| at %g Hz" f)
+        expected
+        (Numerics.Cx.mag w.Engine.Waveform.Freq.h.(k))
+        ~tol:1e-9)
+    w.Engine.Waveform.Freq.freqs;
+  (* Phase at fc = -45 degrees. *)
+  let h_fc = Engine.Waveform.Freq.at w fc in
+  check_close "phase at fc" (-45.) (Numerics.Cx.phase_deg h_fc) ~tol:1e-2
+
+let test_rlc_resonance () =
+  (* Series RLC driven by a voltage source; current peaks at f0 with
+     Q = (1/R) sqrt(L/C). *)
+  let r = 10. and l = 1e-3 and cap = 1e-9 in
+  let c = Netlist.empty ~title:"rlc" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.ac_source 1.) in
+  let c = Netlist.resistor c "R1" "in" "a" r in
+  let c = Netlist.inductor c "L1" "a" "b" l in
+  let c = Netlist.capacitor c "C1" "b" "0" cap in
+  let f0 = 1. /. (2. *. Float.pi *. sqrt (l *. cap)) in
+  let ac = Engine.Ac.run ~sweep:(Numerics.Sweep.List [| f0 |]) c in
+  (* At resonance the L and C impedances cancel: I = V/R, V(b) = I/(jwC). *)
+  let i = Engine.Ac.branch_i ac "V1" in
+  check_close "resonant current" (1. /. r)
+    (Numerics.Cx.mag i.Engine.Waveform.Freq.h.(0))
+    ~tol:1e-6;
+  let vb = Engine.Ac.v ac "b" in
+  let q = sqrt (l /. cap) /. r in
+  check_close "capacitor voltage magnification" q
+    (Numerics.Cx.mag vb.Engine.Waveform.Freq.h.(0))
+    ~tol:1e-6
+
+let test_bjt_amp_ac_gain () =
+  (* Common-emitter with ideal bias: gain = -gm*RC at low frequency. *)
+  let c = Netlist.empty ~title:"ce amp" () in
+  let c = Netlist.vsource c "VCC" "vcc" "0" (Netlist.dc_source 12.) in
+  let c = Netlist.vsource c "VB" "vb" "0"
+            { (Netlist.dc_source 0.7) with ac_mag = 1e-3 } in
+  let c = Netlist.resistor c "RC" "vcc" "vc" 1e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "QN"; kind = Netlist.Npn;
+        params = [ ("is", 1e-15); ("bf", 100.) ] }
+  in
+  let c = Netlist.bjt c "Q1" ~c:"vc" ~b:"vb" ~e:"0" "QN" in
+  let mna = Engine.Mna.compile c in
+  let op = Engine.Dcop.solve mna in
+  let ops = Engine.Dcop.device_ops op in
+  let gm =
+    match List.assoc "Q1" ops with
+    | Engine.Dcop.Op_bjt { gm; _ } -> gm
+    | _ -> Alcotest.fail "Q1 not a BJT"
+  in
+  let ac = Engine.Ac.run_compiled ~op ~sweep:(Numerics.Sweep.List [| 1e3 |]) mna in
+  let vout = Engine.Ac.v ac "vc" in
+  let gain = Numerics.Cx.mag vout.Engine.Waveform.Freq.h.(0) /. 1e-3 in
+  check_close "CE gain = gm*RC" (gm *. 1e3) gain ~tol:1e-3;
+  (* The common-emitter stage inverts: phase must be 180, not 0 — this
+     pins the direction of the linearised transconductance stamps. *)
+  check_close "CE phase = 180 deg" 180.
+    (Float.abs (Numerics.Cx.phase_deg vout.Engine.Waveform.Freq.h.(0)))
+    ~tol:1e-3
+
+let test_mos_cs_ac_phase () =
+  (* NMOS common-source: inverting at low frequency; the pole from an
+     explicit load capacitor must produce lagging (negative-going) phase. *)
+  let c = Netlist.empty ~title:"cs amp" () in
+  let c = Netlist.vsource c "VDD" "vdd" "0" (Netlist.dc_source 5.) in
+  let c = Netlist.vsource c "VG" "g" "0" (Netlist.ac_source ~dc:2. 1e-3) in
+  let c = Netlist.resistor c "RD" "vdd" "d" 10e3 in
+  let c = Netlist.capacitor c "CD" "d" "0" 1e-9 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "MN"; kind = Netlist.Nmos;
+        params = [ ("kp", 100e-6); ("vto", 1.) ] }
+  in
+  let c = Netlist.mosfet ~w:10e-6 ~l:10e-6 c "M1" ~d:"d" ~g:"g" ~s:"0" ~b:"0" "MN" in
+  let fp = 1. /. (2. *. Float.pi *. 10e3 *. 1e-9) in
+  let ac = Engine.Ac.run ~sweep:(Numerics.Sweep.List [| fp /. 100.; fp |]) c in
+  let vout = Engine.Ac.v ac "d" in
+  let ph0 = Numerics.Cx.phase_deg vout.Engine.Waveform.Freq.h.(0) in
+  let php = Numerics.Cx.phase_deg vout.Engine.Waveform.Freq.h.(1) in
+  check_close "inverting at low f" 180. (Float.abs ph0) ~tol:1e-2;
+  (* At the pole the phase lags 45 degrees from 180: 135 in magnitude. *)
+  check_close "lagging pole" 135. (Float.abs php) ~tol:1e-2
+
+(* Random one-port impedance trees: the circuit-level AC solution must
+   match the impedance evaluated by independent recursive complex
+   arithmetic. (Composing the trees as rational polynomials in s instead
+   is numerically hopeless at physical component scales — the coefficient
+   ranges exhaust double precision by degree six — which is precisely why
+   simulators solve the complex system rather than build symbolic
+   transfer functions.) *)
+type zt = Zr of float | Zl of float | Zc of float | Zser of zt * zt
+        | Zpar of zt * zt
+
+let rec z_eval tree s =
+  let open Numerics.Cx in
+  match tree with
+  | Zr r -> of_float r
+  | Zl l -> scale l s
+  | Zc c -> inv (scale c s)
+  | Zser (a, b) -> z_eval a s +: z_eval b s
+  | Zpar (a, b) ->
+    let za = z_eval a s and zb = z_eval b s in
+    za *: zb /: (za +: zb)
+
+(* Build the same one-port between [top] and ground in a netlist. *)
+let rec z_build c counter tree top bot =
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  match tree with
+  | Zr r -> Netlist.resistor c (fresh "R") top bot r
+  | Zl l -> Netlist.inductor c (fresh "L") top bot l
+  | Zc cap -> Netlist.capacitor c (fresh "C") top bot cap
+  | Zser (a, b) ->
+    let mid = fresh "n" in
+    let c = z_build c counter a top mid in
+    z_build c counter b mid bot
+  | Zpar (a, b) ->
+    let c = z_build c counter a top bot in
+    z_build c counter b top bot
+
+let rec gen_tree st depth =
+  if depth = 0 || Random.State.int st 3 = 0 then
+    match Random.State.int st 3 with
+    | 0 -> Zr (10. ** (1. +. Random.State.float st 4.))
+    | 1 -> Zl (10. ** (-6. +. Random.State.float st 3.))
+    | _ -> Zc (10. ** (-12. +. Random.State.float st 4.))
+  else if Random.State.int st 2 = 0 then
+    Zser (gen_tree st (depth - 1), gen_tree st (depth - 1))
+  else Zpar (gen_tree st (depth - 1), gen_tree st (depth - 1))
+
+(* Inductor loops (two DC shorts in parallel) make the MNA matrix
+   genuinely singular — the same circuits real simulators reject — so
+   degenerate trees are excluded from generation. *)
+let rec dc_short = function
+  | Zr _ | Zc _ -> false
+  | Zl _ -> true
+  | Zser (a, b) -> dc_short a && dc_short b
+  | Zpar (a, b) -> dc_short a || dc_short b
+
+let rec has_inductor_loop = function
+  | Zr _ | Zl _ | Zc _ -> false
+  | Zser (a, b) -> has_inductor_loop a || has_inductor_loop b
+  | Zpar (a, b) ->
+    (dc_short a && dc_short b) || has_inductor_loop a
+    || has_inductor_loop b
+
+(* A tree with no DC path to ground (all-capacitive) or no resistance can
+   make the probe degenerate; wrap with a large shunt R to keep the one
+   port well-posed without disturbing mid-band values. *)
+let prop_one_port_impedance =
+  QCheck.Test.make ~name:"random one-port: circuit AC = symbolic Z(s)"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 2024 |] in
+      let tree = gen_tree st 3 in
+      QCheck.assume (not (has_inductor_loop tree));
+      let rbig = 1e9 in
+      let c = Netlist.empty ~title:"one-port" () in
+      let c = Netlist.resistor c "RBIG" "p" "0" rbig in
+      let counter = ref 0 in
+      let c = z_build c counter tree "p" "0" in
+      let mna = Engine.Mna.compile c in
+      let op = Engine.Dcop.solve mna in
+      let ip = Engine.Mna.node_index mna "p" in
+      List.for_all
+        (fun f ->
+          (* gmin would shunt every node with 1e-12 S, which the symbolic
+             reference does not model; make it negligible. *)
+          let lu =
+            Engine.Ac.factor_at ~gmin:1e-21 ~op
+              ~omega:(2. *. Float.pi *. f) mna
+          in
+          let b = Array.make mna.Engine.Mna.size Numerics.Cx.zero in
+          b.(ip) <- Numerics.Cx.one;
+          let z_circ = (Numerics.Cmat.lu_solve lu b).(ip) in
+          let s = Numerics.Cx.j_omega (2. *. Float.pi *. f) in
+          let z_sym = z_eval (Zpar (tree, Zr rbig)) s in
+          Numerics.Cx.close ~tol:3e-7 z_circ z_sym)
+        [ 10.; 1e3; 1e5; 1e7 ])
+
+(* ---------- transient ---------- *)
+
+let test_rc_charge_transient () =
+  let r = 1e3 and cap = 1e-6 in
+  let tau = r *. cap in
+  let c = Netlist.empty ~title:"rc tran" () in
+  let c =
+    Netlist.vsource c "V1" "in" "0"
+      (Netlist.wave_source
+         (Netlist.Pulse { v1 = 0.; v2 = 1.; delay = 0.; rise = 1e-9;
+                          fall = 1e-9; width = 1.; period = 0. }))
+  in
+  let c = Netlist.resistor c "R1" "in" "out" r in
+  let c = Netlist.capacitor c "C1" "out" "0" cap in
+  let res = Engine.Transient.run ~tstop:(5. *. tau) ~tstep:(tau /. 200.) c in
+  let w = Engine.Transient.v res "out" in
+  [ 0.5; 1.; 2.; 4. ]
+  |> List.iter (fun mult ->
+      let t = mult *. tau in
+      let expected = 1. -. exp (-.t /. tau) in
+      check_close
+        (Printf.sprintf "v(out) at %g tau" mult)
+        expected
+        (Engine.Waveform.Real.value_at w t)
+        ~tol:5e-3)
+
+let test_lc_oscillation_transient () =
+  (* Underdamped series RLC step: ringing frequency ~ damped natural
+     frequency; overshoot matches the zeta formula. *)
+  let r = 20. and l = 1e-3 and cap = 1e-9 in
+  let c = Netlist.empty ~title:"rlc tran" () in
+  let c =
+    Netlist.vsource c "V1" "in" "0"
+      (Netlist.wave_source
+         (Netlist.Pulse { v1 = 0.; v2 = 1.; delay = 0.; rise = 1e-9;
+                          fall = 1e-9; width = 1.; period = 0. }))
+  in
+  let c = Netlist.resistor c "R1" "in" "a" r in
+  let c = Netlist.inductor c "L1" "a" "b" l in
+  let c = Netlist.capacitor c "C1" "b" "0" cap in
+  let w0 = 1. /. sqrt (l *. cap) in
+  let zeta = r /. 2. *. sqrt (cap /. l) in
+  let t_end = 20. /. (zeta *. w0) in
+  let res = Engine.Transient.run ~tstop:t_end ~tstep:(1e-2 /. w0) c in
+  let w = Engine.Transient.v res "b" in
+  let m = Engine.Measure.step_metrics ~initial:0. ~final:1. w in
+  let overshoot_expected =
+    100. *. exp (-.Float.pi *. zeta /. sqrt (1. -. (zeta *. zeta)))
+  in
+  check_close "overshoot" overshoot_expected m.overshoot_pct ~tol:2e-2
+
+(* ---------- noise ---------- *)
+
+let test_noise_divider () =
+  (* Two equal resistors to a stiff source: S_out = 4kT (R1 || R2). *)
+  let c = Netlist.empty ~title:"div" () in
+  let c = Netlist.vsource c "V1" "in" "0" (Netlist.dc_source 1.) in
+  let c = Netlist.resistor c "R1" "in" "out" 2e3 in
+  let c = Netlist.resistor c "R2" "out" "0" 2e3 in
+  let r =
+    Engine.Noise.run ~sweep:(Numerics.Sweep.List [| 1e3 |]) ~output:"out" c
+  in
+  let kt = Devices.Const.boltzmann *. Devices.Const.kelvin_of_celsius 27. in
+  check_close ~tol:1e-6 "4kT(R1||R2)" (4. *. kt *. 1e3)
+    r.Engine.Noise.total.(0)
+
+let test_noise_ktc () =
+  (* The classic: total output noise of an RC filter is kT/C, independent
+     of R. *)
+  List.iter
+    (fun rval ->
+      let cval = 1e-9 in
+      let circ = Workloads.Filters.rc_lowpass ~r:rval ~c:cval () in
+      let fc = Workloads.Filters.rc_lowpass_pole ~r:rval ~c:cval () in
+      let res =
+        Engine.Noise.run
+          ~sweep:(Numerics.Sweep.decade (fc /. 1e4) (fc *. 1e4) 40)
+          ~output:"out" circ
+      in
+      let kt = Devices.Const.boltzmann *. Devices.Const.kelvin_of_celsius 27. in
+      check_close ~tol:2e-3
+        (Printf.sprintf "kT/C with R=%g" rval)
+        (sqrt (kt /. cval))
+        (Engine.Noise.total_rms res))
+    [ 100.; 10e3 ]
+
+let test_noise_flicker_corner () =
+  (* With kf set, the 1/f term must dominate at low frequency and vanish
+     at high frequency. *)
+  let c = Netlist.empty ~title:"flicker" () in
+  let c = Netlist.vsource c "VCC" "vcc" "0" (Netlist.dc_source 5.) in
+  let c = Netlist.resistor c "RC" "vcc" "out" 10e3 in
+  (* The base must not be pinned by the ideal source, or base-current
+     noise has no transfer to the output. *)
+  let c = Netlist.vsource c "VB" "vb" "0" (Netlist.dc_source 0.68) in
+  let c = Netlist.resistor c "RB" "vb" "b" 10e3 in
+  let c =
+    Netlist.add_model c
+      { Netlist.model_name = "QF"; kind = Netlist.Npn;
+        params = [ ("is", 1e-16); ("bf", 100.); ("kf", 1e-12); ("af", 1.) ] }
+  in
+  let c = Netlist.bjt c "Q1" ~c:"out" ~b:"b" ~e:"0" "QF" in
+  let r =
+    Engine.Noise.run ~sweep:(Numerics.Sweep.List [| 1.; 1e6 |]) ~output:"out" c
+  in
+  let flicker_share k =
+    let fl =
+      List.find_map
+        (fun (co : Engine.Noise.contribution) ->
+          if co.Engine.Noise.kind = "flicker" then
+            Some co.Engine.Noise.psd.(k)
+          else None)
+        r.Engine.Noise.contributions
+      |> Option.get
+    in
+    fl /. r.Engine.Noise.total.(k)
+  in
+  Alcotest.(check bool) "flicker dominates at 1 Hz" true
+    (flicker_share 0 > 0.9);
+  Alcotest.(check bool) "flicker minor at 1 MHz" true
+    (flicker_share 1 < 0.2)
+
+(* ---------- poles ---------- *)
+
+let test_poles_rlc () =
+  let fn, zeta = Workloads.Filters.parallel_rlc_theory () in
+  let poles = Engine.Poles.of_circuit (Workloads.Filters.parallel_rlc ()) in
+  match Engine.Poles.complex_pairs poles with
+  | [ p ] ->
+    check_close ~tol:1e-6 "pole frequency" fn p.Engine.Poles.freq_hz;
+    check_close ~tol:1e-6 "pole damping" zeta p.Engine.Poles.zeta
+  | l -> Alcotest.failf "expected 1 complex pair, got %d" (List.length l)
+
+let test_poles_rc_chain () =
+  (* Three cascaded (buffered) RC sections: three real poles at their
+     1/(2 pi RC) frequencies, no complex pairs. *)
+  let open Netlist in
+  let c = empty ~title:"rc chain" () in
+  let c = vsource c "V1" "in" "0" (ac_source 1.) in
+  let add c k r cap inn out =
+    let c = resistor c (Printf.sprintf "R%d" k) inn (out ^ "i") r in
+    let c = capacitor c (Printf.sprintf "C%d" k) (out ^ "i") "0" cap in
+    vcvs c (Printf.sprintf "E%d" k) out "0" (out ^ "i") "0" 1.
+  in
+  let c = add c 1 1e3 1e-9 "in" "a" in
+  let c = add c 2 1e3 1e-10 "a" "b" in
+  let c = add c 3 1e3 1e-11 "b" "c" in
+  let poles = Engine.Poles.of_circuit c in
+  Alcotest.(check int) "no complex pairs" 0
+    (List.length (Engine.Poles.complex_pairs poles));
+  let freqs =
+    List.map (fun p -> p.Engine.Poles.freq_hz) poles |> List.sort compare
+  in
+  let expected =
+    List.map
+      (fun cap -> 1. /. (2. *. Float.pi *. 1e3 *. cap))
+      [ 1e-9; 1e-10; 1e-11 ]
+    |> List.sort compare
+  in
+  List.iter2 (fun e g -> check_close ~tol:1e-6 "pole freq" e g) expected freqs
+
+let test_poles_detect_rhp () =
+  (* A negative-resistance tank has right-half-plane poles. *)
+  let open Netlist in
+  let c = empty ~title:"rhp" () in
+  let c = inductor c "L1" "n" "0" 1e-6 in
+  let c = capacitor c "C1" "n" "0" 1e-9 in
+  (* VCCS implementing -1/200 S across its own port. *)
+  let c = vccs c "GNEG" "n" "0" "n" "0" (-5e-3) in
+  let poles = Engine.Poles.of_circuit c in
+  Alcotest.(check bool) "unstable detected" false (Engine.Poles.is_stable poles)
+
+let test_adaptive_rc_accuracy () =
+  (* Adaptive integration of the RC charge matches the exponential. *)
+  let r = 1e3 and cap = 1e-6 in
+  let tau = r *. cap in
+  let c = Netlist.empty ~title:"rc tran" () in
+  let c =
+    Netlist.vsource c "V1" "in" "0"
+      (Netlist.wave_source
+         (Netlist.Pulse { v1 = 0.; v2 = 1.; delay = 0.; rise = 1e-9;
+                          fall = 1e-9; width = 1.; period = 0. }))
+  in
+  let c = Netlist.resistor c "R1" "in" "out" r in
+  let c = Netlist.capacitor c "C1" "out" "0" cap in
+  let res =
+    Engine.Transient.run_adaptive ~tstop:(5. *. tau)
+      ~dt_start:(tau /. 1000.) ~lte_tol:1e-4 c
+  in
+  let w = Engine.Transient.v res "out" in
+  List.iter
+    (fun mult ->
+      let t = mult *. tau in
+      check_close ~tol:2e-3
+        (Printf.sprintf "adaptive v(out) at %g tau" mult)
+        (1. -. exp (-.t /. tau))
+        (Engine.Waveform.Real.value_at w t))
+    [ 0.5; 1.; 2.; 4. ]
+
+let test_adaptive_cheaper_same_answer () =
+  (* On the ringing RLC the adaptive driver needs far fewer points for the
+     same overshoot measurement. *)
+  let circ = Workloads.Filters.series_rlc_step () in
+  let _, zeta = Workloads.Filters.series_rlc_theory () in
+  let fixed = Engine.Transient.run ~tstop:60e-6 ~tstep:10e-9 circ in
+  let adap =
+    Engine.Transient.run_adaptive ~tstop:60e-6 ~dt_start:10e-9
+      ~lte_tol:2e-4 circ
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer points (%d vs %d)"
+       (Array.length adap.Engine.Transient.times)
+       (Array.length fixed.Engine.Transient.times))
+    true
+    (Array.length adap.Engine.Transient.times
+     < Array.length fixed.Engine.Transient.times / 3);
+  let os r =
+    (Engine.Measure.step_metrics ~initial:0. ~final:1.
+       (Engine.Transient.v r "b"))
+      .Engine.Measure.overshoot_pct
+  in
+  let expected =
+    100. *. exp (-.Float.pi *. zeta /. sqrt (1. -. (zeta *. zeta)))
+  in
+  check_close ~tol:2e-2 "fixed overshoot" expected (os fixed);
+  check_close ~tol:2e-2 "adaptive overshoot" expected (os adap)
+
+(* ---------- mutual inductance ---------- *)
+
+let double_tuned ~k =
+  let l = 1e-6 and cap = 1e-9 and r = 3e3 in
+  let c = Netlist.empty ~title:"double tuned" () in
+  let c = Netlist.inductor c "L1" "n1" "0" l in
+  let c = Netlist.capacitor c "C1" "n1" "0" cap in
+  let c = Netlist.resistor c "R1" "n1" "0" r in
+  let c = Netlist.inductor c "L2" "n2" "0" l in
+  let c = Netlist.capacitor c "C2" "n2" "0" cap in
+  let c = Netlist.resistor c "R2" "n2" "0" r in
+  let c = Netlist.mutual c "K1" ~l1:"L1" ~l2:"L2" ~k in
+  (c, 1. /. (2. *. Float.pi *. sqrt (l *. cap)))
+
+let test_mutual_split_modes () =
+  (* Two identical coupled tanks split into modes at f0/sqrt(1 +/- k). *)
+  let k = 0.2 in
+  let circ, f0 = double_tuned ~k in
+  let pairs = Engine.Poles.complex_pairs (Engine.Poles.of_circuit circ) in
+  match pairs with
+  | [ lo; hi ] ->
+    check_close ~tol:1e-4 "lower mode" (f0 /. sqrt (1. +. k))
+      lo.Engine.Poles.freq_hz;
+    check_close ~tol:1e-4 "upper mode" (f0 /. sqrt (1. -. k))
+      hi.Engine.Poles.freq_hz
+  | l -> Alcotest.failf "expected 2 pairs, got %d" (List.length l)
+
+let test_mutual_stability_plot_sees_both () =
+  let k = 0.2 in
+  let circ, f0 = double_tuned ~k in
+  let res = Stability.Analysis.single_node circ "n1" in
+  let pole_freqs =
+    res.Stability.Analysis.peaks
+    |> List.filter (fun (p : Stability.Peaks.peak) ->
+        p.kind = Stability.Peaks.Complex_pole)
+    |> List.map (fun (p : Stability.Peaks.peak) -> p.Stability.Peaks.freq)
+    |> List.sort compare
+  in
+  match pole_freqs with
+  | [ lo; hi ] ->
+    check_close ~tol:2e-3 "plot lower mode" (f0 /. sqrt (1. +. k)) lo;
+    check_close ~tol:2e-3 "plot upper mode" (f0 /. sqrt (1. -. k)) hi
+  | l -> Alcotest.failf "expected 2 pole peaks, got %d" (List.length l)
+
+let test_mutual_transient_coupling () =
+  (* Drive tank 1 with a step; energy must appear in tank 2 only through
+     the coupling (k = 0 keeps it silent). *)
+  let build k =
+    let circ, _ = double_tuned ~k in
+    let circ = Netlist.remove_device circ "R1" in
+    let circ =
+      Netlist.vsource circ "VS" "drive" "0"
+        (Netlist.wave_source
+           (Netlist.Pulse { v1 = 0.; v2 = 1.; delay = 0.; rise = 1e-9;
+                            fall = 1e-9; width = 1.; period = 0. }))
+    in
+    Netlist.resistor circ "RS" "drive" "n1" 1e3
+  in
+  let swing k =
+    let tr = Engine.Transient.run ~tstop:2e-6 ~tstep:1e-9 (build k) in
+    let w = Engine.Transient.v tr "n2" in
+    let _, hi = Engine.Waveform.Real.maximum w in
+    let _, lo = Engine.Waveform.Real.minimum w in
+    hi -. lo
+  in
+  let coupled = swing 0.3 in
+  let uncoupled = swing 1e-6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "coupling transfers energy (%.3g vs %.3g)" coupled
+       uncoupled)
+    true
+    (coupled > 50. *. uncoupled && coupled > 0.05)
+
+(* ---------- loop gain ---------- *)
+
+(* Reference loop: VCVS gain A with two RC poles, unity feedback via an
+   explicit wire we can break. A unity buffer between the RC stages removes
+   inter-stage loading so L(s) = A / ((1+s/p1)(1+s/p2)) holds exactly. *)
+let two_pole_loop ~gain_a ~r1 ~c1 ~r2 ~c2 =
+  let open Netlist in
+  let c = empty ~title:"two-pole loop" () in
+  (* error amp: e = A*(vin - fb) built as VCVS with differential input *)
+  let c = vsource c "VIN" "in" "0" (ac_source 0.) in
+  let c = vcvs c "EAMP" "x1" "0" "in" "fb" gain_a in
+  let c = resistor c "R1" "x1" "x2" r1 in
+  let c = capacitor c "C1" "x2" "0" c1 in
+  let c = vcvs c "EBUF" "x2b" "0" "x2" "0" 1. in
+  let c = resistor c "R2" "x2b" "x3" r2 in
+  let c = capacitor c "C2" "x3" "0" c2 in
+  (* feedback wire: a 0-ohm-ish resistor we can break at terminal 0 *)
+  let c = resistor c "RFB" "x3" "fb" 1e-3 in
+  let c = resistor c "RLOAD" "fb" "0" 1e12 in
+  c
+
+let analytic_two_pole ~gain_a ~p1 ~p2 f =
+  let open Numerics.Cx in
+  let s = j_omega (2. *. Float.pi *. f) in
+  let den1 = one +: scale (1. /. (2. *. Float.pi *. p1)) s in
+  let den2 = one +: scale (1. /. (2. *. Float.pi *. p2)) s in
+  of_float gain_a /: (den1 *: den2)
+
+let test_loopgain_methods_agree () =
+  let gain_a = 1000. and r1 = 1e3 and c1 = 1e-9 and r2 = 10e3 and c2 = 10e-12 in
+  let p1 = 1. /. (2. *. Float.pi *. r1 *. c1) in
+  let p2 = 1. /. (2. *. Float.pi *. r2 *. c2) in
+  let circ = two_pole_loop ~gain_a ~r1 ~c1 ~r2 ~c2 in
+  let sweep = Numerics.Sweep.decade 1e3 1e9 10 in
+  (* Break at the VCVS inverting control input (terminal 3 = cneg = fb):
+     that input draws no current, an ideal unilateral high-impedance
+     point. *)
+  let lc = Engine.Loopgain.lc_break ~sweep circ ~device:"EAMP" ~terminal:3 in
+  let mb = Engine.Loopgain.middlebrook ~sweep circ ~device:"EAMP" ~terminal:3 in
+  Array.iteri
+    (fun k f ->
+      let expected = analytic_two_pole ~gain_a ~p1 ~p2 f in
+      let got_lc = lc.Engine.Loopgain.loop_gain.Engine.Waveform.Freq.h.(k) in
+      let got_mb = mb.Engine.Loopgain.loop_gain.Engine.Waveform.Freq.h.(k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "lc-break matches analytic at %g Hz" f)
+        true
+        (Numerics.Cx.close ~tol:1e-3 expected got_lc);
+      Alcotest.(check bool)
+        (Printf.sprintf "middlebrook matches analytic at %g Hz" f)
+        true
+        (Numerics.Cx.close ~tol:1e-3 expected got_mb))
+    lc.Engine.Loopgain.freqs
+
+let test_loopgain_margins () =
+  (* Place the second pole at the unity crossover: PM ~ 52 degrees
+     (one-pole rolloff to crossover at A*p1 with 45 deg extra lag). *)
+  let gain_a = 100. and r1 = 1e3 and c1 = 1.59e-7 and r2 = 1e3 in
+  let p1 = 1. /. (2. *. Float.pi *. r1 *. c1) in
+  (* unity crossover of one-pole loop ~ A*p1 = 100 kHz *)
+  let fu = gain_a *. p1 in
+  let c2 = 1. /. (2. *. Float.pi *. r2 *. fu) in
+  let circ = two_pole_loop ~gain_a ~r1 ~c1 ~r2 ~c2 in
+  let sweep = Numerics.Sweep.decade 10. 1e8 50 in
+  let mb = Engine.Loopgain.middlebrook ~sweep circ ~device:"EAMP" ~terminal:3 in
+  let m = Engine.Loopgain.margins mb in
+  (match m.Engine.Measure.phase_margin_deg with
+   | Some pm -> Alcotest.(check bool)
+                  (Printf.sprintf "PM ~ 45-55 deg, got %g" pm)
+                  true (pm > 40. && pm < 60.)
+   | None -> Alcotest.fail "no phase margin found")
+
+let () =
+  Alcotest.run "engine"
+    [ ("dc",
+       [ Alcotest.test_case "resistive divider" `Quick test_divider;
+         Alcotest.test_case "controlled sources" `Quick
+           test_dc_controlled_sources;
+         Alcotest.test_case "diode clamp" `Quick test_diode_clamp;
+         Alcotest.test_case "bjt bias" `Quick test_bjt_bias;
+         Alcotest.test_case "pnp bias" `Quick test_pnp_bias;
+         Alcotest.test_case "nmos bias" `Quick test_nmos_bias;
+         Alcotest.test_case "homotopy fallbacks" `Quick
+           test_homotopy_paths_reach_same_op ]);
+      ("ac",
+       [ Alcotest.test_case "rc lowpass" `Quick test_rc_lowpass_ac;
+         Alcotest.test_case "rlc resonance" `Quick test_rlc_resonance;
+         Alcotest.test_case "bjt ce gain" `Quick test_bjt_amp_ac_gain;
+         Alcotest.test_case "mos cs phase sign" `Quick
+           test_mos_cs_ac_phase ]);
+      ( "one-port-props",
+        List.map QCheck_alcotest.to_alcotest [ prop_one_port_impedance ] );
+      ("transient",
+       [ Alcotest.test_case "rc charge" `Quick test_rc_charge_transient;
+         Alcotest.test_case "rlc ringing" `Quick
+           test_lc_oscillation_transient ]);
+      ("noise",
+       [ Alcotest.test_case "divider 4kT(R1||R2)" `Quick test_noise_divider;
+         Alcotest.test_case "kT/C" `Quick test_noise_ktc;
+         Alcotest.test_case "flicker corner" `Quick
+           test_noise_flicker_corner ]);
+      ("poles",
+       [ Alcotest.test_case "rlc pair" `Quick test_poles_rlc;
+         Alcotest.test_case "rc chain real poles" `Quick
+           test_poles_rc_chain;
+         Alcotest.test_case "rhp detection" `Quick test_poles_detect_rhp ]);
+      ("adaptive",
+       [ Alcotest.test_case "rc accuracy" `Quick test_adaptive_rc_accuracy;
+         Alcotest.test_case "cheaper, same answer" `Quick
+           test_adaptive_cheaper_same_answer ]);
+      ("mutual",
+       [ Alcotest.test_case "split modes (poles)" `Quick
+           test_mutual_split_modes;
+         Alcotest.test_case "split modes (stability plot)" `Quick
+           test_mutual_stability_plot_sees_both;
+         Alcotest.test_case "transient coupling" `Quick
+           test_mutual_transient_coupling ]);
+      ("loopgain",
+       [ Alcotest.test_case "methods agree on two-pole loop" `Quick
+           test_loopgain_methods_agree;
+         Alcotest.test_case "margins" `Quick test_loopgain_margins ]) ]

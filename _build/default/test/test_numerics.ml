@@ -1,0 +1,567 @@
+(* Numerics substrate: linear algebra, polynomials, derivatives, peaks. *)
+
+open Numerics
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+(* ---------- engineering notation ---------- *)
+
+let test_engnum_parse () =
+  let cases =
+    [ ("1k", 1e3); ("2.2k", 2.2e3); ("10meg", 1e7); ("0.5u", 0.5e-6);
+      ("3p", 3e-12); ("1e-12", 1e-12); ("-4.7n", -4.7e-9); ("100", 100.);
+      ("1.5K", 1.5e3); ("10kohm", 1e4); ("2m", 2e-3); ("3f", 3e-15);
+      ("1g", 1e9); ("0.1", 0.1); ("5e3", 5e3); ("1E6", 1e6) ]
+  in
+  List.iter
+    (fun (s, v) ->
+      match Engnum.parse s with
+      | Some got -> check_close ("parse " ^ s) v got
+      | None -> Alcotest.failf "parse %S returned None" s)
+    cases;
+  Alcotest.(check (option (float 0.))) "garbage" None (Engnum.parse "abc");
+  Alcotest.(check (option (float 0.))) "empty" None (Engnum.parse "")
+
+let test_engnum_roundtrip () =
+  List.iter
+    (fun v ->
+      let s = Engnum.format v in
+      match Engnum.parse s with
+      | Some got -> check_close ~tol:1e-3 ("roundtrip " ^ s) v got
+      | None -> Alcotest.failf "roundtrip: %S unparseable" s)
+    [ 1e3; 3.3e-12; 2.5e6; -4.7e-9; 0.15; 1e9; 123.45; 1e-15 ]
+
+(* ---------- dense LU ---------- *)
+
+let test_lu_known () =
+  let a = Rmat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Rmat.solve a [| 5.; 10. |] in
+  check_close "x0" 1. x.(0);
+  check_close "x1" 3. x.(1)
+
+let test_lu_pivoting () =
+  (* Leading zero forces a row swap. *)
+  let a = Rmat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Rmat.solve a [| 2.; 3. |] in
+  check_close "x0" 3. x.(0);
+  check_close "x1" 2. x.(1)
+
+let test_lu_singular () =
+  let a = Rmat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Dense.Singular 1) (fun () ->
+      ignore (Rmat.solve a [| 1.; 1. |]))
+
+let prop_lu_random =
+  QCheck.Test.make ~name:"LU solves random diagonally-dominant systems"
+    ~count:200
+    QCheck.(pair (int_range 1 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let a =
+        Rmat.init n n (fun i j ->
+            let v = Random.State.float st 2. -. 1. in
+            if i = j then v +. (4. *. float_of_int n) else v)
+      in
+      let b = Array.init n (fun _ -> Random.State.float st 10. -. 5.) in
+      let x = Rmat.solve a b in
+      Rmat.residual_inf a x b < 1e-9)
+
+let prop_complex_lu_random =
+  QCheck.Test.make ~name:"complex LU solves random systems" ~count:200
+    QCheck.(pair (int_range 1 10) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 7 |] in
+      let rnd () = Random.State.float st 2. -. 1. in
+      let a =
+        Cmat.init n n (fun i j ->
+            let z = { Complex.re = rnd (); im = rnd () } in
+            if i = j then Complex.add z { Complex.re = 4. *. float_of_int n; im = 0. }
+            else z)
+      in
+      let b = Array.init n (fun _ -> { Complex.re = rnd (); im = rnd () }) in
+      let x = Cmat.solve a b in
+      Cmat.residual_inf a x b < 1e-9)
+
+(* ---------- sparse LU ---------- *)
+
+let random_sparse_system st n =
+  (* Diagonally dominant with ~4 off-diagonal entries per column. *)
+  let triplets = ref [] in
+  for j = 0 to n - 1 do
+    triplets := (j, j, 8. +. Random.State.float st 4.) :: !triplets;
+    for _ = 1 to 4 do
+      let i = Random.State.int st n in
+      if i <> j then
+        triplets := (i, j, Random.State.float st 2. -. 1.) :: !triplets
+    done
+  done;
+  !triplets
+
+let prop_sparse_lu_random =
+  QCheck.Test.make ~name:"sparse LU solves random systems" ~count:100
+    QCheck.(pair (int_range 2 60) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 31 |] in
+      let triplets = random_sparse_system st n in
+      let a = Srmat.of_triplets ~rows:n ~cols:n triplets in
+      let b = Array.init n (fun _ -> Random.State.float st 10. -. 5.) in
+      let x = Srmat.lu_solve (Srmat.lu_factor a) b in
+      Srmat.residual_inf a x b < 1e-9)
+
+let prop_sparse_matches_dense =
+  QCheck.Test.make ~name:"sparse and dense LU agree" ~count:60
+    QCheck.(pair (int_range 2 25) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 47 |] in
+      let triplets = random_sparse_system st n in
+      let a_sp = Srmat.of_triplets ~rows:n ~cols:n triplets in
+      let a_d = Rmat.create n n in
+      List.iter (fun (i, j, v) -> Rmat.add_to a_d i j v) triplets;
+      let b = Array.init n (fun _ -> Random.State.float st 2.) in
+      let xs = Srmat.lu_solve (Srmat.lu_factor a_sp) b in
+      let xd = Rmat.solve a_d b in
+      Vec.all_close ~tol:1e-9 xs xd)
+
+let prop_sparse_complex =
+  QCheck.Test.make ~name:"sparse complex LU" ~count:60
+    QCheck.(pair (int_range 2 40) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 53 |] in
+      let rnd () = Random.State.float st 2. -. 1. in
+      let triplets = ref [] in
+      for j = 0 to n - 1 do
+        triplets :=
+          (j, j, { Complex.re = 8. +. Random.State.float st 2.; im = rnd () })
+          :: !triplets;
+        for _ = 1 to 3 do
+          let i = Random.State.int st n in
+          if i <> j then
+            triplets := (i, j, { Complex.re = rnd (); im = rnd () })
+              :: !triplets
+        done
+      done;
+      let a = Scmat.of_triplets ~rows:n ~cols:n !triplets in
+      let b = Array.init n (fun _ -> { Complex.re = rnd (); im = rnd () }) in
+      let x = Scmat.lu_solve (Scmat.lu_factor a) b in
+      Scmat.residual_inf a x b < 1e-9)
+
+let test_sparse_needs_pivoting () =
+  (* Zero diagonal forces row exchanges. *)
+  let a =
+    Srmat.of_triplets ~rows:2 ~cols:2 [ (0, 1, 1.); (1, 0, 1.) ]
+  in
+  let x = Srmat.lu_solve (Srmat.lu_factor a) [| 2.; 3. |] in
+  check_close "x0" 3. x.(0);
+  check_close "x1" 2. x.(1)
+
+let test_sparse_singular () =
+  let a =
+    Srmat.of_triplets ~rows:2 ~cols:2
+      [ (0, 0, 1.); (0, 1, 2.); (1, 0, 2.); (1, 1, 4.) ]
+  in
+  Alcotest.(check bool) "singular detected" true
+    (try ignore (Srmat.lu_factor a); false with Sparse.Singular _ -> true)
+
+let test_sparse_duplicates_summed () =
+  let a =
+    Srmat.of_triplets ~rows:1 ~cols:1 [ (0, 0, 1.); (0, 0, 2.) ]
+  in
+  Alcotest.(check int) "one entry" 1 (Srmat.nnz a);
+  let x = Srmat.lu_solve (Srmat.lu_factor a) [| 6. |] in
+  check_close "summed" 2. x.(0)
+
+(* ---------- polynomials ---------- *)
+
+let test_poly_eval () =
+  (* p(s) = 1 + 2s + 3s^2 at s = 2 -> 17 *)
+  let p = Poly.of_real_coeffs [| 1.; 2.; 3. |] in
+  let v = Poly.eval p (Cx.of_float 2.) in
+  check_close "eval" 17. v.Complex.re;
+  check_close "eval imag" 0. v.Complex.im
+
+let test_poly_arith () =
+  let a = Poly.of_real_coeffs [| 1.; 1. |] in
+  (* (1+s)^2 = 1 + 2s + s^2 *)
+  let sq = Poly.mul a a in
+  Alcotest.(check bool) "square" true
+    (Poly.equal sq (Poly.of_real_coeffs [| 1.; 2.; 1. |]));
+  let d = Poly.derivative sq in
+  Alcotest.(check bool) "derivative" true
+    (Poly.equal d (Poly.of_real_coeffs [| 2.; 2. |]))
+
+let test_poly_roots_known () =
+  (* roots of (s-1)(s-2)(s-3) *)
+  let p = Poly.from_roots (List.map Cx.of_float [ 1.; 2.; 3. ]) in
+  let roots = Poly.roots p |> List.map (fun z -> z.Complex.re)
+              |> List.sort compare in
+  match roots with
+  | [ a; b; c ] ->
+    check_close ~tol:1e-6 "root1" 1. a;
+    check_close ~tol:1e-6 "root2" 2. b;
+    check_close ~tol:1e-6 "root3" 3. c
+  | _ -> Alcotest.fail "expected 3 roots"
+
+let prop_poly_roots =
+  QCheck.Test.make ~name:"roots of polynomials built from random roots"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 13 |] in
+      (* Random complex roots in an annulus, kept apart for conditioning. *)
+      let rec gen acc k =
+        if k = 0 then acc
+        else begin
+          let z =
+            Cx.polar
+              (0.5 +. Random.State.float st 2.)
+              (Random.State.float st (2. *. Float.pi))
+          in
+          if List.exists (fun w -> Cx.mag (Complex.sub z w) < 0.3) acc then
+            gen acc k
+          else gen (z :: acc) (k - 1)
+        end
+      in
+      let roots = gen [] n in
+      let p = Poly.from_roots roots in
+      let found = Poly.roots p in
+      List.for_all
+        (fun r ->
+          List.exists (fun f -> Cx.mag (Complex.sub r f) < 1e-4) found)
+        roots)
+
+(* ---------- derivatives & stability function ---------- *)
+
+let test_deriv_polynomial_exact () =
+  (* d/dx of x^2 is exact for a 3-point parabola stencil. *)
+  let x = Vec.linspace 1. 5. 9 in
+  let y = Array.map (fun v -> v *. v) x in
+  let d = Deriv.first ~x ~y in
+  Array.iteri (fun k xv -> check_close "d(x^2)/dx" (2. *. xv) d.(k)) x;
+  let d2 = Deriv.second ~x ~y in
+  Array.iter (fun v -> check_close "d2(x^2)/dx2" 2. v) d2
+
+let test_deriv_nonuniform () =
+  let x = [| 1.; 1.5; 2.7; 3.1; 4.9; 5.0 |] in
+  let y = Array.map (fun v -> (3. *. v *. v) -. (2. *. v) +. 7.) x in
+  let d = Deriv.first ~x ~y in
+  Array.iteri
+    (fun k xv -> check_close "nonuniform parabola" ((6. *. xv) -. 2.) d.(k))
+    x
+
+let second_order_mag ~zeta x =
+  (* |T| of eq 1.2 at normalised frequency x = w/wn. *)
+  1. /. sqrt ((((1. -. (x *. x)) ** 2.) +. ((2. *. zeta *. x) ** 2.)))
+
+let test_stability_function_peak () =
+  (* Eq 1.4: P(wn) = -1/zeta^2 for the analytic second-order response. *)
+  List.iter
+    (fun zeta ->
+      let freq = Vec.logspace 0.01 100. 2001 in
+      let mag = Array.map (fun x -> second_order_mag ~zeta x) freq in
+      let p = Deriv.stability_function ~freq ~mag in
+      let i = Vec.argmin p in
+      check_close ~tol:2e-2
+        (Printf.sprintf "peak value (zeta=%g)" zeta)
+        (-1. /. (zeta *. zeta))
+        p.(i);
+      check_close ~tol:2e-2 (Printf.sprintf "peak freq (zeta=%g)" zeta) 1.
+        freq.(i))
+    [ 0.1; 0.2; 0.3; 0.5; 0.7 ]
+
+let test_stability_two_pass_agrees () =
+  let zeta = 0.25 in
+  let freq = Vec.logspace 0.01 100. 1501 in
+  let mag = Array.map (fun x -> second_order_mag ~zeta x) freq in
+  let a = Deriv.stability_function ~freq ~mag in
+  let b = Deriv.stability_function_two_pass ~freq ~mag in
+  (* The two discretisations differ at second order in the grid spacing;
+     at 150 points/decade they agree to within about 1 percent. End points
+     use one-sided stencils, so compare the interior. *)
+  for k = 2 to Array.length a - 3 do
+    check_close ~tol:2e-2 "two formulations agree" a.(k) b.(k)
+  done
+
+let prop_stability_eq14 =
+  QCheck.Test.make
+    ~name:"stability plot peak = -1/zeta^2 for random damping" ~count:60
+    QCheck.(float_range 0.08 0.9)
+    (fun zeta ->
+      let freq = Vec.logspace 0.005 200. 3001 in
+      let mag = Array.map (fun x -> second_order_mag ~zeta x) freq in
+      let p = Deriv.stability_function ~freq ~mag in
+      let i = Vec.argmin p in
+      let expected = -1. /. (zeta *. zeta) in
+      Float.abs (p.(i) -. expected) <= 0.03 *. Float.abs expected)
+
+(* ---------- peaks ---------- *)
+
+let test_peak_detection () =
+  let x = Vec.logspace 1. 1e4 400 in
+  (* A dip at 100 and a bump at 1000 on a flat baseline. *)
+  let y =
+    Array.map
+      (fun v ->
+        let lg = log10 v in
+        (-2. *. exp (-.((lg -. 2.) ** 2.) /. 0.01))
+        +. (1. *. exp (-.((lg -. 3.) ** 2.) /. 0.01)))
+      x
+  in
+  let peaks = Peak.find ~min_prominence:0.5 ~x ~y () in
+  (* The tail descending into the right boundary legitimately registers as
+     an edge minimum (the stability tool's "end-of-range" case); count the
+     interior extrema here. *)
+  let interior = List.filter (fun p -> not p.Peak.at_edge) peaks in
+  let minima = List.filter (fun p -> p.Peak.kind = Peak.Minimum) interior in
+  let maxima = List.filter (fun p -> p.Peak.kind = Peak.Maximum) interior in
+  (match minima with
+   | [ p ] ->
+     check_close ~tol:2e-2 "dip location" 100. p.Peak.x;
+     check_close ~tol:2e-2 "dip value" (-2.) p.Peak.y;
+     Alcotest.(check bool) "interior" false p.Peak.at_edge
+   | _ -> Alcotest.failf "expected 1 minimum, got %d" (List.length minima));
+  match maxima with
+  | [ p ] -> check_close ~tol:2e-2 "bump location" 1000. p.Peak.x
+  | _ -> Alcotest.failf "expected 1 maximum, got %d" (List.length maxima)
+
+let test_peak_at_edge () =
+  let x = Vec.logspace 1. 100. 50 in
+  let y = Array.map (fun v -> -.v) x in
+  let peaks = Peak.find ~x ~y () in
+  Alcotest.(check bool) "edge minimum flagged" true
+    (List.exists (fun p -> p.Peak.kind = Peak.Minimum && p.Peak.at_edge) peaks)
+
+let test_parabolic_refine () =
+  (* Vertex of y = (x-2)^2 + 1 from samples at 1, 2.5, 3. *)
+  let f x = ((x -. 2.) ** 2.) +. 1. in
+  let xv, yv =
+    Peak.refine_parabolic ~x0:1. ~y0:(f 1.) ~x1:2.5 ~y1:(f 2.5) ~x2:3.
+      ~y2:(f 3.)
+  in
+  check_close "vertex x" 2. xv;
+  check_close "vertex y" 1. yv
+
+(* ---------- eigenvalues ---------- *)
+
+let test_eigen_known () =
+  (* Block diagonal: eigenvalue 2 and the pair 3 +/- 4i. *)
+  let a =
+    Rmat.of_arrays
+      [| [| 2.; 0.; 0. |]; [| 0.; 3.; 4. |]; [| 0.; -4.; 3. |] |]
+  in
+  let eigs =
+    Eigen.eigenvalues a
+    |> List.sort (fun x y -> compare (x.Complex.re, x.Complex.im)
+                     (y.Complex.re, y.Complex.im))
+  in
+  match eigs with
+  | [ e1; e2; e3 ] ->
+    check_close "real eig" 2. e1.Complex.re;
+    check_close "pair re" 3. e2.Complex.re;
+    check_close "pair im" (-4.) e2.Complex.im;
+    check_close "conj im" 4. e3.Complex.im
+  | _ -> Alcotest.fail "expected 3 eigenvalues"
+
+let test_eigen_triangular () =
+  (* Upper triangular: eigenvalues are the diagonal. *)
+  let a =
+    Rmat.of_arrays
+      [| [| 1.; 5.; -2. |]; [| 0.; -3.; 7. |]; [| 0.; 0.; 0.5 |] |]
+  in
+  let res =
+    Eigen.eigenvalues a |> List.map (fun z -> z.Complex.re)
+    |> List.sort compare
+  in
+  match res with
+  | [ a1; a2; a3 ] ->
+    check_close ~tol:1e-9 "diag 1" (-3.) a1;
+    check_close ~tol:1e-9 "diag 2" 0.5 a2;
+    check_close ~tol:1e-9 "diag 3" 1. a3
+  | _ -> Alcotest.fail "expected 3 eigenvalues"
+
+let test_hessenberg_structure () =
+  let st = Random.State.make [| 42 |] in
+  let a = Rmat.init 8 8 (fun _ _ -> Random.State.float st 2. -. 1.) in
+  let h = Eigen.hessenberg a in
+  for i = 2 to 7 do
+    for j = 0 to i - 2 do
+      check_close "below subdiagonal" 0. (Rmat.get h i j)
+    done
+  done
+
+let prop_eigen_companion =
+  (* Companion matrices of random polynomials: eigenvalues must match the
+     polynomial's roots (computed by the independent Durand-Kerner path). *)
+  QCheck.Test.make ~name:"companion-matrix eigenvalues = polynomial roots"
+    ~count:50
+    QCheck.(pair (int_range 2 7) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 99 |] in
+      let coeffs =
+        Array.init n (fun _ -> Random.State.float st 4. -. 2.)
+      in
+      (* monic polynomial s^n + c_{n-1} s^{n-1} + ... + c_0 *)
+      let a =
+        Rmat.init n n (fun i j ->
+            if i = 0 then -.coeffs.(n - 1 - j)
+            else if i = j + 1 then 1.
+            else 0.)
+      in
+      let eigs = Eigen.eigenvalues a in
+      let poly =
+        Poly.of_real_coeffs (Array.append coeffs [| 1. |])
+      in
+      let roots = Poly.roots poly in
+      List.for_all
+        (fun r ->
+          List.exists
+            (fun e -> Cx.mag (Complex.sub r e) < 1e-4 *. Float.max 1. (Cx.mag r))
+            eigs)
+        roots)
+
+(* ---------- interpolation ---------- *)
+
+let test_interp_linear () =
+  let x = [| 0.; 1.; 2. |] and y = [| 0.; 10.; 40. |] in
+  check_close "mid" 5. (Interp.linear ~x ~y 0.5);
+  check_close "clamp low" 0. (Interp.linear ~x ~y (-1.));
+  check_close "clamp high" 40. (Interp.linear ~x ~y 9.)
+
+let test_interp_crossings () =
+  let x = [| 0.; 1.; 2.; 3. |] and y = [| -1.; 1.; -1.; 1. |] in
+  match Interp.crossings ~x ~y 0. with
+  | [ a; b; c ] ->
+    check_close "c1" 0.5 a;
+    check_close "c2" 1.5 b;
+    check_close "c3" 2.5 c
+  | l -> Alcotest.failf "expected 3 crossings, got %d" (List.length l)
+
+let test_table_lookup_descending () =
+  (* Table 1 style: zeta (descending peak) -> phase margin. *)
+  let x = [| -100.; -25.; -11. |] and y = [| 10.; 20.; 30. |] in
+  check_close "interpolated" 25. (Interp.table_lookup ~x ~y (-18.))
+
+(* ---------- svg plots ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_svgplot_basic () =
+  let xs = Vec.logspace 1. 1e6 50 in
+  let ys = Array.map (fun x -> 20. *. log10 (1. /. sqrt (1. +. x))) xs in
+  let svg =
+    Svgplot.render
+      (Svgplot.config ~x_axis:Svgplot.Log ~title:"response"
+         ~x_label:"f [Hz]" ~y_label:"dB" ())
+      [ Svgplot.series "H" xs ys ]
+  in
+  Alcotest.(check bool) "svg document" true (contains svg "<svg");
+  Alcotest.(check bool) "polyline present" true (contains svg "<path d=\"M");
+  Alcotest.(check bool) "title shown" true (contains svg "response");
+  Alcotest.(check bool) "legend entry" true (contains svg ">H</text>");
+  (* Log decade ticks. *)
+  Alcotest.(check bool) "decade tick" true (contains svg ">1k</text>")
+
+let test_svgplot_gaps_and_errors () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = [| 1.; Float.nan; 3.; 4. |] in
+  let svg =
+    Svgplot.render
+      (Svgplot.config ~title:"gaps" ~x_label:"x" ~y_label:"y" ())
+      [ Svgplot.series "s" xs ys ]
+  in
+  (* The NaN breaks the path: two MoveTos. *)
+  let count_m =
+    let n = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = 'M' && i > 0 && svg.[i - 1] = '"' then incr n)
+      svg;
+    !n
+  in
+  Alcotest.(check bool) "path restarts after the gap" true (count_m >= 1);
+  Alcotest.(check bool) "negative data on log axis rejected" true
+    (try
+       ignore
+         (Svgplot.render
+            (Svgplot.config ~y_axis:Svgplot.Log ~title:"t" ~x_label:"x"
+               ~y_label:"y" ())
+            [ Svgplot.series "s" [| 1.; 2. |] [| -1.; 2. |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- sweeps ---------- *)
+
+let test_sweep_decade () =
+  let pts = Sweep.points (Sweep.decade 1. 1000. 10) in
+  check_close "first" 1. pts.(0);
+  check_close "last" 1000. pts.(Array.length pts - 1);
+  Alcotest.(check int) "count" 31 (Array.length pts)
+
+let test_sweep_zoom () =
+  let pts = Sweep.points (Sweep.zoom ~center:1e6 ~ratio:2. ~per_decade:100) in
+  check_close ~tol:1e-9 "zoom start" 5e5 pts.(0);
+  check_close ~tol:1e-9 "zoom stop" 2e6 pts.(Array.length pts - 1)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "numerics"
+    [ ("engnum",
+       [ Alcotest.test_case "parse" `Quick test_engnum_parse;
+         Alcotest.test_case "roundtrip" `Quick test_engnum_roundtrip ]);
+      ("dense",
+       [ Alcotest.test_case "known system" `Quick test_lu_known;
+         Alcotest.test_case "pivoting" `Quick test_lu_pivoting;
+         Alcotest.test_case "singular detection" `Quick test_lu_singular ]);
+      qsuite "dense-props" [ prop_lu_random; prop_complex_lu_random ];
+      ("sparse",
+       [ Alcotest.test_case "pivoting" `Quick test_sparse_needs_pivoting;
+         Alcotest.test_case "singular detection" `Quick test_sparse_singular;
+         Alcotest.test_case "duplicate summing" `Quick
+           test_sparse_duplicates_summed ]);
+      qsuite "sparse-props"
+        [ prop_sparse_lu_random; prop_sparse_matches_dense;
+          prop_sparse_complex ];
+      ("poly",
+       [ Alcotest.test_case "eval" `Quick test_poly_eval;
+         Alcotest.test_case "arithmetic" `Quick test_poly_arith;
+         Alcotest.test_case "known roots" `Quick test_poly_roots_known ]);
+      qsuite "poly-props" [ prop_poly_roots ];
+      ("deriv",
+       [ Alcotest.test_case "polynomial exact" `Quick
+           test_deriv_polynomial_exact;
+         Alcotest.test_case "nonuniform grid" `Quick test_deriv_nonuniform;
+         Alcotest.test_case "stability peak eq 1.4" `Quick
+           test_stability_function_peak;
+         Alcotest.test_case "two-pass form agrees" `Quick
+           test_stability_two_pass_agrees ]);
+      qsuite "deriv-props" [ prop_stability_eq14 ];
+      ("peak",
+       [ Alcotest.test_case "detection" `Quick test_peak_detection;
+         Alcotest.test_case "edge flag" `Quick test_peak_at_edge;
+         Alcotest.test_case "parabolic refine" `Quick test_parabolic_refine ]);
+      ("eigen",
+       [ Alcotest.test_case "known spectrum" `Quick test_eigen_known;
+         Alcotest.test_case "triangular" `Quick test_eigen_triangular;
+         Alcotest.test_case "hessenberg structure" `Quick
+           test_hessenberg_structure ]);
+      qsuite "eigen-props" [ prop_eigen_companion ];
+      ("interp",
+       [ Alcotest.test_case "linear" `Quick test_interp_linear;
+         Alcotest.test_case "crossings" `Quick test_interp_crossings;
+         Alcotest.test_case "descending table" `Quick
+           test_table_lookup_descending ]);
+      ("svgplot",
+       [ Alcotest.test_case "basic chart" `Quick test_svgplot_basic;
+         Alcotest.test_case "gaps and log errors" `Quick
+           test_svgplot_gaps_and_errors ]);
+      ("sweep",
+       [ Alcotest.test_case "decade" `Quick test_sweep_decade;
+         Alcotest.test_case "zoom" `Quick test_sweep_zoom ]) ]

@@ -1,0 +1,479 @@
+(* The stability library — the paper's contribution — against circuits with
+   exactly known complex poles and zeros. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+(* ---------- probing ---------- *)
+
+let test_probe_paths_agree () =
+  (* Shared-factorisation probing must equal the netlist-level reference
+     (attach an Isource, run plain AC) to solver precision. *)
+  let circ = Workloads.Filters.parallel_rlc () in
+  let sweep = Numerics.Sweep.decade 1e5 1e8 20 in
+  let probe = Stability.Probe.prepare circ in
+  let fast = Stability.Probe.response probe ~sweep "n" in
+  let slow = Stability.Probe.response_via_netlist circ ~sweep "n" in
+  Array.iteri
+    (fun k hf ->
+      Alcotest.(check bool)
+        (Printf.sprintf "agree at point %d" k)
+        true
+        (Numerics.Cx.close ~tol:1e-9 hf
+           slow.Numerics.Waveform.Freq.h.(k)))
+    fast.Numerics.Waveform.Freq.h
+
+let test_probe_many_matches_single () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let sweep = Numerics.Sweep.decade 1e5 1e8 5 in
+  let probe = Stability.Probe.prepare circ in
+  let many = Stability.Probe.response_many probe ~sweep [ "out"; "o1" ] in
+  let single = Stability.Probe.response probe ~sweep "o1" in
+  let from_many = List.assoc "o1" many in
+  Array.iteri
+    (fun k h ->
+      Alcotest.(check bool) "identical" true
+        (Numerics.Cx.close ~tol:1e-12 h
+           from_many.Numerics.Waveform.Freq.h.(k)))
+    single.Numerics.Waveform.Freq.h
+
+let test_probe_rejects_ground () =
+  let circ = Workloads.Filters.parallel_rlc () in
+  let probe = Stability.Probe.prepare circ in
+  Alcotest.(check bool) "ground rejected" true
+    (try
+       ignore
+         (Stability.Probe.response probe
+            ~sweep:(Numerics.Sweep.List [| 1e6 |])
+            "0");
+       false
+     with Invalid_argument _ -> true)
+
+let test_probe_backends_agree () =
+  (* Dense and sparse factorisations of the same system must agree to
+     solver precision; force both on a mid-size circuit. *)
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let sweep = Numerics.Sweep.decade 1e4 1e8 10 in
+  let probe = Stability.Probe.prepare circ in
+  let nodes = [ "out"; "o1"; "vcasc" ] in
+  let dense = Stability.Probe.response_many ~backend:`Dense probe ~sweep nodes in
+  let sparse = Stability.Probe.response_many ~backend:`Sparse probe ~sweep nodes in
+  List.iter2
+    (fun (n1, w1) (n2, w2) ->
+      Alcotest.(check string) "node order" n1 n2;
+      Array.iteri
+        (fun k h ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s agrees at point %d" n1 k)
+            true
+            (Numerics.Cx.close ~tol:1e-9 h
+               w2.Numerics.Waveform.Freq.h.(k)))
+        w1.Numerics.Waveform.Freq.h)
+    dense sparse
+
+let test_probe_parallel_agrees () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let sweep = Numerics.Sweep.decade 1e4 1e8 15 in
+  let probe = Stability.Probe.prepare circ in
+  let nodes = [ "out"; "o1" ] in
+  let seq = Stability.Probe.response_many probe ~sweep nodes in
+  let par = Stability.Probe.response_many ~parallel:true probe ~sweep nodes in
+  List.iter2
+    (fun (_, w1) (_, w2) ->
+      Array.iteri
+        (fun k h ->
+          Alcotest.(check bool) "parallel equals sequential" true
+            (Numerics.Cx.close ~tol:1e-14 h
+               w2.Numerics.Waveform.Freq.h.(k)))
+        w1.Numerics.Waveform.Freq.h)
+    seq par
+
+(* ---------- single-node on known circuits ---------- *)
+
+let test_rlc_tank_estimates () =
+  let r = 100. and l = 1e-6 and c = 1e-9 in
+  let fn, zeta = Workloads.Filters.parallel_rlc_theory ~r ~l ~c () in
+  let circ = Workloads.Filters.parallel_rlc ~r ~l ~c () in
+  let res = Stability.Analysis.single_node circ "n" in
+  match res.Stability.Analysis.dominant with
+  | Some d ->
+    check_close ~tol:1e-3 "natural frequency" fn d.Stability.Peaks.freq;
+    check_close ~tol:1e-2 "performance index"
+      (Control.Second_order.performance_index zeta)
+      d.Stability.Peaks.value;
+    (match d.Stability.Peaks.zeta with
+     | Some z -> check_close ~tol:1e-2 "zeta" zeta z
+     | None -> Alcotest.fail "no zeta estimate")
+  | None -> Alcotest.fail "tank pole not found"
+
+let prop_rlc_random =
+  QCheck.Test.make ~name:"random RLC tanks measure their analytic zeta"
+    ~count:40
+    QCheck.(pair (float_range 30. 3000.) (float_range 0.2 5.))
+    (fun (r, l_scale) ->
+      let l = l_scale *. 1e-6 and c = 1e-9 in
+      let fn, zeta = Workloads.Filters.parallel_rlc_theory ~r ~l ~c () in
+      QCheck.assume (zeta > 0.03 && zeta < 0.95);
+      QCheck.assume (fn > 5e3 && fn < 5e8);
+      let circ = Workloads.Filters.parallel_rlc ~r ~l ~c () in
+      let res = Stability.Analysis.single_node circ "n" in
+      match res.Stability.Analysis.dominant with
+      | Some d ->
+        let ok_freq = Float.abs (d.Stability.Peaks.freq /. fn -. 1.) < 0.02 in
+        let ok_peak =
+          Float.abs
+            (d.Stability.Peaks.value
+             -. Control.Second_order.performance_index zeta)
+          < 0.05 *. Float.abs (Control.Second_order.performance_index zeta)
+          +. 0.1
+        in
+        ok_freq && ok_peak
+      | None -> false)
+
+let test_complex_zero_positive_peak () =
+  let rser = 20. and l = 100e-6 and c = 1e-9 in
+  let fz, zeta_z = Workloads.Filters.notch_zero_theory ~rser ~l ~c () in
+  let circ = Workloads.Filters.notch_with_zero ~rser ~l ~c () in
+  (* Probe the node where the notch appears. *)
+  let res = Stability.Analysis.single_node circ "out" in
+  let zeros =
+    List.filter
+      (fun (p : Stability.Peaks.peak) -> p.kind = Stability.Peaks.Complex_zero)
+      res.Stability.Analysis.peaks
+  in
+  match zeros with
+  | z :: _ ->
+    check_close ~tol:2e-2 "zero frequency" fz z.Stability.Peaks.freq;
+    (* A complex-zero pair mirrors eq 1.4: peak ~ +1/zeta_z^2. *)
+    check_close ~tol:0.15 "zero peak ~ +1/zeta^2"
+      (1. /. (zeta_z *. zeta_z))
+      z.Stability.Peaks.value
+  | [] -> Alcotest.fail "complex zero not reported"
+
+let test_sallen_key_q () =
+  let q = 2.5 in
+  let fn, zeta = Workloads.Filters.sallen_key_theory ~q () in
+  let circ = Workloads.Filters.sallen_key_lowpass ~q () in
+  (* The amplifier output is pinned by the ideal VCVS, so it cannot be
+     current-probed; the tool must say so clearly... *)
+  Alcotest.(check bool) "pinned net rejected with a clear error" true
+    (try ignore (Stability.Analysis.single_node circ "out"); false
+     with Failure m ->
+       let contains s sub =
+         let n = String.length s and k = String.length sub in
+         let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+         go 0
+       in
+       contains m "no finite AC response");
+  (* ...and the filter's state node carries the complex pair. *)
+  let res = Stability.Analysis.single_node circ "x2" in
+  match res.Stability.Analysis.dominant with
+  | Some d ->
+    check_close ~tol:2e-2 "fn" fn d.Stability.Peaks.freq;
+    (match d.Stability.Peaks.zeta with
+     | Some z -> check_close ~tol:3e-2 "zeta = 1/(2q)" zeta z
+     | None -> Alcotest.fail "no zeta")
+  | None -> Alcotest.fail "sallen-key pole not found"
+
+let test_shoulders_suppressed () =
+  (* A single sharp pole pair must report exactly one significant peak:
+     the side-lobes of the dip are not complex zeros. *)
+  let circ = Workloads.Filters.parallel_rlc ~r:300. () in
+  let res = Stability.Analysis.single_node circ "n" in
+  let significant =
+    List.filter
+      (fun (p : Stability.Peaks.peak) -> Float.abs p.Stability.Peaks.value > 1.)
+      res.Stability.Analysis.peaks
+  in
+  Alcotest.(check int) "one significant peak" 1 (List.length significant)
+
+let test_end_of_range_notice () =
+  (* Sweep that stops below the tank resonance: the stability function is
+     still descending at the edge -> end-of-range notice. *)
+  let circ = Workloads.Filters.parallel_rlc () in
+  (* fn ~ 5 MHz; sweep to 4.8 MHz. *)
+  let options =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e4 4.8e6 60;
+      refine = false }
+  in
+  let res = Stability.Analysis.single_node ~options circ "n" in
+  Alcotest.(check bool) "end-of-range flagged" true
+    (List.exists
+       (fun (p : Stability.Peaks.peak) ->
+         List.mem Stability.Peaks.End_of_range p.Stability.Peaks.notices)
+       res.Stability.Analysis.peaks)
+
+let test_refinement_improves_peak () =
+  (* On a very sharp peak a coarse grid underestimates the depth; the zoom
+     refinement must recover it. *)
+  let r = 1000. in
+  let _, zeta = Workloads.Filters.parallel_rlc_theory ~r () in
+  let circ = Workloads.Filters.parallel_rlc ~r () in
+  let coarse_opts =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e9 10;
+      refine = false }
+  in
+  let refined_opts = { coarse_opts with refine = true } in
+  let expected = Control.Second_order.performance_index zeta in
+  let peak_of opts =
+    match
+      (Stability.Analysis.single_node ~options:opts circ "n")
+        .Stability.Analysis.dominant
+    with
+    | Some d -> d.Stability.Peaks.value
+    | None -> Alcotest.fail "no peak"
+  in
+  let coarse = peak_of coarse_opts in
+  let refined = peak_of refined_opts in
+  Alcotest.(check bool)
+    (Printf.sprintf "coarse %.0f misses the true %.0f" coarse expected)
+    true
+    (Float.abs (coarse -. expected) > 0.2 *. Float.abs expected);
+  check_close ~tol:5e-2 "refined depth" expected refined
+
+(* ---------- all-nodes, loops, reports ---------- *)
+
+let test_all_nodes_rlc_cluster () =
+  (* Two independent tanks -> two loops at their natural frequencies. *)
+  let open Circuit.Netlist in
+  let c = empty ~title:"two tanks" () in
+  let c = resistor c "R1" "a" "0" 100. in
+  let c = inductor c "L1" "a" "0" 1e-6 in
+  let c = capacitor c "C1" "a" "0" 1e-9 in
+  let c = resistor c "R2" "b" "0" 100. in
+  let c = inductor c "L2" "b" "0" 10e-6 in
+  let c = capacitor c "C2" "b" "0" 10e-9 in
+  (* Weak coupling so both nets exist in one connected circuit. *)
+  let c = resistor c "RC" "a" "b" 1e9 in
+  let results = Stability.Analysis.all_nodes c in
+  let loops = Stability.Loops.cluster results in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let fn1, _ = Workloads.Filters.parallel_rlc_theory () in
+  let fn2, _ =
+    Workloads.Filters.parallel_rlc_theory ~l:10e-6 ~c:10e-9 ()
+  in
+  (match loops with
+   | [ l1; l2 ] ->
+     check_close ~tol:2e-2 "slow tank" (Float.min fn1 fn2)
+       l1.Stability.Loops.natural_freq;
+     check_close ~tol:2e-2 "fast tank" (Float.max fn1 fn2)
+       l2.Stability.Loops.natural_freq
+   | _ -> Alcotest.fail "unexpected loop structure")
+
+let test_report_format () =
+  let circ = Workloads.Filters.parallel_rlc () in
+  let results = Stability.Analysis.all_nodes circ in
+  let report = Stability.Report.all_nodes_string results in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has header" true (contains report "Stability Peak");
+  Alcotest.(check bool) "mentions the loop" true (contains report "Loop at");
+  Alcotest.(check bool) "mentions the node" true (contains report "n");
+  let single =
+    Stability.Report.single_node_string (List.hd results)
+  in
+  Alcotest.(check bool) "single-node mentions dominant" true
+    (contains single "dominant")
+
+let test_annotation () =
+  let circ = Workloads.Filters.parallel_rlc () in
+  let results = Stability.Analysis.all_nodes circ in
+  let text = Stability.Annotate.netlist_string circ results in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "net annotated" true (contains text "n: peak");
+  Alcotest.(check bool) "devices listed" true (contains text "R1");
+  Alcotest.(check bool) "summary block" true (contains text "per-net summary")
+
+(* ---------- limitations (documented) ---------- *)
+
+let test_rhp_poles_look_stable_in_the_plot () =
+  (* A known limitation of the method: the stability plot reads the peak
+     magnitude, which depends on |Re(s)| but not its sign — a loop with
+     right-half-plane poles produces the same deep peak as a stable loop
+     with mirrored poles. The exact pole analysis disambiguates. *)
+  let open Circuit.Netlist in
+  let c = empty ~title:"negative-resistance tank" () in
+  let c = inductor c "L1" "n" "0" 1e-6 in
+  let c = capacitor c "C1" "n" "0" 1e-9 in
+  let c = resistor c "R1" "n" "0" 100. in       (* zeta_R = +0.158 *)
+  let c = vccs c "GNEG" "n" "0" "n" "0" (-15e-3) in (* tips net damping < 0 *)
+  let poles = Engine.Poles.of_circuit c in
+  Alcotest.(check bool) "eigenvalues see the instability" false
+    (Engine.Poles.is_stable poles);
+  let res = Stability.Analysis.single_node c "n" in
+  match res.Stability.Analysis.dominant with
+  | Some d ->
+    (* The plot still reports a deep negative peak with a positive zeta
+       estimate — it flags the loop as critical but cannot give the sign. *)
+    Alcotest.(check bool) "plot flags the loop" true
+      (d.Stability.Peaks.value < -5.);
+    Alcotest.(check bool) "zeta estimate is unsigned" true
+      (match d.Stability.Peaks.zeta with Some z -> z > 0. | None -> false)
+  | None -> Alcotest.fail "plot missed the resonance entirely"
+
+(* ---------- physical invariants ---------- *)
+
+let test_reciprocity () =
+  (* RLC networks are reciprocal: Z(k <- j) = Z(j <- k). Measured through
+     the same factorisation path the probing uses. *)
+  let open Circuit.Netlist in
+  let c = empty ~title:"ladder" () in
+  let c = resistor c "R1" "a" "b" 1e3 in
+  let c = capacitor c "C1" "b" "0" 1e-9 in
+  let c = inductor c "L1" "b" "c" 10e-6 in
+  let c = resistor c "R2" "c" "0" 2e3 in
+  let c = capacitor c "C2" "a" "0" 0.5e-9 in
+  let c = resistor c "R3" "a" "0" 10e3 in
+  let mna = Engine.Mna.compile c in
+  let op = Engine.Dcop.solve mna in
+  let ia = Engine.Mna.node_index mna "a" in
+  let ic = Engine.Mna.node_index mna "c" in
+  List.iter
+    (fun f ->
+      let lu =
+        Engine.Ac.factor_at ~op ~omega:(2. *. Float.pi *. f) mna
+      in
+      let solve k =
+        let b = Array.make mna.Engine.Mna.size Numerics.Cx.zero in
+        b.(k) <- Numerics.Cx.one;
+        Numerics.Cmat.lu_solve lu b
+      in
+      let z_ca = (solve ia).(ic) in
+      let z_ac = (solve ic).(ia) in
+      Alcotest.(check bool)
+        (Printf.sprintf "Z(c<-a) = Z(a<-c) at %g Hz" f)
+        true
+        (Numerics.Cx.close ~tol:1e-12 z_ca z_ac))
+    [ 1e3; 1e5; 1e7 ]
+
+let test_transient_ring_frequency_matches_plot () =
+  (* The buffer's transient ring period must match the natural frequency
+     the AC-domain stability plot reports (time/frequency consistency). *)
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let d =
+    (Stability.Analysis.single_node circ "out").Stability.Analysis.dominant
+    |> Option.get
+  in
+  let fn = d.Stability.Peaks.freq in
+  let zeta = Option.get d.Stability.Peaks.zeta in
+  let fd = fn *. sqrt (1. -. (zeta *. zeta)) in
+  let tr = Engine.Transient.run ~tstop:6e-6 ~tstep:2e-9 circ in
+  let w = Engine.Transient.v tr "out" in
+  (* Ring frequency from the crossings of the settled value after the
+     step fires at 1 us. *)
+  let crossings =
+    Numerics.Interp.crossings ~x:w.Numerics.Waveform.Real.x
+      ~y:w.Numerics.Waveform.Real.y 2.55
+    |> List.filter (fun t -> t > 1.2e-6 && t < 4e-6)
+  in
+  Alcotest.(check bool) "enough ring cycles" true
+    (List.length crossings >= 6);
+  let rec spans = function
+    | a :: (b :: _ as rest) -> (b -. a) :: spans rest
+    | _ -> []
+  in
+  let half_periods = spans crossings in
+  let mean =
+    List.fold_left ( +. ) 0. half_periods
+    /. float_of_int (List.length half_periods)
+  in
+  let f_ring = 1. /. (2. *. mean) in
+  check_close ~tol:0.08 "ring frequency = damped natural frequency" fd
+    f_ring
+
+(* ---------- cross-validation against exact TF mathematics ---------- *)
+
+let test_cross_validation_with_tf () =
+  (* Closed-loop TF of a two-pole unity-feedback loop; the circuit-level
+     stability plot at the loop output must find the TF's dominant pole. *)
+  let gain_a = 300. and p1 = 1e4 and p2 = 3e6 in
+  let l =
+    Control.Tf.of_real_coeffs ~num:[| gain_a |]
+      ~den:
+        [| 1.;
+           (1. /. (2. *. Float.pi *. p1)) +. (1. /. (2. *. Float.pi *. p2));
+           1. /. (4. *. Float.pi *. Float.pi *. p1 *. p2) |]
+  in
+  let cl = Control.Tf.feedback l in
+  let wn_tf, zeta_tf =
+    match Control.Tf.dominant_complex_pole cl with
+    | Some x -> x
+    | None -> Alcotest.fail "TF has no complex pole"
+  in
+  (* Same loop as a circuit. *)
+  let open Circuit.Netlist in
+  let c = empty ~title:"tf cross-check" () in
+  let c = vsource c "VIN" "in" "0" (ac_source 0.) in
+  let c = vcvs c "EAMP" "x1" "0" "in" "fb" gain_a in
+  let c = resistor c "R1" "x1" "x2" 1e3 in
+  let c = capacitor c "C1" "x2" "0" (1. /. (2. *. Float.pi *. p1 *. 1e3)) in
+  let c = vcvs c "EBUF" "x2b" "0" "x2" "0" 1. in
+  let c = resistor c "R2" "x2b" "fb" 1e3 in
+  let c = capacitor c "C2" "fb" "0" (1. /. (2. *. Float.pi *. p2 *. 1e3)) in
+  let res = Stability.Analysis.single_node c "fb" in
+  match res.Stability.Analysis.dominant with
+  | Some d ->
+    check_close ~tol:1e-2 "fn matches TF pole"
+      (wn_tf /. (2. *. Float.pi))
+      d.Stability.Peaks.freq;
+    (match d.Stability.Peaks.zeta with
+     | Some z -> check_close ~tol:2e-2 "zeta matches TF pole" zeta_tf z
+     | None -> Alcotest.fail "no zeta estimate")
+  | None -> Alcotest.fail "dominant pole not found"
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "stability"
+    [ ("probe",
+       [ Alcotest.test_case "fast path = netlist path" `Quick
+           test_probe_paths_agree;
+         Alcotest.test_case "many = single" `Quick
+           test_probe_many_matches_single;
+         Alcotest.test_case "ground rejected" `Quick
+           test_probe_rejects_ground;
+         Alcotest.test_case "dense = sparse backend" `Quick
+           test_probe_backends_agree;
+         Alcotest.test_case "parallel = sequential" `Quick
+           test_probe_parallel_agrees ]);
+      ("single-node",
+       [ Alcotest.test_case "rlc tank estimates" `Quick
+           test_rlc_tank_estimates;
+         Alcotest.test_case "complex zero positive peak" `Quick
+           test_complex_zero_positive_peak;
+         Alcotest.test_case "sallen-key q" `Quick test_sallen_key_q;
+         Alcotest.test_case "shoulder suppression" `Quick
+           test_shoulders_suppressed;
+         Alcotest.test_case "end-of-range notice" `Quick
+           test_end_of_range_notice;
+         Alcotest.test_case "zoom refinement" `Quick
+           test_refinement_improves_peak ]);
+      qsuite "single-node-props" [ prop_rlc_random ];
+      ("all-nodes",
+       [ Alcotest.test_case "loop clustering" `Quick
+           test_all_nodes_rlc_cluster;
+         Alcotest.test_case "report format" `Quick test_report_format;
+         Alcotest.test_case "annotation" `Quick test_annotation ]);
+      ("cross-validation",
+       [ Alcotest.test_case "matches exact TF poles" `Quick
+           test_cross_validation_with_tf ]);
+      ("limitations",
+       [ Alcotest.test_case "RHP poles look stable in the plot" `Quick
+           test_rhp_poles_look_stable_in_the_plot ]);
+      ("invariants",
+       [ Alcotest.test_case "reciprocity" `Quick test_reciprocity;
+         Alcotest.test_case "transient ring frequency" `Slow
+           test_transient_ring_frequency_matches_plot ]) ]

@@ -1,0 +1,358 @@
+(* The tool layer: sessions, OCEAN scripting, calculator, jobs, corners,
+   diagnostics. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------- session ---------- *)
+
+let test_session_basics () =
+  let s = Tool.Session.create ~name:"t" () in
+  let s2 = Tool.Session.create () in
+  Alcotest.(check bool) "unique ids" true
+    (Tool.Session.id s <> Tool.Session.id s2);
+  Tool.Session.set_design_variable s "a" 1.;
+  Tool.Session.set_design_variable s "b" 2.;
+  Tool.Session.set_design_variable s "a" 3.;
+  Alcotest.(check (list (pair string (float 0.)))) "vars deduplicated"
+    [ ("b", 2.); ("a", 3.) ]
+    (Tool.Session.design_variables s)
+
+let test_session_state_roundtrip () =
+  let s = Tool.Session.create () in
+  Tool.Session.set_simulator s "spectre";
+  Tool.Session.set_temp s 85.;
+  Tool.Session.set_scale s 2.5;
+  Tool.Session.set_design_variable s "rload" 4.7e3;
+  Tool.Session.add_analysis s
+    (Tool.Session.Ac (Numerics.Sweep.decade 10. 1e6 25));
+  Tool.Session.add_analysis s (Tool.Session.Stab_single "out");
+  Tool.Session.add_analysis s (Tool.Session.Tran { tstop = 1e-3; tstep = 1e-6 });
+  Tool.Session.add_analysis s
+    (Tool.Session.Noise { sweep = Numerics.Sweep.decade 1e2 1e7 15;
+                          output = "out" });
+  Tool.Session.add_analysis s Tool.Session.Poles;
+  let path = Filename.temp_file "session" ".state" in
+  Tool.Session.save_state s path;
+  let s2 = Tool.Session.create () in
+  Tool.Session.load_state s2 path;
+  Sys.remove path;
+  Alcotest.(check string) "simulator" "spectre" (Tool.Session.simulator s2);
+  check_close "temp" 85. (Tool.Session.temp s2);
+  check_close "scale" 2.5 (Tool.Session.scale s2);
+  check_close "variable" 4.7e3
+    (List.assoc "rload" (Tool.Session.design_variables s2));
+  Alcotest.(check int) "analyses count" 5
+    (List.length (Tool.Session.analyses s2));
+  match Tool.Session.analyses s2 with
+  | [ Tool.Session.Ac _; Tool.Session.Stab_single "out";
+      Tool.Session.Tran { tstop; tstep };
+      Tool.Session.Noise { output = "out"; _ }; Tool.Session.Poles ] ->
+    check_close "tstop" 1e-3 tstop;
+    check_close "tstep" 1e-6 tstep
+  | _ -> Alcotest.fail "analyses not restored in order"
+
+(* ---------- ocean ---------- *)
+
+let deck = {|divider bench
+.param rtop=1k
+V1 in 0 DC 10 AC 1
+R1 in out {rtop}
+R2 out 0 {rbot}
+.end|}
+
+let test_ocean_design_text_with_vars () =
+  let s = Tool.Ocean.simulator "builtin" in
+  Tool.Ocean.design_text s deck;
+  Tool.Ocean.des_var s "rbot" 3e3;
+  Tool.Ocean.analysis s Tool.Session.Op;
+  let r = Tool.Ocean.run s in
+  check_close "divider with desVar" 7.5 (Tool.Ocean.vdc r "out");
+  (* Changing the variable and re-running re-elaborates. *)
+  Tool.Ocean.des_var s "rbot" 1e3;
+  let r2 = Tool.Ocean.run s in
+  check_close "after desVar change" 5. (Tool.Ocean.vdc r2 "out")
+
+let test_ocean_analyses () =
+  let s = Tool.Ocean.simulator "builtin" in
+  Tool.Ocean.design s (Workloads.Filters.parallel_rlc ());
+  Tool.Ocean.analysis s
+    (Tool.Session.Ac (Numerics.Sweep.decade 1e5 1e8 10));
+  Tool.Ocean.analysis s (Tool.Session.Stab_single "n");
+  let r = Tool.Ocean.run s in
+  Alcotest.(check bool) "ac present" true (r.Tool.Ocean.ac <> None);
+  Alcotest.(check int) "one stab result" 1 (List.length r.Tool.Ocean.stab);
+  let report = Tool.Ocean.stab_report r in
+  Alcotest.(check bool) "report built" true (contains report "Loop at")
+
+let test_ocean_directives_fallback () =
+  (* With no explicit analyses, directive cards in the deck drive the run. *)
+  let s = Tool.Ocean.simulator "builtin" in
+  Tool.Ocean.design_text s
+    "bench\nV1 in 0 DC 2 AC 1\nR1 in out 1k\nR2 out 0 1k\n.op\n.ac dec 5 1 1meg\n.end\n";
+  let r = Tool.Ocean.run s in
+  check_close "op from directive" 1. (Tool.Ocean.vdc r "out");
+  Alcotest.(check bool) "ac from directive" true (r.Tool.Ocean.ac <> None)
+
+let test_ocean_temperature () =
+  let s = Tool.Ocean.simulator "builtin" in
+  Tool.Ocean.design s (Workloads.Bias_zero_tc.cell ~temp_c:85. ());
+  Tool.Ocean.temperature s 85.;
+  Tool.Ocean.analysis s Tool.Session.Op;
+  let r = Tool.Ocean.run s in
+  Alcotest.(check bool) "elaborated at 85C" true
+    (Circuit.Netlist.temp_celsius r.Tool.Ocean.elaborated = 85.)
+
+(* ---------- calculator ---------- *)
+
+let test_calculator_ops () =
+  let circ = Workloads.Filters.rc_lowpass () in
+  let fc = Workloads.Filters.rc_lowpass_pole () in
+  let ac =
+    Engine.Ac.run ~sweep:(Numerics.Sweep.decade (fc /. 100.) (fc *. 100.) 40)
+      circ
+  in
+  let w = Tool.Calculator.Freq (Engine.Ac.v ac "out") in
+  check_close ~tol:1e-3 "db20 at fc"
+    (-20. *. log10 (sqrt 2.))
+    (Tool.Calculator.(value_at (db20 w) fc));
+  check_close ~tol:1e-2 "phase at fc" (-45.)
+    (Tool.Calculator.(value_at (phase_deg w) fc));
+  (* -3 dB crossing of |H| is at fc. *)
+  (match Tool.Calculator.cross (Tool.Calculator.mag w) (1. /. sqrt 2.) with
+   | Some f -> check_close ~tol:1e-2 "crossing" fc f
+   | None -> Alcotest.fail "no crossing");
+  Alcotest.(check bool) "unknown op rejected" true
+    (try ignore (Tool.Calculator.apply "nosuch" w); false
+     with Invalid_argument _ -> true)
+
+let test_calculator_stab_chain () =
+  (* apply "stab" on the tank response = the analysis plot. *)
+  let circ = Workloads.Filters.parallel_rlc () in
+  let probe = Stability.Probe.prepare circ in
+  let sweep = Numerics.Sweep.decade 1e5 1e8 100 in
+  let resp = Stability.Probe.response probe ~sweep "n" in
+  let via_calc = Tool.Calculator.apply "stab" (Tool.Calculator.Freq resp) in
+  let fn, zeta = Workloads.Filters.parallel_rlc_theory () in
+  check_close ~tol:3e-2 "stab op finds the peak"
+    (Control.Second_order.performance_index zeta)
+    (Tool.Calculator.value_at via_calc fn)
+
+(* ---------- html report ---------- *)
+
+let test_html_reports () =
+  let circ = Workloads.Filters.parallel_rlc () in
+  let results = Stability.Analysis.all_nodes circ in
+  let html = Tool.Html_report.all_nodes circ results in
+  Alcotest.(check bool) "has loop table" true (contains html "Loops (Table 2");
+  Alcotest.(check bool) "has svg" true (contains html "<svg");
+  Alcotest.(check bool) "has netlist" true (contains html "R1 n 0 100");
+  let single = Tool.Html_report.single_node circ (List.hd results) in
+  Alcotest.(check bool) "single has peaks table" true
+    (contains single "Detected peaks");
+  Alcotest.(check bool) "single has two plots" true
+    (let rec count i acc =
+       if i + 4 > String.length single then acc
+       else if String.sub single i 4 = "<svg" then count (i + 4) (acc + 1)
+       else count (i + 1) acc
+     in
+     count 0 0 = 2)
+
+(* ---------- opstore ---------- *)
+
+let test_opstore_roundtrip () =
+  let circ = Workloads.Opamp_bjt.buffer () in
+  let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+  let path = Filename.temp_file "op" ".txt" in
+  Tool.Opstore.save op path;
+  (* Strip the hand-written nodesets and rely on the stored point. *)
+  let reloaded = Tool.Opstore.load_nodeset circ path in
+  Sys.remove path;
+  let op2 = Engine.Dcop.solve (Engine.Mna.compile reloaded) in
+  List.iter
+    (fun n ->
+      check_close ~tol:1e-6
+        (Printf.sprintf "V(%s) reproduced" n)
+        (Engine.Dcop.node_v op n)
+        (Engine.Dcop.node_v op2 n))
+    [ "out"; "o1"; "tail"; "nb" ];
+  (* Direct Newton from the stored point, no homotopy needed. *)
+  Alcotest.(check bool) "direct strategy" true
+    (op2.Engine.Dcop.strategy = Engine.Dcop.Direct)
+
+let test_calculator_group_delay () =
+  (* One-pole RC: group delay at DC equals RC. *)
+  let r = 1e3 and c = 1e-9 in
+  let circ = Workloads.Filters.rc_lowpass ~r ~c () in
+  let fc = Workloads.Filters.rc_lowpass_pole ~r ~c () in
+  let ac =
+    Engine.Ac.run ~sweep:(Numerics.Sweep.decade (fc /. 1e3) (fc *. 10.) 40)
+      circ
+  in
+  let w = Tool.Calculator.Freq (Engine.Ac.v ac "out") in
+  check_close ~tol:1e-3 "tg(0) = RC" (r *. c)
+    (Tool.Calculator.(value_at (group_delay w) (fc /. 500.)));
+  (* At the pole the delay halves. *)
+  check_close ~tol:2e-2 "tg(fc) = RC/2" (r *. c /. 2.)
+    (Tool.Calculator.(value_at (group_delay w) fc));
+  (* real/imag split reassembles the magnitude. *)
+  let re = Tool.Calculator.(value_at (apply "real" w) fc) in
+  let im = Tool.Calculator.(value_at (apply "imag" w) fc) in
+  check_close ~tol:1e-6 "sqrt(re^2+im^2) = |H(fc)|" (1. /. sqrt 2.)
+    (sqrt ((re *. re) +. (im *. im)))
+
+(* ---------- jobs ---------- *)
+
+let test_jobs_sequential () =
+  let outcomes =
+    Tool.Job.run_all
+      [ ("a", fun () -> 1); ("b", fun () -> 2); ("c", fun () -> 3) ]
+  in
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ]
+    (Tool.Job.results_exn outcomes)
+
+let test_jobs_parallel_order_and_errors () =
+  let jobs =
+    List.init 12 (fun i ->
+        ( Printf.sprintf "j%d" i,
+          fun () -> if i = 7 then failwith "boom" else i * i ))
+  in
+  let outcomes = Tool.Job.run_all ~parallel:true jobs in
+  Alcotest.(check int) "all came back" 12 (List.length outcomes);
+  List.iteri
+    (fun i (o : int Tool.Job.outcome) ->
+      Alcotest.(check string) "submission order"
+        (Printf.sprintf "j%d" i) o.Tool.Job.job_name;
+      match o.Tool.Job.result with
+      | Ok v -> Alcotest.(check int) "value" (i * i) v
+      | Error _ -> Alcotest.(check int) "only job 7 fails" 7 i)
+    outcomes
+
+let test_jobs_parallel_simulations () =
+  (* Real simulations across domains: per-temperature op of the bias cell. *)
+  let temps = [ 0.; 27.; 85. ] in
+  let jobs =
+    List.map
+      (fun t ->
+        ( Printf.sprintf "%gC" t,
+          fun () -> Workloads.Bias_zero_tc.reference_current ~temp_c:t () ))
+      temps
+  in
+  let outcomes = Tool.Job.run_all ~parallel:true jobs in
+  let currents = Tool.Job.results_exn outcomes in
+  List.iter
+    (fun i -> Alcotest.(check bool) "plausible" true (i > 20e-6 && i < 200e-6))
+    currents
+
+(* ---------- corners ---------- *)
+
+let test_corners_apply () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let fast = Tool.Corners.apply Tool.Corners.fast circ in
+  Alcotest.(check bool) "temp changed" true
+    (Circuit.Netlist.temp_celsius fast = -40.);
+  (match Circuit.Netlist.find_model fast "MN" with
+   | Some m ->
+     check_close "kp overridden" 120e-6
+       (Circuit.Netlist.model_param m "kp" ~default:0.)
+   | None -> Alcotest.fail "model MN missing");
+  Alcotest.(check bool) "unknown model rejected" true
+    (try
+       ignore
+         (Tool.Corners.apply
+            (Tool.Corners.make ~models:[ ("NOPE", [ ("x", 1.) ]) ] "bad")
+            circ);
+       false
+     with Invalid_argument _ -> true)
+
+let test_corners_across () =
+  (* Corners override transistor models, so the circuit must carry them. *)
+  let circ = Workloads.Follower.emitter_follower () in
+  let corners = [ Tool.Corners.typical; Tool.Corners.fast ] in
+  let results =
+    Tool.Corners.across corners circ (fun c ->
+        let op = Engine.Dcop.solve (Engine.Mna.compile c) in
+        Engine.Dcop.node_v op "out")
+  in
+  Alcotest.(check int) "both corners" 2 (List.length results);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "ran" true (Result.is_ok r))
+    results
+
+let test_temp_sweep () =
+  let circ = Workloads.Filters.rc_lowpass () in
+  let results =
+    Tool.Corners.temp_sweep ~temps:[ 0.; 27.; 100. ] circ (fun c ->
+        Circuit.Netlist.temp_celsius c)
+  in
+  Alcotest.(check (list (float 0.))) "temps propagated" [ 0.; 27.; 100. ]
+    (List.map (fun (_, r) -> Result.get_ok r) results)
+
+(* ---------- diagnostics ---------- *)
+
+let test_diagnostics_guard () =
+  let dir = Filename.get_temp_dir_name () in
+  (match
+     Tool.Diagnostics.guard ~operation:"ok op" ~report_dir:dir (fun () -> 42)
+   with
+   | Ok v -> Alcotest.(check int) "pass-through" 42 v
+   | Error _ -> Alcotest.fail "spurious report");
+  let s = Tool.Session.create ~name:"diag" () in
+  Tool.Session.set_design_variable s "x" 1.;
+  match
+    Tool.Diagnostics.guard ~session:s ~operation:"failing op"
+      ~report_dir:dir (fun () -> failwith "expected failure")
+  with
+  | Ok _ -> Alcotest.fail "should have failed"
+  | Error r ->
+    Alcotest.(check string) "operation recorded" "failing op"
+      r.Tool.Diagnostics.operation;
+    Alcotest.(check bool) "error captured" true
+      (contains r.Tool.Diagnostics.error "expected failure");
+    let text = Tool.Diagnostics.to_text r in
+    Alcotest.(check bool) "session summarised" true (contains text "x=1")
+
+let () =
+  Alcotest.run "tool"
+    [ ("session",
+       [ Alcotest.test_case "basics" `Quick test_session_basics;
+         Alcotest.test_case "state roundtrip" `Quick
+           test_session_state_roundtrip ]);
+      ("ocean",
+       [ Alcotest.test_case "design text + desVar" `Quick
+           test_ocean_design_text_with_vars;
+         Alcotest.test_case "analyses" `Quick test_ocean_analyses;
+         Alcotest.test_case "directive fallback" `Quick
+           test_ocean_directives_fallback;
+         Alcotest.test_case "temperature" `Quick test_ocean_temperature ]);
+      ("calculator",
+       [ Alcotest.test_case "basic ops" `Quick test_calculator_ops;
+         Alcotest.test_case "stab chain" `Quick test_calculator_stab_chain;
+         Alcotest.test_case "group delay, real/imag" `Quick
+           test_calculator_group_delay ]);
+      ("html",
+       [ Alcotest.test_case "reports render" `Quick test_html_reports ]);
+      ("opstore",
+       [ Alcotest.test_case "save/load roundtrip" `Quick
+           test_opstore_roundtrip ]);
+      ("jobs",
+       [ Alcotest.test_case "sequential" `Quick test_jobs_sequential;
+         Alcotest.test_case "parallel order and errors" `Quick
+           test_jobs_parallel_order_and_errors;
+         Alcotest.test_case "parallel simulations" `Quick
+           test_jobs_parallel_simulations ]);
+      ("corners",
+       [ Alcotest.test_case "apply" `Quick test_corners_apply;
+         Alcotest.test_case "across" `Quick test_corners_across;
+         Alcotest.test_case "temp sweep" `Quick test_temp_sweep ]);
+      ("diagnostics",
+       [ Alcotest.test_case "guard" `Quick test_diagnostics_guard ]) ]

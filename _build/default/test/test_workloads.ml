@@ -1,0 +1,313 @@
+(* Workload circuits: the paper's op-amp and bias cell plus the supporting
+   fixtures, verified against their design intents. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1. (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.9g, got %.9g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. scale)
+
+(* ---------- op-amp ---------- *)
+
+let test_opamp_operating_point () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+  (* The buffer regulates the output to the input common mode. *)
+  check_close ~tol:2e-3 "output at vcm" 2.5
+    (Engine.Dcop.node_v op Workloads.Opamp_2mhz.node_out);
+  (* Every MOS transistor of the signal path sits in saturation. *)
+  List.iter
+    (fun name ->
+      match List.assoc name (Engine.Dcop.device_ops op) with
+      | Engine.Dcop.Op_mos { region; _ } ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s region" name)
+          "saturation" region
+      | _ -> Alcotest.failf "%s is not a MOSFET" name
+      | exception Not_found -> Alcotest.failf "%s missing" name)
+    [ "M1"; "M2"; "M3"; "M4"; "M5"; "M6"; "M7" ]
+
+let test_opamp_buffer_gain () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let ac = Engine.Ac.run ~sweep:(Numerics.Sweep.List [| 100.; 10e3 |]) circ in
+  let w = Engine.Ac.v ac Workloads.Opamp_2mhz.node_out in
+  Array.iter
+    (fun h -> check_close ~tol:1e-3 "unity buffer" 1. (Numerics.Cx.mag h))
+    w.Engine.Waveform.Freq.h
+
+let test_opamp_headline_numbers () =
+  (* The tuned defaults reproduce the paper's example: peak ~ -31 at
+     ~3.2 MHz, zeta ~ 0.18, phase margin ~ 20 deg. *)
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let r =
+    Stability.Analysis.single_node circ Workloads.Opamp_2mhz.node_out
+  in
+  match r.Stability.Analysis.dominant with
+  | Some d ->
+    Alcotest.(check bool)
+      (Printf.sprintf "peak %.1f in [-36, -26]" d.Stability.Peaks.value)
+      true
+      (d.Stability.Peaks.value > -36. && d.Stability.Peaks.value < -26.);
+    Alcotest.(check bool)
+      (Printf.sprintf "fn %.3g within 15%% of 3.16 MHz" d.Stability.Peaks.freq)
+      true
+      (Float.abs ((d.Stability.Peaks.freq /. 3.16e6) -. 1.) < 0.15);
+    (match d.Stability.Peaks.phase_margin_deg with
+     | Some pm ->
+       Alcotest.(check bool)
+         (Printf.sprintf "PM %.1f in [17, 23]" pm)
+         true (pm > 17. && pm < 23.)
+     | None -> Alcotest.fail "no PM estimate")
+  | None -> Alcotest.fail "main-loop pole not found"
+
+let test_opamp_three_way_consistency () =
+  (* Paper section 3: stability plot, open-loop margins and transient
+     overshoot must tell one story. *)
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let r =
+    Stability.Analysis.single_node circ Workloads.Opamp_2mhz.node_out
+  in
+  let plot_pm =
+    match r.Stability.Analysis.dominant with
+    | Some { Stability.Peaks.phase_margin_deg = Some pm; _ } -> pm
+    | _ -> Alcotest.fail "no plot PM"
+  in
+  let dev, term = Workloads.Opamp_2mhz.feedback_break in
+  let lg =
+    Engine.Loopgain.middlebrook
+      ~sweep:(Numerics.Sweep.decade 1e3 1e9 60)
+      circ ~device:dev ~terminal:term
+  in
+  let loop_pm =
+    match (Engine.Loopgain.margins lg).Engine.Measure.phase_margin_deg with
+    | Some pm -> pm
+    | None -> Alcotest.fail "no loop PM"
+  in
+  check_close ~tol:0.08 "plot PM vs loop PM" loop_pm plot_pm;
+  (* Both loop-gain methods agree (the break is at a MOS gate). *)
+  let lc =
+    Engine.Loopgain.lc_break
+      ~sweep:(Numerics.Sweep.decade 1e3 1e9 60)
+      circ ~device:dev ~terminal:term
+  in
+  (match (Engine.Loopgain.margins lc).Engine.Measure.phase_margin_deg with
+   | Some pm -> check_close ~tol:2e-2 "lc-break PM" loop_pm pm
+   | None -> Alcotest.fail "no lc PM")
+
+let test_opamp_transient_overshoot () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let tr = Engine.Transient.run ~tstop:8e-6 ~tstep:2e-9 circ in
+  let w = Engine.Transient.v tr Workloads.Opamp_2mhz.node_out in
+  let m = Engine.Measure.step_metrics ~initial:2.5 ~final:2.55 w in
+  (* zeta ~ 0.18 predicts ~56 %; slewing shaves large-signal overshoot, so
+     accept the paper-like 40-60 % band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot %.0f%% in [40, 60]"
+       m.Engine.Measure.overshoot_pct)
+    true
+    (m.Engine.Measure.overshoot_pct > 40.
+     && m.Engine.Measure.overshoot_pct < 60.)
+
+let test_bjt_opamp () =
+  (* The bipolar sibling: buffer regulates, and the stability-plot phase
+     margin agrees with Middlebrook to a degree. *)
+  let circ = Workloads.Opamp_bjt.buffer () in
+  let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+  check_close ~tol:2e-3 "output at vcm" 5.
+    (Engine.Dcop.node_v op Workloads.Opamp_bjt.node_out);
+  let ac = Engine.Ac.run ~sweep:(Numerics.Sweep.List [| 100. |]) circ in
+  check_close ~tol:1e-3 "unity buffer" 1.
+    (Numerics.Cx.mag
+       (Engine.Ac.v ac Workloads.Opamp_bjt.node_out)
+         .Engine.Waveform.Freq.h.(0));
+  let d =
+    (Stability.Analysis.single_node circ Workloads.Opamp_bjt.node_out)
+      .Stability.Analysis.dominant
+    |> Option.get
+  in
+  let plot_pm = Option.get d.Stability.Peaks.phase_margin_deg in
+  let dev, term = Workloads.Opamp_bjt.feedback_break in
+  let mb =
+    Engine.Loopgain.middlebrook ~sweep:(Numerics.Sweep.decade 1e3 1e9 40)
+      circ ~device:dev ~terminal:term
+  in
+  let mb_pm =
+    Option.get (Engine.Loopgain.margins mb).Engine.Measure.phase_margin_deg
+  in
+  check_close ~tol:5e-2 "plot PM = Middlebrook PM" mb_pm plot_pm;
+  Alcotest.(check bool)
+    (Printf.sprintf "moderate margin (%.0f)" plot_pm)
+    true
+    (plot_pm > 30. && plot_pm < 55.)
+
+let test_tracking_cload () =
+  (* Sweeping the BJT buffer's load capacitor: more load, less damping;
+     critical_value finds where zeta crosses 0.3. *)
+  let circ = Workloads.Opamp_bjt.buffer () in
+  let values = [| 47e-12; 100e-12; 220e-12; 470e-12; 1e-9 |] in
+  let traj =
+    Stability.Tracking.component circ ~device:"CLOAD" ~values ~node:"out"
+  in
+  let zetas =
+    List.filter_map
+      (fun (_, p) ->
+        Option.bind p (fun (q : Stability.Tracking.point) -> q.zeta))
+      traj
+  in
+  Alcotest.(check int) "all points have a pair" 5 (List.length zetas);
+  let monotone = ref true in
+  let rec chk = function
+    | a :: (b :: _ as rest) ->
+      if b > a +. 1e-6 then monotone := false;
+      chk rest
+    | _ -> ()
+  in
+  chk zetas;
+  Alcotest.(check bool) "zeta falls with load" true !monotone;
+  match Stability.Tracking.critical_value traj ~zeta_target:0.3 with
+  | Some v ->
+    Alcotest.(check bool)
+      (Printf.sprintf "critical load %.3g in range" v)
+      true
+      (v > 100e-12 && v < 1e-9)
+  | None -> Alcotest.fail "no critical value found"
+
+(* ---------- bias cell ---------- *)
+
+let test_bias_zero_tc () =
+  let i27 = Workloads.Bias_zero_tc.reference_current ~temp_c:27. () in
+  Alcotest.(check bool) "current plausible" true (i27 > 50e-6 && i27 < 150e-6);
+  List.iter
+    (fun t ->
+      let i = Workloads.Bias_zero_tc.reference_current ~temp_c:t () in
+      Alcotest.(check bool)
+        (Printf.sprintf "flat at %g C (%.1f%%)" t
+           (100. *. ((i /. i27) -. 1.)))
+        true
+        (Float.abs ((i /. i27) -. 1.) < 0.03))
+    [ -40.; 0.; 85.; 125. ]
+
+let test_bias_local_loop_and_fix () =
+  let line = Workloads.Bias_zero_tc.node_bias_line in
+  let before =
+    Stability.Analysis.single_node (Workloads.Bias_zero_tc.cell ()) line
+  in
+  let peak_before =
+    match before.Stability.Analysis.dominant with
+    | Some d -> d
+    | None -> Alcotest.fail "no local loop found"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "underdamped local loop (%.2f)"
+       peak_before.Stability.Peaks.value)
+    true
+    (peak_before.Stability.Peaks.value < -2.);
+  Alcotest.(check bool)
+    (Printf.sprintf "tens of MHz (%.3g)" peak_before.Stability.Peaks.freq)
+    true
+    (peak_before.Stability.Peaks.freq > 10e6
+     && peak_before.Stability.Peaks.freq < 100e6);
+  (* The paper's fix: 1 pF at Q3's collector. *)
+  let fixed =
+    Workloads.Bias_zero_tc.cell
+      ~params:
+        { Workloads.Bias_zero_tc.default_params with compensation = 1e-12 }
+      ()
+  in
+  let after = Stability.Analysis.single_node fixed line in
+  match after.Stability.Analysis.dominant with
+  | Some d ->
+    Alcotest.(check bool)
+      (Printf.sprintf "damped after fix (%.2f)" d.Stability.Peaks.value)
+      true
+      (d.Stability.Peaks.value > -1.2)
+  | None -> ()
+
+let test_bias_startup_state_rejected () =
+  (* Without the nodeset the cell has a zero-current state; with it, the
+     conducting state must be selected at every library temperature. *)
+  List.iter
+    (fun t ->
+      let i = Workloads.Bias_zero_tc.reference_current ~temp_c:t () in
+      Alcotest.(check bool)
+        (Printf.sprintf "conducting at %g C" t)
+        true (i > 20e-6))
+    [ -40.; 27.; 125. ]
+
+(* ---------- followers and mirrors ---------- *)
+
+let test_follower_rings_with_source_resistance () =
+  let peak_at rsource =
+    let circ = Workloads.Follower.emitter_follower ~rsource () in
+    match
+      (Stability.Analysis.single_node circ "out").Stability.Analysis.dominant
+    with
+    | Some d -> d.Stability.Peaks.value
+    | None -> 0.
+  in
+  let damped = peak_at 100. in
+  let ringing = peak_at 3.3e3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "100R source benign (%.2f)" damped)
+    true (damped > -1.);
+  Alcotest.(check bool)
+    (Printf.sprintf "3.3k source rings (%.2f)" ringing)
+    true (ringing < -3.)
+
+let test_source_follower_runs () =
+  let circ = Workloads.Follower.source_follower () in
+  let r = Stability.Analysis.single_node circ "out" in
+  Alcotest.(check bool) "analysis completes" true
+    (List.length r.Stability.Analysis.peaks >= 0)
+
+let test_mirrors_bias_correctly () =
+  let check_mirror name circ out expected_v tol =
+    let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
+    check_close ~tol (name ^ " output") expected_v (Engine.Dcop.node_v op out)
+  in
+  (* 100 uA into RL = 25k: output at 5 - 2.5 = 2.5 V. *)
+  check_mirror "simple" (Workloads.Mirrors.simple_mirror ()) "out" 2.5 0.1;
+  check_mirror "wilson" (Workloads.Mirrors.wilson_mirror ()) "out" 2.5 0.1;
+  check_mirror "cascode"
+    (Workloads.Mirrors.cascode_mirror_with_line ())
+    "out" 3.0 0.15
+
+let test_filters_analytic () =
+  check_close ~tol:1e-12 "rc pole" (1. /. (2. *. Float.pi *. 1e-6))
+    (Workloads.Filters.rc_lowpass_pole ~r:1e3 ~c:1e-9 ());
+  let fn, zeta = Workloads.Filters.series_rlc_theory ~r:20. ~l:1e-3 ~c:1e-9 () in
+  check_close ~tol:1e-9 "series fn" (1. /. (2. *. Float.pi *. sqrt 1e-12)) fn;
+  check_close ~tol:1e-9 "series zeta" (10. *. sqrt (1e-9 /. 1e-3)) zeta
+
+let () =
+  Alcotest.run "workloads"
+    [ ("opamp",
+       [ Alcotest.test_case "operating point" `Quick
+           test_opamp_operating_point;
+         Alcotest.test_case "buffer gain" `Quick test_opamp_buffer_gain;
+         Alcotest.test_case "headline numbers" `Quick
+           test_opamp_headline_numbers;
+         Alcotest.test_case "three-way consistency" `Quick
+           test_opamp_three_way_consistency;
+         Alcotest.test_case "transient overshoot" `Quick
+           test_opamp_transient_overshoot ]);
+      ("bjt-opamp",
+       [ Alcotest.test_case "bipolar buffer" `Slow test_bjt_opamp;
+         Alcotest.test_case "load-cap tracking" `Slow test_tracking_cload ]);
+      ("bias",
+       [ Alcotest.test_case "zero TC" `Quick test_bias_zero_tc;
+         Alcotest.test_case "local loop and paper fix" `Quick
+           test_bias_local_loop_and_fix;
+         Alcotest.test_case "startup state rejected" `Quick
+           test_bias_startup_state_rejected ]);
+      ("followers",
+       [ Alcotest.test_case "EF rings with source R" `Quick
+           test_follower_rings_with_source_resistance;
+         Alcotest.test_case "source follower" `Quick
+           test_source_follower_runs ]);
+      ("mirrors-and-filters",
+       [ Alcotest.test_case "mirror bias points" `Quick
+           test_mirrors_bias_correctly;
+         Alcotest.test_case "filter closed forms" `Quick
+           test_filters_analytic ]) ]
