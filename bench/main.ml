@@ -412,6 +412,230 @@ let run_ablation_sparse () =
     [ 50; 100; 200; 400 ]
 
 (* ------------------------------------------------------------------ *)
+(* Compiled AC plan: sweep throughput, counters, peak equivalence       *)
+
+(* The seed pipeline, reproduced through the public API: dense per-point
+   factorisation on the coarse sweep, then one dense zoom re-probe per
+   (node, peak) — refinement one node at a time. This is what the tool
+   did before the compiled plan and batched refinement landed. *)
+let seed_all_nodes probe nodes ~sweep =
+  let pts = Numerics.Sweep.points sweep in
+  let fmin = pts.(0) and fmax = pts.(Array.length pts - 1) in
+  let responses =
+    Stability.Probe.response_many ~backend:`Dense probe ~sweep nodes
+  in
+  List.filter_map
+    (fun (node, w) ->
+      let mag = Numerics.Waveform.Freq.mag w in
+      let maxm = Array.fold_left Float.max 0. mag in
+      if (not (Float.is_finite maxm)) || maxm < 1e-9 then None
+      else begin
+        let plot = Stability.Stability_plot.of_response w in
+        let peaks = Stability.Peaks.analyze ~min_magnitude:0.2 plot in
+        let refined =
+          List.map
+            (fun (p : Stability.Peaks.peak) ->
+              let lo = Float.max fmin (p.freq /. 2.) in
+              let hi = Float.min fmax (p.freq *. 2.) in
+              if hi <= lo *. 1.01 then p
+              else begin
+                let zoom = Numerics.Sweep.decade lo hi 600 in
+                match
+                  Stability.Probe.response_many ~backend:`Dense probe
+                    ~sweep:zoom [ node ]
+                with
+                | [ (_, wz) ] ->
+                  (Stability.Peaks.analyze ~min_magnitude:0.1
+                     (Stability.Stability_plot.of_response wz)
+                   |> List.filter
+                     (fun (q : Stability.Peaks.peak) -> q.kind = p.kind)
+                   |> List.sort
+                     (fun (a : Stability.Peaks.peak) b ->
+                       compare
+                         (Float.abs (log (a.freq /. p.freq)))
+                         (Float.abs (log (b.freq /. p.freq))))
+                   |> function
+                   | best :: _ -> best
+                   | [] -> p)
+                | _ -> p
+              end)
+            peaks
+        in
+        Some (node, Stability.Peaks.dominant refined)
+      end)
+    responses
+
+let run_acplan_bench () =
+  section "AC plan -- compiled sweep throughput vs the dense baseline";
+  let opamp = Workloads.Opamp_2mhz.buffer () in
+  let probe = Stability.Probe.prepare opamp in
+  let sweep = Numerics.Sweep.decade 1e3 1e9 40 in
+  let points = Numerics.Sweep.count sweep in
+  let all = Circuit.Netlist.node_names opamp in
+  let single = [ Workloads.Opamp_2mhz.node_out ] in
+  let best_of_3 f =
+    ignore (f ());                  (* warm-up: page in the code paths *)
+    let best = ref Float.infinity in
+    let last = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      best := Float.min !best (Unix.gettimeofday () -. t0);
+      last := Some r
+    done;
+    (Option.get !last, !best)
+  in
+  let time_probe backend nodes =
+    snd
+      (best_of_3 (fun () ->
+           Stability.Probe.response_many ~backend probe ~sweep nodes))
+  in
+  let t_dense_1 = time_probe `Dense single in
+  let t_plan_1 = time_probe `Plan single in
+  let t_dense_all = time_probe `Dense all in
+  let t_plan_all = time_probe `Plan all in
+  let pps t = Float.of_int points /. t in
+  Printf.printf "raw probe sweeps (no refinement), %d points:\n" points;
+  Printf.printf "%12s %6s %10s %14s %9s\n" "mode" "nets" "time [s]"
+    "points/s" "speedup";
+  Printf.printf "%12s %6d %10.4f %14.0f %9s\n" "dense" 1 t_dense_1
+    (pps t_dense_1) "1.0x";
+  Printf.printf "%12s %6d %10.4f %14.0f %8.1fx\n" "plan" 1 t_plan_1
+    (pps t_plan_1) (t_dense_1 /. t_plan_1);
+  Printf.printf "%12s %6d %10.4f %14.0f %9s\n" "dense" (List.length all)
+    t_dense_all (pps t_dense_all) "1.0x";
+  Printf.printf "%12s %6d %10.4f %14.0f %8.1fx\n" "plan" (List.length all)
+    t_plan_all (pps t_plan_all) (t_dense_all /. t_plan_all);
+
+  (* End-to-end all-nodes analysis: the seed pipeline (dense solves,
+     one zoom re-probe per node and peak) against the compiled plan with
+     batched refinement. Same sweep, same refinement density. *)
+  let opts =
+    { Stability.Analysis.default_options with sweep }
+  in
+  let seed_r, t_seed =
+    best_of_3 (fun () -> seed_all_nodes probe all ~sweep)
+  in
+  let new_r, t_new =
+    best_of_3 (fun () ->
+        Stability.Analysis.all_nodes_prepared ~options:opts probe)
+  in
+  Printf.printf
+    "\nend-to-end all-nodes analysis (coarse + zoom refinement):\n\
+     seed pipeline (dense, per-node refine)  %.4f s\n\
+     plan pipeline (compiled, batched refine) %.4f s  (%.1fx)\n"
+    t_seed t_new (t_seed /. t_new);
+  (* Validity: both pipelines must find the same dominant peaks. *)
+  let seed_new_ok =
+    List.for_all
+      (fun (r : Stability.Analysis.node_result) ->
+        match
+          (List.assoc_opt r.Stability.Analysis.node seed_r,
+           r.Stability.Analysis.dominant)
+        with
+        | Some (Some p), Some q ->
+          Float.abs ((q.Stability.Peaks.freq /. p.Stability.Peaks.freq) -. 1.)
+          < 1e-3
+          && Float.abs
+               ((q.Stability.Peaks.value /. p.Stability.Peaks.value) -. 1.)
+             < 1e-3
+        | Some None, None | None, _ -> true
+        | _ -> false)
+      new_r
+  in
+  record ~experiment:"AC plan (all-nodes speedup)"
+    ~paper:">= 3x vs seed dense path"
+    ~measured:(Printf.sprintf "%.1fx, dominants match: %b"
+                 (t_seed /. t_new) seed_new_ok)
+    (t_seed /. t_new >= 3. && seed_new_ok);
+
+  (* The counter contract: one symbolic analysis per sweep, one numeric
+     refactorisation per frequency point, however many nets ride along. *)
+  let before = Engine.Ac_plan.totals () in
+  ignore (Stability.Probe.response_many ~backend:`Plan probe ~sweep all);
+  let after = Engine.Ac_plan.totals () in
+  let d_sym = after.Engine.Ac_plan.symbolic - before.Engine.Ac_plan.symbolic in
+  let d_num = after.Engine.Ac_plan.numeric - before.Engine.Ac_plan.numeric in
+  let d_fb = after.Engine.Ac_plan.fallback - before.Engine.Ac_plan.fallback in
+  Printf.printf
+    "\ncounters over one all-nodes sweep: %d symbolic, %d numeric \
+     (%d points), %d fallbacks\n"
+    d_sym d_num points d_fb;
+  record ~experiment:"AC plan (factorisation counters)"
+    ~paper:"1 symbolic/sweep, 1 numeric/point"
+    ~measured:(Printf.sprintf "%d symbolic, %d numeric" d_sym d_num)
+    (d_sym = 1 && d_num = points && d_fb = 0);
+
+  (* Peak equivalence: the plan is a performance refactor, not a new
+     analysis — dominant peaks must match the dense path within 0.1%. *)
+  let opts backend =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e9 20;
+      backend }
+  in
+  let dense_r =
+    Stability.Analysis.all_nodes_prepared ~options:(opts `Dense) probe
+  in
+  let plan_r =
+    Stability.Analysis.all_nodes_prepared ~options:(opts `Plan) probe
+  in
+  let worst_freq = ref 0. and worst_val = ref 0. in
+  List.iter2
+    (fun (a : Stability.Analysis.node_result)
+         (b : Stability.Analysis.node_result) ->
+      match (a.Stability.Analysis.dominant, b.Stability.Analysis.dominant) with
+      | Some p, Some q ->
+        worst_freq :=
+          Float.max !worst_freq
+            (Float.abs ((q.Stability.Peaks.freq /. p.Stability.Peaks.freq)
+                        -. 1.));
+        worst_val :=
+          Float.max !worst_val
+            (Float.abs ((q.Stability.Peaks.value /. p.Stability.Peaks.value)
+                        -. 1.))
+      | None, None -> ()
+      | _ -> worst_freq := 1.)
+    dense_r plan_r;
+  Printf.printf
+    "peak equivalence dense vs plan: worst fn error %.2e, worst index \
+     error %.2e\n"
+    !worst_freq !worst_val;
+  record ~experiment:"AC plan (peak equivalence)"
+    ~paper:"fn and index within 0.1%"
+    ~measured:
+      (Printf.sprintf "fn %.2e, index %.2e" !worst_freq !worst_val)
+    (!worst_freq < 1e-3 && !worst_val < 1e-3);
+
+  (* Machine-readable drop for trend tracking. *)
+  let oc = open_out "BENCH_acplan.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"circuit\": \"opamp_2mhz buffer\",\n\
+    \  \"unknowns\": %d,\n\
+    \  \"points\": %d,\n\
+    \  \"nets\": %d,\n\
+    \  \"single_node\": { \"dense_s\": %.6f, \"plan_s\": %.6f, \
+     \"dense_pps\": %.1f, \"plan_pps\": %.1f, \"speedup\": %.2f },\n\
+    \  \"all_nodes\": { \"dense_s\": %.6f, \"plan_s\": %.6f, \
+     \"dense_pps\": %.1f, \"plan_pps\": %.1f, \"speedup\": %.2f },\n\
+    \  \"pipeline\": { \"seed_s\": %.6f, \"plan_s\": %.6f, \"speedup\": \
+     %.2f, \"dominants_match\": %b },\n\
+    \  \"counters\": { \"symbolic\": %d, \"numeric\": %d, \"fallback\": %d \
+     },\n\
+    \  \"equivalence\": { \"worst_fn_rel\": %.3e, \"worst_index_rel\": \
+     %.3e }\n\
+     }\n"
+    probe.Stability.Probe.mna.Engine.Mna.size points (List.length all)
+    t_dense_1 t_plan_1 (pps t_dense_1) (pps t_plan_1)
+    (t_dense_1 /. t_plan_1) t_dense_all t_plan_all (pps t_dense_all)
+    (pps t_plan_all)
+    (t_dense_all /. t_plan_all)
+    t_seed t_new (t_seed /. t_new) seed_new_ok
+    d_sym d_num d_fb !worst_freq !worst_val;
+  close_out oc;
+  Printf.printf "wrote BENCH_acplan.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Summary                                                              *)
 
 let print_summary () =
@@ -526,5 +750,6 @@ let () =
   ignore (run_sec12 ());
   run_ablations ();
   run_ablation_sparse ();
+  run_acplan_bench ();
   print_summary ();
   timing_benchmarks ()

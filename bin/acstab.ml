@@ -39,6 +39,11 @@ let handle_analysis_errors f =
   | Engine.Mna.Compile_error m ->
     Printf.eprintf "elaboration error: %s\n" m;
     exit 2
+  | Invalid_argument m ->
+    (* Unknown or ground nets (Ac.v, Probe.response_many) are user
+       input errors, not internal failures. *)
+    Printf.eprintf "error: %s\n" m;
+    exit 2
 
 (* ---- common arguments ---- *)
 

@@ -95,35 +95,64 @@ let factor_at ?(gmin = 1e-12) ~op ~omega mna =
   matrix_at mna prims ~gmin ~w:omega a;
   Cmat.lu_factor a
 
-let run_compiled ?op ?(gmin = 1e-12) ~sweep mna =
+let run_compiled ?op ?(gmin = 1e-12) ?backend ~sweep mna =
   let op = match op with Some op -> op | None -> Dcop.solve mna in
-  let prims = Linearize.of_op op in
   let freqs = Sweep.points sweep in
+  let backend =
+    match backend with
+    | Some b -> b
+    | None ->
+      if mna.Mna.size <= Ac_plan.dense_cutoff then `Dense else `Plan
+  in
+  (* The independent-source excitation carries no frequency dependence
+     (AC magnitudes and phases only), so one RHS serves the sweep. *)
+  let b0 = Array.make mna.Mna.size Cx.zero in
+  source_rhs mna b0;
   let solutions =
-    Array.map
-      (fun f ->
-        let w = 2. *. Float.pi *. f in
-        let a = Cmat.create mna.Mna.size mna.Mna.size in
-        matrix_at mna prims ~gmin ~w a;
-        let b = Array.make mna.Mna.size Cx.zero in
-        source_rhs mna b;
-        Cmat.solve a b)
-      freqs
+    match backend with
+    | `Dense ->
+      let prims = Linearize.of_op op in
+      Array.map
+        (fun f ->
+          let w = 2. *. Float.pi *. f in
+          let a = Cmat.create mna.Mna.size mna.Mna.size in
+          matrix_at mna prims ~gmin ~w a;
+          Cmat.solve a b0)
+        freqs
+    | `Plan ->
+      let omega_ref =
+        if Array.length freqs = 0 then 2e6 *. Float.pi
+        else
+          2. *. Float.pi
+          *. sqrt (freqs.(0) *. freqs.(Array.length freqs - 1))
+      in
+      let plan = Ac_plan.compile ~gmin ~omega_ref ~op mna in
+      Array.map
+        (fun f -> Ac_plan.solve plan ~omega:(2. *. Float.pi *. f) b0)
+        freqs
   in
   { mna; op; freqs; solutions }
 
-let run ?dc_options ?gmin ~sweep circ =
+let run ?dc_options ?gmin ?backend ~sweep circ =
   let mna = Mna.compile circ in
   let op = Dcop.solve ?options:dc_options mna in
-  run_compiled ~op ?gmin ~sweep mna
+  run_compiled ~op ?gmin ?backend ~sweep mna
 
 let unknown_wave r idx =
   Waveform.Freq.make r.freqs (Array.map (fun sol -> sol.(idx)) r.solutions)
 
 let v r n =
-  let i = Mna.node_index r.mna n in
+  let i =
+    try Mna.node_index r.mna n
+    with Mna.Compile_error _ ->
+      invalid_arg (Printf.sprintf "Ac.v: unknown net %S" n)
+  in
   if i < 0 then
-    Waveform.Freq.make r.freqs (Array.map (fun _ -> Cx.zero) r.solutions)
+    (* Ground: identically zero by definition — matches
+       Probe.response_many's rejection rather than fabricating a silent
+       all-zero waveform for a net the caller may have simply
+       misspelled. *)
+    invalid_arg (Printf.sprintf "Ac.v: cannot read the ground net %S" n)
   else unknown_wave r i
 
 let vdiff r np nm =

@@ -12,14 +12,19 @@ type result = {
 }
 
 val run :
-  ?dc_options:Dcop.options -> ?gmin:float -> sweep:Numerics.Sweep.t ->
-  Circuit.Netlist.t -> result
+  ?dc_options:Dcop.options -> ?gmin:float -> ?backend:[ `Dense | `Plan ] ->
+  sweep:Numerics.Sweep.t -> Circuit.Netlist.t -> result
 (** Compile, find the operating point, and sweep. Raises
     {!Dcop.No_convergence} / {!Mna.Compile_error} like its parts. *)
 
 val run_compiled :
-  ?op:Dcop.t -> ?gmin:float -> sweep:Numerics.Sweep.t -> Mna.t -> result
-(** Sweep a pre-compiled circuit, reusing a known operating point. *)
+  ?op:Dcop.t -> ?gmin:float -> ?backend:[ `Dense | `Plan ] ->
+  sweep:Numerics.Sweep.t -> Mna.t -> result
+(** Sweep a pre-compiled circuit, reusing a known operating point. The
+    default backend compiles an {!Ac_plan} (one symbolic analysis per
+    sweep, one numeric refactorisation per point) for systems above
+    {!Ac_plan.dense_cutoff} unknowns and keeps the dense per-point LU
+    below it; [`Dense] forces the oracle path. *)
 
 val matrix_at :
   Mna.t -> Linearize.prim list -> gmin:float -> w:float -> Numerics.Cmat.t ->
@@ -36,7 +41,10 @@ val factor_at :
     the right-hand side. *)
 
 val v : result -> Circuit.Netlist.node -> Waveform.Freq.t
-(** Node-voltage response across the sweep (ground = 0). *)
+(** Node-voltage response across the sweep. Raises [Invalid_argument]
+    naming the net when it is unknown or ground (matching
+    {!Stability.Probe.response_many}) rather than returning a silent
+    all-zero waveform. *)
 
 val vdiff : result -> Circuit.Netlist.node -> Circuit.Netlist.node ->
   Waveform.Freq.t

@@ -1,0 +1,57 @@
+(** Compiled AC solve plan: the fast path of the sweep pipeline.
+
+    Compiles {!Mna.elems} plus the linearised DC-operating-point
+    primitives once into a frequency-parameterised sparse skeleton — a
+    constant conductance part [G] and a reactive part [C] sharing one
+    precomputed CSC pattern, so the system at angular frequency [w] is
+    [G + jwC]. Each frequency point of a sweep then costs an O(nnz)
+    numeric fill plus one numeric refactorisation along a symbolic
+    analysis computed once per plan; one factor serves every probed node
+    at that frequency through a multi-RHS batch solve.
+
+    Plans are immutable after {!compile}, so one plan may be shared by
+    Domain-parallel sweep workers without locking. *)
+
+type t
+
+val compile : ?gmin:float -> ?omega_ref:float -> op:Dcop.t -> Mna.t -> t
+(** Build the skeleton and run the one-per-sweep symbolic analysis.
+    [gmin] (default 1e-12) is added on node diagonals exactly as in the
+    dense path. [omega_ref] (default 2*pi*1e6) seeds the pivot order;
+    any in-band frequency works — frequencies where the frozen order
+    goes numerically stale re-pivot automatically. *)
+
+val size : t -> int
+val nnz : t -> int
+
+val dense_cutoff : int
+(** Unknown count at or below which callers should prefer the dense
+    oracle path over plan compilation. *)
+
+val matrix_at : t -> omega:float -> Numerics.Scmat.t
+(** Numeric fill [G + jwC] of the shared pattern (O(nnz); fresh value
+    array per call, pattern arrays shared). *)
+
+val factor_at : t -> omega:float -> Numerics.Scmat.factor
+(** One numeric refactorisation at [omega], falling back to a fresh
+    pivoting factorisation when the frozen pivot order is numerically
+    inadequate at this frequency (counted in {!totals}). *)
+
+val solve_many :
+  t -> omega:float -> Complex.t array array -> Complex.t array array
+(** One factorisation, many right-hand sides: the batched probing
+    solve. [solve_many t ~omega bs] factors once and solves every
+    excitation of [bs]. *)
+
+val solve : t -> omega:float -> Complex.t array -> Complex.t array
+
+type totals = {
+  symbolic : int;  (** symbolic analyses (one per plan + fallbacks) *)
+  numeric : int;   (** numeric factorisations (one per frequency point) *)
+  fallback : int;  (** points where frozen pivots were re-derived *)
+  rhs : int;       (** right-hand sides solved *)
+}
+
+val totals : unit -> totals
+(** Process-wide counters since start-up; take deltas around a sweep to
+    assert its factorisation budget (the benchmark and tests do). *)

@@ -13,6 +13,10 @@ module type S = sig
   val abs : t -> float
   (** Magnitude used for pivot selection and singularity tests. *)
 
+  val is_zero : t -> bool
+  (** Exact-zero test ([abs x = 0.] without the magnitude computation —
+      the zero-skip check of the sparse solve hot loops). *)
+
   val of_float : float -> t
   val pp : Format.formatter -> t -> unit
 end
@@ -28,6 +32,7 @@ module Float_field : S with type t = float = struct
   let div = ( /. )
   let neg x = -.x
   let abs = Float.abs
+  let is_zero x = x = 0.
   let of_float x = x
   let pp ppf x = Format.fprintf ppf "%.6g" x
 end
@@ -43,6 +48,7 @@ module Complex_field : S with type t = Complex.t = struct
   let div = Complex.div
   let neg = Complex.neg
   let abs = Complex.norm
+  let is_zero (x : t) = x.re = 0. && x.im = 0.
   let of_float re = { Complex.re; im = 0. }
   let pp = Cx.pp
 end

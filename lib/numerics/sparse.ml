@@ -30,6 +30,27 @@ module Make (F : Field.S) = struct
   let cols m = m.cols
   let nnz m = m.colptr.(m.cols)
 
+  (* Wrap caller-built compressed-sparse-column arrays without copying.
+     The plan compiler in the engine builds one pattern per sweep and
+     refills a fresh [values] array per frequency point; sharing the
+     pattern arrays is what makes the per-point fill O(nnz). *)
+  let of_csc ~rows ~cols ~colptr ~rowidx values =
+    if rows < 0 || cols < 0 then invalid_arg "Sparse.of_csc";
+    if Array.length colptr <> cols + 1 then
+      invalid_arg "Sparse.of_csc: colptr length";
+    if colptr.(0) <> 0 then invalid_arg "Sparse.of_csc: colptr.(0)";
+    for j = 0 to cols - 1 do
+      if colptr.(j + 1) < colptr.(j) then
+        invalid_arg "Sparse.of_csc: colptr not monotone"
+    done;
+    let n = colptr.(cols) in
+    if Array.length rowidx <> n || Array.length values <> n then
+      invalid_arg "Sparse.of_csc: nnz mismatch";
+    Array.iter
+      (fun i -> if i < 0 || i >= rows then invalid_arg "Sparse.of_csc: row")
+      rowidx;
+    { rows; cols; colptr; rowidx; values }
+
   let of_triplets ~rows ~cols triplets =
     if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triplets";
     List.iter
@@ -117,11 +138,15 @@ module Make (F : Field.S) = struct
                                 pivot position *)
     pinv : int array;        (* pinv.(orig_row) = pivot position, or -1
                                 during factorisation *)
+    rowperm : int array;     (* rowperm.(pivot_pos) = original row *)
   }
 
   (* Left-looking LU with partial pivoting. Rows are renamed lazily:
-     pinv.(r) is the pivot position assigned to original row r, or -1. *)
-  let lu_factor a =
+     pinv.(r) is the pivot position assigned to original row r, or -1.
+     With [keep_zeros] every structurally reachable entry is stored even
+     when its value is exactly zero — that closure is the frequency-
+     independent symbolic pattern the refactorisation path relies on. *)
+  let lu_factor_gen ~keep_zeros a =
     if a.rows <> a.cols then invalid_arg "Sparse.lu_factor: square required";
     let n = a.rows in
     let l_cols = Array.init n (fun _ -> colbuf_make ()) in
@@ -189,7 +214,7 @@ module Make (F : Field.S) = struct
         let k = pinv.(r) in
         if k >= 0 then begin
           let xk = x.(r) in
-          if F.abs xk <> 0. then begin
+          if not (F.is_zero xk) then begin
             let lc = l_cols.(k) in
             for q = 0 to lc.len - 1 do
               let rr = lc.idx.(q) in
@@ -221,23 +246,133 @@ module Make (F : Field.S) = struct
       for o = 0 to norder - 1 do
         let r = order.(o) in
         let k = pinv.(r) in
-        if k >= 0 && k < j && F.abs x.(r) <> 0. then
+        if k >= 0 && k < j && (keep_zeros || not (F.is_zero x.(r))) then
           colbuf_push u_cols.(j) k x.(r)
       done;
       colbuf_push u_cols.(j) j pv;
       (* Store L(:,j): non-pivotal rows, scaled by the pivot, keyed by
-         ORIGINAL row index (renamed on the fly as rows become pivotal). *)
+         ORIGINAL row index (renamed on the fly as rows become pivotal).
+         One reciprocal per column, multiplies per entry. *)
+      let ipv = F.div F.one pv in
       for o = 0 to norder - 1 do
         let r = order.(o) in
-        if pinv.(r) < 0 && F.abs x.(r) <> 0. then
-          colbuf_push l_cols.(j) r (F.div x.(r) pv)
+        if pinv.(r) < 0 && (keep_zeros || not (F.is_zero x.(r))) then
+          colbuf_push l_cols.(j) r (F.mul x.(r) ipv)
       done;
       (* Clear the work vector. *)
       for o = 0 to norder - 1 do
         x.(order.(o)) <- F.zero
       done
     done;
-    { n; l_cols; u_cols; pinv }
+    let rowperm = Array.make n 0 in
+    Array.iteri (fun r k -> rowperm.(k) <- r) pinv;
+    { n; l_cols; u_cols; pinv; rowperm }
+
+  let lu_factor a = lu_factor_gen ~keep_zeros:false a
+
+  (* ---- symbolic analysis + numeric refactorisation ----
+
+     A pivoting factorisation discovers two frequency-independent things
+     about an MNA system: the fill-in pattern of L and U and a pivot
+     order that works for matrices of this structure. [analyze] runs the
+     pivoting factorisation once, keeping every structurally reachable
+     entry (numeric zeros included, so the pattern is a superset of the
+     pattern at any other frequency), and freezes both. [refactor] then
+     recomputes only the numeric values along the frozen pattern — no
+     DFS, no pivot search — which is what turns the per-frequency cost
+     of a sweep from "full factorisation" into "one sparse triangular
+     replay". *)
+
+  type symbolic = {
+    sym_n : int;
+    sym_pinv : int array;
+    sym_rowperm : int array;
+    l_pat : int array array;  (* per pivot column: original row indices *)
+    u_pat : int array array;  (* per column: pivot positions ascending,
+                                 diagonal (j itself) last *)
+  }
+
+  let analyze a =
+    let f = lu_factor_gen ~keep_zeros:true a in
+    let l_pat = Array.map (fun cb -> Array.sub cb.idx 0 cb.len) f.l_cols in
+    let u_pat =
+      Array.mapi
+        (fun j cb ->
+          (* Ascending pivot positions give a valid left-looking update
+             order without re-deriving the DFS topological order. *)
+          let deps = Array.sub cb.idx 0 (cb.len - 1) in
+          Array.sort compare deps;
+          Array.append deps [| j |])
+        f.u_cols
+    in
+    ( { sym_n = f.n; sym_pinv = Array.copy f.pinv;
+        sym_rowperm = Array.copy f.rowperm; l_pat; u_pat },
+      f )
+
+  (* Numeric-only refactorisation along a frozen pattern. The matrix must
+     have a pattern contained in the analyzed one (the plan layer shares
+     the CSC pattern arrays outright, which guarantees it). The frozen
+     pivot order performed well at the analysis matrix; [pivot_tol]
+     guards the frequencies where it no longer does: a pivot smaller
+     than [pivot_tol] times the largest eliminated entry of its column
+     raises {!Singular} so the caller can fall back to a fresh pivoting
+     factorisation at that point. *)
+  let refactor ?(pivot_tol = 0.) sym a =
+    if a.rows <> sym.sym_n || a.cols <> sym.sym_n then
+      invalid_arg "Sparse.refactor: size mismatch";
+    let n = sym.sym_n in
+    let mkcols pat =
+      Array.map
+        (fun idx ->
+          { idx; v = Array.make (Array.length idx) F.zero;
+            len = Array.length idx })
+        pat
+    in
+    let l_cols = mkcols sym.l_pat and u_cols = mkcols sym.u_pat in
+    let x = Array.make n F.zero in
+    for j = 0 to n - 1 do
+      for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+        x.(a.rowidx.(p)) <- a.values.(p)
+      done;
+      let uc = u_cols.(j) in
+      for q = 0 to uc.len - 2 do
+        let k = uc.idx.(q) in
+        let xk = x.(sym.sym_rowperm.(k)) in
+        uc.v.(q) <- xk;
+        if not (F.is_zero xk) then begin
+          let lc = l_cols.(k) in
+          for t = 0 to lc.len - 1 do
+            let r = lc.idx.(t) in
+            x.(r) <- F.sub x.(r) (F.mul lc.v.(t) xk)
+          done
+        end
+      done;
+      let pv = x.(sym.sym_rowperm.(j)) in
+      let pmag = F.abs pv in
+      if pmag = 0. || not (Float.is_finite pmag) then raise (Singular j);
+      let lc = l_cols.(j) in
+      if pivot_tol > 0. then begin
+        let colmax = ref pmag in
+        for t = 0 to lc.len - 1 do
+          colmax := Float.max !colmax (F.abs x.(lc.idx.(t)))
+        done;
+        if pmag < pivot_tol *. !colmax then raise (Singular j)
+      end;
+      uc.v.(uc.len - 1) <- pv;
+      let ipv = F.div F.one pv in
+      for t = 0 to lc.len - 1 do
+        lc.v.(t) <- F.mul x.(lc.idx.(t)) ipv
+      done;
+      (* The touched work entries are exactly the frozen column pattern
+         (A's rows are a subset of it). *)
+      for q = 0 to uc.len - 1 do
+        x.(sym.sym_rowperm.(uc.idx.(q))) <- F.zero
+      done;
+      for t = 0 to lc.len - 1 do
+        x.(lc.idx.(t)) <- F.zero
+      done
+    done;
+    { n; l_cols; u_cols; pinv = sym.sym_pinv; rowperm = sym.sym_rowperm }
 
   let lu_solve f b =
     if Array.length b <> f.n then invalid_arg "Sparse.lu_solve";
@@ -249,11 +384,9 @@ module Make (F : Field.S) = struct
     (* Row r with pinv.(r) = k means w.(r) is the k-th equation. Process
        columns in order: subtract L(:,k) * y_k. y_k lives at the pivot row
        of column k. *)
-    let pivot_row_of = Array.make n 0 in
-    Array.iteri (fun r k -> pivot_row_of.(k) <- r) f.pinv;
     for k = 0 to n - 1 do
-      let yk = w.(pivot_row_of.(k)) in
-      if F.abs yk <> 0. then begin
+      let yk = w.(f.rowperm.(k)) in
+      if not (F.is_zero yk) then begin
         let lc = f.l_cols.(k) in
         for q = 0 to lc.len - 1 do
           let r = lc.idx.(q) in
@@ -262,20 +395,73 @@ module Make (F : Field.S) = struct
       end
     done;
     (* Back substitution on U (U is stored per column with the diagonal
-       last, entries keyed by pivot position). *)
-    let y = Array.init n (fun k -> w.(pivot_row_of.(k))) in
+       last, entries keyed by pivot position); the permuted intermediate
+       y.(k) lives at w.(rowperm.(k)) — no separate copy. *)
     let xsol = Array.make n F.zero in
     for k = n - 1 downto 0 do
       let uc = f.u_cols.(k) in
       let diag = uc.v.(uc.len - 1) in
-      xsol.(k) <- F.div y.(k) diag;
+      let xk = F.div w.(f.rowperm.(k)) diag in
+      xsol.(k) <- xk;
       (* U(:,k)'s above-diagonal entries feed earlier equations. *)
-      for q = 0 to uc.len - 2 do
-        let i = uc.idx.(q) in
-        y.(i) <- F.sub y.(i) (F.mul uc.v.(q) xsol.(k))
-      done
+      if not (F.is_zero xk) then
+        for q = 0 to uc.len - 2 do
+          let i = f.rowperm.(uc.idx.(q)) in
+          w.(i) <- F.sub w.(i) (F.mul uc.v.(q) xk)
+        done
     done;
     xsol
+
+  (* One factorisation serving many excitations: the all-nodes probing
+     mode solves the same factor against one unit-current RHS per net.
+     Batched column-outer / RHS-inner so each L and U column is walked
+     once per frequency point, not once per net. *)
+  let lu_solve_many f bs =
+    let m = Array.length bs in
+    if m <= 1 then Array.map (fun b -> lu_solve f b) bs
+    else begin
+      let n = f.n in
+      Array.iter
+        (fun b ->
+          if Array.length b <> n then invalid_arg "Sparse.lu_solve_many")
+        bs;
+      let ws = Array.map Array.copy bs in
+      for k = 0 to n - 1 do
+        let pr = f.rowperm.(k) in
+        let lc = f.l_cols.(k) in
+        if lc.len > 0 then
+          for s = 0 to m - 1 do
+            let w = ws.(s) in
+            let yk = w.(pr) in
+            (* Unit-current probes keep the forward sweep sparse: most
+               workspaces are still zero at most pivots. *)
+            if not (F.is_zero yk) then
+              for q = 0 to lc.len - 1 do
+                let r = lc.idx.(q) in
+                w.(r) <- F.sub w.(r) (F.mul lc.v.(q) yk)
+              done
+          done
+      done;
+      let xs = Array.init m (fun _ -> Array.make n F.zero) in
+      for k = n - 1 downto 0 do
+        let uc = f.u_cols.(k) in
+        let pr = f.rowperm.(k) in
+        (* One reciprocal per column amortised over the whole batch; the
+           permuted intermediates stay in the forward workspaces. *)
+        let idiag = F.div F.one uc.v.(uc.len - 1) in
+        for s = 0 to m - 1 do
+          let w = ws.(s) in
+          let xk = F.mul w.(pr) idiag in
+          xs.(s).(k) <- xk;
+          if not (F.is_zero xk) then
+            for q = 0 to uc.len - 2 do
+              let i = f.rowperm.(uc.idx.(q)) in
+              w.(i) <- F.sub w.(i) (F.mul uc.v.(q) xk)
+            done
+        done
+      done;
+      xs
+    end
 
   let residual_inf m x b =
     let ax = mulvec m x in

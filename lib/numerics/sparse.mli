@@ -12,6 +12,15 @@ module Make (F : Field.S) : sig
   val of_triplets : rows:int -> cols:int -> (int * int * elt) list -> t
   (** Duplicate entries are summed; exact zeros dropped. *)
 
+  val of_csc :
+    rows:int -> cols:int -> colptr:int array -> rowidx:int array ->
+    elt array -> t
+  (** Wrap caller-built compressed-sparse-column arrays (no copy; the
+      caller must not mutate [colptr]/[rowidx] afterwards). Row indices
+      within a column need not be sorted. The AC plan compiler builds one
+      pattern per sweep and re-wraps a fresh value array per frequency
+      point — an O(nnz) numeric fill with no triplet harvesting. *)
+
   val rows : t -> int
   val cols : t -> int
   val nnz : t -> int
@@ -22,6 +31,32 @@ module Make (F : Field.S) : sig
   val lu_factor : t -> factor
   (** Raises {!Singular} when a column has no usable pivot. *)
 
+  type symbolic
+  (** Frequency-independent part of a factorisation: fill-in pattern of
+      L and U plus the pivot order, frozen by {!analyze}. *)
+
+  val analyze : t -> symbolic * factor
+  (** Pivoting factorisation that also freezes the symbolic analysis.
+      Every structurally reachable entry is kept (numeric zeros
+      included), so the frozen pattern covers the matrix at any other
+      parameter value with the same structure. Returns the factor at the
+      analysis values too, so the first point of a sweep is not paid
+      twice. Raises {!Singular} like {!lu_factor}. *)
+
+  val refactor : ?pivot_tol:float -> symbolic -> t -> factor
+  (** Numeric-only refactorisation along the frozen pattern: no DFS, no
+      pivot search — the per-frequency cost of a sweep. The matrix
+      pattern must be contained in the analyzed one (sharing the
+      {!of_csc} pattern arrays guarantees it). Raises {!Singular} when a
+      frozen pivot is exactly zero, non-finite, or — with [pivot_tol]
+      > 0 — smaller than [pivot_tol] times the largest eliminated entry
+      of its column; callers fall back to a fresh {!analyze} then. *)
+
   val lu_solve : factor -> elt array -> elt array
+
+  val lu_solve_many : factor -> elt array array -> elt array array
+  (** Solve one factor against many right-hand sides (the multi-RHS
+      batch of the all-nodes probing mode). *)
+
   val residual_inf : t -> elt array -> elt array -> float
 end

@@ -8,6 +8,7 @@ type options = {
   min_peak : float;
   dc_options : Engine.Dcop.options;
   parallel : bool;
+  backend : [ `Auto | `Dense | `Sparse | `Plan ];
 }
 
 let default_options =
@@ -17,7 +18,17 @@ let default_options =
     refine_per_decade = 600;
     min_peak = 0.2;
     dc_options = Engine.Dcop.default_options;
-    parallel = false }
+    parallel = false;
+    backend = `Auto }
+
+let probe_backend opts =
+  match opts.backend with
+  | `Auto -> None
+  | (`Dense | `Sparse | `Plan) as b -> Some b
+
+let response_many opts probe nodes ~sweep =
+  Probe.response_many ?backend:(probe_backend opts)
+    ~parallel:opts.parallel probe ~sweep nodes
 
 type node_result = {
   node : Circuit.Netlist.node;
@@ -57,28 +68,20 @@ let live_window (w : Waveform.Freq.t) =
     end
   end
 
-(* Re-probe a zoom window around a coarse peak and return the refined
-   peak if the fine grid confirms one of the same kind nearby. *)
-let refine_peak opts probe node (coarse : Peaks.peak) =
-  let fmin, fmax = sweep_bounds opts.sweep in
-  let center = coarse.Peaks.freq in
-  let lo = Float.max fmin (center /. opts.refine_ratio) in
-  let hi = Float.min fmax (center *. opts.refine_ratio) in
-  if hi <= lo *. 1.01 then coarse
-  else begin
-    let zoom = Sweep.decade lo hi opts.refine_per_decade in
-    let w = Probe.response probe ~sweep:zoom node in
-    match live_window w with
-    | None -> coarse
-    | Some w ->
+(* Select the refined peak from a zoom-window response: the candidate of
+   the same kind closest to the coarse estimate in log frequency. Edge
+   hits in the zoom window mean the coarse peak was spurious curvature,
+   in which case keep the coarse data. *)
+let refined_from opts (coarse : Peaks.peak) w =
+  match live_window w with
+  | None -> coarse
+  | Some w ->
+    let center = coarse.Peaks.freq in
     let plot = Stability_plot.of_response w in
     let candidates =
       Peaks.analyze ~min_magnitude:(opts.min_peak /. 2.) plot
       |> List.filter (fun (p : Peaks.peak) -> p.kind = coarse.kind)
     in
-    (* Pick the candidate closest to the coarse estimate in log frequency;
-       edge hits in the zoom window mean the coarse peak was spurious
-       curvature, in which case keep the coarse data. *)
     candidates
     |> List.filter (fun (p : Peaks.peak) ->
         not (List.mem Peaks.End_of_range p.notices))
@@ -98,24 +101,116 @@ let refine_peak opts probe node (coarse : Peaks.peak) =
       in
       { best with notices }
     | [] -> coarse
-  end
 
-let analyze_node_opt opts probe node response =
-  match live_window response with
-  | None -> None
-  | Some response ->
-    let plot = Stability_plot.of_response response in
-    let coarse = Peaks.analyze ~min_magnitude:opts.min_peak plot in
-    let peaks =
-      if opts.refine then List.map (refine_peak opts probe node) coarse
-      else coarse
-    in
-    Some { node; plot; peaks; dominant = Peaks.dominant peaks }
+(* A refinement job: one coarse peak of one node, keyed so the refined
+   result lands back in that node's peak list. *)
+type refine_job = {
+  rj_node : Circuit.Netlist.node;
+  rj_slot : int;                  (* index within the node's peak list *)
+  rj_coarse : Peaks.peak;
+}
+
+(* Batched zoom refinement. Nodes of one feedback loop peak at (nearly)
+   the same natural frequency — the paper's loop-clustering insight — so
+   their zoom windows coincide. Grouping the jobs by coarse frequency
+   and re-probing each merged window once with a multi-RHS
+   {!Probe.response_many} call shares the per-point factorisation across
+   every node of the loop instead of re-probing one node at a time. *)
+let refine_batched opts probe jobs =
+  let fmin, fmax = sweep_bounds opts.sweep in
+  let sorted =
+    List.sort
+      (fun a b -> compare a.rj_coarse.Peaks.freq b.rj_coarse.Peaks.freq)
+      jobs
+  in
+  (* Chain-group: a job joins the current group while its center lies
+     within [refine_ratio] of the previous one, so windows that would
+     overlap anyway are merged. *)
+  let rec group acc current = function
+    | [] -> List.rev (match current with [] -> acc | c -> List.rev c :: acc)
+    | j :: rest ->
+      (match current with
+       | [] -> group acc [ j ] rest
+       | prev :: _
+         when j.rj_coarse.Peaks.freq /. prev.rj_coarse.Peaks.freq
+              <= opts.refine_ratio ->
+         group acc (j :: current) rest
+       | _ -> group (List.rev current :: acc) [ j ] rest)
+  in
+  let groups = group [] [] sorted in
+  List.concat_map
+    (fun grp ->
+      let centers = List.map (fun j -> j.rj_coarse.Peaks.freq) grp in
+      let cmin = List.fold_left Float.min Float.infinity centers in
+      let cmax = List.fold_left Float.max 0. centers in
+      let lo = Float.max fmin (cmin /. opts.refine_ratio) in
+      let hi = Float.min fmax (cmax *. opts.refine_ratio) in
+      if hi <= lo *. 1.01 then
+        List.map (fun j -> (j, j.rj_coarse)) grp
+      else begin
+        let zoom = Sweep.decade lo hi opts.refine_per_decade in
+        let nodes =
+          List.sort_uniq compare (List.map (fun j -> j.rj_node) grp)
+        in
+        let responses = response_many opts probe nodes ~sweep:zoom in
+        List.map
+          (fun j ->
+            let w = List.assoc j.rj_node responses in
+            (j, refined_from opts j.rj_coarse w))
+          grp
+      end)
+    groups
+
+(* Coarse analysis of every live net, then one batched refinement pass
+   over all (node, peak) jobs at once. *)
+let analyze_many opts probe entries =
+  let coarse =
+    List.filter_map
+      (fun (node, w) ->
+        match live_window w with
+        | None ->
+          (* Pinned by an ideal source: unobservable, skipped — as the
+             paper's tool skips nets it cannot stimulate. *)
+          None
+        | Some response ->
+          let plot = Stability_plot.of_response response in
+          let peaks = Peaks.analyze ~min_magnitude:opts.min_peak plot in
+          Some (node, plot, peaks))
+      entries
+  in
+  let refined_of =
+    if not opts.refine then fun _ _ coarse_pk -> coarse_pk
+    else begin
+      let jobs =
+        List.concat_map
+          (fun (node, _, peaks) ->
+            List.mapi
+              (fun slot pk ->
+                { rj_node = node; rj_slot = slot; rj_coarse = pk })
+              peaks)
+          coarse
+      in
+      let table = Hashtbl.create 32 in
+      List.iter
+        (fun (j, refined) -> Hashtbl.replace table (j.rj_node, j.rj_slot)
+            refined)
+        (refine_batched opts probe jobs);
+      fun node slot coarse_pk ->
+        match Hashtbl.find_opt table (node, slot) with
+        | Some refined -> refined
+        | None -> coarse_pk
+    end
+  in
+  List.map
+    (fun (node, plot, peaks) ->
+      let peaks = List.mapi (fun slot pk -> refined_of node slot pk) peaks in
+      { node; plot; peaks; dominant = Peaks.dominant peaks })
+    coarse
 
 let analyze_node opts probe node response =
-  match analyze_node_opt opts probe node response with
-  | Some r -> r
-  | None ->
+  match analyze_many opts probe [ (node, response) ] with
+  | [ r ] -> r
+  | _ ->
     failwith
       (Printf.sprintf
          "Stability.Analysis: net %S shows no finite AC response (held by \
@@ -123,7 +218,11 @@ let analyze_node opts probe node response =
          node)
 
 let single_node_prepared ?(options = default_options) probe node =
-  let w = Probe.response probe ~sweep:options.sweep node in
+  let w =
+    match response_many options probe [ node ] ~sweep:options.sweep with
+    | [ (_, w) ] -> w
+    | _ -> assert false
+  in
   analyze_node options probe node w
 
 let all_nodes_prepared ?(options = default_options) ?nodes probe =
@@ -133,15 +232,8 @@ let all_nodes_prepared ?(options = default_options) ?nodes probe =
     | None ->
       Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
   in
-  let responses =
-    Probe.response_many ~parallel:options.parallel probe
-      ~sweep:options.sweep all
-  in
-  (* Nets with no live response window (pinned by ideal sources) are
-     skipped, as the paper's tool skips nets it cannot stimulate. *)
-  List.filter_map
-    (fun (node, w) -> analyze_node_opt options probe node w)
-    responses
+  let responses = response_many options probe all ~sweep:options.sweep in
+  analyze_many options probe responses
 
 let single_node ?(options = default_options) circ node =
   let probe = Probe.prepare ~dc_options:options.dc_options circ in

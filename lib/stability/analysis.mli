@@ -7,19 +7,32 @@
 
     Peaks found on the coarse sweep are optionally refined by re-probing a
     narrow log window around each peak at a much finer grid (the coarse
-    grid alone biases sharp peaks low). *)
+    grid alone biases sharp peaks low). Refinement is batched: nodes
+    observing the same feedback loop peak at (nearly) the same natural
+    frequency — the paper's loop-clustering insight — so their zoom
+    windows are merged and re-probed together through one multi-RHS
+    {!Probe.response_many} call per frequency group, sharing each
+    per-point factorisation across every node of the loop. *)
 
 type options = {
   sweep : Numerics.Sweep.t;      (** coarse sweep (default 1 kHz - 1 GHz,
                                      30 points/decade) *)
   refine : bool;                 (** zoom re-probe around peaks (true) *)
   refine_ratio : float;          (** half-width of the zoom window as a
-                                     frequency ratio (2.0) *)
+                                     frequency ratio (2.0); also the gap
+                                     within which refinement jobs are
+                                     merged into one batched window *)
   refine_per_decade : int;       (** zoom grid density (600) *)
   min_peak : float;              (** report peaks with |P| above this (0.2) *)
   dc_options : Engine.Dcop.options;
   parallel : bool;               (** spread the all-nodes sweep across
                                      OCaml domains (false) *)
+  backend : [ `Auto | `Dense | `Sparse | `Plan ];
+  (** linear-solver path handed to {!Probe.response_many}. [`Auto] (the
+      default) lets the probe layer pick: the compiled AC plan above
+      {!Engine.Ac_plan.dense_cutoff} unknowns, dense below. The explicit
+      values force one path — useful for cross-checking backends against
+      each other on the same design. *)
 }
 
 val default_options : options

@@ -17,18 +17,16 @@ let excitation size k =
   b.(k) <- Cx.one;
   b
 
-(* Above this unknown count the sparse backend factors the AC system
-   faster than dense LU (circuit matrices carry only a few entries per
-   row); below it the dense path's simplicity wins. *)
-let sparse_threshold = 120
-
 let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
     nodes =
   let size = t.mna.Engine.Mna.size in
   let backend =
     match backend with
     | Some b -> b
-    | None -> if size > sparse_threshold then `Sparse else `Dense
+    | None ->
+      (* The compiled plan is the fast path for anything non-trivial;
+         tiny systems keep the dense oracle's simplicity. *)
+      if size <= Engine.Ac_plan.dense_cutoff then `Dense else `Plan
   in
   let indexed =
     List.map
@@ -43,43 +41,67 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
   let per_node = List.map (fun (n, i) -> (n, i, Array.make
                                             (Array.length freqs) Cx.zero))
                    indexed in
-  let prims = Engine.Linearize.of_op t.op in
+  (* One plan compilation — and thus exactly one symbolic analysis —
+     per sweep; sparse and plan backends both fill its O(nnz) skeleton
+     instead of stamping a dense matrix and harvesting triplets. *)
+  let plan =
+    match backend with
+    | `Dense -> None
+    | `Sparse | `Plan ->
+      let omega_ref =
+        if Array.length freqs = 0 then 2e6 *. Float.pi
+        else
+          2. *. Float.pi
+          *. sqrt (freqs.(0) *. freqs.(Array.length freqs - 1))
+      in
+      Some (Engine.Ac_plan.compile ~gmin ~omega_ref ~op:t.op t.mna)
+  in
+  (* The probe excitations carry no frequency dependence; build the
+     multi-RHS batch once per sweep (solves never mutate their RHS, and
+     the array is only read after this, so sharing it across domains is
+     safe). *)
+  let bs =
+    match backend with
+    | `Plan ->
+      Array.of_list (List.map (fun (_, i, _) -> excitation size i) per_node)
+    | `Dense | `Sparse -> [||]
+  in
   let run_point fk f =
     let omega = 2. *. Float.pi *. f in
-    let solve =
-      match backend with
-      | `Dense ->
-        let lu = Engine.Ac.factor_at ~gmin ~op:t.op ~omega t.mna in
-        fun b -> Cmat.lu_solve lu b
-      | `Sparse ->
-        (* The stamps write into a dense matrix; harvesting its nonzeros
-           into triplets costs one O(size^2) scan, negligible next to
-           the factorisation it replaces. *)
-        let a = Cmat.create size size in
-        Engine.Ac.matrix_at t.mna prims ~gmin ~w:omega a;
-        let triplets = ref [] in
-        for i = 0 to size - 1 do
-          for j = 0 to size - 1 do
-            let v = Cmat.get a i j in
-            if Cx.mag v <> 0. then triplets := (i, j, v) :: !triplets
-          done
-        done;
-        let sp = Scmat.of_triplets ~rows:size ~cols:size !triplets in
-        let lu = Scmat.lu_factor sp in
-        fun b -> Scmat.lu_solve lu b
-    in
-    List.iter
-      (fun (_, i, out) ->
-        let x = solve (excitation size i) in
-        out.(fk) <- x.(i))
-      per_node
+    match (backend, plan) with
+    | `Plan, Some plan ->
+      (* One numeric refactorisation, then every probed node as one
+         multi-RHS batch against the same factor. *)
+      let xs = Engine.Ac_plan.solve_many plan ~omega bs in
+      List.iteri (fun q (_, i, out) -> out.(fk) <- xs.(q).(i)) per_node
+    | `Sparse, Some plan ->
+      (* Fresh pivoting factorisation per point (no symbolic reuse);
+         kept as the mid-way reference between dense and plan. *)
+      let a = Engine.Ac_plan.matrix_at plan ~omega in
+      let lu = Scmat.lu_factor a in
+      List.iter
+        (fun (_, i, out) ->
+          out.(fk) <- (Scmat.lu_solve lu (excitation size i)).(i))
+        per_node
+    | `Dense, _ | _, None ->
+      let lu = Engine.Ac.factor_at ~gmin ~op:t.op ~omega t.mna in
+      List.iter
+        (fun (_, i, out) ->
+          out.(fk) <- (Cmat.lu_solve lu (excitation size i)).(i))
+        per_node
   in
   if not parallel then Array.iteri run_point freqs
   else begin
     (* Frequency points are independent; spread them over domains. Each
        domain writes disjoint columns of the (pre-allocated) result
-       arrays, so no synchronisation is needed. *)
-    let workers = Int.max 1 (Domain.recommended_domain_count () - 1) in
+       arrays, so no synchronisation is needed — the shared plan is
+       immutable after compilation. Never spawn more workers than there
+       are points. *)
+    let workers =
+      Int.max 1
+        (Int.min (Array.length freqs)
+           (Domain.recommended_domain_count () - 1))
+    in
     let domains =
       List.init workers (fun w ->
           Domain.spawn (fun () ->

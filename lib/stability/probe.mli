@@ -28,14 +28,21 @@ val response :
 (** Driving-point transimpedance of one net across a sweep. *)
 
 val response_many :
-  ?gmin:float -> ?backend:[ `Dense | `Sparse ] -> ?parallel:bool -> t ->
-  sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
+  ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] -> ?parallel:bool ->
+  t -> sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
   (Circuit.Netlist.node * Numerics.Waveform.Freq.t) list
-(** Shared-factorisation probing of many nets (one LU per frequency).
-    The backend defaults to dense LU, switching to the sparse
-    Gilbert-Peierls factorisation above ~120 unknowns. With [parallel]
-    the independent frequency points are spread across OCaml domains
-    (the paper's "distributed run" capability at multicore scale). *)
+(** Shared-factorisation probing of many nets.
+
+    [`Plan] — the default above {!Engine.Ac_plan.dense_cutoff}
+    unknowns — compiles the sweep once into an {!Engine.Ac_plan}: one
+    symbolic analysis per sweep, one O(nnz) numeric fill and
+    refactorisation per frequency point, and all probed nets solved as
+    one multi-RHS batch per point. [`Sparse] keeps a fresh
+    Gilbert-Peierls factorisation per point over the same compiled
+    skeleton; [`Dense] (the default for tiny systems) is the oracle
+    path. With [parallel] the independent frequency points are spread
+    across OCaml domains (the paper's "distributed run" capability at
+    multicore scale), capped at the point count. *)
 
 val response_via_netlist :
   ?gmin:float -> ?dc_options:Engine.Dcop.options -> Circuit.Netlist.t ->

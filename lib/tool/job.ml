@@ -16,19 +16,24 @@ let run_sequential jobs = List.map execute jobs
    restored at the end. *)
 let run_parallel jobs =
   let indexed = List.mapi (fun i j -> (i, j)) jobs in
-  let workers = Int.max 1 (Domain.recommended_domain_count () - 1) in
+  (* Never spawn more domains than there are jobs — a two-job batch on a
+     16-core machine gets two workers, not fifteen idle ones. *)
+  let workers =
+    Int.max 1
+      (Int.min (List.length jobs) (Domain.recommended_domain_count () - 1))
+  in
   let buckets = Array.make workers [] in
   List.iter
     (fun (i, j) -> buckets.(i mod workers) <- (i, j) :: buckets.(i mod workers))
     indexed;
   let domains =
-    Array.map
-      (fun bucket ->
+    Array.to_list buckets
+    |> List.filter (fun bucket -> bucket <> [])
+    |> List.map (fun bucket ->
         Domain.spawn (fun () ->
             List.map (fun (i, j) -> (i, execute j)) bucket))
-      buckets
   in
-  let tagged = Array.to_list domains |> List.concat_map Domain.join in
+  let tagged = List.concat_map Domain.join domains in
   List.sort (fun (a, _) (b, _) -> compare a b) tagged |> List.map snd
 
 let run_all ?(parallel = false) jobs =

@@ -16,9 +16,10 @@ type 'a outcome = {
 val run_all :
   ?parallel:bool -> (string * (unit -> 'a)) list -> 'a outcome list
 (** Execute the jobs. With [parallel] (default false) jobs are distributed
-    over [Domain.recommended_domain_count () - 1] worker domains (at least
-    one); results come back in submission order either way. Jobs must not
-    share mutable state when run in parallel. *)
+    over [min (job count) (Domain.recommended_domain_count () - 1)] worker
+    domains (at least one) — never more domains than jobs; results come
+    back in submission order either way. Jobs must not share mutable state
+    when run in parallel. *)
 
 val results_exn : 'a outcome list -> 'a list
 (** Extract every result, re-raising the first failure. *)

@@ -175,6 +175,102 @@ let test_sparse_duplicates_summed () =
   let x = Srmat.lu_solve (Srmat.lu_factor a) [| 6. |] in
   check_close "summed" 2. x.(0)
 
+(* ---------- symbolic reuse / numeric refactorisation ---------- *)
+
+(* Random MNA-like G + jwC skeleton: diagonally dominant conductances
+   (resistors and gm diagonals), VCCS-style asymmetric off-diagonal
+   couplings, and reactive entries sharing the same sparsity pattern. *)
+let random_gc_skeleton st n =
+  let tbl = Hashtbl.create (n * 6) in
+  let add i j g c =
+    let g0, c0 =
+      match Hashtbl.find_opt tbl (i, j) with
+      | Some gc -> gc
+      | None -> (0., 0.)
+    in
+    Hashtbl.replace tbl (i, j) (g0 +. g, c0 +. c)
+  in
+  let rnd () = Random.State.float st 2. -. 1. in
+  for j = 0 to n - 1 do
+    (* Conductance + capacitance to ground on every node. *)
+    add j j (6. +. Random.State.float st 4.) (1e-9 *. Random.State.float st 1.);
+    for _ = 1 to 3 do
+      let i = Random.State.int st n in
+      if i <> j then begin
+        (* VCCS-like stamp: off-diagonal conductance with its diagonal
+           return, plus a coupling capacitor on the same entries. *)
+        let g = rnd () and c = 1e-10 *. Random.State.float st 1. in
+        add i j (-.g) (-.c);
+        add i i g c
+      end
+    done
+  done;
+  (* Flatten to CSC sorted by (column, row). *)
+  let entries =
+    Hashtbl.fold (fun (i, j) (g, c) acc -> ((j, i), (g, c)) :: acc) tbl []
+    |> List.sort compare
+  in
+  let nnz = List.length entries in
+  let colptr = Array.make (n + 1) 0 in
+  let rowidx = Array.make nnz 0 in
+  let gvals = Array.make nnz 0. in
+  let cvals = Array.make nnz 0. in
+  List.iteri
+    (fun p ((j, i), (g, c)) ->
+      colptr.(j + 1) <- colptr.(j + 1) + 1;
+      rowidx.(p) <- i;
+      gvals.(p) <- g;
+      cvals.(p) <- c)
+    entries;
+  for j = 0 to n - 1 do
+    colptr.(j + 1) <- colptr.(j) + colptr.(j + 1)
+  done;
+  (colptr, rowidx, gvals, cvals)
+
+let prop_symbolic_reuse =
+  QCheck.Test.make
+    ~name:"one symbolic analysis serves a sweep (refactor + multi-RHS)"
+    ~count:60
+    QCheck.(pair (int_range 3 40) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 71 |] in
+      let colptr, rowidx, gvals, cvals = random_gc_skeleton st n in
+      let nnz = Array.length rowidx in
+      let at omega =
+        Scmat.of_csc ~rows:n ~cols:n ~colptr ~rowidx
+          (Array.init nnz (fun p -> Complex.{ re = gvals.(p);
+                                              im = omega *. cvals.(p) }))
+      in
+      (* Frequencies spanning six decades around the analysis point. *)
+      let omegas = [| 2e3; 6.3e4; 2e6; 6.3e7; 2e9 |] in
+      let sym, _ = Scmat.analyze (at 2e6) in
+      let rnd () = Random.State.float st 2. -. 1. in
+      let bs =
+        Array.init 3 (fun _ ->
+            Array.init n (fun _ -> Complex.{ re = rnd (); im = rnd () }))
+      in
+      Array.for_all
+        (fun omega ->
+          let a = at omega in
+          (* Numeric-only replay along the frozen pattern... *)
+          let f = Scmat.refactor ~pivot_tol:1e-6 sym a in
+          let xs = Scmat.lu_solve_many f bs in
+          (* ...must agree with a fresh dense LU at the same point. *)
+          let d = Cmat.create n n in
+          for j = 0 to n - 1 do
+            for p = colptr.(j) to colptr.(j + 1) - 1 do
+              Cmat.add_to d rowidx.(p) j
+                Complex.{ re = gvals.(p); im = omega *. cvals.(p) }
+            done
+          done;
+          Array.for_all2
+            (fun x b ->
+              let xd = Cmat.solve d b in
+              Scmat.residual_inf a x b < 1e-9
+              && Array.for_all2 (Cx.close ~tol:1e-7) x xd)
+            xs bs)
+        omegas)
+
 (* ---------- polynomials ---------- *)
 
 let test_poly_eval () =
@@ -528,7 +624,7 @@ let () =
            test_sparse_duplicates_summed ]);
       qsuite "sparse-props"
         [ prop_sparse_lu_random; prop_sparse_matches_dense;
-          prop_sparse_complex ];
+          prop_sparse_complex; prop_symbolic_reuse ];
       ("poly",
        [ Alcotest.test_case "eval" `Quick test_poly_eval;
          Alcotest.test_case "arithmetic" `Quick test_poly_arith;

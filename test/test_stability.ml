@@ -434,6 +434,79 @@ let test_cross_validation_with_tf () =
      | None -> Alcotest.fail "no zeta estimate")
   | None -> Alcotest.fail "dominant pole not found"
 
+(* ---------- AC-plan backends ---------- *)
+
+(* The compiled-plan solve path is a pure performance refactor: forcing
+   each backend over the same shipped deck must produce the same node
+   set, the same peak structure, and numerically equivalent estimates. *)
+let test_all_nodes_backends_agree () =
+  let circ = Circuit.Parser.parse_file "../circuits/two_pole_loop.sp" in
+  let run backend =
+    let options =
+      { Stability.Analysis.default_options with
+        sweep = Numerics.Sweep.decade 1e2 1e8 20;
+        backend }
+    in
+    Stability.Analysis.all_nodes ~options circ
+  in
+  let dense = run `Dense in
+  let sparse = run `Sparse in
+  let plan = run `Plan in
+  Alcotest.(check bool) "some nets analysed" true (List.length dense > 0);
+  let compare_results label a b =
+    Alcotest.(check (list string)) (label ^ ": same nets")
+      (List.map (fun r -> r.Stability.Analysis.node) a)
+      (List.map (fun r -> r.Stability.Analysis.node) b);
+    List.iter2
+      (fun ra rb ->
+        let pa = ra.Stability.Analysis.peaks
+        and pb = rb.Stability.Analysis.peaks in
+        Alcotest.(check int)
+          (Printf.sprintf "%s: %s peak count" label
+             ra.Stability.Analysis.node)
+          (List.length pa) (List.length pb);
+        List.iter2
+          (fun (p : Stability.Peaks.peak) (q : Stability.Peaks.peak) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s same peak kind" label
+                 ra.Stability.Analysis.node)
+              true (p.kind = q.kind);
+            check_close ~tol:1e-6
+              (Printf.sprintf "%s: %s natural frequency" label
+                 ra.Stability.Analysis.node)
+              p.freq q.freq;
+            check_close ~tol:1e-6
+              (Printf.sprintf "%s: %s performance index" label
+                 ra.Stability.Analysis.node)
+              p.value q.value)
+          pa pb)
+      a b
+  in
+  compare_results "dense vs sparse" dense sparse;
+  compare_results "dense vs plan" dense plan
+
+(* The plan's whole point: one symbolic analysis per sweep and one
+   numeric refactorisation per frequency point, however many nets are
+   probed. Asserted through the factorisation counters. *)
+let test_plan_factorisation_counts () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let sweep = Numerics.Sweep.decade 1e4 1e8 10 in
+  let points = Array.length (Numerics.Sweep.points sweep) in
+  let probe = Stability.Probe.prepare circ in
+  let nodes = [ "out"; "o1"; "vcasc" ] in
+  let before = Engine.Ac_plan.totals () in
+  ignore (Stability.Probe.response_many ~backend:`Plan probe ~sweep nodes);
+  let after = Engine.Ac_plan.totals () in
+  Alcotest.(check int) "no pivot-order fallbacks" 0
+    (after.Engine.Ac_plan.fallback - before.Engine.Ac_plan.fallback);
+  Alcotest.(check int) "one symbolic analysis per sweep" 1
+    (after.Engine.Ac_plan.symbolic - before.Engine.Ac_plan.symbolic);
+  Alcotest.(check int) "one numeric refactorisation per point" points
+    (after.Engine.Ac_plan.numeric - before.Engine.Ac_plan.numeric);
+  Alcotest.(check int) "one RHS per probed net per point"
+    (points * List.length nodes)
+    (after.Engine.Ac_plan.rhs - before.Engine.Ac_plan.rhs)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -467,6 +540,11 @@ let () =
            test_all_nodes_rlc_cluster;
          Alcotest.test_case "report format" `Quick test_report_format;
          Alcotest.test_case "annotation" `Quick test_annotation ]);
+      ("ac-plan",
+       [ Alcotest.test_case "backends agree on shipped deck" `Quick
+           test_all_nodes_backends_agree;
+         Alcotest.test_case "factorisation counters" `Quick
+           test_plan_factorisation_counts ]);
       ("cross-validation",
        [ Alcotest.test_case "matches exact TF poles" `Quick
            test_cross_validation_with_tf ]);
