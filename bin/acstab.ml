@@ -25,16 +25,81 @@ let read_circuit path =
     Printf.eprintf "%s\n" m;
     exit 2
 
-let report_issues circ =
-  let issues = Circuit.Topology.check circ in
-  List.iter
-    (fun i -> Format.eprintf "warning: %a@." Circuit.Topology.pp_issue i)
-    issues
+(* ---- lint gate ---- *)
 
-let handle_analysis_errors f =
+type lint_opts = { no_lint : bool; strict : bool }
+
+let lint_term =
+  let no_lint =
+    Arg.(value & flag
+         & info [ "no-lint" ]
+             ~doc:"Skip the pre-run lint gate (findings are not even \
+                   printed).")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Treat lint warnings as blocking errors.")
+  in
+  Term.(const (fun no_lint strict -> { no_lint; strict })
+        $ no_lint $ strict)
+
+let print_findings ?file out findings =
+  List.iter
+    (fun f -> Format.fprintf out "%a@." (Lint.Rule.pp_finding ?file) f)
+    findings
+
+(* Pre-flight check run by every analysis mode. Lint errors (and, under
+   --strict, warnings) block the run with exit code 4 — distinct from
+   parse errors (2) and analysis failures (3). *)
+let lint_gate opts ~file circ =
+  if not opts.no_lint then begin
+    let findings = Lint.Runner.run circ in
+    print_findings ~file Format.err_formatter findings;
+    let blocking (f : Lint.Rule.finding) =
+      match f.severity with
+      | Lint.Rule.Error -> true
+      | Lint.Rule.Warning -> opts.strict
+      | Lint.Rule.Info -> false
+    in
+    if List.exists blocking findings then begin
+      Printf.eprintf
+        "lint: blocking findings above; fix the netlist or pass \
+         --no-lint to force the run\n";
+      exit 4
+    end
+  end
+
+(* Translate a Singular exception into the lint findings that predicted
+   it, so the user sees net/branch names instead of a matrix index. *)
+let report_singular ~what circ index =
+  (match Engine.Mna.compile circ with
+   | mna ->
+     Printf.eprintf "%s: singular matrix at %s\n" what
+       (Engine.Mna.unknown_name mna index)
+   | exception _ ->
+     Printf.eprintf "%s: singular matrix (pivot %d)\n" what index);
+  match Lint.Runner.explain_singular ~index circ with
+  | [] -> ()
+  | findings ->
+    Printf.eprintf "likely cause:\n";
+    print_findings Format.err_formatter findings
+
+let handle_analysis_errors circ f =
   try f () with
   | Engine.Dcop.No_convergence m ->
     Printf.eprintf "DC convergence failure: %s\n" m;
+    (match Lint.Runner.explain_singular circ with
+     | [] -> ()
+     | findings ->
+       Printf.eprintf "likely cause:\n";
+       print_findings Format.err_formatter findings);
+    exit 3
+  | Numerics.Dense.Singular k ->
+    report_singular ~what:"dense factorization failed" circ k;
+    exit 3
+  | Numerics.Sparse.Singular k ->
+    report_singular ~what:"sparse factorization failed" circ k;
     exit 3
   | Engine.Mna.Compile_error m ->
     Printf.eprintf "elaboration error: %s\n" m;
@@ -95,10 +160,10 @@ let single_node_cmd =
     Arg.(value & flag
          & info [ "plot" ] ~doc:"Print the full stability plot table.")
   in
-  let run () file node fmin fmax ppd plot html =
+  let run () lint file node fmin fmax ppd plot html =
     let circ = read_circuit file in
-    report_issues circ;
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let options = options_of fmin fmax ppd in
     let r = Stability.Analysis.single_node ~options circ node in
     Stability.Report.single_node Format.std_formatter r;
@@ -112,8 +177,8 @@ let single_node_cmd =
     (Cmd.info "single-node"
        ~doc:"Stability peak and natural frequency of one net (paper \
              'Single Node' run mode).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg $ plot $ html_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg $ plot $ html_arg)
 
 (* ---- all-nodes ---- *)
 
@@ -133,10 +198,10 @@ let all_nodes_cmd =
          & info [ "parallel" ]
              ~doc:"Spread the frequency sweep across CPU domains.")
   in
-  let run () file fmin fmax ppd nodes annotate html parallel =
+  let run () lint file fmin fmax ppd nodes annotate html parallel =
     let circ = read_circuit file in
-    report_issues circ;
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
     let results = Stability.Analysis.all_nodes ~options ?nodes circ in
@@ -152,19 +217,36 @@ let all_nodes_cmd =
     (Cmd.info "all-nodes"
        ~doc:"Stability peaks of every net, grouped by loop (paper 'All \
              Nodes' run mode, Table 2).")
-    Term.(const run $ log_term $ file_arg $ fmin_arg $ fmax_arg $ ppd_arg
-          $ nodes $ annotate $ html_arg $ parallel)
+    Term.(const run $ log_term $ lint_term $ file_arg $ fmin_arg $ fmax_arg
+          $ ppd_arg $ nodes $ annotate $ html_arg $ parallel)
 
 (* ---- run (directive-driven) ---- *)
 
 let run_cmd =
-  let run () file =
+  let run () lint file =
     let circ = read_circuit file in
-    report_issues circ;
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let s = Tool.Ocean.simulator "builtin" in
     Tool.Ocean.design s circ;
-    let r = Tool.Ocean.run s in
+    (* Directive-driven runs are the "push-button" mode; failures here
+       produce a diagnostic report with the lint findings embedded so the
+       structural context travels with the error. *)
+    let findings =
+      List.map
+        (fun f -> Format.asprintf "%a" (Lint.Rule.pp_finding ~file) f)
+        (Lint.Runner.run circ)
+    in
+    let r =
+      match
+        Tool.Diagnostics.guard ~operation:("run " ^ file) ~findings
+          (fun () -> Tool.Ocean.run s)
+      with
+      | Ok r -> r
+      | Error report ->
+        Format.eprintf "%a@." Tool.Diagnostics.pp_report report;
+        exit 3
+    in
     (match r.Tool.Ocean.op with
      | Some op -> Engine.Dcop.pp_report Format.std_formatter op
      | None -> ());
@@ -187,14 +269,15 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the analyses named by the deck's dot-cards (.op,              .ac, .tran, .stab).")
-    Term.(const run $ log_term $ file_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg)
 
 (* ---- probe ---- *)
 
 let probe_cmd =
-  let run () file node fmin fmax ppd csv =
+  let run () lint file node fmin fmax ppd csv =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let probe = Stability.Probe.prepare circ in
     let w =
       Stability.Probe.response probe ~sweep:(sweep_of fmin fmax ppd) node
@@ -217,28 +300,29 @@ let probe_cmd =
   Cmd.v
     (Cmd.info "probe"
        ~doc:"Driving-point impedance of a net (the raw quantity the              stability plot differentiates).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg $ csv_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg $ csv_arg)
 
 (* ---- op ---- *)
 
 let op_cmd =
-  let run () file =
+  let run () lint file =
     let circ = read_circuit file in
-    report_issues circ;
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
     Engine.Dcop.pp_report Format.std_formatter op
   in
   Cmd.v (Cmd.info "op" ~doc:"DC operating point report.")
-    Term.(const run $ log_term $ file_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg)
 
 (* ---- ac ---- *)
 
 let ac_cmd =
-  let run () file node fmin fmax ppd csv =
+  let run () lint file node fmin fmax ppd csv =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let ac = Engine.Ac.run ~sweep:(sweep_of fmin fmax ppd) circ in
     let w = Engine.Ac.v ac node in
     let db = Engine.Waveform.Freq.db w in
@@ -254,8 +338,8 @@ let ac_cmd =
       csv
   in
   Cmd.v (Cmd.info "ac" ~doc:"AC magnitude/phase of a net.")
-    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg $ csv_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg $ csv_arg)
 
 (* ---- tran ---- *)
 
@@ -268,9 +352,10 @@ let tran_cmd =
     Arg.(required & opt (some float) None
          & info [ "tstep" ] ~docv:"S" ~doc:"Nominal time step.")
   in
-  let run () file node tstop tstep csv =
+  let run () lint file node tstop tstep csv =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let tr = Engine.Transient.run ~tstop ~tstep circ in
     let w = Engine.Transient.v tr node in
     Option.iter
@@ -291,8 +376,8 @@ let tran_cmd =
   in
   Cmd.v (Cmd.info "tran" ~doc:"Transient waveform of a net (time value \
                                pairs on stdout, metrics on stderr).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ tstop $ tstep
-          $ csv_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ tstop
+          $ tstep $ csv_arg)
 
 (* ---- loopgain ---- *)
 
@@ -311,9 +396,10 @@ let loopgain_cmd =
     Arg.(value & opt (enum [ ("lc", `Lc); ("middlebrook", `Mb) ]) `Mb
          & info [ "method" ] ~doc:"lc (classic LC break) or middlebrook.")
   in
-  let run () file device terminal meth fmin fmax ppd =
+  let run () lint file device terminal meth fmin fmax ppd =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let sweep = sweep_of fmin fmax ppd in
     let r =
       match meth with
@@ -326,15 +412,16 @@ let loopgain_cmd =
     (Cmd.info "loopgain"
        ~doc:"Open-loop gain/phase margins (the traditional baseline, \
              paper Fig 3).")
-    Term.(const run $ log_term $ file_arg $ device $ terminal $ meth
-          $ fmin_arg $ fmax_arg $ ppd_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ device $ terminal
+          $ meth $ fmin_arg $ fmax_arg $ ppd_arg)
 
 (* ---- poles ---- *)
 
 let poles_cmd =
-  let run () file =
+  let run () lint file =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let poles = Engine.Poles.of_circuit circ in
     Printf.printf "%d finite poles; system is %s
 " (List.length poles)
@@ -351,7 +438,7 @@ let poles_cmd =
   Cmd.v
     (Cmd.info "poles"
        ~doc:"Exact small-signal poles of the whole system (eigenvalues of              the MNA pencil) -- ground truth for the stability plot.")
-    Term.(const run $ log_term $ file_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg)
 
 (* ---- noise ---- *)
 
@@ -361,9 +448,10 @@ let noise_cmd =
          & info [ "at" ] ~docv:"HZ"
              ~doc:"Print the contribution breakdown at this frequency                    (default: the PSD maximum).")
   in
-  let run () file node fmin fmax ppd at =
+  let run () lint file node fmin fmax ppd at =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let r =
       Engine.Noise.run ~sweep:(sweep_of fmin fmax ppd) ~output:node circ
     in
@@ -386,15 +474,16 @@ let noise_cmd =
   Cmd.v
     (Cmd.info "noise"
        ~doc:"Output noise spectrum of a net; an unstable loop's noise              peaks at its natural frequency (paper section 1.2).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg $ at)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg $ at)
 
 (* ---- sensitivity ---- *)
 
 let sensitivity_cmd =
-  let run () file node fmin fmax ppd =
+  let run () lint file node fmin fmax ppd =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let options = options_of fmin fmax ppd in
     (try
        let entries = Stability.Sensitivity.of_loop ~options circ ~node in
@@ -407,8 +496,8 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Rank the passive components by their influence on a loop's              damping (which part to change to fix the loop).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg)
 
 (* ---- stab-track ---- *)
 
@@ -434,9 +523,11 @@ let stab_track_cmd =
          & info [ "zeta" ] ~docv:"Z"
              ~doc:"Also report the value where damping crosses Z.")
   in
-  let run () file node device from_v to_v points zeta_target fmin fmax ppd =
+  let run () lint file node device from_v to_v points zeta_target fmin fmax
+      ppd =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let options = options_of fmin fmax ppd in
     let values =
       (* Log spacing when the endpoints allow it (component values). *)
@@ -460,8 +551,9 @@ let stab_track_cmd =
   Cmd.v
     (Cmd.info "stab-track"
        ~doc:"Track a loop's natural frequency and damping across a              component sweep (compensation sizing).")
-    Term.(const run $ log_term $ file_arg $ node_arg $ device $ from_v
-          $ to_v $ points $ zeta_target $ fmin_arg $ fmax_arg $ ppd_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ device
+          $ from_v $ to_v $ points $ zeta_target $ fmin_arg $ fmax_arg
+          $ ppd_arg)
 
 (* ---- dcsweep ---- *)
 
@@ -481,9 +573,10 @@ let dcsweep_cmd =
   let points =
     Arg.(value & opt int 51 & info [ "points" ] ~docv:"N" ~doc:"Steps.")
   in
-  let run () file node source from_v to_v points csv =
+  let run () lint file node source from_v to_v points csv =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let values = Numerics.Vec.linspace from_v to_v points in
     let r = Engine.Dcsweep.source circ ~name:source ~values in
     let w = Engine.Dcsweep.v r node in
@@ -501,8 +594,8 @@ let dcsweep_cmd =
   Cmd.v
     (Cmd.info "dcsweep"
        ~doc:"Sweep a source's DC value and print a node's transfer curve.")
-    Term.(const run $ log_term $ file_arg $ node_arg $ source $ from_v
-          $ to_v $ points $ csv_arg)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ source
+          $ from_v $ to_v $ points $ csv_arg)
 
 (* ---- montecarlo ---- *)
 
@@ -523,9 +616,10 @@ let montecarlo_cmd =
     Arg.(value & flag
          & info [ "parallel" ] ~doc:"Run samples across CPU domains.")
   in
-  let run () file node n seed sigma parallel =
+  let run () lint file node n seed sigma parallel =
     let circ = read_circuit file in
-    handle_analysis_errors @@ fun () ->
+    lint_gate lint ~file circ;
+    handle_analysis_errors circ @@ fun () ->
     let spec =
       { Tool.Montecarlo.default_spec with passive_sigma = sigma }
     in
@@ -551,8 +645,8 @@ let montecarlo_cmd =
   Cmd.v
     (Cmd.info "montecarlo"
        ~doc:"Mismatch Monte Carlo on a loop's damping ratio.")
-    Term.(const run $ log_term $ file_arg $ node_arg $ n $ seed $ sigma
-          $ parallel)
+    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ n $ seed
+          $ sigma $ parallel)
 
 (* ---- table1 ---- *)
 
@@ -565,6 +659,61 @@ let table1_cmd =
     (Cmd.info "table1"
        ~doc:"Second-order system characteristics (paper Table 1).")
     Term.(const run $ log_term)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit non-zero on warnings too.")
+  in
+  let disable =
+    Arg.(value & opt (list string) []
+         & info [ "disable" ] ~docv:"ID1,ID2"
+             ~doc:"Rule IDs to switch off for this run.")
+  in
+  let run () file json strict disable =
+    List.iter
+      (fun id ->
+        if Lint.Rules.find id = None then begin
+          Printf.eprintf "unknown rule ID %S (see the manual's rule \
+                          catalogue)\n" id;
+          exit 2
+        end)
+      disable;
+    let circ = read_circuit file in
+    let findings =
+      Lint.Runner.run ~config:{ Lint.Runner.disabled = disable } circ
+    in
+    if json then print_endline (Lint.Json.report ~file findings)
+    else begin
+      print_findings ~file Format.std_formatter findings;
+      let count sev =
+        List.length
+          (List.filter
+             (fun (f : Lint.Rule.finding) -> f.severity = sev)
+             findings)
+      in
+      Format.printf "%s: %d error(s), %d warning(s), %d info@." file
+        (count Lint.Rule.Error) (count Lint.Rule.Warning)
+        (count Lint.Rule.Info)
+    end;
+    let failing (f : Lint.Rule.finding) =
+      f.severity = Lint.Rule.Error
+      || (strict && f.severity = Lint.Rule.Warning)
+    in
+    if List.exists failing findings then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis of a netlist: wiring mistakes, suspicious \
+             values and structural singularities, with rule IDs and \
+             source lines.")
+    Term.(const run $ log_term $ file_arg $ json $ strict $ disable)
 
 (* ---- check ---- *)
 
@@ -610,8 +759,8 @@ let export_cmd =
 
 let demo_cmd =
   let run () =
-    handle_analysis_errors @@ fun () ->
     let circ = Workloads.Opamp_2mhz.buffer () in
+    handle_analysis_errors circ @@ fun () ->
     print_endline "# The paper's 2 MHz op-amp buffer (Fig 1), all-nodes run:";
     let results = Stability.Analysis.all_nodes circ in
     Stability.Report.all_nodes Format.std_formatter results;
@@ -636,6 +785,7 @@ let main =
       tran_cmd;
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
-      montecarlo_cmd; table1_cmd; check_cmd; export_cmd; demo_cmd ]
+      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; export_cmd;
+      demo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -134,12 +134,13 @@ type t = {
   rev_params : (string * float) list;
   rev_directives : directive list;
   options_map : float Smap.t;
+  lines_map : int Smap.t;  (* device name -> source line (parser-recorded) *)
 }
 
 let empty ?(title = "untitled") () =
   { title; temp = 27.; rev_devices = []; by_name = Smap.empty;
     models_map = Smap.empty; params_map = Smap.empty; rev_params = [];
-    rev_directives = []; options_map = Smap.empty }
+    rev_directives = []; options_map = Smap.empty; lines_map = Smap.empty }
 
 let title c = c.title
 let temp_celsius c = c.temp
@@ -168,6 +169,11 @@ let option_value c k ~default =
   | Some v -> v
   | None -> default
 
+let set_device_line c name line =
+  { c with lines_map = Smap.add (key name) line c.lines_map }
+
+let device_line c name = Smap.find_opt (key name) c.lines_map
+
 let options c = Smap.bindings c.options_map
 let devices c = List.rev c.rev_devices
 let models c = List.map snd (Smap.bindings c.models_map)
@@ -181,11 +187,16 @@ let remove_device c name =
   { c with
     rev_devices =
       List.filter (fun d -> key (device_name d) <> k) c.rev_devices;
-    by_name = Smap.remove k c.by_name }
+    by_name = Smap.remove k c.by_name;
+    lines_map = Smap.remove k c.lines_map }
 
 let replace_device c d =
+  let line = device_line c (device_name d) in
   let c = remove_device c (device_name d) in
-  add c d
+  let c = add c d in
+  match line with
+  | Some l -> set_device_line c (device_name d) l
+  | None -> c
 
 let map_devices f c =
   let rev_devices = List.rev_map f (List.rev c.rev_devices) in

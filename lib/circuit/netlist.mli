@@ -129,6 +129,14 @@ val models : t -> model list
 val params : t -> (string * float) list
 val directives : t -> directive list
 
+val set_device_line : t -> string -> int -> t
+(** Record the source line a device came from (used by the parser; lint
+    findings and elaboration errors cite it). *)
+
+val device_line : t -> string -> int option
+(** Source line recorded for a device, if the circuit was parsed from
+    text. Programmatically built devices have no line. *)
+
 val find_device : t -> string -> device option
 val find_model : t -> string -> model option
 val remove_device : t -> string -> t

@@ -44,9 +44,9 @@ let rec expand_includes ~base_dir ~depth text =
       else line)
   |> String.concat "\n"
 
-let logical_lines text =
+let logical_lines ?(first_num = 1) text =
   let raw = String.split_on_char '\n' text in
-  let numbered = List.mapi (fun i s -> (i + 1, s)) raw in
+  let numbered = List.mapi (fun i s -> (i + first_num, s)) raw in
   let keep (_, s) =
     let t = String.trim s in
     t <> "" && t.[0] <> '*'
@@ -405,8 +405,11 @@ let rec process_line ctx ~env ~bindings ~prefix { num; text } =
           raise Exit
         | _ -> fail num "unknown element %S" first
       in
-      try ctx.circ <- Netlist.add ctx.circ dev
-      with Invalid_argument m -> fail num "%s" m
+      (try ctx.circ <- Netlist.add ctx.circ dev
+       with Invalid_argument m -> fail num "%s" m);
+      (* Remember where the card came from so lint findings and
+         elaboration errors can cite file:line. *)
+      ctx.circ <- Netlist.set_device_line ctx.circ name num
     end
 
 and expand_subckt ctx ~env ~bindings ~prefix num xname rest =
@@ -556,17 +559,19 @@ let parse_string ?(name = "netlist") ?(base_dir = Filename.current_dir_name)
     ?(first_line_title = false) text =
   let text = expand_includes ~base_dir ~depth:0 text in
   let lines = String.split_on_char '\n' text in
-  let title, body_text =
+  (* When the first line is consumed as the title, keep numbering the
+     body by physical line so recorded positions match the file. *)
+  let title, body_first_num, body_text =
     match lines with
     | first :: rest
       when String.trim first <> ""
            && (String.trim first).[0] <> '.'
            && (String.trim first).[0] <> '*'
            && (first_line_title || not (looks_like_card first)) ->
-      (String.trim first, String.concat "\n" rest)
-    | _ -> (name, text)
+      (String.trim first, 2, String.concat "\n" rest)
+    | _ -> (name, 1, text)
   in
-  let llines = logical_lines body_text in
+  let llines = logical_lines ~first_num:body_first_num body_text in
   let subckts, top = extract_subckts llines in
   let ctx = { subckts; circ = Netlist.empty ~title () } in
   (* First pass: collect .param cards so devices can reference them in any

@@ -39,9 +39,11 @@ let converged opts ~n_nodes x_old x_new =
     x_new;
   !ok
 
-let newton ~size ~n_nodes ~load ~x0 opts =
+let newton ?(unknown_name = fun k -> Printf.sprintf "unknown %d" k) ~size
+    ~n_nodes ~load ~x0 opts =
   let x = Array.copy x0 in
   let result = ref None in
+  let abort = ref None in
   let iter = ref 0 in
   (try
      while !result = None && !iter < opts.max_iter do
@@ -53,7 +55,8 @@ let newton ~size ~n_nodes ~load ~x0 opts =
          try Numerics.Rmat.solve a b
          with Numerics.Dense.Singular col ->
            raise (No_convergence
-                    (Printf.sprintf "singular matrix at unknown %d" col))
+                    (Printf.sprintf "singular matrix at %s"
+                       (unknown_name col)))
        in
        if Array.exists (fun v -> not (Float.is_finite v)) x_new then
          raise (No_convergence "non-finite solution");
@@ -75,11 +78,16 @@ let newton ~size ~n_nodes ~load ~x0 opts =
        then result := Some (x_next, !iter)
        else Array.blit x_next 0 x 0 size
      done
-   with No_convergence m -> result := None; iter := opts.max_iter;
-        Log.debug (fun f -> f "newton aborted: %s" m));
-  match !result with
-  | Some (x, n) -> Ok (x, n)
-  | None -> Error (Printf.sprintf "no convergence in %d iterations" !iter)
+   with No_convergence m ->
+     result := None;
+     iter := opts.max_iter;
+     abort := Some m;
+     Log.debug (fun f -> f "newton aborted: %s" m));
+  match (!result, !abort) with
+  | Some (x, n), _ -> Ok (x, n)
+  | None, Some m -> Error m
+  | None, None ->
+    Error (Printf.sprintf "no convergence in %d iterations" !iter)
 
 (* One Newton attempt at a given gmin and source scale. *)
 let attempt mna opts ~gmin ~src_scale ~x0 =
@@ -102,7 +110,8 @@ let attempt mna opts ~gmin ~src_scale ~x0 =
     Stamps.stamp_gmin mna ~gmin a;
     Stamps.stamp_nonlinear mna ~x ~limst a b
   in
-  newton ~size:mna.Mna.size ~n_nodes:mna.Mna.n_nodes ~load ~x0 opts
+  newton ~unknown_name:(Mna.unknown_name mna) ~size:mna.Mna.size
+    ~n_nodes:mna.Mna.n_nodes ~load ~x0 opts
 
 (* Initial guess from the circuit's .nodeset directives: Newton starts at
    the hinted voltages and, for a multi-stable circuit, converges to the
@@ -145,9 +154,12 @@ let solve ?options ?x0 ?force_strategy mna =
   let x0 =
     match x0 with Some x -> Array.copy x | None -> nodeset_x0 mna
   in
+  let last_err = ref None in
   let finish strategy = function
     | Ok (x, iterations) -> Some { mna; x; iterations; strategy }
-    | Error _ -> None
+    | Error m ->
+      last_err := Some m;
+      None
   in
   (* 1. Direct attempt (unless a fallback is being exercised). *)
   let direct =
@@ -206,8 +218,11 @@ let solve ?options ?x0 ?force_strategy mna =
            (No_convergence
               (Printf.sprintf
                  "DC operating point of %S: all strategies failed \
-                  (source stepping stalled at scale %.4f)"
-                 (Circuit.Netlist.title mna.Mna.circ) !alpha))
+                  (source stepping stalled at scale %.4f%s)"
+                 (Circuit.Netlist.title mna.Mna.circ) !alpha
+                 (match !last_err with
+                  | Some m -> "; last error: " ^ m
+                  | None -> "")))
        else { mna; x = !x; iterations = 0; strategy = Source_stepping })
 
 let node_v t n =

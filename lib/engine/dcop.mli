@@ -52,8 +52,12 @@ val pp_report : Format.formatter -> t -> unit
 
 (** Newton core, shared with the transient analysis. [load] must fill the
     (zeroed) matrix and RHS for the candidate [x] and return [true] when a
-    device limited its step (postponing convergence). *)
+    device limited its step (postponing convergence). [unknown_name]
+    translates an unknown-vector index for singular-matrix messages
+    (pass {!Mna.unknown_name} to name nets/branches instead of raw
+    indices). *)
 val newton :
+  ?unknown_name:(int -> string) ->
   size:int ->
   n_nodes:int ->
   load:(x:float array -> Numerics.Rmat.t -> float array -> bool) ->

@@ -132,6 +132,15 @@ let compile circ =
     in
     (name, elem)
   in
+  (* Cite the netlist line of the offending card when the parser recorded
+     one: "line 7: resistor "R1" has zero resistance". *)
+  let compile_device d =
+    try compile_device d
+    with Compile_error m ->
+      (match Netlist.device_line circ (Netlist.device_name d) with
+       | Some line -> fail "line %d: %s" line m
+       | None -> raise (Compile_error m))
+  in
   { circ; topo; n_nodes; n_branches; size = n_nodes + n_branches;
     elems = Array.of_list (List.map compile_device devices);
     temp_c = Netlist.temp_celsius circ }
@@ -163,6 +172,80 @@ let nonlinear t =
     (fun (_, e) ->
       match e with E_diode _ | E_bjt _ | E_mos _ -> true | _ -> false)
     t.elems
+
+(* Translate an unknown-vector index into the user's vocabulary: node
+   voltages print as V(net), branch currents as I(device). *)
+let unknown_name t k =
+  if k >= 0 && k < t.n_nodes then
+    Printf.sprintf "V(%s)" (Topology.name t.topo k)
+  else begin
+    let found = ref None in
+    Array.iter
+      (fun (name, e) ->
+        match e with
+        | E_vsrc { br; _ } | E_ind { br; _ } | E_vcvs { br; _ }
+        | E_ccvs { br; _ } ->
+          if br = k then found := Some name
+        | _ -> ())
+      t.elems;
+    match !found with
+    | Some name -> Printf.sprintf "I(%s)" name
+    | None -> Printf.sprintf "unknown %d" k
+  end
+
+let structural_pattern ?(gmin = true) t =
+  let tbl = Hashtbl.create (8 * t.size) in
+  let add i j =
+    if i >= 0 && j >= 0 then Hashtbl.replace tbl ((i * t.size) + j) ()
+  in
+  let quad i j =
+    add i i; add j j; add i j; add j i
+  in
+  let incidence i j br =
+    add i br; add j br; add br i; add br j
+  in
+  (* Footprint of every stamp the DC, transient and AC analyses may
+     write. Semiconductor devices use their full terminal block (the
+     small-signal primitives of Linearize land inside it), which can only
+     overestimate the pattern — safe for structural-rank prediction: an
+     extra entry can hide a deficiency but never invent one. *)
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | E_res { i; j; _ } | E_cap { i; j; _ } -> quad i j
+      | E_ind { i; j; br; _ } ->
+        incidence i j br;
+        add br br
+      | E_vsrc { i; j; br; _ } -> incidence i j br
+      | E_isrc _ -> ()
+      | E_vcvs { i; j; ci; cj; br; _ } ->
+        incidence i j br;
+        add br ci;
+        add br cj
+      | E_vccs { i; j; ci; cj; _ } ->
+        add i ci; add i cj; add j ci; add j cj
+      | E_cccs { i; j; cbr; _ } ->
+        add i cbr;
+        add j cbr
+      | E_ccvs { i; j; cbr; br; _ } ->
+        incidence i j br;
+        add br cbr
+      | E_mut { br1; br2; _ } ->
+        add br1 br2;
+        add br2 br1
+      | E_diode { i; j; _ } -> quad i j
+      | E_bjt { c; b; e; _ } ->
+        List.iter (fun r -> List.iter (add r) [ c; b; e ]) [ c; b; e ]
+      | E_mos { d; g; s; b; _ } ->
+        List.iter (fun r -> List.iter (add r) [ d; g; s; b ]) [ d; g; s; b ])
+    t.elems;
+  if gmin then
+    for i = 0 to t.n_nodes - 1 do
+      add i i
+    done;
+  Hashtbl.fold (fun key () acc -> (key / t.size, key mod t.size) :: acc)
+    tbl []
+  |> List.sort compare
 
 (* ---- stamp helpers ---- *)
 

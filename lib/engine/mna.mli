@@ -57,6 +57,20 @@ val branch_index : t -> string -> int
 val nonlinear : t -> bool
 (** True when the circuit contains diodes or transistors. *)
 
+val unknown_name : t -> int -> string
+(** User-facing name of unknown-vector index [k]: ["V(net)"] for node
+    voltages, ["I(device)"] for branch currents, ["unknown k"] for an
+    out-of-range index. Solver singularity diagnostics use this instead of
+    dumping a raw matrix index. *)
+
+val structural_pattern : ?gmin:bool -> t -> (int * int) list
+(** Sorted, deduplicated (row, col) structural non-zeros of the MNA
+    matrix: the union of every stamp footprint the analyses may write
+    (linear elements exactly; semiconductor devices as their full terminal
+    block). With [gmin] (default [true]) the per-node shunt diagonal the
+    solvers always add is included. Lint's structural-singularity
+    predictor runs bipartite matching over this pattern. *)
+
 (* Stamp helpers shared by the analyses. [i]/[j] = -1 denotes ground. *)
 
 val stamp_g : Numerics.Rmat.t -> int -> int -> float -> unit

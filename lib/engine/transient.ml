@@ -130,8 +130,8 @@ let attempt_step mna options ~limst ~st ~x ~t_new ~h ~use_be =
   let opts_step =
     { options.dc_options with Dcop.max_iter = options.max_newton_per_step }
   in
-  Dcop.newton ~size:mna.Mna.size ~n_nodes:mna.Mna.n_nodes ~load ~x0:x
-    opts_step
+  Dcop.newton ~unknown_name:(Mna.unknown_name mna) ~size:mna.Mna.size
+    ~n_nodes:mna.Mna.n_nodes ~load ~x0:x opts_step
 
 (* Commit an accepted step: update the reactive histories in place. *)
 let commit_step mna ~st ~h ~use_be x_new =

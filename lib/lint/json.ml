@@ -1,0 +1,50 @@
+(* Minimal JSON emission — just enough for lint reports, no dependency. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let of_finding (f : Rule.finding) =
+  obj
+    ([ ("rule", str f.rule_id);
+       ("severity", str (Rule.severity_string f.severity));
+       ("message", str f.message) ]
+    @ (match f.line with
+      | Some l -> [ ("line", string_of_int l) ]
+      | None -> [])
+    @ [ ("nets", arr (List.map str f.nets));
+        ("devices", arr (List.map str f.devices)) ])
+
+let report ?file findings =
+  let errors = List.length (Runner.errors findings) in
+  obj
+    ((match file with Some p -> [ ("file", str p) ] | None -> [])
+    @ [ ("errors", string_of_int errors);
+        ("warnings",
+         string_of_int
+           (List.length
+              (List.filter
+                 (fun (f : Rule.finding) -> f.severity = Rule.Warning)
+                 findings)));
+        ("findings", arr (List.map of_finding findings)) ])

@@ -1,0 +1,14 @@
+(** JSON rendering of lint reports (hand-rolled; no external dependency).
+
+    Schema:
+    {v
+    { "file": "...",              // present when a path was given
+      "errors": <int>, "warnings": <int>,
+      "findings": [
+        { "rule": "<rule-id>", "severity": "error|warning|info",
+          "message": "...", "line": <int>,   // line omitted when unknown
+          "nets": ["..."], "devices": ["..."] } ] }
+    v} *)
+
+val of_finding : Rule.finding -> string
+val report : ?file:string -> Rule.finding list -> string

@@ -1,0 +1,82 @@
+type result = {
+  size : int;
+  row_match : int array;
+  col_match : int array;
+}
+
+(* Hopcroft–Karp: repeat { BFS to layer free rows by shortest alternating
+   path, DFS along strictly increasing layers to augment a maximal set of
+   vertex-disjoint paths } until no augmenting path exists. *)
+let max_matching ~rows ~cols ~adj =
+  if Array.length adj <> rows then invalid_arg "Matching.max_matching";
+  let row_match = Array.make rows (-1) in
+  let col_match = Array.make cols (-1) in
+  let inf = max_int in
+  let dist = Array.make rows inf in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for r = 0 to rows - 1 do
+      if row_match.(r) = -1 then begin
+        dist.(r) <- 0;
+        Queue.add r queue
+      end
+      else dist.(r) <- inf
+    done;
+    while not (Queue.is_empty queue) do
+      let r = Queue.pop queue in
+      List.iter
+        (fun c ->
+          match col_match.(c) with
+          | -1 -> found := true
+          | r' ->
+            if dist.(r') = inf then begin
+              dist.(r') <- dist.(r) + 1;
+              Queue.add r' queue
+            end)
+        adj.(r)
+    done;
+    !found
+  in
+  let rec dfs r =
+    let rec try_cols = function
+      | [] ->
+        dist.(r) <- inf;
+        false
+      | c :: rest ->
+        let ok =
+          match col_match.(c) with
+          | -1 -> true
+          | r' -> dist.(r') = dist.(r) + 1 && dfs r'
+        in
+        if ok then begin
+          row_match.(r) <- c;
+          col_match.(c) <- r;
+          true
+        end
+        else try_cols rest
+    in
+    try_cols adj.(r)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for r = 0 to rows - 1 do
+      if row_match.(r) = -1 && dfs r then incr size
+    done
+  done;
+  { size = !size; row_match; col_match }
+
+let unmatched_rows t =
+  let acc = ref [] in
+  for r = Array.length t.row_match - 1 downto 0 do
+    if t.row_match.(r) = -1 then acc := r :: !acc
+  done;
+  !acc
+
+let unmatched_cols t =
+  let acc = ref [] in
+  for c = Array.length t.col_match - 1 downto 0 do
+    if t.col_match.(c) = -1 then acc := c :: !acc
+  done;
+  !acc

@@ -1,0 +1,21 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used to predict structural singularity of the MNA matrix: a square
+    sparsity pattern admits a zero-free diagonal permutation iff its
+    row/column bipartite graph has a perfect matching. A deficiency names
+    the equations (rows) and unknowns (columns) that no pivot assignment
+    can cover — the matrix is singular for {e every} numeric value of its
+    entries. *)
+
+type result = {
+  size : int;                 (** matching cardinality *)
+  row_match : int array;      (** row -> matched column, or -1 *)
+  col_match : int array;      (** column -> matched row, or -1 *)
+}
+
+val max_matching : rows:int -> cols:int -> adj:int list array -> result
+(** [adj.(r)] lists the columns structurally reachable from row [r].
+    O(E sqrt(V)). *)
+
+val unmatched_rows : result -> int list
+val unmatched_cols : result -> int list

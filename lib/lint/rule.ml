@@ -1,0 +1,58 @@
+type severity = Error | Warning | Info
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  rule_id : string;
+  severity : severity;
+  message : string;
+  nets : string list;
+  devices : string list;
+  line : int option;
+}
+
+let finding ?(nets = []) ?(devices = []) ?line ~id severity message =
+  { rule_id = id; severity; message; nets; devices; line }
+
+type ctx = {
+  circ : Circuit.Netlist.t;
+  mna : Engine.Mna.t option;
+}
+
+let make_ctx circ =
+  let mna =
+    (* Elaboration can fail for reasons lint itself reports (missing
+       models, zero resistors, unknown controlling sources); rules that
+       need the compiled system skip gracefully. *)
+    match Engine.Mna.compile circ with
+    | mna -> Some mna
+    | exception _ -> None
+  in
+  { circ; mna }
+
+type t = {
+  id : string;
+  title : string;
+  severity : severity;
+  check : ctx -> finding list;
+}
+
+let pp_finding ?file ppf f =
+  (match (file, f.line) with
+   | Some p, Some l -> Format.fprintf ppf "%s:%d: " p l
+   | Some p, None -> Format.fprintf ppf "%s: " p
+   | None, Some l -> Format.fprintf ppf "line %d: " l
+   | None, None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_string f.severity) f.rule_id
+    f.message;
+  let aux label = function
+    | [] -> ()
+    | xs -> Format.fprintf ppf " (%s: %s)" label (String.concat ", " xs)
+  in
+  aux "nets" f.nets;
+  aux "devices" f.devices

@@ -1,0 +1,30 @@
+(** The built-in rule catalogue.
+
+    Stable rule IDs (severity in parentheses):
+
+    - [no-ground] (error) — nothing connects to node 0
+    - [floating-net] (error) — nets with no conductive path to ground
+    - [dangling-net] (warning) — net with a single terminal attachment
+    - [no-dc-path] (warning) — nets reaching ground only through capacitors
+    - [duplicate-name] (error) — two devices share a name (case-insensitive)
+    - [shorted-element] (error) — both output terminals on one net
+    - [zero-value] (error) — zero-valued R (error) / L or C (warning)
+    - [suspicious-value] (warning) — magnitudes that suggest unit typos
+    - [source-only-net] (warning) — net touched only by sources/probes
+    - [unconnected-control] (warning) — controlled source senses an
+      otherwise-unused net (likely a misspelled net name)
+    - [unknown-control] (error) — F/H element names a missing or
+      branch-less controlling device
+    - [unknown-model] (error) — D/Q/M names a missing or wrong-kind model
+    - [bad-mutual] (error) — K element with missing inductors or |k| >= 1
+    - [vsource-loop] (error) — cycle of voltage-defined elements (V/L/E/H)
+    - [isource-cutset] (error) — subcircuit cut off from any DC return
+      path and driven only through current sources/capacitors
+    - [singular-structure] (error) — the MNA sparsity pattern admits no
+      perfect row/column matching (singular for every element value) *)
+
+val all : Rule.t list
+(** Every built-in rule, catalogue order. *)
+
+val find : string -> Rule.t option
+(** Look a rule up by ID. *)

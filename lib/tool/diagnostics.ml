@@ -5,6 +5,7 @@ type report = {
   session_summary : string option;
   error : string;
   backtrace : string;
+  findings : string list;
 }
 
 let tool_version = "acstab 1.0.0 (AC-stability analysis tool)"
@@ -34,6 +35,11 @@ let to_text r =
        | Some s -> "session:   " ^ s
        | None -> "session:   (none)");
       "error:     " ^ r.error;
+      (match r.findings with
+       | [] -> "lint:      (no findings)"
+       | fs ->
+         "lint:\n"
+         ^ String.concat "\n" (List.map (fun f -> "  " ^ f) fs));
       "backtrace:";
       r.backtrace;
       "" ]
@@ -54,7 +60,7 @@ let write_report dir r =
     close_out oc
   with Sys_error m -> Printf.eprintf "diagnostics: cannot write %s: %s\n" path m
 
-let guard ?session ~operation ?(report_dir = ".") f =
+let guard ?session ~operation ?(findings = []) ?(report_dir = ".") f =
   try Ok (f ())
   with e ->
     let backtrace = Printexc.get_backtrace () in
@@ -64,7 +70,8 @@ let guard ?session ~operation ?(report_dir = ".") f =
         operation;
         session_summary = Option.map summarize_session session;
         error = Printexc.to_string e;
-        backtrace = (if backtrace = "" then "(not recorded)" else backtrace) }
+        backtrace = (if backtrace = "" then "(not recorded)" else backtrace);
+        findings }
     in
     write_report report_dir r;
     Error r

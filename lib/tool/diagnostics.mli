@@ -13,13 +13,16 @@ type report = {
   session_summary : string option;
   error : string;
   backtrace : string;
+  findings : string list;
+      (** rendered lint findings attached by the caller, giving support
+          the structural context around the failure *)
 }
 
 val tool_version : string
 
 val guard :
-  ?session:Session.t -> operation:string -> ?report_dir:string ->
-  (unit -> 'a) -> ('a, report) Result.t
+  ?session:Session.t -> operation:string -> ?findings:string list ->
+  ?report_dir:string -> (unit -> 'a) -> ('a, report) Result.t
 (** Run the operation; on exception build a {!report}, write it to
     [report_dir] (default ["."]) as [acstab-diag-<pid>-<n>.txt] and return
     it. Never raises (short of filesystem errors while writing, which are

@@ -1,0 +1,472 @@
+(* Lint rule engine: rule catalogue over the shipped circuits and broken
+   variants, Hopcroft–Karp matching, source-line tracking, JSON output,
+   and the lint <-> dense-LU singularity agreement property. *)
+
+open Circuit
+
+let parse s = Parser.parse_string s
+
+let ids findings =
+  List.sort_uniq compare
+    (List.map (fun (f : Lint.Rule.finding) -> f.rule_id) findings)
+
+let error_ids findings = ids (Lint.Runner.errors findings)
+
+let has_id id findings =
+  List.exists (fun (f : Lint.Rule.finding) -> f.rule_id = id) findings
+
+let check_ids msg expected findings =
+  Alcotest.(check (list string)) msg expected (ids findings)
+
+(* ---------- shipped circuits lint clean ---------- *)
+
+let shipped =
+  [ "double_tuned.sp"; "emitter_follower.sp"; "rlc_tank.sp";
+    "sallen_key.sp"; "two_pole_loop.sp"; "wilson_mirror.sp" ]
+
+let test_shipped_clean () =
+  List.iter
+    (fun name ->
+      let circ = Parser.parse_file (Filename.concat "../circuits" name) in
+      let findings = Lint.Runner.run circ in
+      Alcotest.(check (list string))
+        (name ^ " lints clean") [] (ids findings))
+    shipped
+
+(* ---------- broken variants: exact rule IDs ---------- *)
+
+let test_floating_net () =
+  let findings =
+    Lint.Runner.run
+      (parse "floating\nV1 a 0 DC 1\nR1 a 0 1k\nR2 x y 1k\n.end\n")
+  in
+  Alcotest.(check bool) "floating-net fires" true
+    (has_id "floating-net" findings);
+  let f =
+    List.find
+      (fun (f : Lint.Rule.finding) -> f.rule_id = "floating-net")
+      findings
+  in
+  Alcotest.(check (list string)) "names both nets" [ "x"; "y" ]
+    (List.sort compare f.nets)
+
+let test_vsource_loop () =
+  let findings =
+    Lint.Runner.run (parse "vloop\nV1 a 0 DC 1\nV2 a 0 DC 1\nR1 a 0 1k\n")
+  in
+  check_ids "loop of two V sources"
+    [ "singular-structure"; "vsource-loop" ]
+    findings;
+  let f =
+    List.find
+      (fun (f : Lint.Rule.finding) -> f.rule_id = "vsource-loop")
+      findings
+  in
+  Alcotest.(check bool) "finding cites the source line" true
+    (f.line = Some 3);
+  Alcotest.(check bool) "loop members named" true
+    (List.mem "V1" f.devices && List.mem "V2" f.devices)
+
+let test_vl_loop () =
+  (* An inductor is voltage-defined too: L parallel to V is a DC loop. *)
+  let findings =
+    Lint.Runner.run (parse "vl\nV1 a 0 DC 1\nL1 a 0 1u\nR1 a 0 1k\n")
+  in
+  Alcotest.(check bool) "V||L flagged" true
+    (has_id "vsource-loop" findings)
+
+let test_isource_cutset () =
+  let findings =
+    Lint.Runner.run
+      (parse "cut\nI1 0 a DC 1m\nC1 a 0 1p\nR1 b 0 1k\nV1 b 0 DC 1\n")
+  in
+  Alcotest.(check bool) "isource-cutset fires" true
+    (has_id "isource-cutset" findings);
+  let f =
+    List.find
+      (fun (f : Lint.Rule.finding) -> f.rule_id = "isource-cutset")
+      findings
+  in
+  Alcotest.(check bool) "names the isolated net" true (List.mem "a" f.nets);
+  Alcotest.(check bool) "names the forcing source" true
+    (List.mem "I1" f.devices)
+
+let test_cap_island_is_warning () =
+  (* The same island without a current source is only the no-dc-path
+     warning (gmin rescues it numerically). *)
+  let findings =
+    Lint.Runner.run
+      (parse "island\nV1 b 0 DC 1\nR1 b 0 1k\nC1 b a 1p\nC2 a 0 1p\n")
+  in
+  Alcotest.(check bool) "no-dc-path fires" true
+    (has_id "no-dc-path" findings);
+  Alcotest.(check (list string)) "but nothing is an error" []
+    (error_ids findings)
+
+let test_shorted () =
+  let findings =
+    Lint.Runner.run (parse "short\nV1 a 0 DC 1\nR1 a 0 1k\nL1 a a 1u\n")
+  in
+  Alcotest.(check bool) "shorted-element fires" true
+    (has_id "shorted-element" findings);
+  let f =
+    List.find
+      (fun (f : Lint.Rule.finding) -> f.rule_id = "shorted-element")
+      findings
+  in
+  Alcotest.(check bool) "shorted inductor is an error" true
+    (f.severity = Lint.Rule.Error)
+
+let test_duplicate_via_api () =
+  (* The parser rejects duplicates up front; API-level rewrites can still
+     produce them, which is exactly what the rule is for. *)
+  let c = Netlist.empty () in
+  let c = Netlist.resistor c "R1" "a" "0" 1e3 in
+  let c = Netlist.resistor c "R2" "a" "0" 2e3 in
+  let c = Netlist.vsource c "V1" "a" "0" (Netlist.dc_source 1.) in
+  let renamed =
+    Netlist.map_devices
+      (function
+        | Netlist.Resistor r -> Netlist.Resistor { r with name = "R1" }
+        | d -> d)
+      c
+  in
+  let findings = Lint.Runner.run renamed in
+  Alcotest.(check bool) "duplicate-name fires" true
+    (has_id "duplicate-name" findings)
+
+let test_values () =
+  let findings =
+    Lint.Runner.run
+      (parse "vals\nV1 a 0 DC 1\nR1 a 0 0\nC1 a 0 10\nR2 a 0 1k\n")
+  in
+  Alcotest.(check bool) "zero-value fires on R1" true
+    (has_id "zero-value" findings);
+  Alcotest.(check bool) "suspicious-value fires on the 10 F cap" true
+    (has_id "suspicious-value" findings);
+  (* Milliohm-range parts are deliberate in loop-closure fixtures; they
+     must not be flagged. *)
+  let ok =
+    Lint.Runner.run (parse "small\nV1 a 0 DC 1\nR1 a b 1m\nR2 b 0 1k\n")
+  in
+  Alcotest.(check bool) "1 mOhm not flagged" false
+    (has_id "suspicious-value" ok)
+
+let test_bad_mutual () =
+  let findings =
+    Lint.Runner.run
+      (parse
+         "mut\nV1 a 0 DC 1\nR1 a 0 1k\nL1 a 0 1u\nK1 L1 L9 0.5\n")
+  in
+  Alcotest.(check bool) "bad-mutual fires on missing inductor" true
+    (has_id "bad-mutual" findings);
+  (* The parser rejects |k| >= 1 outright, so an over-coupled K element
+     can only reach lint through the building API. *)
+  let c = Netlist.empty () in
+  let c = Netlist.vsource c "V1" "a" "0" (Netlist.dc_source 1.) in
+  let c = Netlist.resistor c "R1" "a" "0" 1e3 in
+  let c = Netlist.resistor c "R2" "b" "0" 1e3 in
+  let c = Netlist.inductor c "L1" "a" "0" 1e-6 in
+  let c = Netlist.inductor c "L2" "b" "0" 1e-6 in
+  let c = Netlist.mutual c "K1" ~l1:"L1" ~l2:"L2" ~k:1.5 in
+  Alcotest.(check bool) "bad-mutual fires on |k|>=1" true
+    (has_id "bad-mutual" (Lint.Runner.run c))
+
+let test_unknown_refs () =
+  let m =
+    Lint.Runner.run (parse "dmod\nV1 a 0 DC 1\nD1 a 0 nosuch\nR1 a 0 1k\n")
+  in
+  Alcotest.(check bool) "unknown-model fires" true (has_id "unknown-model" m);
+  let f =
+    Lint.Runner.run
+      (parse "fctl\nV1 a 0 DC 1\nR1 a 0 1k\nF1 a 0 V9 2\n")
+  in
+  Alcotest.(check bool) "unknown-control fires" true
+    (has_id "unknown-control" f);
+  let g =
+    Lint.Runner.run
+      (parse "gctl\nV1 a 0 DC 1\nR1 a 0 1k\nG1 a 0 sens 0 1m\n")
+  in
+  Alcotest.(check bool) "unconnected-control fires" true
+    (has_id "unconnected-control" g)
+
+let test_no_ground () =
+  let findings = Lint.Runner.run (parse "ng\nV1 a b DC 1\nR1 a b 1k\n") in
+  Alcotest.(check bool) "no-ground fires" true (has_id "no-ground" findings)
+
+let test_disable () =
+  let circ = parse "vloop\nV1 a 0 DC 1\nV2 a 0 DC 1\nR1 a 0 1k\n" in
+  let findings =
+    Lint.Runner.run
+      ~config:{ Lint.Runner.disabled = [ "vsource-loop" ] }
+      circ
+  in
+  Alcotest.(check bool) "disabled rule is silent" false
+    (has_id "vsource-loop" findings);
+  Alcotest.(check bool) "other rules still run" true
+    (has_id "singular-structure" findings)
+
+let test_rules_find () =
+  Alcotest.(check bool) "find known" true (Lint.Rules.find "no-ground" <> None);
+  Alcotest.(check bool) "find unknown" true (Lint.Rules.find "bogus" = None);
+  (* IDs are unique across the catalogue. *)
+  let all_ids = List.map (fun (r : Lint.Rule.t) -> r.id) Lint.Rules.all in
+  Alcotest.(check int) "no duplicate rule IDs"
+    (List.length all_ids)
+    (List.length (List.sort_uniq compare all_ids))
+
+(* ---------- Hopcroft–Karp ---------- *)
+
+let test_matching_perfect () =
+  let adj = [| [ 0; 1 ]; [ 1; 2 ]; [ 2 ] |] in
+  let m = Lint.Matching.max_matching ~rows:3 ~cols:3 ~adj in
+  Alcotest.(check int) "perfect" 3 m.Lint.Matching.size;
+  Alcotest.(check (list int)) "no unmatched rows" []
+    (Lint.Matching.unmatched_rows m)
+
+let test_matching_deficient () =
+  (* Rows 1 and 2 compete for column 1: deficiency 1. *)
+  let adj = [| [ 0 ]; [ 1 ]; [ 1 ] |] in
+  let m = Lint.Matching.max_matching ~rows:3 ~cols:3 ~adj in
+  Alcotest.(check int) "deficient" 2 m.Lint.Matching.size;
+  Alcotest.(check int) "one unmatched row" 1
+    (List.length (Lint.Matching.unmatched_rows m));
+  Alcotest.(check (list int)) "column 2 uncovered" [ 2 ]
+    (Lint.Matching.unmatched_cols m)
+
+let test_matching_wide () =
+  (* A bigger instance with a known answer: bipartite crown graph minus
+     one side's hub still has a perfect matching. *)
+  let n = 50 in
+  let adj =
+    Array.init n (fun r -> [ r; (r + 1) mod n ])
+  in
+  let m = Lint.Matching.max_matching ~rows:n ~cols:n ~adj in
+  Alcotest.(check int) "cycle cover" n m.Lint.Matching.size
+
+(* ---------- source-line tracking ---------- *)
+
+let test_lines_recorded () =
+  let circ = parse "lines\nV1 a 0 DC 1\nR1 a b 1k\n\nR2 b 0 2k\n" in
+  Alcotest.(check (option int)) "V1 line" (Some 2)
+    (Netlist.device_line circ "V1");
+  Alcotest.(check (option int)) "R2 line (blank skipped)" (Some 5)
+    (Netlist.device_line circ "r2");
+  Alcotest.(check (option int)) "absent device" None
+    (Netlist.device_line circ "R9");
+  (* API-built devices carry no line. *)
+  let c = Netlist.resistor (Netlist.empty ()) "R1" "a" "0" 1. in
+  Alcotest.(check (option int)) "built device" None
+    (Netlist.device_line c "R1")
+
+let test_compile_error_cites_line () =
+  let circ = parse "badmodel\nV1 a 0 DC 1\nR1 a 0 1k\nD1 a 0 nosuch\n" in
+  match Engine.Mna.compile circ with
+  | _ -> Alcotest.fail "compile should fail"
+  | exception Engine.Mna.Compile_error m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S cites line 4" m)
+      true
+      (String.length m >= 7 && String.sub m 0 7 = "line 4:")
+
+(* ---------- solver diagnostics ---------- *)
+
+let test_unknown_name () =
+  let circ = parse "names\nV1 in 0 DC 1\nR1 in out 1k\nL1 out 0 1u\n" in
+  let mna = Engine.Mna.compile circ in
+  let names =
+    List.init mna.Engine.Mna.size (Engine.Mna.unknown_name mna)
+  in
+  Alcotest.(check bool) "node unknowns named" true
+    (List.mem "V(in)" names && List.mem "V(out)" names);
+  Alcotest.(check bool) "branch unknowns named" true
+    (List.mem "I(V1)" names && List.mem "I(L1)" names)
+
+let test_dcop_singular_names_branch () =
+  let circ = parse "par\nV1 a 0 DC 1\nV2 a 0 DC 2\nR1 a 0 1k\n" in
+  let mna = Engine.Mna.compile circ in
+  match Engine.Dcop.solve mna with
+  | _ -> Alcotest.fail "parallel V sources must not solve"
+  | exception Engine.Dcop.No_convergence m ->
+    let mentions sub =
+      let n = String.length sub and len = String.length m in
+      let rec go i =
+        i + n <= len && (String.sub m i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names a branch current" m)
+      true
+      (mentions "I(V1)" || mentions "I(V2)");
+    Alcotest.(check bool) "never a bare index" false (mentions "unknown ")
+
+let test_explain_singular () =
+  let circ = parse "par\nV1 a 0 DC 1\nV2 a 0 DC 2\nR1 a 0 1k\n" in
+  let fs = Lint.Runner.explain_singular circ in
+  Alcotest.(check bool) "explanation found" true (fs <> []);
+  Alcotest.(check bool) "vsource-loop among causes" true
+    (has_id "vsource-loop" fs)
+
+(* ---------- structural predictor vs the numeric factorization ---------- *)
+
+(* The DC matrix exactly as Dcop's direct attempt builds it. *)
+let dc_singular circ =
+  let mna = Engine.Mna.compile circ in
+  let a = Numerics.Rmat.create mna.Engine.Mna.size mna.Engine.Mna.size in
+  let b = Array.make mna.Engine.Mna.size 0. in
+  Engine.Stamps.stamp_static mna
+    ~src_value:(fun s -> s.Netlist.dc)
+    a b;
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | Engine.Mna.E_ind { i; j; br; _ } ->
+        Engine.Mna.stamp_mat a i br 1.;
+        Engine.Mna.stamp_mat a j br (-1.);
+        Engine.Mna.stamp_mat a br i 1.;
+        Engine.Mna.stamp_mat a br j (-1.)
+      | _ -> ())
+    mna.Engine.Mna.elems;
+  Engine.Stamps.stamp_gmin mna ~gmin:1e-12 a;
+  match Numerics.Rmat.solve a b with
+  | _ -> false
+  | exception Numerics.Dense.Singular _ -> true
+
+(* Random linear ladder: V source into a chain of resistors, with a few
+   extra Rs and Cs sprinkled between existing nets. Always solvable. *)
+let base_circuit rand =
+  let n = 2 + (rand mod 4) in
+  let net k = Printf.sprintf "n%d" k in
+  let c = Netlist.empty () in
+  let c = Netlist.vsource c "V1" (net 0) "0" (Netlist.dc_source 1.) in
+  let c =
+    List.fold_left
+      (fun c k ->
+        Netlist.resistor c
+          (Printf.sprintf "R%d" k)
+          (net k)
+          (if k = n - 1 then "0" else net (k + 1))
+          (1e3 *. float_of_int (1 + (rand / (k + 1) mod 9))))
+      c
+      (List.init n Fun.id)
+  in
+  let c =
+    if rand mod 3 = 0 then
+      Netlist.capacitor c "Cx" (net (rand mod n)) "0" 1e-12
+    else c
+  in
+  if rand mod 5 = 0 then
+    Netlist.resistor c "Rx" (net (rand mod n)) (net (rand / 7 mod n)) 4.7e3
+  else c
+
+(* Injected defects from the exactly-singular family: each produces a
+   structurally singular system (identical or dependent V-defined rows),
+   so the dense LU hits an exact zero pivot regardless of values. *)
+let inject_defect rand c =
+  let net k = Printf.sprintf "n%d" k in
+  match rand mod 3 with
+  | 0 -> Netlist.vsource c "Vdup" (net 0) "0" (Netlist.dc_source 1.)
+  | 1 -> Netlist.vsource c "Vshort" (net 0) (net 0) (Netlist.dc_source 0.)
+  | _ ->
+    let c = Netlist.inductor c "Ld1" (net 0) "0" 1e-6 in
+    Netlist.inductor c "Ld2" (net 0) "0" 2.2e-6
+
+let structurally_flagged findings =
+  List.exists
+    (fun (f : Lint.Rule.finding) ->
+      f.severity = Lint.Rule.Error
+      && List.mem f.rule_id
+           [ "vsource-loop"; "shorted-element"; "singular-structure" ])
+    findings
+
+let prop_lint_predicts_singular =
+  QCheck.Test.make
+    ~name:"lint flags a structural defect iff the dense DC LU is singular"
+    ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun rand ->
+      let healthy = base_circuit rand in
+      let broken = inject_defect rand healthy in
+      let healthy_singular = dc_singular healthy in
+      let healthy_flagged = structurally_flagged (Lint.Runner.run healthy) in
+      let broken_singular = dc_singular broken in
+      let broken_flagged = structurally_flagged (Lint.Runner.run broken) in
+      (healthy_singular = healthy_flagged)
+      && (not healthy_singular)
+      && broken_singular = broken_flagged && broken_singular)
+
+(* ---------- JSON ---------- *)
+
+let test_json () =
+  let circ = parse "vloop\nV1 a 0 DC 1\nV2 a 0 DC 1\nR1 a 0 1k\n" in
+  let findings = Lint.Runner.run circ in
+  let js = Lint.Json.report ~file:"vloop.sp" findings in
+  let mentions sub =
+    let n = String.length sub and len = String.length js in
+    let rec go i = i + n <= len && (String.sub js i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "file recorded" true
+    (mentions "\"file\":\"vloop.sp\"");
+  Alcotest.(check bool) "rule id present" true
+    (mentions "\"rule\":\"vsource-loop\"");
+  Alcotest.(check bool) "error count" true (mentions "\"errors\":2");
+  Alcotest.(check bool) "line recorded" true (mentions "\"line\":3");
+  Alcotest.(check bool) "quotes escaped" true (mentions "\\\"V2\\\"")
+
+let test_json_escaping () =
+  let f =
+    Lint.Rule.finding ~id:"x" Lint.Rule.Info "tab\there \"and\" \\ nl\n"
+  in
+  Alcotest.(check string) "escapes"
+    "{\"rule\":\"x\",\"severity\":\"info\",\"message\":\"tab\\there \
+     \\\"and\\\" \\\\ nl\\n\",\"nets\":[],\"devices\":[]}"
+    (Lint.Json.of_finding f)
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "rules",
+        [ Alcotest.test_case "shipped circuits clean" `Quick
+            test_shipped_clean;
+          Alcotest.test_case "floating net" `Quick test_floating_net;
+          Alcotest.test_case "V-source loop" `Quick test_vsource_loop;
+          Alcotest.test_case "V parallel L loop" `Quick test_vl_loop;
+          Alcotest.test_case "I-source cutset" `Quick test_isource_cutset;
+          Alcotest.test_case "cap island only warns" `Quick
+            test_cap_island_is_warning;
+          Alcotest.test_case "shorted element" `Quick test_shorted;
+          Alcotest.test_case "duplicate via API rename" `Quick
+            test_duplicate_via_api;
+          Alcotest.test_case "zero and suspicious values" `Quick
+            test_values;
+          Alcotest.test_case "bad mutual" `Quick test_bad_mutual;
+          Alcotest.test_case "unknown model/control refs" `Quick
+            test_unknown_refs;
+          Alcotest.test_case "no ground" `Quick test_no_ground;
+          Alcotest.test_case "per-rule disable" `Quick test_disable;
+          Alcotest.test_case "catalogue lookup" `Quick test_rules_find ] );
+      ( "matching",
+        [ Alcotest.test_case "perfect" `Quick test_matching_perfect;
+          Alcotest.test_case "deficient" `Quick test_matching_deficient;
+          Alcotest.test_case "cycle cover" `Quick test_matching_wide ] );
+      ( "lines",
+        [ Alcotest.test_case "parser records lines" `Quick
+            test_lines_recorded;
+          Alcotest.test_case "compile error cites line" `Quick
+            test_compile_error_cites_line ] );
+      ( "diagnostics",
+        [ Alcotest.test_case "unknown_name" `Quick test_unknown_name;
+          Alcotest.test_case "singular names branch" `Quick
+            test_dcop_singular_names_branch;
+          Alcotest.test_case "explain_singular" `Quick
+            test_explain_singular ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lint_predicts_singular ] );
+      ( "json",
+        [ Alcotest.test_case "report shape" `Quick test_json;
+          Alcotest.test_case "string escaping" `Quick test_json_escaping ]
+      ) ]
