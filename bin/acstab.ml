@@ -148,6 +148,34 @@ let options_of fmin fmax ppd =
   { Stability.Analysis.default_options with
     sweep = sweep_of fmin fmax ppd }
 
+(* ---- parallelism ---- *)
+
+(* [--jobs N] sizes the persistent worker pool (also: ACSTAB_JOBS). The
+   term's value is unit so it composes like [log_term]: evaluating it
+   configures the pool before the command body runs. *)
+let jobs_term =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker-pool parallelism (domains, the main one \
+                   included). Defaults to $(b,ACSTAB_JOBS) or the \
+                   machine's recommended domain count.")
+  in
+  Term.(const (fun j -> Option.iter Parallel.Pool.set_jobs j) $ jobs)
+
+(* Tri-state parallel selector: the default Auto heuristic parallelises
+   when the workload's volume warrants the pool; the flags force it. *)
+let par_term =
+  Arg.(value
+       & vflag `Auto
+           [ (`Par,
+              info [ "parallel" ]
+                ~doc:"Force pooled parallel execution.");
+             (`Seq,
+              info [ "sequential" ]
+                ~doc:"Force sequential execution (results are identical \
+                      either way).") ])
+
 (* ---- single-node ---- *)
 
 let html_arg =
@@ -160,11 +188,12 @@ let single_node_cmd =
     Arg.(value & flag
          & info [ "plot" ] ~doc:"Print the full stability plot table.")
   in
-  let run () lint file node fmin fmax ppd plot html =
+  let run () () lint file node fmin fmax ppd plot html parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
-    let options = options_of fmin fmax ppd in
+    let options = { (options_of fmin fmax ppd) with
+                    Stability.Analysis.parallel } in
     let r = Stability.Analysis.single_node ~options circ node in
     Stability.Report.single_node Format.std_formatter r;
     if plot then Stability.Stability_plot.pp Format.std_formatter r.plot;
@@ -177,8 +206,8 @@ let single_node_cmd =
     (Cmd.info "single-node"
        ~doc:"Stability peak and natural frequency of one net (paper \
              'Single Node' run mode).")
-    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
-          $ fmax_arg $ ppd_arg $ plot $ html_arg)
+    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ node_arg
+          $ fmin_arg $ fmax_arg $ ppd_arg $ plot $ html_arg $ par_term)
 
 (* ---- all-nodes ---- *)
 
@@ -193,12 +222,7 @@ let all_nodes_cmd =
          & info [ "nodes" ] ~docv:"N1,N2,..."
              ~doc:"Restrict the scan to these nets.")
   in
-  let parallel =
-    Arg.(value & flag
-         & info [ "parallel" ]
-             ~doc:"Spread the frequency sweep across CPU domains.")
-  in
-  let run () lint file fmin fmax ppd nodes annotate html parallel =
+  let run () () lint file fmin fmax ppd nodes annotate html parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -217,8 +241,8 @@ let all_nodes_cmd =
     (Cmd.info "all-nodes"
        ~doc:"Stability peaks of every net, grouped by loop (paper 'All \
              Nodes' run mode, Table 2).")
-    Term.(const run $ log_term $ lint_term $ file_arg $ fmin_arg $ fmax_arg
-          $ ppd_arg $ nodes $ annotate $ html_arg $ parallel)
+    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ fmin_arg
+          $ fmax_arg $ ppd_arg $ nodes $ annotate $ html_arg $ par_term)
 
 (* ---- run (directive-driven) ---- *)
 
@@ -612,11 +636,7 @@ let montecarlo_cmd =
          & info [ "sigma" ] ~docv:"REL"
              ~doc:"Relative sigma on every R/C/L value.")
   in
-  let parallel =
-    Arg.(value & flag
-         & info [ "parallel" ] ~doc:"Run samples across CPU domains.")
-  in
-  let run () lint file node n seed sigma parallel =
+  let run () () lint file node n seed sigma parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -645,8 +665,8 @@ let montecarlo_cmd =
   Cmd.v
     (Cmd.info "montecarlo"
        ~doc:"Mismatch Monte Carlo on a loop's damping ratio.")
-    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ n $ seed
-          $ sigma $ parallel)
+    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ node_arg
+          $ n $ seed $ sigma $ par_term)
 
 (* ---- table1 ---- *)
 

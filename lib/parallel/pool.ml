@@ -1,0 +1,314 @@
+(* A process-wide persistent parallel runtime.
+
+   The tool's heavy workloads — all-nodes probing, Monte-Carlo, corners —
+   are embarrassingly parallel, but `Domain.spawn` costs milliseconds
+   (domain-local heap setup plus a stop-the-world handshake), which dwarfs
+   a chunk of frequency-point solves. Spawning per sweep therefore loses
+   exactly where parallelism should win: many small independent batches.
+
+   This module keeps one process-wide pool of worker domains, started
+   lazily on the first parallel submission and reused for every subsequent
+   one. Scheduling is work stealing over per-worker chunked deques: a
+   submission splits its index range into chunks, deals them round-robin
+   across the worker deques, and then participates itself by stealing;
+   a worker prefers the back of its own deque (LIFO, cache-warm) and
+   steals from the front of the longest other deque (FIFO, oldest work).
+   One slow chunk — a corner whose DC solve limps through the homotopy
+   ladder, say — no longer serialises a static bucket: idle participants
+   drain the remaining chunks around it.
+
+   All deque operations happen under one global mutex. Chunks are coarse
+   (a chunk is many matrix factorisations), so the lock is touched a few
+   hundred times per second at most; the simplicity buys an easy proof of
+   the completion and exception invariants. *)
+
+(* ---- double-ended chunk queue (owner back, thief front) ---- *)
+
+module Deque = struct
+  type 'a t = {
+    mutable front : 'a list;    (* front-to-back order *)
+    mutable back : 'a list;     (* back-to-front order *)
+    mutable len : int;
+  }
+
+  let create () = { front = []; back = []; len = 0 }
+  let length d = d.len
+
+  let push_back d x =
+    d.back <- x :: d.back;
+    d.len <- d.len + 1
+
+  let pop_back d =
+    match d.back with
+    | x :: r ->
+      d.back <- r;
+      d.len <- d.len - 1;
+      Some x
+    | [] ->
+      (match List.rev d.front with
+       | [] -> None
+       | x :: r ->
+         d.front <- [];
+         d.back <- r;
+         d.len <- d.len - 1;
+         Some x)
+
+  let pop_front d =
+    match d.front with
+    | x :: r ->
+      d.front <- r;
+      d.len <- d.len - 1;
+      Some x
+    | [] ->
+      (match List.rev d.back with
+       | [] -> None
+       | x :: r ->
+         d.back <- [];
+         d.front <- r;
+         d.len <- d.len - 1;
+         Some x)
+end
+
+(* ---- jobs and chunks ---- *)
+
+type job = {
+  body : int -> unit;
+  mutable unfinished : int;      (* chunks not yet fully executed *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first failure wins; later chunks of the job are skipped *)
+}
+
+type chunk = { job : job; lo : int; hi : int }   (* [lo, hi) *)
+
+type pool = {
+  deques : chunk Deque.t array;          (* one per worker domain *)
+  mutable domains : unit Domain.t array;
+  mutable stop : bool;
+}
+
+let mutex = Mutex.create ()
+let work_cv = Condition.create ()   (* workers: chunks arrived / stop *)
+let done_cv = Condition.create ()   (* submitters: some job completed *)
+let pool : pool option ref = ref None
+
+(* Every index of a pool job executes with this flag set — on a worker
+   domain or on the submitter while it helps drain chunks — so a nested
+   submission (a Monte-Carlo sample fanning out its own sweep) detects it
+   and runs inline instead of oversubscribing the machine. *)
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_flag
+
+(* ---- pool size ---- *)
+
+let default_jobs () =
+  match Sys.getenv_opt "ACSTAB_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Total parallelism, submitting domain included: [jobs () - 1] worker
+   domains are kept. Guarded by [mutex]. *)
+let requested = ref (default_jobs ())
+
+let jobs () =
+  Mutex.lock mutex;
+  let n = !requested in
+  Mutex.unlock mutex;
+  n
+
+(* ---- chunk execution ---- *)
+
+let run_chunk c =
+  let j = c.job in
+  (try
+     let i = ref c.lo in
+     (* Stop early once a sibling chunk failed: the submitter only
+        reports the first exception, so the rest is wasted work. *)
+     while !i < c.hi && Atomic.get j.failed = None do
+       j.body !i;
+       incr i
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     ignore (Atomic.compare_and_set j.failed None (Some (e, bt))));
+  Mutex.lock mutex;
+  j.unfinished <- j.unfinished - 1;
+  if j.unfinished = 0 then Condition.broadcast done_cv;
+  Mutex.unlock mutex
+
+(* Pop from our own deque's back; else steal from the front of the
+   longest other deque. [me = -1] (a submitter) only steals. Caller holds
+   [mutex]. *)
+let find_chunk p me =
+  let own =
+    if me >= 0 then Deque.pop_back p.deques.(me) else None
+  in
+  match own with
+  | Some _ as c -> c
+  | None ->
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun k d ->
+        if k <> me && Deque.length d > !best then begin
+          victim := k;
+          best := Deque.length d
+        end)
+      p.deques;
+    if !victim < 0 then None else Deque.pop_front p.deques.(!victim)
+
+let worker p me () =
+  Domain.DLS.set worker_flag true;
+  Mutex.lock mutex;
+  let rec loop () =
+    if p.stop then Mutex.unlock mutex
+    else
+      match find_chunk p me with
+      | Some c ->
+        Mutex.unlock mutex;
+        run_chunk c;
+        Mutex.lock mutex;
+        loop ()
+      | None ->
+        Condition.wait work_cv mutex;
+        loop ()
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+(* Ask the current workers to exit and join them. Submissions are
+   synchronous ([run] returns only once its job is drained), so there are
+   never pending chunks here. *)
+let shutdown () =
+  Mutex.lock mutex;
+  let p = !pool in
+  pool := None;
+  (match p with
+   | Some p ->
+     p.stop <- true;
+     Condition.broadcast work_cv
+   | None -> ());
+  Mutex.unlock mutex;
+  match p with
+  | Some p -> Array.iter Domain.join p.domains
+  | None -> ()
+
+let set_jobs n =
+  let n = Int.max 1 n in
+  Mutex.lock mutex;
+  let changed = !requested <> n in
+  requested := n;
+  Mutex.unlock mutex;
+  (* Resize eagerly only downward-to-idle; the next submission respawns
+     lazily at the new size either way. *)
+  if changed then shutdown ()
+
+(* Lazily (re)start the workers. Returns [None] when the configured
+   parallelism is 1 — callers then run inline with zero overhead. *)
+let ensure_pool () =
+  Mutex.lock mutex;
+  let target = !requested - 1 in
+  let current = !pool in
+  let ok =
+    match current with
+    | Some p -> Array.length p.domains = target
+    | None -> false
+  in
+  Mutex.unlock mutex;
+  if ok then current
+  else begin
+    shutdown ();
+    if target < 1 then None
+    else begin
+      let deques = Array.init target (fun _ -> Deque.create ()) in
+      let p = { deques; domains = [||]; stop = false } in
+      p.domains <- Array.init target (fun k -> Domain.spawn (worker p k));
+      Mutex.lock mutex;
+      pool := Some p;
+      Mutex.unlock mutex;
+      Some p
+    end
+  end
+
+(* ---- submission ---- *)
+
+let run_inline n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+(* Split [0, n) into chunks of [csize] and deal them round-robin over the
+   worker deques; participate by stealing until our own job is drained.
+   Rethrows the first failure with its original backtrace. *)
+let run_pooled p ~csize n body =
+  let workers = Array.length p.deques in
+  let nchunks = (n + csize - 1) / csize in
+  let job = { body; unfinished = nchunks; failed = Atomic.make None } in
+  Mutex.lock mutex;
+  for k = 0 to nchunks - 1 do
+    let lo = k * csize in
+    let hi = Int.min n (lo + csize) in
+    Deque.push_back p.deques.(k mod workers) { job; lo; hi }
+  done;
+  Condition.broadcast work_cv;
+  let rec participate () =
+    if job.unfinished = 0 then Mutex.unlock mutex
+    else
+      match find_chunk p (-1) with
+      | Some c ->
+        Mutex.unlock mutex;
+        (* The submitter counts as a worker while it executes chunks, so
+           nested submissions from the body run inline here too. *)
+        Domain.DLS.set worker_flag true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set worker_flag false)
+          (fun () -> run_chunk c);
+        Mutex.lock mutex;
+        participate ()
+      | None ->
+        if job.unfinished = 0 then Mutex.unlock mutex
+        else begin
+          Condition.wait done_cv mutex;
+          participate ()
+        end
+  in
+  participate ();
+  match Atomic.get job.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* Default chunking: enough chunks for stealing to balance uneven work
+   (~8 per participant), but never finer than one index. *)
+let default_chunk ~participants n =
+  Int.max 1 (n / (participants * 8))
+
+let parallel_for ?chunk ~n body =
+  if n <= 0 then ()
+  else if n = 1 || in_worker () then run_inline n body
+  else
+    match ensure_pool () with
+    | None -> run_inline n body
+    | Some p ->
+      let participants = Array.length p.deques + 1 in
+      let csize =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | _ -> default_chunk ~participants n
+      in
+      run_pooled p ~csize n body
+
+let map_array ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk ~n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map
+      (function Some v -> v | None -> assert false)
+      out
+  end
+
+let map_list ?chunk f l =
+  Array.to_list (map_array ?chunk f (Array.of_list l))

@@ -1,0 +1,57 @@
+(** Process-wide persistent worker-domain pool with work stealing.
+
+    The paper lists "distributed / computer farm run capability" as a
+    feature in development; at workstation scale the bottleneck is not
+    raw cores but scheduling: [Domain.spawn] costs milliseconds, so
+    spawning fresh domains per frequency sweep (as the tool's first
+    parallel path did) burns more time than the solves it distributes.
+
+    This pool starts its worker domains lazily on the first parallel
+    submission and keeps them for the life of the process. Work arrives
+    as index ranges split into chunks and dealt over per-worker deques;
+    idle participants (the submitting domain included) steal chunks from
+    the front of the fullest deque, so an uneven batch — one slow corner
+    among fast ones — rebalances dynamically instead of serialising a
+    static bucket.
+
+    Submissions made from inside a pool task run inline on the calling
+    domain: an outer Monte-Carlo fan-out does not oversubscribe the
+    machine with inner sweep parallelism.
+
+    Results are deterministic: a task writes only cells of its own index,
+    so pooled and sequential executions perform bit-identical arithmetic. *)
+
+val jobs : unit -> int
+(** Configured parallelism, the submitting domain included. Defaults to
+    [ACSTAB_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()]. [jobs () = 1] means every
+    submission runs inline and no worker domain is ever started. *)
+
+val set_jobs : int -> unit
+(** Reconfigure the parallelism (clamped to at least 1) — the [--jobs N]
+    CLI flag lands here. Existing workers are stopped; the next
+    submission restarts the pool at the new size. Call only between
+    submissions. *)
+
+val in_worker : unit -> bool
+(** Whether the calling domain is currently executing a pool task (a
+    worker domain, or the submitter while it helps drain chunks). *)
+
+val parallel_for : ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n body] runs [body i] for every [i] in [0, n),
+    distributed over the pool. [chunk] overrides the chunk size (default:
+    about 8 chunks per participant). Runs inline when [n <= 1], when
+    [jobs () = 1], or when called from inside a pool task. If any [body]
+    raises, remaining chunks are skipped (best effort) and the first
+    exception is re-raised on the submitter with its original
+    backtrace. *)
+
+val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; element order is preserved. *)
+
+val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; element order is preserved. *)
+
+val shutdown : unit -> unit
+(** Stop and join the worker domains. The pool restarts lazily on the
+    next submission; useful before [exit] or in tests. *)

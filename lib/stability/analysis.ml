@@ -7,7 +7,7 @@ type options = {
   refine_per_decade : int;
   min_peak : float;
   dc_options : Engine.Dcop.options;
-  parallel : bool;
+  parallel : [ `Auto | `Seq | `Par ];
   backend : [ `Auto | `Dense | `Sparse | `Plan ];
 }
 
@@ -18,7 +18,7 @@ let default_options =
     refine_per_decade = 600;
     min_peak = 0.2;
     dc_options = Engine.Dcop.default_options;
-    parallel = false;
+    parallel = `Auto;
     backend = `Auto }
 
 let probe_backend opts =
@@ -26,9 +26,22 @@ let probe_backend opts =
   | `Auto -> None
   | (`Dense | `Sparse | `Plan) as b -> Some b
 
-let response_many opts probe nodes ~sweep =
+(* One compiled plan for the whole run mode: the coarse scan and every
+   zoom window share the circuit's MNA pattern, so they share its
+   symbolic analysis too. [None] on the dense paths. *)
+let shared_plan opts probe =
+  let plan_backed =
+    match opts.backend with
+    | `Plan | `Sparse -> true
+    | `Dense -> false
+    | `Auto ->
+      probe.Probe.mna.Engine.Mna.size > Engine.Ac_plan.dense_cutoff
+  in
+  if plan_backed then Some (Probe.plan probe ~sweep:opts.sweep) else None
+
+let response_many opts ?plan probe nodes ~sweep =
   Probe.response_many ?backend:(probe_backend opts)
-    ~parallel:opts.parallel probe ~sweep nodes
+    ~parallel:opts.parallel ?plan probe ~sweep nodes
 
 type node_result = {
   node : Circuit.Netlist.node;
@@ -115,8 +128,11 @@ type refine_job = {
    their zoom windows coincide. Grouping the jobs by coarse frequency
    and re-probing each merged window once with a multi-RHS
    {!Probe.response_many} call shares the per-point factorisation across
-   every node of the loop instead of re-probing one node at a time. *)
-let refine_batched opts probe jobs =
+   every node of the loop instead of re-probing one node at a time. The
+   zoom windows additionally reuse [plan] — the coarse sweep's compiled
+   solve plan — so the whole refinement pass performs zero further
+   symbolic analyses. *)
+let refine_batched opts ?plan probe jobs =
   let fmin, fmax = sweep_bounds opts.sweep in
   let sorted =
     List.sort
@@ -152,7 +168,7 @@ let refine_batched opts probe jobs =
         let nodes =
           List.sort_uniq compare (List.map (fun j -> j.rj_node) grp)
         in
-        let responses = response_many opts probe nodes ~sweep:zoom in
+        let responses = response_many opts ?plan probe nodes ~sweep:zoom in
         List.map
           (fun j ->
             let w = List.assoc j.rj_node responses in
@@ -163,7 +179,7 @@ let refine_batched opts probe jobs =
 
 (* Coarse analysis of every live net, then one batched refinement pass
    over all (node, peak) jobs at once. *)
-let analyze_many opts probe entries =
+let analyze_many opts ?plan probe entries =
   let coarse =
     List.filter_map
       (fun (node, w) ->
@@ -194,7 +210,7 @@ let analyze_many opts probe entries =
       List.iter
         (fun (j, refined) -> Hashtbl.replace table (j.rj_node, j.rj_slot)
             refined)
-        (refine_batched opts probe jobs);
+        (refine_batched opts ?plan probe jobs);
       fun node slot coarse_pk ->
         match Hashtbl.find_opt table (node, slot) with
         | Some refined -> refined
@@ -207,8 +223,8 @@ let analyze_many opts probe entries =
       { node; plot; peaks; dominant = Peaks.dominant peaks })
     coarse
 
-let analyze_node opts probe node response =
-  match analyze_many opts probe [ (node, response) ] with
+let analyze_node opts ?plan probe node response =
+  match analyze_many opts ?plan probe [ (node, response) ] with
   | [ r ] -> r
   | _ ->
     failwith
@@ -218,12 +234,13 @@ let analyze_node opts probe node response =
          node)
 
 let single_node_prepared ?(options = default_options) probe node =
+  let plan = shared_plan options probe in
   let w =
-    match response_many options probe [ node ] ~sweep:options.sweep with
+    match response_many options ?plan probe [ node ] ~sweep:options.sweep with
     | [ (_, w) ] -> w
     | _ -> assert false
   in
-  analyze_node options probe node w
+  analyze_node options ?plan probe node w
 
 let all_nodes_prepared ?(options = default_options) ?nodes probe =
   let all =
@@ -232,8 +249,9 @@ let all_nodes_prepared ?(options = default_options) ?nodes probe =
     | None ->
       Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
   in
-  let responses = response_many options probe all ~sweep:options.sweep in
-  analyze_many options probe responses
+  let plan = shared_plan options probe in
+  let responses = response_many options ?plan probe all ~sweep:options.sweep in
+  analyze_many options ?plan probe responses
 
 let single_node ?(options = default_options) circ node =
   let probe = Probe.prepare ~dc_options:options.dc_options circ in

@@ -12,7 +12,12 @@
     frequency — the paper's loop-clustering insight — so their zoom
     windows are merged and re-probed together through one multi-RHS
     {!Probe.response_many} call per frequency group, sharing each
-    per-point factorisation across every node of the loop. *)
+    per-point factorisation across every node of the loop.
+
+    On the plan-backed solver paths a run mode compiles exactly one
+    {!Engine.Ac_plan} and reuses it for the coarse scan and every zoom
+    window — one symbolic analysis for an entire all-nodes run,
+    refinement included ({!Engine.Ac_plan.totals} counters verify it). *)
 
 type options = {
   sweep : Numerics.Sweep.t;      (** coarse sweep (default 1 kHz - 1 GHz,
@@ -25,8 +30,12 @@ type options = {
   refine_per_decade : int;       (** zoom grid density (600) *)
   min_peak : float;              (** report peaks with |P| above this (0.2) *)
   dc_options : Engine.Dcop.options;
-  parallel : bool;               (** spread the all-nodes sweep across
-                                     OCaml domains (false) *)
+  parallel : [ `Auto | `Seq | `Par ];
+  (** distribution of the sweeps over the persistent {!Parallel.Pool}.
+      [`Auto] (the default) parallelises when the pool has workers and
+      the sweep's volume clears {!Probe.auto_threshold}; [`Par] forces
+      pooled execution, [`Seq] forces sequential. Results are
+      bit-identical in every mode. *)
   backend : [ `Auto | `Dense | `Sparse | `Plan ];
   (** linear-solver path handed to {!Probe.response_many}. [`Auto] (the
       default) lets the probe layer pick: the compiled AC plan above

@@ -17,13 +17,34 @@ let excitation size k =
   b.(k) <- Cx.one;
   b
 
-let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
-    nodes =
+(* Mid-band reference frequency of a sweep: seeds the plan's pivot
+   order. *)
+let omega_ref_of freqs =
+  if Array.length freqs = 0 then 2e6 *. Float.pi
+  else
+    2. *. Float.pi *. sqrt (freqs.(0) *. freqs.(Array.length freqs - 1))
+
+let plan ?(gmin = 1e-12) t ~sweep =
+  Engine.Ac_plan.compile ~gmin ~omega_ref:(omega_ref_of (Sweep.points sweep))
+    ~op:t.op t.mna
+
+(* Below this many point-solves (unknowns x points x nets, a proxy for
+   the sweep's arithmetic volume) the pool's chunking overhead outweighs
+   the win and [`Auto] stays sequential. A 25-unknown op-amp swept at 30
+   points/decade over six decades with every net probed sits well above
+   it; a single-node toy tank stays under. *)
+let auto_threshold = 50_000
+
+let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
+    t ~sweep nodes =
   let size = t.mna.Engine.Mna.size in
   let backend =
-    match backend with
-    | Some b -> b
-    | None ->
+    match (backend, shared) with
+    | Some b, _ -> b
+    | None, Some _ ->
+      (* A caller handing in a compiled plan wants it used. *)
+      `Plan
+    | None, None ->
       (* The compiled plan is the fast path for anything non-trivial;
          tiny systems keep the dense oracle's simplicity. *)
       if size <= Engine.Ac_plan.dense_cutoff then `Dense else `Plan
@@ -41,33 +62,32 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
   let per_node = List.map (fun (n, i) -> (n, i, Array.make
                                             (Array.length freqs) Cx.zero))
                    indexed in
-  (* One plan compilation — and thus exactly one symbolic analysis —
-     per sweep; sparse and plan backends both fill its O(nnz) skeleton
-     instead of stamping a dense matrix and harvesting triplets. *)
+  (* One plan compilation — and thus exactly one symbolic analysis — per
+     sweep, unless the caller shares one across sweeps (the refinement
+     pass re-probes many zoom windows of one circuit: same MNA pattern,
+     same symbolic analysis, zero recompilation). Sparse and plan
+     backends both fill the plan's O(nnz) skeleton instead of stamping a
+     dense matrix and harvesting triplets. *)
   let plan =
     match backend with
     | `Dense -> None
     | `Sparse | `Plan ->
-      let omega_ref =
-        if Array.length freqs = 0 then 2e6 *. Float.pi
-        else
-          2. *. Float.pi
-          *. sqrt (freqs.(0) *. freqs.(Array.length freqs - 1))
-      in
-      Some (Engine.Ac_plan.compile ~gmin ~omega_ref ~op:t.op t.mna)
+      (match shared with
+       | Some p -> Some p
+       | None ->
+         Some
+           (Engine.Ac_plan.compile ~gmin ~omega_ref:(omega_ref_of freqs)
+              ~op:t.op t.mna))
   in
   (* The probe excitations carry no frequency dependence; build the
-     multi-RHS batch once per sweep (solves never mutate their RHS, and
-     the array is only read after this, so sharing it across domains is
-     safe). *)
+     multi-RHS batch once per sweep for every backend (solves never
+     mutate their RHS, and the batch is only read afterwards, so sharing
+     it across domains is safe). *)
   let bs =
-    match backend with
-    | `Plan ->
-      Array.of_list (List.map (fun (_, i, _) -> excitation size i) per_node)
-    | `Dense | `Sparse -> [||]
+    Array.of_list (List.map (fun (_, i, _) -> excitation size i) per_node)
   in
-  let run_point fk f =
-    let omega = 2. *. Float.pi *. f in
+  let run_point fk =
+    let omega = 2. *. Float.pi *. freqs.(fk) in
     match (backend, plan) with
     | `Plan, Some plan ->
       (* One numeric refactorisation, then every probed node as one
@@ -79,40 +99,39 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = false) t ~sweep
          kept as the mid-way reference between dense and plan. *)
       let a = Engine.Ac_plan.matrix_at plan ~omega in
       let lu = Scmat.lu_factor a in
-      List.iter
-        (fun (_, i, out) ->
-          out.(fk) <- (Scmat.lu_solve lu (excitation size i)).(i))
+      List.iteri
+        (fun q (_, i, out) -> out.(fk) <- (Scmat.lu_solve lu bs.(q)).(i))
         per_node
     | `Dense, _ | _, None ->
       let lu = Engine.Ac.factor_at ~gmin ~op:t.op ~omega t.mna in
-      List.iter
-        (fun (_, i, out) ->
-          out.(fk) <- (Cmat.lu_solve lu (excitation size i)).(i))
+      List.iteri
+        (fun q (_, i, out) -> out.(fk) <- (Cmat.lu_solve lu bs.(q)).(i))
         per_node
   in
-  if not parallel then Array.iteri run_point freqs
-  else begin
-    (* Frequency points are independent; spread them over domains. Each
-       domain writes disjoint columns of the (pre-allocated) result
-       arrays, so no synchronisation is needed — the shared plan is
-       immutable after compilation. Never spawn more workers than there
-       are points. *)
-    let workers =
-      Int.max 1
-        (Int.min (Array.length freqs)
-           (Domain.recommended_domain_count () - 1))
-    in
-    let domains =
-      List.init workers (fun w ->
-          Domain.spawn (fun () ->
-              let fk = ref w in
-              while !fk < Array.length freqs do
-                run_point !fk freqs.(!fk);
-                fk := !fk + workers
-              done))
-    in
-    List.iter Domain.join domains
-  end;
+  let go_parallel =
+    match parallel with
+    | `Seq -> false
+    | `Par -> true
+    | `Auto ->
+      (* Worth distributing only when the sweep carries real arithmetic
+         volume and the pool has anyone to give it to. *)
+      Parallel.Pool.jobs () > 1
+      && (not (Parallel.Pool.in_worker ()))
+      && size * Array.length freqs * Int.max 1 (List.length nodes)
+         >= auto_threshold
+  in
+  (* Frequency points are independent, and each point writes disjoint
+     cells of the pre-allocated result arrays — the shared plan is
+     immutable after compilation, so pooled execution is bit-identical
+     to sequential. Chunks are dealt dynamically over the persistent
+     pool: no per-sweep domain spawns, and stealing rebalances the
+     tail. *)
+  if go_parallel then
+    Parallel.Pool.parallel_for ~n:(Array.length freqs) run_point
+  else
+    for fk = 0 to Array.length freqs - 1 do
+      run_point fk
+    done;
   List.map (fun (n, _, h) -> (n, Waveform.Freq.make freqs h)) per_node
 
 let response ?gmin t ~sweep node =

@@ -27,8 +27,20 @@ val response :
   Numerics.Waveform.Freq.t
 (** Driving-point transimpedance of one net across a sweep. *)
 
+val plan : ?gmin:float -> t -> sweep:Numerics.Sweep.t -> Engine.Ac_plan.t
+(** Compile the probe's MNA system into an AC solve plan seeded at the
+    sweep's mid-band frequency. The plan is valid for {e any} sweep of
+    the same circuit — hand it to several {!response_many} calls (a
+    coarse scan plus its zoom refinements) to pay for exactly one
+    symbolic analysis in total. *)
+
+val auto_threshold : int
+(** Arithmetic volume (unknowns x points x probed nets) above which
+    [`Auto] distributes a sweep over the {!Parallel.Pool}. *)
+
 val response_many :
-  ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] -> ?parallel:bool ->
+  ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] ->
+  ?parallel:[ `Auto | `Seq | `Par ] -> ?plan:Engine.Ac_plan.t ->
   t -> sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
   (Circuit.Netlist.node * Numerics.Waveform.Freq.t) list
 (** Shared-factorisation probing of many nets.
@@ -40,9 +52,15 @@ val response_many :
     one multi-RHS batch per point. [`Sparse] keeps a fresh
     Gilbert-Peierls factorisation per point over the same compiled
     skeleton; [`Dense] (the default for tiny systems) is the oracle
-    path. With [parallel] the independent frequency points are spread
-    across OCaml domains (the paper's "distributed run" capability at
-    multicore scale), capped at the point count. *)
+    path. Passing [plan] (see {!val:plan}) skips compilation entirely
+    and implies the [`Plan] backend unless [backend] overrides it.
+
+    [parallel] spreads the independent frequency points over the
+    persistent {!Parallel.Pool} in dynamically stolen chunks (the
+    paper's "distributed run" capability at multicore scale). [`Auto]
+    (the default) goes parallel only when the pool has workers and the
+    sweep's volume clears {!auto_threshold}; results are bit-identical
+    to sequential either way. *)
 
 val response_via_netlist :
   ?gmin:float -> ?dc_options:Engine.Dcop.options -> Circuit.Netlist.t ->

@@ -29,10 +29,10 @@ val apply : t -> Circuit.Netlist.t -> Circuit.Netlist.t
     does not carry. *)
 
 val across :
-  ?parallel:bool -> t list -> Circuit.Netlist.t ->
+  ?parallel:[ `Auto | `Seq | `Par ] -> t list -> Circuit.Netlist.t ->
   (Circuit.Netlist.t -> 'a) -> (string * ('a, exn) Result.t) list
 (** Run an analysis at every corner. *)
 
 val temp_sweep :
-  ?parallel:bool -> temps:float list -> Circuit.Netlist.t ->
+  ?parallel:[ `Auto | `Seq | `Par ] -> temps:float list -> Circuit.Netlist.t ->
   (Circuit.Netlist.t -> 'a) -> (float * ('a, exn) Result.t) list

@@ -1,48 +1,52 @@
 type 'a outcome = {
   job_name : string;
   result : ('a, exn) Result.t;
+  backtrace : Printexc.raw_backtrace option;
   elapsed_s : float;
 }
 
 let execute (job_name, thunk) =
   let t0 = Unix.gettimeofday () in
-  let result = try Ok (thunk ()) with e -> Error e in
-  { job_name; result; elapsed_s = Unix.gettimeofday () -. t0 }
+  match thunk () with
+  | v ->
+    { job_name; result = Ok v; backtrace = None;
+      elapsed_s = Unix.gettimeofday () -. t0 }
+  | exception e ->
+    (* Capture the backtrace before any further allocation disturbs it:
+       a failing Monte-Carlo sample should name the real crash site, not
+       the scheduler frame that re-raised it. *)
+    let bt = Printexc.get_raw_backtrace () in
+    { job_name; result = Error e; backtrace = Some bt;
+      elapsed_s = Unix.gettimeofday () -. t0 }
 
 let run_sequential jobs = List.map execute jobs
 
-(* Static round-robin partition over worker domains; each worker returns
-   its outcomes tagged with the original index so submission order is
-   restored at the end. *)
-let run_parallel jobs =
-  let indexed = List.mapi (fun i j -> (i, j)) jobs in
-  (* Never spawn more domains than there are jobs — a two-job batch on a
-     16-core machine gets two workers, not fifteen idle ones. *)
-  let workers =
-    Int.max 1
-      (Int.min (List.length jobs) (Domain.recommended_domain_count () - 1))
-  in
-  let buckets = Array.make workers [] in
-  List.iter
-    (fun (i, j) -> buckets.(i mod workers) <- (i, j) :: buckets.(i mod workers))
-    indexed;
-  let domains =
-    Array.to_list buckets
-    |> List.filter (fun bucket -> bucket <> [])
-    |> List.map (fun bucket ->
-        Domain.spawn (fun () ->
-            List.map (fun (i, j) -> (i, execute j)) bucket))
-  in
-  let tagged = List.concat_map Domain.join domains in
-  List.sort (fun (a, _) (b, _) -> compare a b) tagged |> List.map snd
+(* Work-stealing execution over the persistent domain pool, one chunk
+   per job: a slow corner in the middle of the queue no longer holds up
+   the jobs behind it (the old static round-robin buckets serialised
+   exactly that way), and outcomes still come back in submission order.
+   [execute] already converts exceptions into outcomes, so nothing
+   escapes into the pool's abort path. *)
+let run_parallel jobs = Parallel.Pool.map_list ~chunk:1 execute jobs
 
-let run_all ?(parallel = false) jobs =
-  if parallel && List.length jobs > 1 then run_parallel jobs
-  else run_sequential jobs
+let run_all ?(parallel = `Auto) jobs =
+  let pooled =
+    match parallel with
+    | `Seq -> false
+    | `Par -> List.length jobs > 1
+    | `Auto -> List.length jobs > 1 && Parallel.Pool.jobs () > 1
+  in
+  if pooled then run_parallel jobs else run_sequential jobs
 
 let results_exn outcomes =
   List.map
-    (fun o -> match o.result with Ok v -> v | Error e -> raise e)
+    (fun o ->
+      match o.result with
+      | Ok v -> v
+      | Error e ->
+        (match o.backtrace with
+         | Some bt -> Printexc.raise_with_backtrace e bt
+         | None -> raise e))
     outcomes
 
 let pp_summary ppf outcomes =

@@ -3,25 +3,34 @@
     The paper lists "remote simulation / distributed / computer farm run
     capability" as a feature in development; this module provides the
     scheduling semantics at workstation scale: a named queue of independent
-    simulation jobs executed sequentially or across OCaml domains, with
-    per-job outcomes (result or captured exception) and wall-clock times.
-    All-nodes stability scans and corner sweeps submit through it. *)
+    simulation jobs executed sequentially or over the persistent
+    {!Parallel.Pool} of worker domains, with per-job outcomes (result or
+    captured exception with its backtrace) and wall-clock times.
+    All-nodes stability scans, Monte-Carlo runs and corner sweeps submit
+    through it. *)
 
 type 'a outcome = {
   job_name : string;
   result : ('a, exn) Result.t;
+  backtrace : Printexc.raw_backtrace option;
+      (** crash-site backtrace of a failed job, for re-raising *)
   elapsed_s : float;
 }
 
 val run_all :
-  ?parallel:bool -> (string * (unit -> 'a)) list -> 'a outcome list
-(** Execute the jobs. With [parallel] (default false) jobs are distributed
-    over [min (job count) (Domain.recommended_domain_count () - 1)] worker
-    domains (at least one) — never more domains than jobs; results come
-    back in submission order either way. Jobs must not share mutable state
-    when run in parallel. *)
+  ?parallel:[ `Auto | `Seq | `Par ] ->
+  (string * (unit -> 'a)) list -> 'a outcome list
+(** Execute the jobs. [`Auto] (the default) runs over the pool whenever
+    there is more than one job and {!Parallel.Pool.jobs} exceeds 1 —
+    each job is one stealable chunk, so uneven job durations rebalance
+    dynamically. [`Seq] forces in-order sequential execution, [`Par]
+    forces pooled execution. Results come back in submission order
+    either way. Jobs must not share mutable state when run in
+    parallel. A job submitted from inside another pool task runs inline
+    (no oversubscription). *)
 
 val results_exn : 'a outcome list -> 'a list
-(** Extract every result, re-raising the first failure. *)
+(** Extract every result, re-raising the first failure with the
+    backtrace captured at its original crash site. *)
 
 val pp_summary : Format.formatter -> 'a outcome list -> unit

@@ -24,8 +24,12 @@ type 'a run = {
 }
 
 val run :
-  ?parallel:bool -> ?spec:spec -> n:int -> seed:int ->
+  ?parallel:[ `Auto | `Seq | `Par ] -> ?spec:spec -> n:int -> seed:int ->
   Circuit.Netlist.t -> (Circuit.Netlist.t -> 'a) -> 'a run
+(** Samples run through {!Job.run_all}; [`Auto] (the default) fans them
+    out over the persistent worker pool when it has more than one slot.
+    Per-sample results are deterministic in [seed] regardless of the
+    execution mode. *)
 
 type stats = {
   count : int;

@@ -222,7 +222,7 @@ let test_parallel_scan_consistency () =
               .Stability.Analysis.dominant ))
       nodes
   in
-  let par = Tool.Job.run_all ~parallel:true jobs |> Tool.Job.results_exn in
+  let par = Tool.Job.run_all ~parallel:`Par jobs |> Tool.Job.results_exn in
   List.iter2
     (fun (r : Stability.Analysis.node_result) p ->
       match (r.dominant, p) with

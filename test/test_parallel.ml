@@ -1,0 +1,176 @@
+(* The persistent worker pool: scheduling semantics, exception
+   propagation, nested submission, and the determinism + plan-reuse
+   contracts of the parallel stability pipeline. *)
+
+let with_jobs n f =
+  let saved = Parallel.Pool.jobs () in
+  Parallel.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs saved) f
+
+(* ---------- pool primitives ---------- *)
+
+let test_pool_empty_and_tiny () =
+  with_jobs 2 (fun () ->
+      Alcotest.(check (list int)) "empty list" []
+        (Parallel.Pool.map_list (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton runs inline" [ 42 ]
+        (Parallel.Pool.map_list (fun x -> x * 2) [ 21 ]);
+      Parallel.Pool.parallel_for ~n:0 (fun _ -> assert false))
+
+let test_pool_order_preserved () =
+  with_jobs 2 (fun () ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int)) "map_list order"
+        (List.map (fun x -> x * x) xs)
+        (Parallel.Pool.map_list ~chunk:1 (fun x -> x * x) xs);
+      let a = Array.init 257 (fun i -> i - 128) in
+      Alcotest.(check (array int)) "map_array order"
+        (Array.map (fun x -> (3 * x) + 1) a)
+        (Parallel.Pool.map_array (fun x -> (3 * x) + 1) a))
+
+let test_pool_each_index_once () =
+  with_jobs 2 (fun () ->
+      let n = 50 in
+      (* Each task touches only its own cell, so no synchronisation is
+         needed to count executions. *)
+      let hits = Array.make n 0 in
+      Parallel.Pool.parallel_for ~chunk:1 ~n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int)) "every index exactly once"
+        (Array.make n 1) hits)
+
+let test_pool_exception_propagation () =
+  with_jobs 2 (fun () ->
+      Alcotest.check_raises "body exception reaches submitter"
+        (Failure "boom 37") (fun () ->
+          Parallel.Pool.parallel_for ~chunk:1 ~n:64 (fun i ->
+              if i = 37 then failwith "boom 37"));
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "pool usable after failure" [ 0; 1; 4 ]
+        (Parallel.Pool.map_list (fun x -> x * x) [ 0; 1; 2 ]))
+
+let test_pool_nested_runs_inline () =
+  with_jobs 2 (fun () ->
+      let outer = 4 and inner = 8 in
+      let sums = Array.make outer 0 in
+      Parallel.Pool.parallel_for ~chunk:1 ~n:outer (fun o ->
+          Alcotest.(check bool) "body sees worker context" true
+            (Parallel.Pool.in_worker ());
+          (* Inner submission from a pool task must run inline (no
+             oversubscription, no deadlock) and still compute. *)
+          Parallel.Pool.parallel_for ~n:inner (fun i ->
+              sums.(o) <- sums.(o) + i));
+      Alcotest.(check (array int)) "nested loops computed"
+        (Array.make outer (inner * (inner - 1) / 2))
+        sums);
+  Alcotest.(check bool) "not a worker outside submissions" false
+    (Parallel.Pool.in_worker ())
+
+let test_pool_set_jobs () =
+  let saved = Parallel.Pool.jobs () in
+  Parallel.Pool.set_jobs 3;
+  Alcotest.(check int) "set_jobs 3" 3 (Parallel.Pool.jobs ());
+  Parallel.Pool.set_jobs 0;
+  Alcotest.(check int) "clamped to 1" 1 (Parallel.Pool.jobs ());
+  Alcotest.(check (list int)) "jobs=1 runs inline" [ 1; 2; 3 ]
+    (Parallel.Pool.map_list (fun x -> x + 1) [ 0; 1; 2 ]);
+  Parallel.Pool.set_jobs saved
+
+(* ---------- job queue rides the pool ---------- *)
+
+let test_job_backtrace_captured () =
+  let outcomes =
+    Tool.Job.run_all ~parallel:`Seq
+      [ ("ok", fun () -> 7); ("bad", fun () -> failwith "job crashed") ]
+  in
+  match outcomes with
+  | [ ok; bad ] ->
+    Alcotest.(check bool) "ok result" true (ok.Tool.Job.result = Ok 7);
+    Alcotest.(check bool) "failure captured" true
+      (match bad.Tool.Job.result with
+       | Error (Failure m) -> m = "job crashed"
+       | _ -> false);
+    Alcotest.(check bool) "crash-site backtrace captured" true
+      (bad.Tool.Job.backtrace <> None);
+    Alcotest.check_raises "results_exn re-raises"
+      (Failure "job crashed") (fun () ->
+        ignore (Tool.Job.results_exn outcomes))
+  | _ -> Alcotest.fail "expected two outcomes"
+
+(* ---------- determinism of the stability pipeline ---------- *)
+
+let quick_options =
+  { Stability.Analysis.default_options with
+    sweep = Numerics.Sweep.decade 1e3 1e9 10;
+    refine_per_decade = 100 }
+
+let check_deterministic name circ =
+  let probe = Stability.Probe.prepare circ in
+  let seq =
+    Stability.Analysis.all_nodes_prepared
+      ~options:{ quick_options with parallel = `Seq } probe
+  in
+  with_jobs 2 (fun () ->
+      let par =
+        Stability.Analysis.all_nodes_prepared
+          ~options:{ quick_options with parallel = `Par } probe
+      in
+      (* Bit-identical, not merely close: pooled point-solves write
+         disjoint cells with the same arithmetic as the sequential
+         loop. *)
+      Alcotest.(check bool)
+        (name ^ ": pooled all-nodes equals sequential exactly") true
+        (seq = par))
+
+let test_determinism_opamp () =
+  check_deterministic "opamp_2mhz" (Workloads.Opamp_2mhz.buffer ())
+
+let test_determinism_nmc () =
+  check_deterministic "nmc_amp" (Workloads.Nmc_amp.buffer ())
+
+(* ---------- one symbolic analysis per run (plan reuse) ---------- *)
+
+let test_one_symbolic_per_run () =
+  let probe = Stability.Probe.prepare (Workloads.Opamp_2mhz.buffer ()) in
+  let before = Engine.Ac_plan.totals () in
+  ignore (Stability.Analysis.all_nodes_prepared ~options:quick_options probe);
+  let after = Engine.Ac_plan.totals () in
+  Alcotest.(check int)
+    "coarse + every zoom window share one plan compilation" 1
+    (after.Engine.Ac_plan.symbolic - before.Engine.Ac_plan.symbolic);
+  Alcotest.(check int) "no pivot-order fallbacks" 0
+    (after.Engine.Ac_plan.fallback - before.Engine.Ac_plan.fallback);
+  let before = Engine.Ac_plan.totals () in
+  ignore
+    (Stability.Analysis.single_node_prepared ~options:quick_options probe
+       Workloads.Opamp_2mhz.node_out);
+  let after = Engine.Ac_plan.totals () in
+  Alcotest.(check int) "single-node run compiles once too" 1
+    (after.Engine.Ac_plan.symbolic - before.Engine.Ac_plan.symbolic)
+
+let () =
+  Fun.protect ~finally:Parallel.Pool.shutdown (fun () ->
+      Alcotest.run "parallel"
+        [ ("pool",
+           [ Alcotest.test_case "empty and tiny inputs" `Quick
+               test_pool_empty_and_tiny;
+             Alcotest.test_case "order preserved" `Quick
+               test_pool_order_preserved;
+             Alcotest.test_case "each index exactly once" `Quick
+               test_pool_each_index_once;
+             Alcotest.test_case "exception propagation" `Quick
+               test_pool_exception_propagation;
+             Alcotest.test_case "nested submission inline" `Quick
+               test_pool_nested_runs_inline;
+             Alcotest.test_case "set_jobs" `Quick test_pool_set_jobs ]);
+          ("jobs",
+           [ Alcotest.test_case "backtrace capture" `Quick
+               test_job_backtrace_captured ]);
+          ("determinism",
+           [ Alcotest.test_case "opamp_2mhz seq = par" `Quick
+               test_determinism_opamp;
+             Alcotest.test_case "nmc_amp seq = par" `Quick
+               test_determinism_nmc ]);
+          ("plan reuse",
+           [ Alcotest.test_case "one symbolic per run" `Quick
+               test_one_symbolic_per_run ]) ])

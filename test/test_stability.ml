@@ -81,7 +81,7 @@ let test_probe_parallel_agrees () =
   let probe = Stability.Probe.prepare circ in
   let nodes = [ "out"; "o1" ] in
   let seq = Stability.Probe.response_many probe ~sweep nodes in
-  let par = Stability.Probe.response_many ~parallel:true probe ~sweep nodes in
+  let par = Stability.Probe.response_many ~parallel:`Par probe ~sweep nodes in
   List.iter2
     (fun (_, w1) (_, w2) ->
       Array.iteri

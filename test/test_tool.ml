@@ -226,7 +226,7 @@ let test_jobs_parallel_order_and_errors () =
         ( Printf.sprintf "j%d" i,
           fun () -> if i = 7 then failwith "boom" else i * i ))
   in
-  let outcomes = Tool.Job.run_all ~parallel:true jobs in
+  let outcomes = Tool.Job.run_all ~parallel:`Par jobs in
   Alcotest.(check int) "all came back" 12 (List.length outcomes);
   List.iteri
     (fun i (o : int Tool.Job.outcome) ->
@@ -247,7 +247,7 @@ let test_jobs_parallel_simulations () =
           fun () -> Workloads.Bias_zero_tc.reference_current ~temp_c:t () ))
       temps
   in
-  let outcomes = Tool.Job.run_all ~parallel:true jobs in
+  let outcomes = Tool.Job.run_all ~parallel:`Par jobs in
   let currents = Tool.Job.results_exn outcomes in
   List.iter
     (fun i -> Alcotest.(check bool) "plausible" true (i > 20e-6 && i < 200e-6))
