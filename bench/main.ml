@@ -955,7 +955,8 @@ let run_pool_bench ~smoke () =
       \  \"counters\": { \"symbolic\": %d, \"numeric\": %d, \"fallback\": \
        %d },\n\
       \  \"montecarlo\": { \"n\": %d, \"seq_s\": %.6f, \"pool_s\": %.6f, \
-       \"samples_match\": %b }\n\
+       \"samples_match\": %b },\n\
+      \  \"obs\": { %s }\n\
        }\n"
       probe.Stability.Probe.mna.Engine.Mna.size (List.length all)
       (List.length schedule) total_points max_jobs t_legacy t_pool speedup
@@ -965,10 +966,116 @@ let run_pool_bench ~smoke () =
             (fun (j, t) ->
               Printf.sprintf "{ \"jobs\": %d, \"s\": %.6f }" j t)
             curve))
-      d_sym d_num d_fb n_mc t_mc_seq t_mc_par mc_same;
+      d_sym d_num d_fb n_mc t_mc_seq t_mc_par mc_same
+      (* Same registry the in-run asserts read: scheduler health for the
+         whole benchmark process (jobs dealt, chunks run, steals,
+         high-water queue depth). Busy-time counters are per worker and
+         machine-shaped, so only the scheduler counters are recorded. *)
+      (String.concat ", "
+         (List.filter_map
+            (fun (name, v) ->
+              if String.starts_with ~prefix:"pool." name
+                 && not (String.ends_with ~suffix:"busy_ns" name)
+              then Some (Printf.sprintf "\"%s\": %d" name v)
+              else None)
+            (Obs.Counter.snapshot ())));
     close_out oc;
     Printf.printf "wrote BENCH_pool.json\n"
   end
+
+(* ------------------------------------------------------------------ *)
+(* Observability smoke: the instrumentation contracts                   *)
+
+let substr_index text needle =
+  let n = String.length text and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub text i m = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Value of a "C" (counter) event in serialized Chrome trace JSON: find
+   the event by name, then the integer after its "value": key. *)
+let trace_counter_value text name =
+  match substr_index text (Printf.sprintf "\"name\":\"%s\",\"ph\":\"C\"" name)
+  with
+  | None -> None
+  | Some i ->
+    let rest = String.sub text i (String.length text - i) in
+    (match substr_index rest "\"value\":" with
+     | None -> None
+     | Some j ->
+       let k = ref (j + 8) in
+       let start = !k in
+       while
+         !k < String.length rest
+         && (match rest.[!k] with '0' .. '9' | '-' -> true | _ -> false)
+       do
+         incr k
+       done;
+       int_of_string_opt (String.sub rest start (!k - start)))
+
+let run_obs_smoke () =
+  section "Observability -- zero-overhead-off + trace counter contract";
+  (* Disabled spans must not allocate: the per-frequency solve path runs
+     with tracing off in production, so enter/leave have to be free.
+     (The slack covers the Gc.minor_words float boxes themselves.) *)
+  assert (not (Obs.Span.enabled ()));
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let t = Obs.Span.enter () in
+    Obs.Span.leave "bench.noop" t
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf "disabled span enter/leave x10000: %.0f minor words\n" dw;
+  record ~experiment:"Obs (off = zero alloc)" ~paper:"0 words when disabled"
+    ~measured:(Printf.sprintf "%.0f words / 10k spans" dw)
+    (dw < 256.);
+  (* One traced all-nodes run: the trace file itself must carry the
+     plan-reuse budget (exactly one symbolic analysis for the whole
+     coarse + refine pipeline) and the pipeline spans. *)
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  Obs.Span.clear ();
+  Obs.Counter.reset ();
+  Obs.Span.enable ();
+  let opts =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e9 10;
+      refine_per_decade = 120 }
+  in
+  let results = Stability.Analysis.all_nodes ~options:opts circ in
+  Obs.Span.disable ();
+  let path = "BENCH_trace_smoke.json" in
+  Obs.Trace.write path;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let sym = trace_counter_value text "acplan.symbolic" in
+  let spans_ok =
+    List.for_all
+      (fun name -> substr_index text (Printf.sprintf "\"name\":\"%s\"" name)
+                   <> None)
+      [ "probe.sweep"; "analysis.coarse"; "analysis.zoom"; "acplan.compile";
+        "dc.op"; "mna.compile" ]
+  in
+  let shape_ok =
+    String.length text > 2
+    && String.sub text 0 16 = "{\"traceEvents\":["
+    && results <> []
+  in
+  Printf.printf
+    "traced all-nodes: %d bytes, acplan.symbolic=%s, pipeline spans: %b\n"
+    (String.length text)
+    (match sym with Some v -> string_of_int v | None -> "missing")
+    spans_ok;
+  record ~experiment:"Obs (trace counter budget)"
+    ~paper:"1 symbolic per all-nodes run"
+    ~measured:
+      (Printf.sprintf "trace says %s"
+         (match sym with Some v -> string_of_int v | None -> "missing"))
+    (sym = Some 1 && spans_ok && shape_ok)
 
 (* ------------------------------------------------------------------ *)
 (* Summary                                                              *)
@@ -1088,6 +1195,7 @@ let () =
        Monte-Carlo) at low sweep density. Timing thresholds are skipped —
        only deterministic checks can gate a test alias. *)
     run_pool_bench ~smoke:true ();
+    run_obs_smoke ();
     print_summary ();
     if List.exists (fun (_, _, _, ok) -> not ok) !summary then exit 1
   end
@@ -1104,6 +1212,7 @@ let () =
     run_ablation_sparse ();
     run_acplan_bench ();
     run_pool_bench ~smoke:false ();
+    run_obs_smoke ();
     print_summary ();
     timing_benchmarks ()
   end

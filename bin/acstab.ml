@@ -16,7 +16,7 @@ let log_term =
   Term.(const setup_logs $ Logs_cli.level ())
 
 let read_circuit path =
-  try Circuit.Parser.parse_file path
+  try Obs.Span.with_ "parse" (fun () -> Circuit.Parser.parse_file path)
   with
   | Circuit.Parser.Parse_error { line; message } ->
     Printf.eprintf "%s:%d: %s\n" path line message;
@@ -54,7 +54,7 @@ let print_findings ?file out findings =
    parse errors (2) and analysis failures (3). *)
 let lint_gate opts ~file circ =
   if not opts.no_lint then begin
-    let findings = Lint.Runner.run circ in
+    let findings = Obs.Span.with_ "lint" (fun () -> Lint.Runner.run circ) in
     print_findings ~file Format.err_formatter findings;
     let blocking (f : Lint.Rule.finding) =
       match f.severity with
@@ -163,6 +163,36 @@ let jobs_term =
   in
   Term.(const (fun j -> Option.iter Parallel.Pool.set_jobs j) $ jobs)
 
+(* ---- observability ---- *)
+
+(* [--trace FILE] / [--metrics] switch span recording on for the whole
+   command; export happens in [at_exit] so the timeline survives the
+   error-path exits (3/4) as well as normal completion. Unit-valued so it
+   composes like [log_term]. *)
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON timeline of the run \
+                   (pipeline spans plus solver/pool counters) to \
+                   $(docv); view in chrome://tracing or Perfetto.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print a span/counter summary table to stderr when \
+                   the command finishes.")
+  in
+  let setup trace metrics =
+    if trace <> None || metrics then begin
+      Obs.Span.enable ();
+      at_exit (fun () ->
+          Option.iter Obs.Trace.write trace;
+          if metrics then Format.eprintf "%a@?" Obs.Metrics.pp ())
+    end
+  in
+  Term.(const setup $ trace $ metrics)
+
 (* Tri-state parallel selector: the default Auto heuristic parallelises
    when the workload's volume warrants the pool; the flags force it. *)
 let par_term =
@@ -188,7 +218,7 @@ let single_node_cmd =
     Arg.(value & flag
          & info [ "plot" ] ~doc:"Print the full stability plot table.")
   in
-  let run () () lint file node fmin fmax ppd plot html parallel =
+  let run () () () lint file node fmin fmax ppd plot html parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -206,8 +236,9 @@ let single_node_cmd =
     (Cmd.info "single-node"
        ~doc:"Stability peak and natural frequency of one net (paper \
              'Single Node' run mode).")
-    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ node_arg
-          $ fmin_arg $ fmax_arg $ ppd_arg $ plot $ html_arg $ par_term)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ lint_term $ file_arg
+          $ node_arg $ fmin_arg $ fmax_arg $ ppd_arg $ plot $ html_arg
+          $ par_term)
 
 (* ---- all-nodes ---- *)
 
@@ -222,7 +253,7 @@ let all_nodes_cmd =
          & info [ "nodes" ] ~docv:"N1,N2,..."
              ~doc:"Restrict the scan to these nets.")
   in
-  let run () () lint file fmin fmax ppd nodes annotate html parallel =
+  let run () () () lint file fmin fmax ppd nodes annotate html parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -241,13 +272,14 @@ let all_nodes_cmd =
     (Cmd.info "all-nodes"
        ~doc:"Stability peaks of every net, grouped by loop (paper 'All \
              Nodes' run mode, Table 2).")
-    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ fmin_arg
-          $ fmax_arg $ ppd_arg $ nodes $ annotate $ html_arg $ par_term)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ lint_term $ file_arg
+          $ fmin_arg $ fmax_arg $ ppd_arg $ nodes $ annotate $ html_arg
+          $ par_term)
 
 (* ---- run (directive-driven) ---- *)
 
 let run_cmd =
-  let run () lint file =
+  let run () () lint file =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -293,12 +325,12 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the analyses named by the deck's dot-cards (.op,              .ac, .tran, .stab).")
-    Term.(const run $ log_term $ lint_term $ file_arg)
+    Term.(const run $ log_term $ obs_term $ lint_term $ file_arg)
 
 (* ---- probe ---- *)
 
 let probe_cmd =
-  let run () lint file node fmin fmax ppd csv =
+  let run () () lint file node fmin fmax ppd csv =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -324,8 +356,8 @@ let probe_cmd =
   Cmd.v
     (Cmd.info "probe"
        ~doc:"Driving-point impedance of a net (the raw quantity the              stability plot differentiates).")
-    Term.(const run $ log_term $ lint_term $ file_arg $ node_arg $ fmin_arg
-          $ fmax_arg $ ppd_arg $ csv_arg)
+    Term.(const run $ log_term $ obs_term $ lint_term $ file_arg $ node_arg
+          $ fmin_arg $ fmax_arg $ ppd_arg $ csv_arg)
 
 (* ---- op ---- *)
 
@@ -636,7 +668,7 @@ let montecarlo_cmd =
          & info [ "sigma" ] ~docv:"REL"
              ~doc:"Relative sigma on every R/C/L value.")
   in
-  let run () () lint file node n seed sigma parallel =
+  let run () () () lint file node n seed sigma parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -665,8 +697,8 @@ let montecarlo_cmd =
   Cmd.v
     (Cmd.info "montecarlo"
        ~doc:"Mismatch Monte Carlo on a loop's damping ratio.")
-    Term.(const run $ log_term $ jobs_term $ lint_term $ file_arg $ node_arg
-          $ n $ seed $ sigma $ par_term)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ lint_term $ file_arg
+          $ node_arg $ n $ seed $ sigma $ par_term)
 
 (* ---- table1 ---- *)
 

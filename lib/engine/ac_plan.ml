@@ -23,20 +23,23 @@ type totals = {
   rhs : int;
 }
 
-(* Process-wide counters (atomic: the Domain-parallel sweep paths bump
-   them concurrently). Tests and the benchmark assert the "one symbolic
+(* Process-wide counters, registered with [Obs.Counter] so traces,
+   [--metrics] summaries and diagnostics reports carry the same values
+   the tests assert (atomic: the Domain-parallel sweep paths bump them
+   concurrently). Tests and the benchmark assert the "one symbolic
    analysis per sweep, one numeric factorisation per frequency point"
    contract from deltas of these. *)
-let n_symbolic = Atomic.make 0
-let n_numeric = Atomic.make 0
-let n_fallback = Atomic.make 0
-let n_rhs = Atomic.make 0
+let n_symbolic = Obs.Counter.make "acplan.symbolic"
+let n_numeric = Obs.Counter.make "acplan.numeric"
+let n_fallback = Obs.Counter.make "acplan.fallback"
+let n_rhs = Obs.Counter.make "acplan.rhs"
+let rhs_batch_max = Obs.Counter.make "acplan.rhs_batch_max"
 
 let totals () =
-  { symbolic = Atomic.get n_symbolic;
-    numeric = Atomic.get n_numeric;
-    fallback = Atomic.get n_fallback;
-    rhs = Atomic.get n_rhs }
+  { symbolic = Obs.Counter.value n_symbolic;
+    numeric = Obs.Counter.value n_numeric;
+    fallback = Obs.Counter.value n_fallback;
+    rhs = Obs.Counter.value n_rhs }
 
 type t = {
   size : int;
@@ -66,6 +69,7 @@ let pivot_tol = 1e-6
 (* ---- skeleton compilation ---- *)
 
 let compile ?(gmin = 1e-12) ?(omega_ref = 2e6 *. Float.pi) ~op mna =
+  let t_compile = Obs.Span.enter () in
   let size = mna.Mna.size in
   (* Accumulate (g, c) per matrix entry; ground (-1) rows/columns drop. *)
   let tbl : (int, float ref * float ref) Hashtbl.t =
@@ -169,8 +173,12 @@ let compile ?(gmin = 1e-12) ?(omega_ref = 2e6 *. Float.pi) ~op mna =
   in
   let a = Scmat.of_csc ~rows:size ~cols:size ~colptr ~rowidx values in
   let sym, _ = Scmat.analyze a in
-  Atomic.incr n_symbolic;
-  { size; colptr; rowidx; gvals; cvals; sym }
+  Obs.Counter.incr n_symbolic;
+  let plan = { size; colptr; rowidx; gvals; cvals; sym } in
+  Obs.Span.leave "acplan.compile"
+    ~args:[ ("unknowns", size); ("nnz", n) ]
+    t_compile;
+  plan
 
 let matrix_at t ~omega =
   let values =
@@ -188,16 +196,17 @@ let factor_at t ~omega =
       (* Frozen pivots inadequate at this frequency: re-pivot here. The
          fresh analysis is used for this point only — the shared plan
          stays immutable so Domain-parallel sweeps need no locking. *)
-      Atomic.incr n_fallback;
-      Atomic.incr n_symbolic;
+      Obs.Counter.incr n_fallback;
+      Obs.Counter.incr n_symbolic;
       snd (Scmat.analyze a)
   in
-  Atomic.incr n_numeric;
+  Obs.Counter.incr n_numeric;
   f
 
 let solve_many t ~omega bs =
   let f = factor_at t ~omega in
-  ignore (Atomic.fetch_and_add n_rhs (Array.length bs));
+  Obs.Counter.add n_rhs (Array.length bs);
+  Obs.Counter.record_max rhs_batch_max (Array.length bs);
   Scmat.lu_solve_many f bs
 
 let solve t ~omega b = (solve_many t ~omega [| b |]).(0)

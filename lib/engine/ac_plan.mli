@@ -54,4 +54,9 @@ type totals = {
 
 val totals : unit -> totals
 (** Process-wide counters since start-up; take deltas around a sweep to
-    assert its factorisation budget (the benchmark and tests do). *)
+    assert its factorisation budget (the benchmark and tests do). The
+    counters live in the [Obs.Counter] registry as [acplan.symbolic],
+    [acplan.numeric], [acplan.fallback] and [acplan.rhs] (plus the
+    high-water mark [acplan.rhs_batch_max]), so traces, [--metrics]
+    output and diagnostics reports carry the same values. Note that
+    [Obs.Counter.reset] zeroes them. *)

@@ -52,6 +52,36 @@ let stability_function ~freq ~mag =
   check_positive "Deriv.stability_function (mag)" mag;
   second ~x:(Array.map log freq) ~y:(Array.map log mag)
 
+(* Deep notches underflow |T| to 0 (or the solver yields nan/inf on an
+   ill-conditioned point); one such sample must degrade the node, not
+   kill a whole all-nodes run. Non-positive and non-finite magnitudes
+   are clamped to a floor 14 decades under the largest valid sample —
+   far below any physical response yet safely inside log's domain. *)
+let clamp_floor_ratio = 1e-14
+
+let stability_function_clamped ~freq ~mag =
+  check_positive "Deriv.stability_function_clamped (freq)" freq;
+  let max_valid =
+    Array.fold_left
+      (fun acc v -> if Float.is_finite v && v > 0. then Float.max acc v else acc)
+      0. mag
+  in
+  let floor =
+    if max_valid > 0. then max_valid *. clamp_floor_ratio else 1e-300
+  in
+  let clamped = ref 0 in
+  let safe =
+    Array.map
+      (fun v ->
+        if Float.is_finite v && v >= floor then v
+        else begin
+          incr clamped;
+          floor
+        end)
+      mag
+  in
+  (second ~x:(Array.map log freq) ~y:(Array.map log safe), !clamped)
+
 let stability_function_two_pass ~freq ~mag =
   check_positive "Deriv.stability_function_two_pass (freq)" freq;
   check_positive "Deriv.stability_function_two_pass (mag)" mag;

@@ -24,6 +24,17 @@ val stability_function : freq:float array -> mag:float array -> float array
     Negative peaks mark complex-pole pairs, positive peaks complex zeros;
     at a pole's natural frequency P = -1/zeta^2 (eq. 1.4). *)
 
+val stability_function_clamped :
+  freq:float array -> mag:float array -> float array * int
+(** Robust {!stability_function}: magnitude samples that are non-finite,
+    non-positive, or more than 14 decades below the largest valid sample
+    (deep-notch underflow) are clamped to that floor instead of raising
+    [Invalid_argument]. Returns the stability function together with the
+    number of clamped samples, so callers can flag the node as degraded.
+    [freq] must still be strictly positive and increasing. If no sample
+    is positive and finite the whole array is floored at [1e-300] and
+    every sample counts as clamped. *)
+
 val stability_function_two_pass : freq:float array -> mag:float array -> float array
 (** Literal two-pass form of eq. 1.3 as the paper's waveform calculator
     computes it: first derivative of [mag], normalised by [freq/mag],

@@ -28,13 +28,34 @@ let linear ~x ~y v =
     y.(i) +. (t *. (y.(i + 1) -. y.(i)))
   end
 
+(* Option-returning variants: [None] outside [x.(0), x.(n-1)] instead of
+   clamping to the endpoint value. Callers that would otherwise fabricate
+   data beyond the swept range (e.g. P(w) past the sweep edges) use
+   these. *)
+let linear_opt ~x ~y v =
+  check "Interp.linear_opt" x y;
+  let n = Array.length x in
+  if v < x.(0) || v > x.(n - 1) then None else Some (linear ~x ~y v)
+
 let loglog ~x ~y v =
   check "Interp.loglog" x y;
   exp (linear ~x:(Array.map log x) ~y:(Array.map log y) (log v))
 
+let loglog_opt ~x ~y v =
+  check "Interp.loglog_opt" x y;
+  let n = Array.length x in
+  if v < x.(0) || v > x.(n - 1) then None
+  else Some (exp (linear ~x:(Array.map log x) ~y:(Array.map log y) (log v)))
+
 let semilogx ~x ~y v =
   check "Interp.semilogx" x y;
   linear ~x:(Array.map log x) ~y (log v)
+
+let semilogx_opt ~x ~y v =
+  check "Interp.semilogx_opt" x y;
+  let n = Array.length x in
+  if v < x.(0) || v > x.(n - 1) then None
+  else Some (linear ~x:(Array.map log x) ~y (log v))
 
 let crossings ~x ~y lvl =
   check "Interp.crossings" x y;

@@ -11,6 +11,16 @@ val loglog : x:float array -> y:float array -> float -> float
 val semilogx : x:float array -> y:float array -> float -> float
 (** Linear in (log x, y): phase-vs-frequency data. *)
 
+val linear_opt : x:float array -> y:float array -> float -> float option
+(** {!linear} that returns [None] for queries outside [[x.(0), x.(n-1)]]
+    instead of silently clamping to the endpoint value. *)
+
+val loglog_opt : x:float array -> y:float array -> float -> float option
+(** Out-of-range-aware {!loglog}. *)
+
+val semilogx_opt : x:float array -> y:float array -> float -> float option
+(** Out-of-range-aware {!semilogx}. *)
+
 val crossings : x:float array -> y:float array -> float -> float list
 (** Abscissae where the piecewise-linear curve crosses level [lvl],
     ascending. Exact sample hits are reported once. *)

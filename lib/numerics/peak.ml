@@ -10,13 +10,21 @@ type t = {
 
 let refine_parabolic ~x0 ~y0 ~x1 ~y1 ~x2 ~y2 =
   (* Vertex of the Lagrange parabola; derived from setting its derivative
-     to zero. Denominator vanishes for collinear points. *)
+     to zero. Denominator vanishes for collinear points. The collinearity
+     guard must be relative: with nearly (but not exactly) collinear
+     points the slope difference is pure rounding noise, and dividing by
+     it throws the vertex arbitrarily far from the stencil. *)
   let d01 = (y1 -. y0) /. (x1 -. x0) in
   let d12 = (y2 -. y1) /. (x2 -. x1) in
+  let slope_scale = Float.max (Float.abs d01) (Float.abs d12) in
   let curvature = (d12 -. d01) /. (x2 -. x0) in
-  if Float.abs curvature < 1e-300 then (x1, y1)
+  if Float.abs (d12 -. d01) <= 1e-9 *. slope_scale || curvature = 0. then
+    (x1, y1)
   else begin
     let xv = ((x0 +. x1) /. 2.) -. (d01 /. (2. *. curvature)) in
+    (* The true extremum lies inside the bracket; a vertex outside it is a
+       conditioning artefact, so clamp before evaluating. *)
+    let xv = Float.min x2 (Float.max x0 xv) in
     (* Evaluate the parabola (Newton form) at the vertex. *)
     let yv = y0 +. (d01 *. (xv -. x0)) +. (curvature *. (xv -. x0) *. (xv -. x1)) in
     (xv, yv)

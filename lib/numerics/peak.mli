@@ -32,5 +32,7 @@ val refine_parabolic :
   x0:float -> y0:float -> x1:float -> y1:float -> x2:float -> y2:float ->
   float * float
 (** Vertex of the parabola through three points (abscissae need not be
-    uniform). Returns the vertex [(xv, yv)]; falls back to the middle point
-    when the three points are collinear. *)
+    uniform). Returns the vertex [(xv, yv)], clamped to [[x0, x2]]; falls
+    back to the middle point when the three points are collinear to within
+    a relative tolerance (the slope difference is below [1e-9] of the
+    larger chord slope). *)

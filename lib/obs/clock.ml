@@ -1,0 +1,4 @@
+(* CLOCK_MONOTONIC via the bechamel stub: immune to wall-clock steps, so
+   span durations stay truthful across NTP adjustments. Nanoseconds since
+   an arbitrary epoch fit a 63-bit int for ~292 years of uptime. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())

@@ -1,0 +1,5 @@
+(** Monotonic clock for span timing. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock (arbitrary epoch). Allocation-free
+    on native builds apart from the transient [int64] box. *)

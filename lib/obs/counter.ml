@@ -1,0 +1,56 @@
+(* Named monotonic counters. Counters are always on: a single atomic
+   fetch-and-add is cheap enough for every call site we instrument, and
+   keeping them unconditional means bench asserts and diagnostics reports
+   see the same numbers whether or not tracing is enabled. The registry is
+   process-global so any layer can look a counter up by name without
+   threading handles through APIs. *)
+
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let make name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; cell = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let name t = t.name
+let value t = Atomic.get t.cell
+let incr t = ignore (Atomic.fetch_and_add t.cell 1)
+let add t n = ignore (Atomic.fetch_and_add t.cell n)
+
+(* High-water mark: raise the cell to [v] if it is currently lower. *)
+let record_max t v =
+  let rec go () =
+    let cur = Atomic.get t.cell in
+    if v > cur && not (Atomic.compare_and_set t.cell cur v) then go ()
+  in
+  go ()
+
+let find name =
+  Mutex.lock registry_mutex;
+  let c = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mutex;
+  c
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let rows =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,59 @@
+(* Human-readable rollup of the span buffers and counter registry, for
+   [--metrics] and bench output. Spans aggregate by name; durations print
+   in the largest natural unit. *)
+
+type row = { name : string; count : int; total_ns : int; max_ns : int }
+
+let rows () =
+  let tbl : (string, row ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Span.event) ->
+      match Hashtbl.find_opt tbl e.name with
+      | Some r ->
+          r :=
+            {
+              !r with
+              count = !r.count + 1;
+              total_ns = !r.total_ns + e.dur_ns;
+              max_ns = max !r.max_ns e.dur_ns;
+            }
+      | None ->
+          Hashtbl.add tbl e.name
+            (ref
+               {
+                 name = e.name;
+                 count = 1;
+                 total_ns = e.dur_ns;
+                 max_ns = e.dur_ns;
+               }))
+    (Span.drain ());
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare b.total_ns a.total_ns)
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if f >= 1e9 then Format.fprintf ppf "%8.3f s " (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%8.3f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%8.3f us" (f /. 1e3)
+  else Format.fprintf ppf "%8d ns" ns
+
+let pp ppf () =
+  let spans = rows () in
+  if spans <> [] then begin
+    Format.fprintf ppf "%-28s %8s %11s %11s@." "span" "count" "total" "max";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-28s %8d %a %a@." r.name r.count pp_ns r.total_ns
+          pp_ns r.max_ns)
+      spans
+  end;
+  let counters = List.filter (fun (_, v) -> v <> 0) (Counter.snapshot ()) in
+  if counters <> [] then begin
+    if spans <> [] then Format.fprintf ppf "@.";
+    Format.fprintf ppf "%-28s %12s@." "counter" "value";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-28s %12d@." name v)
+      counters
+  end;
+  if spans = [] && counters = [] then
+    Format.fprintf ppf "no spans or counters recorded@."

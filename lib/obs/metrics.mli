@@ -1,0 +1,9 @@
+(** Human-readable metrics summary ([--metrics], bench output). *)
+
+type row = { name : string; count : int; total_ns : int; max_ns : int }
+
+val rows : unit -> row list
+(** Spans aggregated by name, sorted by total time descending. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Print the span table followed by all non-zero counters. *)

@@ -1,0 +1,63 @@
+(* Spans: timed intervals recorded into per-domain buffers and merged on
+   drain. The enter/leave pair is split (instead of only offering a
+   [with_] combinator) so hot loops can hoist the enabled check: [enter]
+   returns an immediate int — 0 when tracing is off — and [leave] is a
+   no-op for 0, so a disabled span costs one atomic load and allocates
+   nothing. Each domain appends to its own buffer; the global mutex is
+   only taken when a new domain first records a span, and on drain. *)
+
+type event = {
+  name : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;  (** recording domain id *)
+  args : (string * int) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+type buffer = { tid : int; mutable events : event list }
+
+let buffers_mutex = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { tid = (Domain.self () :> int); events = [] } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let enter () = if Atomic.get enabled_flag then Clock.now_ns () else 0
+
+let leave ?(args = []) name t0 =
+  if t0 <> 0 && Atomic.get enabled_flag then begin
+    let dur_ns = Clock.now_ns () - t0 in
+    let b = Domain.DLS.get buffer_key in
+    b.events <- { name; ts_ns = t0; dur_ns; tid = b.tid; args } :: b.events
+  end
+
+let with_ ?args name f =
+  let t0 = enter () in
+  match f () with
+  | v ->
+      leave ?args name t0;
+      v
+  | exception e ->
+      leave ?args name t0;
+      raise e
+
+let drain () =
+  Mutex.lock buffers_mutex;
+  let events = List.concat_map (fun b -> b.events) !buffers in
+  Mutex.unlock buffers_mutex;
+  List.sort (fun a b -> compare a.ts_ns b.ts_ns) events
+
+let clear () =
+  Mutex.lock buffers_mutex;
+  List.iter (fun b -> b.events <- []) !buffers;
+  Mutex.unlock buffers_mutex

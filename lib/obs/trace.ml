@@ -1,0 +1,91 @@
+(* Chrome trace-event JSON (the "JSON object format": {"traceEvents":[...]}).
+   Spans become "X" complete events with microsecond ts/dur; the counter
+   registry is appended as one "C" event per counter, stamped at the end
+   of the trace so chrome://tracing and Perfetto show the final totals.
+   Hand-rolled emission: values are only strings and ints, no JSON
+   dependency needed. *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int v))
+    args;
+  Buffer.add_char buf '}'
+
+let us_of_ns ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e3)
+
+let add_span buf (e : Span.event) =
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf e.name;
+  Buffer.add_string buf ",\"cat\":\"acstab\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int e.tid);
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (us_of_ns e.ts_ns);
+  Buffer.add_string buf ",\"dur\":";
+  Buffer.add_string buf (us_of_ns e.dur_ns);
+  if e.args <> [] then begin
+    Buffer.add_string buf ",\"args\":";
+    add_args buf e.args
+  end;
+  Buffer.add_char buf '}'
+
+let add_counter buf ~ts_ns (name, v) =
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf name;
+  Buffer.add_string buf ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+  Buffer.add_string buf (us_of_ns ts_ns);
+  Buffer.add_string buf ",\"args\":{\"value\":";
+  Buffer.add_string buf (string_of_int v);
+  Buffer.add_string buf "}}"
+
+let to_string () =
+  let events = Span.drain () in
+  let counters = Counter.snapshot () in
+  let end_ns =
+    List.fold_left
+      (fun acc (e : Span.event) -> max acc (e.ts_ns + e.dur_ns))
+      (Clock.now_ns ()) events
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+     \"args\":{\"name\":\"acstab\"}}";
+  List.iter
+    (fun e ->
+      Buffer.add_char buf ',';
+      add_span buf e)
+    events;
+  List.iter
+    (fun kv ->
+      Buffer.add_char buf ',';
+      add_counter buf ~ts_ns:end_ns kv)
+    counters;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

@@ -1,0 +1,12 @@
+(** Chrome trace-event JSON export.
+
+    Produces the [{"traceEvents":[...]}] object format readable by
+    [chrome://tracing] and Perfetto. Every drained span becomes a ["X"]
+    (complete) event with microsecond timestamps; every registered
+    counter becomes a ["C"] (counter) event carrying its final value. *)
+
+val to_string : unit -> string
+(** Serialize the current span buffers and counter registry. *)
+
+val write : string -> unit
+(** [write path] writes {!to_string} to [path], truncating. *)

@@ -91,6 +91,17 @@ let work_cv = Condition.create ()   (* workers: chunks arrived / stop *)
 let done_cv = Condition.create ()   (* submitters: some job completed *)
 let pool : pool option ref = ref None
 
+(* Pool health counters. Always on: all sit on the coarse per-chunk /
+   per-submission paths, never inside a chunk body. *)
+let jobs_counter = Obs.Counter.make "pool.jobs"
+let chunks_counter = Obs.Counter.make "pool.chunks"
+let steals_counter = Obs.Counter.make "pool.steals"
+let queue_max_counter = Obs.Counter.make "pool.queue_max"
+let main_busy_counter = Obs.Counter.make "pool.main.busy_ns"
+
+let worker_busy_counter k =
+  Obs.Counter.make (Printf.sprintf "pool.worker%d.busy_ns" k)
+
 (* Every index of a pool job executes with this flag set — on a worker
    domain or on the submitter while it helps drain chunks — so a nested
    submission (a Monte-Carlo sample fanning out its own sweep) detects it
@@ -105,7 +116,14 @@ let default_jobs () =
   | Some s ->
     (match int_of_string_opt (String.trim s) with
      | Some n when n >= 1 -> n
-     | _ -> Domain.recommended_domain_count ())
+     | _ ->
+       let fallback = Domain.recommended_domain_count () in
+       Printf.eprintf
+         "acstab: warning: invalid ACSTAB_JOBS=%S (expected an integer >= \
+          1); using %d\n\
+          %!"
+         s fallback;
+       fallback)
   | None -> Domain.recommended_domain_count ()
 
 (* Total parallelism, submitting domain included: [jobs () - 1] worker
@@ -120,7 +138,9 @@ let jobs () =
 
 (* ---- chunk execution ---- *)
 
-let run_chunk c =
+let run_chunk ~busy c =
+  Obs.Counter.incr chunks_counter;
+  let t0 = Obs.Clock.now_ns () in
   let j = c.job in
   (try
      let i = ref c.lo in
@@ -133,6 +153,7 @@ let run_chunk c =
    with e ->
      let bt = Printexc.get_raw_backtrace () in
      ignore (Atomic.compare_and_set j.failed None (Some (e, bt))));
+  Obs.Counter.add busy (Obs.Clock.now_ns () - t0);
   Mutex.lock mutex;
   j.unfinished <- j.unfinished - 1;
   if j.unfinished = 0 then Condition.broadcast done_cv;
@@ -156,10 +177,17 @@ let find_chunk p me =
           best := Deque.length d
         end)
       p.deques;
-    if !victim < 0 then None else Deque.pop_front p.deques.(!victim)
+    if !victim < 0 then None
+    else begin
+      (* A worker draining another worker's deque is a steal; the
+         submitter taking chunks back is just participation. *)
+      if me >= 0 then Obs.Counter.incr steals_counter;
+      Deque.pop_front p.deques.(!victim)
+    end
 
 let worker p me () =
   Domain.DLS.set worker_flag true;
+  let busy = worker_busy_counter me in
   Mutex.lock mutex;
   let rec loop () =
     if p.stop then Mutex.unlock mutex
@@ -167,7 +195,7 @@ let worker p me () =
       match find_chunk p me with
       | Some c ->
         Mutex.unlock mutex;
-        run_chunk c;
+        run_chunk ~busy c;
         Mutex.lock mutex;
         loop ()
       | None ->
@@ -246,12 +274,15 @@ let run_pooled p ~csize n body =
   let workers = Array.length p.deques in
   let nchunks = (n + csize - 1) / csize in
   let job = { body; unfinished = nchunks; failed = Atomic.make None } in
+  Obs.Counter.incr jobs_counter;
   Mutex.lock mutex;
   for k = 0 to nchunks - 1 do
     let lo = k * csize in
     let hi = Int.min n (lo + csize) in
     Deque.push_back p.deques.(k mod workers) { job; lo; hi }
   done;
+  let depth = Array.fold_left (fun acc d -> acc + Deque.length d) 0 p.deques in
+  Obs.Counter.record_max queue_max_counter depth;
   Condition.broadcast work_cv;
   let rec participate () =
     if job.unfinished = 0 then Mutex.unlock mutex
@@ -264,7 +295,7 @@ let run_pooled p ~csize n body =
         Domain.DLS.set worker_flag true;
         Fun.protect
           ~finally:(fun () -> Domain.DLS.set worker_flag false)
-          (fun () -> run_chunk c);
+          (fun () -> run_chunk ~busy:main_busy_counter c);
         Mutex.lock mutex;
         participate ()
       | None ->

@@ -55,3 +55,19 @@ val map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : unit -> unit
 (** Stop and join the worker domains. The pool restarts lazily on the
     next submission; useful before [exit] or in tests. *)
+
+(** {1 Observability}
+
+    The pool feeds [Obs.Counter]s (always on, coarse-grained — per chunk
+    and per submission, never inside a task body):
+
+    - [pool.jobs] — pooled submissions
+    - [pool.chunks] — chunks executed (by workers or the submitter)
+    - [pool.steals] — chunks a worker took from another worker's deque
+    - [pool.queue_max] — high-water mark of queued chunks after a deal
+    - [pool.worker<k>.busy_ns] / [pool.main.busy_ns] — cumulative time
+      spent executing chunk bodies per participant
+
+    Invalid [ACSTAB_JOBS] values (zero, negative, garbage) print a
+    one-line warning to stderr naming the rejected value and the
+    fallback, instead of being silently ignored. *)

@@ -48,7 +48,11 @@ type node_result = {
   plot : Stability_plot.t;
   peaks : Peaks.peak list;
   dominant : Peaks.peak option;
+  degraded : int;
 }
+
+let zoom_windows_counter = Obs.Counter.make "analysis.zoom_windows"
+let degraded_counter = Obs.Counter.make "analysis.degraded_nodes"
 
 let sweep_bounds sweep =
   let pts = Sweep.points sweep in
@@ -61,24 +65,35 @@ let sweep_bounds sweep =
    frequency range, or a notch deeper than the solver resolves) are
    clamped so the logarithmic differentiation stays finite; the clamp sits
    far below anything a real pole/zero produces. *)
+(* Returns the cleaned response together with the number of clamped
+   samples — a node with any clamp is reported as degraded rather than
+   silently dropped (one underflowed notch or non-finite solve must not
+   lose the node, let alone kill an all-nodes run). *)
 let live_window (w : Waveform.Freq.t) =
   let mag = Waveform.Freq.mag w in
-  if Array.exists (fun m -> not (Float.is_finite m)) mag then None
+  let max_mag =
+    Array.fold_left
+      (fun acc m -> if Float.is_finite m then Float.max acc m else acc)
+      0. mag
+  in
+  (* A driving-point impedance below a nano-ohm is not a physical node
+     response; it is LU solver residue on a net pinned by an ideal
+     source. *)
+  if max_mag < 1e-9 then None
   else begin
-    let max_mag = Array.fold_left Float.max 0. mag in
-    (* A driving-point impedance below a nano-ohm is not a physical node
-       response; it is LU solver residue on a net pinned by an ideal
-       source. *)
-    if max_mag < 1e-9 then None
-    else begin
-      let floor = max_mag *. 1e-14 in
-      let h =
-        Array.mapi
-          (fun k z -> if mag.(k) < floor then { Complex.re = floor; im = 0. } else z)
-          w.Waveform.Freq.h
-      in
-      Some (Waveform.Freq.make w.Waveform.Freq.freqs h)
-    end
+    let floor = max_mag *. 1e-14 in
+    let clamped = ref 0 in
+    let h =
+      Array.mapi
+        (fun k z ->
+          if Float.is_finite mag.(k) && mag.(k) >= floor then z
+          else begin
+            incr clamped;
+            { Complex.re = floor; im = 0. }
+          end)
+        w.Waveform.Freq.h
+    in
+    Some (Waveform.Freq.make w.Waveform.Freq.freqs h, !clamped)
   end
 
 (* Select the refined peak from a zoom-window response: the candidate of
@@ -88,7 +103,7 @@ let live_window (w : Waveform.Freq.t) =
 let refined_from opts (coarse : Peaks.peak) w =
   match live_window w with
   | None -> coarse
-  | Some w ->
+  | Some (w, _) ->
     let center = coarse.Peaks.freq in
     let plot = Stability_plot.of_response w in
     let candidates =
@@ -168,7 +183,14 @@ let refine_batched opts ?plan probe jobs =
         let nodes =
           List.sort_uniq compare (List.map (fun j -> j.rj_node) grp)
         in
+        Obs.Counter.incr zoom_windows_counter;
+        let t0 = Obs.Span.enter () in
         let responses = response_many opts ?plan probe nodes ~sweep:zoom in
+        Obs.Span.leave "analysis.zoom"
+          ~args:
+            [ ("nets", List.length nodes);
+              ("points", Array.length (Sweep.points zoom)) ]
+          t0;
         List.map
           (fun j ->
             let w = List.assoc j.rj_node responses in
@@ -180,6 +202,7 @@ let refine_batched opts ?plan probe jobs =
 (* Coarse analysis of every live net, then one batched refinement pass
    over all (node, peak) jobs at once. *)
 let analyze_many opts ?plan probe entries =
+  let t_classify = Obs.Span.enter () in
   let coarse =
     List.filter_map
       (fun (node, w) ->
@@ -188,18 +211,21 @@ let analyze_many opts ?plan probe entries =
           (* Pinned by an ideal source: unobservable, skipped — as the
              paper's tool skips nets it cannot stimulate. *)
           None
-        | Some response ->
+        | Some (response, degraded) ->
+          if degraded > 0 then Obs.Counter.incr degraded_counter;
           let plot = Stability_plot.of_response response in
           let peaks = Peaks.analyze ~min_magnitude:opts.min_peak plot in
-          Some (node, plot, peaks))
+          Some (node, plot, degraded, peaks))
       entries
   in
+  Obs.Span.leave "analysis.classify" ~args:[ ("nets", List.length coarse) ]
+    t_classify;
   let refined_of =
     if not opts.refine then fun _ _ coarse_pk -> coarse_pk
     else begin
       let jobs =
         List.concat_map
-          (fun (node, _, peaks) ->
+          (fun (node, _, _, peaks) ->
             List.mapi
               (fun slot pk ->
                 { rj_node = node; rj_slot = slot; rj_coarse = pk })
@@ -218,9 +244,9 @@ let analyze_many opts ?plan probe entries =
     end
   in
   List.map
-    (fun (node, plot, peaks) ->
+    (fun (node, plot, degraded, peaks) ->
       let peaks = List.mapi (fun slot pk -> refined_of node slot pk) peaks in
-      { node; plot; peaks; dominant = Peaks.dominant peaks })
+      { node; plot; peaks; dominant = Peaks.dominant peaks; degraded })
     coarse
 
 let analyze_node opts ?plan probe node response =
@@ -235,11 +261,13 @@ let analyze_node opts ?plan probe node response =
 
 let single_node_prepared ?(options = default_options) probe node =
   let plan = shared_plan options probe in
+  let t0 = Obs.Span.enter () in
   let w =
     match response_many options ?plan probe [ node ] ~sweep:options.sweep with
     | [ (_, w) ] -> w
     | _ -> assert false
   in
+  Obs.Span.leave "analysis.coarse" ~args:[ ("nets", 1) ] t0;
   analyze_node options ?plan probe node w
 
 let all_nodes_prepared ?(options = default_options) ?nodes probe =
@@ -250,7 +278,9 @@ let all_nodes_prepared ?(options = default_options) ?nodes probe =
       Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
   in
   let plan = shared_plan options probe in
+  let t0 = Obs.Span.enter () in
   let responses = response_many options ?plan probe all ~sweep:options.sweep in
+  Obs.Span.leave "analysis.coarse" ~args:[ ("nets", List.length all) ] t0;
   analyze_many options ?plan probe responses
 
 let single_node ?(options = default_options) circ node =

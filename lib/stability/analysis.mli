@@ -51,6 +51,11 @@ type node_result = {
   plot : Stability_plot.t;       (** coarse plot (kept for plotting) *)
   peaks : Peaks.peak list;       (** refined peaks *)
   dominant : Peaks.peak option;  (** deepest complex-pole peak *)
+  degraded : int;
+  (** number of coarse-sweep magnitude samples that had to be clamped
+      (underflowed notch, non-finite solve). [> 0] means the plot around
+      those samples is a floor artefact: the node completed analysis but
+      its peaks deserve scrutiny. Reports flag such nodes. *)
 }
 
 val single_node :

@@ -5,9 +5,16 @@ type t = {
   op : Engine.Dcop.t;
 }
 
+let sweeps_counter = Obs.Counter.make "probe.sweeps"
+let points_counter = Obs.Counter.make "probe.points"
+
 let prepare ?dc_options circ =
+  let t0 = Obs.Span.enter () in
   let mna = Engine.Mna.compile circ in
+  Obs.Span.leave "mna.compile" ~args:[ ("unknowns", mna.Engine.Mna.size) ] t0;
+  let t1 = Obs.Span.enter () in
   let op = Engine.Dcop.solve ?options:dc_options mna in
+  Obs.Span.leave "dc.op" t1;
   { mna; op }
 
 (* Unit current pushed into node index [k]: rhs = +1 at k (the KCL
@@ -125,13 +132,23 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
      immutable after compilation, so pooled execution is bit-identical
      to sequential. Chunks are dealt dynamically over the persistent
      pool: no per-sweep domain spawns, and stealing rebalances the
-     tail. *)
+     tail. The span wraps the whole sweep, never the per-point body:
+     [run_point] must stay allocation-free of instrumentation. *)
+  Obs.Counter.incr sweeps_counter;
+  Obs.Counter.add points_counter (Array.length freqs);
+  let t0 = Obs.Span.enter () in
   if go_parallel then
     Parallel.Pool.parallel_for ~n:(Array.length freqs) run_point
   else
     for fk = 0 to Array.length freqs - 1 do
       run_point fk
     done;
+  Obs.Span.leave "probe.sweep"
+    ~args:
+      [ ("points", Array.length freqs);
+        ("nets", List.length nodes);
+        ("parallel", if go_parallel then 1 else 0) ]
+    t0;
   List.map (fun (n, _, h) -> (n, Waveform.Freq.make freqs h)) per_node
 
 let response ?gmin t ~sweep node =

@@ -48,10 +48,27 @@ let all_nodes ?rel_gap ppf results =
     List.iter
       (fun (r : Analysis.node_result) -> Format.fprintf ppf "  %s@." r.node)
       silent
+  end;
+  let degraded =
+    List.filter (fun (r : Analysis.node_result) -> r.degraded > 0) results
+  in
+  if degraded <> [] then begin
+    Format.fprintf ppf
+      "@.Degraded nodes (underflowed/non-finite response samples clamped; \
+       peaks near the clamp are floor artefacts):@.";
+    List.iter
+      (fun (r : Analysis.node_result) ->
+        Format.fprintf ppf "  %-16s %d sample(s) clamped@." r.node r.degraded)
+      degraded
   end
 
 let single_node ppf (r : Analysis.node_result) =
   Format.fprintf ppf "Stability analysis of node %S@." r.node;
+  if r.degraded > 0 then
+    Format.fprintf ppf
+      "  DEGRADED: %d response sample(s) clamped (underflowed notch or \
+       non-finite solve); nearby peaks are floor artefacts@."
+      r.degraded;
   (match r.peaks with
    | [] ->
      Format.fprintf ppf

@@ -12,16 +12,31 @@ type t = {
   freqs : float array;
   mag : float array;   (** |T(j 2 pi f)| — the probed response *)
   p : float array;     (** the stability function at each frequency *)
+  clamped : int;       (** magnitude samples clamped before the log-log
+                           derivative (underflowed notches, non-finite
+                           solver output); [> 0] marks the plot degraded *)
 }
 
 val of_response : Numerics.Waveform.Freq.t -> t
-(** Compute the plot from a complex response (magnitudes must be positive:
-    a numerically zero response anywhere raises [Invalid_argument]). *)
+(** Compute the plot from a complex response. Magnitude samples that are
+    zero, negative, or non-finite (deep-notch underflow, ill-conditioned
+    solves) are clamped to a floor instead of raising; the count is
+    recorded in [clamped]. *)
 
 val of_magnitude : freqs:float array -> mag:float array -> t
 
+val degraded : t -> bool
+(** True when any magnitude sample was clamped; P near those samples is
+    a floor artefact, not circuit behaviour. *)
+
 val value_at : t -> float -> float
-(** Log-frequency interpolation of the stability function. *)
+(** Log-frequency interpolation of the stability function. Raises
+    [Invalid_argument] for frequencies outside the swept range — the
+    previous behaviour silently clamped to the endpoint value, fabricating
+    P beyond the sweep. Use {!value_at_opt} to probe the range. *)
+
+val value_at_opt : t -> float -> float option
+(** {!value_at} returning [None] outside the swept range. *)
 
 val global_minimum : t -> float * float
 (** [(frequency, value)] of the most negative point (parabolically

@@ -6,6 +6,7 @@ type report = {
   error : string;
   backtrace : string;
   findings : string list;
+  counters : (string * int) list;
 }
 
 let tool_version = "acstab 1.0.0 (AC-stability analysis tool)"
@@ -40,6 +41,12 @@ let to_text r =
        | fs ->
          "lint:\n"
          ^ String.concat "\n" (List.map (fun f -> "  " ^ f) fs));
+      (match r.counters with
+       | [] -> "counters:  (none recorded)"
+       | cs ->
+         "counters:\n"
+         ^ String.concat "\n"
+             (List.map (fun (k, v) -> Printf.sprintf "  %s = %d" k v) cs));
       "backtrace:";
       r.backtrace;
       "" ]
@@ -71,7 +78,11 @@ let guard ?session ~operation ?(findings = []) ?(report_dir = ".") f =
         session_summary = Option.map summarize_session session;
         error = Printexc.to_string e;
         backtrace = (if backtrace = "" then "(not recorded)" else backtrace);
-        findings }
+        findings;
+        (* The counter snapshot captures how far the pipeline got before
+           the failure (sweeps run, factorisations done, pool activity) —
+           often enough to localise a crash without reproducing it. *)
+        counters = List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ()) }
     in
     write_report report_dir r;
     Error r

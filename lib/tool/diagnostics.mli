@@ -16,6 +16,10 @@ type report = {
   findings : string list;
       (** rendered lint findings attached by the caller, giving support
           the structural context around the failure *)
+  counters : (string * int) list;
+      (** non-zero [Obs.Counter] values at failure time: how far the
+          pipeline got (sweeps, factorisations, pool activity) before
+          the exception *)
 }
 
 val tool_version : string

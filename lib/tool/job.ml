@@ -6,9 +6,11 @@ type 'a outcome = {
 }
 
 let execute (job_name, thunk) =
+  let t_span = Obs.Span.enter () in
   let t0 = Unix.gettimeofday () in
   match thunk () with
   | v ->
+    Obs.Span.leave ("job:" ^ job_name) t_span;
     { job_name; result = Ok v; backtrace = None;
       elapsed_s = Unix.gettimeofday () -. t0 }
   | exception e ->
@@ -16,6 +18,7 @@ let execute (job_name, thunk) =
        a failing Monte-Carlo sample should name the real crash site, not
        the scheduler frame that re-raised it. *)
     let bt = Printexc.get_raw_backtrace () in
+    Obs.Span.leave ~args:[ ("failed", 1) ] ("job:" ^ job_name) t_span;
     { job_name; result = Error e; backtrace = Some bt;
       elapsed_s = Unix.gettimeofday () -. t0 }
 

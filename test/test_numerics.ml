@@ -394,6 +394,58 @@ let prop_stability_eq14 =
       let expected = -1. /. (zeta *. zeta) in
       Float.abs (p.(i) -. expected) <= 0.03 *. Float.abs expected)
 
+let prop_stability_eq14_grids =
+  (* Eq 1.4 recovery across grid densities and the full zeta band down to
+     0.05 (peak -400): the discrete peak value converges to -1/zeta^2
+     with a sampling bias that shrinks as the grid refines, so the
+     tolerance is tied to the density. The peak abscissa must also land
+     on wn within one grid cell. *)
+  QCheck.Test.make
+    ~name:"eq 1.4 recovery across damping and grid density" ~count:80
+    QCheck.(pair (float_range 0.05 1.0) (oneofl [ 3001; 5001; 8001 ]))
+    (fun (zeta, n) ->
+      let freq = Vec.logspace 0.02 50. n in
+      let mag = Array.map (fun x -> second_order_mag ~zeta x) freq in
+      let p = Deriv.stability_function ~freq ~mag in
+      let i = Vec.argmin p in
+      let expected = -1. /. (zeta *. zeta) in
+      let tol = if n >= 8001 then 0.02 else if n >= 5001 then 0.03 else 0.05 in
+      Float.abs (p.(i) -. expected) <= tol *. Float.abs expected)
+
+let test_stability_clamped_notch () =
+  (* Regression: one underflowed-to-zero (or non-finite) magnitude sample
+     used to raise Invalid_argument through check_positive and kill the
+     whole run; the clamped variant floors it and reports the count. *)
+  let zeta = 0.3 in
+  let freq = Vec.logspace 0.01 100. 801 in
+  let mag = Array.map (fun x -> second_order_mag ~zeta x) freq in
+  mag.(400) <- 0.;
+  mag.(600) <- Float.nan;
+  Alcotest.check_raises "strict form still raises"
+    (Invalid_argument
+       "Deriv.stability_function (mag): values must be positive and finite")
+    (fun () -> ignore (Deriv.stability_function ~freq ~mag));
+  let p, clamped = Deriv.stability_function_clamped ~freq ~mag in
+  Alcotest.(check int) "two samples clamped" 2 clamped;
+  Alcotest.(check bool) "result finite everywhere" true
+    (Array.for_all Float.is_finite p);
+  (* An untouched response reports zero clamps and matches the strict
+     form exactly. *)
+  let mag_ok = Array.map (fun x -> second_order_mag ~zeta x) freq in
+  let p_ok, clamped_ok = Deriv.stability_function_clamped ~freq ~mag:mag_ok in
+  Alcotest.(check int) "clean response: no clamps" 0 clamped_ok;
+  let p_strict = Deriv.stability_function ~freq ~mag:mag_ok in
+  Array.iteri (fun k v -> check_close "clean = strict" p_strict.(k) v) p_ok
+
+let test_stability_clamped_all_dead () =
+  (* Pathological: every sample invalid. The whole array floors at the
+     absolute minimum and everything counts as clamped — no crash. *)
+  let freq = Vec.logspace 0.1 10. 21 in
+  let mag = Array.make 21 0. in
+  let p, clamped = Deriv.stability_function_clamped ~freq ~mag in
+  Alcotest.(check int) "all clamped" 21 clamped;
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite p)
+
 (* ---------- peaks ---------- *)
 
 let test_peak_detection () =
@@ -440,6 +492,41 @@ let test_parabolic_refine () =
   in
   check_close "vertex x" 2. xv;
   check_close "vertex y" 1. yv
+
+let test_parabolic_vertex_clamp () =
+  (* Regression: samples of a monotone, barely-curved function used to
+     extrapolate the vertex far outside the bracket. f(x) = x + 0.001 x^2
+     through 0/1/2 has its true parabola vertex near x = -500; the refined
+     estimate must stay inside [x0, x2]. *)
+  let f x = x +. (0.001 *. x *. x) in
+  let xv, yv =
+    Peak.refine_parabolic ~x0:0. ~y0:(f 0.) ~x1:1. ~y1:(f 1.) ~x2:2.
+      ~y2:(f 2.)
+  in
+  Alcotest.(check bool) "vertex clamped into bracket" true
+    (xv >= 0. && xv <= 2.);
+  Alcotest.(check bool) "value finite" true (Float.is_finite yv);
+  (* With the vertex pinned to the bracket edge the reported value is the
+     parabola evaluated there, which stays near the sampled data. *)
+  Alcotest.(check bool) "value near sampled range" true
+    (yv >= -1. && yv <= f 2. +. 1.)
+
+let test_parabolic_collinear_fallback () =
+  (* Near-collinear samples: the curvature is dominated by rounding noise,
+     so the refiner must return the middle sample instead of dividing by
+     an essentially-zero curvature. *)
+  let xv, yv =
+    Peak.refine_parabolic ~x0:1. ~y0:10. ~x1:2. ~y1:20. ~x2:3.
+      ~y2:(30. +. 2e-13)
+  in
+  check_close "falls back to middle x" 2. xv;
+  check_close "falls back to middle y" 20. yv;
+  (* Exactly collinear behaves the same. *)
+  let xv', yv' =
+    Peak.refine_parabolic ~x0:1. ~y0:10. ~x1:2. ~y1:20. ~x2:3. ~y2:30.
+  in
+  check_close "collinear x" 2. xv';
+  check_close "collinear y" 20. yv'
 
 (* ---------- eigenvalues ---------- *)
 
@@ -526,6 +613,38 @@ let test_interp_linear () =
   check_close "mid" 5. (Interp.linear ~x ~y 0.5);
   check_close "clamp low" 0. (Interp.linear ~x ~y (-1.));
   check_close "clamp high" 40. (Interp.linear ~x ~y 9.)
+
+let test_interp_opt () =
+  (* The option-returning variants answer None outside the abscissa range
+     instead of silently clamping, and agree with the clamping forms
+     inside it (endpoints included). *)
+  let x = [| 0.; 1.; 2. |] and y = [| 0.; 10.; 40. |] in
+  (match Interp.linear_opt ~x ~y 0.5 with
+   | Some v -> check_close "inside matches linear" (Interp.linear ~x ~y 0.5) v
+   | None -> Alcotest.fail "linear_opt: in-range query answered None");
+  (match Interp.linear_opt ~x ~y 0. with
+   | Some v -> check_close "left endpoint" 0. v
+   | None -> Alcotest.fail "linear_opt: left endpoint answered None");
+  (match Interp.linear_opt ~x ~y 2. with
+   | Some v -> check_close "right endpoint" 40. v
+   | None -> Alcotest.fail "linear_opt: right endpoint answered None");
+  Alcotest.(check bool) "below range is None" true
+    (Interp.linear_opt ~x ~y (-0.1) = None);
+  Alcotest.(check bool) "above range is None" true
+    (Interp.linear_opt ~x ~y 2.1 = None);
+  let xf = [| 1.; 10.; 100. |] and yf = [| 1.; 100.; 10000. |] in
+  (match Interp.loglog_opt ~x:xf ~y:yf 31.6227766 with
+   | Some v ->
+     check_close ~tol:1e-6 "loglog inside"
+       (Interp.loglog ~x:xf ~y:yf 31.6227766) v
+   | None -> Alcotest.fail "loglog_opt: in-range query answered None");
+  Alcotest.(check bool) "loglog below range is None" true
+    (Interp.loglog_opt ~x:xf ~y:yf 0.5 = None);
+  (match Interp.semilogx_opt ~x:xf ~y:[| 0.; 1.; 2. |] 10. with
+   | Some v -> check_close "semilogx inside" 1. v
+   | None -> Alcotest.fail "semilogx_opt: in-range query answered None");
+  Alcotest.(check bool) "semilogx above range is None" true
+    (Interp.semilogx_opt ~x:xf ~y:[| 0.; 1.; 2. |] 101. = None)
 
 let test_interp_crossings () =
   let x = [| 0.; 1.; 2.; 3. |] and y = [| -1.; 1.; -1.; 1. |] in
@@ -637,12 +756,19 @@ let () =
          Alcotest.test_case "stability peak eq 1.4" `Quick
            test_stability_function_peak;
          Alcotest.test_case "two-pass form agrees" `Quick
-           test_stability_two_pass_agrees ]);
-      qsuite "deriv-props" [ prop_stability_eq14 ];
+           test_stability_two_pass_agrees;
+         Alcotest.test_case "clamped notch underflow" `Quick
+           test_stability_clamped_notch;
+         Alcotest.test_case "clamped all-dead response" `Quick
+           test_stability_clamped_all_dead ]);
+      qsuite "deriv-props" [ prop_stability_eq14; prop_stability_eq14_grids ];
       ("peak",
        [ Alcotest.test_case "detection" `Quick test_peak_detection;
          Alcotest.test_case "edge flag" `Quick test_peak_at_edge;
-         Alcotest.test_case "parabolic refine" `Quick test_parabolic_refine ]);
+         Alcotest.test_case "parabolic refine" `Quick test_parabolic_refine;
+         Alcotest.test_case "vertex clamp" `Quick test_parabolic_vertex_clamp;
+         Alcotest.test_case "collinear fallback" `Quick
+           test_parabolic_collinear_fallback ]);
       ("eigen",
        [ Alcotest.test_case "known spectrum" `Quick test_eigen_known;
          Alcotest.test_case "triangular" `Quick test_eigen_triangular;
@@ -651,6 +777,7 @@ let () =
       qsuite "eigen-props" [ prop_eigen_companion ];
       ("interp",
        [ Alcotest.test_case "linear" `Quick test_interp_linear;
+         Alcotest.test_case "option variants" `Quick test_interp_opt;
          Alcotest.test_case "crossings" `Quick test_interp_crossings;
          Alcotest.test_case "descending table" `Quick
            test_table_lookup_descending ]);

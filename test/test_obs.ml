@@ -1,0 +1,242 @@
+(* The observability layer: counters, spans, trace export, metrics
+   aggregation. These run in one process sharing the global registry, so
+   every test starts from a clean slate via reset/clear and leaves
+   tracing disabled. *)
+
+let reset_all () =
+  Obs.Span.disable ();
+  Obs.Span.clear ();
+  Obs.Counter.reset ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------- counters ---------- *)
+
+let test_counter_basics () =
+  reset_all ();
+  let c = Obs.Counter.make "test.basic" in
+  Alcotest.(check string) "name" "test.basic" (Obs.Counter.name c);
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Counter.value c);
+  (* make is idempotent: same name, same cell. *)
+  let c' = Obs.Counter.make "test.basic" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "same counter through re-make" 43
+    (Obs.Counter.value c);
+  Alcotest.(check bool) "find sees it" true
+    (match Obs.Counter.find "test.basic" with
+     | Some f -> Obs.Counter.value f = 43
+     | None -> false);
+  Alcotest.(check bool) "find does not create" true
+    (Obs.Counter.find "test.never-made" = None);
+  Alcotest.(check bool) "snapshot lists it" true
+    (List.mem ("test.basic", 43) (Obs.Counter.snapshot ()));
+  Obs.Counter.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c)
+
+let test_counter_record_max () =
+  reset_all ();
+  let c = Obs.Counter.make "test.hwm" in
+  Obs.Counter.record_max c 7;
+  Obs.Counter.record_max c 3;
+  Alcotest.(check int) "keeps high water" 7 (Obs.Counter.value c);
+  Obs.Counter.record_max c 11;
+  Alcotest.(check int) "raises on new max" 11 (Obs.Counter.value c)
+
+let test_counter_parallel () =
+  (* Atomic increments from several domains must not lose updates. *)
+  reset_all ();
+  let c = Obs.Counter.make "test.par" in
+  let per_domain = 10_000 and n_domains = 4 in
+  let ds =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (per_domain * n_domains)
+    (Obs.Counter.value c)
+
+(* ---------- spans ---------- *)
+
+let test_span_disabled_is_silent () =
+  reset_all ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Span.enabled ());
+  let t0 = Obs.Span.enter () in
+  Alcotest.(check int) "enter yields 0 when off" 0 t0;
+  Obs.Span.leave "off" t0;
+  ignore (Obs.Span.with_ "off2" (fun () -> 1 + 1));
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Obs.Span.drain ()))
+
+let test_span_records_when_enabled () =
+  reset_all ();
+  Obs.Span.enable ();
+  let t0 = Obs.Span.enter () in
+  Obs.Span.leave ~args:[ ("points", 5) ] "outer" t0;
+  let v = Obs.Span.with_ "inner" (fun () -> 42) in
+  Obs.Span.disable ();
+  Alcotest.(check int) "with_ passes the result through" 42 v;
+  let events = Obs.Span.drain () in
+  Alcotest.(check int) "two spans" 2 (List.length events);
+  let outer =
+    List.find (fun e -> e.Obs.Span.name = "outer") events
+  in
+  Alcotest.(check bool) "args kept" true
+    (outer.Obs.Span.args = [ ("points", 5) ]);
+  Alcotest.(check bool) "duration non-negative" true
+    (List.for_all (fun e -> e.Obs.Span.dur_ns >= 0) events);
+  Obs.Span.clear ();
+  Alcotest.(check int) "clear discards" 0 (List.length (Obs.Span.drain ()))
+
+let test_span_records_on_exception () =
+  reset_all ();
+  Obs.Span.enable ();
+  (try ignore (Obs.Span.with_ "failing" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.Span.disable ();
+  Alcotest.(check bool) "span recorded despite the raise" true
+    (List.exists
+       (fun e -> e.Obs.Span.name = "failing")
+       (Obs.Span.drain ()))
+
+let test_span_multi_domain_drain () =
+  reset_all ();
+  Obs.Span.enable ();
+  let ds =
+    List.init 3 (fun k ->
+        Domain.spawn (fun () ->
+            Obs.Span.with_ (Printf.sprintf "worker%d" k) (fun () -> ())))
+  in
+  List.iter Domain.join ds;
+  Obs.Span.with_ "main" (fun () -> ());
+  Obs.Span.disable ();
+  let events = Obs.Span.drain () in
+  Alcotest.(check int) "all domains drained" 4 (List.length events);
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Span.tid) events)
+  in
+  Alcotest.(check bool) "distinct domain ids" true (List.length tids >= 2);
+  let ts = List.map (fun e -> e.Obs.Span.ts_ns) events in
+  Alcotest.(check bool) "sorted by start time" true
+    (List.sort compare ts = ts)
+
+(* ---------- trace export ---------- *)
+
+let test_trace_json_shape () =
+  reset_all ();
+  Obs.Span.enable ();
+  Obs.Span.with_ ~args:[ ("nets", 2) ] "sweep \"x\"\n" (fun () -> ());
+  Obs.Span.disable ();
+  Obs.Counter.add (Obs.Counter.make "test.trace") 9;
+  let text = Obs.Trace.to_string () in
+  Alcotest.(check bool) "object format" true
+    (String.length text >= 16 && String.sub text 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check bool) "complete event" true (contains text "\"ph\":\"X\"");
+  Alcotest.(check bool) "counter event" true
+    (contains text "\"name\":\"test.trace\",\"ph\":\"C\"");
+  Alcotest.(check bool) "counter value" true (contains text "\"value\":9");
+  Alcotest.(check bool) "span args exported" true (contains text "\"nets\":2");
+  (* The quote and newline in the span name must be escaped, never raw. *)
+  Alcotest.(check bool) "escaped quote" true (contains text "sweep \\\"x\\\"");
+  Alcotest.(check bool) "escaped newline" true (contains text "\\n");
+  (* Valid enough for a strict parser: balanced braces/brackets outside
+     strings. *)
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !escaped then escaped := false
+      else if !in_str then begin
+        if ch = '\\' then escaped := true else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' -> decr depth
+        | _ -> ())
+    text;
+  Alcotest.(check int) "balanced structure" 0 !depth;
+  Alcotest.(check bool) "not inside a string at EOF" false !in_str
+
+let test_trace_write_roundtrip () =
+  reset_all ();
+  Obs.Span.enable ();
+  Obs.Span.with_ "roundtrip" (fun () -> ());
+  Obs.Span.disable ();
+  let path = Filename.temp_file "acstab_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Trace.write path;
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* Counter events are stamped at serialisation time, so byte
+         equality with a later to_string doesn't hold; check shape and
+         content instead. *)
+      Alcotest.(check bool) "object format" true
+        (String.length text >= 16
+         && String.sub text 0 16 = "{\"traceEvents\":[");
+      Alcotest.(check bool) "span present" true
+        (contains text "\"name\":\"roundtrip\""))
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_rows () =
+  reset_all ();
+  Obs.Span.enable ();
+  Obs.Span.with_ "agg" (fun () -> ());
+  Obs.Span.with_ "agg" (fun () -> ());
+  Obs.Span.with_ "other" (fun () -> ());
+  Obs.Span.disable ();
+  let rows = Obs.Metrics.rows () in
+  Alcotest.(check int) "aggregated by name" 2 (List.length rows);
+  let agg = List.find (fun r -> r.Obs.Metrics.name = "agg") rows in
+  Alcotest.(check int) "count folded" 2 agg.Obs.Metrics.count;
+  Alcotest.(check bool) "max <= total" true
+    (agg.Obs.Metrics.max_ns <= agg.Obs.Metrics.total_ns);
+  Obs.Counter.add (Obs.Counter.make "test.metrics") 3;
+  let text = Format.asprintf "%a" Obs.Metrics.pp () in
+  Alcotest.(check bool) "span table printed" true (contains text "agg");
+  Alcotest.(check bool) "counter printed" true (contains text "test.metrics")
+
+let test_metrics_empty () =
+  reset_all ();
+  let text = Format.asprintf "%a" Obs.Metrics.pp () in
+  Alcotest.(check bool) "empty notice" true
+    (contains text "no spans or counters recorded")
+
+let () =
+  Alcotest.run "obs"
+    [ ("counter",
+       [ Alcotest.test_case "basics" `Quick test_counter_basics;
+         Alcotest.test_case "record_max" `Quick test_counter_record_max;
+         Alcotest.test_case "parallel increments" `Quick
+           test_counter_parallel ]);
+      ("span",
+       [ Alcotest.test_case "disabled is silent" `Quick
+           test_span_disabled_is_silent;
+         Alcotest.test_case "records when enabled" `Quick
+           test_span_records_when_enabled;
+         Alcotest.test_case "records on exception" `Quick
+           test_span_records_on_exception;
+         Alcotest.test_case "multi-domain drain" `Quick
+           test_span_multi_domain_drain ]);
+      ("trace",
+       [ Alcotest.test_case "json shape" `Quick test_trace_json_shape;
+         Alcotest.test_case "write roundtrip" `Quick
+           test_trace_write_roundtrip ]);
+      ("metrics",
+       [ Alcotest.test_case "rows" `Quick test_metrics_rows;
+         Alcotest.test_case "empty" `Quick test_metrics_empty ]) ]

@@ -284,6 +284,101 @@ let test_report_format () =
   Alcotest.(check bool) "single-node mentions dominant" true
     (contains single "dominant")
 
+(* ---------- degraded nodes (clamped response samples) ---------- *)
+
+let second_order_response ~zeta ~fn freqs =
+  Array.map
+    (fun f ->
+      let x = f /. fn in
+      let re = 1. -. (x *. x) and im = 2. *. zeta *. x in
+      Complex.div Complex.one { Complex.re; im })
+    freqs
+
+let test_plot_degraded_completes () =
+  (* Regression: a response with an underflowed-to-zero sample (deep notch)
+     or a non-finite solve used to raise Invalid_argument out of
+     Stability_plot and kill the whole run. It must now complete, flagged. *)
+  let freqs = Numerics.Sweep.points (Numerics.Sweep.decade 1e4 1e8 60) in
+  let h = second_order_response ~zeta:0.2 ~fn:1e6 freqs in
+  h.(100) <- Complex.zero;
+  h.(200) <- { Complex.re = Float.nan; im = 0. };
+  let w = Numerics.Waveform.Freq.make freqs h in
+  let plot = Stability.Stability_plot.of_response w in
+  Alcotest.(check int) "two samples clamped" 2
+    plot.Stability.Stability_plot.clamped;
+  Alcotest.(check bool) "flagged degraded" true
+    (Stability.Stability_plot.degraded plot);
+  Alcotest.(check bool) "P finite everywhere" true
+    (Array.for_all Float.is_finite plot.Stability.Stability_plot.p);
+  (* The floor is 14 decades down, so the clamped notch dominates the
+     plot: the global minimum is the floor artefact at the clamped sample,
+     not the physical resonance — exactly why reports must flag these
+     nodes instead of trusting their peaks. *)
+  let fpk, vpk = Stability.Stability_plot.global_minimum plot in
+  check_close ~tol:0.2 "global minimum sits at the clamp artefact"
+    freqs.(100) fpk;
+  Alcotest.(check bool) "artefact dwarfs any physical peak" true
+    (vpk < -1000.);
+  (* A clean response is not flagged. *)
+  let clean =
+    Stability.Stability_plot.of_response
+      (Numerics.Waveform.Freq.make freqs
+         (second_order_response ~zeta:0.2 ~fn:1e6 freqs))
+  in
+  Alcotest.(check bool) "clean plot not degraded" false
+    (Stability.Stability_plot.degraded clean)
+
+let test_plot_value_at_range () =
+  let freqs = Numerics.Sweep.points (Numerics.Sweep.decade 1e4 1e8 30) in
+  let w =
+    Numerics.Waveform.Freq.make freqs
+      (second_order_response ~zeta:0.3 ~fn:1e6 freqs)
+  in
+  let plot = Stability.Stability_plot.of_response w in
+  (match Stability.Stability_plot.value_at_opt plot 1e6 with
+   | Some v ->
+     check_close "opt agrees with raising form"
+       (Stability.Stability_plot.value_at plot 1e6) v
+   | None -> Alcotest.fail "in-range query answered None");
+  Alcotest.(check bool) "below sweep is None" true
+    (Stability.Stability_plot.value_at_opt plot 1e3 = None);
+  Alcotest.(check bool) "above sweep is None" true
+    (Stability.Stability_plot.value_at_opt plot 1e9 = None);
+  Alcotest.(check bool) "raising form raises out of range" true
+    (try
+       ignore (Stability.Stability_plot.value_at plot 1e3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_report_flags_degraded () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let circ = Workloads.Filters.parallel_rlc () in
+  let results = Stability.Analysis.all_nodes circ in
+  let clean_report = Stability.Report.all_nodes_string results in
+  Alcotest.(check bool) "clean run has no degraded section" false
+    (contains clean_report "Degraded");
+  (* Force one node's result into the degraded state and check both report
+     flavours surface it. *)
+  let degraded_results =
+    List.map
+      (fun r -> { r with Stability.Analysis.degraded = 3 })
+      results
+  in
+  let report = Stability.Report.all_nodes_string degraded_results in
+  Alcotest.(check bool) "all-nodes report flags degraded nodes" true
+    (contains report "Degraded");
+  Alcotest.(check bool) "clamp count shown" true
+    (contains report "3 sample(s) clamped");
+  let single =
+    Stability.Report.single_node_string (List.hd degraded_results)
+  in
+  Alcotest.(check bool) "single-node report flags degradation" true
+    (contains single "DEGRADED")
+
 let test_annotation () =
   let circ = Workloads.Filters.parallel_rlc () in
   let results = Stability.Analysis.all_nodes circ in
@@ -540,6 +635,13 @@ let () =
            test_all_nodes_rlc_cluster;
          Alcotest.test_case "report format" `Quick test_report_format;
          Alcotest.test_case "annotation" `Quick test_annotation ]);
+      ("degraded",
+       [ Alcotest.test_case "clamped response completes" `Quick
+           test_plot_degraded_completes;
+         Alcotest.test_case "value_at range handling" `Quick
+           test_plot_value_at_range;
+         Alcotest.test_case "reports flag degradation" `Quick
+           test_report_flags_degraded ]);
       ("ac-plan",
        [ Alcotest.test_case "backends agree on shipped deck" `Quick
            test_all_nodes_backends_agree;
