@@ -365,28 +365,7 @@ let run_ablations () =
 (* ------------------------------------------------------------------ *)
 (* Ablation 4: sparse vs dense factorisation scaling                    *)
 
-let rc_ladder n =
-  (* n RC sections: n+1 nets, sparse tridiagonal-ish system. *)
-  let open Circuit.Netlist in
-  let c = empty ~title:(Printf.sprintf "rc ladder %d" n) () in
-  let c = vsource c "V1" "n0" "0" (ac_source 1.) in
-  let rec build c k =
-    if k > n then c
-    else begin
-      let c =
-        resistor c (Printf.sprintf "R%d" k)
-          (Printf.sprintf "n%d" (k - 1))
-          (Printf.sprintf "n%d" k)
-          1e3
-      in
-      let c =
-        capacitor c (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0"
-          1e-9
-      in
-      build c (k + 1)
-    end
-  in
-  build c 1
+let rc_ladder n = Workloads.Ladder.rc ~sections:n ()
 
 let run_ablation_sparse () =
   section "Ablation 4 -- dense vs sparse LU on growing ladders";
@@ -1078,6 +1057,51 @@ let run_obs_smoke () =
     (sym = Some 1 && spans_ok && shape_ok)
 
 (* ------------------------------------------------------------------ *)
+(* Health-sampling overhead: the telemetry must be (nearly) free        *)
+
+(* The factorisation-health telemetry (Engine.Health) costs one atomic
+   fetch-and-add per frequency point plus a condition estimate on every
+   sampled point. The contract is <2% added wall time on the all-nodes
+   smoke at the default sampling interval; measured as best-of-N against
+   a run with the interval pushed beyond the point count (ticks still
+   happen, estimates never do), with a small absolute floor so a
+   sub-millisecond scheduler blip cannot fail CI. *)
+let run_health_smoke () =
+  section "Health telemetry -- sampling overhead on all-nodes";
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let probe = Stability.Probe.prepare circ in
+  let opts =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e9 20;
+      refine_per_decade = 200 }
+  in
+  let best_of n f =
+    let best = ref Float.infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let run () = Stability.Analysis.all_nodes_prepared ~options:opts probe in
+  ignore (run ());
+  Engine.Health.set_sample_every 1_000_000_000;
+  let t_off = best_of 5 run in
+  Engine.Health.set_sample_every Engine.Health.default_sample_every;
+  let t_on = best_of 5 run in
+  let overhead = (t_on -. t_off) /. t_off in
+  let budget = Float.max 0.02 (2e-3 /. t_off) in
+  Printf.printf
+    "all-nodes: %.1f ms unsampled, %.1f ms sampled (every %d), overhead \
+     %+.2f%%\n"
+    (1e3 *. t_off) (1e3 *. t_on) Engine.Health.default_sample_every
+    (100. *. overhead);
+  record ~experiment:"Health sampling overhead" ~paper:"<2% of all-nodes"
+    ~measured:(Printf.sprintf "%+.2f%%" (100. *. overhead))
+    (overhead < budget)
+
+(* ------------------------------------------------------------------ *)
 (* Summary                                                              *)
 
 let print_summary () =
@@ -1196,6 +1220,7 @@ let () =
        only deterministic checks can gate a test alias. *)
     run_pool_bench ~smoke:true ();
     run_obs_smoke ();
+    run_health_smoke ();
     print_summary ();
     if List.exists (fun (_, _, _, ok) -> not ok) !summary then exit 1
   end
@@ -1213,6 +1238,7 @@ let () =
     run_acplan_bench ();
     run_pool_bench ~smoke:false ();
     run_obs_smoke ();
+    run_health_smoke ();
     print_summary ();
     timing_benchmarks ()
   end

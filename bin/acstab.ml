@@ -187,11 +187,65 @@ let obs_term =
     if trace <> None || metrics then begin
       Obs.Span.enable ();
       at_exit (fun () ->
-          Option.iter Obs.Trace.write trace;
-          if metrics then Format.eprintf "%a@?" Obs.Metrics.pp ())
+          (* One snapshot feeds both consumers: with the old
+             per-consumer [Span.drain] calls, interleaved span recording
+             between the two exports could leave the trace and the
+             metrics table disagreeing about the same run. *)
+          let events = Obs.Span.events () in
+          Option.iter
+            (fun path -> Obs.Trace.write_events path events)
+            trace;
+          if metrics then
+            Format.eprintf "%a@?" (Obs.Metrics.pp_events events) ())
     end
   in
   Term.(const setup $ trace $ metrics)
+
+(* [--health-sample N] tunes how often the solver layer pays for a
+   condition estimate (every Nth factorisation); unit-valued so it
+   composes like [jobs_term]. *)
+let health_term =
+  let sample =
+    Arg.(value & opt (some int) None
+         & info [ "health-sample" ] ~docv:"N"
+             ~doc:"Record factorisation health (rcond, pivot growth, \
+                   residual) every $(docv)th frequency point (default \
+                   16; 1 = every point).")
+  in
+  Term.(const (fun n -> Option.iter Engine.Health.set_sample_every n)
+        $ sample)
+
+(* ---- run manifests ---- *)
+
+let manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write a run manifest (deck fingerprint, options, \
+                 per-node results with health grades, counters, \
+                 histogram summaries, timing) as JSON to $(docv); \
+                 compare two with $(b,acstab diff).")
+
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+(* Build and write the manifest for an analysis run. The lint findings
+   go in as the lint library's JSON report (the manifest layer embeds,
+   it does not link the linter). *)
+let write_manifest ~file ~circ ~options ~results ~wall_s ~cpu_s path =
+  let deck_text = In_channel.with_open_bin file In_channel.input_all in
+  let lint_json = Lint.Json.report ~file (Lint.Runner.run circ) in
+  let m =
+    Tool.Manifest.build ~deck_file:file ~deck_text ~circ ~options ~lint_json
+      ~results ~wall_s ~cpu_s ()
+  in
+  Tool.Manifest.write path m
+
+let sweep_options fmin fmax ppd =
+  [ ("fmin", Printf.sprintf "%g" fmin);
+    ("fmax", Printf.sprintf "%g" fmax);
+    ("ppd", string_of_int ppd);
+    ("health_sample", string_of_int (Engine.Health.sample_every ())) ]
 
 (* Tri-state parallel selector: the default Auto heuristic parallelises
    when the workload's volume warrants the pool; the flags force it. *)
@@ -218,27 +272,38 @@ let single_node_cmd =
     Arg.(value & flag
          & info [ "plot" ] ~doc:"Print the full stability plot table.")
   in
-  let run () () () lint file node fmin fmax ppd plot html parallel =
+  let run () () () () lint file node fmin fmax ppd plot html manifest
+      parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
+    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
     let r = Stability.Analysis.single_node ~options circ node in
+    let wall_s = Unix.gettimeofday () -. w0
+    and cpu_s = cpu_seconds () -. c0 in
     Stability.Report.single_node Format.std_formatter r;
     if plot then Stability.Stability_plot.pp Format.std_formatter r.plot;
     Option.iter
       (fun path ->
         Tool.Html_report.write path (Tool.Html_report.single_node circ r))
-      html
+      html;
+    Option.iter
+      (write_manifest ~file ~circ
+         ~options:(("mode", "single-node") :: ("node", node)
+                   :: sweep_options fmin fmax ppd)
+         ~results:[ r ] ~wall_s ~cpu_s)
+      manifest
   in
   Cmd.v
     (Cmd.info "single-node"
        ~doc:"Stability peak and natural frequency of one net (paper \
              'Single Node' run mode).")
-    Term.(const run $ log_term $ jobs_term $ obs_term $ lint_term $ file_arg
+    Term.(const run $ log_term $ jobs_term $ obs_term $ health_term
+          $ lint_term $ file_arg
           $ node_arg $ fmin_arg $ fmax_arg $ ppd_arg $ plot $ html_arg
-          $ par_term)
+          $ manifest_arg $ par_term)
 
 (* ---- all-nodes ---- *)
 
@@ -253,33 +318,43 @@ let all_nodes_cmd =
          & info [ "nodes" ] ~docv:"N1,N2,..."
              ~doc:"Restrict the scan to these nets.")
   in
-  let run () () () lint file fmin fmax ppd nodes annotate html parallel =
+  let run () () () () lint file fmin fmax ppd nodes annotate html manifest
+      parallel =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
+    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
     let results = Stability.Analysis.all_nodes ~options ?nodes circ in
+    let wall_s = Unix.gettimeofday () -. w0
+    and cpu_s = cpu_seconds () -. c0 in
     Stability.Report.all_nodes Format.std_formatter results;
     if annotate then
       Stability.Annotate.netlist Format.std_formatter circ results;
     Option.iter
       (fun path ->
         Tool.Html_report.write path (Tool.Html_report.all_nodes circ results))
-      html
+      html;
+    Option.iter
+      (write_manifest ~file ~circ
+         ~options:(("mode", "all-nodes") :: sweep_options fmin fmax ppd)
+         ~results ~wall_s ~cpu_s)
+      manifest
   in
   Cmd.v
     (Cmd.info "all-nodes"
        ~doc:"Stability peaks of every net, grouped by loop (paper 'All \
              Nodes' run mode, Table 2).")
-    Term.(const run $ log_term $ jobs_term $ obs_term $ lint_term $ file_arg
+    Term.(const run $ log_term $ jobs_term $ obs_term $ health_term
+          $ lint_term $ file_arg
           $ fmin_arg $ fmax_arg $ ppd_arg $ nodes $ annotate $ html_arg
-          $ par_term)
+          $ manifest_arg $ par_term)
 
 (* ---- run (directive-driven) ---- *)
 
 let run_cmd =
-  let run () () lint file =
+  let run () () () lint file manifest =
     let circ = read_circuit file in
     lint_gate lint ~file circ;
     handle_analysis_errors circ @@ fun () ->
@@ -293,9 +368,22 @@ let run_cmd =
         (fun f -> Format.asprintf "%a" (Lint.Rule.pp_finding ~file) f)
         (Lint.Runner.run circ)
     in
+    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
+    (* On a crash the diagnostic report embeds a results-free manifest:
+       the deck fingerprint, options and counter/histogram state still
+       travel with the error. *)
+    let crash_manifest () =
+      let deck_text = In_channel.with_open_bin file In_channel.input_all in
+      Tool.Manifest.to_json
+        (Tool.Manifest.build ~deck_file:file ~deck_text ~circ
+           ~options:[ ("mode", "run") ] ~results:[]
+           ~wall_s:(Unix.gettimeofday () -. w0)
+           ~cpu_s:(cpu_seconds () -. c0) ())
+    in
     let r =
       match
         Tool.Diagnostics.guard ~operation:("run " ^ file) ~findings
+          ~manifest:crash_manifest
           (fun () -> Tool.Ocean.run s)
       with
       | Ok r -> r
@@ -303,6 +391,12 @@ let run_cmd =
         Format.eprintf "%a@." Tool.Diagnostics.pp_report report;
         exit 3
     in
+    Option.iter
+      (write_manifest ~file ~circ ~options:[ ("mode", "run") ]
+         ~results:r.Tool.Ocean.stab
+         ~wall_s:(Unix.gettimeofday () -. w0)
+         ~cpu_s:(cpu_seconds () -. c0))
+      manifest;
     (match r.Tool.Ocean.op with
      | Some op -> Engine.Dcop.pp_report Format.std_formatter op
      | None -> ());
@@ -325,7 +419,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the analyses named by the deck's dot-cards (.op,              .ac, .tran, .stab).")
-    Term.(const run $ log_term $ obs_term $ lint_term $ file_arg)
+    Term.(const run $ log_term $ obs_term $ health_term $ lint_term
+          $ file_arg $ manifest_arg)
 
 (* ---- probe ---- *)
 
@@ -783,6 +878,61 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Structural sanity checks on a netlist.")
     Term.(const run $ log_term $ file_arg)
 
+(* ---- diff ---- *)
+
+let diff_cmd =
+  let manifest_pos k doc =
+    Arg.(required & pos k (some file) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let rtol_fn =
+    Arg.(value & opt float Tool.Manifest.default_diff_options.rtol_fn
+         & info [ "rtol-fn" ] ~docv:"REL"
+             ~doc:"Relative tolerance on natural frequencies.")
+  in
+  let rtol_zeta =
+    Arg.(value & opt float Tool.Manifest.default_diff_options.rtol_zeta
+         & info [ "rtol-zeta" ] ~docv:"REL"
+             ~doc:"Relative tolerance on damping ratios.")
+  in
+  let run () a_path b_path rtol_fn rtol_zeta =
+    let load path =
+      match Tool.Manifest.load path with
+      | Ok m -> m
+      | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+    in
+    let a = load a_path and b = load b_path in
+    if a.Tool.Manifest.deck_sha256 <> b.Tool.Manifest.deck_sha256 then
+      Printf.eprintf
+        "note: manifests fingerprint different decks (%s vs %s)\n"
+        a.Tool.Manifest.deck_file b.Tool.Manifest.deck_file;
+    match
+      Tool.Manifest.diff ~options:{ rtol_fn; rtol_zeta } a b
+    with
+    | [] ->
+      Printf.printf "manifests agree: %d node(s) within tolerance\n"
+        (List.length a.Tool.Manifest.nodes)
+    | changes ->
+      List.iter
+        (fun c -> Format.printf "%a@." Tool.Manifest.pp_change c)
+        changes;
+      Printf.printf "%d regression(s)\n" (List.length changes);
+      (* Exit 5: regression found — distinct from parse/usage errors
+         (2), analysis failures (3) and the lint gate (4), so CI can
+         tell "the run changed" from "the run broke". *)
+      exit 5
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two run manifests: added/removed/shifted peaks and \
+             quality downgrades. Exit 0 when B agrees with reference A \
+             within tolerance, 5 on regressions.")
+    Term.(const run $ log_term
+          $ manifest_pos 0 "Reference manifest (A)."
+          $ manifest_pos 1 "Candidate manifest (B)."
+          $ rtol_fn $ rtol_zeta)
+
 (* ---- export-builtin ---- *)
 
 let export_cmd =
@@ -800,7 +950,8 @@ let export_cmd =
     in
     dump "opamp_2mhz_buffer" (Workloads.Opamp_2mhz.buffer ());
     dump "bias_zero_tc" (Workloads.Bias_zero_tc.cell ());
-    dump "nmc_amp_buffer" (Workloads.Nmc_amp.buffer ())
+    dump "nmc_amp_buffer" (Workloads.Nmc_amp.buffer ());
+    dump "rc_ladder_20" (Workloads.Ladder.rc ())
   in
   Cmd.v
     (Cmd.info "export-builtin"
@@ -837,7 +988,7 @@ let main =
       tran_cmd;
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
-      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; export_cmd;
+      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; diff_cmd; export_cmd;
       demo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -89,11 +89,28 @@ let source_rhs mna b =
       | _ -> ())
     mna.Mna.elems
 
-let factor_at ?(gmin = 1e-12) ~op ~omega mna =
+let matrix_of ?(gmin = 1e-12) ~op ~omega mna =
   let prims = Linearize.of_op op in
   let a = Cmat.create mna.Mna.size mna.Mna.size in
   matrix_at mna prims ~gmin ~w:omega a;
-  Cmat.lu_factor a
+  a
+
+let factor_at ?gmin ~op ~omega mna = Cmat.lu_factor (matrix_of ?gmin ~op ~omega mna)
+
+let mag_inf v = Array.fold_left (fun acc z -> Float.max acc (Cx.mag z)) 0. v
+
+(* Sampled health for the dense per-point path; mirrors
+   [Ac_plan.solve_many]'s recording so node grades do not depend on the
+   backend chosen. *)
+let dense_health ?meter a f ~x ~b =
+  let rcond = Cond.rcond (Cond.dense a f) in
+  let growth = Cmat.pivot_growth a f in
+  let residual =
+    Health.relative_residual ~norm1:(Cmat.norm1 a)
+      ~residual_inf:(Cmat.residual_inf a x b) ~x_inf:(mag_inf x)
+      ~b_inf:(mag_inf b)
+  in
+  Health.record ?meter ~rcond ~growth ~residual ()
 
 let run_compiled ?op ?(gmin = 1e-12) ?backend ~sweep mna =
   let op = match op with Some op -> op | None -> Dcop.solve mna in
@@ -117,7 +134,10 @@ let run_compiled ?op ?(gmin = 1e-12) ?backend ~sweep mna =
           let w = 2. *. Float.pi *. f in
           let a = Cmat.create mna.Mna.size mna.Mna.size in
           matrix_at mna prims ~gmin ~w a;
-          Cmat.solve a b0)
+          let lu = Cmat.lu_factor a in
+          let x = Cmat.lu_solve lu b0 in
+          if Health.tick () then dense_health a lu ~x ~b:b0;
+          x)
         freqs
     | `Plan ->
       let omega_ref =

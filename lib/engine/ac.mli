@@ -33,12 +33,24 @@ val matrix_at :
     matrix (sources contribute nothing — excitations are separate RHS
     vectors). Exposed for the probing and noise analyses. *)
 
+val matrix_of :
+  ?gmin:float -> op:Dcop.t -> omega:float -> Mna.t -> Numerics.Cmat.t
+(** Freshly stamped dense system at one angular frequency. *)
+
 val factor_at :
   ?gmin:float -> op:Dcop.t -> omega:float -> Mna.t -> Numerics.Cmat.factor
 (** LU factor of the small-signal system at one angular frequency. Probing
     analyses (the stability tool's all-nodes mode) solve this factor
     against many excitation vectors — a current probe only contributes to
     the right-hand side. *)
+
+val dense_health :
+  ?meter:Health.meter -> Numerics.Cmat.t -> Numerics.Cmat.factor ->
+  x:Complex.t array -> b:Complex.t array -> unit
+(** Record one sampled dense factorisation's health (rcond estimate,
+    pivot growth, scaled residual of [x] against [b]); mirrors the
+    recording done inside {!Ac_plan.solve_many} so node grades do not
+    depend on the backend. *)
 
 val v : result -> Circuit.Netlist.node -> Waveform.Freq.t
 (** Node-voltage response across the sweep. Raises [Invalid_argument]

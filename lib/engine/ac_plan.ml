@@ -188,8 +188,7 @@ let matrix_at t ~omega =
   Scmat.of_csc ~rows:t.size ~cols:t.size ~colptr:t.colptr
     ~rowidx:t.rowidx values
 
-let factor_at t ~omega =
-  let a = matrix_at t ~omega in
+let factor_of t a =
   let f =
     try Scmat.refactor ~pivot_tol t.sym a
     with Sparse.Singular _ ->
@@ -203,10 +202,39 @@ let factor_at t ~omega =
   Obs.Counter.incr n_numeric;
   f
 
-let solve_many t ~omega bs =
-  let f = factor_at t ~omega in
+(* Sampled health of a factorisation: a Hager/Higham rcond estimate
+   (a handful of extra solves on the factor we already hold) plus
+   element growth; the residual is only known to callers that solve. *)
+let factor_health ?meter a f =
+  let rcond = Cond.rcond (Cond.sparse a f) in
+  let growth = Scmat.pivot_growth a f in
+  Health.record ?meter ~rcond ~growth ~residual:0. ()
+
+let factor_at ?health t ~omega =
+  let a = matrix_at t ~omega in
+  let f = factor_of t a in
+  if Health.tick () then factor_health ?meter:health a f;
+  f
+
+let mag_inf v =
+  Array.fold_left (fun acc z -> Float.max acc (Cx.mag z)) 0. v
+
+let solve_many ?health t ~omega bs =
+  let a = matrix_at t ~omega in
+  let f = factor_of t a in
   Obs.Counter.add n_rhs (Array.length bs);
   Obs.Counter.record_max rhs_batch_max (Array.length bs);
-  Scmat.lu_solve_many f bs
+  let xs = Scmat.lu_solve_many f bs in
+  if Array.length bs > 0 && Health.tick () then begin
+    let rcond = Cond.rcond (Cond.sparse a f) in
+    let growth = Scmat.pivot_growth a f in
+    let residual =
+      Health.relative_residual ~norm1:(Scmat.norm1 a)
+        ~residual_inf:(Scmat.residual_inf a xs.(0) bs.(0))
+        ~x_inf:(mag_inf xs.(0)) ~b_inf:(mag_inf bs.(0))
+    in
+    Health.record ?meter:health ~rcond ~growth ~residual ()
+  end;
+  xs
 
-let solve t ~omega b = (solve_many t ~omega [| b |]).(0)
+let solve ?health t ~omega b = (solve_many ?health t ~omega [| b |]).(0)

@@ -32,18 +32,24 @@ val matrix_at : t -> omega:float -> Numerics.Scmat.t
 (** Numeric fill [G + jwC] of the shared pattern (O(nnz); fresh value
     array per call, pattern arrays shared). *)
 
-val factor_at : t -> omega:float -> Numerics.Scmat.factor
+val factor_at : ?health:Health.meter -> t -> omega:float -> Numerics.Scmat.factor
 (** One numeric refactorisation at [omega], falling back to a fresh
     pivoting factorisation when the frozen pivot order is numerically
-    inadequate at this frequency (counted in {!totals}). *)
+    inadequate at this frequency (counted in {!totals}). With [health],
+    sampled factorisations (see {!Health.tick}) record an rcond estimate
+    and pivot growth. *)
 
 val solve_many :
+  ?health:Health.meter ->
   t -> omega:float -> Complex.t array array -> Complex.t array array
 (** One factorisation, many right-hand sides: the batched probing
     solve. [solve_many t ~omega bs] factors once and solves every
-    excitation of [bs]. *)
+    excitation of [bs]. With [health], sampled points additionally
+    record a scaled residual of the first right-hand side. *)
 
-val solve : t -> omega:float -> Complex.t array -> Complex.t array
+val solve :
+  ?health:Health.meter -> t -> omega:float -> Complex.t array ->
+  Complex.t array
 
 type totals = {
   symbolic : int;  (** symbolic analyses (one per plan + fallbacks) *)

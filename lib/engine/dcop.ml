@@ -26,6 +26,11 @@ let log_src = Logs.Src.create "engine.dcop" ~doc:"DC operating point"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Homotopy fallbacks, next to the acplan.* counters: a deck that only
+   converges through the ladder is worth flagging in a manifest diff. *)
+let n_gmin_fallback = Obs.Counter.make "dcop.fallback_gmin"
+let n_source_fallback = Obs.Counter.make "dcop.fallback_source"
+
 let converged opts ~n_nodes x_old x_new =
   let ok = ref true in
   Array.iteri
@@ -75,7 +80,18 @@ let newton ?(unknown_name = fun k -> Printf.sprintf "unknown %d" k) ~size
          else Array.mapi (fun i v -> x.(i) +. (damp *. (v -. x.(i)))) x_new
        in
        if (not limited) && damp = 1. && converged opts ~n_nodes x x_next
-       then result := Some (x_next, !iter)
+       then begin
+         (* One matvec on the final Jacobian: the scaled residual of the
+            converged solve, into the health histograms. *)
+         let vec_inf v =
+           Array.fold_left (fun acc e -> Float.max acc (Float.abs e)) 0. v
+         in
+         Health.record_dc_residual
+           (Health.relative_residual ~norm1:(Numerics.Rmat.norm1 a)
+              ~residual_inf:(Numerics.Rmat.residual_inf a x_next b)
+              ~x_inf:(vec_inf x_next) ~b_inf:(vec_inf b));
+         result := Some (x_next, !iter)
+       end
        else Array.blit x_next 0 x 0 size
      done
    with No_convergence m ->
@@ -172,6 +188,7 @@ let solve ?options ?x0 ?force_strategy mna =
   | Some r -> r
   | None ->
     Log.info (fun f -> f "direct Newton failed; trying gmin stepping");
+    Obs.Counter.incr n_gmin_fallback;
     (* 2. Gmin stepping: converge with a heavy shunt, then relax it. *)
     let rec gmin_steps x = function
       | [] -> Some x
@@ -197,6 +214,7 @@ let solve ?options ?x0 ?force_strategy mna =
      | Some r -> r
      | None ->
        Log.info (fun f -> f "gmin stepping failed; trying source stepping");
+       Obs.Counter.incr n_source_fallback;
        (* 3. Source stepping with adaptive step size. *)
        let x = ref x0 and alpha = ref 0. and step = ref 0.1 in
        let failed = ref false in

@@ -1,0 +1,31 @@
+(** 1-norm condition estimation (Hager/Higham) from an existing LU
+    factor — about five extra solves, no inverse formed. The estimate is
+    a lower bound on the true condition number, in practice within a
+    small factor; see the implementation header. *)
+
+val est_inv_1norm :
+  n:int ->
+  solve:(Cx.t array -> Cx.t array) ->
+  solve_t:(Cx.t array -> Cx.t array) ->
+  float
+(** Estimate [||A^{-1}||_1] given solvers for [A x = b] ([solve]) and
+    [A^T x = b] ([solve_t]). *)
+
+val est_1norm :
+  n:int ->
+  norm1:float ->
+  solve:(Cx.t array -> Cx.t array) ->
+  solve_t:(Cx.t array -> Cx.t array) ->
+  float
+(** [est_1norm ~n ~norm1 ~solve ~solve_t] is the condition estimate
+    [norm1 * est_inv_1norm ...], with [norm1 = ||A||_1]. *)
+
+val sparse : Scmat.t -> Scmat.factor -> float
+(** Condition estimate for a sparse complex system from its factor. *)
+
+val dense : Cmat.t -> Cmat.factor -> float
+(** Condition estimate for a dense complex system from its factor. *)
+
+val rcond : float -> float
+(** Reciprocal condition: [1/cond], or [0.] for non-positive or
+    non-finite input. Small rcond = few trustworthy digits. *)

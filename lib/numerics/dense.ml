@@ -128,6 +128,55 @@ module Make (F : Field.S) = struct
 
   let solve m b = lu_solve (lu_factor m) b
 
+  (* Transpose solve A^T x = b from the same factor: with PA = LU,
+     A^T = U^T L^T P — forward on U^T, backward on the unit-triangular
+     L^T, then un-permute. Drives the Hager/Higham condition
+     estimator. *)
+  let lu_solve_t { lu; perm } b =
+    let n = lu.rows in
+    if Array.length b <> n then invalid_arg "Dense.lu_solve_t: dimensions";
+    let w = Array.make n F.zero in
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      for j = 0 to i - 1 do
+        acc := F.sub !acc (F.mul (get lu j i) w.(j))
+      done;
+      w.(i) <- F.div !acc (get lu i i)
+    done;
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        w.(i) <- F.sub w.(i) (F.mul (get lu j i) w.(j))
+      done
+    done;
+    let x = Array.make n F.zero in
+    for i = 0 to n - 1 do
+      x.(perm.(i)) <- w.(i)
+    done;
+    x
+
+  let norm1 m =
+    let worst = ref 0. in
+    for j = 0 to m.cols - 1 do
+      let s = ref 0. in
+      for i = 0 to m.rows - 1 do
+        s := !s +. F.abs (get m i j)
+      done;
+      worst := Float.max !worst !s
+    done;
+    !worst
+
+  (* Element growth through elimination: max |U| over max |A|. *)
+  let pivot_growth a { lu; perm = _ } =
+    let amax = ref 0. in
+    Array.iter (fun v -> amax := Float.max !amax (F.abs v)) a.data;
+    let umax = ref 0. in
+    for i = 0 to lu.rows - 1 do
+      for j = i to lu.cols - 1 do
+        umax := Float.max !umax (F.abs (get lu i j))
+      done
+    done;
+    if !amax = 0. then 0. else !umax /. !amax
+
   let residual_inf m x b =
     let ax = mulvec m x in
     let worst = ref 0. in

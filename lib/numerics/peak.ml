@@ -6,6 +6,8 @@ type t = {
   x : float;
   y : float;
   at_edge : bool;
+  bracket_ratio : float;
+  curvature : float;
 }
 
 let refine_parabolic ~x0 ~y0 ~x1 ~y1 ~x2 ~y2 =
@@ -30,15 +32,31 @@ let refine_parabolic ~x0 ~y0 ~x1 ~y1 ~x2 ~y2 =
     (xv, yv)
   end
 
+(* How well-conditioned the parabolic vertex is: the relative slope
+   change across the stencil, the same quantity the collinearity guard
+   above compares to 1e-9. Near zero the vertex position is dominated
+   by rounding noise in the samples. *)
+let refine_quality ~x0 ~y0 ~x1 ~y1 ~x2 ~y2 =
+  let d01 = (y1 -. y0) /. (x1 -. x0) in
+  let d12 = (y2 -. y1) /. (x2 -. x1) in
+  let slope_scale = Float.max (Float.abs d01) (Float.abs d12) in
+  if slope_scale = 0. then 0. else Float.abs (d12 -. d01) /. slope_scale
+
 (* Refine an interior extremum at sample [i] using log-x abscissae, which is
-   the natural axis for frequency-domain peaks. *)
+   the natural axis for frequency-domain peaks. Also reports the
+   conditioning of the fit: bracket width as a frequency ratio, and the
+   relative curvature of the stencil. *)
 let refined x y i =
   let lx k = log x.(k) in
   let xv, yv =
     refine_parabolic ~x0:(lx (i - 1)) ~y0:y.(i - 1) ~x1:(lx i) ~y1:y.(i)
       ~x2:(lx (i + 1)) ~y2:y.(i + 1)
   in
-  (exp xv, yv)
+  let quality =
+    refine_quality ~x0:(lx (i - 1)) ~y0:y.(i - 1) ~x1:(lx i) ~y1:y.(i)
+      ~x2:(lx (i + 1)) ~y2:y.(i + 1)
+  in
+  (exp xv, yv, x.(i + 1) /. x.(i - 1), quality)
 
 let prominence_of y i kind =
   (* Height of the extremum above/below its key saddle: walk outward on
@@ -80,11 +98,14 @@ let find ?(min_prominence = 0.) ~x ~y () =
   else begin
     let out = ref [] in
     let emit kind i at_edge =
-      let xr, yr =
-        if at_edge || i = 0 || i = n - 1 then (x.(i), y.(i)) else refined x y i
+      let xr, yr, bracket_ratio, curvature =
+        if at_edge || i = 0 || i = n - 1 then (x.(i), y.(i), 1., 0.)
+        else refined x y i
       in
       if prominence_of y i kind >= min_prominence then
-        out := { kind; index = i; x = xr; y = yr; at_edge } :: !out
+        out :=
+          { kind; index = i; x = xr; y = yr; at_edge; bracket_ratio; curvature }
+          :: !out
     in
     (* Interior extrema, treating plateaus as a single extremum at their
        centre. *)
@@ -125,5 +146,8 @@ let global_minimum ~x ~y =
   let i = Vec.argmin y in
   let n = Array.length y in
   let at_edge = i = 0 || i = n - 1 in
-  let xr, yr = if at_edge then (x.(i), y.(i)) else refined x y i in
-  { kind = Minimum; index = i; x = xr; y = yr; at_edge }
+  let xr, yr, bracket_ratio, curvature =
+    if at_edge then (x.(i), y.(i), 1., 0.) else refined x y i
+  in
+  { kind = Minimum; index = i; x = xr; y = yr; at_edge; bracket_ratio;
+    curvature }

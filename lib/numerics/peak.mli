@@ -12,6 +12,14 @@ type t = {
   x : float;            (** Refined abscissa (parabolic, in log-x). *)
   y : float;            (** Refined extremum value. *)
   at_edge : bool;       (** True when the extremum is the first or last sample. *)
+  bracket_ratio : float;
+  (** Frequency ratio [x.(i+1)/x.(i-1)] of the refinement bracket;
+      [1.0] for edge/unrefined extrema. Wide brackets mean the vertex
+      interpolates over a coarse grid. *)
+  curvature : float;
+  (** Relative slope change across the stencil (the collinearity-guard
+      quantity); near zero the refined position is noise-dominated.
+      [0.0] for edge/unrefined extrema. *)
 }
 
 val find :
@@ -36,3 +44,9 @@ val refine_parabolic :
     back to the middle point when the three points are collinear to within
     a relative tolerance (the slope difference is below [1e-9] of the
     larger chord slope). *)
+
+val refine_quality :
+  x0:float -> y0:float -> x1:float -> y1:float -> x2:float -> y2:float ->
+  float
+(** Conditioning of the parabolic fit: relative slope change across the
+    stencil, [0.] when the samples are flat. *)

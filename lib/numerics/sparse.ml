@@ -463,6 +463,65 @@ module Make (F : Field.S) = struct
       xs
     end
 
+  (* Transpose solve A^T x = b from the same factor. With PA = LU
+     (pivot-position rows, natural columns), A^T = U^T L^T P: a forward
+     pass on U^T (lower triangular, one equation per natural column,
+     read straight off the stored U columns), a backward pass on the
+     unit-triangular L^T (rows of l_cols renamed through pinv are all
+     later pivots), then un-permute. Needed by the Hager/Higham
+     condition estimator, which alternates A^{-1} and A^{-T} products. *)
+  let lu_solve_t f b =
+    if Array.length b <> f.n then invalid_arg "Sparse.lu_solve_t";
+    let n = f.n in
+    let w = Array.make n F.zero in
+    for j = 0 to n - 1 do
+      let uc = f.u_cols.(j) in
+      let acc = ref b.(j) in
+      for q = 0 to uc.len - 2 do
+        acc := F.sub !acc (F.mul uc.v.(q) w.(uc.idx.(q)))
+      done;
+      w.(j) <- F.div !acc uc.v.(uc.len - 1)
+    done;
+    for k = n - 1 downto 0 do
+      let lc = f.l_cols.(k) in
+      let acc = ref w.(k) in
+      for q = 0 to lc.len - 1 do
+        acc := F.sub !acc (F.mul lc.v.(q) w.(f.pinv.(lc.idx.(q))))
+      done;
+      w.(k) <- !acc
+    done;
+    let x = Array.make n F.zero in
+    for k = 0 to n - 1 do
+      x.(f.rowperm.(k)) <- w.(k)
+    done;
+    x
+
+  let norm1 m =
+    let worst = ref 0. in
+    for j = 0 to m.cols - 1 do
+      let s = ref 0. in
+      for p = m.colptr.(j) to m.colptr.(j + 1) - 1 do
+        s := !s +. F.abs m.values.(p)
+      done;
+      worst := Float.max !worst !s
+    done;
+    !worst
+
+  (* Element growth through elimination: max |U| over max |A|. Large
+     growth means the frozen pivot order is shedding digits even when no
+     pivot trips the refactor tolerance. *)
+  let pivot_growth a f =
+    let amax = ref 0. in
+    Array.iter (fun v -> amax := Float.max !amax (F.abs v)) a.values;
+    let umax = ref 0. in
+    Array.iter
+      (fun uc ->
+        for q = 0 to uc.len - 1 do
+          umax := Float.max !umax (F.abs uc.v.(q))
+        done)
+      f.u_cols;
+    if !amax = 0. then 0. else !umax /. !amax
+
   let residual_inf m x b =
     let ax = mulvec m x in
     let worst = ref 0. in

@@ -58,5 +58,16 @@ module Make (F : Field.S) : sig
   (** Solve one factor against many right-hand sides (the multi-RHS
       batch of the all-nodes probing mode). *)
 
+  val lu_solve_t : factor -> elt array -> elt array
+  (** Solve [A^T x = b] from the same factor (no transposed copy). Used
+      by the Hager/Higham condition estimator. *)
+
+  val norm1 : t -> float
+  (** Maximum column absolute sum. *)
+
+  val pivot_growth : t -> factor -> float
+  (** Element growth [max|U| / max|A|] of a factorisation of [t]; large
+      values mean the (possibly frozen) pivot order is losing digits. *)
+
   val residual_inf : t -> elt array -> elt array -> float
 end

@@ -5,5 +5,20 @@ type row = { name : string; count : int; total_ns : int; max_ns : int }
 val rows : unit -> row list
 (** Spans aggregated by name, sorted by total time descending. *)
 
+val rows_of : Span.event list -> row list
+(** Same aggregation over an explicit snapshot from {!Span.events}. *)
+
+val domain_rows : unit -> (int * int * int) list
+(** Per-domain rollup [(tid, span count, total busy ns)], sorted by
+    domain id — makes pool imbalance visible next to the [pool.*]
+    counters. *)
+
+val domain_rows_of : Span.event list -> (int * int * int) list
+
 val pp : Format.formatter -> unit -> unit
-(** Print the span table followed by all non-zero counters. *)
+(** Print the span table (with a per-domain rollup when more than one
+    domain recorded), all non-zero counters, and histogram summaries. *)
+
+val pp_events : Span.event list -> Format.formatter -> unit -> unit
+(** {!pp} over an explicit snapshot, so one [Span.events ()] call can
+    feed both the trace writer and this summary. *)

@@ -57,6 +57,11 @@ let drain () =
   Mutex.unlock buffers_mutex;
   List.sort (fun a b -> compare a.ts_ns b.ts_ns) events
 
+(* Alias with the non-destructive name: consumers that need the same
+   snapshot twice (--trace and --metrics in one run) should take
+   [events ()] once and feed both sinks from it. *)
+let events = drain
+
 let clear () =
   Mutex.lock buffers_mutex;
   List.iter (fun b -> b.events <- []) !buffers;

@@ -32,5 +32,9 @@ val drain : unit -> event list
 (** All recorded events from every domain, sorted by start time.
     Does not clear the buffers. *)
 
+val events : unit -> event list
+(** Non-destructive snapshot, identical to {!drain}. Take it once and
+    feed every consumer (trace export, metrics) from the same list. *)
+
 val clear : unit -> unit
 (** Discard all recorded events. *)

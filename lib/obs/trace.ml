@@ -58,8 +58,28 @@ let add_counter buf ~ts_ns (name, v) =
   Buffer.add_string buf (string_of_int v);
   Buffer.add_string buf "}}"
 
-let to_string () =
-  let events = Span.drain () in
+let add_float buf v =
+  (* %.17g round-trips; shorter forms are fine for a trace viewer. *)
+  Buffer.add_string buf (Printf.sprintf "%.6g" v)
+
+let add_histogram buf ~ts_ns (name, (s : Histogram.summary)) =
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf ("hist:" ^ name);
+  Buffer.add_string buf ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+  Buffer.add_string buf (us_of_ns ts_ns);
+  Buffer.add_string buf ",\"args\":{\"count\":";
+  Buffer.add_string buf (string_of_int s.count);
+  Buffer.add_string buf ",\"p50\":";
+  add_float buf s.p50;
+  Buffer.add_string buf ",\"p90\":";
+  add_float buf s.p90;
+  Buffer.add_string buf ",\"p99\":";
+  add_float buf s.p99;
+  Buffer.add_string buf ",\"max\":";
+  add_float buf s.max;
+  Buffer.add_string buf "}}"
+
+let to_string_events events =
   let counters = Counter.snapshot () in
   let end_ns =
     List.fold_left
@@ -81,11 +101,20 @@ let to_string () =
       Buffer.add_char buf ',';
       add_counter buf ~ts_ns:end_ns kv)
     counters;
+  List.iter
+    (fun h ->
+      Buffer.add_char buf ',';
+      add_histogram buf ~ts_ns:end_ns h)
+    (Histogram.snapshot ());
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 
-let write path =
+let to_string () = to_string_events (Span.events ())
+
+let write_events path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ()))
+    (fun () -> output_string oc (to_string_events events))
+
+let write path = write_events path (Span.events ())

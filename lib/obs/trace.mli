@@ -6,7 +6,15 @@
     counter becomes a ["C"] (counter) event carrying its final value. *)
 
 val to_string : unit -> string
-(** Serialize the current span buffers and counter registry. *)
+(** Serialize the current span buffers, counter registry and histogram
+    summaries (the latter as ["C"] events named [hist:<name>]). *)
+
+val to_string_events : Span.event list -> string
+(** Serialize an explicit snapshot from {!Span.events}, so one snapshot
+    can feed both this export and {!Metrics.pp_events}. *)
 
 val write : string -> unit
 (** [write path] writes {!to_string} to [path], truncating. *)
+
+val write_events : string -> Span.event list -> unit
+(** [write_events path events] writes {!to_string_events} to [path]. *)

@@ -138,8 +138,15 @@ let jobs () =
 
 (* ---- chunk execution ---- *)
 
+let chunk_ms_histogram = Obs.Histogram.make "pool.chunk_ms"
+
 let run_chunk ~busy c =
   Obs.Counter.incr chunks_counter;
+  (* One span per chunk, recorded on the executing domain: the Chrome
+     trace then shows every worker's lane ([tid] = domain id) filled
+     with its chunks — the visual form of the busy-time counters. Cheap
+     enough because a chunk amortises many [body] calls. *)
+  let span = Obs.Span.enter () in
   let t0 = Obs.Clock.now_ns () in
   let j = c.job in
   (try
@@ -153,7 +160,10 @@ let run_chunk ~busy c =
    with e ->
      let bt = Printexc.get_raw_backtrace () in
      ignore (Atomic.compare_and_set j.failed None (Some (e, bt))));
-  Obs.Counter.add busy (Obs.Clock.now_ns () - t0);
+  let dt = Obs.Clock.now_ns () - t0 in
+  Obs.Span.leave "pool.chunk" ~args:[ ("items", c.hi - c.lo) ] span;
+  Obs.Histogram.observe chunk_ms_histogram (float_of_int dt *. 1e-6);
+  Obs.Counter.add busy dt;
   Mutex.lock mutex;
   j.unfinished <- j.unfinished - 1;
   if j.unfinished = 0 then Condition.broadcast done_cv;

@@ -39,9 +39,48 @@ let shared_plan opts probe =
   in
   if plan_backed then Some (Probe.plan probe ~sweep:opts.sweep) else None
 
-let response_many opts ?plan probe nodes ~sweep =
+let response_many opts ?plan ?health probe nodes ~sweep =
   Probe.response_many ?backend:(probe_backend opts)
-    ~parallel:opts.parallel ?plan probe ~sweep nodes
+    ~parallel:opts.parallel ?plan ?health probe ~sweep nodes
+
+type quality = Good | Degraded | Suspect
+
+let quality_string = function
+  | Good -> "good"
+  | Degraded -> "degraded"
+  | Suspect -> "suspect"
+
+(* Grade thresholds on the worst sampled health of the run's sweeps
+   (documented in MANUAL section 8). rcond 1e-8 leaves ~8 trustworthy
+   digits — enough for 3-digit peak numbers with margin; below 1e-11
+   the solve carries the answer's leading digits away. The scaled
+   residual of a backward-stable solve sits near machine epsilon times
+   the pivot growth, so 1e-9 already signals real element growth and
+   1e-5 means the "solution" barely satisfies the system. *)
+let rcond_degraded = 1e-8
+let rcond_suspect = 1e-11
+let residual_degraded = 1e-9
+let residual_suspect = 1e-5
+
+(* The health meter is shared by every sweep of a run (all nodes of a
+   sweep share each frequency point's factorisation, so factorisation
+   health is genuinely collective); the clamp count is the per-node
+   signal layered on top. *)
+let grade health degraded =
+  let by_health =
+    match health with
+    | Some m when Engine.Health.samples m > 0 ->
+        let r = Engine.Health.worst_rcond m in
+        let res = Engine.Health.worst_residual m in
+        if r < rcond_suspect || res > residual_suspect then Suspect
+        else if r < rcond_degraded || res > residual_degraded then Degraded
+        else Good
+    | _ -> Good
+  in
+  match by_health with
+  | Suspect -> Suspect
+  | Degraded -> Degraded
+  | Good -> if degraded > 0 then Degraded else Good
 
 type node_result = {
   node : Circuit.Netlist.node;
@@ -49,6 +88,7 @@ type node_result = {
   peaks : Peaks.peak list;
   dominant : Peaks.peak option;
   degraded : int;
+  quality : quality;
 }
 
 let zoom_windows_counter = Obs.Counter.make "analysis.zoom_windows"
@@ -147,7 +187,7 @@ type refine_job = {
    zoom windows additionally reuse [plan] — the coarse sweep's compiled
    solve plan — so the whole refinement pass performs zero further
    symbolic analyses. *)
-let refine_batched opts ?plan probe jobs =
+let refine_batched opts ?plan ?health probe jobs =
   let fmin, fmax = sweep_bounds opts.sweep in
   let sorted =
     List.sort
@@ -185,7 +225,9 @@ let refine_batched opts ?plan probe jobs =
         in
         Obs.Counter.incr zoom_windows_counter;
         let t0 = Obs.Span.enter () in
-        let responses = response_many opts ?plan probe nodes ~sweep:zoom in
+        let responses =
+          response_many opts ?plan ?health probe nodes ~sweep:zoom
+        in
         Obs.Span.leave "analysis.zoom"
           ~args:
             [ ("nets", List.length nodes);
@@ -201,7 +243,7 @@ let refine_batched opts ?plan probe jobs =
 
 (* Coarse analysis of every live net, then one batched refinement pass
    over all (node, peak) jobs at once. *)
-let analyze_many opts ?plan probe entries =
+let analyze_many opts ?plan ?health probe entries =
   let t_classify = Obs.Span.enter () in
   let coarse =
     List.filter_map
@@ -236,7 +278,7 @@ let analyze_many opts ?plan probe entries =
       List.iter
         (fun (j, refined) -> Hashtbl.replace table (j.rj_node, j.rj_slot)
             refined)
-        (refine_batched opts ?plan probe jobs);
+        (refine_batched opts ?plan ?health probe jobs);
       fun node slot coarse_pk ->
         match Hashtbl.find_opt table (node, slot) with
         | Some refined -> refined
@@ -246,11 +288,12 @@ let analyze_many opts ?plan probe entries =
   List.map
     (fun (node, plot, degraded, peaks) ->
       let peaks = List.mapi (fun slot pk -> refined_of node slot pk) peaks in
-      { node; plot; peaks; dominant = Peaks.dominant peaks; degraded })
+      { node; plot; peaks; dominant = Peaks.dominant peaks; degraded;
+        quality = grade health degraded })
     coarse
 
-let analyze_node opts ?plan probe node response =
-  match analyze_many opts ?plan probe [ (node, response) ] with
+let analyze_node opts ?plan ?health probe node response =
+  match analyze_many opts ?plan ?health probe [ (node, response) ] with
   | [ r ] -> r
   | _ ->
     failwith
@@ -261,14 +304,17 @@ let analyze_node opts ?plan probe node response =
 
 let single_node_prepared ?(options = default_options) probe node =
   let plan = shared_plan options probe in
+  let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
   let w =
-    match response_many options ?plan probe [ node ] ~sweep:options.sweep with
+    match
+      response_many options ?plan ~health probe [ node ] ~sweep:options.sweep
+    with
     | [ (_, w) ] -> w
     | _ -> assert false
   in
   Obs.Span.leave "analysis.coarse" ~args:[ ("nets", 1) ] t0;
-  analyze_node options ?plan probe node w
+  analyze_node options ?plan ~health probe node w
 
 let all_nodes_prepared ?(options = default_options) ?nodes probe =
   let all =
@@ -278,10 +324,13 @@ let all_nodes_prepared ?(options = default_options) ?nodes probe =
       Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
   in
   let plan = shared_plan options probe in
+  let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
-  let responses = response_many options ?plan probe all ~sweep:options.sweep in
+  let responses =
+    response_many options ?plan ~health probe all ~sweep:options.sweep
+  in
   Obs.Span.leave "analysis.coarse" ~args:[ ("nets", List.length all) ] t0;
-  analyze_many options ?plan probe responses
+  analyze_many options ?plan ~health probe responses
 
 let single_node ?(options = default_options) circ node =
   let probe = Probe.prepare ~dc_options:options.dc_options circ in

@@ -46,6 +46,20 @@ type options = {
 
 val default_options : options
 
+type quality = Good | Degraded | Suspect
+(** Numerical trustworthiness of a node's analysis, derived from the
+    worst sampled factorisation health (reciprocal condition estimate,
+    scaled residual — see {!Engine.Health}) across the run's sweeps plus
+    the node's own clamp count. [Good]: nothing noteworthy. [Degraded]:
+    rcond below 1e-8, scaled residual above 1e-9, or clamped samples —
+    peak numbers carry fewer digits than usual. [Suspect]: rcond below
+    1e-11 or residual above 1e-5 — the linear solves themselves are not
+    trustworthy and neither are the peaks derived from them. *)
+
+val quality_string : quality -> string
+(** ["good" | "degraded" | "suspect"] — the spelling used by reports,
+    manifests and [acstab diff]. *)
+
 type node_result = {
   node : Circuit.Netlist.node;
   plot : Stability_plot.t;       (** coarse plot (kept for plotting) *)
@@ -56,6 +70,11 @@ type node_result = {
       (underflowed notch, non-finite solve). [> 0] means the plot around
       those samples is a floor artefact: the node completed analysis but
       its peaks deserve scrutiny. Reports flag such nodes. *)
+  quality : quality;
+  (** numerical-health grade of this node's analysis (see {!quality}).
+      The factorisation-health component is shared by all nodes of a run
+      (every node's solves go through the same per-point factors); the
+      clamp component is per-node. *)
 }
 
 val single_node :

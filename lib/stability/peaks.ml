@@ -16,6 +16,8 @@ type peak = {
   zeta : float option;
   phase_margin_deg : float option;
   overshoot_pct : float option;
+  bracket_ratio : float;
+  curvature : float;
 }
 
 let analyze ?(min_magnitude = 0.2) ?(doublet_ratio = 3.0)
@@ -51,10 +53,12 @@ let analyze ?(min_magnitude = 0.2) ?(doublet_ratio = 3.0)
         match estimates with
         | Some (zeta, pm, os) ->
           { kind; freq = e.x; value = e.y; notices; zeta = Some zeta;
-            phase_margin_deg = Some pm; overshoot_pct = Some os }
+            phase_margin_deg = Some pm; overshoot_pct = Some os;
+            bracket_ratio = e.bracket_ratio; curvature = e.curvature }
         | None ->
           { kind; freq = e.x; value = e.y; notices; zeta = None;
-            phase_margin_deg = None; overshoot_pct = None })
+            phase_margin_deg = None; overshoot_pct = None;
+            bracket_ratio = e.bracket_ratio; curvature = e.curvature })
       relevant
   in
   (* Shoulder suppression: the second derivative of a sharp pole dip has

@@ -30,6 +30,17 @@ type peak = {
   zeta : float option;       (** 1/sqrt(-P), poles deeper than -1 only *)
   phase_margin_deg : float option;  (** exact second-order PM from zeta *)
   overshoot_pct : float option;
+  bracket_ratio : float;
+  (** conditioning of the parabolic refinement: ratio of the grid
+      frequencies bracketing the extremum ([1.0] when the peak was not
+      refined). Near 1, the bracket is tight and the interpolated
+      frequency is well determined; a wide bracket on a sharp peak means
+      the grid barely resolved it. *)
+  curvature : float;
+  (** relative change of the plot's slope across the bracket (0 for an
+      unrefined or flat extremum). Strong curvature with a tight bracket
+      is a well-conditioned fit; weak curvature means the interpolated
+      apex rests on nearly-cancelling differences. *)
 }
 
 val analyze :

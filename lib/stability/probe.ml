@@ -43,7 +43,7 @@ let plan ?(gmin = 1e-12) t ~sweep =
 let auto_threshold = 50_000
 
 let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
-    t ~sweep nodes =
+    ?health t ~sweep nodes =
   let size = t.mna.Engine.Mna.size in
   let backend =
     match (backend, shared) with
@@ -98,8 +98,10 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
     match (backend, plan) with
     | `Plan, Some plan ->
       (* One numeric refactorisation, then every probed node as one
-         multi-RHS batch against the same factor. *)
-      let xs = Engine.Ac_plan.solve_many plan ~omega bs in
+         multi-RHS batch against the same factor. Health recording
+         happens inside [solve_many], sampled — the per-point body
+         itself stays instrumentation-free. *)
+      let xs = Engine.Ac_plan.solve_many ?health plan ~omega bs in
       List.iteri (fun q (_, i, out) -> out.(fk) <- xs.(q).(i)) per_node
     | `Sparse, Some plan ->
       (* Fresh pivoting factorisation per point (no symbolic reuse);
@@ -108,12 +110,30 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
       let lu = Scmat.lu_factor a in
       List.iteri
         (fun q (_, i, out) -> out.(fk) <- (Scmat.lu_solve lu bs.(q)).(i))
-        per_node
+        per_node;
+      if Engine.Health.tick () && Array.length bs > 0 then begin
+        let x = Scmat.lu_solve lu bs.(0) in
+        let mag_inf v =
+          Array.fold_left (fun acc z -> Float.max acc (Cx.mag z)) 0. v
+        in
+        Engine.Health.record ?meter:health
+          ~rcond:(Cond.rcond (Cond.sparse a lu))
+          ~growth:(Scmat.pivot_growth a lu)
+          ~residual:
+            (Engine.Health.relative_residual ~norm1:(Scmat.norm1 a)
+               ~residual_inf:(Scmat.residual_inf a x bs.(0))
+               ~x_inf:(mag_inf x) ~b_inf:(mag_inf bs.(0)))
+          ()
+      end
     | `Dense, _ | _, None ->
-      let lu = Engine.Ac.factor_at ~gmin ~op:t.op ~omega t.mna in
+      let a = Engine.Ac.matrix_of ~gmin ~op:t.op ~omega t.mna in
+      let lu = Cmat.lu_factor a in
       List.iteri
         (fun q (_, i, out) -> out.(fk) <- (Cmat.lu_solve lu bs.(q)).(i))
-        per_node
+        per_node;
+      if Engine.Health.tick () && Array.length bs > 0 then
+        Engine.Ac.dense_health ?meter:health a lu
+          ~x:(Cmat.lu_solve lu bs.(0)) ~b:bs.(0)
   in
   let go_parallel =
     match parallel with

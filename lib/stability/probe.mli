@@ -41,6 +41,7 @@ val auto_threshold : int
 val response_many :
   ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] ->
   ?parallel:[ `Auto | `Seq | `Par ] -> ?plan:Engine.Ac_plan.t ->
+  ?health:Engine.Health.meter ->
   t -> sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
   (Circuit.Netlist.node * Numerics.Waveform.Freq.t) list
 (** Shared-factorisation probing of many nets.
@@ -60,7 +61,11 @@ val response_many :
     paper's "distributed run" capability at multicore scale). [`Auto]
     (the default) goes parallel only when the pool has workers and the
     sweep's volume clears {!auto_threshold}; results are bit-identical
-    to sequential either way. *)
+    to sequential either way.
+
+    [health] accumulates sampled per-factorisation health (see
+    {!Engine.Health}) across the sweep; the analysis layer turns its
+    worst-case values into per-node quality grades. *)
 
 val response_via_netlist :
   ?gmin:float -> ?dc_options:Engine.Dcop.options -> Circuit.Netlist.t ->

@@ -60,10 +60,26 @@ let all_nodes ?rel_gap ppf results =
       (fun (r : Analysis.node_result) ->
         Format.fprintf ppf "  %-16s %d sample(s) clamped@." r.node r.degraded)
       degraded
+  end;
+  let flagged =
+    List.filter (fun (r : Analysis.node_result) -> r.quality <> Analysis.Good) results
+  in
+  if flagged <> [] then begin
+    Format.fprintf ppf
+      "@.Numerical health (worst sampled factorisation rcond/residual of \
+       the run, plus per-node clamps):@.";
+    List.iter
+      (fun (r : Analysis.node_result) ->
+        Format.fprintf ppf "  %-16s %s@." r.node
+          (Analysis.quality_string r.quality))
+      flagged
   end
 
 let single_node ppf (r : Analysis.node_result) =
   Format.fprintf ppf "Stability analysis of node %S@." r.node;
+  if r.quality <> Analysis.Good then
+    Format.fprintf ppf "  numerical health: %s@."
+      (Analysis.quality_string r.quality);
   if r.degraded > 0 then
     Format.fprintf ppf
       "  DEGRADED: %d response sample(s) clamped (underflowed notch or \

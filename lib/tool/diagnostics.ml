@@ -7,6 +7,7 @@ type report = {
   backtrace : string;
   findings : string list;
   counters : (string * int) list;
+  manifest : string option;
 }
 
 let tool_version = "acstab 1.0.0 (AC-stability analysis tool)"
@@ -47,6 +48,9 @@ let to_text r =
          "counters:\n"
          ^ String.concat "\n"
              (List.map (fun (k, v) -> Printf.sprintf "  %s = %d" k v) cs));
+      (match r.manifest with
+       | None -> "manifest:  (none)"
+       | Some m -> "manifest:  " ^ m);
       "backtrace:";
       r.backtrace;
       "" ]
@@ -67,7 +71,8 @@ let write_report dir r =
     close_out oc
   with Sys_error m -> Printf.eprintf "diagnostics: cannot write %s: %s\n" path m
 
-let guard ?session ~operation ?(findings = []) ?(report_dir = ".") f =
+let guard ?session ~operation ?(findings = []) ?manifest ?(report_dir = ".")
+    f =
   try Ok (f ())
   with e ->
     let backtrace = Printexc.get_backtrace () in
@@ -82,7 +87,14 @@ let guard ?session ~operation ?(findings = []) ?(report_dir = ".") f =
         (* The counter snapshot captures how far the pipeline got before
            the failure (sweeps run, factorisations done, pool activity) —
            often enough to localise a crash without reproducing it. *)
-        counters = List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ()) }
+        counters =
+          List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ());
+        (* The manifest thunk runs only on failure: it snapshots
+           whatever run record the caller can assemble at crash time
+           (typically a manifest with no node results yet), and its own
+           failures must not mask the original exception. *)
+        manifest =
+          Option.bind manifest (fun f -> try Some (f ()) with _ -> None) }
     in
     write_report report_dir r;
     Error r

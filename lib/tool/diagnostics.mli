@@ -20,13 +20,17 @@ type report = {
       (** non-zero [Obs.Counter] values at failure time: how far the
           pipeline got (sweeps, factorisations, pool activity) before
           the exception *)
+  manifest : string option;
+      (** run-manifest JSON rendered at failure time (see {!Manifest}),
+          when the caller supplied a thunk *)
 }
 
 val tool_version : string
 
 val guard :
   ?session:Session.t -> operation:string -> ?findings:string list ->
-  ?report_dir:string -> (unit -> 'a) -> ('a, report) Result.t
+  ?manifest:(unit -> string) -> ?report_dir:string -> (unit -> 'a) ->
+  ('a, report) Result.t
 (** Run the operation; on exception build a {!report}, write it to
     [report_dir] (default ["."]) as [acstab-diag-<pid>-<n>.txt] and return
     it. Never raises (short of filesystem errors while writing, which are

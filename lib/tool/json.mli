@@ -1,0 +1,28 @@
+(** Self-contained JSON values: printer {e and} parser.
+
+    Run manifests must round-trip — [acstab diff] reads back what
+    [--manifest] wrote — so unlike the emit-only JSON in the lint
+    library this one parses too. Numbers are doubles; non-finite floats
+    print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialisation. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a byte-offset
+    message. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,75 @@
+(** Run manifests: reproducible JSON records of an analysis run.
+
+    A manifest (schema ["acstab-manifest/1"]) captures the deck's
+    SHA-256 fingerprint and size stats, the options in force, the lint
+    findings, every probed node's headline numbers ([f_n], [zeta],
+    phase margin, peak depth) with its numerical-health grade, the
+    {!Obs.Counter} snapshot, the {!Obs.Histogram} summaries and
+    wall/CPU time. [--manifest FILE] writes one on every analysis
+    command; [acstab diff] compares two (see the manual, section 8). *)
+
+val schema_version : string
+
+type node_entry = {
+  node : string;
+  f_n : float option;           (** dominant-peak natural frequency, Hz *)
+  zeta : float option;
+  phase_margin_deg : float option;
+  peak : float option;          (** stability-peak value (signed) *)
+  quality : string;             (** "good" | "degraded" | "suspect" *)
+}
+
+type t = {
+  deck_file : string;
+  deck_sha256 : string;
+  stats : (string * int) list;       (** netlist size: nodes, devices *)
+  options : (string * string) list;
+  lint : Json.t;                     (** findings as emitted by the CLI *)
+  nodes : node_entry list;
+  counters : (string * int) list;    (** non-zero counters at build time *)
+  histograms : (string * Obs.Histogram.summary) list;
+  wall_s : float;
+  cpu_s : float;
+}
+
+val entry_of_result : Stability.Analysis.node_result -> node_entry
+
+val build :
+  deck_file:string -> deck_text:string -> ?circ:Circuit.Netlist.t ->
+  ?options:(string * string) list -> ?lint_json:string ->
+  results:Stability.Analysis.node_result list -> wall_s:float ->
+  cpu_s:float -> unit -> t
+(** Assemble a manifest from run results, snapshotting the observability
+    registries. [lint_json] is the lint library's JSON report (the tool
+    layer embeds it verbatim rather than linking the linter). *)
+
+val to_json : t -> string
+val write : string -> t -> unit
+
+val of_json_string : string -> (t, string) result
+(** Parse and validate; errors name the offending field. Rejects
+    unknown schema versions and quality grades. *)
+
+val load : string -> (t, string) result
+
+(** {1 Diffing} *)
+
+type diff_options = {
+  rtol_fn : float;    (** relative tolerance on natural frequency (1e-3) *)
+  rtol_zeta : float;  (** relative tolerance on damping (1e-3) *)
+}
+
+val default_diff_options : diff_options
+
+type change =
+  | Added_peak of string     (** node gained a dominant peak in B *)
+  | Removed_peak of string   (** node lost its dominant peak in B *)
+  | Shifted of { node : string; field : string; a : float; b : float }
+  | Downgraded of { node : string; from_ : string; to_ : string }
+
+val diff : ?options:diff_options -> t -> t -> change list
+(** Changes of [b] relative to the reference [a]. Peak numbers within
+    tolerance and quality {e upgrades} are not changes; an empty list
+    means the runs agree ([acstab diff] exit 0, otherwise 5). *)
+
+val pp_change : Format.formatter -> change -> unit

@@ -1,0 +1,7 @@
+(** SHA-256 (FIPS 180-4) of a string, as 64 lowercase hex digits.
+
+    Used to fingerprint netlist decks in run manifests so two manifests
+    can prove they analysed the same input; matches [sha256sum] on the
+    deck file's bytes. *)
+
+val digest : string -> string

@@ -1,0 +1,26 @@
+open Circuit.Netlist
+
+let rc ?(sections = 20) ?(r = 1e3) ?(c = 1e-9) () =
+  let circ =
+    empty ~title:(Printf.sprintf "rc ladder %d" sections) ()
+  in
+  let circ = vsource circ "V1" "n0" "0" (ac_source 1.) in
+  let rec build circ k =
+    if k > sections then circ
+    else begin
+      let circ =
+        resistor circ (Printf.sprintf "R%d" k)
+          (Printf.sprintf "n%d" (k - 1))
+          (Printf.sprintf "n%d" k)
+          r
+      in
+      let circ =
+        capacitor circ (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0"
+          c
+      in
+      build circ (k + 1)
+    end
+  in
+  build circ 1
+
+let last_node sections = Printf.sprintf "n%d" sections

@@ -1,0 +1,14 @@
+(** RC-ladder chains: sparse, loop-free, arbitrarily sizeable.
+
+    The system matrix is tridiagonal-ish, so ladders are the scaling
+    fixture for sparse-vs-dense ablations, and — being loop-free with
+    only real poles — a stable reference workload for the CI smoke runs
+    and the seq-vs-par manifest diff (the analysis must produce
+    identical manifests however it is scheduled). *)
+
+val rc : ?sections:int -> ?r:float -> ?c:float -> unit -> Circuit.Netlist.t
+(** [sections] RC stages (default 20, 1 kOhm / 1 nF) driven by an AC
+    source on net ["n0"]; stage [k] is net ["n<k>"]. *)
+
+val last_node : int -> Circuit.Netlist.node
+(** Name of the final net of an [rc ~sections] ladder. *)

@@ -271,6 +271,118 @@ let prop_symbolic_reuse =
             xs bs)
         omegas)
 
+(* ---------- condition estimation ---------- *)
+
+let random_dense_complex st n =
+  let rnd () = Random.State.float st 2. -. 1. in
+  Cmat.init n n (fun i j ->
+      let z = { Complex.re = rnd (); im = rnd () } in
+      if i = j then
+        Complex.add z { Complex.re = 4. *. float_of_int n; im = 0. }
+      else z)
+
+let prop_dense_transpose_solve =
+  QCheck.Test.make ~name:"dense lu_solve_t solves the transposed system"
+    ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 83 |] in
+      let rnd () = Random.State.float st 2. -. 1. in
+      let a = random_dense_complex st n in
+      let b = Array.init n (fun _ -> { Complex.re = rnd (); im = rnd () }) in
+      let x = Cmat.lu_solve_t (Cmat.lu_factor a) b in
+      (* Residual of A^T x = b, formed against the transposed entries. *)
+      let resid = ref 0. in
+      for i = 0 to n - 1 do
+        let acc = ref (Complex.neg b.(i)) in
+        for j = 0 to n - 1 do
+          acc := Complex.add !acc (Complex.mul (Cmat.get a j i) x.(j))
+        done;
+        resid := Float.max !resid (Cx.mag !acc)
+      done;
+      !resid < 1e-9)
+
+let prop_sparse_transpose_solve =
+  QCheck.Test.make ~name:"sparse lu_solve_t matches dense transpose solve"
+    ~count:60
+    QCheck.(pair (int_range 2 30) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 89 |] in
+      let rnd () = Random.State.float st 2. -. 1. in
+      let triplets = ref [] in
+      for j = 0 to n - 1 do
+        triplets :=
+          (j, j, { Complex.re = 8. +. Random.State.float st 2.; im = rnd () })
+          :: !triplets;
+        for _ = 1 to 3 do
+          let i = Random.State.int st n in
+          if i <> j then
+            triplets := (i, j, { Complex.re = rnd (); im = rnd () })
+              :: !triplets
+        done
+      done;
+      let a = Scmat.of_triplets ~rows:n ~cols:n !triplets in
+      let d = Cmat.create n n in
+      List.iter (fun (i, j, v) -> Cmat.add_to d j i v) !triplets;
+      let b = Array.init n (fun _ -> { Complex.re = rnd (); im = rnd () }) in
+      let xs = Scmat.lu_solve_t (Scmat.lu_factor a) b in
+      let xd = Cmat.solve d b in
+      Array.for_all2 (Cx.close ~tol:1e-8) xs xd)
+
+(* True 1-norm condition number via the explicit inverse: solve for each
+   unit vector and take the worst column sum. O(n^3) but fine at test
+   sizes; the Hager/Higham estimate must land within a small factor. *)
+let true_cond_1norm a f n =
+  let inv_norm = ref 0. in
+  for j = 0 to n - 1 do
+    let e =
+      Array.init n (fun i -> if i = j then Complex.one else Complex.zero)
+    in
+    let col = Cmat.lu_solve f e in
+    let s = Array.fold_left (fun acc z -> acc +. Cx.mag z) 0. col in
+    inv_norm := Float.max !inv_norm s
+  done;
+  Cmat.norm1 a *. !inv_norm
+
+let prop_cond_estimate =
+  QCheck.Test.make
+    ~name:"Hager estimate within a small factor of the true condition"
+    ~count:100
+    QCheck.(pair (int_range 2 15) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 97 |] in
+      let a = random_dense_complex st n in
+      let f = Cmat.lu_factor a in
+      let est = Cond.dense a f in
+      let true_cond = true_cond_1norm a f n in
+      (* The estimate is a lower bound (up to roundoff) and in practice
+         lands within a modest factor; /10 keeps the floor loose. *)
+      est <= true_cond *. 1.0001 && est >= true_cond /. 10.)
+
+let test_cond_ill_conditioned () =
+  (* A nearly-singular system: one row scaled down by 1e-12 pushes the
+     condition number past 1e11, so rcond must collapse accordingly. *)
+  let n = 4 in
+  let a =
+    Cmat.init n n (fun i j ->
+        let base = if i = j then 5. else 1. /. float_of_int (i + j + 2) in
+        let s = if i = n - 1 then 1e-12 else 1. in
+        { Complex.re = base *. s; im = 0. })
+  in
+  let f = Cmat.lu_factor a in
+  let rc = Cond.rcond (Cond.dense a f) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rcond %.3g below 1e-9" rc)
+    true
+    (rc > 0. && rc < 1e-9)
+
+let test_rcond_edge_cases () =
+  check_close "rcond of 0" 0. (Cond.rcond 0.);
+  check_close "rcond of -1" 0. (Cond.rcond (-1.));
+  check_close "rcond of nan" 0. (Cond.rcond Float.nan);
+  check_close "rcond of inf" 0. (Cond.rcond Float.infinity);
+  check_close "rcond of 1e6" 1e-6 (Cond.rcond 1e6)
+
 (* ---------- polynomials ---------- *)
 
 let test_poly_eval () =
@@ -744,6 +856,14 @@ let () =
       qsuite "sparse-props"
         [ prop_sparse_lu_random; prop_sparse_matches_dense;
           prop_sparse_complex; prop_symbolic_reuse ];
+      ("cond",
+       [ Alcotest.test_case "ill-conditioned rcond" `Quick
+           test_cond_ill_conditioned;
+         Alcotest.test_case "rcond edge cases" `Quick
+           test_rcond_edge_cases ]);
+      qsuite "cond-props"
+        [ prop_dense_transpose_solve; prop_sparse_transpose_solve;
+          prop_cond_estimate ];
       ("poly",
        [ Alcotest.test_case "eval" `Quick test_poly_eval;
          Alcotest.test_case "arithmetic" `Quick test_poly_arith;

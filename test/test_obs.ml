@@ -191,6 +191,75 @@ let test_trace_write_roundtrip () =
       Alcotest.(check bool) "span present" true
         (contains text "\"name\":\"roundtrip\""))
 
+(* ---------- histograms ---------- *)
+
+let test_histogram_buckets () =
+  (* The log-bucket layout must be monotone and self-consistent: a
+     bucket's representative value maps back to that bucket. *)
+  let last = ref (-1) in
+  for i = 0 to 63 do
+    let v = Obs.Histogram.value_of i in
+    Alcotest.(check int) (Printf.sprintf "roundtrip bucket %d" i) i
+      (Obs.Histogram.bucket_of v);
+    Alcotest.(check bool) "monotone" true (i > !last);
+    last := i
+  done;
+  Alcotest.(check int) "non-positive -> lowest" 0
+    (Obs.Histogram.bucket_of (-1.));
+  Alcotest.(check int) "zero -> lowest" 0 (Obs.Histogram.bucket_of 0.);
+  Alcotest.(check int) "nan -> highest" 63 (Obs.Histogram.bucket_of Float.nan);
+  Alcotest.(check int) "huge -> highest" 63 (Obs.Histogram.bucket_of 1e300)
+
+let test_histogram_summary () =
+  Obs.Histogram.reset ();
+  let h = Obs.Histogram.make "test.hist" in
+  Alcotest.(check bool) "registry idempotent" true
+    (Obs.Histogram.make "test.hist" == h);
+  let s0 = Obs.Histogram.summary h in
+  Alcotest.(check int) "empty count" 0 s0.Obs.Histogram.count;
+  (* 90 samples at ~1e-6 and 10 at ~1e2: p50 must sit in the low mode,
+     p99 in the high one, and max is exact (not bucket-quantised). *)
+  for _ = 1 to 90 do
+    Obs.Histogram.observe h 1.3e-6
+  done;
+  for _ = 1 to 10 do
+    Obs.Histogram.observe h 137.
+  done;
+  let s = Obs.Histogram.summary h in
+  Alcotest.(check int) "count" 100 s.Obs.Histogram.count;
+  Alcotest.(check bool) "p50 in low mode" true
+    (s.Obs.Histogram.p50 > 1e-7 && s.Obs.Histogram.p50 < 1e-5);
+  Alcotest.(check bool) "p99 in high mode" true
+    (s.Obs.Histogram.p99 > 10. && s.Obs.Histogram.p99 < 1e4);
+  Alcotest.(check (float 0.)) "max exact" 137. s.Obs.Histogram.max;
+  Alcotest.(check bool) "snapshot lists it" true
+    (List.mem_assoc "test.hist" (Obs.Histogram.snapshot ()));
+  Obs.Histogram.reset ();
+  Alcotest.(check int) "reset zeroes" 0
+    (Obs.Histogram.summary h).Obs.Histogram.count
+
+let test_histogram_parallel () =
+  (* Concurrent observation from several domains must not lose samples
+     (bins are atomic, max is a CAS loop). *)
+  Obs.Histogram.reset ();
+  let h = Obs.Histogram.make "test.hist.par" in
+  let per_domain = 10_000 and n_domains = 4 in
+  let ds =
+    List.init n_domains (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Histogram.observe h (float_of_int ((k * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Obs.Histogram.summary h in
+  Alcotest.(check int) "no lost samples" (per_domain * n_domains)
+    s.Obs.Histogram.count;
+  Alcotest.(check (float 0.)) "max survives the race"
+    (float_of_int (n_domains * per_domain))
+    s.Obs.Histogram.max;
+  Obs.Histogram.reset ()
+
 (* ---------- metrics ---------- *)
 
 let test_metrics_rows () =
@@ -217,6 +286,114 @@ let test_metrics_empty () =
   Alcotest.(check bool) "empty notice" true
     (contains text "no spans or counters recorded")
 
+(* Regression: --trace FILE --metrics together. Both exporters must see
+   the same spans from one [Span.events] snapshot — the old shape called
+   a drain per consumer, so spans recorded between the two exports made
+   the trace and the table disagree about the same run. *)
+let test_snapshot_feeds_both_consumers () =
+  reset_all ();
+  Obs.Span.enable ();
+  Obs.Span.with_ "both" (fun () -> ());
+  Obs.Span.disable ();
+  let events = Obs.Span.events () in
+  let trace = Obs.Trace.to_string_events events in
+  let metrics = Format.asprintf "%a" (Obs.Metrics.pp_events events) () in
+  Alcotest.(check bool) "trace populated" true
+    (contains trace "\"name\":\"both\"");
+  Alcotest.(check bool) "metrics populated" true (contains metrics "both");
+  (* [events] is non-destructive: a second snapshot still carries the
+     span, so consumer order cannot matter. *)
+  Alcotest.(check int) "snapshot non-destructive" 1
+    (List.length (Obs.Span.events ()))
+
+let test_metrics_domain_rollup () =
+  reset_all ();
+  Obs.Span.enable ();
+  Obs.Span.with_ "main.work" (fun () -> ());
+  let d =
+    Domain.spawn (fun () -> Obs.Span.with_ "worker.work" (fun () -> ()))
+  in
+  Domain.join d;
+  Obs.Span.disable ();
+  let events = Obs.Span.events () in
+  let rollup = Obs.Metrics.domain_rows_of events in
+  Alcotest.(check int) "one row per domain" 2 (List.length rollup);
+  List.iter
+    (fun (_, count, busy) ->
+      Alcotest.(check int) "span count" 1 count;
+      Alcotest.(check bool) "busy time recorded" true (busy >= 0))
+    rollup;
+  let text = Format.asprintf "%a" (Obs.Metrics.pp_events events) () in
+  Alcotest.(check bool) "rollup printed for multi-domain runs" true
+    (contains text "domain ")
+
+(* A pooled all-nodes sweep with tracing on: every worker domain's
+   chunks must land in the Chrome trace under its own [tid], and the
+   spans of each domain must be well nested (a lane with partially
+   overlapping spans renders as garbage in a trace viewer). *)
+let test_pooled_trace_multi_domain () =
+  reset_all ();
+  Parallel.Pool.set_jobs 4;
+  let circ = Workloads.Ladder.rc ~sections:30 () in
+  let probe = Stability.Probe.prepare circ in
+  Obs.Span.enable ();
+  let options =
+    { Stability.Analysis.default_options with
+      refine = false;
+      parallel = `Par;
+      sweep = Numerics.Sweep.decade 1e3 1e7 40 }
+  in
+  let results = Stability.Analysis.all_nodes_prepared ~options probe in
+  Obs.Span.disable ();
+  Alcotest.(check bool) "analysis produced results" true (results <> []);
+  let events = Obs.Span.events () in
+  let chunk_tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           if e.Obs.Span.name = "pool.chunk" then Some e.Obs.Span.tid
+           else None)
+         events)
+  in
+  Alcotest.(check bool) "chunks on several domains" true
+    (List.length chunk_tids >= 2);
+  (* Well-nestedness per domain: sorted by start, each next span either
+     starts after the previous ends or lies entirely within it. *)
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Span.tid) events)
+  in
+  List.iter
+    (fun tid ->
+      let lane =
+        List.filter (fun e -> e.Obs.Span.tid = tid) events
+        |> List.map (fun e ->
+               (e.Obs.Span.ts_ns, e.Obs.Span.ts_ns + e.Obs.Span.dur_ns))
+        |> List.sort compare
+      in
+      let rec well_nested open_stack = function
+        | [] -> true
+        | (s, e) :: rest ->
+          let stack =
+            List.filter (fun (_, e') -> e' > s) open_stack
+          in
+          (match stack with
+           | (_, e') :: _ when e > e' -> false (* partial overlap *)
+           | _ -> well_nested ((s, e) :: stack) rest)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d spans well nested" tid)
+        true (well_nested [] lane))
+    tids;
+  (* And the serialized trace carries the worker lanes. *)
+  let trace = Obs.Trace.to_string_events events in
+  List.iter
+    (fun tid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace has tid %d" tid)
+        true
+        (contains trace (Printf.sprintf "\"tid\":%d" tid)))
+    chunk_tids
+
 let () =
   Alcotest.run "obs"
     [ ("counter",
@@ -237,6 +414,18 @@ let () =
        [ Alcotest.test_case "json shape" `Quick test_trace_json_shape;
          Alcotest.test_case "write roundtrip" `Quick
            test_trace_write_roundtrip ]);
+      ("histogram",
+       [ Alcotest.test_case "bucket layout" `Quick test_histogram_buckets;
+         Alcotest.test_case "summary percentiles" `Quick
+           test_histogram_summary;
+         Alcotest.test_case "parallel observe" `Quick
+           test_histogram_parallel ]);
       ("metrics",
        [ Alcotest.test_case "rows" `Quick test_metrics_rows;
-         Alcotest.test_case "empty" `Quick test_metrics_empty ]) ]
+         Alcotest.test_case "empty" `Quick test_metrics_empty;
+         Alcotest.test_case "one snapshot, both consumers" `Quick
+           test_snapshot_feeds_both_consumers;
+         Alcotest.test_case "domain rollup" `Quick
+           test_metrics_domain_rollup;
+         Alcotest.test_case "pooled trace multi-domain" `Quick
+           test_pooled_trace_multi_domain ]) ]

@@ -602,6 +602,49 @@ let test_plan_factorisation_counts () =
     (points * List.length nodes)
     (after.Engine.Ac_plan.rhs - before.Engine.Ac_plan.rhs)
 
+(* ---------- numerical-health grading ---------- *)
+
+(* A healthy deck must come back [Good]: the shipped RC ladder is as
+   well-conditioned as AC analysis gets. *)
+let test_quality_good_on_healthy_deck () =
+  let circ = Workloads.Ladder.rc ~sections:8 () in
+  let options =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e6 10 }
+  in
+  let res = Stability.Analysis.single_node ~options circ "n8" in
+  Alcotest.(check string) "healthy deck grades good" "good"
+    (Stability.Analysis.quality_string res.Stability.Analysis.quality)
+
+(* A gmin-starved capacitive divider: two femtofarad caps in series,
+   no resistive path anywhere. At 1 Hz the cap admittances are ~1e-14
+   while the source rows carry unit entries, so every factorisation is
+   catastrophically ill-conditioned — the health meter must demote the
+   node to [Suspect]. Sampling is forced to every point so the verdict
+   does not depend on the global tick phase left by other tests. *)
+let test_quality_suspect_on_starved_deck () =
+  let circ =
+    Circuit.Parser.parse_string
+      "* gmin-starved capacitive divider\n\
+       V1 n1 0 AC 1\n\
+       C1 n1 n2 1e-15\n\
+       C2 n2 0 1e-15\n"
+  in
+  Engine.Health.set_sample_every 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Health.set_sample_every Engine.Health.default_sample_every)
+    (fun () ->
+      let options =
+        { Stability.Analysis.default_options with
+          sweep = Numerics.Sweep.decade 1. 1e3 10;
+          refine = false;
+          backend = `Plan }
+      in
+      let res = Stability.Analysis.single_node ~options circ "n2" in
+      Alcotest.(check string) "starved deck grades suspect" "suspect"
+        (Stability.Analysis.quality_string res.Stability.Analysis.quality))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -642,6 +685,11 @@ let () =
            test_plot_value_at_range;
          Alcotest.test_case "reports flag degradation" `Quick
            test_report_flags_degraded ]);
+      ("health",
+       [ Alcotest.test_case "healthy deck grades good" `Quick
+           test_quality_good_on_healthy_deck;
+         Alcotest.test_case "gmin-starved deck grades suspect" `Quick
+           test_quality_suspect_on_starved_deck ]);
       ("ac-plan",
        [ Alcotest.test_case "backends agree on shipped deck" `Quick
            test_all_nodes_backends_agree;

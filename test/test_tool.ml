@@ -321,6 +321,180 @@ let test_diagnostics_guard () =
     let text = Tool.Diagnostics.to_text r in
     Alcotest.(check bool) "session summarised" true (contains text "x=1")
 
+(* ---------- sha256 ---------- *)
+
+let test_sha256_vectors () =
+  (* FIPS 180-4 test vectors. *)
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Tool.Sha256.digest "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Tool.Sha256.digest "abc");
+  Alcotest.(check string) "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Tool.Sha256.digest
+       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  Alcotest.(check string) "million a's prefix (1000 a's)"
+    (Tool.Sha256.digest (String.make 1000 'a'))
+    (Tool.Sha256.digest (String.concat "" [ String.make 500 'a';
+                                            String.make 500 'a' ]))
+
+(* ---------- json ---------- *)
+
+let test_json_roundtrip () =
+  let open Tool.Json in
+  let doc =
+    Obj
+      [ ("s", Str "he\"llo\n"); ("n", Num 1.5); ("i", Num 42.);
+        ("t", Bool true); ("z", Null);
+        ("a", Arr [ Num 1.; Num (-2.5e-3); Str "x" ]) ]
+  in
+  match of_string (to_string doc) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok back ->
+    Alcotest.(check bool) "roundtrip equal" true (back = doc);
+    (match member "a" back with
+     | Some (Arr l) -> Alcotest.(check int) "array length" 3 (List.length l)
+     | _ -> Alcotest.fail "member lookup");
+    check_close "float accessor" 1.5
+      (Option.get (Option.bind (member "n" back) to_float))
+
+let test_json_errors () =
+  let bad s =
+    match Tool.Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "truncated" true (bad "{\"a\": 1");
+  Alcotest.(check bool) "trailing garbage" true (bad "1 2");
+  Alcotest.(check bool) "bare word" true (bad "nope");
+  Alcotest.(check bool) "non-finite rendered as null" true
+    (Tool.Json.to_string (Tool.Json.Num Float.nan) = "null")
+
+(* ---------- manifests ---------- *)
+
+let ladder_results () =
+  let options =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e6 10 }
+  in
+  Stability.Analysis.all_nodes ~options (Workloads.Ladder.rc ~sections:4 ())
+
+let build_manifest results =
+  Tool.Manifest.build ~deck_file:"ladder.sp"
+    ~deck_text:"* rc ladder deck text\n" ~circ:(Workloads.Ladder.rc ~sections:4 ())
+    ~options:[ ("mode", "all-nodes") ] ~results ~wall_s:0.25 ~cpu_s:0.5 ()
+
+let test_manifest_roundtrip () =
+  let m = build_manifest (ladder_results ()) in
+  Alcotest.(check string) "deck hash matches digest"
+    (Tool.Sha256.digest "* rc ladder deck text\n") m.Tool.Manifest.deck_sha256;
+  Alcotest.(check bool) "has nodes" true
+    (List.length m.Tool.Manifest.nodes > 0);
+  match Tool.Manifest.of_json_string (Tool.Manifest.to_json m) with
+  | Error e -> Alcotest.failf "manifest did not reload: %s" e
+  | Ok back ->
+    Alcotest.(check string) "deck file" m.Tool.Manifest.deck_file
+      back.Tool.Manifest.deck_file;
+    Alcotest.(check string) "sha" m.Tool.Manifest.deck_sha256
+      back.Tool.Manifest.deck_sha256;
+    Alcotest.(check int) "node count"
+      (List.length m.Tool.Manifest.nodes)
+      (List.length back.Tool.Manifest.nodes);
+    List.iter2
+      (fun (a : Tool.Manifest.node_entry) (b : Tool.Manifest.node_entry) ->
+        Alcotest.(check string) "node name" a.node b.node;
+        Alcotest.(check string) "quality" a.quality b.quality;
+        match (a.f_n, b.f_n) with
+        | Some x, Some y -> check_close ~tol:1e-12 ("f_n " ^ a.node) x y
+        | None, None -> ()
+        | _ -> Alcotest.failf "f_n presence mismatch on %s" a.node)
+      m.Tool.Manifest.nodes back.Tool.Manifest.nodes;
+    Alcotest.(check (list string)) "histogram names"
+      (List.map fst m.Tool.Manifest.histograms)
+      (List.map fst back.Tool.Manifest.histograms)
+
+(* Replace the first occurrence of [sub] in [s] with [by]. *)
+let replace_once s sub by =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+    String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let test_manifest_diff () =
+  let results = ladder_results () in
+  let a = build_manifest results in
+  Alcotest.(check int) "self-diff is empty" 0
+    (List.length (Tool.Manifest.diff a a));
+  (* Perturb one node's f_n beyond tolerance: must surface as Shifted. *)
+  let perturb (e : Tool.Manifest.node_entry) =
+    match e.f_n with
+    | Some f when e.node = "n2" ->
+      { e with Tool.Manifest.f_n = Some (f *. 1.01) }
+    | _ -> e
+  in
+  let b = { a with Tool.Manifest.nodes = List.map perturb a.nodes } in
+  let changes = Tool.Manifest.diff a b in
+  Alcotest.(check bool) "perturbation detected" true
+    (List.exists
+       (function
+         | Tool.Manifest.Shifted { node = "n2"; field = "f_n"; _ } -> true
+         | _ -> false)
+       changes);
+  (* Within tolerance: no change. *)
+  let tiny (e : Tool.Manifest.node_entry) =
+    { e with Tool.Manifest.f_n = Option.map (fun f -> f *. (1. +. 1e-5)) e.f_n }
+  in
+  let c = { a with Tool.Manifest.nodes = List.map tiny a.nodes } in
+  Alcotest.(check int) "sub-tolerance drift ignored" 0
+    (List.length (Tool.Manifest.diff a c));
+  (* Quality downgrade is a change; upgrade is not. *)
+  let degrade (e : Tool.Manifest.node_entry) =
+    if e.node = "n1" then { e with Tool.Manifest.quality = "suspect" } else e
+  in
+  let d = { a with Tool.Manifest.nodes = List.map degrade a.nodes } in
+  Alcotest.(check bool) "downgrade detected" true
+    (List.exists
+       (function
+         | Tool.Manifest.Downgraded { node = "n1"; to_ = "suspect"; _ } -> true
+         | _ -> false)
+       (Tool.Manifest.diff a d));
+  Alcotest.(check int) "upgrade is not a change" 0
+    (List.length (Tool.Manifest.diff d a));
+  (* A node losing its dominant peak must surface as Removed_peak. *)
+  let strip (e : Tool.Manifest.node_entry) =
+    if e.node = "n3" then
+      { e with Tool.Manifest.f_n = None; zeta = None;
+               phase_margin_deg = None; peak = None }
+    else e
+  in
+  let s = { a with Tool.Manifest.nodes = List.map strip a.nodes } in
+  Alcotest.(check bool) "removed peak detected" true
+    (List.exists
+       (function
+         | Tool.Manifest.Removed_peak "n3" -> true
+         | _ -> false)
+       (Tool.Manifest.diff a s))
+
+let test_manifest_load_errors () =
+  Alcotest.(check bool) "not json" true
+    (Result.is_error (Tool.Manifest.of_json_string "not json"));
+  let json = Tool.Manifest.to_json (build_manifest (ladder_results ())) in
+  Alcotest.(check bool) "wrong schema rejected" true
+    (Result.is_error
+       (Tool.Manifest.of_json_string
+          (replace_once json Tool.Manifest.schema_version
+             "acstab-manifest/99")));
+  Alcotest.(check bool) "unknown quality grade rejected" true
+    (Result.is_error
+       (Tool.Manifest.of_json_string
+          (replace_once json "\"quality\":\"good\"" "\"quality\":\"amazing\"")))
+
 let () =
   Alcotest.run "tool"
     [ ("session",
@@ -355,4 +529,15 @@ let () =
          Alcotest.test_case "across" `Quick test_corners_across;
          Alcotest.test_case "temp sweep" `Quick test_temp_sweep ]);
       ("diagnostics",
-       [ Alcotest.test_case "guard" `Quick test_diagnostics_guard ]) ]
+       [ Alcotest.test_case "guard" `Quick test_diagnostics_guard ]);
+      ("sha256",
+       [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors ]);
+      ("json",
+       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+         Alcotest.test_case "errors" `Quick test_json_errors ]);
+      ("manifest",
+       [ Alcotest.test_case "build/load roundtrip" `Quick
+           test_manifest_roundtrip;
+         Alcotest.test_case "diff semantics" `Quick test_manifest_diff;
+         Alcotest.test_case "load errors" `Quick
+           test_manifest_load_errors ]) ]
