@@ -15,17 +15,13 @@ let setup_logs level =
 let log_term =
   Term.(const setup_logs $ Logs_cli.level ())
 
-let read_circuit path =
-  try Obs.Span.with_ "parse" (fun () -> Circuit.Parser.parse_file path)
-  with
-  | Circuit.Parser.Parse_error { line; message } ->
-    Printf.eprintf "%s:%d: %s\n" path line message;
-    exit 2
-  | Sys_error m ->
-    Printf.eprintf "%s\n" m;
-    exit 2
+(* ---- Tool.Pipeline adapters ----
 
-(* ---- lint gate ---- *)
+   Every analysis subcommand is a thin shell over [Tool.Pipeline]: the
+   pipeline owns parse, lint gate, guard and manifest emission; the
+   adapters below only translate its failure values back into the
+   CLI's historical stderr text and exit codes (2 parse/usage, 3
+   analysis, 4 lint gate). *)
 
 type lint_opts = { no_lint : bool; strict : bool }
 
@@ -44,71 +40,68 @@ let lint_term =
   Term.(const (fun no_lint strict -> { no_lint; strict })
         $ no_lint $ strict)
 
+let policy_of { no_lint; strict } = { Tool.Pipeline.no_lint; strict }
+
 let print_findings ?file out findings =
   List.iter
     (fun f -> Format.fprintf out "%a@." (Lint.Rule.pp_finding ?file) f)
     findings
 
-(* Pre-flight check run by every analysis mode. Lint errors (and, under
-   --strict, warnings) block the run with exit code 4 — distinct from
-   parse errors (2) and analysis failures (3). *)
-let lint_gate opts ~file circ =
-  if not opts.no_lint then begin
-    let findings = Obs.Span.with_ "lint" (fun () -> Lint.Runner.run circ) in
-    print_findings ~file Format.err_formatter findings;
-    let blocking (f : Lint.Rule.finding) =
-      match f.severity with
-      | Lint.Rule.Error -> true
-      | Lint.Rule.Warning -> opts.strict
-      | Lint.Rule.Info -> false
-    in
-    if List.exists blocking findings then begin
-      Printf.eprintf
-        "lint: blocking findings above; fix the netlist or pass \
-         --no-lint to force the run\n";
-      exit 4
-    end
-  end
+(* Print a pipeline failure exactly as the pre-pipeline CLI did, then
+   exit with its code. Lint blocks print the gate's findings; analysis
+   failures print the lint findings that predicted them (no file
+   prefix, matching the old report_singular). *)
+let fail_run ~file (failure : Tool.Pipeline.failure) =
+  (match failure with
+   | Tool.Pipeline.Lint_blocked { findings } ->
+     print_findings ~file Format.err_formatter findings;
+     Printf.eprintf
+       "lint: blocking findings above; fix the netlist or pass \
+        --no-lint to force the run\n"
+   | Tool.Pipeline.Analysis_failed { message; likely_cause } ->
+     Printf.eprintf "%s\n" message;
+     (match likely_cause with
+      | [] -> ()
+      | findings ->
+        Printf.eprintf "likely cause:\n";
+        print_findings Format.err_formatter findings)
+   | Tool.Pipeline.Parse_failed { message }
+   | Tool.Pipeline.Usage_failed { message } ->
+     Printf.eprintf "%s\n" message);
+  exit (Tool.Pipeline.exit_code failure)
 
-(* Translate a Singular exception into the lint findings that predicted
-   it, so the user sees net/branch names instead of a matrix index. *)
-let report_singular ~what circ index =
-  (match Engine.Mna.compile circ with
-   | mna ->
-     Printf.eprintf "%s: singular matrix at %s\n" what
-       (Engine.Mna.unknown_name mna index)
-   | exception _ ->
-     Printf.eprintf "%s: singular matrix (pivot %d)\n" what index);
-  match Lint.Runner.explain_singular ~index circ with
-  | [] -> ()
-  | findings ->
-    Printf.eprintf "likely cause:\n";
-    print_findings Format.err_formatter findings
+(* Parse + lint-gate a deck. Non-blocking findings still print to
+   stderr — the gate is also a reporter. *)
+let load_deck lint file =
+  match
+    Tool.Pipeline.load ~policy:(policy_of lint) (Tool.Pipeline.Deck_file file)
+  with
+  | Ok loaded ->
+    if not lint.no_lint then
+      print_findings ~file Format.err_formatter loaded.Tool.Pipeline.findings;
+    loaded
+  | Error failure -> fail_run ~file failure
 
-let handle_analysis_errors circ f =
-  try f () with
-  | Engine.Dcop.No_convergence m ->
-    Printf.eprintf "DC convergence failure: %s\n" m;
-    (match Lint.Runner.explain_singular circ with
-     | [] -> ()
-     | findings ->
-       Printf.eprintf "likely cause:\n";
-       print_findings Format.err_formatter findings);
-    exit 3
-  | Numerics.Dense.Singular k ->
-    report_singular ~what:"dense factorization failed" circ k;
-    exit 3
-  | Numerics.Sparse.Singular k ->
-    report_singular ~what:"sparse factorization failed" circ k;
-    exit 3
-  | Engine.Mna.Compile_error m ->
-    Printf.eprintf "elaboration error: %s\n" m;
-    exit 2
-  | Invalid_argument m ->
-    (* Unknown or ground nets (Ac.v, Probe.response_many) are user
-       input errors, not internal failures. *)
-    Printf.eprintf "error: %s\n" m;
-    exit 2
+(* Parse only (the lint and check subcommands run no gate). *)
+let read_circuit path =
+  match
+    Tool.Pipeline.load
+      ~policy:{ Tool.Pipeline.no_lint = true; strict = false }
+      (Tool.Pipeline.Deck_file path)
+  with
+  | Ok loaded -> loaded.Tool.Pipeline.circ
+  | Error failure -> fail_run ~file:path failure
+
+let guarded loaded f =
+  match Tool.Pipeline.guard loaded f with
+  | Ok v -> v
+  | Error failure -> fail_run ~file:loaded.Tool.Pipeline.deck_name failure
+
+(* The cached stability run; failures render like any guarded call. *)
+let analyze ?options loaded what =
+  match Tool.Pipeline.analyze ?options loaded what with
+  | Ok outcome -> outcome
+  | Error failure -> fail_run ~file:loaded.Tool.Pipeline.deck_name failure
 
 (* ---- common arguments ---- *)
 
@@ -225,28 +218,6 @@ let manifest_arg =
                  histogram summaries, timing) as JSON to $(docv); \
                  compare two with $(b,acstab diff).")
 
-let cpu_seconds () =
-  let t = Unix.times () in
-  t.Unix.tms_utime +. t.Unix.tms_stime
-
-(* Build and write the manifest for an analysis run. The lint findings
-   go in as the lint library's JSON report (the manifest layer embeds,
-   it does not link the linter). *)
-let write_manifest ~file ~circ ~options ~results ~wall_s ~cpu_s path =
-  let deck_text = In_channel.with_open_bin file In_channel.input_all in
-  let lint_json = Lint.Json.report ~file (Lint.Runner.run circ) in
-  let m =
-    Tool.Manifest.build ~deck_file:file ~deck_text ~circ ~options ~lint_json
-      ~results ~wall_s ~cpu_s ()
-  in
-  Tool.Manifest.write path m
-
-let sweep_options fmin fmax ppd =
-  [ ("fmin", Printf.sprintf "%g" fmin);
-    ("fmax", Printf.sprintf "%g" fmax);
-    ("ppd", string_of_int ppd);
-    ("health_sample", string_of_int (Engine.Health.sample_every ())) ]
-
 (* Tri-state parallel selector: the default Auto heuristic parallelises
    when the workload's volume warrants the pool; the flags force it. *)
 let par_term =
@@ -274,26 +245,22 @@ let single_node_cmd =
   in
   let run () () () () lint file node fmin fmax ppd plot html manifest
       parallel =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
-    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
-    let r = Stability.Analysis.single_node ~options circ node in
-    let wall_s = Unix.gettimeofday () -. w0
-    and cpu_s = cpu_seconds () -. c0 in
+    let o = analyze ~options loaded (Tool.Pipeline.Single_node node) in
+    let r = List.hd o.Tool.Pipeline.results in
     Stability.Report.single_node Format.std_formatter r;
-    if plot then Stability.Stability_plot.pp Format.std_formatter r.plot;
+    if plot then
+      Stability.Stability_plot.pp Format.std_formatter
+        r.Stability.Analysis.plot;
     Option.iter
       (fun path ->
-        Tool.Html_report.write path (Tool.Html_report.single_node circ r))
+        Tool.Html_report.write path
+          (Tool.Html_report.single_node loaded.Tool.Pipeline.circ r))
       html;
     Option.iter
-      (write_manifest ~file ~circ
-         ~options:(("mode", "single-node") :: ("node", node)
-                   :: sweep_options fmin fmax ppd)
-         ~results:[ r ] ~wall_s ~cpu_s)
+      (fun path -> Tool.Manifest.write path o.Tool.Pipeline.manifest)
       manifest
   in
   Cmd.v
@@ -320,15 +287,12 @@ let all_nodes_cmd =
   in
   let run () () () () lint file fmin fmax ppd nodes annotate html manifest
       parallel =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
-    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
-    let results = Stability.Analysis.all_nodes ~options ?nodes circ in
-    let wall_s = Unix.gettimeofday () -. w0
-    and cpu_s = cpu_seconds () -. c0 in
+    let o = analyze ~options loaded (Tool.Pipeline.All_nodes nodes) in
+    let results = o.Tool.Pipeline.results in
+    let circ = loaded.Tool.Pipeline.circ in
     Stability.Report.all_nodes Format.std_formatter results;
     if annotate then
       Stability.Annotate.netlist Format.std_formatter circ results;
@@ -337,9 +301,7 @@ let all_nodes_cmd =
         Tool.Html_report.write path (Tool.Html_report.all_nodes circ results))
       html;
     Option.iter
-      (write_manifest ~file ~circ
-         ~options:(("mode", "all-nodes") :: sweep_options fmin fmax ppd)
-         ~results ~wall_s ~cpu_s)
+      (fun path -> Tool.Manifest.write path o.Tool.Pipeline.manifest)
       manifest
   in
   Cmd.v
@@ -355,9 +317,9 @@ let all_nodes_cmd =
 
 let run_cmd =
   let run () () () lint file manifest =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let s = Tool.Ocean.simulator "builtin" in
     Tool.Ocean.design s circ;
     (* Directive-driven runs are the "push-button" mode; failures here
@@ -368,22 +330,19 @@ let run_cmd =
         (fun f -> Format.asprintf "%a" (Lint.Rule.pp_finding ~file) f)
         (Lint.Runner.run circ)
     in
-    let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
-    (* On a crash the diagnostic report embeds a results-free manifest:
-       the deck fingerprint, options and counter/histogram state still
-       travel with the error. *)
-    let crash_manifest () =
-      let deck_text = In_channel.with_open_bin file In_channel.input_all in
-      Tool.Manifest.to_json
-        (Tool.Manifest.build ~deck_file:file ~deck_text ~circ
-           ~options:[ ("mode", "run") ] ~results:[]
-           ~wall_s:(Unix.gettimeofday () -. w0)
-           ~cpu_s:(cpu_seconds () -. c0) ())
+    let w0 = Unix.gettimeofday () and c0 = Tool.Pipeline.cpu_seconds () in
+    (* One manifest helper serves the crash report (results-free: the
+       deck fingerprint, options and counter/histogram state still
+       travel with the error) and the success path. *)
+    let manifest_now results =
+      Tool.Pipeline.manifest_of loaded ~options:[ ("mode", "run") ] ~results
+        ~wall_s:(Unix.gettimeofday () -. w0)
+        ~cpu_s:(Tool.Pipeline.cpu_seconds () -. c0)
     in
     let r =
       match
         Tool.Diagnostics.guard ~operation:("run " ^ file) ~findings
-          ~manifest:crash_manifest
+          ~manifest:(fun () -> Tool.Manifest.to_json (manifest_now []))
           (fun () -> Tool.Ocean.run s)
       with
       | Ok r -> r
@@ -392,10 +351,7 @@ let run_cmd =
         exit 3
     in
     Option.iter
-      (write_manifest ~file ~circ ~options:[ ("mode", "run") ]
-         ~results:r.Tool.Ocean.stab
-         ~wall_s:(Unix.gettimeofday () -. w0)
-         ~cpu_s:(cpu_seconds () -. c0))
+      (fun path -> Tool.Manifest.write path (manifest_now r.Tool.Ocean.stab))
       manifest;
     (match r.Tool.Ocean.op with
      | Some op -> Engine.Dcop.pp_report Format.std_formatter op
@@ -426,9 +382,9 @@ let run_cmd =
 
 let probe_cmd =
   let run () () lint file node fmin fmax ppd csv =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let probe = Stability.Probe.prepare circ in
     let w =
       Stability.Probe.response probe ~sweep:(sweep_of fmin fmax ppd) node
@@ -458,9 +414,9 @@ let probe_cmd =
 
 let op_cmd =
   let run () lint file =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let op = Engine.Dcop.solve (Engine.Mna.compile circ) in
     Engine.Dcop.pp_report Format.std_formatter op
   in
@@ -471,9 +427,9 @@ let op_cmd =
 
 let ac_cmd =
   let run () lint file node fmin fmax ppd csv =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let ac = Engine.Ac.run ~sweep:(sweep_of fmin fmax ppd) circ in
     let w = Engine.Ac.v ac node in
     let db = Engine.Waveform.Freq.db w in
@@ -504,9 +460,9 @@ let tran_cmd =
          & info [ "tstep" ] ~docv:"S" ~doc:"Nominal time step.")
   in
   let run () lint file node tstop tstep csv =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let tr = Engine.Transient.run ~tstop ~tstep circ in
     let w = Engine.Transient.v tr node in
     Option.iter
@@ -548,9 +504,9 @@ let loopgain_cmd =
          & info [ "method" ] ~doc:"lc (classic LC break) or middlebrook.")
   in
   let run () lint file device terminal meth fmin fmax ppd =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let sweep = sweep_of fmin fmax ppd in
     let r =
       match meth with
@@ -570,9 +526,9 @@ let loopgain_cmd =
 
 let poles_cmd =
   let run () lint file =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let poles = Engine.Poles.of_circuit circ in
     Printf.printf "%d finite poles; system is %s
 " (List.length poles)
@@ -600,9 +556,9 @@ let noise_cmd =
              ~doc:"Print the contribution breakdown at this frequency                    (default: the PSD maximum).")
   in
   let run () lint file node fmin fmax ppd at =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let r =
       Engine.Noise.run ~sweep:(sweep_of fmin fmax ppd) ~output:node circ
     in
@@ -632,9 +588,9 @@ let noise_cmd =
 
 let sensitivity_cmd =
   let run () lint file node fmin fmax ppd =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let options = options_of fmin fmax ppd in
     (try
        let entries = Stability.Sensitivity.of_loop ~options circ ~node in
@@ -676,9 +632,9 @@ let stab_track_cmd =
   in
   let run () lint file node device from_v to_v points zeta_target fmin fmax
       ppd =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let options = options_of fmin fmax ppd in
     let values =
       (* Log spacing when the endpoints allow it (component values). *)
@@ -725,9 +681,9 @@ let dcsweep_cmd =
     Arg.(value & opt int 51 & info [ "points" ] ~docv:"N" ~doc:"Steps.")
   in
   let run () lint file node source from_v to_v points csv =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let values = Numerics.Vec.linspace from_v to_v points in
     let r = Engine.Dcsweep.source circ ~name:source ~values in
     let w = Engine.Dcsweep.v r node in
@@ -764,9 +720,9 @@ let montecarlo_cmd =
              ~doc:"Relative sigma on every R/C/L value.")
   in
   let run () () () lint file node n seed sigma parallel =
-    let circ = read_circuit file in
-    lint_gate lint ~file circ;
-    handle_analysis_errors circ @@ fun () ->
+    let loaded = load_deck lint file in
+    let circ = loaded.Tool.Pipeline.circ in
+    guarded loaded @@ fun () ->
     let spec =
       { Tool.Montecarlo.default_spec with passive_sigma = sigma }
     in
@@ -894,7 +850,15 @@ let diff_cmd =
          & info [ "rtol-zeta" ] ~docv:"REL"
              ~doc:"Relative tolerance on damping ratios.")
   in
-  let run () a_path b_path rtol_fn rtol_zeta =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the comparison as one machine-readable JSON \
+                   object (schema acstab-diff/1) on stdout instead of \
+                   the human-readable change list. The exit-code \
+                   contract is unchanged: 0 agree, 5 regressions.")
+  in
+  let run () a_path b_path rtol_fn rtol_zeta json =
     let load path =
       match Tool.Manifest.load path with
       | Ok m -> m
@@ -907,21 +871,26 @@ let diff_cmd =
       Printf.eprintf
         "note: manifests fingerprint different decks (%s vs %s)\n"
         a.Tool.Manifest.deck_file b.Tool.Manifest.deck_file;
-    match
-      Tool.Manifest.diff ~options:{ rtol_fn; rtol_zeta } a b
-    with
-    | [] ->
-      Printf.printf "manifests agree: %d node(s) within tolerance\n"
-        (List.length a.Tool.Manifest.nodes)
-    | changes ->
-      List.iter
-        (fun c -> Format.printf "%a@." Tool.Manifest.pp_change c)
-        changes;
-      Printf.printf "%d regression(s)\n" (List.length changes);
-      (* Exit 5: regression found — distinct from parse/usage errors
-         (2), analysis failures (3) and the lint gate (4), so CI can
-         tell "the run changed" from "the run broke". *)
-      exit 5
+    let changes = Tool.Manifest.diff ~options:{ rtol_fn; rtol_zeta } a b in
+    if json then begin
+      print_endline
+        (Tool.Json.to_string (Tool.Manifest.diff_json ~a ~b changes));
+      if changes <> [] then exit 5
+    end
+    else
+      match changes with
+      | [] ->
+        Printf.printf "manifests agree: %d node(s) within tolerance\n"
+          (List.length a.Tool.Manifest.nodes)
+      | changes ->
+        List.iter
+          (fun c -> Format.printf "%a@." Tool.Manifest.pp_change c)
+          changes;
+        Printf.printf "%d regression(s)\n" (List.length changes);
+        (* Exit 5: regression found — distinct from parse/usage errors
+           (2), analysis failures (3) and the lint gate (4), so CI can
+           tell "the run changed" from "the run broke". *)
+        exit 5
   in
   Cmd.v
     (Cmd.info "diff"
@@ -931,7 +900,42 @@ let diff_cmd =
     Term.(const run $ log_term
           $ manifest_pos 0 "Reference manifest (A)."
           $ manifest_pos 1 "Candidate manifest (B)."
-          $ rtol_fn $ rtol_zeta)
+          $ rtol_fn $ rtol_zeta $ json)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (a stale socket file \
+                   left by a dead daemon is replaced).")
+  in
+  let capacity =
+    Arg.(value & opt int Tool.Cache.default_capacity
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Entries kept per cache family (operating points, \
+                   solve plans, result sets) before LRU eviction.")
+  in
+  let run () () () socket capacity =
+    match Tool.Server.serve ~capacity ~socket () with
+    | () -> ()
+    | exception Failure m ->
+      Printf.eprintf "%s\n" m;
+      exit 2
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "%s: %s (%s)\n" fn (Unix.error_message e) arg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident analysis daemon: newline-delimited JSON \
+             requests over a Unix socket, analyzed through the shared \
+             pipeline and answered from a fingerprint-keyed cache (a \
+             warm request re-solves nothing). See the manual's serve \
+             section for the protocol.")
+    Term.(const run $ log_term $ jobs_term $ health_term $ socket
+          $ capacity)
 
 (* ---- export-builtin ---- *)
 
@@ -963,10 +967,19 @@ let export_cmd =
 let demo_cmd =
   let run () =
     let circ = Workloads.Opamp_2mhz.buffer () in
-    handle_analysis_errors circ @@ fun () ->
+    let loaded =
+      match
+        Tool.Pipeline.load
+          ~policy:{ Tool.Pipeline.no_lint = true; strict = false }
+          (Tool.Pipeline.Deck_circuit { name = "opamp_2mhz_buffer"; circ })
+      with
+      | Ok l -> l
+      | Error failure -> fail_run ~file:"opamp_2mhz_buffer" failure
+    in
+    guarded loaded @@ fun () ->
     print_endline "# The paper's 2 MHz op-amp buffer (Fig 1), all-nodes run:";
-    let results = Stability.Analysis.all_nodes circ in
-    Stability.Report.all_nodes Format.std_formatter results;
+    let o = analyze loaded (Tool.Pipeline.All_nodes None) in
+    Stability.Report.all_nodes Format.std_formatter o.Tool.Pipeline.results;
     let dev, term = Workloads.Opamp_2mhz.feedback_break in
     let sweep = Numerics.Sweep.decade 1e3 1e9 40 in
     let lg = Engine.Loopgain.middlebrook ~sweep circ ~device:dev
@@ -988,7 +1001,7 @@ let main =
       tran_cmd;
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
-      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; diff_cmd; export_cmd;
-      demo_cmd ]
+      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; diff_cmd; serve_cmd;
+      export_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

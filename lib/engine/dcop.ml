@@ -31,6 +31,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let n_gmin_fallback = Obs.Counter.make "dcop.fallback_gmin"
 let n_source_fallback = Obs.Counter.make "dcop.fallback_source"
 
+(* Every public operating-point solve, fallbacks or not. The cache layer
+   ([Tool.Cache]) asserts this stays flat across warm requests: a cache
+   hit must not re-solve DC. *)
+let n_solves = Obs.Counter.make "dcop.solves"
+
 let converged opts ~n_nodes x_old x_new =
   let ok = ref true in
   Array.iteri
@@ -162,6 +167,7 @@ let circuit_options circ =
     max_step = o "maxstep" ~default:default_options.max_step }
 
 let solve ?options ?x0 ?force_strategy mna =
+  Obs.Counter.incr n_solves;
   let options =
     match options with
     | Some o -> o

@@ -32,7 +32,11 @@ val solve :
     [.options] card (gmin, reltol, vntol, abstol, itl1, maxstep) refines
     the defaults. [force_strategy] skips the earlier rungs of the homotopy
     ladder (used to exercise and test the fallback paths). Raises
-    {!No_convergence} when every strategy fails. *)
+    {!No_convergence} when every strategy fails.
+
+    Every call increments the [dcop.solves] {!Obs.Counter} — the
+    operating-point cache ([Tool.Cache]) asserts the counter stays flat
+    across warm requests. *)
 
 val circuit_options : Circuit.Netlist.t -> options
 

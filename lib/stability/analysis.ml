@@ -302,8 +302,10 @@ let analyze_node opts ?plan ?health probe node response =
           an ideal source?)"
          node)
 
-let single_node_prepared ?(options = default_options) probe node =
-  let plan = shared_plan options probe in
+let single_node_prepared ?(options = default_options) ?plan probe node =
+  let plan =
+    match plan with Some _ as p -> p | None -> shared_plan options probe
+  in
   let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
   let w =
@@ -316,14 +318,16 @@ let single_node_prepared ?(options = default_options) probe node =
   Obs.Span.leave "analysis.coarse" ~args:[ ("nets", 1) ] t0;
   analyze_node options ?plan ~health probe node w
 
-let all_nodes_prepared ?(options = default_options) ?nodes probe =
+let all_nodes_prepared ?(options = default_options) ?nodes ?plan probe =
   let all =
     match nodes with
     | Some ns -> ns
     | None ->
       Array.to_list (Circuit.Topology.nodes probe.Probe.mna.Engine.Mna.topo)
   in
-  let plan = shared_plan options probe in
+  let plan =
+    match plan with Some _ as p -> p | None -> shared_plan options probe
+  in
   let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
   let responses =

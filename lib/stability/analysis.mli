@@ -89,9 +89,20 @@ val all_nodes :
     Results come back in net-name order. *)
 
 val single_node_prepared :
-  ?options:options -> Probe.t -> Circuit.Netlist.node -> node_result
-(** As {!single_node} with a pre-computed operating point. *)
+  ?options:options -> ?plan:Engine.Ac_plan.t -> Probe.t ->
+  Circuit.Netlist.node -> node_result
+(** As {!single_node} with a pre-computed operating point. [plan] hands
+    in an already-compiled solve plan (see {!shared_plan}) so a caller
+    holding one — the fingerprint-keyed [Tool.Cache] across repeated
+    requests on the same deck — pays zero further symbolic analyses. *)
 
 val all_nodes_prepared :
-  ?options:options -> ?nodes:Circuit.Netlist.node list -> Probe.t ->
-  node_result list
+  ?options:options -> ?nodes:Circuit.Netlist.node list ->
+  ?plan:Engine.Ac_plan.t -> Probe.t -> node_result list
+
+val shared_plan : options -> Probe.t -> Engine.Ac_plan.t option
+(** The plan a run mode would compile for these options: [Some] exactly
+    when the configured backend is plan-backed ([`Plan], [`Sparse], or
+    [`Auto] above {!Engine.Ac_plan.dense_cutoff} unknowns), [None] on
+    the dense paths. Compiling costs one symbolic analysis; the result
+    is valid for any sweep of the same prepared circuit. *)

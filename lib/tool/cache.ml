@@ -1,0 +1,142 @@
+(* Fingerprint-keyed memoization of the expensive pipeline stages.
+
+   The paper's tool is a resident environment: a designer's session
+   re-runs the same analysis many times with small edits, so the
+   operating point, the compiled solve plan and whole result sets are
+   worth keeping between requests. Keys are strings built by
+   [Pipeline] from the deck's SHA-256 fingerprint plus the options in
+   force — an edited deck or a changed option is a different key, which
+   is all the invalidation a content-addressed cache needs.
+
+   Three families, one per pipeline stage:
+   - [op]     : prepared probes (MNA compile + DC operating point)
+   - [plan]   : compiled {!Engine.Ac_plan} symbolic analyses ([None]
+                when the options select a dense backend)
+   - [result] : full analysis outcomes (node results + run manifest)
+
+   Every family feeds always-on {!Obs.Counter}s ([cache.<family>.hits]
+   / [.misses] / [.evictions]) so traces, [--metrics] and the serve
+   daemon's counters command expose cache behaviour, and tests assert
+   it. Lookups are mutex-protected (the serve daemon calls in from
+   [Parallel.Pool] workers); the compute thunk itself runs outside the
+   lock, so two simultaneous cold requests for the same key may both
+   compute — the second insert wins, which is harmless because values
+   of the same key are equivalent. *)
+
+type 'a slot = {
+  value : 'a;
+  mutable last_used : int;  (* generation stamp for LRU eviction *)
+}
+
+type 'a family = {
+  fname : string;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  evictions : Obs.Counter.t;
+  table : (string, 'a slot) Hashtbl.t;
+}
+
+type result_entry = {
+  results : Stability.Analysis.node_result list;
+  manifest : Manifest.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  capacity : int;
+  mutable tick : int;
+  ops : Stability.Probe.t family;
+  plans : Engine.Ac_plan.t option family;
+  results : result_entry family;
+}
+
+let family fname =
+  { fname;
+    hits = Obs.Counter.make (Printf.sprintf "cache.%s.hits" fname);
+    misses = Obs.Counter.make (Printf.sprintf "cache.%s.misses" fname);
+    evictions = Obs.Counter.make (Printf.sprintf "cache.%s.evictions" fname);
+    table = Hashtbl.create 16 }
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  { mutex = Mutex.create ();
+    capacity = max 1 capacity;
+    tick = 0;
+    ops = family "op";
+    plans = family "plan";
+    results = family "result" }
+
+let the_global = lazy (create ())
+let global () = Lazy.force the_global
+
+let locked c f =
+  Mutex.lock c.mutex;
+  match f () with
+  | v -> Mutex.unlock c.mutex; v
+  | exception e -> Mutex.unlock c.mutex; raise e
+
+let stamp c = c.tick <- c.tick + 1; c.tick
+
+(* Evict the least-recently-used slot once a family exceeds the
+   capacity. Linear scan: capacities are tens of entries, and eviction
+   only runs on insert. *)
+let evict_lru c fam =
+  if Hashtbl.length fam.table > c.capacity then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k s ->
+        match !victim with
+        | Some (_, age) when age <= s.last_used -> ()
+        | _ -> victim := Some (k, s.last_used))
+      fam.table;
+    match !victim with
+    | Some (k, _) ->
+      Hashtbl.remove fam.table k;
+      Obs.Counter.incr fam.evictions
+    | None -> ()
+  end
+
+let find c fam key =
+  locked c (fun () ->
+      match Hashtbl.find_opt fam.table key with
+      | Some slot ->
+        slot.last_used <- stamp c;
+        Obs.Counter.incr fam.hits;
+        Some slot.value
+      | None ->
+        Obs.Counter.incr fam.misses;
+        None)
+
+let insert c fam key value =
+  locked c (fun () ->
+      Hashtbl.replace fam.table key { value; last_used = stamp c };
+      evict_lru c fam)
+
+let memo c fam ~key compute =
+  match find c fam key with
+  | Some v -> (v, true)
+  | None ->
+    let v = compute () in
+    insert c fam key v;
+    (v, false)
+
+let op c ~key compute = memo c c.ops ~key compute
+let plan c ~key compute = memo c c.plans ~key compute
+let result c ~key compute = memo c c.results ~key compute
+
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.ops.table;
+      Hashtbl.reset c.plans.table;
+      Hashtbl.reset c.results.table)
+
+let family_stat (fam : _ family) =
+  (fam.fname,
+   Hashtbl.length fam.table,
+   Obs.Counter.value fam.hits,
+   Obs.Counter.value fam.misses)
+
+let stats c =
+  locked c (fun () ->
+      [ family_stat c.ops; family_stat c.plans; family_stat c.results ])

@@ -1,0 +1,66 @@
+(** Fingerprint-keyed caching of the analysis pipeline's expensive
+    stages.
+
+    Keys are opaque strings built by {!Pipeline} from the deck's
+    SHA-256 fingerprint plus the options in force, so an edited deck or
+    a changed option is simply a different key — content addressing is
+    the whole invalidation story. Three families are memoized
+    independently: prepared probes (MNA compile + DC operating point),
+    compiled {!Engine.Ac_plan} symbolic analyses, and complete result
+    sets with their run manifests. A warm [result] hit therefore costs
+    zero DC solves and zero symbolic analyses — the serve smoke test
+    asserts exactly that from the [dcop.solves] / [acplan.symbolic]
+    counters.
+
+    Hit/miss/eviction telemetry flows through always-on
+    {!Obs.Counter}s: [cache.op.hits], [cache.op.misses],
+    [cache.op.evictions], and likewise for the [plan] and [result]
+    families.
+
+    All operations are safe to call concurrently (the serve daemon
+    calls in from {!Parallel.Pool} workers). The compute thunk runs
+    outside the lock: two simultaneous cold requests for one key may
+    both compute, and the later insert wins — equivalent values, so
+    only duplicated work, never a wrong answer. *)
+
+type t
+
+type result_entry = {
+  results : Stability.Analysis.node_result list;
+  manifest : Manifest.t;
+}
+
+val default_capacity : int
+(** Per-family LRU capacity when [create] is not told otherwise (64). *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh cache; [capacity] bounds each family separately, evicting
+    least-recently-used entries on insert. *)
+
+val global : unit -> t
+(** The process-wide cache shared by CLI one-shots and {!Session}s. The
+    serve daemon uses it too, so a daemon and in-process sessions agree
+    on warm state. *)
+
+(** Each accessor returns the cached or computed value plus a hit flag
+    ([true] = served from cache, compute not called). *)
+
+val op :
+  t -> key:string -> (unit -> Stability.Probe.t) ->
+  Stability.Probe.t * bool
+
+val plan :
+  t -> key:string -> (unit -> Engine.Ac_plan.t option) ->
+  Engine.Ac_plan.t option * bool
+(** [None] is a cacheable answer: it records "these options select the
+    dense backend", sparing the decision logic on the next request. *)
+
+val result :
+  t -> key:string -> (unit -> result_entry) -> result_entry * bool
+
+val clear : t -> unit
+
+val stats : t -> (string * int * int * int) list
+(** Per family: [(name, live_entries, hits, misses)]. Hit/miss counts
+    read the process-global counters, so they aggregate across caches
+    that share the registry. *)

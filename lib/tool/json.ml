@@ -239,3 +239,17 @@ let to_str = function
 let to_list = function
   | Arr items -> Some items
   | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v && Float.abs v < 1e15 ->
+    Some (int_of_float v)
+  | _ -> None
+
+let mem_str key v = Option.bind (member key v) to_str
+let mem_float key v = Option.bind (member key v) to_float
+let mem_int key v = Option.bind (member key v) to_int
+let mem_bool key v = Option.bind (member key v) to_bool

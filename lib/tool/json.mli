@@ -26,3 +26,15 @@ val member : string -> t -> t option
 val to_float : t -> float option
 val to_str : t -> string option
 val to_list : t -> t list option
+val to_bool : t -> bool option
+
+val to_int : t -> int option
+(** Integral numbers only ([Num 3.] yes, [Num 3.5] no). *)
+
+(** [member]+accessor in one step — the request decoders of the serve
+    protocol read almost every field this way. *)
+
+val mem_str : string -> t -> string option
+val mem_float : string -> t -> float option
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option

@@ -89,9 +89,8 @@ let json_of_summary (s : Obs.Histogram.summary) =
       ("p99", Json.Num s.p99);
       ("max", Json.Num s.max) ]
 
-let to_json m =
-  Json.to_string
-    (Json.Obj
+let json m =
+  (Json.Obj
        [ ("schema", Json.Str schema_version);
          ("deck",
           Json.Obj
@@ -116,6 +115,8 @@ let to_json m =
           Json.Obj
             [ ("wall_s", Json.Num m.wall_s); ("cpu_s", Json.Num m.cpu_s) ])
        ])
+
+let to_json m = Json.to_string (json m)
 
 let write path m =
   let oc = open_out path in
@@ -298,6 +299,36 @@ let diff ?(options = default_diff_options) a b =
         if Hashtbl.mem in_a eb.node || eb.f_n = None then None
         else Some (Added_peak eb.node))
       b.nodes
+
+(* Machine-readable changes: what `acstab diff --json` prints and what
+   the serve daemon returns for a diff request, so CI consumes verdicts
+   without parsing the human text. *)
+let change_json = function
+  | Added_peak n ->
+    Json.Obj [ ("kind", Json.Str "added_peak"); ("node", Json.Str n) ]
+  | Removed_peak n ->
+    Json.Obj [ ("kind", Json.Str "removed_peak"); ("node", Json.Str n) ]
+  | Shifted { node; field; a; b } ->
+    Json.Obj
+      [ ("kind", Json.Str "shifted"); ("node", Json.Str node);
+        ("field", Json.Str field); ("a", Json.Num a); ("b", Json.Num b);
+        ("relative",
+         Json.Num
+           (Float.abs (a -. b) /. Float.max (Float.abs a) (Float.abs b))) ]
+  | Downgraded { node; from_; to_ } ->
+    Json.Obj
+      [ ("kind", Json.Str "quality_downgraded"); ("node", Json.Str node);
+        ("from", Json.Str from_); ("to", Json.Str to_) ]
+
+let diff_json ~a ~b changes =
+  Json.Obj
+    [ ("schema", Json.Str "acstab-diff/1");
+      ("reference", Json.Str a.deck_file);
+      ("candidate", Json.Str b.deck_file);
+      ("same_deck", Json.Bool (a.deck_sha256 = b.deck_sha256));
+      ("nodes_compared", Json.Num (float_of_int (List.length a.nodes)));
+      ("agree", Json.Bool (changes = []));
+      ("changes", Json.Arr (List.map change_json changes)) ]
 
 let pp_change ppf = function
   | Added_peak n -> Format.fprintf ppf "peak added on node %s" n

@@ -43,6 +43,10 @@ val build :
     registries. [lint_json] is the lint library's JSON report (the tool
     layer embeds it verbatim rather than linking the linter). *)
 
+val json : t -> Json.t
+(** The manifest as a JSON value — what the serve daemon embeds in
+    analyze responses. [to_json] is its string rendering. *)
+
 val to_json : t -> string
 val write : string -> t -> unit
 
@@ -73,3 +77,10 @@ val diff : ?options:diff_options -> t -> t -> change list
     means the runs agree ([acstab diff] exit 0, otherwise 5). *)
 
 val pp_change : Format.formatter -> change -> unit
+
+val change_json : change -> Json.t
+
+val diff_json : a:t -> b:t -> change list -> Json.t
+(** Machine-readable diff verdict (schema ["acstab-diff/1"]): the
+    compared decks, an [agree] flag and the change list — the payload
+    of [acstab diff --json] and of the serve daemon's diff responses. *)

@@ -62,6 +62,23 @@ let directive_analyses circ =
       | Circuit.Netlist.Nodeset _ -> None)
     (Circuit.Netlist.directives circ)
 
+(* Stability analyses go through the shared pipeline, memoized in the
+   session's cache: re-running an unchanged session is a warm request
+   (no DC re-solve, no fresh symbolic analysis), which is the whole
+   point of a resident environment. Engine exceptions propagate raw —
+   [run]'s contract with [Diagnostics.guard]. *)
+let stab s circ analysis =
+  let loaded =
+    match
+      Pipeline.load ~policy:{ Pipeline.no_lint = true; strict = false }
+        (Pipeline.Deck_circuit { name = Session.name s; circ })
+    with
+    | Ok l -> l
+    | Error f -> failwith (Pipeline.failure_message f)
+  in
+  (Pipeline.analyze_exn ~cache:(Session.cache s) loaded analysis)
+    .Pipeline.results
+
 let run s =
   let circ = elaborate s in
   let specs =
@@ -86,10 +103,10 @@ let run s =
         let tr = Engine.Transient.run ~tstop ~tstep circ in
         acc := { !acc with tran = Some tr }
       | Session.Stab_single node ->
-        let r = Stability.Analysis.single_node circ node in
-        acc := { !acc with stab = !acc.stab @ [ r ] }
+        let r = stab s circ (Pipeline.Single_node node) in
+        acc := { !acc with stab = !acc.stab @ r }
       | Session.Stab_all ->
-        let rs = Stability.Analysis.all_nodes circ in
+        let rs = stab s circ (Pipeline.All_nodes None) in
         acc := { !acc with stab = !acc.stab @ rs }
       | Session.Noise { sweep; output } ->
         let r = Engine.Noise.run ~sweep ~output circ in

@@ -1,0 +1,303 @@
+(* The canonical analysis run, as a value.
+
+   Every front end — each CLI subcommand, the serve daemon, OCEAN
+   scripts — used to re-derive the same imperative sequence: read the
+   deck, gate it on lint, find the operating point, compile the solve
+   plan, sweep, report, write the manifest. This module owns that
+   sequence once, as [load] (deck -> gated circuit) and [analyze]
+   (gated circuit -> results + manifest), with failures as data
+   ([failure] carries the exit-code contract) instead of [exit] calls
+   buried in command bodies.
+
+   [analyze] is memoized through {!Cache} at three grains keyed by the
+   deck's SHA-256 fingerprint plus the options in force: the prepared
+   probe (DC operating point), the compiled plan (symbolic analysis)
+   and the complete result set with its manifest. A warm repeat of the
+   same request performs zero DC solves and zero symbolic analyses;
+   a request that only changes the sweep or the probed nodes still
+   reuses the operating point and the plan. *)
+
+type deck =
+  | Deck_file of string
+  | Deck_text of { name : string; text : string }
+  | Deck_circuit of { name : string; circ : Circuit.Netlist.t }
+
+type lint_policy = { no_lint : bool; strict : bool }
+
+let default_lint_policy = { no_lint = false; strict = false }
+
+type loaded = {
+  deck_name : string;
+  deck_text : string;
+  sha256 : string;
+  circ : Circuit.Netlist.t;
+  findings : Lint.Rule.finding list;
+}
+
+type failure =
+  | Parse_failed of { message : string }
+  | Usage_failed of { message : string }
+  | Lint_blocked of { findings : Lint.Rule.finding list }
+  | Analysis_failed of {
+      message : string;
+      likely_cause : Lint.Rule.finding list;
+    }
+
+(* The CLI's exit-code contract: 2 bad input, 3 analysis failure,
+   4 lint gate. (1 is cmdliner usage, 5 is `acstab diff` regressions.) *)
+let exit_code = function
+  | Parse_failed _ | Usage_failed _ -> 2
+  | Analysis_failed _ -> 3
+  | Lint_blocked _ -> 4
+
+let failure_message = function
+  | Parse_failed { message }
+  | Usage_failed { message }
+  | Analysis_failed { message; _ } -> message
+  | Lint_blocked _ ->
+    "lint: blocking findings; fix the netlist or pass --no-lint to force \
+     the run"
+
+(* ---- load: parse + lint gate ---- *)
+
+let blocking policy (f : Lint.Rule.finding) =
+  match f.severity with
+  | Lint.Rule.Error -> true
+  | Lint.Rule.Warning -> policy.strict
+  | Lint.Rule.Info -> false
+
+let load ?(policy = default_lint_policy) deck =
+  match
+    (match deck with
+     | Deck_file path ->
+       let circ =
+         Obs.Span.with_ "parse" (fun () -> Circuit.Parser.parse_file path)
+       in
+       let text = In_channel.with_open_bin path In_channel.input_all in
+       (path, text, circ)
+     | Deck_text { name; text } ->
+       let circ =
+         Obs.Span.with_ "parse" (fun () ->
+             Circuit.Parser.parse_string ~name text)
+       in
+       (name, text, circ)
+     | Deck_circuit { name; circ } ->
+       (* Fingerprint the in-memory design through its canonical SPICE
+          rendering (temperature included), so an OCEAN session's
+          repeated runs hit the same cache rows as the CLI on the
+          exported deck. *)
+       (name, Circuit.Netlist.to_spice circ, circ))
+  with
+  | exception Circuit.Parser.Parse_error { line; message } ->
+    let file =
+      match deck with
+      | Deck_file p -> p
+      | Deck_text { name; _ } | Deck_circuit { name; _ } -> name
+    in
+    Error
+      (Parse_failed
+         { message = Printf.sprintf "%s:%d: %s" file line message })
+  | exception Sys_error m -> Error (Parse_failed { message = m })
+  | deck_name, deck_text, circ ->
+    let findings =
+      if policy.no_lint then []
+      else Obs.Span.with_ "lint" (fun () -> Lint.Runner.run circ)
+    in
+    if List.exists (blocking policy) findings then
+      Error (Lint_blocked { findings })
+    else
+      Ok
+        { deck_name; deck_text; sha256 = Sha256.digest deck_text; circ;
+          findings }
+
+(* ---- guard: engine exceptions -> failure values ---- *)
+
+(* Translate a Singular exception into the lint findings that predicted
+   it, so the user sees net/branch names instead of a matrix index. *)
+let singular_failure ~what circ index =
+  let message =
+    match Engine.Mna.compile circ with
+    | mna ->
+      Printf.sprintf "%s: singular matrix at %s" what
+        (Engine.Mna.unknown_name mna index)
+    | exception _ -> Printf.sprintf "%s: singular matrix (pivot %d)" what index
+  in
+  Analysis_failed
+    { message; likely_cause = Lint.Runner.explain_singular ~index circ }
+
+let guard loaded f =
+  match f () with
+  | v -> Ok v
+  | exception Engine.Dcop.No_convergence m ->
+    Error
+      (Analysis_failed
+         { message = Printf.sprintf "DC convergence failure: %s" m;
+           likely_cause = Lint.Runner.explain_singular loaded.circ })
+  | exception Numerics.Dense.Singular k ->
+    Error (singular_failure ~what:"dense factorization failed" loaded.circ k)
+  | exception Numerics.Sparse.Singular k ->
+    Error (singular_failure ~what:"sparse factorization failed" loaded.circ k)
+  | exception Engine.Mna.Compile_error m ->
+    Error (Usage_failed { message = Printf.sprintf "elaboration error: %s" m })
+  | exception Invalid_argument m ->
+    (* Unknown or ground nets (Ac.v, Probe.response_many) are user input
+       errors, not internal failures. *)
+    Error (Usage_failed { message = Printf.sprintf "error: %s" m })
+
+(* ---- manifest emission (the one helper every mode shares) ---- *)
+
+let cpu_seconds () =
+  let t = Unix.times () in
+  t.Unix.tms_utime +. t.Unix.tms_stime
+
+let manifest_of loaded ~options ~results ~wall_s ~cpu_s =
+  (* The lint findings go in as the lint library's JSON report,
+     independent of the gate policy: a --no-lint run still records what
+     the linter would have said. *)
+  let lint_json =
+    Lint.Json.report ~file:loaded.deck_name (Lint.Runner.run loaded.circ)
+  in
+  Manifest.build ~deck_file:loaded.deck_name ~deck_text:loaded.deck_text
+    ~circ:loaded.circ ~options ~lint_json ~results ~wall_s ~cpu_s ()
+
+(* ---- analyze: the cached stability run ---- *)
+
+type analysis =
+  | Single_node of Circuit.Netlist.node
+  | All_nodes of Circuit.Netlist.node list option
+
+type outcome = {
+  loaded : loaded;
+  analysis : analysis;
+  options : Stability.Analysis.options;
+  results : Stability.Analysis.node_result list;
+  manifest : Manifest.t;
+  wall_s : float;
+  cpu_s : float;
+  cache : [ `Hit | `Miss ];
+}
+
+let sweep_fingerprint = function
+  | Numerics.Sweep.Dec { start; stop; per_decade } ->
+    Printf.sprintf "dec:%.17g:%.17g:%d" start stop per_decade
+  | Numerics.Sweep.Lin { start; stop; points } ->
+    Printf.sprintf "lin:%.17g:%.17g:%d" start stop points
+  | Numerics.Sweep.List pts ->
+    "list:"
+    ^ String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%.17g") pts))
+
+let dc_fingerprint (o : Engine.Dcop.options) =
+  Printf.sprintf "gmin=%.17g,reltol=%.17g,vntol=%.17g,abstol=%.17g,itl=%d,step=%.17g"
+    o.gmin o.reltol o.vntol o.abstol o.max_iter o.max_step
+
+let backend_tag = function
+  | `Auto -> "auto"
+  | `Dense -> "dense"
+  | `Sparse -> "sparse"
+  | `Plan -> "plan"
+
+(* Everything that can change the numbers goes into the key; [parallel]
+   does not (scheduling is bit-identical by contract, and the
+   seq-vs-par manifest diff in @bench-smoke keeps it honest). *)
+let options_fingerprint (o : Stability.Analysis.options) =
+  Printf.sprintf "sweep=%s;refine=%b,%.17g,%d;min_peak=%.17g;dc=%s;be=%s;hs=%d"
+    (sweep_fingerprint o.sweep) o.refine o.refine_ratio o.refine_per_decade
+    o.min_peak (dc_fingerprint o.dc_options) (backend_tag o.backend)
+    (Engine.Health.sample_every ())
+
+let analysis_fingerprint = function
+  | Single_node n -> "single:" ^ n
+  | All_nodes None -> "all"
+  | All_nodes (Some ns) -> "all:" ^ String.concat "," ns
+
+(* Manifest option lines, spelled exactly as the pre-pipeline CLI
+   spelled them so manifests stay diff-compatible across the refactor. *)
+let manifest_options analysis (o : Stability.Analysis.options) =
+  let sweep_opts =
+    (match o.sweep with
+     | Numerics.Sweep.Dec { start; stop; per_decade } ->
+       [ ("fmin", Printf.sprintf "%g" start);
+         ("fmax", Printf.sprintf "%g" stop);
+         ("ppd", string_of_int per_decade) ]
+     | sw -> [ ("sweep", sweep_fingerprint sw) ])
+    @ [ ("health_sample", string_of_int (Engine.Health.sample_every ())) ]
+  in
+  match analysis with
+  | Single_node n -> ("mode", "single-node") :: ("node", n) :: sweep_opts
+  | All_nodes _ -> ("mode", "all-nodes") :: sweep_opts
+
+let analyze_uncached ?cache ~options loaded analysis =
+  let cache = match cache with Some c -> c | None -> Cache.global () in
+  let op_key =
+    loaded.sha256 ^ "|op|" ^ dc_fingerprint options.Stability.Analysis.dc_options
+  in
+  let plan_key =
+    op_key ^ "|plan|" ^ backend_tag options.Stability.Analysis.backend
+  in
+  let w0 = Unix.gettimeofday () and c0 = cpu_seconds () in
+  let probe, _ =
+    Cache.op cache ~key:op_key (fun () ->
+        Stability.Probe.prepare
+          ~dc_options:options.Stability.Analysis.dc_options loaded.circ)
+  in
+  let plan, _ =
+    Cache.plan cache ~key:plan_key (fun () ->
+        Stability.Analysis.shared_plan options probe)
+  in
+  let results =
+    match analysis with
+    | Single_node node ->
+      [ Stability.Analysis.single_node_prepared ~options ?plan probe node ]
+    | All_nodes nodes ->
+      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan probe
+  in
+  let wall_s = Unix.gettimeofday () -. w0
+  and cpu_s = cpu_seconds () -. c0 in
+  let manifest =
+    manifest_of loaded ~options:(manifest_options analysis options) ~results
+      ~wall_s ~cpu_s
+  in
+  { Cache.results; manifest }
+
+let analyze_exn ?cache ?(options = Stability.Analysis.default_options) loaded
+    analysis =
+  let c = match cache with Some c -> c | None -> Cache.global () in
+  let result_key =
+    loaded.sha256 ^ "|" ^ analysis_fingerprint analysis ^ "|"
+    ^ options_fingerprint options
+  in
+  let entry, hit =
+    Cache.result c ~key:result_key (fun () ->
+        Obs.Span.with_ "pipeline.analyze" (fun () ->
+            analyze_uncached ~cache:c ~options loaded analysis))
+  in
+  { loaded; analysis; options; results = entry.Cache.results;
+    manifest = entry.Cache.manifest;
+    wall_s = entry.Cache.manifest.Manifest.wall_s;
+    cpu_s = entry.Cache.manifest.Manifest.cpu_s;
+    cache = (if hit then `Hit else `Miss) }
+
+let analyze ?cache ?options loaded analysis =
+  guard loaded (fun () -> analyze_exn ?cache ?options loaded analysis)
+
+(* ---- one-step convenience for front ends ---- *)
+
+type request = {
+  deck : deck;
+  analysis : analysis;
+  options : Stability.Analysis.options;
+  policy : lint_policy;
+}
+
+let request ?(options = Stability.Analysis.default_options)
+    ?(policy = default_lint_policy) deck analysis =
+  { deck; analysis; options; policy }
+
+let run ?cache { deck; analysis; options; policy } =
+  match load ~policy deck with
+  | Error f -> Error f
+  | Ok loaded ->
+    (match analyze ?cache ~options loaded analysis with
+     | Ok outcome -> Ok outcome
+     | Error f -> Error f)

@@ -1,0 +1,374 @@
+(* `acstab serve` — the persistent analysis service.
+
+   A Unix-domain-socket daemon speaking newline-delimited JSON: each
+   request is one line, each response one line, so any language with a
+   socket and a JSON parser is a client (`nc -U` included). Requests
+   run through the same {!Pipeline} as the CLI subcommands and share
+   one fingerprint-keyed {!Cache}, so a designer's edit loop — analyze,
+   tweak the deck, analyze again — pays for parsing, DC solve and
+   symbolic analysis only when the deck or the options actually
+   changed; an unchanged request is answered from the cache without
+   touching the engine.
+
+   Concurrency: the accept/read side is a single [select] loop (no
+   thread juggling, deterministic shutdown), and each batch of complete
+   request lines gathered in one wakeup is dispatched over
+   {!Parallel.Pool.map_list}, so simultaneous requests from several
+   clients analyze in parallel. Nested parallelism is safe: pool
+   submissions made from inside a pool task run inline.
+
+   The protocol never kills the daemon: a malformed or failing request
+   produces an ["ok": false] response carrying the same exit-code
+   contract the CLI uses (2 bad input, 3 analysis failure, 4 lint
+   block), and the loop keeps serving. *)
+
+let log_src = Logs.Src.create "tool.server" ~doc:"acstab serve daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let n_connections = Obs.Counter.make "serve.connections"
+let n_requests = Obs.Counter.make "serve.requests"
+let n_batches = Obs.Counter.make "serve.batches"
+let batch_max = Obs.Counter.make "serve.batch_max"
+
+(* ---- request handling (protocol layer over Pipeline) ---- *)
+
+let protocol_version = "acstab-serve/1"
+
+let respond_fields ?id fields =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  Json.Obj (id_field @ fields)
+
+let findings_strings ~file findings =
+  List.map
+    (fun f -> Format.asprintf "%a" (Lint.Rule.pp_finding ~file) f)
+    findings
+
+let failure_response ?id ~file failure =
+  let findings =
+    match failure with
+    | Pipeline.Lint_blocked { findings } -> findings_strings ~file findings
+    | Pipeline.Analysis_failed { likely_cause; _ } ->
+      findings_strings ~file likely_cause
+    | _ -> []
+  in
+  respond_fields ?id
+    [ ("ok", Json.Bool false);
+      ("error",
+       Json.Obj
+         [ ("code", Json.Num (float_of_int (Pipeline.exit_code failure)));
+           ("message", Json.Str (Pipeline.failure_message failure));
+           ("findings", Json.Arr (List.map (fun s -> Json.Str s) findings))
+         ]) ]
+
+let error_response ?id ~code message =
+  respond_fields ?id
+    [ ("ok", Json.Bool false);
+      ("error",
+       Json.Obj
+         [ ("code", Json.Num (float_of_int code));
+           ("message", Json.Str message); ("findings", Json.Arr []) ]) ]
+
+let deck_of_request v =
+  match (Json.mem_str "deck" v, Json.mem_str "deck_text" v) with
+  | Some path, _ -> Ok (Pipeline.Deck_file path, path)
+  | None, Some text ->
+    let name = Option.value ~default:"<inline>" (Json.mem_str "name" v) in
+    Ok (Pipeline.Deck_text { name; text }, name)
+  | None, None -> Error "request needs \"deck\" (a path) or \"deck_text\""
+
+let policy_of_request v =
+  { Pipeline.no_lint =
+      Option.value ~default:false (Json.mem_bool "no_lint" v);
+    strict = Option.value ~default:false (Json.mem_bool "strict" v) }
+
+let options_of_request v =
+  let fmin = Option.value ~default:1e3 (Json.mem_float "fmin" v) in
+  let fmax = Option.value ~default:1e9 (Json.mem_float "fmax" v) in
+  let ppd = Option.value ~default:30 (Json.mem_int "ppd" v) in
+  { Stability.Analysis.default_options with
+    sweep = Numerics.Sweep.decade fmin fmax ppd }
+
+let analysis_of_request v =
+  match Option.value ~default:"all-nodes" (Json.mem_str "mode" v) with
+  | "single-node" ->
+    (match Json.mem_str "node" v with
+     | Some n -> Ok (Pipeline.Single_node n)
+     | None -> Error "single-node requests need \"node\"")
+  | "all-nodes" ->
+    let nodes =
+      Option.bind (Json.member "nodes" v) Json.to_list
+      |> Option.map (List.filter_map Json.to_str)
+    in
+    Ok (Pipeline.All_nodes nodes)
+  | m -> Error (Printf.sprintf "unknown mode %S" m)
+
+let handle_analyze cache ?id v =
+  match deck_of_request v with
+  | Error m -> error_response ?id ~code:2 m
+  | Ok (deck, file) ->
+    (match analysis_of_request v with
+     | Error m -> error_response ?id ~code:2 m
+     | Ok analysis ->
+       let req =
+         Pipeline.request ~options:(options_of_request v)
+           ~policy:(policy_of_request v) deck analysis
+       in
+       (match Pipeline.run ~cache req with
+        | Error failure -> failure_response ?id ~file failure
+        | Ok o ->
+          let mjson = Manifest.json o.Pipeline.manifest in
+          respond_fields ?id
+            [ ("ok", Json.Bool true);
+              ("cache",
+               Json.Str (match o.Pipeline.cache with
+                         | `Hit -> "hit" | `Miss -> "miss"));
+              ("deck_sha256", Json.Str o.Pipeline.loaded.Pipeline.sha256);
+              ("wall_s", Json.Num o.Pipeline.wall_s);
+              ("nodes",
+               Option.value ~default:(Json.Arr [])
+                 (Json.member "nodes" mjson));
+              ("manifest", mjson) ]))
+
+let handle_lint cache ?id v =
+  ignore cache;
+  match deck_of_request v with
+  | Error m -> error_response ?id ~code:2 m
+  | Ok (deck, file) ->
+    (* Lint only: no gate, the findings themselves are the answer. *)
+    (match Pipeline.load ~policy:{ Pipeline.no_lint = true; strict = false }
+             deck with
+     | Error failure -> failure_response ?id ~file failure
+     | Ok loaded ->
+       let findings = Lint.Runner.run loaded.Pipeline.circ in
+       let report =
+         match Json.of_string (Lint.Json.report ~file findings) with
+         | Ok j -> j
+         | Error _ -> Json.Null
+       in
+       respond_fields ?id
+         [ ("ok", Json.Bool true);
+           ("deck_sha256", Json.Str loaded.Pipeline.sha256);
+           ("report", report) ])
+
+let handle_diff ?id v =
+  match (Json.mem_str "a" v, Json.mem_str "b" v) with
+  | Some a_path, Some b_path ->
+    let load path k =
+      match Manifest.load path with
+      | Ok m -> k m
+      | Error e ->
+        error_response ?id ~code:2 (Printf.sprintf "%s: %s" path e)
+    in
+    load a_path @@ fun a ->
+    load b_path @@ fun b ->
+    let options =
+      { Manifest.rtol_fn =
+          Option.value ~default:Manifest.default_diff_options.Manifest.rtol_fn
+            (Json.mem_float "rtol_fn" v);
+        rtol_zeta =
+          Option.value
+            ~default:Manifest.default_diff_options.Manifest.rtol_zeta
+            (Json.mem_float "rtol_zeta" v) }
+    in
+    let changes = Manifest.diff ~options a b in
+    respond_fields ?id
+      (("ok", Json.Bool true)
+       ::
+       (match Manifest.diff_json ~a ~b changes with
+        | Json.Obj fields -> fields
+        | j -> [ ("diff", j) ]))
+  | _ -> error_response ?id ~code:2 "diff requests need \"a\" and \"b\" paths"
+
+let handle_counters ?id () =
+  respond_fields ?id
+    [ ("ok", Json.Bool true);
+      ("counters",
+       Json.Obj
+         (List.map
+            (fun (k, n) -> (k, Json.Num (float_of_int n)))
+            (Obs.Counter.snapshot ()))) ]
+
+let handle_stats cache ?id () =
+  respond_fields ?id
+    [ ("ok", Json.Bool true);
+      ("protocol", Json.Str protocol_version);
+      ("jobs", Json.Num (float_of_int (Parallel.Pool.jobs ())));
+      ("cache",
+       Json.Obj
+         (List.map
+            (fun (fname, entries, hits, misses) ->
+              (fname,
+               Json.Obj
+                 [ ("entries", Json.Num (float_of_int entries));
+                   ("hits", Json.Num (float_of_int hits));
+                   ("misses", Json.Num (float_of_int misses)) ]))
+            (Cache.stats cache))) ]
+
+(* [`Stop] tells the serve loop to finish writing and exit. *)
+let handle cache line =
+  Obs.Counter.incr n_requests;
+  match Json.of_string line with
+  | Error e ->
+    (error_response ~code:2 (Printf.sprintf "bad request JSON: %s" e), `Go)
+  | Ok v ->
+    let id = Json.member "id" v in
+    (match Json.mem_str "cmd" v with
+     | Some "analyze" -> (handle_analyze cache ?id v, `Go)
+     | Some "lint" -> (handle_lint cache ?id v, `Go)
+     | Some "diff" -> (handle_diff ?id v, `Go)
+     | Some "counters" -> (handle_counters ?id (), `Go)
+     | Some "stats" -> (handle_stats cache ?id (), `Go)
+     | Some "ping" ->
+       (respond_fields ?id
+          [ ("ok", Json.Bool true); ("pong", Json.Bool true);
+            ("protocol", Json.Str protocol_version) ],
+        `Go)
+     | Some "shutdown" ->
+       (respond_fields ?id [ ("ok", Json.Bool true); ("bye", Json.Bool true) ],
+        `Stop)
+     | Some c ->
+       (error_response ?id ~code:2 (Printf.sprintf "unknown cmd %S" c), `Go)
+     | None -> (error_response ?id ~code:2 "request needs \"cmd\"", `Go))
+
+(* ---- the select loop ---- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes read, not yet terminated by '\n' *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Split [buf] into complete lines plus the unterminated remainder. *)
+let complete_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_string buf
+      (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+    |> List.filter (fun l -> String.trim l <> "")
+
+exception Stop_serving
+
+let serve ?(capacity = Cache.default_capacity) ~socket () =
+  (match Unix.lstat socket with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" socket)
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  let cache = Cache.create ~capacity () in
+  Log.app (fun f -> f "listening on %s (protocol %s)" socket protocol_version);
+  let conns = ref [] in
+  let close_conn c =
+    conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let read_chunk = Bytes.create 65536 in
+  let finally () =
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !conns;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket with Unix.Unix_error _ -> ())
+  in
+  (try
+     while true do
+       let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+       let readable, _, _ =
+         match Unix.select fds [] [] (-1.) with
+         | r -> r
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       if List.memq listen_fd readable then begin
+         match Unix.accept listen_fd with
+         | fd, _ ->
+           Obs.Counter.incr n_connections;
+           conns := { fd; pending = Buffer.create 256 } :: !conns
+         | exception Unix.Unix_error _ -> ()
+       end;
+       (* Drain every readable connection, then dispatch the gathered
+          batch in parallel: requests that arrive together analyze
+          together. *)
+       let batch = ref [] in
+       List.iter
+         (fun c ->
+           if List.memq c.fd readable then begin
+             match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+             | 0 -> close_conn c
+             | n ->
+               Buffer.add_subbytes c.pending read_chunk 0 n;
+               List.iter
+                 (fun line -> batch := (c, line) :: !batch)
+                 (complete_lines c.pending)
+             | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+               close_conn c
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           end)
+         !conns;
+       let batch = List.rev !batch in
+       if batch <> [] then begin
+         Obs.Counter.incr n_batches;
+         Obs.Counter.record_max batch_max (List.length batch);
+         let t0 = Obs.Span.enter () in
+         let responses =
+           Parallel.Pool.map_list
+             (fun (c, line) ->
+               let response, verdict = handle cache line in
+               (c, response, verdict))
+             batch
+         in
+         Obs.Span.leave "serve.batch"
+           ~args:[ ("requests", List.length batch) ] t0;
+         let stop = ref false in
+         List.iter
+           (fun (c, response, verdict) ->
+             (try write_all c.fd (Json.to_string response ^ "\n")
+              with Unix.Unix_error _ -> close_conn c);
+             if verdict = `Stop then stop := true)
+           responses;
+         if !stop then raise Stop_serving
+       end
+     done
+   with
+   | Stop_serving -> finally ()
+   | e -> finally (); raise e);
+  Log.app (fun f -> f "shut down cleanly")
+
+(* ---- a minimal client, for tests and scripting ---- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    { fd; ic = Unix.in_channel_of_descr fd }
+
+  let send t req = write_all t.fd (Json.to_string req ^ "\n")
+
+  let recv t =
+    match input_line t.ic with
+    | line ->
+      (match Json.of_string line with
+       | Ok v -> v
+       | Error e -> failwith (Printf.sprintf "bad response JSON: %s" e))
+    | exception End_of_file -> failwith "server closed the connection"
+
+  let request t req = send t req; recv t
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,48 @@
+(** The [acstab serve] daemon: {!Pipeline} behind a Unix socket.
+
+    Newline-delimited JSON over a Unix-domain socket — one request per
+    line, one response per line. Commands: [analyze] (single-node or
+    all-nodes stability, answered from the shared {!Cache} when the
+    deck fingerprint and options match a previous request), [lint],
+    [diff] (two manifest files), [counters], [stats], [ping] and
+    [shutdown]. See MANUAL section 9 for the request/response schema.
+
+    Failures never kill the daemon: a bad or failing request yields an
+    ["ok": false] response whose [error.code] carries the CLI's
+    exit-code contract (2 bad input, 3 analysis failure, 4 lint block).
+
+    Requests that arrive together are dispatched together through
+    {!Parallel.Pool.map_list}, so concurrent clients analyze in
+    parallel. *)
+
+val protocol_version : string
+(** ["acstab-serve/1"], echoed by [ping] and [stats]. *)
+
+val serve : ?capacity:int -> socket:string -> unit -> unit
+(** Bind [socket] (unlinking a stale socket file left by a dead
+    daemon), serve until a [shutdown] request, then close every
+    connection and remove the socket file. [capacity] sizes each family
+    of the daemon's LRU cache (default {!Cache.default_capacity}).
+    Raises [Failure] if [socket] exists and is not a socket;
+    [Unix.Unix_error] on bind failures. *)
+
+(** A minimal blocking client — the smoke test and scripting hook. *)
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** Connect to a daemon's socket path. *)
+
+  val send : t -> Json.t -> unit
+  (** Write one request line without waiting — several [send]s on
+      distinct connections put several requests in flight at once. *)
+
+  val recv : t -> Json.t
+  (** Read one response line (blocking). Raises [Failure] on EOF or
+      malformed JSON. *)
+
+  val request : t -> Json.t -> Json.t
+  (** [send] then [recv]. *)
+
+  val close : t -> unit
+end

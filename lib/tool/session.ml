@@ -17,6 +17,7 @@ type t = {
   mutable scale : float;
   mutable results_dir : string;
   mutable analyses : analysis_spec list;  (* reversed *)
+  mutable cache : Cache.t option;         (* lazily created *)
 }
 
 let log_src = Logs.Src.create "tool.session" ~doc:"simulation sessions"
@@ -29,7 +30,19 @@ let create ?(name = "session") () =
   incr next_id;
   { session_name = name; session_id = !next_id; design = None;
     simulator = "builtin"; variables = []; temp = 27.; scale = 1.;
-    results_dir = "."; analyses = [] }
+    results_dir = "."; analyses = []; cache = None }
+
+(* One cache per session, created on first use: a session's repeated
+   runs are exactly the warm-request pattern the fingerprint-keyed
+   cache exists for, and per-session isolation keeps a long-lived
+   environment from seeing another session's evictions. *)
+let cache s =
+  match s.cache with
+  | Some c -> c
+  | None ->
+    let c = Cache.create () in
+    s.cache <- Some c;
+    c
 
 let name s = s.session_name
 let id s = s.session_id

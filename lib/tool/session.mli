@@ -25,6 +25,13 @@ val create : ?name:string -> unit -> t
 val name : t -> string
 val id : t -> int
 
+val cache : t -> Cache.t
+(** The session's fingerprint-keyed analysis cache, created lazily on
+    first use. {!Ocean.run} memoizes its stability analyses through it,
+    so re-running a session whose design and options have not changed
+    costs zero DC solves and zero symbolic analyses — the session-reuse
+    economics the paper's resident tool gets from Analog Artist. *)
+
 val set_design : t -> Circuit.Netlist.t -> unit
 val design : t -> Circuit.Netlist.t
 (** Raises [Failure] when no design was loaded. *)

@@ -1,0 +1,158 @@
+(* @serve-smoke — end-to-end exercise of the `acstab serve` daemon.
+
+   Starts the daemon on a private socket, then over the wire: a cold
+   all-nodes request, a warm repeat that must be answered from the
+   cache with byte-identical results and zero extra DC solves / zero
+   extra symbolic analyses (asserted from the Obs counters via the
+   protocol's own `counters` command), four concurrent in-flight
+   requests on four connections, and a clean shutdown that removes the
+   socket file. *)
+
+let sock =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "acstab-smoke-%d.sock" (Unix.getpid ()))
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("serve-smoke: FAIL: " ^ m);
+      (try Sys.remove sock with Sys_error _ -> ());
+      exit 1)
+    fmt
+
+let mem name j =
+  match Tool.Json.member name j with
+  | Some v -> v
+  | None -> fail "response lacks %S in %s" name (Tool.Json.to_string j)
+
+let expect_ok j =
+  match Tool.Json.mem_bool "ok" j with
+  | Some true -> ()
+  | _ -> fail "request not ok: %s" (Tool.Json.to_string j)
+
+let expect_cache verdict j =
+  match Tool.Json.mem_str "cache" j with
+  | Some v when v = verdict -> ()
+  | v ->
+    fail "expected cache=%s, got %s" verdict
+      (Option.value ~default:"<absent>" v)
+
+let counter c name =
+  let r = Tool.Server.Client.request c (Tool.Json.Obj [ ("cmd", Tool.Json.Str "counters") ]) in
+  expect_ok r;
+  match Option.bind (Tool.Json.member "counters" r) (Tool.Json.mem_int name) with
+  | Some n -> n
+  | None -> fail "counter %S missing" name
+
+let deck_text = Circuit.Netlist.to_spice (Workloads.Ladder.rc ())
+
+let analyze_fields =
+  [ ("cmd", Tool.Json.Str "analyze");
+    ("deck_text", Tool.Json.Str deck_text);
+    ("name", Tool.Json.Str "rc_ladder_20.sp") ]
+
+let () =
+  let server =
+    Thread.create (fun () -> Tool.Server.serve ~socket:sock ()) ()
+  in
+  let rec wait_for_socket n =
+    if n = 0 then fail "daemon socket never appeared"
+    else if not (Sys.file_exists sock) then begin
+      Unix.sleepf 0.05;
+      wait_for_socket (n - 1)
+    end
+  in
+  wait_for_socket 200;
+  let c = Tool.Server.Client.connect sock in
+
+  (* Protocol sanity. *)
+  let pong =
+    Tool.Server.Client.request c (Tool.Json.Obj [ ("cmd", Tool.Json.Str "ping") ])
+  in
+  expect_ok pong;
+  (match Tool.Json.mem_str "protocol" pong with
+   | Some p when p = Tool.Server.protocol_version -> ()
+   | p ->
+     fail "protocol mismatch: %s" (Option.value ~default:"<absent>" p));
+
+  (* Cold request: a miss that does real work. *)
+  let all_nodes =
+    Tool.Json.Obj (("mode", Tool.Json.Str "all-nodes") :: analyze_fields)
+  in
+  let cold = Tool.Server.Client.request c all_nodes in
+  expect_ok cold;
+  expect_cache "miss" cold;
+
+  (* Warm repeat: a hit, byte-identical, zero re-solves. *)
+  let dc0 = counter c "dcop.solves"
+  and sym0 = counter c "acplan.symbolic" in
+  let warm = Tool.Server.Client.request c all_nodes in
+  expect_ok warm;
+  expect_cache "hit" warm;
+  let dc1 = counter c "dcop.solves"
+  and sym1 = counter c "acplan.symbolic" in
+  if dc1 <> dc0 then fail "warm request re-solved DC (%d -> %d)" dc0 dc1;
+  if sym1 <> sym0 then
+    fail "warm request re-ran symbolic analysis (%d -> %d)" sym0 sym1;
+  List.iter
+    (fun field ->
+      let bytes j = Tool.Json.to_string (mem field j) in
+      if bytes cold <> bytes warm then
+        fail "warm %s differs from cold" field)
+    [ "nodes"; "manifest"; "deck_sha256" ];
+
+  (* Four concurrent in-flight requests on four connections: all sent
+     before any response is read, so the daemon holds (at least) four
+     at once and answers them through the pool. *)
+  let nodes =
+    match Tool.Json.to_list (mem "nodes" cold) with
+    | Some l -> List.filter_map (Tool.Json.mem_str "node") l
+    | None -> fail "cold response has no node list"
+  in
+  let picks =
+    match nodes with
+    | a :: b :: d :: e :: _ -> [ a; b; d; e ]
+    | _ -> fail "ladder run returned fewer than 4 nodes"
+  in
+  let clients = List.map (fun _ -> Tool.Server.Client.connect sock) picks in
+  List.iter2
+    (fun cl node ->
+      Tool.Server.Client.send cl
+        (Tool.Json.Obj
+           (("mode", Tool.Json.Str "single-node")
+            :: ("node", Tool.Json.Str node)
+            :: analyze_fields)))
+    clients picks;
+  List.iter2
+    (fun cl node ->
+      let r = Tool.Server.Client.recv cl in
+      expect_ok r;
+      (match Tool.Json.to_list (mem "nodes" r) with
+       | Some [ entry ] ->
+         (match Tool.Json.mem_str "node" entry with
+          | Some n when n = node -> ()
+          | n ->
+            fail "concurrent response for %s names %s" node
+              (Option.value ~default:"<absent>" n))
+       | _ -> fail "concurrent single-node response malformed");
+      Tool.Server.Client.close cl)
+    clients picks;
+  (* The concurrent batch reused the warm operating point. *)
+  let dc2 = counter c "dcop.solves" in
+  if dc2 <> dc1 then
+    fail "concurrent requests re-solved DC (%d -> %d)" dc1 dc2;
+
+  (* Clean shutdown: the loop exits and the socket file is removed. *)
+  let bye =
+    Tool.Server.Client.request c
+      (Tool.Json.Obj [ ("cmd", Tool.Json.Str "shutdown") ])
+  in
+  expect_ok bye;
+  Tool.Server.Client.close c;
+  Thread.join server;
+  if Sys.file_exists sock then fail "socket file survived shutdown";
+  print_endline
+    "serve-smoke: OK (cold miss, warm hit byte-identical with 0 DC \
+     re-solves and 0 symbolic re-analyses, 4 concurrent in-flight \
+     requests, clean shutdown)"

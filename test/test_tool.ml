@@ -335,10 +335,9 @@ let test_sha256_vectors () =
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
     (Tool.Sha256.digest
        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
-  Alcotest.(check string) "million a's prefix (1000 a's)"
-    (Tool.Sha256.digest (String.make 1000 'a'))
-    (Tool.Sha256.digest (String.concat "" [ String.make 500 'a';
-                                            String.make 500 'a' ]))
+  Alcotest.(check string) "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Tool.Sha256.digest (String.make 1_000_000 'a'))
 
 (* ---------- json ---------- *)
 
@@ -481,6 +480,186 @@ let test_manifest_diff () =
          | _ -> false)
        (Tool.Manifest.diff a s))
 
+let test_manifest_diff_json () =
+  let a = build_manifest (ladder_results ()) in
+  (* Self-comparison: the JSON must say "agree" with no changes. *)
+  let j_ok = Tool.Manifest.diff_json ~a ~b:a (Tool.Manifest.diff a a) in
+  Alcotest.(check (option string)) "schema" (Some "acstab-diff/1")
+    (Tool.Json.mem_str "schema" j_ok);
+  Alcotest.(check (option bool)) "agree" (Some true)
+    (Tool.Json.mem_bool "agree" j_ok);
+  Alcotest.(check (option bool)) "same deck" (Some true)
+    (Tool.Json.mem_bool "same_deck" j_ok);
+  Alcotest.(check (option int)) "nodes compared"
+    (Some (List.length a.Tool.Manifest.nodes))
+    (Tool.Json.mem_int "nodes_compared" j_ok);
+  (* Shifted + downgraded + removed must each surface with its kind. *)
+  let mutate (e : Tool.Manifest.node_entry) =
+    match e.node with
+    | "n2" -> { e with Tool.Manifest.f_n = Option.map (fun f -> f *. 1.01) e.f_n }
+    | "n1" -> { e with Tool.Manifest.quality = "suspect" }
+    | "n3" ->
+      { e with Tool.Manifest.f_n = None; zeta = None;
+               phase_margin_deg = None; peak = None }
+    | _ -> e
+  in
+  let b = { a with Tool.Manifest.nodes = List.map mutate a.nodes } in
+  let changes = Tool.Manifest.diff a b in
+  let j = Tool.Manifest.diff_json ~a ~b changes in
+  Alcotest.(check (option bool)) "disagree" (Some false)
+    (Tool.Json.mem_bool "agree" j);
+  let kinds =
+    match Option.bind (Tool.Json.member "changes" j) Tool.Json.to_list with
+    | Some l -> List.filter_map (Tool.Json.mem_str "kind") l
+    | None -> []
+  in
+  Alcotest.(check int) "one JSON change per diff change"
+    (List.length changes) (List.length kinds);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("kind present: " ^ k) true (List.mem k kinds))
+    [ "shifted"; "quality_downgraded"; "removed_peak" ];
+  (* The document must round-trip through the parser. *)
+  match Tool.Json.of_string (Tool.Json.to_string j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "diff JSON does not reparse: %s" e
+
+(* ---------- cache + pipeline ---------- *)
+
+let counter_value name =
+  match List.assoc_opt name (Obs.Counter.snapshot ()) with
+  | Some n -> n
+  | None -> 0
+
+let ladder_loaded ?sections () =
+  let circ = Workloads.Ladder.rc ?sections () in
+  match
+    Tool.Pipeline.load ~policy:{ Tool.Pipeline.no_lint = true; strict = false }
+      (Tool.Pipeline.Deck_circuit { name = "rc_ladder"; circ })
+  with
+  | Ok l -> l
+  | Error f ->
+    Alcotest.failf "load failed: %s" (Tool.Pipeline.failure_message f)
+
+let quick_options =
+  { Stability.Analysis.default_options with
+    sweep = Numerics.Sweep.decade 1e3 1e5 5 }
+
+(* The cache contract the serve daemon relies on: a warm repeat of the
+   same deck + options performs zero extra DC solves and zero extra
+   symbolic analyses, and returns the identical manifest. *)
+let test_pipeline_warm_hit () =
+  let cache = Tool.Cache.create () in
+  let loaded = ladder_loaded () in
+  let run () =
+    Tool.Pipeline.analyze_exn ~cache ~options:quick_options loaded
+      (Tool.Pipeline.All_nodes None)
+  in
+  let o1 = run () in
+  Alcotest.(check bool) "cold is a miss" true (o1.Tool.Pipeline.cache = `Miss);
+  let dc = counter_value "dcop.solves"
+  and sym = counter_value "acplan.symbolic" in
+  let o2 = run () in
+  Alcotest.(check bool) "warm is a hit" true (o2.Tool.Pipeline.cache = `Hit);
+  Alcotest.(check int) "0 extra DC solves" dc (counter_value "dcop.solves");
+  Alcotest.(check int) "0 extra symbolic analyses" sym
+    (counter_value "acplan.symbolic");
+  Alcotest.(check string) "identical manifest bytes"
+    (Tool.Manifest.to_json o1.Tool.Pipeline.manifest)
+    (Tool.Manifest.to_json o2.Tool.Pipeline.manifest)
+
+(* Invalidation is content addressing: a changed option is a different
+   result key (but the operating point is reused), an edited deck is a
+   different fingerprint (everything recomputes). *)
+let test_pipeline_cache_keys () =
+  let cache = Tool.Cache.create () in
+  let loaded = ladder_loaded () in
+  let analyze ~options loaded =
+    Tool.Pipeline.analyze_exn ~cache ~options loaded
+      (Tool.Pipeline.All_nodes None)
+  in
+  ignore (analyze ~options:quick_options loaded);
+  let dc = counter_value "dcop.solves" in
+  let wider =
+    { quick_options with
+      Stability.Analysis.sweep = Numerics.Sweep.decade 1e3 1e6 5 }
+  in
+  let o = analyze ~options:wider loaded in
+  Alcotest.(check bool) "options change is a miss" true
+    (o.Tool.Pipeline.cache = `Miss);
+  Alcotest.(check int) "operating point reused across sweep change" dc
+    (counter_value "dcop.solves");
+  let loaded' = ladder_loaded ~sections:19 () in
+  Alcotest.(check bool) "edited deck fingerprints differently" true
+    (loaded.Tool.Pipeline.sha256 <> loaded'.Tool.Pipeline.sha256);
+  let o' = analyze ~options:quick_options loaded' in
+  Alcotest.(check bool) "edited deck is a miss" true
+    (o'.Tool.Pipeline.cache = `Miss);
+  Alcotest.(check bool) "edited deck re-solves DC" true
+    (counter_value "dcop.solves" > dc)
+
+let test_cache_eviction () =
+  let c = Tool.Cache.create ~capacity:2 () in
+  let m = build_manifest [] in
+  let calls = ref 0 in
+  let get k =
+    snd
+      (Tool.Cache.result c ~key:k (fun () ->
+           incr calls;
+           { Tool.Cache.results = []; manifest = m }))
+  in
+  Alcotest.(check bool) "cold miss" false (get "a");
+  Alcotest.(check bool) "warm hit" true (get "a");
+  Alcotest.(check bool) "b cold" false (get "b");
+  Alcotest.(check bool) "c cold evicts LRU" false (get "c");
+  Alcotest.(check bool) "evicted key recomputes" false (get "a");
+  Alcotest.(check int) "compute count" 4 !calls;
+  let entries =
+    List.filter_map
+      (fun (name, live, _, _) -> if name = "result" then Some live else None)
+      (Tool.Cache.stats c)
+  in
+  Alcotest.(check (list int)) "capacity respected" [ 2 ] entries;
+  Tool.Cache.clear c;
+  Alcotest.(check bool) "clear forgets" false (get "c")
+
+(* Pipeline failures are values carrying the CLI exit-code contract. *)
+let test_pipeline_failures () =
+  (match
+     Tool.Pipeline.load
+       (Tool.Pipeline.Deck_text { name = "bad.sp"; text = "* t\nR1 a\n.end\n" })
+   with
+   | Error (Tool.Pipeline.Parse_failed { message }) ->
+     Alcotest.(check bool) "parse error names the deck" true
+       (contains message "bad.sp")
+   | _ -> Alcotest.fail "expected Parse_failed");
+  (* A floating net is a lint error: blocked under the default policy,
+     loadable under no_lint. *)
+  let floating = "* t\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1p\nR9 x y 1k\n.end\n" in
+  (match
+     Tool.Pipeline.load (Tool.Pipeline.Deck_text { name = "f.sp"; text = floating })
+   with
+   | Error (Tool.Pipeline.Lint_blocked { findings }) ->
+     Alcotest.(check bool) "findings travel with the block" true
+       (findings <> []);
+     Alcotest.(check int) "exit code 4" 4
+       (Tool.Pipeline.exit_code (Tool.Pipeline.Lint_blocked { findings }))
+   | Ok _ -> Alcotest.fail "lint gate should have blocked"
+   | Error f ->
+     Alcotest.failf "expected Lint_blocked, got: %s"
+       (Tool.Pipeline.failure_message f));
+  match
+    Tool.Pipeline.load
+      ~policy:{ Tool.Pipeline.no_lint = true; strict = false }
+      (Tool.Pipeline.Deck_text { name = "f.sp"; text = floating })
+  with
+  | Ok loaded ->
+    Alcotest.(check (list string)) "no_lint runs no linter" []
+      (List.map (fun (f : Lint.Rule.finding) -> f.rule_id)
+         loaded.Tool.Pipeline.findings)
+  | Error f ->
+    Alcotest.failf "no_lint load failed: %s" (Tool.Pipeline.failure_message f)
+
 let test_manifest_load_errors () =
   Alcotest.(check bool) "not json" true
     (Result.is_error (Tool.Manifest.of_json_string "not json"));
@@ -539,5 +718,15 @@ let () =
        [ Alcotest.test_case "build/load roundtrip" `Quick
            test_manifest_roundtrip;
          Alcotest.test_case "diff semantics" `Quick test_manifest_diff;
+         Alcotest.test_case "diff JSON" `Quick test_manifest_diff_json;
          Alcotest.test_case "load errors" `Quick
-           test_manifest_load_errors ]) ]
+           test_manifest_load_errors ]);
+      ("cache",
+       [ Alcotest.test_case "warm hit re-solves nothing" `Quick
+           test_pipeline_warm_hit;
+         Alcotest.test_case "key granularity" `Quick
+           test_pipeline_cache_keys;
+         Alcotest.test_case "LRU eviction" `Quick test_cache_eviction ]);
+      ("pipeline",
+       [ Alcotest.test_case "failures as values" `Quick
+           test_pipeline_failures ]) ]
