@@ -173,8 +173,9 @@ let obs_term =
   let metrics =
     Arg.(value & flag
          & info [ "metrics" ]
-             ~doc:"Print a span/counter summary table to stderr when \
-                   the command finishes.")
+             ~doc:"Print a span/counter summary table plus cache \
+                   occupancy (entries/capacity per family) to stderr \
+                   when the command finishes.")
   in
   let setup trace metrics =
     if trace <> None || metrics then begin
@@ -188,8 +189,20 @@ let obs_term =
           Option.iter
             (fun path -> Obs.Trace.write_events path events)
             trace;
-          if metrics then
-            Format.eprintf "%a@?" (Obs.Metrics.pp_events events) ())
+          if metrics then begin
+            Format.eprintf "%a" (Obs.Metrics.pp_events events) ();
+            (* Occupancy is state, not a monotonic counter, so it is
+               read off the cache itself rather than the registry. *)
+            List.iter
+              (fun (s : Tool.Cache.family_stats) ->
+                Format.eprintf
+                  "cache.%s: %d/%d entries, %d hit(s), %d miss(es), %d \
+                   eviction(s)@."
+                  s.family s.entries s.capacity s.hits s.misses
+                  s.evictions)
+              (Tool.Cache.stats (Tool.Cache.global ()));
+            Format.eprintf "@?"
+          end)
     end
   in
   Term.(const setup $ trace $ metrics)
@@ -283,14 +296,23 @@ let all_nodes_cmd =
   let nodes =
     Arg.(value & opt (some (list string)) None
          & info [ "nodes" ] ~docv:"N1,N2,..."
-             ~doc:"Restrict the scan to these nets.")
+             ~doc:"Restrict the scan to these nets. The special value \
+                   $(b,auto) probes the static signal-flow report's \
+                   greedy cover instead: the fewest nets that still \
+                   observe every enumerated feedback loop (see $(b,acstab \
+                   loops)).")
   in
   let run () () () () lint file fmin fmax ppd nodes annotate html manifest
       parallel =
     let loaded = load_deck lint file in
     let options = { (options_of fmin fmax ppd) with
                     Stability.Analysis.parallel } in
-    let o = analyze ~options loaded (Tool.Pipeline.All_nodes nodes) in
+    let what =
+      match nodes with
+      | Some [ "auto" ] -> Tool.Pipeline.Auto_nodes
+      | nodes -> Tool.Pipeline.All_nodes nodes
+    in
+    let o = analyze ~options loaded what in
     let results = o.Tool.Pipeline.results in
     let circ = loaded.Tool.Pipeline.circ in
     Stability.Report.all_nodes Format.std_formatter results;
@@ -818,6 +840,57 @@ let lint_cmd =
              source lines.")
     Term.(const run $ log_term $ file_arg $ json $ strict $ disable)
 
+(* ---- loops ---- *)
+
+let loops_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as one JSON object (schema \
+                   acstab-loops/1) on stdout.")
+  in
+  let max_len =
+    Arg.(value & opt int Staticanalysis.Report.default_bounds.max_len
+         & info [ "max-len" ] ~docv:"N"
+             ~doc:"Longest elementary cycle enumerated (nets per loop).")
+  in
+  let max_cycles =
+    Arg.(value & opt int Staticanalysis.Report.default_bounds.max_cycles
+         & info [ "max-cycles" ] ~docv:"N"
+             ~doc:"Stop after this many cycles (the report is flagged \
+                   truncated).")
+  in
+  let run () () file json max_len max_cycles =
+    (* No lint gate: the loops report is itself a static diagnostic, so
+       it must work on exactly the decks lint complains about. *)
+    let loaded =
+      match
+        Tool.Pipeline.load
+          ~policy:{ Tool.Pipeline.no_lint = true; strict = false }
+          (Tool.Pipeline.Deck_file file)
+      with
+      | Ok l -> l
+      | Error failure -> fail_run ~file failure
+    in
+    let bounds = { Staticanalysis.Cycles.max_len; max_cycles } in
+    let report, _ = Tool.Pipeline.static_report ~bounds loaded in
+    if json then
+      print_endline
+        (Tool.Json.to_string
+           (Tool.Loops_report.json ~deck:file
+              ~sha256:loaded.Tool.Pipeline.sha256 report))
+    else print_string (Tool.Loops_report.render ~deck:file report)
+  in
+  Cmd.v
+    (Cmd.info "loops"
+       ~doc:"Static signal-flow analysis of a netlist without solving \
+             anything: enumerate the feedback loops (global vs. local, \
+             ranked by structural gain order), compute the probe cover \
+             that $(b,--nodes auto) analyzes, and flag undrivable nets \
+             and open-loop gain devices.")
+    Term.(const run $ log_term $ obs_term $ file_arg $ json $ max_len
+          $ max_cycles)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -908,14 +981,17 @@ let serve_cmd =
   let socket =
     Arg.(required & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
-             ~doc:"Unix-domain socket to listen on (a stale socket file \
-                   left by a dead daemon is replaced).")
+             ~doc:"Unix-domain socket to listen on. A stale socket file \
+                   left by a dead daemon is unlinked and replaced; if a \
+                   live daemon already answers on it, this command \
+                   refuses to start instead of stealing the path.")
   in
   let capacity =
     Arg.(value & opt int Tool.Cache.default_capacity
          & info [ "cache-capacity" ] ~docv:"N"
              ~doc:"Entries kept per cache family (operating points, \
-                   solve plans, result sets) before LRU eviction.")
+                   solve plans, result sets, signal-flow reports) \
+                   before LRU eviction.")
   in
   let run () () () socket capacity =
     match Tool.Server.serve ~capacity ~socket () with
@@ -1001,7 +1077,7 @@ let main =
       tran_cmd;
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
-      montecarlo_cmd; table1_cmd; lint_cmd; check_cmd; diff_cmd; serve_cmd;
-      export_cmd; demo_cmd ]
+      montecarlo_cmd; table1_cmd; lint_cmd; loops_cmd; check_cmd; diff_cmd;
+      serve_cmd; export_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -22,6 +22,7 @@ let finding ?(nets = []) ?(devices = []) ?line ~id severity message =
 type ctx = {
   circ : Circuit.Netlist.t;
   mna : Engine.Mna.t option;
+  static : Staticanalysis.Report.t Lazy.t;
 }
 
 let make_ctx circ =
@@ -33,7 +34,9 @@ let make_ctx circ =
     | mna -> Some mna
     | exception _ -> None
   in
-  { circ; mna }
+  (* Lazy: forced the first time a graph-powered rule runs, shared by
+     all of them within one lint pass. *)
+  { circ; mna; static = lazy (Staticanalysis.Report.analyze circ) }
 
 type t = {
   id : string;

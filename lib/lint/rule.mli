@@ -28,10 +28,13 @@ val finding :
 
 (** Everything a rule may inspect. [mna] is [None] when elaboration
     failed (e.g. a missing model card); rules needing the compiled system
-    then simply skip. *)
+    then simply skip. [static] is the signal-flow report — lazy, so a
+    pass with no graph-powered rule never builds the graph, and one pass
+    builds it at most once. *)
 type ctx = {
   circ : Circuit.Netlist.t;
   mna : Engine.Mna.t option;
+  static : Staticanalysis.Report.t Lazy.t;
 }
 
 val make_ctx : Circuit.Netlist.t -> ctx

@@ -596,10 +596,149 @@ let singular_structure =
             end
           end) }
 
+(* ---- graph-powered rules over the static signal-flow report ----
+
+   These force [ctx.static] (built at most once per lint pass). The
+   report is deterministic and never raises on a parseable netlist; the
+   runner's crash containment covers the rest. *)
+
+let loop_no_compensation =
+  { id = "loop-no-compensation";
+    title = "global feedback loop with no capacitor on any member net";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        let report = Lazy.force ctx.static in
+        let cap_nets =
+          List.concat_map
+            (fun d ->
+              match d with
+              | Netlist.Capacitor { n1; n2; _ } -> [ canon n1; canon n2 ]
+              | _ -> [])
+            (Netlist.devices ctx.circ)
+        in
+        List.filter_map
+          (fun (l : Staticanalysis.Report.loop) ->
+            match l.kind with
+            | Staticanalysis.Report.Local _ -> None
+            | Staticanalysis.Report.Global ->
+              if List.exists (fun n -> List.mem n cap_nets) l.nets then None
+              else
+                Some
+                  (mk ctx ~nets:l.nets ~devices:l.devices
+                     ~id:"loop-no-compensation" Warning
+                     "global feedback loop %s has no capacitor on any \
+                      member net: no compensation shapes its response"
+                     l.id))
+          report.loops) }
+
+let gain_outside_loop =
+  { id = "gain-outside-loop";
+    title = "gain device closing no feedback loop"; severity = Info;
+    check =
+      (fun ctx ->
+        let report = Lazy.force ctx.static in
+        List.map
+          (fun d ->
+            mk ctx ~devices:[ d ] ~lead:d ~id:"gain-outside-loop" Info
+              "%S contributes gain but closes no cycle in the signal-flow \
+               graph: it runs open-loop (bias distribution, or a missing \
+               feedback connection)" d)
+          report.open_gain) }
+
+let loop_through_suspect =
+  { id = "loop-through-suspect";
+    title = "feedback loop runs through a value-flagged device";
+    severity = Warning;
+    check =
+      (fun ctx ->
+        let flagged =
+          List.concat_map
+            (fun (f : finding) -> f.devices)
+            (zero_value.check ctx @ suspicious_value.check ctx)
+          |> List.sort_uniq compare
+        in
+        if flagged = [] then []
+        else
+          let report = Lazy.force ctx.static in
+          List.filter_map
+            (fun (l : Staticanalysis.Report.loop) ->
+              match List.filter (fun d -> List.mem d flagged) l.devices with
+              | [] -> None
+              | bad ->
+                Some
+                  (mk ctx ~nets:l.nets ~devices:bad
+                     ~id:"loop-through-suspect" Warning
+                     "feedback loop %s runs through %s, flagged by the \
+                      value checks: its loop gain is untrustworthy" l.id
+                     (String.concat ", " bad)))
+            report.loops) }
+
+let undrivable_probe =
+  { id = "undrivable-probe";
+    title = ".stab target unknown, voltage-pinned or source-unreachable";
+    severity = Error;
+    check =
+      (fun ctx ->
+        let report = Lazy.force ctx.static in
+        let g = report.Staticanalysis.Report.graph in
+        let reach = Staticanalysis.Sfg.reachable_from_sources g in
+        List.filter_map
+          (fun n ->
+            if Netlist.is_ground n then
+              Some
+                (mk ctx ~nets:[ n ] ~id:"undrivable-probe" Warning
+                   ".stab targets ground, the AC reference: its response \
+                    is identically zero")
+            else
+              match Staticanalysis.Sfg.index g n with
+              | None ->
+                Some
+                  (mk ctx ~nets:[ n ] ~id:"undrivable-probe" Error
+                     ".stab names net %S, which does not exist in the \
+                      design" n)
+              | Some v ->
+                if Staticanalysis.Sfg.is_pinned g v then
+                  let driver =
+                    Option.value ~default:"?"
+                      (Staticanalysis.Sfg.pinning_driver g v)
+                  in
+                  Some
+                    (mk ctx ~nets:[ n ] ~devices:[ driver ]
+                       ~id:"undrivable-probe" Warning
+                       ".stab target %S is voltage-pinned by %S: its \
+                        driving-point response reveals nothing" n driver)
+                else (
+                  match reach with
+                  | Some seen when not seen.(v) ->
+                    Some
+                      (mk ctx ~nets:[ n ] ~id:"undrivable-probe" Warning
+                         ".stab target %S is unreachable from every \
+                          independent source: stimulus cannot excite it" n)
+                  | _ -> None))
+          (Staticanalysis.Sfg.stab_targets g)) }
+
+let unobservable_loop =
+  { id = "unobservable-loop";
+    title = "feedback loop with no probeable member net"; severity = Warning;
+    check =
+      (fun ctx ->
+        let report = Lazy.force ctx.static in
+        List.map
+          (fun (l : Staticanalysis.Report.loop) ->
+            mk ctx ~nets:l.nets ~devices:l.devices ~id:"unobservable-loop"
+              Warning
+              "every member net of feedback loop %s is voltage-pinned: no \
+               probe can observe it and --nodes auto will not analyze it"
+              l.id)
+          report.Staticanalysis.Report.uncovered) }
+
 let all =
   [ no_ground; floating_net; dangling_net; no_dc_path; duplicate_name;
     shorted_element; zero_value; suspicious_value; unknown_model;
     unknown_control; bad_mutual; source_only_net; unconnected_control;
-    vsource_loop; isource_cutset; singular_structure ]
+    vsource_loop; isource_cutset; singular_structure; loop_no_compensation;
+    gain_outside_loop; loop_through_suspect; undrivable_probe;
+    unobservable_loop ]
 
 let find id = List.find_opt (fun r -> String.equal r.Rule.id id) all

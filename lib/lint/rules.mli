@@ -21,7 +21,24 @@
     - [isource-cutset] (error) — subcircuit cut off from any DC return
       path and driven only through current sources/capacitors
     - [singular-structure] (error) — the MNA sparsity pattern admits no
-      perfect row/column matching (singular for every element value) *)
+      perfect row/column matching (singular for every element value)
+
+    Graph-powered rules, over the static signal-flow report
+    ({!Staticanalysis.Report}, built lazily at most once per pass):
+
+    - [loop-no-compensation] (warning) — a global feedback loop with no
+      capacitor touching any member net: nothing shapes its response
+    - [gain-outside-loop] (info) — a controlled source or transistor
+      whose gain closes no cycle (bias distribution, or a feedback
+      connection that was meant to exist)
+    - [loop-through-suspect] (warning) — a feedback loop running through
+      a device flagged by [zero-value] / [suspicious-value]
+    - [undrivable-probe] (error/warning) — a [.stab] card naming an
+      unknown net (error), a voltage-pinned net, or a net unreachable
+      from every independent source (warnings; reachability is skipped
+      for source-free fixtures)
+    - [unobservable-loop] (warning) — a loop all of whose member nets are
+      voltage-pinned: no probe observes it, [--nodes auto] skips it *)
 
 val all : Rule.t list
 (** Every built-in rule, catalogue order. *)

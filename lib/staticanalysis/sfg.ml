@@ -1,0 +1,254 @@
+(* Small-signal signal-flow graph, read straight off the device stamps.
+
+   Two modelling choices matter for everything downstream:
+
+   - Pinned nets. Nets reachable from ground through voltage-defining
+     branches (independent V sources, E/H outputs) have zero
+     driving-point impedance: probing them reveals nothing, and no
+     device other than their own driver can move them. They stay in
+     the graph as through-vertices (an amplifier output is pinned yet
+     very much part of its loop), but every edge into them except
+     their driver's own is pruned, and the probe cover never selects
+     them.
+
+   - Transistor skeletons omit the b-c / g-d coupling capacitor. With
+     it, every transistor closes a private two-net "Miller loop" and
+     the report drowns in one structural loop per device; without it,
+     the loops that remain are the ones a designer would point at.
+     The b-e / g-s branch is kept (it is how mirror- and
+     follower-style local loops close). *)
+
+open Circuit
+
+type edge_kind = Passive | Gain | Short | Coupling
+
+let kind_string = function
+  | Passive -> "passive"
+  | Gain -> "gain"
+  | Short -> "short"
+  | Coupling -> "coupling"
+
+type edge = { device : string; kind : edge_kind; src : int; dst : int }
+
+type t = {
+  names : string array;
+  idx : (string, int) Hashtbl.t;
+  all_edges : edge list;
+  adj : int list array;
+  par : (int, edge list) Hashtbl.t; (* src * size + dst -> parallel edges *)
+  pinned : string option array;     (* pinning driver, when pinned *)
+  seeds : int list;
+  has_src : bool;
+  stabs : string list;
+}
+
+let canon n = if Netlist.is_ground n then Netlist.ground else n
+
+(* Voltage-defining branches: the edges of the "stiff" graph whose
+   ground-connected component is the pinned set. Inductors are
+   voltage-defined in the MNA sense but not stiff at AC, so they do
+   not pin. *)
+let pinning_branches circ =
+  List.filter_map
+    (fun d ->
+      match d with
+      | Netlist.Vsource { name; npos; nneg; _ }
+      | Netlist.Vcvs { name; npos; nneg; _ }
+      | Netlist.Ccvs { name; npos; nneg; _ } ->
+        Some (name, canon npos, canon nneg)
+      | _ -> None)
+    (Netlist.devices circ)
+
+let build circ =
+  let names = Array.of_list (Netlist.node_names circ) in
+  let size = Array.length names in
+  let idx = Hashtbl.create (2 * size + 1) in
+  Array.iteri (fun i n -> Hashtbl.replace idx n i) names;
+  let vid n = if Netlist.is_ground n then None else Hashtbl.find_opt idx n in
+  (* -- pinned nets: fixpoint from ground over the stiff branches -- *)
+  let pinned = Array.make size None in
+  let is_pinned_name n =
+    Netlist.is_ground n
+    || match vid n with Some v -> pinned.(v) <> None | None -> false
+  in
+  let pin n driver =
+    match vid n with
+    | Some v when pinned.(v) = None ->
+      pinned.(v) <- Some driver;
+      true
+    | _ -> false
+  in
+  let branches = pinning_branches circ in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (driver, a, b) ->
+        let pa = is_pinned_name a and pb = is_pinned_name b in
+        if pa && not pb then changed := pin b driver || !changed
+        else if pb && not pa then changed := pin a driver || !changed)
+      branches
+  done;
+  (* -- edges -- *)
+  let acc = ref [] in
+  let dir device kind a b =
+    match (vid a, vid b) with
+    | Some src, Some dst when src <> dst ->
+      acc := { device; kind; src; dst } :: !acc
+    | _ -> ()
+  in
+  let pair device kind a b =
+    dir device kind a b;
+    dir device kind b a
+  in
+  let gains device ctrls outs =
+    List.iter (fun c -> List.iter (fun o -> dir device Gain c o) outs) ctrls
+  in
+  let sensed_terminals vname =
+    match Netlist.find_device circ vname with
+    | Some d -> (
+      match Netlist.device_nodes d with a :: b :: _ -> [ a; b ] | l -> l)
+    | None -> []
+  in
+  let inductor_terminals lname =
+    match Netlist.find_device circ lname with
+    | Some (Netlist.Inductor { n1; n2; _ }) -> [ n1; n2 ]
+    | _ -> []
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Netlist.Resistor { name; n1; n2; _ }
+      | Netlist.Capacitor { name; n1; n2; _ }
+      | Netlist.Inductor { name; n1; n2; _ } -> pair name Passive n1 n2
+      | Netlist.Diode { name; npos; nneg; _ } -> pair name Passive npos nneg
+      | Netlist.Vsource { name; npos; nneg; _ } -> pair name Short npos nneg
+      | Netlist.Isource _ -> ()
+      | Netlist.Vcvs { name; npos; nneg; cpos; cneg; _ } ->
+        gains name [ cpos; cneg ] [ npos; nneg ];
+        pair name Short npos nneg
+      | Netlist.Vccs { name; npos; nneg; cpos; cneg; _ } ->
+        gains name [ cpos; cneg ] [ npos; nneg ]
+      | Netlist.Cccs { name; npos; nneg; vname; _ } ->
+        gains name (sensed_terminals vname) [ npos; nneg ]
+      | Netlist.Ccvs { name; npos; nneg; vname; _ } ->
+        gains name (sensed_terminals vname) [ npos; nneg ];
+        pair name Short npos nneg
+      | Netlist.Bjt { name; nc; nb; ne; _ } ->
+        if String.equal (canon nb) (canon nc) then
+          (* diode-connected: a two-terminal junction, no gain *)
+          pair name Passive nb ne
+        else begin
+          gains name [ nb ] [ nc; ne ];
+          gains name [ ne ] [ nc ];
+          pair name Passive nb ne; (* rpi *)
+          pair name Passive nc ne  (* ro *)
+        end
+      | Netlist.Mosfet { name; nd; ng; ns; _ } ->
+        if String.equal (canon ng) (canon nd) then
+          pair name Passive ng ns
+        else begin
+          gains name [ ng ] [ nd; ns ];
+          gains name [ ns ] [ nd ];
+          pair name Passive ng ns; (* cgs *)
+          pair name Passive nd ns  (* ro *)
+        end
+      | Netlist.Mutual { name; l1; l2; _ } ->
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b -> pair name Coupling a b)
+              (inductor_terminals l2))
+          (inductor_terminals l1))
+    (Netlist.devices circ);
+  (* -- pinned-net pruning: only the driver moves a pinned net -- *)
+  let kept =
+    List.filter
+      (fun e ->
+        match pinned.(e.dst) with
+        | None -> true
+        | Some driver -> String.equal driver e.device)
+      !acc
+  in
+  let adj = Array.make size [] in
+  let par = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = (e.src * size) + e.dst in
+      (match Hashtbl.find_opt par k with
+       | None ->
+         adj.(e.src) <- e.dst :: adj.(e.src);
+         Hashtbl.replace par k [ e ]
+       | Some es -> Hashtbl.replace par k (e :: es)))
+    kept;
+  Array.iteri (fun v ws -> adj.(v) <- List.sort_uniq compare ws) adj;
+  let seeds =
+    List.concat_map
+      (fun d ->
+        match d with
+        | Netlist.Vsource { npos; nneg; _ } | Netlist.Isource { npos; nneg; _ }
+          ->
+          List.filter_map vid [ npos; nneg ]
+        | _ -> [])
+      (Netlist.devices circ)
+    |> List.sort_uniq compare
+  in
+  let has_src =
+    List.exists
+      (function Netlist.Vsource _ | Netlist.Isource _ -> true | _ -> false)
+      (Netlist.devices circ)
+  in
+  let stabs =
+    List.filter_map
+      (function Netlist.Stab_node n -> Some n | _ -> None)
+      (Netlist.directives circ)
+  in
+  { names; idx; all_edges = kept; adj; par; pinned; seeds; has_src; stabs }
+
+let size t = Array.length t.names
+let net t v = t.names.(v)
+let index t n = Hashtbl.find_opt t.idx n
+let nets t = t.names
+let edges t = t.all_edges
+let succ t = t.adj
+
+let edges_between t u v =
+  match Hashtbl.find_opt t.par ((u * size t) + v) with
+  | Some es -> es
+  | None -> []
+
+let is_pinned t v = t.pinned.(v) <> None
+let pinning_driver t v = t.pinned.(v)
+
+let pinned_nets t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v d -> if d <> None then acc := t.names.(v) :: !acc)
+    t.pinned;
+  List.sort compare !acc
+
+let has_sources t = t.has_src
+let source_seeds t = t.seeds
+
+let reachable_from_sources t =
+  if not t.has_src then None
+  else begin
+    let n = size t in
+    let seen = Array.make n false in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter visit t.adj.(v)
+      end
+    in
+    List.iter visit t.seeds;
+    Some seen
+  end
+
+let gain_devices t =
+  List.filter_map
+    (fun e -> if e.kind = Gain then Some e.device else None)
+    t.all_edges
+  |> List.sort_uniq compare
+
+let stab_targets t = t.stabs

@@ -1,0 +1,94 @@
+(** Small-signal signal-flow graph of a netlist.
+
+    Vertices are the circuit's non-ground nets; edges say "an AC signal
+    on net A moves net B", read straight off the device stamps with no
+    DC solve:
+
+    - R, L, C, diodes: bidirectional {!Passive} edges between their
+      terminals.
+    - Controlled sources (E/G/F/H): directed {!Gain} edges from each
+      controlling net to each output net — the only place direction
+      (and therefore feedback) enters the graph.
+    - Transistors: the canonical small-signal skeleton. A BJT
+      contributes gain edges b->c, b->e and e->c plus passive b-e
+      (rpi) and c-e (ro); a MOSFET g->d, g->s and s->d plus passive
+      g-s (cgs) and d-s (ro). The b-c / g-d coupling capacitance is
+      deliberately omitted: it would put a trivial two-net "Miller
+      loop" on every single transistor and drown the report. A
+      diode-connected BJT (base shorted to collector) contributes no
+      gain edges at all.
+    - V sources and E/H outputs: a {!Short} edge between their
+      terminals (an AC short), and the terminals become {e pinned} —
+      reachable from ground through voltage-defining branches, hence
+      held at zero driving-point impedance. A pinned net still carries
+      signal {e out} (amplifier outputs are pinned), but nothing other
+      than its own driver can move it, so every edge into a pinned net
+      except the driver's own is pruned, and pinned nets are excluded
+      from probe-cover candidacy.
+    - K elements: bidirectional {!Coupling} edges between the two
+      coupled inductors' terminals.
+
+    Ground never appears: it is the AC reference, so signal paths
+    through it are not paths. *)
+
+type edge_kind = Passive | Gain | Short | Coupling
+
+val kind_string : edge_kind -> string
+
+type edge = {
+  device : string;    (** contributing device *)
+  kind : edge_kind;
+  src : int;
+  dst : int;
+}
+
+type t
+
+val build : Circuit.Netlist.t -> t
+(** Never raises: devices with missing references (dangling mutuals,
+    unknown controlling sources) simply contribute no edges — the lint
+    reference rules own those complaints. *)
+
+val size : t -> int
+(** Vertex count (non-ground nets). *)
+
+val net : t -> int -> string
+val index : t -> string -> int option
+val nets : t -> string array
+
+val edges : t -> edge list
+(** All kept edges, after pinned-net pruning. *)
+
+val succ : t -> int list array
+(** Simple-digraph adjacency (parallel edges deduplicated), the input
+    {!Cycles.enumerate} wants. *)
+
+val edges_between : t -> int -> int -> edge list
+(** The parallel edges from one vertex to another (hop labelling). *)
+
+val is_pinned : t -> int -> bool
+val pinning_driver : t -> int -> string option
+(** The voltage-defining device that pins this net, when pinned. *)
+
+val pinned_nets : t -> string list
+(** Sorted names of the pinned nets. *)
+
+val has_sources : t -> bool
+(** Whether the design contains any independent V/I source. *)
+
+val source_seeds : t -> int list
+(** Non-ground terminals of the independent sources — where stimulus
+    enters for reachability. *)
+
+val reachable_from_sources : t -> bool array option
+(** Forward reachability over the kept edges from the source seeds;
+    [None] when the design has no independent sources (autonomous
+    fixtures such as a bare tank are not "undrivable", there is simply
+    nothing to drive them with). *)
+
+val gain_devices : t -> string list
+(** Sorted names of the devices contributing at least one gain edge.
+    A diode-connected BJT contributes none and is not listed. *)
+
+val stab_targets : t -> string list
+(** Nets named by [.stab] cards, in deck order. *)

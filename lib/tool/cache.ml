@@ -8,11 +8,12 @@
    force — an edited deck or a changed option is a different key, which
    is all the invalidation a content-addressed cache needs.
 
-   Three families, one per pipeline stage:
+   Four families, one per pipeline stage:
    - [op]     : prepared probes (MNA compile + DC operating point)
    - [plan]   : compiled {!Engine.Ac_plan} symbolic analyses ([None]
                 when the options select a dense backend)
    - [result] : full analysis outcomes (node results + run manifest)
+   - [sfg]    : static signal-flow reports (loops + probe cover)
 
    Every family feeds always-on {!Obs.Counter}s ([cache.<family>.hits]
    / [.misses] / [.evictions]) so traces, [--metrics] and the serve
@@ -48,6 +49,7 @@ type t = {
   ops : Stability.Probe.t family;
   plans : Engine.Ac_plan.t option family;
   results : result_entry family;
+  sfgs : Staticanalysis.Report.t family;
 }
 
 let family fname =
@@ -65,7 +67,8 @@ let create ?(capacity = default_capacity) () =
     tick = 0;
     ops = family "op";
     plans = family "plan";
-    results = family "result" }
+    results = family "result";
+    sfgs = family "sfg" }
 
 let the_global = lazy (create ())
 let global () = Lazy.force the_global
@@ -124,19 +127,35 @@ let memo c fam ~key compute =
 let op c ~key compute = memo c c.ops ~key compute
 let plan c ~key compute = memo c c.plans ~key compute
 let result c ~key compute = memo c c.results ~key compute
+let sfg c ~key compute = memo c c.sfgs ~key compute
 
 let clear c =
   locked c (fun () ->
       Hashtbl.reset c.ops.table;
       Hashtbl.reset c.plans.table;
-      Hashtbl.reset c.results.table)
+      Hashtbl.reset c.results.table;
+      Hashtbl.reset c.sfgs.table)
 
-let family_stat (fam : _ family) =
-  (fam.fname,
-   Hashtbl.length fam.table,
-   Obs.Counter.value fam.hits,
-   Obs.Counter.value fam.misses)
+let capacity c = c.capacity
+
+type family_stats = {
+  family : string;
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let family_stat (c : t) (fam : _ family) =
+  { family = fam.fname;
+    entries = Hashtbl.length fam.table;
+    capacity = c.capacity;
+    hits = Obs.Counter.value fam.hits;
+    misses = Obs.Counter.value fam.misses;
+    evictions = Obs.Counter.value fam.evictions }
 
 let stats c =
   locked c (fun () ->
-      [ family_stat c.ops; family_stat c.plans; family_stat c.results ])
+      [ family_stat c c.ops; family_stat c c.plans;
+        family_stat c c.results; family_stat c c.sfgs ])

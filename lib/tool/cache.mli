@@ -4,18 +4,19 @@
     Keys are opaque strings built by {!Pipeline} from the deck's
     SHA-256 fingerprint plus the options in force, so an edited deck or
     a changed option is simply a different key — content addressing is
-    the whole invalidation story. Three families are memoized
+    the whole invalidation story. Four families are memoized
     independently: prepared probes (MNA compile + DC operating point),
-    compiled {!Engine.Ac_plan} symbolic analyses, and complete result
-    sets with their run manifests. A warm [result] hit therefore costs
+    compiled {!Engine.Ac_plan} symbolic analyses, complete result
+    sets with their run manifests, and static signal-flow reports
+    ({!Staticanalysis.Report.t}). A warm [result] hit therefore costs
     zero DC solves and zero symbolic analyses — the serve smoke test
     asserts exactly that from the [dcop.solves] / [acplan.symbolic]
     counters.
 
     Hit/miss/eviction telemetry flows through always-on
     {!Obs.Counter}s: [cache.op.hits], [cache.op.misses],
-    [cache.op.evictions], and likewise for the [plan] and [result]
-    families.
+    [cache.op.evictions], and likewise for the [plan], [result] and
+    [sfg] families.
 
     All operations are safe to call concurrently (the serve daemon
     calls in from {!Parallel.Pool} workers). The compute thunk runs
@@ -58,9 +59,28 @@ val plan :
 val result :
   t -> key:string -> (unit -> result_entry) -> result_entry * bool
 
+val sfg :
+  t -> key:string -> (unit -> Staticanalysis.Report.t) ->
+  Staticanalysis.Report.t * bool
+(** Static signal-flow reports: loop enumeration and probe cover are
+    pure functions of the deck text and the cycle bounds, so a warm hit
+    is a zero-rebuild answer — the [sfg.builds] counter stays flat. *)
+
 val clear : t -> unit
 
-val stats : t -> (string * int * int * int) list
-(** Per family: [(name, live_entries, hits, misses)]. Hit/miss counts
-    read the process-global counters, so they aggregate across caches
-    that share the registry. *)
+val capacity : t -> int
+(** The per-family LRU bound this cache was created with. *)
+
+type family_stats = {
+  family : string;     (** ["op"], ["plan"], ["result"] or ["sfg"] *)
+  entries : int;       (** live entries right now *)
+  capacity : int;      (** LRU bound (same for every family) *)
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> family_stats list
+(** One record per family, in declaration order. Hit/miss/eviction
+    counts read the process-global counters, so they aggregate across
+    caches that share the registry. *)

@@ -1,0 +1,22 @@
+(** Rendering of {!Staticanalysis.Report}s for the tool layer.
+
+    [acstab loops] prints {!render} (byte-stable — the root
+    [@staticcheck] alias compares it against committed goldens) or the
+    [acstab-loops/1] document from {!json}; {!section} is the loops
+    record embedded in run manifests and gated by [acstab diff]. *)
+
+val schema_version : string
+(** ["acstab-loops/1"]. *)
+
+val section : Staticanalysis.Report.t -> Manifest.loops_section
+(** The manifest's structural summary: loop records (id, kind, gain
+    order, member nets), the probe cover, and the truncation flag. *)
+
+val render : deck:string -> Staticanalysis.Report.t -> string
+(** Human-readable report: graph size, pinned nets, every loop with its
+    devices and cover net, the probe cover, undrivable nets and
+    open-gain devices. Deterministic for a given deck. *)
+
+val json : deck:string -> sha256:string -> Staticanalysis.Report.t -> Json.t
+(** The [acstab-loops/1] document ([acstab loops --json] and the serve
+    daemon's [loops] responses). *)

@@ -16,6 +16,19 @@ type node_entry = {
   quality : string;
 }
 
+type loop_record = {
+  loop_id : string;
+  loop_kind : string;
+  loop_gain_order : int;
+  loop_nets : string list;
+}
+
+type loops_section = {
+  loop_list : loop_record list;
+  cover : string list;
+  loops_truncated : bool;
+}
+
 type t = {
   deck_file : string;
   deck_sha256 : string;
@@ -23,6 +36,7 @@ type t = {
   options : (string * string) list;
   lint : Json.t;
   nodes : node_entry list;
+  loops : loops_section option;
   counters : (string * int) list;
   histograms : (string * Obs.Histogram.summary) list;
   wall_s : float;
@@ -39,8 +53,8 @@ let entry_of_result (r : Stability.Analysis.node_result) =
     peak = dominant (fun d -> d.Stability.Peaks.value);
     quality = Stability.Analysis.quality_string r.quality }
 
-let build ~deck_file ~deck_text ?circ ?(options = []) ?lint_json ~results
-    ~wall_s ~cpu_s () =
+let build ~deck_file ~deck_text ?circ ?(options = []) ?lint_json ?loops
+    ~results ~wall_s ~cpu_s () =
   let lint =
     match lint_json with
     | None -> Json.Arr []
@@ -63,6 +77,7 @@ let build ~deck_file ~deck_text ?circ ?(options = []) ?lint_json ~results
     options;
     lint;
     nodes = List.map entry_of_result results;
+    loops;
     counters = List.filter (fun (_, v) -> v <> 0) (Obs.Counter.snapshot ());
     histograms = Obs.Histogram.snapshot ();
     wall_s;
@@ -81,6 +96,19 @@ let json_of_entry e =
       ("peak", opt_num e.peak);
       ("quality", Json.Str e.quality) ]
 
+let json_of_loop l =
+  Json.Obj
+    [ ("id", Json.Str l.loop_id);
+      ("kind", Json.Str l.loop_kind);
+      ("gain_order", Json.Num (float_of_int l.loop_gain_order));
+      ("nets", Json.Arr (List.map (fun n -> Json.Str n) l.loop_nets)) ]
+
+let json_of_loops s =
+  Json.Obj
+    [ ("loops", Json.Arr (List.map json_of_loop s.loop_list));
+      ("cover", Json.Arr (List.map (fun n -> Json.Str n) s.cover));
+      ("truncated", Json.Bool s.loops_truncated) ]
+
 let json_of_summary (s : Obs.Histogram.summary) =
   Json.Obj
     [ ("count", Json.Num (float_of_int s.count));
@@ -91,7 +119,7 @@ let json_of_summary (s : Obs.Histogram.summary) =
 
 let json m =
   (Json.Obj
-       [ ("schema", Json.Str schema_version);
+      ([ ("schema", Json.Str schema_version);
          ("deck",
           Json.Obj
             ([ ("file", Json.Str m.deck_file);
@@ -102,8 +130,14 @@ let json m =
          ("options",
           Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.options));
          ("lint", m.lint);
-         ("nodes", Json.Arr (List.map json_of_entry m.nodes));
-         ("counters",
+         ("nodes", Json.Arr (List.map json_of_entry m.nodes)) ]
+       (* The loops section is optional: manifests written before static
+          analysis existed simply lack it, and [diff] only compares it
+          when both sides carry one. *)
+       @ (match m.loops with
+          | None -> []
+          | Some s -> [ ("loops", json_of_loops s) ])
+       @ [ ("counters",
           Json.Obj
             (List.map
                (fun (k, v) -> (k, Json.Num (float_of_int v)))
@@ -114,7 +148,7 @@ let json m =
          ("timing",
           Json.Obj
             [ ("wall_s", Json.Num m.wall_s); ("cpu_s", Json.Num m.cpu_s) ])
-       ])
+       ]))
 
 let to_json m = Json.to_string (json m)
 
@@ -153,12 +187,34 @@ let entry_of_json v =
     Ok { node; f_n; zeta; phase_margin_deg; peak; quality }
   | q -> Error (Printf.sprintf "manifest: unknown quality grade %S" q)
 
+let str_list name v =
+  match Json.member name v with
+  | Some (Json.Arr items) ->
+    let strs = List.filter_map Json.to_str items in
+    if List.length strs = List.length items then Ok strs
+    else Error (Printf.sprintf "manifest: %S must hold strings" name)
+  | _ -> Error (Printf.sprintf "manifest: missing or ill-typed %S" name)
+
 let rec collect f = function
   | [] -> Ok []
   | x :: rest ->
     let* y = f x in
     let* ys = collect f rest in
     Ok (y :: ys)
+
+let loop_of_json v =
+  let* loop_id = field "id" Json.to_str v in
+  let* loop_kind = field "kind" Json.to_str v in
+  let* gain = field "gain_order" Json.to_float v in
+  let* loop_nets = str_list "nets" v in
+  Ok { loop_id; loop_kind; loop_gain_order = int_of_float gain; loop_nets }
+
+let loops_of_json v =
+  let* items = field "loops" Json.to_list v in
+  let* loop_list = collect loop_of_json items in
+  let* cover = str_list "cover" v in
+  let* loops_truncated = field "truncated" Json.to_bool v in
+  Ok { loop_list; cover; loops_truncated }
 
 let summary_of_json v =
   let* count = field "count" Json.to_float v in
@@ -218,6 +274,11 @@ let of_json_string text =
     let lint = Option.value ~default:(Json.Arr []) (Json.member "lint" v) in
     let* node_items = field "nodes" Json.to_list v in
     let* nodes = collect entry_of_json node_items in
+    let* loops =
+      match Json.member "loops" v with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (loops_of_json s)
+    in
     let* counters =
       assoc_of "counters"
         (fun x -> Result.map int_of_float (num_field x))
@@ -228,8 +289,8 @@ let of_json_string text =
     let* wall_s = field "wall_s" Json.to_float timing in
     let* cpu_s = field "cpu_s" Json.to_float timing in
     Ok
-      { deck_file; deck_sha256; stats; options; lint; nodes; counters;
-        histograms; wall_s; cpu_s }
+      { deck_file; deck_sha256; stats; options; lint; nodes; loops;
+        counters; histograms; wall_s; cpu_s }
 
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -247,6 +308,8 @@ type change =
   | Removed_peak of string
   | Shifted of { node : string; field : string; a : float; b : float }
   | Downgraded of { node : string; from_ : string; to_ : string }
+  | Loop_removed of string
+  | Loop_added of string
 
 let quality_rank = function
   | "good" -> 0
@@ -293,12 +356,31 @@ let diff ?(options = default_diff_options) a b =
           else [])
       a.nodes
   in
+  (* Structural loops are compared only when both manifests carry the
+     section: a reference written before static analysis existed cannot
+     be read as "the design had no loops". A loop that disappears is a
+     gated regression just like a vanished peak — a topology edit has
+     broken (or opened) a feedback path the reference knew about. *)
+  let loop_changes =
+    match (a.loops, b.loops) with
+    | Some la, Some lb ->
+      let ids s = List.map (fun l -> l.loop_id) s.loop_list in
+      let ida = ids la and idb = ids lb in
+      List.filter_map
+        (fun i -> if List.mem i idb then None else Some (Loop_removed i))
+        ida
+      @ List.filter_map
+          (fun i -> if List.mem i ida then None else Some (Loop_added i))
+          idb
+    | _ -> []
+  in
   changes
   @ List.filter_map
       (fun eb ->
         if Hashtbl.mem in_a eb.node || eb.f_n = None then None
         else Some (Added_peak eb.node))
       b.nodes
+  @ loop_changes
 
 (* Machine-readable changes: what `acstab diff --json` prints and what
    the serve daemon returns for a diff request, so CI consumes verdicts
@@ -319,6 +401,10 @@ let change_json = function
     Json.Obj
       [ ("kind", Json.Str "quality_downgraded"); ("node", Json.Str node);
         ("from", Json.Str from_); ("to", Json.Str to_) ]
+  | Loop_removed i ->
+    Json.Obj [ ("kind", Json.Str "loop_removed"); ("loop", Json.Str i) ]
+  | Loop_added i ->
+    Json.Obj [ ("kind", Json.Str "loop_added"); ("loop", Json.Str i) ]
 
 let diff_json ~a ~b changes =
   Json.Obj
@@ -340,3 +426,5 @@ let pp_change ppf = function
   | Downgraded { node; from_; to_ } ->
     Format.fprintf ppf "quality downgraded on node %s: %s -> %s" node from_
       to_
+  | Loop_removed i -> Format.fprintf ppf "feedback loop removed: %s" i
+  | Loop_added i -> Format.fprintf ppf "feedback loop added: %s" i

@@ -19,6 +19,19 @@ type node_entry = {
   quality : string;             (** "good" | "degraded" | "suspect" *)
 }
 
+type loop_record = {
+  loop_id : string;         (** member nets joined with [">"] *)
+  loop_kind : string;       (** ["global"] or ["local:DEV"] *)
+  loop_gain_order : int;
+  loop_nets : string list;
+}
+
+type loops_section = {
+  loop_list : loop_record list;
+  cover : string list;      (** greedy probe cover, selection order *)
+  loops_truncated : bool;   (** a cycle-enumeration bound was hit *)
+}
+
 type t = {
   deck_file : string;
   deck_sha256 : string;
@@ -26,6 +39,9 @@ type t = {
   options : (string * string) list;
   lint : Json.t;                     (** findings as emitted by the CLI *)
   nodes : node_entry list;
+  loops : loops_section option;
+      (** static signal-flow summary; [None] in manifests written before
+          static analysis existed (the JSON field is simply absent) *)
   counters : (string * int) list;    (** non-zero counters at build time *)
   histograms : (string * Obs.Histogram.summary) list;
   wall_s : float;
@@ -37,6 +53,7 @@ val entry_of_result : Stability.Analysis.node_result -> node_entry
 val build :
   deck_file:string -> deck_text:string -> ?circ:Circuit.Netlist.t ->
   ?options:(string * string) list -> ?lint_json:string ->
+  ?loops:loops_section ->
   results:Stability.Analysis.node_result list -> wall_s:float ->
   cpu_s:float -> unit -> t
 (** Assemble a manifest from run results, snapshotting the observability
@@ -70,11 +87,16 @@ type change =
   | Removed_peak of string   (** node lost its dominant peak in B *)
   | Shifted of { node : string; field : string; a : float; b : float }
   | Downgraded of { node : string; from_ : string; to_ : string }
+  | Loop_removed of string   (** loop id in A's loops section, absent in B *)
+  | Loop_added of string     (** loop id in B's loops section, absent in A *)
 
 val diff : ?options:diff_options -> t -> t -> change list
 (** Changes of [b] relative to the reference [a]. Peak numbers within
     tolerance and quality {e upgrades} are not changes; an empty list
-    means the runs agree ([acstab diff] exit 0, otherwise 5). *)
+    means the runs agree ([acstab diff] exit 0, otherwise 5). Structural
+    loop records are compared only when {e both} manifests carry a loops
+    section — references written before static analysis existed gate
+    nothing. *)
 
 val pp_change : Format.formatter -> change -> unit
 

@@ -79,6 +79,20 @@ let stab s circ analysis =
   (Pipeline.analyze_exn ~cache:(Session.cache s) loaded analysis)
     .Pipeline.results
 
+(* The static signal-flow report of the session's elaborated design,
+   memoized through the session cache like any other analysis grain. *)
+let loops s =
+  let circ = elaborate s in
+  let loaded =
+    match
+      Pipeline.load ~policy:{ Pipeline.no_lint = true; strict = false }
+        (Pipeline.Deck_circuit { name = Session.name s; circ })
+    with
+    | Ok l -> l
+    | Error f -> failwith (Pipeline.failure_message f)
+  in
+  fst (Pipeline.static_report ~cache:(Session.cache s) loaded)
+
 let run s =
   let circ = elaborate s in
   let specs =

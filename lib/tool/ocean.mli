@@ -43,6 +43,13 @@ val analysis : Session.t -> Session.analysis_spec -> unit
 val des_var : Session.t -> string -> float -> unit
 val temperature : Session.t -> float -> unit
 
+val loops : Session.t -> Staticanalysis.Report.t
+(** Static signal-flow report (feedback loops, probe cover,
+    reachability) of the session's elaborated design — no solve, and
+    memoized in the session's cache like every other grain, so a
+    re-run on an unchanged design rebuilds nothing. Raises [Failure]
+    when the design text does not parse. *)
+
 val run : Session.t -> results
 (** Execute every configured analysis; analyses read from the design's own
     directive cards are honoured too when none were configured explicitly.

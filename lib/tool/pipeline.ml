@@ -144,27 +144,42 @@ let guard loaded f =
        errors, not internal failures. *)
     Error (Usage_failed { message = Printf.sprintf "error: %s" m })
 
+(* ---- static signal-flow report (cached per deck + bounds) ---- *)
+
+let bounds_fingerprint (b : Staticanalysis.Cycles.bounds) =
+  Printf.sprintf "len=%d,cycles=%d" b.max_len b.max_cycles
+
+let static_report ?cache ?(bounds = Staticanalysis.Report.default_bounds)
+    loaded =
+  let c = match cache with Some c -> c | None -> Cache.global () in
+  let key = loaded.sha256 ^ "|sfg|" ^ bounds_fingerprint bounds in
+  Cache.sfg c ~key (fun () -> Staticanalysis.Report.analyze ~bounds loaded.circ)
+
 (* ---- manifest emission (the one helper every mode shares) ---- *)
 
 let cpu_seconds () =
   let t = Unix.times () in
   t.Unix.tms_utime +. t.Unix.tms_stime
 
-let manifest_of loaded ~options ~results ~wall_s ~cpu_s =
+let manifest_of ?cache loaded ~options ~results ~wall_s ~cpu_s =
   (* The lint findings go in as the lint library's JSON report,
      independent of the gate policy: a --no-lint run still records what
-     the linter would have said. *)
+     the linter would have said. Likewise the structural loops section:
+     it records what the deck's signal-flow graph says regardless of the
+     analysis mode, so `acstab diff` can gate on vanished loops. *)
   let lint_json =
     Lint.Json.report ~file:loaded.deck_name (Lint.Runner.run loaded.circ)
   in
+  let loops = Loops_report.section (fst (static_report ?cache loaded)) in
   Manifest.build ~deck_file:loaded.deck_name ~deck_text:loaded.deck_text
-    ~circ:loaded.circ ~options ~lint_json ~results ~wall_s ~cpu_s ()
+    ~circ:loaded.circ ~options ~lint_json ~loops ~results ~wall_s ~cpu_s ()
 
 (* ---- analyze: the cached stability run ---- *)
 
 type analysis =
   | Single_node of Circuit.Netlist.node
   | All_nodes of Circuit.Netlist.node list option
+  | Auto_nodes
 
 type outcome = {
   loaded : loaded;
@@ -210,6 +225,7 @@ let analysis_fingerprint = function
   | Single_node n -> "single:" ^ n
   | All_nodes None -> "all"
   | All_nodes (Some ns) -> "all:" ^ String.concat "," ns
+  | Auto_nodes -> "auto"
 
 (* Manifest option lines, spelled exactly as the pre-pipeline CLI
    spelled them so manifests stay diff-compatible across the refactor. *)
@@ -226,6 +242,7 @@ let manifest_options analysis (o : Stability.Analysis.options) =
   match analysis with
   | Single_node n -> ("mode", "single-node") :: ("node", n) :: sweep_opts
   | All_nodes _ -> ("mode", "all-nodes") :: sweep_opts
+  | Auto_nodes -> ("mode", "all-nodes") :: ("nodes", "auto") :: sweep_opts
 
 let analyze_uncached ?cache ~options loaded analysis =
   let cache = match cache with Some c -> c | None -> Cache.global () in
@@ -251,12 +268,24 @@ let analyze_uncached ?cache ~options loaded analysis =
       [ Stability.Analysis.single_node_prepared ~options ?plan probe node ]
     | All_nodes nodes ->
       Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan probe
+    | Auto_nodes ->
+      (* Probe only the static report's cover set — every enumerated
+         loop stays observed. A loop-free (or all-pinned) deck has an
+         empty cover; probing nothing would be useless, so fall back to
+         every net. *)
+      let report, _ = static_report ~cache loaded in
+      let nodes =
+        match report.Staticanalysis.Report.cover with
+        | [] -> None
+        | cover -> Some cover
+      in
+      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan probe
   in
   let wall_s = Unix.gettimeofday () -. w0
   and cpu_s = cpu_seconds () -. c0 in
   let manifest =
-    manifest_of loaded ~options:(manifest_options analysis options) ~results
-      ~wall_s ~cpu_s
+    manifest_of ~cache loaded ~options:(manifest_options analysis options)
+      ~results ~wall_s ~cpu_s
   in
   { Cache.results; manifest }
 

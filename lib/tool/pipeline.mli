@@ -67,13 +67,22 @@ val guard : loaded -> (unit -> 'a) -> ('a, failure) result
     rules that predicted them. The long-tail CLI subcommands (ac, tran,
     noise, poles, ...) run their engine calls under this guard. *)
 
+val static_report :
+  ?cache:Cache.t -> ?bounds:Staticanalysis.Cycles.bounds -> loaded ->
+  Staticanalysis.Report.t * bool
+(** The deck's static signal-flow report (loops, probe cover,
+    reachability), memoized in the [sfg] cache family keyed by the deck
+    fingerprint and the cycle bounds. The [bool] is the hit flag; a warm
+    hit performs zero graph rebuilds ([sfg.builds] stays flat). *)
+
 val manifest_of :
-  loaded -> options:(string * string) list ->
+  ?cache:Cache.t -> loaded -> options:(string * string) list ->
   results:Stability.Analysis.node_result list -> wall_s:float ->
   cpu_s:float -> Manifest.t
 (** The single manifest-emission helper: fingerprint, options, results,
-    telemetry snapshot — used by [analyze] itself, by the run command's
-    crash reports, and by anything else that must record a run. *)
+    lint report, structural loops section, telemetry snapshot — used by
+    [analyze] itself, by the run command's crash reports, and by
+    anything else that must record a run. *)
 
 val cpu_seconds : unit -> float
 (** Process CPU time (user + system), the manifest's [cpu_s] clock. *)
@@ -84,6 +93,10 @@ type analysis =
   | Single_node of Circuit.Netlist.node
   | All_nodes of Circuit.Netlist.node list option
       (** [None] probes every net, [Some] a subset *)
+  | Auto_nodes
+      (** probe the static report's greedy cover — every enumerated
+          feedback loop observed with the fewest probes; falls back to
+          every net when the deck has no coverable loops *)
 
 type outcome = {
   loaded : loaded;

@@ -96,11 +96,15 @@ let analysis_of_request v =
      | Some n -> Ok (Pipeline.Single_node n)
      | None -> Error "single-node requests need \"node\"")
   | "all-nodes" ->
-    let nodes =
-      Option.bind (Json.member "nodes" v) Json.to_list
-      |> Option.map (List.filter_map Json.to_str)
-    in
-    Ok (Pipeline.All_nodes nodes)
+    (* "nodes": "auto" (a string, not a list) selects the static
+       report's probe cover, mirroring the CLI's --nodes auto. *)
+    if Json.mem_str "nodes" v = Some "auto" then Ok Pipeline.Auto_nodes
+    else
+      let nodes =
+        Option.bind (Json.member "nodes" v) Json.to_list
+        |> Option.map (List.filter_map Json.to_str)
+      in
+      Ok (Pipeline.All_nodes nodes)
   | m -> Error (Printf.sprintf "unknown mode %S" m)
 
 let handle_analyze cache ?id v =
@@ -151,6 +155,34 @@ let handle_lint cache ?id v =
            ("deck_sha256", Json.Str loaded.Pipeline.sha256);
            ("report", report) ])
 
+let handle_loops cache ?id v =
+  match deck_of_request v with
+  | Error m -> error_response ?id ~code:2 m
+  | Ok (deck, file) ->
+    (* Like lint: the report is itself a static diagnostic, no gate. *)
+    (match
+       Pipeline.load ~policy:{ Pipeline.no_lint = true; strict = false } deck
+     with
+     | Error failure -> failure_response ?id ~file failure
+     | Ok loaded ->
+       let d = Staticanalysis.Report.default_bounds in
+       let bounds =
+         { Staticanalysis.Cycles.max_len =
+             Option.value ~default:d.Staticanalysis.Cycles.max_len
+               (Json.mem_int "max_len" v);
+           max_cycles =
+             Option.value ~default:d.Staticanalysis.Cycles.max_cycles
+               (Json.mem_int "max_cycles" v) }
+       in
+       let report, hit = Pipeline.static_report ~cache ~bounds loaded in
+       respond_fields ?id
+         [ ("ok", Json.Bool true);
+           ("cache", Json.Str (if hit then "hit" else "miss"));
+           ("deck_sha256", Json.Str loaded.Pipeline.sha256);
+           ("report",
+            Loops_report.json ~deck:file ~sha256:loaded.Pipeline.sha256
+              report) ])
+
 let handle_diff ?id v =
   match (Json.mem_str "a" v, Json.mem_str "b" v) with
   | Some a_path, Some b_path ->
@@ -197,12 +229,14 @@ let handle_stats cache ?id () =
       ("cache",
        Json.Obj
          (List.map
-            (fun (fname, entries, hits, misses) ->
-              (fname,
+            (fun (s : Cache.family_stats) ->
+              (s.family,
                Json.Obj
-                 [ ("entries", Json.Num (float_of_int entries));
-                   ("hits", Json.Num (float_of_int hits));
-                   ("misses", Json.Num (float_of_int misses)) ]))
+                 [ ("entries", Json.Num (float_of_int s.entries));
+                   ("capacity", Json.Num (float_of_int s.capacity));
+                   ("hits", Json.Num (float_of_int s.hits));
+                   ("misses", Json.Num (float_of_int s.misses));
+                   ("evictions", Json.Num (float_of_int s.evictions)) ]))
             (Cache.stats cache))) ]
 
 (* [`Stop] tells the serve loop to finish writing and exit. *)
@@ -216,6 +250,7 @@ let handle cache line =
     (match Json.mem_str "cmd" v with
      | Some "analyze" -> (handle_analyze cache ?id v, `Go)
      | Some "lint" -> (handle_lint cache ?id v, `Go)
+     | Some "loops" -> (handle_loops cache ?id v, `Go)
      | Some "diff" -> (handle_diff ?id v, `Go)
      | Some "counters" -> (handle_counters ?id (), `Go)
      | Some "stats" -> (handle_stats cache ?id (), `Go)
@@ -263,11 +298,36 @@ let complete_lines buf =
 
 exception Stop_serving
 
+(* A socket file already existing at the path is either a live daemon
+   (stealing its path would silently split clients between two caches)
+   or the remains of one that died without [finally]. A probe connect
+   tells them apart: a live daemon accepts, a stale file refuses. *)
+let claim_socket socket =
+  match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let close_probe () =
+      try Unix.close probe with Unix.Unix_error _ -> ()
+    in
+    match Unix.connect probe (Unix.ADDR_UNIX socket) with
+    | () ->
+      close_probe ();
+      failwith
+        (Printf.sprintf
+           "a daemon is already serving on %s; shut it down first or \
+            pick another --socket path"
+           socket)
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      close_probe ();
+      Log.app (fun f -> f "removing stale socket %s" socket);
+      (try Unix.unlink socket with
+       | Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+    | exception e -> close_probe (); raise e)
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" socket)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let serve ?(capacity = Cache.default_capacity) ~socket () =
-  (match Unix.lstat socket with
-   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
-   | _ -> failwith (Printf.sprintf "%s exists and is not a socket" socket)
-   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  claim_socket socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 16;

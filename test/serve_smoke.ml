@@ -143,6 +143,96 @@ let () =
   if dc2 <> dc1 then
     fail "concurrent requests re-solved DC (%d -> %d)" dc1 dc2;
 
+  (* Static loops report over the wire: a cold miss builds the graph,
+     a warm repeat is a hit with zero rebuilds (cache.sfg family). *)
+  let ring_text =
+    "ring smoke\nVIN in 0 DC 0 AC 1\nRIN in a 1k\nGA b 0 a 0 1m\n\
+     RA b 0 1k\nCB b 0 1n\nGB a 0 b 0 1m\n.end\n"
+  in
+  let loops_req =
+    Tool.Json.Obj
+      [ ("cmd", Tool.Json.Str "loops");
+        ("deck_text", Tool.Json.Str ring_text);
+        ("name", Tool.Json.Str "ring.sp") ]
+  in
+  let loops_cold = Tool.Server.Client.request c loops_req in
+  expect_ok loops_cold;
+  expect_cache "miss" loops_cold;
+  let report = mem "report" loops_cold in
+  (match Tool.Json.mem_str "schema" report with
+   | Some "acstab-loops/1" -> ()
+   | s ->
+     fail "loops schema mismatch: %s" (Option.value ~default:"<absent>" s));
+  (match Tool.Json.to_list (mem "loops" report) with
+   | Some [ loop ] ->
+     (match Tool.Json.mem_str "id" loop with
+      | Some "a>b" -> ()
+      | i -> fail "loop id %s, wanted a>b" (Option.value ~default:"?" i))
+   | _ -> fail "ring deck must report exactly one loop");
+  let builds0 = counter c "sfg.builds" in
+  let loops_warm = Tool.Server.Client.request c loops_req in
+  expect_ok loops_warm;
+  expect_cache "hit" loops_warm;
+  let builds1 = counter c "sfg.builds" in
+  if builds1 <> builds0 then
+    fail "warm loops request rebuilt the graph (%d -> %d)" builds0 builds1;
+
+  (* "nodes": "auto" analyzes exactly the report's probe cover. *)
+  let auto =
+    Tool.Server.Client.request c
+      (Tool.Json.Obj
+         [ ("cmd", Tool.Json.Str "analyze");
+           ("mode", Tool.Json.Str "all-nodes");
+           ("nodes", Tool.Json.Str "auto");
+           ("deck_text", Tool.Json.Str ring_text);
+           ("name", Tool.Json.Str "ring.sp") ])
+  in
+  expect_ok auto;
+  (match Tool.Json.to_list (mem "nodes" auto) with
+   | Some [ entry ] ->
+     (match Tool.Json.mem_str "node" entry with
+      | Some "a" -> ()
+      | n ->
+        fail "auto probed %s, wanted the cover net a"
+          (Option.value ~default:"<absent>" n))
+   | Some l -> fail "auto probed %d nets, wanted the 1-net cover" (List.length l)
+   | None -> fail "auto analyze returned no node list");
+
+  (* stats: every cache family reports occupancy next to its traffic. *)
+  let stats =
+    Tool.Server.Client.request c
+      (Tool.Json.Obj [ ("cmd", Tool.Json.Str "stats") ])
+  in
+  expect_ok stats;
+  let cache_stats = mem "cache" stats in
+  List.iter
+    (fun fam ->
+      match Tool.Json.member fam cache_stats with
+      | None -> fail "stats reply lacks the %s cache family" fam
+      | Some f ->
+        List.iter
+          (fun field ->
+            if Tool.Json.mem_int field f = None then
+              fail "stats %s family lacks %S" fam field)
+          [ "entries"; "capacity"; "hits"; "misses"; "evictions" ])
+    [ "op"; "plan"; "result"; "sfg" ];
+  (match Option.bind (Tool.Json.member "sfg" cache_stats)
+           (Tool.Json.mem_int "entries") with
+   | Some n when n >= 1 -> ()
+   | _ -> fail "sfg family shows no resident entries after loops requests");
+
+  (* A second daemon on the live socket must refuse, not steal it. *)
+  (match Tool.Server.serve ~socket:sock () with
+   | () -> fail "second daemon took over the live socket"
+   | exception Failure m ->
+     let mentions sub =
+       let n = String.length sub and len = String.length m in
+       let rec go i = i + n <= len && (String.sub m i n = sub || go (i + 1)) in
+       go 0
+     in
+     if not (mentions "already serving") then
+       fail "second-daemon refusal unclear: %s" m);
+
   (* Clean shutdown: the loop exits and the socket file is removed. *)
   let bye =
     Tool.Server.Client.request c
@@ -152,7 +242,43 @@ let () =
   Tool.Server.Client.close c;
   Thread.join server;
   if Sys.file_exists sock then fail "socket file survived shutdown";
+
+  (* Stale-socket recovery: a socket file nobody answers (a crashed
+     daemon's leftover) is unlinked and the new daemon starts. *)
+  let stale = sock ^ ".stale" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;
+  let server2 =
+    Thread.create (fun () -> Tool.Server.serve ~socket:stale ()) ()
+  in
+  let rec connect_retry n =
+    if n = 0 then fail "daemon never recovered the stale socket"
+    else
+      match Tool.Server.Client.connect stale with
+      | c2 -> c2
+      | exception _ ->
+        Unix.sleepf 0.05;
+        connect_retry (n - 1)
+  in
+  let c2 = connect_retry 200 in
+  let pong2 =
+    Tool.Server.Client.request c2
+      (Tool.Json.Obj [ ("cmd", Tool.Json.Str "ping") ])
+  in
+  expect_ok pong2;
+  let bye2 =
+    Tool.Server.Client.request c2
+      (Tool.Json.Obj [ ("cmd", Tool.Json.Str "shutdown") ])
+  in
+  expect_ok bye2;
+  Tool.Server.Client.close c2;
+  Thread.join server2;
+  if Sys.file_exists stale then fail "stale socket path survived shutdown";
+
   print_endline
     "serve-smoke: OK (cold miss, warm hit byte-identical with 0 DC \
      re-solves and 0 symbolic re-analyses, 4 concurrent in-flight \
-     requests, clean shutdown)"
+     requests, loops cold/warm with 0 graph rebuilds, nodes=auto cover \
+     run, per-family cache stats, live-socket refusal, stale-socket \
+     recovery, clean shutdown)"

@@ -424,6 +424,115 @@ let test_json_escaping () =
      \\\"and\\\" \\\\ nl\\n\",\"nets\":[],\"devices\":[]}"
     (Lint.Json.of_finding f)
 
+(* ---------- graph-powered rules ---------- *)
+
+(* A purely resistive gm ring: a genuine global loop with no capacitor
+   anywhere on it. *)
+let resistive_ring =
+  "ring\nVIN in 0 DC 0 AC 1\nRIN in a 1k\nGA b 0 a 0 1m\nRA b 0 1k\n\
+   GB c 0 b 0 1m\nRB c 0 1k\nGC a 0 c 0 1m\nRC2 a 0 1k\n.end\n"
+
+let test_loop_no_compensation () =
+  let findings = Lint.Runner.run (parse resistive_ring) in
+  Alcotest.(check bool) "uncompensated ring flagged" true
+    (has_id "loop-no-compensation" findings);
+  (* A capacitor on any member net is taken as compensation. *)
+  let comp =
+    Lint.Runner.run
+      (parse
+         "ring\nVIN in 0 DC 0 AC 1\nRIN in a 1k\nGA b 0 a 0 1m\n\
+          RA b 0 1k\nCB b 0 1p\nGB c 0 b 0 1m\nRB c 0 1k\n\
+          GC a 0 c 0 1m\nRC2 a 0 1k\n.end\n")
+  in
+  Alcotest.(check bool) "compensated ring passes" false
+    (has_id "loop-no-compensation" comp)
+
+let test_gain_outside_loop () =
+  let findings =
+    Lint.Runner.run
+      (parse
+         "open\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n\
+          G1 x 0 y 0 1m\nR2 y 0 1k\nR3 x 0 1k\n.end\n")
+  in
+  let open_gain =
+    List.filter (fun (f : Lint.Rule.finding) ->
+        f.rule_id = "gain-outside-loop") findings
+  in
+  Alcotest.(check int) "exactly the dangling VCCS" 1 (List.length open_gain);
+  Alcotest.(check bool) "names G1" true
+    (List.exists (fun (f : Lint.Rule.finding) ->
+         List.mem "G1" f.devices) open_gain);
+  (* Every gain device of the ring closes a cycle: nothing to report. *)
+  Alcotest.(check bool) "ring devices all in-loop" false
+    (has_id "gain-outside-loop" (Lint.Runner.run (parse resistive_ring)))
+
+let test_loop_through_suspect () =
+  (* A farad-scale capacitor closing a feedback pair: the value check
+     flags it, so every loop through it is untrustworthy. *)
+  let findings =
+    Lint.Runner.run
+      (parse
+         "sus\nVIN in 0 DC 0 AC 1\nRIN in a 1k\nGA b 0 a 0 1m\n\
+          RA b 0 1k\nCBAD a b 10\nRL a 0 1k\n.end\n")
+  in
+  Alcotest.(check bool) "loop through the 10 F cap flagged" true
+    (has_id "loop-through-suspect" findings);
+  Alcotest.(check bool) "clean ring not flagged" false
+    (has_id "loop-through-suspect" (Lint.Runner.run (parse resistive_ring)))
+
+let test_undrivable_probe () =
+  let sev id sv findings =
+    List.exists (fun (f : Lint.Rule.finding) ->
+        f.rule_id = id && f.severity = sv) findings
+  in
+  (* Unknown net: an error (the analysis would reject it anyway). *)
+  let bogus =
+    Lint.Runner.run
+      (parse "b\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n\
+              .stab bogus\n.end\n")
+  in
+  Alcotest.(check bool) "unknown .stab target is an error" true
+    (sev "undrivable-probe" Lint.Rule.Error bogus);
+  (* Voltage-pinned target: a warning naming the pinning driver. *)
+  let pinned =
+    Lint.Runner.run
+      (parse "p\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n\
+              .stab in\n.end\n")
+  in
+  Alcotest.(check bool) "pinned .stab target warns" true
+    (sev "undrivable-probe" Lint.Rule.Warning pinned);
+  Alcotest.(check bool) "pinning driver named" true
+    (List.exists (fun (f : Lint.Rule.finding) ->
+         f.rule_id = "undrivable-probe" && List.mem "VIN" f.devices) pinned);
+  (* Source-unreachable target: stimulus cannot excite it. *)
+  let island =
+    Lint.Runner.run
+      (parse "i\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nG1 x 0 y 0 1m\n\
+              R2 y 0 1k\nR3 x 0 1k\n.stab x\n.end\n")
+  in
+  Alcotest.(check bool) "unreachable .stab target warns" true
+    (sev "undrivable-probe" Lint.Rule.Warning island);
+  (* A reachable, unpinned target is exactly what .stab is for. *)
+  let ok =
+    Lint.Runner.run
+      (parse "ok\nVIN in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n\
+              .stab out\n.end\n")
+  in
+  Alcotest.(check bool) "healthy .stab target passes" false
+    (has_id "undrivable-probe" ok)
+
+let test_unobservable_loop () =
+  (* Two cross-coupled E sources: both loop nets voltage-pinned, so no
+     probe can observe the loop. *)
+  let findings =
+    Lint.Runner.run
+      (parse "u\nEA a 0 b 0 1\nEB b 0 a 0 2\nRA a 0 1k\n.end\n")
+  in
+  Alcotest.(check bool) "all-pinned loop flagged" true
+    (has_id "unobservable-loop" findings);
+  Alcotest.(check bool) "probeable ring not flagged" false
+    (has_id "unobservable-loop" (Lint.Runner.run (parse resistive_ring)))
+
 (* ---------- suite ---------- *)
 
 let () =
@@ -448,6 +557,17 @@ let () =
           Alcotest.test_case "no ground" `Quick test_no_ground;
           Alcotest.test_case "per-rule disable" `Quick test_disable;
           Alcotest.test_case "catalogue lookup" `Quick test_rules_find ] );
+      ( "graph rules",
+        [ Alcotest.test_case "loop-no-compensation" `Quick
+            test_loop_no_compensation;
+          Alcotest.test_case "gain-outside-loop" `Quick
+            test_gain_outside_loop;
+          Alcotest.test_case "loop-through-suspect" `Quick
+            test_loop_through_suspect;
+          Alcotest.test_case "undrivable-probe" `Quick
+            test_undrivable_probe;
+          Alcotest.test_case "unobservable-loop" `Quick
+            test_unobservable_loop ] );
       ( "matching",
         [ Alcotest.test_case "perfect" `Quick test_matching_perfect;
           Alcotest.test_case "deficient" `Quick test_matching_deficient;

@@ -616,7 +616,8 @@ let test_cache_eviction () =
   Alcotest.(check int) "compute count" 4 !calls;
   let entries =
     List.filter_map
-      (fun (name, live, _, _) -> if name = "result" then Some live else None)
+      (fun (s : Tool.Cache.family_stats) ->
+        if s.family = "result" then Some s.entries else None)
       (Tool.Cache.stats c)
   in
   Alcotest.(check (list int)) "capacity respected" [ 2 ] entries;
