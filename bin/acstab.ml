@@ -1038,6 +1038,83 @@ let export_cmd =
        ~doc:"Write the built-in workload circuits (the paper's op-amp and              bias cell, the NMC amplifier) as SPICE decks.")
     Term.(const run $ log_term $ dir)
 
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let kind =
+    Arg.(value
+         & opt (enum [ ("mesh", `Mesh); ("tree", `Tree); ("amp", `Amp);
+                       ("ladder", `Ladder) ])
+             `Mesh
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Generator family: $(b,mesh) (rows x cols RC grid), \
+                   $(b,tree) (fanout-ary RC tree), $(b,amp) (chained \
+                   two-pole feedback amplifiers), $(b,ladder) (the RC \
+                   ladder chain).")
+  in
+  let rows =
+    Arg.(value & opt int 32
+         & info [ "rows" ] ~docv:"N" ~doc:"Mesh rows (mesh kind).")
+  in
+  let cols =
+    Arg.(value & opt int 32
+         & info [ "cols" ] ~docv:"N" ~doc:"Mesh columns (mesh kind).")
+  in
+  let depth =
+    Arg.(value & opt int 9
+         & info [ "depth" ] ~docv:"N" ~doc:"Tree depth (tree kind).")
+  in
+  let fanout =
+    Arg.(value & opt int 2
+         & info [ "fanout" ] ~docv:"N" ~doc:"Tree fanout (tree kind).")
+  in
+  let stages =
+    Arg.(value & opt int 150
+         & info [ "stages" ] ~docv:"N"
+             ~doc:"Amplifier stages (amp kind).")
+  in
+  let sections =
+    Arg.(value & opt int 1000
+         & info [ "sections" ] ~docv:"N"
+             ~doc:"Ladder sections (ladder kind).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the deck here instead of stdout.")
+  in
+  let run () kind rows cols depth fanout stages sections output =
+    let circ, unknowns =
+      match kind with
+      | `Mesh ->
+        (Workloads.Synth.rc_mesh ~rows ~cols (),
+         Workloads.Synth.mesh_unknowns ~rows ~cols)
+      | `Tree ->
+        (Workloads.Synth.rc_tree ~depth ~fanout (),
+         Workloads.Synth.tree_unknowns ~depth ~fanout)
+      | `Amp ->
+        (Workloads.Synth.amp_array ~stages (),
+         Workloads.Synth.amp_array_unknowns ~stages)
+      | `Ladder -> (Workloads.Ladder.rc ~sections (), (2 * sections) + 1)
+    in
+    let text = Circuit.Netlist.to_spice circ in
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d unknowns)\n" path unknowns
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Generate a parameterised synthetic benchmark deck (RC mesh, \
+             RC tree, chained feedback amplifiers, RC ladder) sized from \
+             hundreds to tens of thousands of unknowns — the workloads \
+             behind the $(b,--scale) bench and BENCH_scale.json.")
+    Term.(const run $ log_term $ kind $ rows $ cols $ depth $ fanout
+          $ stages $ sections $ output)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -1078,6 +1155,6 @@ let main =
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
       montecarlo_cmd; table1_cmd; lint_cmd; loops_cmd; check_cmd; diff_cmd;
-      serve_cmd; export_cmd; demo_cmd ]
+      serve_cmd; export_cmd; synth_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

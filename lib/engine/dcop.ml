@@ -36,6 +36,9 @@ let n_source_fallback = Obs.Counter.make "dcop.fallback_source"
    hit must not re-solve DC. *)
 let n_solves = Obs.Counter.make "dcop.solves"
 
+(* Solves that went through the sparse linear fast path below. *)
+let n_sparse_linear = Obs.Counter.make "dcop.sparse_linear"
+
 let converged opts ~n_nodes x_old x_new =
   let ok = ref true in
   Array.iteri
@@ -166,6 +169,104 @@ let circuit_options circ =
         (o "itl1" ~default:(float_of_int default_options.max_iter));
     max_step = o "maxstep" ~default:default_options.max_step }
 
+(* ---- sparse linear fast path ---- *)
+
+(* A circuit without junction devices has a constant Jacobian: its
+   operating point is one linear solve, not a Newton iteration. The
+   dense path allocates an O(size^2) matrix per iteration, which is the
+   wall between the shipped op-amps and the 1k-10k-unknown synthetic
+   benchmark decks; above this cutoff linear circuits go through one
+   sparse Gilbert-Peierls factorisation instead. Below it the dense
+   Newton oracle is kept unconditionally, so the shipped small decks
+   (and their golden reports) take exactly the code path they always
+   did. *)
+let sparse_linear_cutoff = 256
+
+let is_linear mna =
+  Array.for_all
+    (fun (_, e) ->
+      match e with
+      | Mna.E_diode _ | Mna.E_bjt _ | Mna.E_mos _ -> false
+      | _ -> true)
+    mna.Mna.elems
+
+(* Mirror of [attempt]'s static stamps as sparse triplets: resistors and
+   controlled sources via [Stamps.stamp_static]'s conventions, inductors
+   as DC shorts, gmin on the node diagonal. Capacitors and mutual
+   inductances carry no DC stamp. Returns [None] (caller falls back to
+   dense Newton) on a singular or non-finite solve. *)
+let sparse_linear_attempt mna opts =
+  let size = mna.Mna.size in
+  let b = Array.make size 0. in
+  let ts = ref [] in
+  let add i j v = if i >= 0 && j >= 0 && v <> 0. then ts := (i, j, v) :: !ts in
+  let add_g i j g =
+    add i i g;
+    add j j g;
+    add i j (-.g);
+    add j i (-.g)
+  in
+  let add_branch i j br =
+    add i br 1.;
+    add j br (-1.);
+    add br i 1.;
+    add br j (-1.)
+  in
+  let rhs i v = if i >= 0 then b.(i) <- b.(i) +. v in
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | Mna.E_res { i; j; g } -> add_g i j g
+      | Mna.E_cap _ | Mna.E_mut _ -> ()
+      | Mna.E_ind { i; j; br; _ } -> add_branch i j br
+      | Mna.E_vsrc { i; j; br; spec } ->
+        add_branch i j br;
+        rhs br spec.Circuit.Netlist.dc
+      | Mna.E_isrc { i; j; spec } ->
+        let v = spec.Circuit.Netlist.dc in
+        rhs i (-.v);
+        rhs j v
+      | Mna.E_vcvs { i; j; ci; cj; br; gain } ->
+        add_branch i j br;
+        add br ci (-.gain);
+        add br cj gain
+      | Mna.E_vccs { i; j; ci; cj; gm } ->
+        add i ci gm;
+        add i cj (-.gm);
+        add j ci (-.gm);
+        add j cj gm
+      | Mna.E_cccs { i; j; cbr; gain } ->
+        add i cbr gain;
+        add j cbr (-.gain)
+      | Mna.E_ccvs { i; j; cbr; br; rm } ->
+        add_branch i j br;
+        add br cbr (-.rm)
+      | Mna.E_diode _ | Mna.E_bjt _ | Mna.E_mos _ ->
+        (* [is_linear] gates this path. *)
+        assert false)
+    mna.Mna.elems;
+  for i = 0 to mna.Mna.n_nodes - 1 do
+    add i i opts.gmin
+  done;
+  match
+    let a = Numerics.Srmat.of_triplets ~rows:size ~cols:size !ts in
+    let x = Numerics.Srmat.lu_solve (Numerics.Srmat.lu_factor a) b in
+    (a, x)
+  with
+  | exception Numerics.Sparse.Singular _ -> None
+  | a, x ->
+    if Array.exists (fun v -> not (Float.is_finite v)) x then None
+    else begin
+      let vec_inf v =
+        Array.fold_left (fun acc e -> Float.max acc (Float.abs e)) 0. v
+      in
+      Health.record_dc_residual
+        (Health.relative_residual ~norm1:(Numerics.Srmat.norm1 a)
+           ~residual_inf:(Numerics.Srmat.residual_inf a x b)
+           ~x_inf:(vec_inf x) ~b_inf:(vec_inf b));
+      Some x
+    end
+
 let solve ?options ?x0 ?force_strategy mna =
   Obs.Counter.incr n_solves;
   let options =
@@ -183,6 +284,23 @@ let solve ?options ?x0 ?force_strategy mna =
       last_err := Some m;
       None
   in
+  (* 0. Sparse linear fast path: big circuits with a constant Jacobian
+     are one sparse solve. Any trouble (singular, non-finite) falls
+     straight through to the usual ladder. *)
+  let sparse_direct =
+    if force_strategy = None && mna.Mna.size >= sparse_linear_cutoff
+       && is_linear mna
+    then
+      match sparse_linear_attempt mna options with
+      | Some x ->
+        Obs.Counter.incr n_sparse_linear;
+        Some { mna; x; iterations = 1; strategy = Direct }
+      | None -> None
+    else None
+  in
+  match sparse_direct with
+  | Some r -> r
+  | None ->
   (* 1. Direct attempt (unless a fallback is being exercised). *)
   let direct =
     match force_strategy with

@@ -36,7 +36,19 @@ val solve :
 
     Every call increments the [dcop.solves] {!Obs.Counter} — the
     operating-point cache ([Tool.Cache]) asserts the counter stays flat
-    across warm requests. *)
+    across warm requests.
+
+    Circuits with no junction devices have a constant Jacobian; at or
+    above {!sparse_linear_cutoff} unknowns their operating point is
+    computed as a single sparse LU solve (counted by
+    [dcop.sparse_linear]) instead of dense Newton iterations — the
+    enabler for 1k-10k-unknown synthetic benchmark decks, whose dense
+    O(size^2) per-iteration matrix would dominate the whole analysis.
+    Smaller circuits keep the dense path unconditionally. *)
+
+val sparse_linear_cutoff : int
+(** Unknown count at which linear circuits switch to the sparse direct
+    operating-point solve. *)
 
 val circuit_options : Circuit.Netlist.t -> options
 

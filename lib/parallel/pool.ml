@@ -17,10 +17,16 @@
    ladder, say — no longer serialises a static bucket: idle participants
    drain the remaining chunks around it.
 
-   All deque operations happen under one global mutex. Chunks are coarse
-   (a chunk is many matrix factorisations), so the lock is touched a few
-   hundred times per second at most; the simplicity buys an easy proof of
-   the completion and exception invariants. *)
+   Locking is per worker: each worker owns a deque guarded by its own
+   mutex and sleeps on its own condition variable, so the common path —
+   owner pops the back of its own deque — never contends with other
+   workers. Thieves use [Mutex.try_lock] first (a failed attempt is
+   counted, not waited on) and fall back to a blocking verification scan
+   before sleeping. Job completion is an atomic countdown; only the
+   chunk that drops it to zero takes the submitter's per-job mutex to
+   signal. The old design funnelled every deque operation and every
+   chunk completion through one global mutex + broadcast, which
+   serialised the scheduler exactly when all workers were busy. *)
 
 (* ---- double-ended chunk queue (owner back, thief front) ---- *)
 
@@ -29,9 +35,23 @@ module Deque = struct
     mutable front : 'a list;    (* front-to-back order *)
     mutable back : 'a list;     (* back-to-front order *)
     mutable len : int;
+    (* Padding so two workers' deque records never share a cache line
+       even when the allocator places them back to back: the mutable
+       fields above are written on every push/pop, and a neighbour's
+       writes would otherwise ping-pong the line between cores. Nine
+       words of fields + header ≥ 80 bytes. *)
+    mutable pad0 : int;
+    mutable pad1 : int;
+    mutable pad2 : int;
+    mutable pad3 : int;
+    mutable pad4 : int;
+    mutable pad5 : int;
   }
 
-  let create () = { front = []; back = []; len = 0 }
+  let create () =
+    { front = []; back = []; len = 0;
+      pad0 = 0; pad1 = 0; pad2 = 0; pad3 = 0; pad4 = 0; pad5 = 0 }
+
   let length d = d.len
 
   let push_back d x =
@@ -73,30 +93,46 @@ end
 
 type job = {
   body : int -> unit;
-  mutable unfinished : int;      (* chunks not yet fully executed *)
+  unfinished : int Atomic.t;     (* chunks not yet fully executed *)
   failed : (exn * Printexc.raw_backtrace) option Atomic.t;
       (* first failure wins; later chunks of the job are skipped *)
+  done_lock : Mutex.t;
+  done_cv : Condition.t;
+      (* the submitter parks here; signalled once, by whichever chunk
+         drops [unfinished] to zero *)
 }
 
 type chunk = { job : job; lo : int; hi : int }   (* [lo, hi) *)
 
-type pool = {
-  deques : chunk Deque.t array;          (* one per worker domain *)
-  mutable domains : unit Domain.t array;
-  mutable stop : bool;
+(* Per-worker scheduler state. Each worker's hot mutable state lives in
+   its own heap blocks (deque, mutex, condition, busy counter), so
+   workers never write into a block another worker reads on its fast
+   path. *)
+type wstate = {
+  deque : chunk Deque.t;
+  lock : Mutex.t;                (* guards [deque] *)
+  cond : Condition.t;            (* this worker sleeps here when idle *)
+  busy : Obs.Counter.t;
 }
 
-let mutex = Mutex.create ()
-let work_cv = Condition.create ()   (* workers: chunks arrived / stop *)
-let done_cv = Condition.create ()   (* submitters: some job completed *)
-let pool : pool option ref = ref None
+type pool = {
+  workers : wstate array;
+  mutable domains : unit Domain.t array;
+  stop : bool Atomic.t;
+  epoch : int Atomic.t;
+      (* bumped on every deal (and on stop); a worker that found every
+         deque empty re-checks the epoch under its own lock before
+         sleeping, so a deal that raced with its scan is never missed *)
+}
 
 (* Pool health counters. Always on: all sit on the coarse per-chunk /
    per-submission paths, never inside a chunk body. *)
 let jobs_counter = Obs.Counter.make "pool.jobs"
 let chunks_counter = Obs.Counter.make "pool.chunks"
 let steals_counter = Obs.Counter.make "pool.steals"
-let queue_max_counter = Obs.Counter.make "pool.queue_max"
+let steal_fails_counter = Obs.Counter.make "pool.steal_fails"
+let lock_wait_counter = Obs.Counter.make "pool.lock_wait_ns"
+let queue_high_water_counter = Obs.Counter.make "pool.queue_high_water"
 let main_busy_counter = Obs.Counter.make "pool.main.busy_ns"
 
 let worker_busy_counter k =
@@ -109,7 +145,12 @@ let worker_busy_counter k =
 let worker_flag = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get worker_flag
 
-(* ---- pool size ---- *)
+(* ---- configuration ---- *)
+
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
 
 let default_jobs () =
   match Sys.getenv_opt "ACSTAB_JOBS" with
@@ -126,15 +167,100 @@ let default_jobs () =
        fallback)
   | None -> Domain.recommended_domain_count ()
 
-(* Total parallelism, submitting domain included: [jobs () - 1] worker
-   domains are kept. Guarded by [mutex]. *)
+(* Guards [requested], [oversub] and [pool] below (configuration only —
+   never touched on the scheduling fast path). *)
+let config = Mutex.create ()
+
+(* Total parallelism, submitting domain included: [effective_jobs () - 1]
+   worker domains are kept. *)
 let requested = ref (default_jobs ())
+let oversub = ref (env_flag "ACSTAB_OVERSUBSCRIBE")
+let pool : pool option ref = ref None
 
 let jobs () =
-  Mutex.lock mutex;
+  Mutex.lock config;
   let n = !requested in
-  Mutex.unlock mutex;
+  Mutex.unlock config;
   n
+
+let set_oversubscribe b =
+  Mutex.lock config;
+  oversub := b;
+  Mutex.unlock config
+
+let oversubscribe () =
+  Mutex.lock config;
+  let b = !oversub in
+  Mutex.unlock config;
+  b
+
+(* OCaml 5 minor collections are stop-the-world across all domains, so
+   running more domains than cores does not just time-slice — every
+   minor GC waits for the descheduled domains, and the whole process
+   runs at the speed of the slowest time slice. That is what made the
+   original jobs curve *invert* on small machines: `-j 4` on one core
+   was ~2.3x slower than `-j 1`. The pool therefore clamps the domain
+   count to the hardware unless oversubscription is explicitly forced
+   ([set_oversubscribe] / ACSTAB_OVERSUBSCRIBE=1 — used by the
+   scheduler's own tests to exercise real stealing on small CI boxes). *)
+let effective_jobs () =
+  Mutex.lock config;
+  let n = !requested and o = !oversub in
+  Mutex.unlock config;
+  if o then n
+  else Int.min n (Int.max 1 (Domain.recommended_domain_count ()))
+
+(* ---- adaptive chunk granularity ---- *)
+
+(* EWMA of the cost of one [body i] call in ns, updated after every
+   chunk. 0 = no estimate yet. A lossy single compare-and-set is enough:
+   this is a heuristic, and a dropped update under contention is cheaper
+   than a retry loop. *)
+let item_cost_ns = Atomic.make 0
+
+let chunk_target_ns =
+  let default = 1_000_000 (* 1 ms of work per chunk *) in
+  Atomic.make
+    (match Sys.getenv_opt "ACSTAB_CHUNK_MS" with
+     | Some s ->
+       (match float_of_string_opt (String.trim s) with
+        | Some ms when ms > 0. -> int_of_float (ms *. 1e6)
+        | _ ->
+          Printf.eprintf
+            "acstab: warning: invalid ACSTAB_CHUNK_MS=%S (expected a \
+             positive number of milliseconds); using %g\n\
+             %!"
+            s (float_of_int default *. 1e-6);
+          default)
+     | None -> default)
+
+let set_chunk_target_ms ms =
+  if ms > 0. then Atomic.set chunk_target_ns (int_of_float (ms *. 1e6))
+
+let chunk_target_ms () = float_of_int (Atomic.get chunk_target_ns) *. 1e-6
+
+let note_item_cost ~items dt =
+  if items > 0 && dt > 0 then begin
+    let per = dt / items in
+    let old = Atomic.get item_cost_ns in
+    let next = if old = 0 then per else old + ((per - old) / 8) in
+    ignore (Atomic.compare_and_set item_cost_ns old next)
+  end
+
+(* Chunk size targeting [chunk_target_ns] of work per chunk, so tiny
+   items get batched (dealing/stealing overhead amortised) and huge
+   items still split fine enough to balance. Capped at half a deal per
+   participant — at least two chunks each — so stealing can still even
+   out a straggler. Before the first estimate exists, fall back to the
+   fixed ~8-chunks-per-participant split. *)
+let default_chunk ~participants n =
+  let cost = Atomic.get item_cost_ns in
+  if cost <= 0 then Int.max 1 (n / (participants * 8))
+  else begin
+    let ideal = Atomic.get chunk_target_ns / cost in
+    let cap = Int.max 1 (n / (participants * 2)) in
+    Int.max 1 (Int.min ideal cap)
+  end
 
 (* ---- chunk execution ---- *)
 
@@ -164,53 +290,134 @@ let run_chunk ~busy c =
   Obs.Span.leave "pool.chunk" ~args:[ ("items", c.hi - c.lo) ] span;
   Obs.Histogram.observe chunk_ms_histogram (float_of_int dt *. 1e-6);
   Obs.Counter.add busy dt;
-  Mutex.lock mutex;
-  j.unfinished <- j.unfinished - 1;
-  if j.unfinished = 0 then Condition.broadcast done_cv;
-  Mutex.unlock mutex
+  note_item_cost ~items:(c.hi - c.lo) dt;
+  (* Atomic countdown; only the last chunk takes the submitter's lock. *)
+  if Atomic.fetch_and_add j.unfinished (-1) = 1 then begin
+    Mutex.lock j.done_lock;
+    Condition.signal j.done_cv;
+    Mutex.unlock j.done_lock
+  end
 
-(* Pop from our own deque's back; else steal from the front of the
-   longest other deque. [me = -1] (a submitter) only steals. Caller holds
-   [mutex]. *)
-let find_chunk p me =
+(* ---- finding work ---- *)
+
+(* Pop the back of our own deque ([me >= 0]); else steal from the front
+   of the longest other deque, [try_lock] only — a busy victim costs a
+   counted failure, not a wait. Length reads are racy by design: a stale
+   length wastes one attempt, it cannot corrupt the deque (every
+   mutation is under the owner's lock). *)
+let try_find p me =
   let own =
-    if me >= 0 then Deque.pop_back p.deques.(me) else None
+    if me >= 0 then begin
+      let w = p.workers.(me) in
+      Mutex.lock w.lock;
+      let c = Deque.pop_back w.deque in
+      Mutex.unlock w.lock;
+      c
+    end
+    else None
   in
   match own with
   | Some _ as c -> c
   | None ->
+    let nw = Array.length p.workers in
+    let attempt k =
+      let w = p.workers.(k) in
+      if Mutex.try_lock w.lock then begin
+        let c = Deque.pop_front w.deque in
+        Mutex.unlock w.lock;
+        (match c with
+         | Some _ when me >= 0 -> Obs.Counter.incr steals_counter
+         | _ -> ());
+        c
+      end
+      else begin
+        Obs.Counter.incr steal_fails_counter;
+        None
+      end
+    in
     let victim = ref (-1) and best = ref 0 in
-    Array.iteri
-      (fun k d ->
-        if k <> me && Deque.length d > !best then begin
+    for k = 0 to nw - 1 do
+      if k <> me then begin
+        let len = Deque.length p.workers.(k).deque in
+        if len > !best then begin
           victim := k;
-          best := Deque.length d
-        end)
-      p.deques;
+          best := len
+        end
+      end
+    done;
     if !victim < 0 then None
     else begin
-      (* A worker draining another worker's deque is a steal; the
-         submitter taking chunks back is just participation. *)
-      if me >= 0 then Obs.Counter.incr steals_counter;
-      Deque.pop_front p.deques.(!victim)
+      match attempt !victim with
+      | Some _ as c -> c
+      | None ->
+        let got = ref None in
+        let k = ref 0 in
+        while !got = None && !k < nw do
+          if !k <> me && !k <> !victim
+             && Deque.length p.workers.(!k).deque > 0
+          then got := attempt !k;
+          incr k
+        done;
+        !got
     end
+
+(* Blocking verification scan: take every other deque's lock in turn
+   (waits are measured into [pool.lock_wait_ns]) and pop the first chunk
+   found. A [None] from here is authoritative — every queued chunk has
+   been claimed — so the caller may park. *)
+let find_verified p me =
+  let nw = Array.length p.workers in
+  let got = ref None in
+  let k = ref 0 in
+  while !got = None && !k < nw do
+    if !k <> me then begin
+      let w = p.workers.(!k) in
+      let t0 = Obs.Clock.now_ns () in
+      Mutex.lock w.lock;
+      Obs.Counter.add lock_wait_counter (Obs.Clock.now_ns () - t0);
+      let c = Deque.pop_front w.deque in
+      Mutex.unlock w.lock;
+      (match c with
+       | Some _ when me >= 0 -> Obs.Counter.incr steals_counter
+       | _ -> ());
+      got := c
+    end;
+    incr k
+  done;
+  !got
 
 let worker p me () =
   Domain.DLS.set worker_flag true;
-  let busy = worker_busy_counter me in
-  Mutex.lock mutex;
+  let w = p.workers.(me) in
+  let busy = w.busy in
   let rec loop () =
-    if p.stop then Mutex.unlock mutex
-    else
-      match find_chunk p me with
+    if Atomic.get p.stop then ()
+    else begin
+      (* Sample the epoch before scanning: a deal that lands mid-scan
+         bumps it, and the re-check under our own lock below turns the
+         would-be sleep into a rescan. *)
+      let seen = Atomic.get p.epoch in
+      let c =
+        match try_find p me with
+        | Some _ as c -> c
+        | None -> find_verified p me
+      in
+      match c with
       | Some c ->
-        Mutex.unlock mutex;
         run_chunk ~busy c;
-        Mutex.lock mutex;
         loop ()
       | None ->
-        Condition.wait work_cv mutex;
+        Mutex.lock w.lock;
+        if Atomic.get p.stop
+           || Atomic.get p.epoch <> seen
+           || Deque.length w.deque > 0
+        then Mutex.unlock w.lock
+        else begin
+          Condition.wait w.cond w.lock;
+          Mutex.unlock w.lock
+        end;
         loop ()
+    end
   in
   loop ()
 
@@ -220,110 +427,153 @@ let worker p me () =
    synchronous ([run] returns only once its job is drained), so there are
    never pending chunks here. *)
 let shutdown () =
-  Mutex.lock mutex;
+  Mutex.lock config;
   let p = !pool in
   pool := None;
-  (match p with
-   | Some p ->
-     p.stop <- true;
-     Condition.broadcast work_cv
-   | None -> ());
-  Mutex.unlock mutex;
+  Mutex.unlock config;
   match p with
-  | Some p -> Array.iter Domain.join p.domains
   | None -> ()
+  | Some p ->
+    Atomic.set p.stop true;
+    Atomic.incr p.epoch;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.lock;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.lock)
+      p.workers;
+    Array.iter Domain.join p.domains
 
 let set_jobs n =
   let n = Int.max 1 n in
-  Mutex.lock mutex;
+  Mutex.lock config;
   let changed = !requested <> n in
   requested := n;
-  Mutex.unlock mutex;
+  Mutex.unlock config;
   (* Resize eagerly only downward-to-idle; the next submission respawns
      lazily at the new size either way. *)
   if changed then shutdown ()
 
-(* Lazily (re)start the workers. Returns [None] when the configured
+(* Lazily (re)start the workers. Returns [None] when the effective
    parallelism is 1 — callers then run inline with zero overhead. *)
 let ensure_pool () =
-  Mutex.lock mutex;
-  let target = !requested - 1 in
+  let target = effective_jobs () - 1 in
+  Mutex.lock config;
   let current = !pool in
+  Mutex.unlock config;
   let ok =
     match current with
     | Some p -> Array.length p.domains = target
-    | None -> false
+    | None -> target < 1
   in
-  Mutex.unlock mutex;
   if ok then current
   else begin
     shutdown ();
     if target < 1 then None
     else begin
-      let deques = Array.init target (fun _ -> Deque.create ()) in
-      let p = { deques; domains = [||]; stop = false } in
+      let workers =
+        Array.init target (fun k ->
+          { deque = Deque.create ();
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            busy = worker_busy_counter k })
+      in
+      let p =
+        { workers;
+          domains = [||];
+          stop = Atomic.make false;
+          epoch = Atomic.make 0 }
+      in
       p.domains <- Array.init target (fun k -> Domain.spawn (worker p k));
-      Mutex.lock mutex;
+      Mutex.lock config;
       pool := Some p;
-      Mutex.unlock mutex;
+      Mutex.unlock config;
       Some p
     end
   end
 
 (* ---- submission ---- *)
 
+(* Inline execution still marks the calling domain as a worker for the
+   duration: nested submissions from the body stay inline, and callers
+   asking [in_worker ()] inside a submission get a consistent answer
+   whether the pool ran their batch on domains or (clamped to one core,
+   or sized to 1) on the calling domain. *)
 let run_inline n body =
-  for i = 0 to n - 1 do
-    body i
-  done
+  let saved = Domain.DLS.get worker_flag in
+  Domain.DLS.set worker_flag true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set worker_flag saved)
+    (fun () ->
+      for i = 0 to n - 1 do
+        body i
+      done)
 
 (* Split [0, n) into chunks of [csize] and deal them round-robin over the
    worker deques; participate by stealing until our own job is drained.
    Rethrows the first failure with its original backtrace. *)
 let run_pooled p ~csize n body =
-  let workers = Array.length p.deques in
+  let nw = Array.length p.workers in
   let nchunks = (n + csize - 1) / csize in
-  let job = { body; unfinished = nchunks; failed = Atomic.make None } in
+  let job =
+    { body;
+      unfinished = Atomic.make nchunks;
+      failed = Atomic.make None;
+      done_lock = Mutex.create ();
+      done_cv = Condition.create () }
+  in
   Obs.Counter.incr jobs_counter;
-  Mutex.lock mutex;
+  Obs.Counter.record_max queue_high_water_counter nchunks;
   for k = 0 to nchunks - 1 do
     let lo = k * csize in
     let hi = Int.min n (lo + csize) in
-    Deque.push_back p.deques.(k mod workers) { job; lo; hi }
+    let w = p.workers.(k mod nw) in
+    Mutex.lock w.lock;
+    Deque.push_back w.deque { job; lo; hi };
+    Mutex.unlock w.lock
   done;
-  let depth = Array.fold_left (fun acc d -> acc + Deque.length d) 0 p.deques in
-  Obs.Counter.record_max queue_max_counter depth;
-  Condition.broadcast work_cv;
+  (* Publish, then wake everyone: even a worker whose own deque got
+     nothing (fewer chunks than workers) must wake to steal. *)
+  Atomic.incr p.epoch;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.lock;
+      Condition.signal w.cond;
+      Mutex.unlock w.lock)
+    p.workers;
   let rec participate () =
-    if job.unfinished = 0 then Mutex.unlock mutex
-    else
-      match find_chunk p (-1) with
+    if Atomic.get job.unfinished = 0 then ()
+    else begin
+      let c =
+        match try_find p (-1) with
+        | Some _ as c -> c
+        | None -> find_verified p (-1)
+      in
+      match c with
       | Some c ->
-        Mutex.unlock mutex;
         (* The submitter counts as a worker while it executes chunks, so
            nested submissions from the body run inline here too. *)
         Domain.DLS.set worker_flag true;
         Fun.protect
           ~finally:(fun () -> Domain.DLS.set worker_flag false)
           (fun () -> run_chunk ~busy:main_busy_counter c);
-        Mutex.lock mutex;
         participate ()
       | None ->
-        if job.unfinished = 0 then Mutex.unlock mutex
-        else begin
-          Condition.wait done_cv mutex;
-          participate ()
-        end
+        (* Verified-empty: the remaining chunks are in flight on
+           workers. Park until the countdown signals; the re-check
+           under [done_lock] closes the race with a completion that
+           landed between the scan and the lock. *)
+        Mutex.lock job.done_lock;
+        if Atomic.get job.unfinished > 0 then
+          Condition.wait job.done_cv job.done_lock;
+        Mutex.unlock job.done_lock;
+        participate ()
+    end
   in
   participate ();
   match Atomic.get job.failed with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
-
-(* Default chunking: enough chunks for stealing to balance uneven work
-   (~8 per participant), but never finer than one index. *)
-let default_chunk ~participants n =
-  Int.max 1 (n / (participants * 8))
 
 let parallel_for ?chunk ~n body =
   if n <= 0 then ()
@@ -332,7 +582,7 @@ let parallel_for ?chunk ~n body =
     match ensure_pool () with
     | None -> run_inline n body
     | Some p ->
-      let participants = Array.length p.deques + 1 in
+      let participants = Array.length p.workers + 1 in
       let csize =
         match chunk with
         | Some c when c >= 1 -> c

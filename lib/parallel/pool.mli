@@ -14,6 +14,12 @@
     among fast ones — rebalances dynamically instead of serialising a
     static bucket.
 
+    Each worker owns its deque under its own lock and parks on its own
+    condition variable; job completion is an atomic countdown. There is
+    no global scheduler lock: the only cross-worker traffic is stealing
+    (optimistic [try_lock], failures counted not waited on) and the
+    single wake-up signal per deal.
+
     Submissions made from inside a pool task run inline on the calling
     domain: an outer Monte-Carlo fan-out does not oversubscribe the
     machine with inner sweep parallelism.
@@ -33,17 +39,49 @@ val set_jobs : int -> unit
     submission restarts the pool at the new size. Call only between
     submissions. *)
 
+val effective_jobs : unit -> int
+(** The parallelism the pool will actually use:
+    [min (jobs ()) (Domain.recommended_domain_count ())] unless
+    oversubscription is forced. OCaml 5 minor collections are
+    stop-the-world across every domain, so running more domains than
+    cores makes each GC wait on descheduled domains — asking for
+    [-j 4] on one core used to run ~2.3x {e slower} than [-j 1]. The
+    pool sizes itself to [effective_jobs ()] and runs inline when that
+    is 1. *)
+
+val set_oversubscribe : bool -> unit
+(** Force the pool to honour [jobs ()] even beyond the core count
+    (also enabled by [ACSTAB_OVERSUBSCRIBE=1]). Meant for scheduler
+    tests that need real worker domains and stealing on small CI
+    machines; never an optimisation. *)
+
+val oversubscribe : unit -> bool
+(** Whether oversubscription is currently forced. *)
+
+val set_chunk_target_ms : float -> unit
+(** Set the adaptive chunking target: the pool sizes default chunks so
+    one chunk holds about this many milliseconds of work, using a
+    running estimate of per-item cost ([ACSTAB_CHUNK_MS] sets the
+    initial value; default 1.0). Non-positive values are ignored. *)
+
+val chunk_target_ms : unit -> float
+(** The current adaptive chunking target in milliseconds. *)
+
 val in_worker : unit -> bool
 (** Whether the calling domain is currently executing a pool task (a
-    worker domain, or the submitter while it helps drain chunks). *)
+    worker domain, or the submitter while it helps drain chunks, or any
+    domain inside an inline submission). *)
 
 val parallel_for : ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n body] runs [body i] for every [i] in [0, n),
-    distributed over the pool. [chunk] overrides the chunk size (default:
-    about 8 chunks per participant). Runs inline when [n <= 1], when
-    [jobs () = 1], or when called from inside a pool task. If any [body]
-    raises, remaining chunks are skipped (best effort) and the first
-    exception is re-raised on the submitter with its original
+    distributed over the pool. [chunk] overrides the chunk size
+    (default: adaptive — about [chunk_target_ms] of work per chunk once
+    the pool has a per-item cost estimate, else ~8 chunks per
+    participant). Runs inline when [n <= 1], when
+    [effective_jobs () = 1], or when called from inside a pool task;
+    inline runs still set the worker flag for their duration. If any
+    [body] raises, remaining chunks are skipped (best effort) and the
+    first exception is re-raised on the submitter with its original
     backtrace. *)
 
 val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
@@ -63,11 +101,18 @@ val shutdown : unit -> unit
 
     - [pool.jobs] — pooled submissions
     - [pool.chunks] — chunks executed (by workers or the submitter)
-    - [pool.steals] — chunks a worker took from another worker's deque
-    - [pool.queue_max] — high-water mark of queued chunks after a deal
+    - [pool.steals] — chunks a participant took from another worker's
+      deque
+    - [pool.steal_fails] — optimistic steal attempts that found the
+      victim's lock held (contention indicator; failures fall back to a
+      blocking scan, they are never spun on)
+    - [pool.lock_wait_ns] — cumulative time spent blocking on deque
+      locks in the pre-sleep verification scan
+    - [pool.queue_high_water] — largest number of chunks dealt by one
+      submission
     - [pool.worker<k>.busy_ns] / [pool.main.busy_ns] — cumulative time
       spent executing chunk bodies per participant
 
-    Invalid [ACSTAB_JOBS] values (zero, negative, garbage) print a
-    one-line warning to stderr naming the rejected value and the
-    fallback, instead of being silently ignored. *)
+    Invalid [ACSTAB_JOBS] / [ACSTAB_CHUNK_MS] values print a one-line
+    warning to stderr naming the rejected value and the fallback,
+    instead of being silently ignored. *)

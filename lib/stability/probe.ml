@@ -6,6 +6,7 @@ type t = {
 }
 
 let sweeps_counter = Obs.Counter.make "probe.sweeps"
+let sweeps_par_counter = Obs.Counter.make "probe.sweeps_par"
 let points_counter = Obs.Counter.make "probe.points"
 
 let prepare ?dc_options circ =
@@ -41,6 +42,21 @@ let plan ?(gmin = 1e-12) t ~sweep =
    points/decade over six decades with every net probed sits well above
    it; a single-node toy tank stays under. *)
 let auto_threshold = 50_000
+
+let estimated_work ~unknowns ~points ~nets =
+  unknowns * points * Int.max 1 nets
+
+(* The [`Auto] seq/par decision, exposed whole so tests can pin it:
+   distribute only when the sweep carries real arithmetic volume AND the
+   pool will actually run worker domains. The second condition uses
+   [effective_jobs] (requested jobs clamped to the core count), not the
+   requested value — on a machine with fewer cores than [-j] asked for,
+   "parallel" used to mean oversubscribed domains fighting the
+   stop-the-world minor GC, the one mode that loses to sequential. *)
+let auto_decision ~unknowns ~points ~nets =
+  Parallel.Pool.effective_jobs () > 1
+  && (not (Parallel.Pool.in_worker ()))
+  && estimated_work ~unknowns ~points ~nets >= auto_threshold
 
 let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
     ?health t ~sweep nodes =
@@ -140,12 +156,8 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
     | `Seq -> false
     | `Par -> true
     | `Auto ->
-      (* Worth distributing only when the sweep carries real arithmetic
-         volume and the pool has anyone to give it to. *)
-      Parallel.Pool.jobs () > 1
-      && (not (Parallel.Pool.in_worker ()))
-      && size * Array.length freqs * Int.max 1 (List.length nodes)
-         >= auto_threshold
+      auto_decision ~unknowns:size ~points:(Array.length freqs)
+        ~nets:(List.length nodes)
   in
   (* Frequency points are independent, and each point writes disjoint
      cells of the pre-allocated result arrays — the shared plan is
@@ -155,6 +167,7 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
      tail. The span wraps the whole sweep, never the per-point body:
      [run_point] must stay allocation-free of instrumentation. *)
   Obs.Counter.incr sweeps_counter;
+  if go_parallel then Obs.Counter.incr sweeps_par_counter;
   Obs.Counter.add points_counter (Array.length freqs);
   let t0 = Obs.Span.enter () in
   if go_parallel then

@@ -38,6 +38,21 @@ val auto_threshold : int
 (** Arithmetic volume (unknowns x points x probed nets) above which
     [`Auto] distributes a sweep over the {!Parallel.Pool}. *)
 
+val estimated_work : unknowns:int -> points:int -> nets:int -> int
+(** The volume proxy behind the [`Auto] decision:
+    [unknowns * points * max 1 nets]. *)
+
+val auto_decision : unknowns:int -> points:int -> nets:int -> bool
+(** Exactly the seq/par choice [`Auto] makes for a sweep of this shape:
+    true iff {!estimated_work} clears {!auto_threshold}, the calling
+    domain is not already a pool worker, and
+    [Parallel.Pool.effective_jobs () > 1] — the {e effective} count, so
+    [`Auto] never selects pooled execution that the core-count clamp
+    would make pointless (or, before the clamp existed, actively
+    harmful). Counters: every sweep increments [probe.sweeps]; sweeps
+    that actually run pooled also increment [probe.sweeps_par], so a
+    manifest or [--metrics] snapshot records which mode really ran. *)
+
 val response_many :
   ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] ->
   ?parallel:[ `Auto | `Seq | `Par ] -> ?plan:Engine.Ac_plan.t ->

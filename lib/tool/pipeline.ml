@@ -237,7 +237,21 @@ let manifest_options analysis (o : Stability.Analysis.options) =
          ("fmax", Printf.sprintf "%g" stop);
          ("ppd", string_of_int per_decade) ]
      | sw -> [ ("sweep", sweep_fingerprint sw) ])
-    @ [ ("health_sample", string_of_int (Engine.Health.sample_every ())) ]
+    @ [ ("health_sample", string_of_int (Engine.Health.sample_every ()));
+        (* Scheduling cannot change the numbers (it is excluded from the
+           cache fingerprint for that reason), but a manifest should
+           still explain its own wall-clock: record what was asked for
+           and what the pool would actually use. The pool counter
+           snapshot (pool.steals, pool.queue_high_water, per-worker
+           busy times, probe.sweeps_par) rides along in the manifest's
+           counters section automatically. *)
+        ("jobs", string_of_int (Parallel.Pool.jobs ()));
+        ("jobs_effective", string_of_int (Parallel.Pool.effective_jobs ()));
+        ("parallel",
+         match o.parallel with
+         | `Auto -> "auto"
+         | `Seq -> "seq"
+         | `Par -> "par") ]
   in
   match analysis with
   | Single_node n -> ("mode", "single-node") :: ("node", n) :: sweep_opts

@@ -1,0 +1,113 @@
+open Circuit.Netlist
+
+(* Parameterised synthetic circuits for production-scale benchmarking:
+   every generator is linear (R/C/controlled sources only), lint-clean,
+   fully connected, and has a closed-form unknown count, so benches can
+   dial in 1k-10k+ unknowns and tests can verify well-formedness by
+   construction. *)
+
+(* ---- RC mesh ---- *)
+
+let mesh_node i j = Printf.sprintf "m%d_%d" i j
+let mesh_unknowns ~rows ~cols = (rows * cols) + 1
+
+let rc_mesh ?(r = 1e3) ?(c = 1e-9) ~rows ~cols () =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Synth.rc_mesh: rows and cols must be >= 1";
+  let circ =
+    empty ~title:(Printf.sprintf "rc mesh %dx%d" rows cols) ()
+  in
+  (* Drive the corner; the source branch is the mesh's only non-node
+     unknown. *)
+  let circ = vsource circ "V1" (mesh_node 0 0) "0" (ac_source 1.) in
+  let circ = ref circ in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let n = mesh_node i j in
+      circ :=
+        capacitor !circ (Printf.sprintf "C%d_%d" i j) n "0" c;
+      if j + 1 < cols then
+        circ :=
+          resistor !circ
+            (Printf.sprintf "RH%d_%d" i j)
+            n (mesh_node i (j + 1)) r;
+      if i + 1 < rows then
+        circ :=
+          resistor !circ
+            (Printf.sprintf "RV%d_%d" i j)
+            n (mesh_node (i + 1) j) r
+    done
+  done;
+  !circ
+
+(* ---- RC tree ---- *)
+
+let tree_node k = Printf.sprintf "t%d" k
+
+let tree_count ~depth ~fanout =
+  let n = ref 0 and level = ref 1 in
+  for _ = 0 to depth do
+    n := !n + !level;
+    level := !level * fanout
+  done;
+  !n
+
+let tree_unknowns ~depth ~fanout = tree_count ~depth ~fanout + 1
+
+let rc_tree ?(r = 1e3) ?(c = 1e-9) ~depth ~fanout () =
+  if depth < 0 || fanout < 1 then
+    invalid_arg "Synth.rc_tree: depth must be >= 0 and fanout >= 1";
+  let count = tree_count ~depth ~fanout in
+  let circ =
+    empty
+      ~title:
+        (Printf.sprintf "rc tree depth %d fanout %d" depth fanout)
+      ()
+  in
+  let circ = vsource circ "V1" (tree_node 0) "0" (ac_source 1.) in
+  let circ = ref circ in
+  (* Heap layout: the parent of node [k >= 1] is [(k - 1) / fanout]. *)
+  for k = 0 to count - 1 do
+    circ := capacitor !circ (Printf.sprintf "C%d" k) (tree_node k) "0" c;
+    if k > 0 then
+      circ :=
+        resistor !circ (Printf.sprintf "R%d" k)
+          (tree_node ((k - 1) / fanout))
+          (tree_node k) r
+  done;
+  !circ
+
+(* ---- multi-stage amplifier array ---- *)
+
+(* Each stage replicates the shipped two-pole behavioural feedback loop
+   (circuits/two_pole_loop.sp): an ideal gain block, two RC poles, a
+   unity buffer and a resistive feedback tap. Chaining the closed-loop
+   outputs gives a deck full of genuine resonant loops — the workload
+   the probe-every-node methodology exists for — at any size. *)
+
+let amp_stage_out s = Printf.sprintf "fb_%d" s
+let amp_array_unknowns ~stages = (7 * stages) + 2
+
+let amp_array ?(av = 1000.) ~stages () =
+  if stages < 1 then invalid_arg "Synth.amp_array: stages must be >= 1";
+  let circ =
+    empty ~title:(Printf.sprintf "amp array %d stages" stages) ()
+  in
+  let circ = vsource circ "VIN" "in" "0" (ac_source 1.) in
+  let circ = ref circ in
+  for s = 0 to stages - 1 do
+    let n suffix = Printf.sprintf "%s_%d" suffix s in
+    let input = if s = 0 then "in" else amp_stage_out (s - 1) in
+    circ :=
+      vcvs !circ (Printf.sprintf "EAMP_%d" s) (n "x1") "0" input (n "fb") av;
+    circ := resistor !circ (Printf.sprintf "R1_%d" s) (n "x1") (n "x2") 1e3;
+    circ := capacitor !circ (Printf.sprintf "C1_%d" s) (n "x2") "0" 1e-9;
+    circ :=
+      vcvs !circ (Printf.sprintf "EBUF_%d" s) (n "x2b") "0" (n "x2") "0" 1.;
+    circ := resistor !circ (Printf.sprintf "R2_%d" s) (n "x2b") (n "x3") 1e4;
+    circ := capacitor !circ (Printf.sprintf "C2_%d" s) (n "x3") "0" 1e-11;
+    circ :=
+      resistor !circ (Printf.sprintf "RFB_%d" s) (n "x3") (n "fb") 1e-3;
+    circ := resistor !circ (Printf.sprintf "RL_%d" s) (n "fb") "0" 1e6
+  done;
+  !circ

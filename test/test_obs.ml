@@ -333,6 +333,10 @@ let test_metrics_domain_rollup () =
    overlapping spans renders as garbage in a trace viewer). *)
 let test_pooled_trace_multi_domain () =
   reset_all ();
+  (* Oversubscribe so real worker domains exist even on a single-core
+     host — the production clamp would otherwise run `Par` inline and
+     the trace would carry one lane only. *)
+  Parallel.Pool.set_oversubscribe true;
   Parallel.Pool.set_jobs 4;
   let circ = Workloads.Ladder.rc ~sections:30 () in
   let probe = Stability.Probe.prepare circ in
@@ -343,7 +347,13 @@ let test_pooled_trace_multi_domain () =
       parallel = `Par;
       sweep = Numerics.Sweep.decade 1e3 1e7 40 }
   in
-  let results = Stability.Analysis.all_nodes_prepared ~options probe in
+  let results =
+    Fun.protect
+      ~finally:(fun () ->
+        Parallel.Pool.set_oversubscribe false;
+        Parallel.Pool.shutdown ())
+      (fun () -> Stability.Analysis.all_nodes_prepared ~options probe)
+  in
   Obs.Span.disable ();
   Alcotest.(check bool) "analysis produced results" true (results <> []);
   let events = Obs.Span.events () in

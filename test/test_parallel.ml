@@ -7,6 +7,21 @@ let with_jobs n f =
   Parallel.Pool.set_jobs n;
   Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs saved) f
 
+(* The pool clamps to the core count, so on a small CI machine [-j 4]
+   runs inline and never exercises worker domains. Forcing
+   oversubscription turns the real scheduler back on — domains, deals,
+   steals — whatever the hardware. *)
+let with_real_workers n f =
+  let saved = Parallel.Pool.jobs () in
+  Parallel.Pool.set_oversubscribe true;
+  Parallel.Pool.set_jobs n;
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.Pool.set_jobs saved;
+      Parallel.Pool.set_oversubscribe false;
+      Parallel.Pool.shutdown ())
+    f
+
 (* ---------- pool primitives ---------- *)
 
 let test_pool_empty_and_tiny () =
@@ -75,6 +90,117 @@ let test_pool_set_jobs () =
   Alcotest.(check (list int)) "jobs=1 runs inline" [ 1; 2; 3 ]
     (Parallel.Pool.map_list (fun x -> x + 1) [ 0; 1; 2 ]);
   Parallel.Pool.set_jobs saved
+
+let test_pool_effective_jobs () =
+  with_jobs 4 (fun () ->
+      let cores = Domain.recommended_domain_count () in
+      Alcotest.(check int) "clamped to the hardware"
+        (Int.min 4 (Int.max 1 cores))
+        (Parallel.Pool.effective_jobs ());
+      Alcotest.(check int) "requested jobs still reported" 4
+        (Parallel.Pool.jobs ());
+      Parallel.Pool.set_oversubscribe true;
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.set_oversubscribe false)
+        (fun () ->
+          Alcotest.(check int) "oversubscription honours the request" 4
+            (Parallel.Pool.effective_jobs ())))
+
+(* The same scheduling contracts as above, but with worker domains
+   forced into existence (oversubscribed past the core count if need
+   be): real deals, real steals, real per-worker locks. *)
+let test_pool_real_workers () =
+  with_real_workers 4 (fun () ->
+      let n = 500 in
+      let chunks0 =
+        match Obs.Counter.find "pool.chunks" with
+        | Some c -> Obs.Counter.value c
+        | None -> Alcotest.fail "pool.chunks counter missing"
+      in
+      let hits = Array.make n 0 in
+      Parallel.Pool.parallel_for ~chunk:1 ~n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int)) "each index exactly once on domains"
+        (Array.make n 1) hits;
+      let chunks1 =
+        match Obs.Counter.find "pool.chunks" with
+        | Some c -> Obs.Counter.value c
+        | None -> assert false
+      in
+      Alcotest.(check int) "every chunk executed exactly once" n
+        (chunks1 - chunks0);
+      let xs = List.init 200 Fun.id in
+      Alcotest.(check (list int)) "order preserved on domains"
+        (List.map (fun x -> x * 7) xs)
+        (Parallel.Pool.map_list ~chunk:1 (fun x -> x * 7) xs);
+      Alcotest.check_raises "exception crosses domains"
+        (Failure "boom 11") (fun () ->
+          Parallel.Pool.parallel_for ~chunk:1 ~n:64 (fun i ->
+              if i = 11 then failwith "boom 11"));
+      Alcotest.(check (list int)) "pool survives the failure" [ 0; 2; 4 ]
+        (Parallel.Pool.map_list (fun x -> 2 * x) [ 0; 1; 2 ]))
+
+let test_adaptive_chunk_target () =
+  let saved = Parallel.Pool.chunk_target_ms () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.set_chunk_target_ms saved)
+    (fun () ->
+      Parallel.Pool.set_chunk_target_ms 2.5;
+      Alcotest.(check (float 1e-9)) "target readable" 2.5
+        (Parallel.Pool.chunk_target_ms ());
+      Parallel.Pool.set_chunk_target_ms (-1.);
+      Alcotest.(check (float 1e-9)) "non-positive target ignored" 2.5
+        (Parallel.Pool.chunk_target_ms ());
+      (* Results must not depend on granularity: run the same batch at
+         extreme targets (tiny -> many chunks, huge -> few) on real
+         workers and require identical output. *)
+      with_real_workers 3 (fun () ->
+          let run () =
+            Parallel.Pool.map_array
+              (fun x -> (x * x) - x)
+              (Array.init 300 Fun.id)
+          in
+          Parallel.Pool.set_chunk_target_ms 0.001;
+          let fine = run () in
+          Parallel.Pool.set_chunk_target_ms 50.;
+          let coarse = run () in
+          Alcotest.(check (array int))
+            "chunk granularity never changes results" fine coarse))
+
+(* ---------- the `Auto seq/par decision ---------- *)
+
+let test_auto_decision () =
+  (* Shapes of a real tiny deck and a real >= 1k-unknown synthetic mesh:
+     the tiny one must never clear the volume cutoff, the large one
+     always does. *)
+  let tiny_work = Stability.Probe.estimated_work ~unknowns:15 ~points:61 ~nets:1 in
+  let mesh = Workloads.Synth.rc_mesh ~rows:32 ~cols:32 () in
+  let unknowns = (Engine.Mna.compile mesh).Engine.Mna.size in
+  let large_work =
+    Stability.Probe.estimated_work ~unknowns ~points:61 ~nets:4
+  in
+  Alcotest.(check bool) "tiny deck under the cutoff" true
+    (tiny_work < Stability.Probe.auto_threshold);
+  Alcotest.(check bool) "mesh workload over the cutoff" true
+    (large_work >= Stability.Probe.auto_threshold);
+  (* Sequential pool => `Auto must be sequential even for huge sweeps. *)
+  with_jobs 1 (fun () ->
+      Alcotest.(check bool) "no workers -> seq" false
+        (Stability.Probe.auto_decision ~unknowns ~points:61 ~nets:4));
+  (* With jobs requested, the decision follows the *effective* count:
+     never "parallel" into a pool the core clamp will run inline. *)
+  with_jobs 4 (fun () ->
+      Alcotest.(check bool) "decision tracks effective_jobs"
+        (Parallel.Pool.effective_jobs () > 1)
+        (Stability.Probe.auto_decision ~unknowns ~points:61 ~nets:4);
+      Alcotest.(check bool) "tiny deck stays sequential" false
+        (Stability.Probe.auto_decision ~unknowns:15 ~points:61 ~nets:1));
+  (* Real workers available => the large deck must go parallel. *)
+  with_real_workers 4 (fun () ->
+      Alcotest.(check bool) "workers + volume -> par" true
+        (Stability.Probe.auto_decision ~unknowns ~points:61 ~nets:4);
+      Alcotest.(check bool) "tiny deck still seq" false
+        (Stability.Probe.auto_decision ~unknowns:15 ~points:61 ~nets:1))
 
 (* ---------- job queue rides the pool ---------- *)
 
@@ -162,7 +288,16 @@ let () =
                test_pool_exception_propagation;
              Alcotest.test_case "nested submission inline" `Quick
                test_pool_nested_runs_inline;
-             Alcotest.test_case "set_jobs" `Quick test_pool_set_jobs ]);
+             Alcotest.test_case "set_jobs" `Quick test_pool_set_jobs;
+             Alcotest.test_case "effective_jobs clamp" `Quick
+               test_pool_effective_jobs;
+             Alcotest.test_case "real worker domains" `Quick
+               test_pool_real_workers;
+             Alcotest.test_case "adaptive chunk target" `Quick
+               test_adaptive_chunk_target ]);
+          ("auto",
+           [ Alcotest.test_case "seq/par decision" `Quick
+               test_auto_decision ]);
           ("jobs",
            [ Alcotest.test_case "backtrace capture" `Quick
                test_job_backtrace_captured ]);
