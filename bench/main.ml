@@ -615,6 +615,198 @@ let run_acplan_bench () =
   Printf.printf "wrote BENCH_acplan.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Compiled kernels: flattened factor/solve programs vs the plan        *)
+
+(* The kernel is a pure specialization of the plan backend — same
+   symbolic analysis, same float sequence — so besides the throughput
+   gate everything here is exact: bit identity against [`Plan],
+   sequential = parallel, and the compile/point counter budget. *)
+let run_kernel_bench ~smoke () =
+  section
+    "Compiled kernels -- flattened solve programs vs the interpreted plan";
+  let opamp = Workloads.Opamp_2mhz.buffer () in
+  let probe = Stability.Probe.prepare opamp in
+  let ppd = if smoke then 20 else 120 in
+  let sweep = Numerics.Sweep.decade 1e3 1e9 ppd in
+  let points = Numerics.Sweep.count sweep in
+  let all = Circuit.Netlist.node_names opamp in
+  let best_of_3 f =
+    ignore (f ());
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* The sweep-heavy workload the kernel targets: every net probed, the
+     whole sweep through one backend, sequentially — so the comparison
+     measures the solve program, not the scheduler. *)
+  let time_probe backend =
+    best_of_3 (fun () ->
+        Stability.Probe.response_many ~backend ~parallel:`Seq probe ~sweep
+          all)
+  in
+  let t_plan = time_probe `Plan in
+  let t_kernel = time_probe `Kernel in
+  let speedup = t_plan /. t_kernel in
+  let pps t = Float.of_int points /. t in
+  Printf.printf
+    "all-nodes sweep, %d nets x %d points (sequential):\n\
+     %12s %10s %14s %9s\n\
+     %12s %10.4f %14.0f %9s\n\
+     %12s %10.4f %14.0f %8.1fx\n"
+    (List.length all) points "backend" "time [s]" "points/s" "speedup"
+    "plan" t_plan (pps t_plan) "1.0x" "kernel" t_kernel (pps t_kernel)
+    speedup;
+  (* Smoke runs on loaded CI boxes only assert "never slower"; the full
+     bench holds the kernel to its real target. *)
+  let target = if smoke then 0.8 else 2.0 in
+  record ~experiment:"Kernel (all-nodes sweep speedup)"
+    ~paper:(Printf.sprintf ">= %.1fx vs plan" target)
+    ~measured:(Printf.sprintf "%.2fx" speedup)
+    (speedup >= target);
+
+  (* Bit identity: raw IEEE bits of every net at every point, multi-RHS
+     and single-RHS batch shapes both. *)
+  let eq_sweep = Numerics.Sweep.decade 1e3 1e9 (if smoke then 10 else 40) in
+  let bits_equal a b =
+    List.for_all2
+      (fun (_, (w1 : Numerics.Waveform.Freq.t))
+           (_, (w2 : Numerics.Waveform.Freq.t)) ->
+        let n = Array.length w1.Numerics.Waveform.Freq.h in
+        let ok = ref (n = Array.length w2.Numerics.Waveform.Freq.h) in
+        for k = 0 to n - 1 do
+          let a = w1.Numerics.Waveform.Freq.h.(k)
+          and b = w2.Numerics.Waveform.Freq.h.(k) in
+          if Int64.bits_of_float a.Complex.re
+             <> Int64.bits_of_float b.Complex.re
+             || Int64.bits_of_float a.Complex.im
+                <> Int64.bits_of_float b.Complex.im
+          then ok := false
+        done;
+        !ok)
+      a b
+  in
+  let probe_eq backend nodes =
+    Stability.Probe.response_many ~backend ~parallel:`Seq probe
+      ~sweep:eq_sweep nodes
+  in
+  let identical =
+    bits_equal (probe_eq `Plan all) (probe_eq `Kernel all)
+    && bits_equal
+         (probe_eq `Plan [ Workloads.Opamp_2mhz.node_out ])
+         (probe_eq `Kernel [ Workloads.Opamp_2mhz.node_out ])
+  in
+  record ~experiment:"Kernel (bit identity vs plan)"
+    ~paper:"identical IEEE bits"
+    ~measured:(if identical then "identical" else "DIFFERS") identical;
+
+  (* Chunked pooled execution must not enter the arithmetic. *)
+  let seq = probe_eq `Kernel all in
+  let par =
+    Stability.Probe.response_many ~backend:`Kernel ~parallel:`Par probe
+      ~sweep:eq_sweep all
+  in
+  let seq_par = bits_equal seq par in
+  record ~experiment:"Kernel (seq = par)" ~paper:"bit-identical"
+    ~measured:(if seq_par then "identical" else "DIFFERS") seq_par;
+
+  (* Counter contract: one compile per sweep, every point advanced
+     through the kernel, no stale-pivot fallbacks on this deck — and a
+     shared pre-compiled kernel recompiles nothing. *)
+  let before = Engine.Kernel.totals () in
+  ignore
+    (Stability.Probe.response_many ~backend:`Kernel ~parallel:`Seq probe
+       ~sweep all);
+  let after = Engine.Kernel.totals () in
+  let d_compiles = after.Engine.Kernel.compiles - before.Engine.Kernel.compiles in
+  let d_points = after.Engine.Kernel.points - before.Engine.Kernel.points in
+  let d_fb = after.Engine.Kernel.fallback - before.Engine.Kernel.fallback in
+  let kern = Engine.Kernel.compile (Stability.Probe.plan probe ~sweep) in
+  let base = (Engine.Kernel.totals ()).Engine.Kernel.compiles in
+  ignore
+    (Stability.Probe.response_many ~kernel:kern ~parallel:`Seq probe ~sweep
+       all);
+  ignore
+    (Stability.Probe.response_many ~kernel:kern ~parallel:`Seq probe ~sweep
+       all);
+  let warm_extra =
+    (Engine.Kernel.totals ()).Engine.Kernel.compiles - base
+  in
+  Printf.printf
+    "counters over one all-nodes sweep: %d compiles, %d points (%d \
+     expected), %d fallbacks; warm shared-kernel sweeps recompiled %d\n"
+    d_compiles d_points points d_fb warm_extra;
+  record ~experiment:"Kernel (counter budget)"
+    ~paper:"1 compile/sweep, 1 point advance/point, 0 warm recompiles"
+    ~measured:
+      (Printf.sprintf "%d compiles, %d points, %d warm" d_compiles d_points
+         warm_extra)
+    (d_compiles = 1 && d_points = points && d_fb = 0 && warm_extra = 0);
+
+  (* Peak equivalence through the full analysis pipeline (coarse sweep +
+     zoom refinement), held to the same 0.1% the plan was. *)
+  let opts backend =
+    { Stability.Analysis.default_options with
+      sweep = Numerics.Sweep.decade 1e3 1e9 (if smoke then 10 else 20);
+      backend }
+  in
+  let plan_r =
+    Stability.Analysis.all_nodes_prepared ~options:(opts `Plan) probe
+  in
+  let kern_r =
+    Stability.Analysis.all_nodes_prepared ~options:(opts `Kernel) probe
+  in
+  let worst = ref 0. in
+  List.iter2
+    (fun (a : Stability.Analysis.node_result)
+         (b : Stability.Analysis.node_result) ->
+      match (a.Stability.Analysis.dominant, b.Stability.Analysis.dominant)
+      with
+      | Some p, Some q ->
+        worst :=
+          Float.max !worst
+            (Float.max
+               (Float.abs
+                  ((q.Stability.Peaks.freq /. p.Stability.Peaks.freq) -. 1.))
+               (Float.abs
+                  ((q.Stability.Peaks.value /. p.Stability.Peaks.value)
+                   -. 1.)))
+      | None, None -> ()
+      | _ -> worst := 1.)
+    plan_r kern_r;
+  record ~experiment:"Kernel (peak equivalence)"
+    ~paper:"fn and index within 0.1%"
+    ~measured:(Printf.sprintf "worst rel err %.2e" !worst)
+    (!worst < 1e-3);
+
+  if not smoke then begin
+    let oc = open_out "BENCH_kernel.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"circuit\": \"opamp_2mhz buffer\",\n\
+      \  \"unknowns\": %d,\n\
+      \  \"points\": %d,\n\
+      \  \"nets\": %d,\n\
+      \  \"all_nodes\": { \"plan_s\": %.6f, \"kernel_s\": %.6f, \
+       \"plan_pps\": %.1f, \"kernel_pps\": %.1f, \"speedup\": %.2f },\n\
+      \  \"bit_identical\": %b,\n\
+      \  \"seq_par_identical\": %b,\n\
+      \  \"counters\": { \"compiles\": %d, \"points\": %d, \"fallback\": \
+       %d, \"warm_recompiles\": %d, \"batch_max\": %d },\n\
+      \  \"equivalence\": { \"worst_rel\": %.3e }\n\
+       }\n"
+      probe.Stability.Probe.mna.Engine.Mna.size points (List.length all)
+      t_plan t_kernel (pps t_plan) (pps t_kernel) speedup identical seq_par
+      d_compiles d_points d_fb warm_extra
+      (Engine.Kernel.totals ()).Engine.Kernel.batch_max !worst;
+    close_out oc;
+    Printf.printf "wrote BENCH_kernel.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Persistent pool: scheduling overhead, plan reuse, worker scaling     *)
 
 (* The PR-1 parallel path, reproduced: one fresh plan compilation and
@@ -1390,6 +1582,18 @@ let () =
     if smoke && List.exists (fun (_, _, _, ok) -> not ok) !summary then
       exit 1
   end
+  else if arg = "--kernel" then begin
+    (* Compiled-kernel benchmark alone: regenerates BENCH_kernel.json in
+       full mode and gates the speedup / bit-identity / counter
+       contracts; with a second --smoke argument, a reduced run whose
+       timing gate only asserts "never slower" — the @bench-smoke leg
+       that keeps the kernel from regressing below the plan it
+       specializes. *)
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    run_kernel_bench ~smoke ();
+    print_summary ();
+    if List.exists (fun (_, _, _, ok) -> not ok) !summary then exit 1
+  end
   else if arg = "--smoke" then begin
     (* Reduced run for the @bench-smoke alias: the pool's correctness
        contracts (determinism, plan-reuse counters, seed-stable
@@ -1413,6 +1617,7 @@ let () =
     run_ablations ();
     run_ablation_sparse ();
     run_acplan_bench ();
+    run_kernel_bench ~smoke:false ();
     run_pool_bench ~smoke:false ();
     run_obs_smoke ();
     run_health_smoke ();

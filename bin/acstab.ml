@@ -231,6 +231,20 @@ let manifest_arg =
                  histogram summaries, timing) as JSON to $(docv); \
                  compare two with $(b,acstab diff).")
 
+(* Solver backend selector, mirrored by the serve protocol's "backend"
+   member. Auto picks the compiled plan above the dense cutoff; kernel
+   additionally flattens it into the straight-line factor/solve program
+   (bit-identical numbers, fastest sweeps). *)
+let backend_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("auto", `Auto); ("dense", `Dense); ("sparse", `Sparse);
+                ("plan", `Plan); ("kernel", `Kernel) ])
+           `Auto
+       & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Linear-solver path: $(b,auto) (default), $(b,dense),                  $(b,sparse), $(b,plan), or $(b,kernel) (the compiled                  per-circuit solve kernel; identical numbers to                  $(b,plan), fastest dense sweeps).")
+
 (* Tri-state parallel selector: the default Auto heuristic parallelises
    when the workload's volume warrants the pool; the flags force it. *)
 let par_term =
@@ -257,10 +271,10 @@ let single_node_cmd =
          & info [ "plot" ] ~doc:"Print the full stability plot table.")
   in
   let run () () () () lint file node fmin fmax ppd plot html manifest
-      parallel =
+      parallel backend =
     let loaded = load_deck lint file in
     let options = { (options_of fmin fmax ppd) with
-                    Stability.Analysis.parallel } in
+                    Stability.Analysis.parallel; backend } in
     let o = analyze ~options loaded (Tool.Pipeline.Single_node node) in
     let r = List.hd o.Tool.Pipeline.results in
     Stability.Report.single_node Format.std_formatter r;
@@ -283,7 +297,7 @@ let single_node_cmd =
     Term.(const run $ log_term $ jobs_term $ obs_term $ health_term
           $ lint_term $ file_arg
           $ node_arg $ fmin_arg $ fmax_arg $ ppd_arg $ plot $ html_arg
-          $ manifest_arg $ par_term)
+          $ manifest_arg $ par_term $ backend_arg)
 
 (* ---- all-nodes ---- *)
 
@@ -303,10 +317,10 @@ let all_nodes_cmd =
                    loops)).")
   in
   let run () () () () lint file fmin fmax ppd nodes annotate html manifest
-      parallel =
+      parallel backend =
     let loaded = load_deck lint file in
     let options = { (options_of fmin fmax ppd) with
-                    Stability.Analysis.parallel } in
+                    Stability.Analysis.parallel; backend } in
     let what =
       match nodes with
       | Some [ "auto" ] -> Tool.Pipeline.Auto_nodes
@@ -333,7 +347,7 @@ let all_nodes_cmd =
     Term.(const run $ log_term $ jobs_term $ obs_term $ health_term
           $ lint_term $ file_arg
           $ fmin_arg $ fmax_arg $ ppd_arg $ nodes $ annotate $ html_arg
-          $ manifest_arg $ par_term)
+          $ manifest_arg $ par_term $ backend_arg)
 
 (* ---- run (directive-driven) ---- *)
 

@@ -139,7 +139,7 @@ let run_compiled ?op ?(gmin = 1e-12) ?backend ~sweep mna =
           if Health.tick () then dense_health a lu ~x ~b:b0;
           x)
         freqs
-    | `Plan ->
+    | (`Plan | `Kernel) as b ->
       let omega_ref =
         if Array.length freqs = 0 then 2e6 *. Float.pi
         else
@@ -147,9 +147,20 @@ let run_compiled ?op ?(gmin = 1e-12) ?backend ~sweep mna =
           *. sqrt (freqs.(0) *. freqs.(Array.length freqs - 1))
       in
       let plan = Ac_plan.compile ~gmin ~omega_ref ~op mna in
-      Array.map
-        (fun f -> Ac_plan.solve plan ~omega:(2. *. Float.pi *. f) b0)
-        freqs
+      (match b with
+       | `Plan ->
+         Array.map
+           (fun f -> Ac_plan.solve plan ~omega:(2. *. Float.pi *. f) b0)
+           freqs
+       | `Kernel ->
+         (* Flattened program over the same plan; values bit-identical
+            to [`Plan]. *)
+         let kern = Kernel.compile plan in
+         Array.map
+           (fun f ->
+             (Kernel.solve_many kern ~omega:(2. *. Float.pi *. f)
+                [| b0 |]).(0))
+           freqs)
   in
   { mna; op; freqs; solutions }
 

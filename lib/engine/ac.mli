@@ -12,19 +12,22 @@ type result = {
 }
 
 val run :
-  ?dc_options:Dcop.options -> ?gmin:float -> ?backend:[ `Dense | `Plan ] ->
+  ?dc_options:Dcop.options -> ?gmin:float ->
+  ?backend:[ `Dense | `Plan | `Kernel ] ->
   sweep:Numerics.Sweep.t -> Circuit.Netlist.t -> result
 (** Compile, find the operating point, and sweep. Raises
     {!Dcop.No_convergence} / {!Mna.Compile_error} like its parts. *)
 
 val run_compiled :
-  ?op:Dcop.t -> ?gmin:float -> ?backend:[ `Dense | `Plan ] ->
+  ?op:Dcop.t -> ?gmin:float -> ?backend:[ `Dense | `Plan | `Kernel ] ->
   sweep:Numerics.Sweep.t -> Mna.t -> result
 (** Sweep a pre-compiled circuit, reusing a known operating point. The
     default backend compiles an {!Ac_plan} (one symbolic analysis per
     sweep, one numeric refactorisation per point) for systems above
     {!Ac_plan.dense_cutoff} unknowns and keeps the dense per-point LU
-    below it; [`Dense] forces the oracle path. *)
+    below it; [`Dense] forces the oracle path, [`Kernel] further
+    flattens the plan into the {!Kernel} straight-line program
+    (bit-identical values to [`Plan]). *)
 
 val matrix_at :
   Mna.t -> Linearize.prim list -> gmin:float -> w:float -> Numerics.Cmat.t ->

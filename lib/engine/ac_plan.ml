@@ -238,3 +238,31 @@ let solve_many ?health t ~omega bs =
   xs
 
 let solve ?health t ~omega b = (solve_many ?health t ~omega [| b |]).(0)
+
+(* ---- kernel-compiler exports ---- *)
+
+(* The shared skeleton and frozen analysis, handed out uncopied so
+   Engine.Kernel can flatten them without doubling the plan's footprint.
+   Callers must treat every array as read-only: plans are shared across
+   Domain-parallel sweep workers precisely because they are immutable. *)
+let skeleton t = (t.colptr, t.rowidx, t.gvals, t.cvals)
+let symbolic t = t.sym
+
+(* Out-of-band health probe for compiled kernels: the kernel's hot loop
+   keeps no Scmat factor around, so sampled points rebuild one here to
+   price rcond/growth/residual. No counters move — this is telemetry,
+   not part of the factorisation budget the tests assert. *)
+let point_health ?meter t ~omega ~x ~b =
+  let a = matrix_at t ~omega in
+  let f =
+    try Scmat.refactor ~pivot_tol t.sym a
+    with Sparse.Singular _ -> snd (Scmat.analyze a)
+  in
+  let rcond = Cond.rcond (Cond.sparse a f) in
+  let growth = Scmat.pivot_growth a f in
+  let residual =
+    Health.relative_residual ~norm1:(Scmat.norm1 a)
+      ~residual_inf:(Scmat.residual_inf a x b)
+      ~x_inf:(mag_inf x) ~b_inf:(mag_inf b)
+  in
+  Health.record ?meter ~rcond ~growth ~residual ()

@@ -51,6 +51,29 @@ val solve :
   ?health:Health.meter -> t -> omega:float -> Complex.t array ->
   Complex.t array
 
+val pivot_tol : float
+(** Relative pivot floor under which a frozen pivot order is declared
+    stale for a frequency point ({!factor_at} then falls back to a fresh
+    pivoting factorisation). Exported so {!Engine.Kernel} applies the
+    identical stale-pivot test on its flattened schedule. *)
+
+val skeleton : t -> int array * int array * float array * float array
+(** [(colptr, rowidx, gvals, cvals)] — the shared CSC skeleton behind
+    the plan, uncopied. Read-only: mutating any of these breaks every
+    worker sharing the plan. Intended for {!Engine.Kernel.compile}. *)
+
+val symbolic : t -> Numerics.Scmat.symbolic
+(** The frozen one-per-plan symbolic analysis (same sharing caveat as
+    {!skeleton}). *)
+
+val point_health :
+  ?meter:Health.meter -> t -> omega:float -> x:Complex.t array ->
+  b:Complex.t array -> unit
+(** Out-of-band health probe for sampled kernel points: rebuilds a
+    factor at [omega] to record rcond/growth plus the scaled residual of
+    solution [x] against right-hand side [b]. Moves no {!totals}
+    counters. *)
+
 type totals = {
   symbolic : int;  (** symbolic analyses (one per plan + fallbacks) *)
   numeric : int;   (** numeric factorisations (one per frequency point) *)

@@ -309,6 +309,25 @@ module Make (F : Field.S) = struct
         sym_rowperm = Array.copy f.rowperm; l_pat; u_pat },
       f )
 
+  (* The frozen elimination schedule, exported as plain arrays so a
+     kernel compiler can flatten it further (Engine.Kernel bakes it into
+     straight-line index programs). Copies: the symbolic analysis stays
+     immutable whatever the caller does with the export. *)
+  type schedule = {
+    sched_n : int;
+    sched_pinv : int array;
+    sched_rowperm : int array;
+    sched_l : int array array;
+    sched_u : int array array;
+  }
+
+  let schedule_of s =
+    { sched_n = s.sym_n;
+      sched_pinv = Array.copy s.sym_pinv;
+      sched_rowperm = Array.copy s.sym_rowperm;
+      sched_l = Array.map Array.copy s.l_pat;
+      sched_u = Array.map Array.copy s.u_pat }
+
   (* Numeric-only refactorisation along a frozen pattern. The matrix must
      have a pattern contained in the analyzed one (the plan layer shares
      the CSC pattern arrays outright, which guarantees it). The frozen

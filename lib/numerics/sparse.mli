@@ -52,6 +52,26 @@ module Make (F : Field.S) : sig
       > 0 — smaller than [pivot_tol] times the largest eliminated entry
       of its column; callers fall back to a fresh {!analyze} then. *)
 
+  type schedule = {
+    sched_n : int;
+    sched_pinv : int array;     (** original row -> pivot position *)
+    sched_rowperm : int array;  (** pivot position -> original row *)
+    sched_l : int array array;
+    (** per pivot column: original row indices of the strictly-lower
+        entries, in elimination storage order *)
+    sched_u : int array array;
+    (** per column: dependency pivot positions in ascending order, with
+        the diagonal position appended last — the exact order
+        {!refactor} replays *)
+  }
+  (** The frozen elimination schedule behind a {!symbolic}, exported as
+      plain arrays so kernel compilers ({!Engine.Kernel}) can flatten it
+      into straight-line index programs. *)
+
+  val schedule_of : symbolic -> schedule
+  (** Copies — the symbolic analysis stays immutable whatever the caller
+      does with the export. *)
+
   val lu_solve : factor -> elt array -> elt array
 
   val lu_solve_many : factor -> elt array array -> elt array array

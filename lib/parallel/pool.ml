@@ -152,20 +152,42 @@ let env_flag name =
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
-let default_jobs () =
-  match Sys.getenv_opt "ACSTAB_JOBS" with
+(* The accepted grammar of each ACSTAB_* tuning knob, as a pure function
+   so tests can pin exactly what the environment parser accepts without
+   mutating the environment. Both trim surrounding whitespace (an
+   exported CHUNK_MS=" 2.5 " from a shell script should not disable
+   adaptive chunking) and reject rather than clamp out-of-range
+   values — a clamped typo would silently run at the wrong setting. *)
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+let parse_chunk_ms s =
+  match float_of_string_opt (String.trim s) with
+  | Some ms when ms > 0. && Float.is_finite ms -> Some ms
+  | _ -> None
+
+(* One warning shape for every knob: name the rejected value, what was
+   expected, and the fallback actually used. Both knobs used to
+   hand-roll this; keeping them on one helper keeps the wording (and
+   the decision to warn at all) consistent. *)
+let env_parse name ~parse ~expected ~show fallback =
+  match Sys.getenv_opt name with
+  | None -> fallback
   | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> n
-     | _ ->
-       let fallback = Domain.recommended_domain_count () in
+    (match parse s with
+     | Some v -> v
+     | None ->
        Printf.eprintf
-         "acstab: warning: invalid ACSTAB_JOBS=%S (expected an integer >= \
-          1); using %d\n\
-          %!"
-         s fallback;
+         "acstab: warning: invalid %s=%S (expected %s); using %s\n%!"
+         name s expected (show fallback);
        fallback)
-  | None -> Domain.recommended_domain_count ()
+
+let default_jobs () =
+  env_parse "ACSTAB_JOBS" ~parse:parse_jobs
+    ~expected:"an integer >= 1" ~show:string_of_int
+    (Domain.recommended_domain_count ())
 
 (* Guards [requested], [oversub] and [pool] below (configuration only —
    never touched on the scheduling fast path). *)
@@ -219,20 +241,13 @@ let effective_jobs () =
 let item_cost_ns = Atomic.make 0
 
 let chunk_target_ns =
-  let default = 1_000_000 (* 1 ms of work per chunk *) in
-  Atomic.make
-    (match Sys.getenv_opt "ACSTAB_CHUNK_MS" with
-     | Some s ->
-       (match float_of_string_opt (String.trim s) with
-        | Some ms when ms > 0. -> int_of_float (ms *. 1e6)
-        | _ ->
-          Printf.eprintf
-            "acstab: warning: invalid ACSTAB_CHUNK_MS=%S (expected a \
-             positive number of milliseconds); using %g\n\
-             %!"
-            s (float_of_int default *. 1e-6);
-          default)
-     | None -> default)
+  let ms =
+    env_parse "ACSTAB_CHUNK_MS" ~parse:parse_chunk_ms
+      ~expected:"a positive number of milliseconds"
+      ~show:(Printf.sprintf "%g")
+      1.0 (* 1 ms of work per chunk *)
+  in
+  Atomic.make (int_of_float (ms *. 1e6))
 
 let set_chunk_target_ms ms =
   if ms > 0. then Atomic.set chunk_target_ns (int_of_float (ms *. 1e6))

@@ -58,6 +58,18 @@ val set_oversubscribe : bool -> unit
 val oversubscribe : unit -> bool
 (** Whether oversubscription is currently forced. *)
 
+val parse_jobs : string -> int option
+(** The exact grammar [ACSTAB_JOBS] accepts: an integer [>= 1] with
+    optional surrounding whitespace. [None] for anything else (zero,
+    negative, non-numeric, empty) — the environment reader then warns
+    and falls back rather than silently clamping. Exposed pure so tests
+    can pin the accepted grammar without mutating the environment. *)
+
+val parse_chunk_ms : string -> float option
+(** The exact grammar [ACSTAB_CHUNK_MS] accepts: a finite float [> 0.]
+    with optional surrounding whitespace, in milliseconds. Same warn-
+    and-fall-back contract as {!parse_jobs}. *)
+
 val set_chunk_target_ms : float -> unit
 (** Set the adaptive chunking target: the pool sizes default chunks so
     one chunk holds about this many milliseconds of work, using a

@@ -8,7 +8,7 @@ type options = {
   min_peak : float;
   dc_options : Engine.Dcop.options;
   parallel : [ `Auto | `Seq | `Par ];
-  backend : [ `Auto | `Dense | `Sparse | `Plan ];
+  backend : [ `Auto | `Dense | `Sparse | `Plan | `Kernel ];
 }
 
 let default_options =
@@ -24,7 +24,7 @@ let default_options =
 let probe_backend opts =
   match opts.backend with
   | `Auto -> None
-  | (`Dense | `Sparse | `Plan) as b -> Some b
+  | (`Dense | `Sparse | `Plan | `Kernel) as b -> Some b
 
 (* One compiled plan for the whole run mode: the coarse scan and every
    zoom window share the circuit's MNA pattern, so they share its
@@ -32,16 +32,25 @@ let probe_backend opts =
 let shared_plan opts probe =
   let plan_backed =
     match opts.backend with
-    | `Plan | `Sparse -> true
+    | `Plan | `Sparse | `Kernel -> true
     | `Dense -> false
     | `Auto ->
       probe.Probe.mna.Engine.Mna.size > Engine.Ac_plan.dense_cutoff
   in
   if plan_backed then Some (Probe.plan probe ~sweep:opts.sweep) else None
 
-let response_many opts ?plan ?health probe nodes ~sweep =
+(* One compiled kernel per run mode, for the same reason: coarse scan
+   and zoom windows share the plan's symbolic analysis, hence also its
+   flattened kernel program. [None] unless the kernel backend is
+   selected. *)
+let shared_kernel opts plan =
+  match (opts.backend, plan) with
+  | `Kernel, Some p -> Some (Engine.Kernel.compile p)
+  | _ -> None
+
+let response_many opts ?plan ?kernel ?health probe nodes ~sweep =
   Probe.response_many ?backend:(probe_backend opts)
-    ~parallel:opts.parallel ?plan ?health probe ~sweep nodes
+    ~parallel:opts.parallel ?plan ?kernel ?health probe ~sweep nodes
 
 type quality = Good | Degraded | Suspect
 
@@ -187,7 +196,7 @@ type refine_job = {
    zoom windows additionally reuse [plan] — the coarse sweep's compiled
    solve plan — so the whole refinement pass performs zero further
    symbolic analyses. *)
-let refine_batched opts ?plan ?health probe jobs =
+let refine_batched opts ?plan ?kernel ?health probe jobs =
   let fmin, fmax = sweep_bounds opts.sweep in
   let sorted =
     List.sort
@@ -226,7 +235,7 @@ let refine_batched opts ?plan ?health probe jobs =
         Obs.Counter.incr zoom_windows_counter;
         let t0 = Obs.Span.enter () in
         let responses =
-          response_many opts ?plan ?health probe nodes ~sweep:zoom
+          response_many opts ?plan ?kernel ?health probe nodes ~sweep:zoom
         in
         Obs.Span.leave "analysis.zoom"
           ~args:
@@ -243,7 +252,7 @@ let refine_batched opts ?plan ?health probe jobs =
 
 (* Coarse analysis of every live net, then one batched refinement pass
    over all (node, peak) jobs at once. *)
-let analyze_many opts ?plan ?health probe entries =
+let analyze_many opts ?plan ?kernel ?health probe entries =
   let t_classify = Obs.Span.enter () in
   let coarse =
     List.filter_map
@@ -278,7 +287,7 @@ let analyze_many opts ?plan ?health probe entries =
       List.iter
         (fun (j, refined) -> Hashtbl.replace table (j.rj_node, j.rj_slot)
             refined)
-        (refine_batched opts ?plan ?health probe jobs);
+        (refine_batched opts ?plan ?kernel ?health probe jobs);
       fun node slot coarse_pk ->
         match Hashtbl.find_opt table (node, slot) with
         | Some refined -> refined
@@ -292,8 +301,8 @@ let analyze_many opts ?plan ?health probe entries =
         quality = grade health degraded })
     coarse
 
-let analyze_node opts ?plan ?health probe node response =
-  match analyze_many opts ?plan ?health probe [ (node, response) ] with
+let analyze_node opts ?plan ?kernel ?health probe node response =
+  match analyze_many opts ?plan ?kernel ?health probe [ (node, response) ] with
   | [ r ] -> r
   | _ ->
     failwith
@@ -302,23 +311,31 @@ let analyze_node opts ?plan ?health probe node response =
           an ideal source?)"
          node)
 
-let single_node_prepared ?(options = default_options) ?plan probe node =
+let single_node_prepared ?(options = default_options) ?plan ?kernel probe
+    node =
   let plan =
     match plan with Some _ as p -> p | None -> shared_plan options probe
+  in
+  let kernel =
+    match kernel with
+    | Some _ as k -> k
+    | None -> shared_kernel options plan
   in
   let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
   let w =
     match
-      response_many options ?plan ~health probe [ node ] ~sweep:options.sweep
+      response_many options ?plan ?kernel ~health probe [ node ]
+        ~sweep:options.sweep
     with
     | [ (_, w) ] -> w
     | _ -> assert false
   in
   Obs.Span.leave "analysis.coarse" ~args:[ ("nets", 1) ] t0;
-  analyze_node options ?plan ~health probe node w
+  analyze_node options ?plan ?kernel ~health probe node w
 
-let all_nodes_prepared ?(options = default_options) ?nodes ?plan probe =
+let all_nodes_prepared ?(options = default_options) ?nodes ?plan ?kernel
+    probe =
   let all =
     match nodes with
     | Some ns -> ns
@@ -328,13 +345,18 @@ let all_nodes_prepared ?(options = default_options) ?nodes ?plan probe =
   let plan =
     match plan with Some _ as p -> p | None -> shared_plan options probe
   in
+  let kernel =
+    match kernel with
+    | Some _ as k -> k
+    | None -> shared_kernel options plan
+  in
   let health = Engine.Health.meter () in
   let t0 = Obs.Span.enter () in
   let responses =
-    response_many options ?plan ~health probe all ~sweep:options.sweep
+    response_many options ?plan ?kernel ~health probe all ~sweep:options.sweep
   in
   Obs.Span.leave "analysis.coarse" ~args:[ ("nets", List.length all) ] t0;
-  analyze_many options ?plan ~health probe responses
+  analyze_many options ?plan ?kernel ~health probe responses
 
 let single_node ?(options = default_options) circ node =
   let probe = Probe.prepare ~dc_options:options.dc_options circ in

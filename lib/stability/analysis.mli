@@ -36,12 +36,15 @@ type options = {
       the sweep's volume clears {!Probe.auto_threshold}; [`Par] forces
       pooled execution, [`Seq] forces sequential. Results are
       bit-identical in every mode. *)
-  backend : [ `Auto | `Dense | `Sparse | `Plan ];
+  backend : [ `Auto | `Dense | `Sparse | `Plan | `Kernel ];
   (** linear-solver path handed to {!Probe.response_many}. [`Auto] (the
       default) lets the probe layer pick: the compiled AC plan above
       {!Engine.Ac_plan.dense_cutoff} unknowns, dense below. The explicit
       values force one path — useful for cross-checking backends against
-      each other on the same design. *)
+      each other on the same design. [`Kernel] compiles the plan one
+      step further into the flattened {!Engine.Kernel} factor/solve
+      program (bit-identical results to [`Plan], compiled once per run
+      and shared by the coarse scan and every zoom window). *)
 }
 
 val default_options : options
@@ -89,20 +92,32 @@ val all_nodes :
     Results come back in net-name order. *)
 
 val single_node_prepared :
-  ?options:options -> ?plan:Engine.Ac_plan.t -> Probe.t ->
-  Circuit.Netlist.node -> node_result
+  ?options:options -> ?plan:Engine.Ac_plan.t -> ?kernel:Engine.Kernel.t ->
+  Probe.t -> Circuit.Netlist.node -> node_result
 (** As {!single_node} with a pre-computed operating point. [plan] hands
     in an already-compiled solve plan (see {!shared_plan}) so a caller
     holding one — the fingerprint-keyed [Tool.Cache] across repeated
-    requests on the same deck — pays zero further symbolic analyses. *)
+    requests on the same deck — pays zero further symbolic analyses;
+    [kernel] does the same for the compiled kernel program (see
+    {!shared_kernel}) on the [`Kernel] backend. *)
 
 val all_nodes_prepared :
   ?options:options -> ?nodes:Circuit.Netlist.node list ->
-  ?plan:Engine.Ac_plan.t -> Probe.t -> node_result list
+  ?plan:Engine.Ac_plan.t -> ?kernel:Engine.Kernel.t -> Probe.t ->
+  node_result list
 
 val shared_plan : options -> Probe.t -> Engine.Ac_plan.t option
 (** The plan a run mode would compile for these options: [Some] exactly
-    when the configured backend is plan-backed ([`Plan], [`Sparse], or
-    [`Auto] above {!Engine.Ac_plan.dense_cutoff} unknowns), [None] on
-    the dense paths. Compiling costs one symbolic analysis; the result
-    is valid for any sweep of the same prepared circuit. *)
+    when the configured backend is plan-backed ([`Plan], [`Sparse],
+    [`Kernel], or [`Auto] above {!Engine.Ac_plan.dense_cutoff}
+    unknowns), [None] on the dense paths. Compiling costs one symbolic
+    analysis; the result is valid for any sweep of the same prepared
+    circuit. *)
+
+val shared_kernel :
+  options -> Engine.Ac_plan.t option -> Engine.Kernel.t option
+(** The kernel a run mode would compile from that plan: [Some] exactly
+    when the configured backend is [`Kernel] and a plan exists.
+    Compilation is cheap (array flattening, no factorisation) and the
+    kernel, like the plan, is valid for any sweep of the same prepared
+    circuit. *)

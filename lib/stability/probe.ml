@@ -59,15 +59,18 @@ let auto_decision ~unknowns ~points ~nets =
   && estimated_work ~unknowns ~points ~nets >= auto_threshold
 
 let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
-    ?health t ~sweep nodes =
+    ?kernel:shared_kernel ?health t ~sweep nodes =
   let size = t.mna.Engine.Mna.size in
   let backend =
-    match (backend, shared) with
-    | Some b, _ -> b
-    | None, Some _ ->
+    match (backend, shared_kernel, shared) with
+    | Some b, _, _ -> b
+    | None, Some _, _ ->
+      (* A caller handing in a compiled kernel wants it used. *)
+      `Kernel
+    | None, None, Some _ ->
       (* A caller handing in a compiled plan wants it used. *)
       `Plan
-    | None, None ->
+    | None, None, None ->
       (* The compiled plan is the fast path for anything non-trivial;
          tiny systems keep the dense oracle's simplicity. *)
       if size <= Engine.Ac_plan.dense_cutoff then `Dense else `Plan
@@ -94,13 +97,30 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
   let plan =
     match backend with
     | `Dense -> None
-    | `Sparse | `Plan ->
+    | `Sparse | `Plan | `Kernel ->
       (match shared with
        | Some p -> Some p
        | None ->
-         Some
-           (Engine.Ac_plan.compile ~gmin ~omega_ref:(omega_ref_of freqs)
-              ~op:t.op t.mna))
+         (match shared_kernel with
+          | Some _ when backend = `Kernel ->
+            (* The kernel carries its plan; no need for another. *)
+            None
+          | _ ->
+            Some
+              (Engine.Ac_plan.compile ~gmin ~omega_ref:(omega_ref_of freqs)
+                 ~op:t.op t.mna)))
+  in
+  (* The kernel backend compiles the plan one step further: the frozen
+     elimination schedule flattened into a straight-line factor/solve
+     program (cheap — no factorisation — and fingerprint-cached by
+     Tool.Cache when the pipeline drives this). *)
+  let kernel =
+    match backend with
+    | `Kernel ->
+      (match shared_kernel with
+       | Some k -> Some k
+       | None -> Some (Engine.Kernel.compile (Option.get plan)))
+    | `Dense | `Sparse | `Plan -> None
   in
   (* The probe excitations carry no frequency dependence; build the
      multi-RHS batch once per sweep for every backend (solves never
@@ -141,6 +161,10 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
                ~x_inf:(mag_inf x) ~b_inf:(mag_inf bs.(0)))
           ()
       end
+    | `Kernel, Some _ ->
+      (* Kernel sweeps never route through the per-point body — they run
+         chunked below. *)
+      assert false
     | `Dense, _ | _, None ->
       let a = Engine.Ac.matrix_of ~gmin ~op:t.op ~omega t.mna in
       let lu = Cmat.lu_factor a in
@@ -170,12 +194,36 @@ let response_many ?(gmin = 1e-12) ?backend ?(parallel = `Auto) ?plan:shared
   if go_parallel then Obs.Counter.incr sweeps_par_counter;
   Obs.Counter.add points_counter (Array.length freqs);
   let t0 = Obs.Span.enter () in
-  if go_parallel then
-    Parallel.Pool.parallel_for ~n:(Array.length freqs) run_point
-  else
-    for fk = 0 to Array.length freqs - 1 do
-      run_point fk
-    done;
+  (match kernel with
+   | Some kern ->
+     (* Kernel execution is chunked: one workspace advances [chunk]
+        consecutive points per invocation, so workspace setup amortises
+        and the pool deals whole chunks. Chunks write disjoint cells of
+        the preallocated outputs, and chunk boundaries do not enter the
+        arithmetic — parallel stays bit-identical to sequential. *)
+     let sel = Array.of_list (List.map (fun (_, i, _) -> i) per_node) in
+     let outs = Array.of_list (List.map (fun (_, _, out) -> out) per_node) in
+     let npts = Array.length freqs in
+     let cp = Engine.Kernel.chunk in
+     let nchunks = (npts + cp - 1) / cp in
+     let run_chunk ck =
+       let lo = ck * cp in
+       let hi = Int.min npts (lo + cp) in
+       let ws = Engine.Kernel.workspace kern ~rhs:bs in
+       Engine.Kernel.run ?health ws ~freqs ~lo ~hi ~sel ~outs
+     in
+     if go_parallel then Parallel.Pool.parallel_for ~n:nchunks run_chunk
+     else
+       for ck = 0 to nchunks - 1 do
+         run_chunk ck
+       done
+   | None ->
+     if go_parallel then
+       Parallel.Pool.parallel_for ~n:(Array.length freqs) run_point
+     else
+       for fk = 0 to Array.length freqs - 1 do
+         run_point fk
+       done);
   Obs.Span.leave "probe.sweep"
     ~args:
       [ ("points", Array.length freqs);

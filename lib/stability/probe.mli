@@ -54,9 +54,9 @@ val auto_decision : unknowns:int -> points:int -> nets:int -> bool
     manifest or [--metrics] snapshot records which mode really ran. *)
 
 val response_many :
-  ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan ] ->
+  ?gmin:float -> ?backend:[ `Dense | `Sparse | `Plan | `Kernel ] ->
   ?parallel:[ `Auto | `Seq | `Par ] -> ?plan:Engine.Ac_plan.t ->
-  ?health:Engine.Health.meter ->
+  ?kernel:Engine.Kernel.t -> ?health:Engine.Health.meter ->
   t -> sweep:Numerics.Sweep.t -> Circuit.Netlist.node list ->
   (Circuit.Netlist.node * Numerics.Waveform.Freq.t) list
 (** Shared-factorisation probing of many nets.
@@ -68,8 +68,14 @@ val response_many :
     one multi-RHS batch per point. [`Sparse] keeps a fresh
     Gilbert-Peierls factorisation per point over the same compiled
     skeleton; [`Dense] (the default for tiny systems) is the oracle
-    path. Passing [plan] (see {!val:plan}) skips compilation entirely
-    and implies the [`Plan] backend unless [backend] overrides it.
+    path. [`Kernel] compiles the plan one step further into an
+    {!Engine.Kernel} — the flattened, allocation-free factor/solve
+    program — and advances the sweep in chunks of
+    {!Engine.Kernel.chunk} points per kernel invocation; its results
+    are bit-identical to [`Plan]. Passing [plan] (see {!val:plan})
+    skips compilation entirely and implies the [`Plan] backend unless
+    [backend] overrides it; passing [kernel] likewise implies
+    [`Kernel] and skips both compilations.
 
     [parallel] spreads the independent frequency points over the
     persistent {!Parallel.Pool} in dynamically stolen chunks (the

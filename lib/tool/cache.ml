@@ -8,10 +8,12 @@
    force — an edited deck or a changed option is a different key, which
    is all the invalidation a content-addressed cache needs.
 
-   Four families, one per pipeline stage:
+   Five families, one per pipeline stage:
    - [op]     : prepared probes (MNA compile + DC operating point)
    - [plan]   : compiled {!Engine.Ac_plan} symbolic analyses ([None]
                 when the options select a dense backend)
+   - [kernel] : compiled {!Engine.Kernel} solve programs ([None] unless
+                the options select the kernel backend)
    - [result] : full analysis outcomes (node results + run manifest)
    - [sfg]    : static signal-flow reports (loops + probe cover)
 
@@ -48,6 +50,7 @@ type t = {
   mutable tick : int;
   ops : Stability.Probe.t family;
   plans : Engine.Ac_plan.t option family;
+  kernels : Engine.Kernel.t option family;
   results : result_entry family;
   sfgs : Staticanalysis.Report.t family;
 }
@@ -67,6 +70,7 @@ let create ?(capacity = default_capacity) () =
     tick = 0;
     ops = family "op";
     plans = family "plan";
+    kernels = family "kernel";
     results = family "result";
     sfgs = family "sfg" }
 
@@ -126,6 +130,7 @@ let memo c fam ~key compute =
 
 let op c ~key compute = memo c c.ops ~key compute
 let plan c ~key compute = memo c c.plans ~key compute
+let kernel c ~key compute = memo c c.kernels ~key compute
 let result c ~key compute = memo c c.results ~key compute
 let sfg c ~key compute = memo c c.sfgs ~key compute
 
@@ -133,6 +138,7 @@ let clear c =
   locked c (fun () ->
       Hashtbl.reset c.ops.table;
       Hashtbl.reset c.plans.table;
+      Hashtbl.reset c.kernels.table;
       Hashtbl.reset c.results.table;
       Hashtbl.reset c.sfgs.table)
 
@@ -158,4 +164,5 @@ let family_stat (c : t) (fam : _ family) =
 let stats c =
   locked c (fun () ->
       [ family_stat c c.ops; family_stat c c.plans;
-        family_stat c c.results; family_stat c c.sfgs ])
+        family_stat c c.kernels; family_stat c c.results;
+        family_stat c c.sfgs ])

@@ -4,19 +4,21 @@
     Keys are opaque strings built by {!Pipeline} from the deck's
     SHA-256 fingerprint plus the options in force, so an edited deck or
     a changed option is simply a different key — content addressing is
-    the whole invalidation story. Four families are memoized
+    the whole invalidation story. Five families are memoized
     independently: prepared probes (MNA compile + DC operating point),
-    compiled {!Engine.Ac_plan} symbolic analyses, complete result
-    sets with their run manifests, and static signal-flow reports
+    compiled {!Engine.Ac_plan} symbolic analyses, compiled
+    {!Engine.Kernel} solve programs, complete result sets with their
+    run manifests, and static signal-flow reports
     ({!Staticanalysis.Report.t}). A warm [result] hit therefore costs
     zero DC solves and zero symbolic analyses — the serve smoke test
     asserts exactly that from the [dcop.solves] / [acplan.symbolic]
-    counters.
+    counters — and a warm [kernel] hit costs zero kernel compiles
+    ([kernel.compiles] stays flat).
 
     Hit/miss/eviction telemetry flows through always-on
     {!Obs.Counter}s: [cache.op.hits], [cache.op.misses],
-    [cache.op.evictions], and likewise for the [plan], [result] and
-    [sfg] families.
+    [cache.op.evictions], and likewise for the [plan], [kernel],
+    [result] and [sfg] families.
 
     All operations are safe to call concurrently (the serve daemon
     calls in from {!Parallel.Pool} workers). The compute thunk runs
@@ -56,6 +58,13 @@ val plan :
 (** [None] is a cacheable answer: it records "these options select the
     dense backend", sparing the decision logic on the next request. *)
 
+val kernel :
+  t -> key:string -> (unit -> Engine.Kernel.t option) ->
+  Engine.Kernel.t option * bool
+(** Compiled kernel programs, keyed one step below [plan] (same
+    fingerprint plus the kernel tag); [None] records "these options do
+    not select the kernel backend". *)
+
 val result :
   t -> key:string -> (unit -> result_entry) -> result_entry * bool
 
@@ -72,7 +81,8 @@ val capacity : t -> int
 (** The per-family LRU bound this cache was created with. *)
 
 type family_stats = {
-  family : string;     (** ["op"], ["plan"], ["result"] or ["sfg"] *)
+  family : string;
+  (** ["op"], ["plan"], ["kernel"], ["result"] or ["sfg"] *)
   entries : int;       (** live entries right now *)
   capacity : int;      (** LRU bound (same for every family) *)
   hits : int;

@@ -123,22 +123,60 @@ let parse_string_raw st =
        | Some 'f' -> Buffer.add_char buf '\012'; advance st; go ()
        | Some 'u' ->
          advance st;
-         if st.pos + 4 > String.length st.src then fail st "short \\u escape";
-         let hex = String.sub st.src st.pos 4 in
-         let code =
-           try int_of_string ("0x" ^ hex)
-           with _ -> fail st "bad \\u escape"
+         let hex4 () =
+           if st.pos + 4 > String.length st.src then
+             fail st "short \\u escape";
+           let hex = String.sub st.src st.pos 4 in
+           let code =
+             try int_of_string ("0x" ^ hex)
+             with _ -> fail st "bad \\u escape"
+           in
+           st.pos <- st.pos + 4;
+           code
          in
-         st.pos <- st.pos + 4;
+         let code = hex4 () in
+         (* JSON strings carry non-BMP code points as UTF-16 surrogate
+            pairs (RFC 8259 section 7): a high surrogate is only valid
+            immediately followed by an escaped low surrogate, and the
+            pair decodes to ONE code point — emitting each half as its
+            own 3-byte sequence would produce invalid UTF-8. Unpaired
+            surrogates in either order are malformed input. *)
+         let code =
+           if code >= 0xd800 && code <= 0xdbff then begin
+             if
+               st.pos + 2 <= String.length st.src
+               && st.src.[st.pos] = '\\'
+               && st.src.[st.pos + 1] = 'u'
+             then begin
+               st.pos <- st.pos + 2;
+               let low = hex4 () in
+               if low >= 0xdc00 && low <= 0xdfff then
+                 0x10000 + ((code - 0xd800) lsl 10) + (low - 0xdc00)
+               else fail st "unpaired surrogate in \\u escape"
+             end
+             else fail st "unpaired surrogate in \\u escape"
+           end
+           else if code >= 0xdc00 && code <= 0xdfff then
+             fail st "unpaired surrogate in \\u escape"
+           else code
+         in
          (* UTF-8 encode the code point; manifests only ever escape
-            control characters but accept the full BMP. *)
+            control characters but accept all of Unicode. *)
          if code < 0x80 then Buffer.add_char buf (Char.chr code)
          else if code < 0x800 then begin
            Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
          end
-         else begin
+         else if code < 0x10000 then begin
            Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+           Buffer.add_char buf
+             (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xf0 lor (code lsr 18)));
+           Buffer.add_char buf
+             (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
            Buffer.add_char buf
              (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))

@@ -211,6 +211,7 @@ let backend_tag = function
   | `Dense -> "dense"
   | `Sparse -> "sparse"
   | `Plan -> "plan"
+  | `Kernel -> "kernel"
 
 (* Everything that can change the numbers goes into the key; [parallel]
    does not (scheduling is bit-identical by contract, and the
@@ -276,12 +277,28 @@ let analyze_uncached ?cache ~options loaded analysis =
     Cache.plan cache ~key:plan_key (fun () ->
         Stability.Analysis.shared_plan options probe)
   in
+  (* The kernel sits one compilation below the plan and is keyed one
+     level deeper; consulted only when the options actually select the
+     kernel backend, so the family stays empty (and its counters flat)
+     on every other path. Warm repeat on the same deck + options =
+     zero kernel compiles, which the serve smoke test asserts from the
+     [kernel.compiles] counter. *)
+  let kernel =
+    match options.Stability.Analysis.backend with
+    | `Kernel ->
+      fst
+        (Cache.kernel cache ~key:(plan_key ^ "|kernel") (fun () ->
+             Stability.Analysis.shared_kernel options plan))
+    | _ -> None
+  in
   let results =
     match analysis with
     | Single_node node ->
-      [ Stability.Analysis.single_node_prepared ~options ?plan probe node ]
+      [ Stability.Analysis.single_node_prepared ~options ?plan ?kernel probe
+          node ]
     | All_nodes nodes ->
-      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan probe
+      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan ?kernel
+        probe
     | Auto_nodes ->
       (* Probe only the static report's cover set — every enumerated
          loop stays observed. A loop-free (or all-pinned) deck has an
@@ -293,7 +310,8 @@ let analyze_uncached ?cache ~options loaded analysis =
         | [] -> None
         | cover -> Some cover
       in
-      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan probe
+      Stability.Analysis.all_nodes_prepared ~options ?nodes ?plan ?kernel
+        probe
   in
   let wall_s = Unix.gettimeofday () -. w0
   and cpu_s = cpu_seconds () -. c0 in

@@ -86,8 +86,22 @@ let options_of_request v =
   let fmin = Option.value ~default:1e3 (Json.mem_float "fmin" v) in
   let fmax = Option.value ~default:1e9 (Json.mem_float "fmax" v) in
   let ppd = Option.value ~default:30 (Json.mem_int "ppd" v) in
-  { Stability.Analysis.default_options with
-    sweep = Numerics.Sweep.decade fmin fmax ppd }
+  (* "backend" mirrors the CLI's --backend enum; an unknown name is a
+     protocol error, not a silent fallback to auto. *)
+  match Option.value ~default:"auto" (Json.mem_str "backend" v) with
+  | "auto" | "dense" | "sparse" | "plan" | "kernel" as b ->
+    let backend =
+      match b with
+      | "dense" -> `Dense
+      | "sparse" -> `Sparse
+      | "plan" -> `Plan
+      | "kernel" -> `Kernel
+      | _ -> `Auto
+    in
+    Ok
+      { Stability.Analysis.default_options with
+        sweep = Numerics.Sweep.decade fmin fmax ppd; backend }
+  | b -> Error (Printf.sprintf "unknown backend %S" b)
 
 let analysis_of_request v =
   match Option.value ~default:"all-nodes" (Json.mem_str "mode" v) with
@@ -114,9 +128,12 @@ let handle_analyze cache ?id v =
     (match analysis_of_request v with
      | Error m -> error_response ?id ~code:2 m
      | Ok analysis ->
+       (match options_of_request v with
+        | Error m -> error_response ?id ~code:2 m
+        | Ok options ->
        let req =
-         Pipeline.request ~options:(options_of_request v)
-           ~policy:(policy_of_request v) deck analysis
+         Pipeline.request ~options ~policy:(policy_of_request v) deck
+           analysis
        in
        (match Pipeline.run ~cache req with
         | Error failure -> failure_response ?id ~file failure
@@ -132,7 +149,7 @@ let handle_analyze cache ?id v =
               ("nodes",
                Option.value ~default:(Json.Arr [])
                  (Json.member "nodes" mjson));
-              ("manifest", mjson) ]))
+              ("manifest", mjson) ])))
 
 let handle_lint cache ?id v =
   ignore cache;

@@ -133,6 +133,14 @@ let load_state s path =
     | Some x -> x
     | None -> fail line (Printf.sprintf "bad number %S" v)
   in
+  (* Integer fields get the same located failure as floats: a corrupt
+     points-per-decade used to escape as a bare [Failure "int_of_string"]
+     with no file or line, the one parse error this loop didn't own. *)
+  let it line v =
+    match int_of_string_opt v with
+    | Some x -> x
+    | None -> fail line (Printf.sprintf "bad integer %S" v)
+  in
   s.variables <- [];
   s.analyses <- [];
   (try
@@ -152,12 +160,10 @@ let load_state s path =
           | "analysis" :: "op" :: [] -> add_analysis s Op
           | [ "analysis"; "ac"; "dec"; f1; f2; ppd ] ->
             add_analysis s
-              (Ac (Numerics.Sweep.decade (fl n f1) (fl n f2)
-                     (int_of_string ppd)))
+              (Ac (Numerics.Sweep.decade (fl n f1) (fl n f2) (it n ppd)))
           | [ "analysis"; "ac"; "lin"; f1; f2; pts ] ->
             add_analysis s
-              (Ac (Numerics.Sweep.linear (fl n f1) (fl n f2)
-                     (int_of_string pts)))
+              (Ac (Numerics.Sweep.linear (fl n f1) (fl n f2) (it n pts)))
           | "analysis" :: "ac" :: "list" :: pts ->
             add_analysis s
               (Ac (Numerics.Sweep.List
@@ -169,7 +175,7 @@ let load_state s path =
           | [ "analysis"; "noise"; output; "dec"; f1; f2; ppd ] ->
             add_analysis s
               (Noise { sweep = Numerics.Sweep.decade (fl n f1) (fl n f2)
-                               (int_of_string ppd);
+                               (it n ppd);
                        output })
           | [ "analysis"; "poles" ] -> add_analysis s Poles
           | tok :: _ -> fail n (Printf.sprintf "unknown entry %S" tok)

@@ -198,6 +198,55 @@ let () =
    | Some l -> fail "auto probed %d nets, wanted the 1-net cover" (List.length l)
    | None -> fail "auto analyze returned no node list");
 
+  (* The kernel backend over the wire: the cold request compiles exactly
+     one kernel, the warm repeat answers from the cache with zero
+     recompiles, and the answers are byte-identical to the plan-backed
+     default run — the kernel is bit-identical by construction. *)
+  let kernel_req =
+    Tool.Json.Obj
+      (("mode", Tool.Json.Str "all-nodes")
+       :: ("backend", Tool.Json.Str "kernel")
+       :: analyze_fields)
+  in
+  let compiles0 = counter c "kernel.compiles" in
+  let kcold = Tool.Server.Client.request c kernel_req in
+  expect_ok kcold;
+  expect_cache "miss" kcold;
+  let compiles1 = counter c "kernel.compiles" in
+  if compiles1 <> compiles0 + 1 then
+    fail "cold kernel request compiled %d kernels, wanted 1"
+      (compiles1 - compiles0);
+  let kwarm = Tool.Server.Client.request c kernel_req in
+  expect_ok kwarm;
+  expect_cache "hit" kwarm;
+  let compiles2 = counter c "kernel.compiles" in
+  if compiles2 <> compiles1 then
+    fail "warm kernel request recompiled (%d -> %d)" compiles1 compiles2;
+  let bytes field j = Tool.Json.to_string (mem field j) in
+  if bytes "nodes" kcold <> bytes "nodes" kwarm then
+    fail "warm kernel nodes differ from cold";
+  if bytes "nodes" kcold <> bytes "nodes" cold then
+    fail "kernel-backend nodes differ from the plan-backed default";
+  (* An unknown backend name is a usage error (exit-code contract 2),
+     not a crash. *)
+  let bogus =
+    Tool.Server.Client.request c
+      (Tool.Json.Obj
+         (("mode", Tool.Json.Str "all-nodes")
+          :: ("backend", Tool.Json.Str "warp")
+          :: analyze_fields))
+  in
+  (match Tool.Json.mem_bool "ok" bogus with
+   | Some false -> ()
+   | _ -> fail "bogus backend accepted: %s" (Tool.Json.to_string bogus));
+  (match
+     Option.bind (Tool.Json.member "error" bogus) (Tool.Json.mem_int "code")
+   with
+   | Some 2 -> ()
+   | cd ->
+     fail "bogus backend error code %d, wanted the usage code 2"
+       (Option.value ~default:(-1) cd));
+
   (* stats: every cache family reports occupancy next to its traffic. *)
   let stats =
     Tool.Server.Client.request c
@@ -215,7 +264,12 @@ let () =
             if Tool.Json.mem_int field f = None then
               fail "stats %s family lacks %S" fam field)
           [ "entries"; "capacity"; "hits"; "misses"; "evictions" ])
-    [ "op"; "plan"; "result"; "sfg" ];
+    [ "op"; "plan"; "kernel"; "result"; "sfg" ];
+  (match Option.bind (Tool.Json.member "kernel" cache_stats)
+           (Tool.Json.mem_int "entries") with
+   | Some n when n >= 1 -> ()
+   | _ ->
+     fail "kernel family shows no resident entries after kernel requests");
   (match Option.bind (Tool.Json.member "sfg" cache_stats)
            (Tool.Json.mem_int "entries") with
    | Some n when n >= 1 -> ()
@@ -280,5 +334,6 @@ let () =
     "serve-smoke: OK (cold miss, warm hit byte-identical with 0 DC \
      re-solves and 0 symbolic re-analyses, 4 concurrent in-flight \
      requests, loops cold/warm with 0 graph rebuilds, nodes=auto cover \
-     run, per-family cache stats, live-socket refusal, stale-socket \
+     run, kernel backend cold/warm with 0 recompiles and plan-identical \
+     bytes, per-family cache stats, live-socket refusal, stale-socket \
      recovery, clean shutdown)"

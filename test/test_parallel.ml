@@ -167,6 +167,47 @@ let test_adaptive_chunk_target () =
           Alcotest.(check (array int))
             "chunk granularity never changes results" fine coarse))
 
+(* ---------- environment knob grammar ---------- *)
+
+(* The exact strings ACSTAB_JOBS / ACSTAB_CHUNK_MS accept, pinned via
+   the exported pure parsers — no environment mutation, no respawned
+   processes. Anything rejected here makes the reader warn and fall
+   back instead of silently misconfiguring the pool. *)
+let test_env_parse_grammar () =
+  let jobs = Alcotest.(option int) and ms = Alcotest.(option (float 1e-9)) in
+  Alcotest.check jobs "plain integer" (Some 4) (Parallel.Pool.parse_jobs "4");
+  Alcotest.check jobs "surrounding whitespace trimmed" (Some 8)
+    (Parallel.Pool.parse_jobs " 8 ");
+  Alcotest.check jobs "one is the floor" (Some 1)
+    (Parallel.Pool.parse_jobs "1");
+  Alcotest.check jobs "zero rejected, not clamped" None
+    (Parallel.Pool.parse_jobs "0");
+  Alcotest.check jobs "negative rejected" None
+    (Parallel.Pool.parse_jobs "-2");
+  Alcotest.check jobs "non-numeric rejected" None
+    (Parallel.Pool.parse_jobs "many");
+  Alcotest.check jobs "empty rejected" None (Parallel.Pool.parse_jobs "");
+  Alcotest.check jobs "float rejected for an integer knob" None
+    (Parallel.Pool.parse_jobs "2.5");
+  Alcotest.check ms "decimal milliseconds" (Some 2.5)
+    (Parallel.Pool.parse_chunk_ms "2.5");
+  Alcotest.check ms "scientific notation" (Some 1000.)
+    (Parallel.Pool.parse_chunk_ms "1e3");
+  Alcotest.check ms "whitespace trimmed" (Some 0.25)
+    (Parallel.Pool.parse_chunk_ms " 0.25 ");
+  Alcotest.check ms "integer spelling of a float knob" (Some 3.)
+    (Parallel.Pool.parse_chunk_ms "3");
+  Alcotest.check ms "zero rejected (target must be positive)" None
+    (Parallel.Pool.parse_chunk_ms "0");
+  Alcotest.check ms "negative rejected" None
+    (Parallel.Pool.parse_chunk_ms "-1.5");
+  Alcotest.check ms "infinity rejected" None
+    (Parallel.Pool.parse_chunk_ms "inf");
+  Alcotest.check ms "nan rejected" None (Parallel.Pool.parse_chunk_ms "nan");
+  Alcotest.check ms "non-numeric rejected" None
+    (Parallel.Pool.parse_chunk_ms "fast");
+  Alcotest.check ms "empty rejected" None (Parallel.Pool.parse_chunk_ms "")
+
 (* ---------- the `Auto seq/par decision ---------- *)
 
 let test_auto_decision () =
@@ -294,7 +335,9 @@ let () =
              Alcotest.test_case "real worker domains" `Quick
                test_pool_real_workers;
              Alcotest.test_case "adaptive chunk target" `Quick
-               test_adaptive_chunk_target ]);
+               test_adaptive_chunk_target;
+             Alcotest.test_case "env knob grammar" `Quick
+               test_env_parse_grammar ]);
           ("auto",
            [ Alcotest.test_case "seq/par decision" `Quick
                test_auto_decision ]);

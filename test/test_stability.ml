@@ -602,6 +602,165 @@ let test_plan_factorisation_counts () =
     (points * List.length nodes)
     (after.Engine.Ac_plan.rhs - before.Engine.Ac_plan.rhs)
 
+(* ---------- compiled kernels ---------- *)
+
+(* The kernel's contract is stronger than numerical agreement: it
+   replays the plan backend's exact float operation sequence, so every
+   comparison below is on the raw IEEE bits, not a tolerance. *)
+
+let complex_bits z =
+  (Int64.bits_of_float z.Complex.re, Int64.bits_of_float z.Complex.im)
+
+let check_waves_bit_identical label a b =
+  List.iter2
+    (fun (n1, w1) (n2, w2) ->
+      Alcotest.(check string) (label ^ ": node order") n1 n2;
+      Array.iteri
+        (fun k h ->
+          if complex_bits h
+             <> complex_bits w2.Numerics.Waveform.Freq.h.(k)
+          then
+            Alcotest.failf "%s: net %s differs bit-wise at point %d" label
+              n1 k)
+        w1.Numerics.Waveform.Freq.h)
+    a b
+
+(* Every shipped deck, every net, both batch shapes: the multi-RHS
+   sweep (m > 1 reciprocal back-substitution) and the single-net sweep
+   (m = 1 division form — a genuinely different float sequence the
+   kernel must reproduce too). *)
+let test_kernel_bits_shipped_decks () =
+  List.iter
+    (fun file ->
+      let circ = Circuit.Parser.parse_file ("../circuits/" ^ file) in
+      let probe = Stability.Probe.prepare circ in
+      let sweep = Numerics.Sweep.decade 1e2 1e8 8 in
+      let nodes = Circuit.Netlist.node_names circ in
+      let run backend nodes =
+        Stability.Probe.response_many ~backend probe ~sweep nodes
+      in
+      check_waves_bit_identical (file ^ " all nets")
+        (run `Plan nodes) (run `Kernel nodes);
+      let first = [ List.hd nodes ] in
+      check_waves_bit_identical (file ^ " single net")
+        (run `Plan first) (run `Kernel first))
+    [ "two_pole_loop.sp"; "sallen_key.sp"; "double_tuned.sp";
+      "emitter_follower.sp"; "wilson_mirror.sp" ]
+
+(* Property: over the synthetic generator family (mesh / tree / amp
+   array, varying shape), [Kernel.solve_many] is bit-identical to
+   [Ac_plan.solve_many] on the same plan, across frequencies and for
+   both batch shapes. *)
+let prop_kernel_bits_synth =
+  QCheck.Test.make ~name:"synth circuits: kernel = plan, bit for bit"
+    ~count:9
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let circ =
+        match seed mod 3 with
+        | 0 ->
+          Workloads.Synth.rc_mesh ~rows:(2 + (seed mod 3))
+            ~cols:(2 + (seed / 3 mod 3)) ()
+        | 1 ->
+          Workloads.Synth.rc_tree ~depth:2 ~fanout:(2 + (seed mod 2)) ()
+        | _ -> Workloads.Synth.amp_array ~stages:(1 + (seed mod 3)) ()
+      in
+      let mna = Engine.Mna.compile circ in
+      let op = Engine.Dcop.solve mna in
+      let plan =
+        Engine.Ac_plan.compile ~gmin:1e-12 ~omega_ref:(2e6 *. Float.pi)
+          ~op mna
+      in
+      let kern = Engine.Kernel.compile plan in
+      let size = mna.Engine.Mna.size in
+      let unit k =
+        let b = Array.make size Numerics.Cx.zero in
+        b.(k) <- Numerics.Cx.one;
+        b
+      in
+      let bs = [| unit 0; unit (size / 2); unit (size - 1) |] in
+      List.for_all
+        (fun f ->
+          let omega = 2. *. Float.pi *. f in
+          let same xs ys =
+            Array.for_all2
+              (fun x y ->
+                Array.for_all2
+                  (fun a b -> complex_bits a = complex_bits b)
+                  x y)
+              xs ys
+          in
+          same
+            (Engine.Ac_plan.solve_many plan ~omega bs)
+            (Engine.Kernel.solve_many kern ~omega bs)
+          && same
+               (Engine.Ac_plan.solve_many plan ~omega [| bs.(0) |])
+               (Engine.Kernel.solve_many kern ~omega [| bs.(0) |]))
+        [ 1e2; 1e5; 1e9 ])
+
+(* Chunked pooled execution writes disjoint cells and never enters the
+   arithmetic, so parallel kernel sweeps are bit-identical to
+   sequential — on real worker domains, not an inlined pool. *)
+let test_kernel_seq_par_identical () =
+  let saved = Parallel.Pool.jobs () in
+  Parallel.Pool.set_oversubscribe true;
+  Parallel.Pool.set_jobs 3;
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.Pool.set_jobs saved;
+      Parallel.Pool.set_oversubscribe false;
+      Parallel.Pool.shutdown ())
+    (fun () ->
+      let circ = Workloads.Opamp_2mhz.buffer () in
+      let probe = Stability.Probe.prepare circ in
+      let sweep = Numerics.Sweep.decade 1e3 1e9 40 in
+      let nodes = [ "out"; "o1"; "vcasc" ] in
+      let seq =
+        Stability.Probe.response_many ~backend:`Kernel ~parallel:`Seq probe
+          ~sweep nodes
+      in
+      let par =
+        Stability.Probe.response_many ~backend:`Kernel ~parallel:`Par probe
+          ~sweep nodes
+      in
+      check_waves_bit_identical "kernel seq vs par" seq par)
+
+(* The compile/point budget: one kernel compilation per sweep, every
+   point advanced through the kernel, zero stale-pivot fallbacks on a
+   healthy deck — and a shared pre-compiled kernel recompiles nothing. *)
+let test_kernel_counter_budget () =
+  let circ = Workloads.Opamp_2mhz.buffer () in
+  let sweep = Numerics.Sweep.decade 1e4 1e8 10 in
+  let points = Array.length (Numerics.Sweep.points sweep) in
+  let probe = Stability.Probe.prepare circ in
+  let nodes = [ "out"; "o1" ] in
+  let before = Engine.Kernel.totals () in
+  ignore
+    (Stability.Probe.response_many ~backend:`Kernel probe ~sweep nodes);
+  let after = Engine.Kernel.totals () in
+  Alcotest.(check int) "one kernel compile per sweep" 1
+    (after.Engine.Kernel.compiles - before.Engine.Kernel.compiles);
+  Alcotest.(check int) "every point through the kernel" points
+    (after.Engine.Kernel.points - before.Engine.Kernel.points);
+  Alcotest.(check int) "no stale-pivot fallbacks" 0
+    (after.Engine.Kernel.fallback - before.Engine.Kernel.fallback);
+  Alcotest.(check bool) "batch high-water bounded by chunk" true
+    (after.Engine.Kernel.batch_max <= Engine.Kernel.chunk
+     && after.Engine.Kernel.batch_max > 0);
+  (* Warm path: a caller holding a compiled kernel pays zero compiles,
+     and the answers are the ones the cold path produced. *)
+  let plan = Stability.Probe.plan probe ~sweep in
+  let kern = Engine.Kernel.compile plan in
+  let base = (Engine.Kernel.totals ()).Engine.Kernel.compiles in
+  let shared =
+    Stability.Probe.response_many ~kernel:kern probe ~sweep nodes
+  in
+  Alcotest.(check int) "shared kernel compiles nothing" base
+    (Engine.Kernel.totals ()).Engine.Kernel.compiles;
+  check_waves_bit_identical "shared kernel answers"
+    (Stability.Probe.response_many ~backend:`Kernel probe ~sweep nodes)
+    shared
+
 (* ---------- numerical-health grading ---------- *)
 
 (* A healthy deck must come back [Good]: the shipped RC ladder is as
@@ -695,6 +854,14 @@ let () =
            test_all_nodes_backends_agree;
          Alcotest.test_case "factorisation counters" `Quick
            test_plan_factorisation_counts ]);
+      ("kernel",
+       [ Alcotest.test_case "shipped decks bit-identical to plan" `Quick
+           test_kernel_bits_shipped_decks;
+         QCheck_alcotest.to_alcotest prop_kernel_bits_synth;
+         Alcotest.test_case "parallel = sequential, bit for bit" `Quick
+           test_kernel_seq_par_identical;
+         Alcotest.test_case "compile/point counter budget" `Quick
+           test_kernel_counter_budget ]);
       ("cross-validation",
        [ Alcotest.test_case "matches exact TF poles" `Quick
            test_cross_validation_with_tf ]);

@@ -61,6 +61,53 @@ let test_session_state_roundtrip () =
     check_close "tstep" 1e-6 tstep
   | _ -> Alcotest.fail "analyses not restored in order"
 
+(* A corrupt integer field (points-per-decade, linear point count) used
+   to escape [load_state] as a bare [Failure "int_of_string"] — no file,
+   no line. Every analysis form carrying an integer must now fail with
+   the same located message the float fields always produced. *)
+let test_session_bad_int_located () =
+  let load_line line =
+    let path = Filename.temp_file "session" ".state" in
+    let oc = open_out path in
+    output_string oc (line ^ "\n");
+    close_out oc;
+    let s = Tool.Session.create () in
+    let outcome =
+      match Tool.Session.load_state s path with
+      | () -> None
+      | exception Failure msg -> Some msg
+    in
+    Sys.remove path;
+    outcome
+  in
+  List.iter
+    (fun line ->
+      match load_line line with
+      | None -> Alcotest.failf "corrupt state line %S accepted" line
+      | Some msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S names the state file" line)
+          true (contains msg "state file");
+        Alcotest.(check bool)
+          (Printf.sprintf "%S names the line" line)
+          true (contains msg "line 1");
+        Alcotest.(check bool)
+          (Printf.sprintf "%S names the bad integer" line)
+          true (contains msg "bad integer"))
+    [ "analysis ac dec 1e3 1e9 bogus";
+      "analysis ac lin 1e3 1e9 2.5";
+      "analysis noise out dec 1e3 1e9 -" ];
+  (* The valid spellings still parse. *)
+  let path = Filename.temp_file "session" ".state" in
+  let oc = open_out path in
+  output_string oc "analysis ac dec 1e3 1e9 30\nanalysis ac lin 1 10 5\n";
+  close_out oc;
+  let s = Tool.Session.create () in
+  Tool.Session.load_state s path;
+  Sys.remove path;
+  Alcotest.(check int) "valid integers accepted" 2
+    (List.length (Tool.Session.analyses s))
+
 (* ---------- ocean ---------- *)
 
 let deck = {|divider bench
@@ -369,6 +416,47 @@ let test_json_errors () =
   Alcotest.(check bool) "non-finite rendered as null" true
     (Tool.Json.to_string (Tool.Json.Num Float.nan) = "null")
 
+(* \u escapes: BMP code points decode to UTF-8, and non-BMP code points
+   arrive as UTF-16 surrogate pairs (RFC 8259) that must combine into
+   ONE code point. The decoder used to emit each surrogate half as its
+   own 3-byte sequence — six bytes of invalid UTF-8 per emoji. *)
+let test_json_unicode_escapes () =
+  let dec s =
+    match Tool.Json.of_string s with
+    | Ok (Tool.Json.Str v) -> v
+    | Ok _ -> Alcotest.failf "%S parsed to a non-string" s
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  Alcotest.(check string) "ASCII escape" "A" (dec "\"\\u0041\"");
+  Alcotest.(check string) "2-byte code point" "\xc3\xa9" (dec "\"\\u00e9\"");
+  Alcotest.(check string) "3-byte code point" "\xe2\x84\xa6"
+    (dec "\"\\u2126\"");
+  Alcotest.(check string) "surrogate pair is one 4-byte code point"
+    "\xf0\x9f\x98\x80"
+    (dec "\"\\ud83d\\ude00\"");
+  Alcotest.(check string) "pair mid-string, neighbours intact" "a\xf0\x90\x80\x80b"
+    (dec "\"a\\ud800\\udc00b\"");
+  (* The encoder passes raw UTF-8 bytes through untouched, so a decoded
+     pair survives a full round trip. *)
+  let doc = Tool.Json.Str "\xf0\x9f\x98\x80 ok" in
+  (match Tool.Json.of_string (Tool.Json.to_string doc) with
+   | Ok back -> Alcotest.(check bool) "non-BMP round trip" true (back = doc)
+   | Error e -> Alcotest.failf "round trip rejected: %s" e);
+  let rejected s =
+    match Tool.Json.of_string s with
+    | Ok _ -> Alcotest.failf "%S accepted" s
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names the surrogate" s)
+        true (contains e "unpaired surrogate")
+  in
+  rejected "\"\\ud83d\"";            (* high surrogate at end of string *)
+  rejected "\"\\ud83dx\"";           (* high followed by a plain char *)
+  rejected "\"\\ud83d\\n\"";         (* high followed by another escape *)
+  rejected "\"\\ud83d\\u0041\"";     (* high followed by a non-low escape *)
+  rejected "\"\\ud800\\ud800\"";     (* high followed by another high *)
+  rejected "\"\\ude00\""             (* lone low surrogate *)
+
 (* ---------- manifests ---------- *)
 
 let ladder_results () =
@@ -568,6 +656,51 @@ let test_pipeline_warm_hit () =
     (Tool.Manifest.to_json o1.Tool.Pipeline.manifest)
     (Tool.Manifest.to_json o2.Tool.Pipeline.manifest)
 
+(* The kernel cache family sits one step below [plan]: a warm repeat on
+   the [`Kernel] backend compiles zero kernels, and a different request
+   shape over the same deck + options (all-nodes, then one node) reuses
+   the compiled kernel even though the result key differs. *)
+let test_pipeline_kernel_warm () =
+  let cache = Tool.Cache.create () in
+  let loaded = ladder_loaded () in
+  let options =
+    { quick_options with Stability.Analysis.backend = `Kernel }
+  in
+  let analyze target =
+    Tool.Pipeline.analyze_exn ~cache ~options loaded target
+  in
+  let o1 = analyze (Tool.Pipeline.All_nodes None) in
+  Alcotest.(check bool) "cold is a miss" true (o1.Tool.Pipeline.cache = `Miss);
+  Alcotest.(check bool) "cold run compiled a kernel" true
+    (counter_value "kernel.compiles" > 0);
+  let compiles = counter_value "kernel.compiles" in
+  let o2 = analyze (Tool.Pipeline.All_nodes None) in
+  Alcotest.(check bool) "warm is a hit" true (o2.Tool.Pipeline.cache = `Hit);
+  Alcotest.(check int) "warm repeat compiles zero kernels" compiles
+    (counter_value "kernel.compiles");
+  Alcotest.(check string) "identical manifest bytes"
+    (Tool.Manifest.to_json o1.Tool.Pipeline.manifest)
+    (Tool.Manifest.to_json o2.Tool.Pipeline.manifest);
+  (* New result key, same plan key: the kernel family answers. *)
+  let o3 = analyze (Tool.Pipeline.Single_node (Workloads.Ladder.last_node 20)) in
+  Alcotest.(check bool) "different request is a result miss" true
+    (o3.Tool.Pipeline.cache = `Miss);
+  Alcotest.(check int) "single-node reuses the compiled kernel" compiles
+    (counter_value "kernel.compiles");
+  (* The [`Plan] default never touches the kernel family. *)
+  let cache' = Tool.Cache.create () in
+  ignore
+    (Tool.Pipeline.analyze_exn ~cache:cache' ~options:quick_options loaded
+       (Tool.Pipeline.All_nodes None));
+  let stats = Tool.Cache.stats cache' in
+  (match
+     List.find_opt (fun fs -> fs.Tool.Cache.family = "kernel") stats
+   with
+   | Some fs ->
+     Alcotest.(check int) "kernel family untouched off-backend" 0
+       fs.Tool.Cache.entries
+   | None -> Alcotest.fail "kernel family missing from stats")
+
 (* Invalidation is content addressing: a changed option is a different
    result key (but the operating point is reused), an edited deck is a
    different fingerprint (everything recomputes). *)
@@ -680,7 +813,9 @@ let () =
     [ ("session",
        [ Alcotest.test_case "basics" `Quick test_session_basics;
          Alcotest.test_case "state roundtrip" `Quick
-           test_session_state_roundtrip ]);
+           test_session_state_roundtrip;
+         Alcotest.test_case "bad integers fail located" `Quick
+           test_session_bad_int_located ]);
       ("ocean",
        [ Alcotest.test_case "design text + desVar" `Quick
            test_ocean_design_text_with_vars;
@@ -714,7 +849,9 @@ let () =
        [ Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors ]);
       ("json",
        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
-         Alcotest.test_case "errors" `Quick test_json_errors ]);
+         Alcotest.test_case "errors" `Quick test_json_errors;
+         Alcotest.test_case "unicode escapes" `Quick
+           test_json_unicode_escapes ]);
       ("manifest",
        [ Alcotest.test_case "build/load roundtrip" `Quick
            test_manifest_roundtrip;
@@ -727,6 +864,8 @@ let () =
            test_pipeline_warm_hit;
          Alcotest.test_case "key granularity" `Quick
            test_pipeline_cache_keys;
+         Alcotest.test_case "kernel family warm reuse" `Quick
+           test_pipeline_kernel_warm;
          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction ]);
       ("pipeline",
        [ Alcotest.test_case "failures as values" `Quick
