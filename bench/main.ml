@@ -1368,6 +1368,20 @@ let run_obs_smoke () =
   record ~experiment:"Obs (off = zero alloc)" ~paper:"0 words when disabled"
     ~measured:(Printf.sprintf "%.0f words / 10k spans" dw)
     (dw < 256.);
+  (* Same discipline for the structured event log: with no sink and no
+     ring armed, emit must bail on one atomic load before touching its
+     field list. *)
+  assert (not (Obs.Events.enabled ()));
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.Events.emit "bench.noop" []
+  done;
+  let dw_ev = Gc.minor_words () -. w0 in
+  Printf.printf "disarmed event emit x10000: %.0f minor words\n" dw_ev;
+  record ~experiment:"Obs (events off = zero alloc)"
+    ~paper:"0 words when disarmed"
+    ~measured:(Printf.sprintf "%.0f words / 10k events" dw_ev)
+    (dw_ev < 256.);
   (* One traced all-nodes run: the trace file itself must carry the
      plan-reuse budget (exactly one symbolic analysis for the whole
      coarse + refine pipeline) and the pipeline spans. *)

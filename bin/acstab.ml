@@ -177,7 +177,30 @@ let obs_term =
                    occupancy (entries/capacity per family) to stderr \
                    when the command finishes.")
   in
-  let setup trace metrics =
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Append the structured event log to $(docv) (NDJSON, \
+                   schema acstab-log/1): one line per analysis or \
+                   served request plus warnings and lifecycle events. \
+                   Also enabled by $(b,ACSTAB_LOG).")
+  in
+  let setup trace metrics log =
+    let log_path =
+      match log with
+      | Some _ -> log
+      | None ->
+        (match Sys.getenv_opt "ACSTAB_LOG" with
+         | Some "" | None -> None
+         | some -> some)
+    in
+    (match log_path with
+     | None -> ()
+     | Some path ->
+       (try Obs.Events.to_file path
+        with Sys_error m ->
+          Printf.eprintf "acstab: cannot open --log %s: %s\n%!" path m;
+          exit 2));
     if trace <> None || metrics then begin
       Obs.Span.enable ();
       at_exit (fun () ->
@@ -205,7 +228,7 @@ let obs_term =
           end)
     end
   in
-  Term.(const setup $ trace $ metrics)
+  Term.(const setup $ trace $ metrics $ log)
 
 (* [--health-sample N] tunes how often the solver layer pays for a
    condition estimate (every Nth factorisation); unit-valued so it
@@ -1007,8 +1030,24 @@ let serve_cmd =
                    solve plans, result sets, signal-flow reports) \
                    before LRU eviction.")
   in
-  let run () () () socket capacity =
-    match Tool.Server.serve ~capacity ~socket () with
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log any request taking at least $(docv) milliseconds \
+                   as a server.slow_request event carrying the \
+                   request's span tree (keeps span recording on for \
+                   the life of the daemon).")
+  in
+  let tick =
+    Arg.(value & opt float 1.0
+         & info [ "tick" ] ~docv:"S"
+             ~doc:"Background gauge-sampling interval in seconds \
+                   (cache occupancy, pool busy/queue depth, in-flight \
+                   requests) feeding the $(b,metrics) protocol \
+                   command.")
+  in
+  let run () () () () socket capacity slow_ms tick =
+    match Tool.Server.serve ~capacity ?slow_ms ~tick_s:tick ~socket () with
     | () -> ()
     | exception Failure m ->
       Printf.eprintf "%s\n" m;
@@ -1022,10 +1061,90 @@ let serve_cmd =
        ~doc:"Run the resident analysis daemon: newline-delimited JSON \
              requests over a Unix socket, analyzed through the shared \
              pipeline and answered from a fingerprint-keyed cache (a \
-             warm request re-solves nothing). See the manual's serve \
-             section for the protocol.")
-    Term.(const run $ log_term $ jobs_term $ health_term $ socket
-          $ capacity)
+             warm request re-solves nothing). $(b,--log) appends one \
+             structured event per request; the $(b,metrics) and \
+             $(b,trace) protocol commands expose live Prometheus text \
+             and on-demand Chrome traces; $(b,acstab top) renders \
+             them. See the manual's serve section for the protocol.")
+    Term.(const run $ log_term $ jobs_term $ obs_term $ health_term
+          $ socket $ capacity $ slow_ms $ tick)
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SOCKET"
+             ~doc:"Unix-domain socket of a running serve daemon.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print a single sample and exit.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit samples as JSON (schema acstab-top/1) instead \
+                   of the text dashboard — one document per refresh, \
+                   one line each.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"S"
+             ~doc:"Seconds between refreshes (looping mode).")
+  in
+  let run () socket once json interval =
+    let client =
+      match Tool.Server.Client.connect socket with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "acstab top: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2
+    in
+    let take () =
+      match Tool.Top.sample client with
+      | Ok s -> s
+      | Error m ->
+        Printf.eprintf "acstab top: %s\n" m;
+        exit 3
+      | exception Failure m ->
+        (* The daemon shut down under us: report, don't backtrace. *)
+        Printf.eprintf "acstab top: %s\n" m;
+        exit 3
+    in
+    let emit ?prev s =
+      if json then
+        print_endline (Tool.Json.to_string (Tool.Top.to_json ?prev s))
+      else begin
+        if not once then print_string "\027[2J\027[H";
+        print_string (Tool.Top.render ?prev ~socket s)
+      end;
+      flush stdout
+    in
+    if once then emit (take ())
+    else begin
+      let interval = Float.max 0.1 interval in
+      let prev = ref None in
+      while true do
+        let s = take () in
+        emit ?prev:!prev s;
+        prev := Some s;
+        Unix.sleepf interval
+      done
+    end;
+    Tool.Server.Client.close client
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard over a running serve daemon: request rate, \
+             latency percentiles (p50/p90/p99), per-family cache hit \
+             ratios and pool utilization, sampled over the daemon's \
+             own $(b,stats)/$(b,metrics) protocol commands — no \
+             restart, no daemon-side cost beyond two requests per \
+             refresh. $(b,--once --json) prints one machine-readable \
+             sample for scripting.")
+    Term.(const run $ log_term $ socket $ once $ json $ interval)
 
 (* ---- export-builtin ---- *)
 
@@ -1169,6 +1288,6 @@ let main =
       loopgain_cmd; poles_cmd; noise_cmd; sensitivity_cmd; stab_track_cmd;
       dcsweep_cmd;
       montecarlo_cmd; table1_cmd; lint_cmd; loops_cmd; check_cmd; diff_cmd;
-      serve_cmd; export_cmd; synth_cmd; demo_cmd ]
+      serve_cmd; top_cmd; export_cmd; synth_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,49 @@
+(* Named sampled gauges: point-in-time state (cache occupancy, pool
+   queue depth, in-flight requests), as opposed to the monotonic
+   [Counter]s. A gauge is set, not incremented; whoever owns the state
+   samples it into the registry (the serve daemon does this on a
+   background tick) and exporters read the registry like they read
+   counters. Same process-global idempotent registry as [Counter]. *)
+
+type t = { name : string; cell : float Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let make name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+        let g = { name; cell = Atomic.make 0. } in
+        Hashtbl.add registry name g;
+        g
+  in
+  Mutex.unlock registry_mutex;
+  g
+
+let name g = g.name
+let value g = Atomic.get g.cell
+let set g v = Atomic.set g.cell v
+
+let find name =
+  Mutex.lock registry_mutex;
+  let g = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mutex;
+  g
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let rows =
+    Hashtbl.fold
+      (fun name g acc -> (name, Atomic.get g.cell) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ g -> Atomic.set g.cell 0.) registry;
+  Mutex.unlock registry_mutex

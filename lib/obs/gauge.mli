@@ -1,0 +1,28 @@
+(** Named sampled gauges with a process-global registry.
+
+    A gauge carries point-in-time state (cache occupancy, queue depth,
+    in-flight requests) rather than a monotonic count: the owner of the
+    state {!set}s it when sampling — the serve daemon does so on a
+    background tick — and exporters read it back via {!snapshot}.
+    [make] is idempotent like {!Counter.make}; all operations are a
+    single atomic access and safe from any domain. *)
+
+type t
+
+val make : string -> t
+(** [make name] returns the gauge registered under [name], creating it
+    at [0.] on first use. *)
+
+val name : t -> string
+val value : t -> float
+
+val set : t -> float -> unit
+(** Overwrite the gauge with the freshly sampled value. *)
+
+val find : string -> t option
+
+val snapshot : unit -> (string * float) list
+(** All registered gauges with their current values, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered gauge (tests). *)

@@ -72,6 +72,29 @@ let observe h v =
 
 let count h = Atomic.get h.total
 
+(* Bucketed histograms merge exactly: same layout everywhere, so
+   merging is bin-wise addition. Used to fold per-shard histograms
+   (e.g. per-daemon request latencies) into one readout. Concurrent
+   [observe]s on either side can at worst be missed by this pass, as
+   with [summary]. *)
+let merge ~into src =
+  if into != src then begin
+    Array.iteri
+      (fun i b ->
+        let n = Atomic.get b in
+        if n > 0 then ignore (Atomic.fetch_and_add into.bins.(i) n))
+      src.bins;
+    let n = Atomic.get src.total in
+    if n > 0 then ignore (Atomic.fetch_and_add into.total n);
+    let m = Atomic.get src.max_cell in
+    let rec bump () =
+      let cur = Atomic.get into.max_cell in
+      if m > cur && not (Atomic.compare_and_set into.max_cell cur m) then
+        bump ()
+    in
+    bump ()
+  end
+
 let percentile_from bins total q =
   (* Smallest bucket whose cumulative count reaches q * total. *)
   let target =

@@ -31,6 +31,12 @@ val observe : t -> float -> unit
 
 val count : t -> int
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every sample of [src] into [into] (bin-wise:
+    the shared bucket layout makes the merge exact, max included).
+    [src] is unchanged; merging a histogram into itself is a no-op.
+    Safe under concurrent [observe]s on either histogram. *)
+
 val summary : t -> summary
 (** Percentile readout from the current bins. All-zero when empty. *)
 

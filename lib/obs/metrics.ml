@@ -85,12 +85,33 @@ let pp_events events ppf () =
     if spans <> [] then Format.fprintf ppf "@.";
     Format.fprintf ppf "%-28s %12s@." "counter" "value";
     List.iter
-      (fun (name, v) -> Format.fprintf ppf "%-28s %12d@." name v)
+      (fun (name, v) ->
+        (* Cumulative-nanosecond counters ([*_ns]) render through the
+           duration pretty-printer, so pool.lock_wait_ns reads in the
+           same unit family as the span table and the *_ms histograms
+           instead of as a raw nanosecond integer. *)
+        let is_ns =
+          String.length name > 3
+          && String.sub name (String.length name - 3) 3 = "_ns"
+        in
+        if is_ns then Format.fprintf ppf "%-28s %a@." name pp_ns v
+        else Format.fprintf ppf "%-28s %12d@." name v)
       counters
+  end;
+  let gauges =
+    List.filter (fun (_, v) -> v <> 0.) (Gauge.snapshot ())
+  in
+  if gauges <> [] then begin
+    if spans <> [] || counters <> [] then Format.fprintf ppf "@.";
+    Format.fprintf ppf "%-28s %12s@." "gauge" "value";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-28s %12g@." name v)
+      gauges
   end;
   let hists = Histogram.snapshot () in
   if hists <> [] then begin
-    if spans <> [] || counters <> [] then Format.fprintf ppf "@.";
+    if spans <> [] || counters <> [] || gauges <> [] then
+      Format.fprintf ppf "@.";
     Format.fprintf ppf "%-28s %8s %9s %9s %9s %9s@." "histogram" "count" "p50"
       "p90" "p99" "max";
     List.iter
@@ -99,7 +120,7 @@ let pp_events events ppf () =
           s.p50 s.p90 s.p99 s.max)
       hists
   end;
-  if spans = [] && counters = [] && hists = [] then
+  if spans = [] && counters = [] && gauges = [] && hists = [] then
     Format.fprintf ppf "no spans or counters recorded@."
 
 let pp ppf () = pp_events (Span.events ()) ppf ()

@@ -138,6 +138,12 @@ let main_busy_counter = Obs.Counter.make "pool.main.busy_ns"
 let worker_busy_counter k =
   Obs.Counter.make (Printf.sprintf "pool.worker%d.busy_ns" k)
 
+(* Participants currently inside a chunk body — point-in-time state
+   (a gauge, not a counter), sampled by the serve daemon's background
+   tick as pool.busy_workers. *)
+let busy_now = Atomic.make 0
+let busy_workers () = Atomic.get busy_now
+
 (* Every index of a pool job executes with this flag set — on a worker
    domain or on the submitter while it helps drain chunks — so a nested
    submission (a Monte-Carlo sample fanning out its own sweep) detects it
@@ -169,9 +175,10 @@ let parse_chunk_ms s =
   | _ -> None
 
 (* One warning shape for every knob: name the rejected value, what was
-   expected, and the fallback actually used. Both knobs used to
-   hand-roll this; keeping them on one helper keeps the wording (and
-   the decision to warn at all) consistent. *)
+   expected, and the fallback actually used. Routed through
+   [Obs.Events.warn_once] keyed by the variable name, so a daemon that
+   re-reads a bad knob warns on stderr once (and records a structured
+   [Warn] event) instead of repeating per call. *)
 let env_parse name ~parse ~expected ~show fallback =
   match Sys.getenv_opt name with
   | None -> fallback
@@ -179,9 +186,10 @@ let env_parse name ~parse ~expected ~show fallback =
     (match parse s with
      | Some v -> v
      | None ->
-       Printf.eprintf
-         "acstab: warning: invalid %s=%S (expected %s); using %s\n%!"
-         name s expected (show fallback);
+       Obs.Events.warn_once ~key:name
+         (Printf.sprintf
+            "acstab: warning: invalid %s=%S (expected %s); using %s"
+            name s expected (show fallback));
        fallback)
 
 let default_jobs () =
@@ -204,6 +212,19 @@ let jobs () =
   let n = !requested in
   Mutex.unlock config;
   n
+
+(* Chunks dealt but not yet claimed, summed over the worker deques.
+   Length reads are unsynchronised on purpose (same racy-read contract
+   as the steal victim scan): this is a gauge sample, and a value one
+   chunk stale cannot corrupt anything. *)
+let queued_chunks () =
+  Mutex.lock config;
+  let p = !pool in
+  Mutex.unlock config;
+  match p with
+  | None -> 0
+  | Some p ->
+    Array.fold_left (fun acc w -> acc + Deque.length w.deque) 0 p.workers
 
 let set_oversubscribe b =
   Mutex.lock config;
@@ -283,6 +304,7 @@ let chunk_ms_histogram = Obs.Histogram.make "pool.chunk_ms"
 
 let run_chunk ~busy c =
   Obs.Counter.incr chunks_counter;
+  Atomic.incr busy_now;
   (* One span per chunk, recorded on the executing domain: the Chrome
      trace then shows every worker's lane ([tid] = domain id) filled
      with its chunks — the visual form of the busy-time counters. Cheap
@@ -302,6 +324,7 @@ let run_chunk ~busy c =
      let bt = Printexc.get_raw_backtrace () in
      ignore (Atomic.compare_and_set j.failed None (Some (e, bt))));
   let dt = Obs.Clock.now_ns () - t0 in
+  Atomic.decr busy_now;
   Obs.Span.leave "pool.chunk" ~args:[ ("items", c.hi - c.lo) ] span;
   Obs.Histogram.observe chunk_ms_histogram (float_of_int dt *. 1e-6);
   Obs.Counter.add busy dt;

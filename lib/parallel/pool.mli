@@ -79,6 +79,16 @@ val set_chunk_target_ms : float -> unit
 val chunk_target_ms : unit -> float
 (** The current adaptive chunking target in milliseconds. *)
 
+val busy_workers : unit -> int
+(** Participants (workers or the submitter) currently executing a
+    chunk body — point-in-time state for the [pool.busy_workers]
+    gauge sampled by the serve daemon. *)
+
+val queued_chunks : unit -> int
+(** Chunks dealt to the worker deques and not yet claimed, racy-read
+    (a gauge sample, not a synchronised count). [0] when the pool is
+    not running. *)
+
 val in_worker : unit -> bool
 (** Whether the calling domain is currently executing a pool task (a
     worker domain, or the submitter while it helps drain chunks, or any
@@ -127,4 +137,6 @@ val shutdown : unit -> unit
 
     Invalid [ACSTAB_JOBS] / [ACSTAB_CHUNK_MS] values print a one-line
     warning to stderr naming the rejected value and the fallback,
-    instead of being silently ignored. *)
+    instead of being silently ignored — via [Obs.Events.warn_once]
+    keyed by the variable name, so a long-running daemon warns once
+    (and records a structured [Warn] event) rather than per call. *)

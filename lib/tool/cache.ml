@@ -166,3 +166,18 @@ let stats c =
       [ family_stat c c.ops; family_stat c c.plans;
         family_stat c c.kernels; family_stat c c.results;
         family_stat c c.sfgs ])
+
+(* Occupancy is state, not a monotonic count, so live exposition reads
+   it through [Obs.Gauge]: the serve daemon calls this on its
+   background tick (and on demand for a `metrics` request) to publish
+   cache.<family>.entries / .capacity next to the hit/miss counters. *)
+let sample_gauges c =
+  List.iter
+    (fun s ->
+      Obs.Gauge.set
+        (Obs.Gauge.make (Printf.sprintf "cache.%s.entries" s.family))
+        (float_of_int s.entries);
+      Obs.Gauge.set
+        (Obs.Gauge.make (Printf.sprintf "cache.%s.capacity" s.family))
+        (float_of_int s.capacity))
+    (stats c)

@@ -94,3 +94,10 @@ val stats : t -> family_stats list
 (** One record per family, in declaration order. Hit/miss/eviction
     counts read the process-global counters, so they aggregate across
     caches that share the registry. *)
+
+val sample_gauges : t -> unit
+(** Publish each family's occupancy into the [Obs.Gauge] registry as
+    [cache.<family>.entries] and [cache.<family>.capacity] — called by
+    the serve daemon's background tick so Prometheus exposition and
+    [acstab top] see live occupancy without touching the cache lock on
+    every scrape. *)

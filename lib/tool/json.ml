@@ -260,6 +260,36 @@ let of_string s =
     else Ok v
   | exception Parse_error msg -> Error msg
 
+(* Best-effort recovery of one member's value from a malformed
+   document. The serve protocol wants to echo a client's "id" even
+   when the request line itself failed to parse (half-written NDJSON),
+   so this scans for a quoted [key] followed by ':' and a value that
+   does parse; nesting is not tracked and the first syntactic match
+   wins — acceptable for a diagnostic echo, never for real decoding. *)
+let salvage_member key s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then None
+    else
+      match String.index_from_opt s i '"' with
+      | None -> None
+      | Some q ->
+        let st = { src = s; pos = q } in
+        (match parse_string_raw st with
+         | k when k = key ->
+           (skip_ws st;
+            match peek st with
+            | Some ':' ->
+              advance st;
+              (match parse_value st with
+               | v -> Some v
+               | exception Parse_error _ -> scan (q + 1))
+            | _ -> scan (q + 1))
+         | _ -> scan (q + 1)
+         | exception Parse_error _ -> scan (q + 1))
+  in
+  scan 0
+
 (* --- accessors used by manifest loading --- *)
 
 let member key = function

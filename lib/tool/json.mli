@@ -23,6 +23,14 @@ val of_string : string -> (t, string) result
 val member : string -> t -> t option
 (** Field of an object; [None] on missing key or non-object. *)
 
+val salvage_member : string -> string -> t option
+(** [salvage_member key text] best-effort extraction of one member's
+    value from text that may not parse as a whole (a half-written
+    NDJSON request, say): finds a quoted [key] followed by [:] and a
+    parseable value. Nesting is not tracked — the first syntactic
+    match wins — so use only for diagnostics such as echoing a request
+    id, never for real decoding. *)
+
 val to_float : t -> float option
 val to_str : t -> string option
 val to_list : t -> t list option

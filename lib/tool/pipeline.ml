@@ -333,6 +333,16 @@ let analyze_exn ?cache ?(options = Stability.Analysis.default_options) loaded
         Obs.Span.with_ "pipeline.analyze" (fun () ->
             analyze_uncached ~cache:c ~options loaded analysis))
   in
+  (* One structured event per analysis (CLI one-shots with --log get a
+     record too, not just the daemon); guarded so runs without a sink
+     pay one atomic load, not a field-list allocation. *)
+  if Obs.Events.enabled () then
+    Obs.Events.emit "pipeline.analyze"
+      [ ("deck", Obs.Events.Str loaded.deck_name);
+        ("sha256", Obs.Events.Str loaded.sha256);
+        ("cache", Obs.Events.Str (if hit then "hit" else "miss"));
+        ("wall_ms",
+         Obs.Events.Float (entry.Cache.manifest.Manifest.wall_s *. 1e3)) ];
   { loaded; analysis; options; results = entry.Cache.results;
     manifest = entry.Cache.manifest;
     wall_s = entry.Cache.manifest.Manifest.wall_s;

@@ -1,0 +1,192 @@
+(* `acstab top` — live terminal dashboard over a serve daemon.
+
+   Pure client-side: it speaks the daemon's own protocol (`stats` for
+   protocol/jobs/cache families, `metrics` for the Prometheus
+   exposition) and derives rates by differencing two samples, so
+   attaching it costs the daemon nothing beyond two requests per
+   refresh and needs no restart. The same sampling backs `--once
+   --json` for scripting, keyed by schema acstab-top/1. *)
+
+type cache_row = {
+  family : string;
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type latency = {
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  count : int;
+}
+
+type sample = {
+  at : float;  (* Unix time of the sample, for rate differencing *)
+  protocol : string;
+  jobs : int;
+  requests : int;
+  errors : int;
+  connections : int;
+  inflight : int;
+  inflight_high_water : int;
+  latency : latency;
+  cache : cache_row list;
+  pool_busy : int;
+  pool_queue : int;
+}
+
+let schema = "acstab-top/1"
+
+(* ---- sampling ---- *)
+
+let ask client cmd =
+  let r = Server.Client.request client (Json.Obj [ ("cmd", Json.Str cmd) ]) in
+  match Json.mem_bool "ok" r with
+  | Some true -> Ok r
+  | _ ->
+    Error
+      (Printf.sprintf "%s request failed: %s" cmd
+         (Option.value ~default:"unknown error"
+            (Option.bind (Json.member "error" r) (Json.mem_str "message"))))
+
+let cache_rows stats =
+  match Json.member "cache" stats with
+  | Some (Json.Obj families) ->
+    List.map
+      (fun (family, f) ->
+        let int name = Option.value ~default:0 (Json.mem_int name f) in
+        { family; entries = int "entries"; capacity = int "capacity";
+          hits = int "hits"; misses = int "misses";
+          evictions = int "evictions" })
+      families
+  | _ -> []
+
+let sample client =
+  match ask client "stats" with
+  | Error _ as e -> e
+  | Ok stats ->
+    (match ask client "metrics" with
+     | Error _ as e -> e
+     | Ok metrics ->
+       (match Json.mem_str "metrics" metrics with
+        | None -> Error "metrics response carries no exposition text"
+        | Some text ->
+          (match Obs.Prometheus.parse text with
+           | Error e -> Error (Printf.sprintf "bad metrics exposition: %s" e)
+           | Ok samples ->
+             let v ?labels name =
+               Option.value ~default:0.
+                 (Obs.Prometheus.find ?labels name samples)
+             in
+             let quantile q =
+               v ~labels:[ ("quantile", q) ] "acstab_server_request_ms"
+             in
+             Ok
+               { at = Unix.gettimeofday ();
+                 protocol =
+                   Option.value ~default:"?" (Json.mem_str "protocol" stats);
+                 jobs = Option.value ~default:1 (Json.mem_int "jobs" stats);
+                 requests =
+                   int_of_float (v "acstab_server_requests_total");
+                 errors = int_of_float (v "acstab_server_errors_total");
+                 connections =
+                   int_of_float (v "acstab_server_connections_total");
+                 inflight = int_of_float (v "acstab_server_inflight");
+                 inflight_high_water =
+                   int_of_float
+                     (v "acstab_server_inflight_high_water_total");
+                 latency =
+                   { p50_ms = quantile "0.5"; p90_ms = quantile "0.9";
+                     p99_ms = quantile "0.99";
+                     max_ms = v "acstab_server_request_ms_max";
+                     count =
+                       int_of_float (v "acstab_server_request_ms_count") };
+                 cache = cache_rows stats;
+                 pool_busy = int_of_float (v "acstab_pool_busy_workers");
+                 pool_queue = int_of_float (v "acstab_pool_queue_depth") })))
+
+(* ---- derived readouts ---- *)
+
+let request_rate ~prev s =
+  let dt = s.at -. prev.at in
+  if dt <= 0. then None
+  else Some (float_of_int (s.requests - prev.requests) /. dt)
+
+let hit_ratio row =
+  let total = row.hits + row.misses in
+  if total = 0 then None
+  else Some (float_of_int row.hits /. float_of_int total)
+
+(* ---- JSON (for --once --json and scripting) ---- *)
+
+let to_json ?prev s =
+  let num n = Json.Num (float_of_int n) in
+  Json.Obj
+    ([ ("schema", Json.Str schema); ("protocol", Json.Str s.protocol);
+       ("jobs", num s.jobs); ("requests", num s.requests);
+       ("errors", num s.errors); ("connections", num s.connections);
+       ("inflight", num s.inflight);
+       ("inflight_high_water", num s.inflight_high_water) ]
+     @ (match Option.bind prev (fun p -> request_rate ~prev:p s) with
+        | Some r -> [ ("requests_per_s", Json.Num r) ]
+        | None -> [])
+     @ [ ("latency_ms",
+          Json.Obj
+            [ ("p50", Json.Num s.latency.p50_ms);
+              ("p90", Json.Num s.latency.p90_ms);
+              ("p99", Json.Num s.latency.p99_ms);
+              ("max", Json.Num s.latency.max_ms);
+              ("count", num s.latency.count) ]);
+         ("pool",
+          Json.Obj
+            [ ("jobs", num s.jobs); ("busy", num s.pool_busy);
+              ("queued", num s.pool_queue) ]);
+         ("cache",
+          Json.Obj
+            (List.map
+               (fun row ->
+                 (row.family,
+                  Json.Obj
+                    ([ ("entries", num row.entries);
+                       ("capacity", num row.capacity);
+                       ("hits", num row.hits);
+                       ("misses", num row.misses);
+                       ("evictions", num row.evictions) ]
+                     @
+                     match hit_ratio row with
+                     | Some r -> [ ("hit_ratio", Json.Num r) ]
+                     | None -> [])))
+               s.cache)) ])
+
+(* ---- text dashboard ---- *)
+
+let render ?prev ~socket s =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "acstab top — %s (%s, jobs %d)" socket s.protocol s.jobs;
+  let rate =
+    match Option.bind prev (fun p -> request_rate ~prev:p s) with
+    | Some r -> Printf.sprintf " (%.1f/s)" r
+    | None -> ""
+  in
+  line "requests %d%s   errors %d   in-flight %d (hw %d)   connections %d"
+    s.requests rate s.errors s.inflight s.inflight_high_water s.connections;
+  line "latency ms   p50 %.3g   p90 %.3g   p99 %.3g   max %.3g   (n=%d)"
+    s.latency.p50_ms s.latency.p90_ms s.latency.p99_ms s.latency.max_ms
+    s.latency.count;
+  line "pool         busy %d/%d   queued %d" s.pool_busy s.jobs s.pool_queue;
+  line "%-8s %11s %8s %8s %8s %7s" "cache" "entries" "hits" "misses"
+    "evicted" "hit%";
+  List.iter
+    (fun row ->
+      line "%-8s %7d/%3d %8d %8d %8d %7s" row.family row.entries
+        row.capacity row.hits row.misses row.evictions
+        (match hit_ratio row with
+         | Some r -> Printf.sprintf "%.1f%%" (100. *. r)
+         | None -> "-"))
+    s.cache;
+  Buffer.contents b

@@ -1,0 +1,60 @@
+(** The sampling and rendering behind [acstab top SOCKET]: a live
+    dashboard over a running serve daemon.
+
+    Entirely client-side — each refresh is two protocol requests
+    ([stats] and [metrics]) against the live daemon, no restart and no
+    daemon-side state. Rates come from differencing two samples. *)
+
+type cache_row = {
+  family : string;
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type latency = {
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  count : int;
+}
+
+type sample = {
+  at : float;  (** [Unix.gettimeofday] at sampling, for rates *)
+  protocol : string;
+  jobs : int;
+  requests : int;
+  errors : int;
+  connections : int;
+  inflight : int;
+  inflight_high_water : int;
+  latency : latency;
+  cache : cache_row list;
+  pool_busy : int;
+  pool_queue : int;
+}
+
+val schema : string
+(** ["acstab-top/1"], carried by {!to_json} output. *)
+
+val sample : Server.Client.t -> (sample, string) result
+(** One snapshot over an open client connection: [stats] for
+    protocol/jobs/cache families, [metrics] parsed back from the
+    Prometheus exposition for counters, gauges and latency quantiles. *)
+
+val request_rate : prev:sample -> sample -> float option
+(** Requests per second between two samples ([None] when no time has
+    passed). *)
+
+val hit_ratio : cache_row -> float option
+(** hits / (hits + misses); [None] before any traffic. *)
+
+val to_json : ?prev:sample -> sample -> Json.t
+(** The [--once --json] document (schema [acstab-top/1]); [prev] adds
+    a [requests_per_s] rate. *)
+
+val render : ?prev:sample -> socket:string -> sample -> string
+(** The multi-line text dashboard frame. *)

@@ -260,6 +260,243 @@ let test_histogram_parallel () =
     s.Obs.Histogram.max;
   Obs.Histogram.reset ()
 
+let test_histogram_merge () =
+  Obs.Histogram.reset ();
+  let a = Obs.Histogram.make "test.merge.a" in
+  let b = Obs.Histogram.make "test.merge.b" in
+  for _ = 1 to 30 do
+    Obs.Histogram.observe a 1.0
+  done;
+  for _ = 1 to 10 do
+    Obs.Histogram.observe b 250.
+  done;
+  Obs.Histogram.merge ~into:a b;
+  let s = Obs.Histogram.summary a in
+  Alcotest.(check int) "counts add" 40 s.Obs.Histogram.count;
+  Alcotest.(check (float 0.)) "max carried over" 250. s.Obs.Histogram.max;
+  Alcotest.(check bool) "p50 still in the dominant mode" true
+    (s.Obs.Histogram.p50 > 0.1 && s.Obs.Histogram.p50 < 10.);
+  Alcotest.(check bool) "p99 from the merged-in tail" true
+    (s.Obs.Histogram.p99 > 50.);
+  (* src is untouched and self-merge must not double anything. *)
+  Alcotest.(check int) "src unchanged" 10
+    (Obs.Histogram.summary b).Obs.Histogram.count;
+  Obs.Histogram.merge ~into:a a;
+  Alcotest.(check int) "self-merge is a no-op" 40
+    (Obs.Histogram.summary a).Obs.Histogram.count;
+  Obs.Histogram.reset ()
+
+let test_histogram_snapshot_under_add () =
+  (* summary/snapshot taken while another domain observes must stay
+     internally consistent (count never exceeds what was published,
+     percentiles within the observed range) and never crash. *)
+  Obs.Histogram.reset ();
+  let h = Obs.Histogram.make "test.snap.par" in
+  let total = 50_000 in
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to total do
+          Obs.Histogram.observe h (float_of_int i)
+        done)
+  in
+  let last = ref 0 in
+  for _ = 1 to 200 do
+    let s = Obs.Histogram.summary h in
+    Alcotest.(check bool) "count monotone under race" true
+      (s.Obs.Histogram.count >= !last);
+    last := s.Obs.Histogram.count;
+    Alcotest.(check bool) "count bounded" true
+      (s.Obs.Histogram.count <= total);
+    if s.Obs.Histogram.count > 0 then begin
+      Alcotest.(check bool) "max within range" true
+        (s.Obs.Histogram.max <= float_of_int total);
+      Alcotest.(check bool) "p99 plausible" true
+        (s.Obs.Histogram.p99 >= 0.)
+    end
+  done;
+  Domain.join writer;
+  Alcotest.(check int) "all samples landed" total
+    (Obs.Histogram.summary h).Obs.Histogram.count;
+  Obs.Histogram.reset ()
+
+(* ---------- prometheus exposition ---------- *)
+
+let test_prometheus_golden () =
+  (* Fixed registry -> byte-exact exposition. Covers the three metric
+     kinds, the *_ns -> *_ms unit conversion and name sanitisation. *)
+  let summary =
+    { Obs.Histogram.count = 4; p50 = 1.; p90 = 2.; p99 = 4.; max = 4.5 }
+  in
+  let text =
+    Obs.Prometheus.render
+      ~counters:[ ("pool.lock_wait_ns", 2_500_000); ("server.requests", 7) ]
+      ~gauges:[ ("cache.probe.entries", 12.) ]
+      ~histograms:[ ("server.request_ms", summary) ]
+      ()
+  in
+  let expected =
+    String.concat "\n"
+      [ "# TYPE acstab_pool_lock_wait_ms_total counter";
+        "acstab_pool_lock_wait_ms_total 2.5";
+        "# TYPE acstab_server_requests_total counter";
+        "acstab_server_requests_total 7";
+        "# TYPE acstab_cache_probe_entries gauge";
+        "acstab_cache_probe_entries 12";
+        "# TYPE acstab_server_request_ms summary";
+        "acstab_server_request_ms{quantile=\"0.5\"} 1";
+        "acstab_server_request_ms{quantile=\"0.9\"} 2";
+        "acstab_server_request_ms{quantile=\"0.99\"} 4";
+        "acstab_server_request_ms_count 4";
+        "# TYPE acstab_server_request_ms_max gauge";
+        "acstab_server_request_ms_max 4.5";
+        "" ]
+  in
+  Alcotest.(check string) "golden exposition" expected text
+
+let test_prometheus_parse_roundtrip () =
+  let summary =
+    { Obs.Histogram.count = 3; p50 = 0.25; p90 = 0.5; p99 = 0.5; max = 0.75 }
+  in
+  let text =
+    Obs.Prometheus.render
+      ~counters:[ ("server.requests", 11) ]
+      ~gauges:[ ("pool.busy_workers", 2.) ]
+      ~histograms:[ ("server.request_ms", summary) ]
+      ()
+  in
+  match Obs.Prometheus.parse text with
+  | Error e -> Alcotest.failf "render output rejected by parse: %s" e
+  | Ok samples ->
+    let find ?labels name = Obs.Prometheus.find ?labels name samples in
+    Alcotest.(check (option (float 0.))) "counter" (Some 11.)
+      (find "acstab_server_requests_total");
+    Alcotest.(check (option (float 0.))) "gauge" (Some 2.)
+      (find "acstab_pool_busy_workers");
+    Alcotest.(check (option (float 0.))) "quantile row" (Some 0.25)
+      (find ~labels:[ ("quantile", "0.5") ] "acstab_server_request_ms");
+    Alcotest.(check (option (float 0.))) "count row" (Some 3.)
+      (find "acstab_server_request_ms_count");
+    Alcotest.(check (option (float 0.))) "max gauge" (Some 0.75)
+      (find "acstab_server_request_ms_max");
+    Alcotest.(check (option (float 0.))) "absent metric" None
+      (find "acstab_never_made_total")
+
+let test_prometheus_parse_rejects () =
+  List.iter
+    (fun bad ->
+      match Obs.Prometheus.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed exposition: %S" bad
+      | Error _ -> ())
+    [ "9starts_with_digit 1\n"; "no_value\n"; "name{unterminated=\"x 1\n";
+      "name bad_float\n" ]
+
+(* ---------- events ---------- *)
+
+let test_events_disarmed_and_ring () =
+  Obs.Events.clear ();
+  Alcotest.(check bool) "disarmed by default" false (Obs.Events.enabled ());
+  Obs.Events.emit "quiet" [ ("k", Obs.Events.Int 1) ];
+  Alcotest.(check int) "nothing kept when disarmed" 0
+    (List.length (Obs.Events.recent ()));
+  Obs.Events.enable_ring ();
+  Obs.Events.emit "one" [ ("n", Obs.Events.Int 1) ];
+  Obs.Events.emit ~level:Obs.Events.Warn "two" [];
+  let evs = Obs.Events.recent () in
+  Alcotest.(check int) "ring keeps both" 2 (List.length evs);
+  Alcotest.(check bool) "oldest first" true
+    ((List.nth evs 0).Obs.Events.name = "one"
+     && (List.nth evs 1).Obs.Events.name = "two");
+  Alcotest.(check bool) "sequence increases" true
+    ((List.nth evs 0).Obs.Events.seq < (List.nth evs 1).Obs.Events.seq);
+  Alcotest.(check bool) "level kept" true
+    ((List.nth evs 1).Obs.Events.level = Obs.Events.Warn);
+  Alcotest.(check int) "recent ~max trims from the old end" 1
+    (List.length (Obs.Events.recent ~max:1 ()));
+  Obs.Events.disable_ring ();
+  Obs.Events.clear ();
+  Alcotest.(check int) "clear drops history" 0
+    (List.length (Obs.Events.recent ()))
+
+let test_events_line_shape () =
+  Obs.Events.enable_ring ();
+  Obs.Events.clear ();
+  Obs.Events.emit "req \"x\"\n"
+    [ ("s", Obs.Events.Str "a\"b"); ("i", Obs.Events.Int (-3));
+      ("f", Obs.Events.Float 1.5); ("b", Obs.Events.Bool true) ];
+  let ev = List.hd (Obs.Events.recent ()) in
+  let line = Obs.Events.line_of ev in
+  Obs.Events.disable_ring ();
+  Obs.Events.clear ();
+  Alcotest.(check bool) "one line" true
+    (not (String.contains line '\n'));
+  Alcotest.(check bool) "header fields" true
+    (contains line "\"ts_ns\":" && contains line "\"seq\":"
+     && contains line "\"level\":\"info\"");
+  Alcotest.(check bool) "name escaped" true
+    (contains line "\"event\":\"req \\\"x\\\"\\n\"");
+  Alcotest.(check bool) "string field escaped" true
+    (contains line "\"s\":\"a\\\"b\"");
+  Alcotest.(check bool) "int field" true (contains line "\"i\":-3");
+  Alcotest.(check bool) "float field" true (contains line "\"f\":1.5");
+  Alcotest.(check bool) "bool field" true (contains line "\"b\":true");
+  (* And the whole line is JSON by the tool's own parser. *)
+  Alcotest.(check bool) "line parses as a JSON object" true
+    (String.length line > 0 && line.[0] = '{')
+
+let test_events_sink_writes_ndjson () =
+  let path = Filename.temp_file "acstab_events" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Events.to_file path;
+      Obs.Events.emit "first" [ ("n", Obs.Events.Int 1) ];
+      Obs.Events.emit "second" [];
+      Obs.Events.close_sink ();
+      Alcotest.(check bool) "sink detached disarms" false
+        (Obs.Events.enabled ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "log.open + two events" 3 (List.length lines);
+      Alcotest.(check bool) "first line announces the schema" true
+        (contains (List.nth lines 0) "\"event\":\"log.open\""
+         && contains (List.nth lines 0)
+              (Printf.sprintf "\"schema\":\"%s\"" Obs.Events.schema));
+      Alcotest.(check bool) "events in order" true
+        (contains (List.nth lines 1) "\"event\":\"first\""
+         && contains (List.nth lines 2) "\"event\":\"second\""))
+
+let test_events_warn_once () =
+  Obs.Events.reset_warnings ();
+  Obs.Events.enable_ring ();
+  Obs.Events.clear ();
+  Alcotest.(check int) "unknown key never warned" 0
+    (Obs.Events.warn_count "k1");
+  Obs.Events.warn_once ~key:"k1" "first message";
+  Obs.Events.warn_once ~key:"k1" "suppressed repeat";
+  Obs.Events.warn_once ~key:"k1" "suppressed repeat";
+  Obs.Events.warn_once ~key:"k2" "other key still fires";
+  Alcotest.(check int) "repeats counted" 3 (Obs.Events.warn_count "k1");
+  Alcotest.(check int) "independent keys" 1 (Obs.Events.warn_count "k2");
+  let warns =
+    List.filter
+      (fun e -> e.Obs.Events.level = Obs.Events.Warn)
+      (Obs.Events.recent ())
+  in
+  Alcotest.(check int) "one event per key, not per call" 2
+    (List.length warns);
+  Obs.Events.reset_warnings ();
+  Obs.Events.warn_once ~key:"k1" "fires again after reset";
+  Alcotest.(check int) "reset forgets" 1 (Obs.Events.warn_count "k1");
+  Obs.Events.disable_ring ();
+  Obs.Events.clear ();
+  Obs.Events.reset_warnings ()
+
 (* ---------- metrics ---------- *)
 
 let test_metrics_rows () =
@@ -429,7 +666,24 @@ let () =
          Alcotest.test_case "summary percentiles" `Quick
            test_histogram_summary;
          Alcotest.test_case "parallel observe" `Quick
-           test_histogram_parallel ]);
+           test_histogram_parallel;
+         Alcotest.test_case "merge" `Quick test_histogram_merge;
+         Alcotest.test_case "snapshot under concurrent add" `Quick
+           test_histogram_snapshot_under_add ]);
+      ("prometheus",
+       [ Alcotest.test_case "golden exposition" `Quick
+           test_prometheus_golden;
+         Alcotest.test_case "parse roundtrip" `Quick
+           test_prometheus_parse_roundtrip;
+         Alcotest.test_case "parse rejects malformed" `Quick
+           test_prometheus_parse_rejects ]);
+      ("events",
+       [ Alcotest.test_case "disarmed + ring" `Quick
+           test_events_disarmed_and_ring;
+         Alcotest.test_case "line shape" `Quick test_events_line_shape;
+         Alcotest.test_case "sink writes ndjson" `Quick
+           test_events_sink_writes_ndjson;
+         Alcotest.test_case "warn once" `Quick test_events_warn_once ]);
       ("metrics",
        [ Alcotest.test_case "rows" `Quick test_metrics_rows;
          Alcotest.test_case "empty" `Quick test_metrics_empty;
